@@ -1,0 +1,63 @@
+// Ablation: writer-count sweep against one shared file.
+//
+// Backs the paper's Section V observation that "as few as 80 tasks can
+// saturate the I/O subsystem" — aggregate throughput rises with writer
+// count, saturates near ~10^2 writers, then *declines* as client-count
+// contention bites at the thousands-of-writers scale (the force behind
+// the GCRM collective-buffering optimization).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "workloads/ior.h"
+
+using namespace eio;
+
+int main() {
+  bench::banner("ablation_contention — writer-count sweep, fixed 40 GiB total",
+                "Section V: '80 tasks can saturate the I/O subsystem'");
+
+  lustre::MachineConfig franklin = lustre::MachineConfig::franklin();
+  const Bytes total = 40 * GiB;
+
+  bench::section("aggregate write throughput vs writer count");
+  std::printf("  %8s %12s %14s %16s\n", "writers", "MiB each", "job time (s)",
+              "aggregate GiB/s");
+  std::vector<double> writers, rates;
+  for (std::uint32_t n : {16u, 40u, 80u, 160u, 320u, 640u, 1280u, 2560u, 5120u,
+                          10240u}) {
+    workloads::IorConfig cfg;
+    cfg.tasks = n;
+    cfg.block_size = total / n;
+    cfg.segments = 1;
+    workloads::RunResult result =
+        workloads::run_job(workloads::make_ior_job(franklin, cfg));
+    double gib_s = to_gib(result.fs_stats.bytes_written) / result.job_time;
+    std::printf("  %8u %12.1f %14.1f %16.2f\n", n, to_mib(cfg.block_size),
+                result.job_time, gib_s);
+    writers.push_back(n);
+    rates.push_back(gib_s);
+  }
+
+  analysis::Series s{"GiB/s", writers, rates};
+  std::printf("%s", analysis::render_lines(
+                        std::vector<analysis::Series>{s},
+                        {.width = 84, .height = 12, .log_x = true,
+                         .x_label = "writers (log)", .y_label = "GiB/s"})
+                        .c_str());
+
+  // Saturation and decline summary.
+  std::size_t arg_peak = 0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (rates[i] > rates[arg_peak]) arg_peak = i;
+  }
+  std::printf("\n  peak %.2f GiB/s at %u writers; at 10,240 writers: %.2f GiB/s "
+              "(%.0f%% of peak)\n",
+              rates[arg_peak], static_cast<unsigned>(writers[arg_peak]),
+              rates.back(), 100.0 * rates.back() / rates[arg_peak]);
+
+  analysis::CsvWriter csv;
+  csv.column("writers", writers).column("gib_per_s", rates);
+  bench::maybe_save_csv("ablation_contention", csv);
+  return 0;
+}

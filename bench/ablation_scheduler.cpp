@@ -1,0 +1,69 @@
+// Ablation: the node-client stream scheduler policy.
+//
+// DESIGN.md attributes the Figure 1(c) harmonic modes to intra-node
+// stream serialization. This ablation runs the same IOR experiment
+// under pure-fair, pure-serial, and the calibrated mixed policy: the
+// harmonics appear only when some nodes serialize, while the *node
+// aggregate* (and hence the mean rate) barely moves — exactly why
+// event-level reasoning misses the effect and ensemble analysis
+// catches it.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/histogram.h"
+#include "workloads/ior.h"
+
+using namespace eio;
+
+int main() {
+  bench::banner("ablation_scheduler — node stream-scheduler policies",
+                "DESIGN.md: mechanism behind Figure 1(c) harmonics");
+
+  struct Case {
+    const char* label;
+    sim::ConcurrencyPolicy policy;
+  };
+  const Case cases[] = {
+      {"fair (4 streams)", sim::ConcurrencyPolicy::fixed(4)},
+      {"paired (2 streams)", sim::ConcurrencyPolicy::fixed(2)},
+      {"serial (1 stream)", sim::ConcurrencyPolicy::fixed(1)},
+      {"franklin mix (25/30/45)", sim::ConcurrencyPolicy::franklin_mix()},
+  };
+
+  workloads::IorConfig cfg;
+  cfg.tasks = 512;
+  cfg.block_size = 256 * MiB;
+  cfg.segments = 2;
+
+  for (const Case& c : cases) {
+    lustre::MachineConfig machine = lustre::MachineConfig::franklin();
+    machine.node_policy = c.policy;
+    workloads::RunResult result =
+        workloads::run_job(workloads::make_ior_job(machine, cfg));
+    auto writes = analysis::durations(
+        result.trace, {.op = posix::OpType::kWrite, .min_bytes = MiB});
+    auto modes = stats::find_modes(writes, {.bandwidth_scale = 0.45});
+    stats::Moments m = stats::compute_moments(writes);
+
+    bench::section(c.label);
+    std::printf("  job %.1f s, rate %s, write mean %.1f s cv %.3f\n",
+                result.job_time,
+                analysis::format_rate(result.reported_rate()).c_str(), m.mean,
+                m.cv());
+    bench::print_modes(modes, "s");
+    auto matched = stats::harmonic_signature(modes, 0.3);
+    std::printf("  harmonics matched:");
+    if (matched.size() <= 1) std::printf(" none beyond the fundamental");
+    for (int h : matched) {
+      if (h > 1) std::printf(" T/%d", h);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\n  takeaway: serialization reshapes the *distribution* (multi-modal,\n"
+      "  high cv) while node aggregates — and thus reported rates — stay\n"
+      "  within a few percent. Only the ensemble view exposes it.\n");
+  return 0;
+}

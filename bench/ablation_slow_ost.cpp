@@ -1,0 +1,116 @@
+// Ablation: fault injection — one degraded OST.
+//
+// A classic production pathology the ensemble method pinpoints: a
+// single OST running at a fraction of its rated bandwidth (failing
+// disk, RAID rebuild). Event-level averages barely move, but the
+// write-time distribution grows a separated slow mode whose position
+// measures the degradation — and whose mass measures the blast radius
+// (the fraction of files striped onto the bad OST).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/histogram.h"
+#include "ipm/monitor.h"
+#include "mpi/runtime.h"
+#include "posix/vfs.h"
+#include "sim/engine.h"
+
+using namespace eio;
+
+namespace {
+
+struct Outcome {
+  Seconds job_time = 0.0;
+  std::vector<double> write_durations;
+};
+
+/// 256 single-OST private files, three 64 MiB writes each; OST 0 runs
+/// at `slow_factor` of its rated bandwidth.
+Outcome run_case(double slow_factor) {
+  lustre::MachineConfig machine = lustre::MachineConfig::franklin();
+  const std::uint32_t ranks = 256;
+  const Bytes block = 64 * MiB;
+
+  sim::Engine engine;
+  lustre::Filesystem fs(engine, machine, ranks / machine.tasks_per_node);
+  if (slow_factor < 1.0) {
+    fs.network().set_ost_capacity(0, machine.ost_bandwidth * slow_factor);
+  }
+  posix::PosixIo io(engine, fs, machine.tasks_per_node);
+  ipm::Monitor monitor;
+  monitor.attach(io);
+  monitor.trace().set_ranks(ranks);
+  mpi::Runtime runtime(engine, io);
+
+  std::vector<mpi::Program> programs;
+  for (RankId r = 0; r < ranks; ++r) {
+    std::string path = "f" + std::to_string(r);
+    io.setstripe(path, {.stripe_count = 1, .shared = false});
+    mpi::Program p;
+    p.open(0, path);
+    for (int s = 0; s < 3; ++s) {
+      p.phase(s);
+      p.write(0, block);
+      p.barrier();
+    }
+    p.close(0);
+    programs.push_back(std::move(p));
+  }
+  runtime.load(std::move(programs));
+
+  Outcome out;
+  out.job_time = runtime.run_to_completion();
+  out.write_durations = analysis::durations(
+      monitor.trace(), {.op = posix::OpType::kWrite, .min_bytes = MiB});
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("ablation_slow_ost — one OST at 25% capacity",
+                "fault-injection study (DESIGN.md test strategy)");
+
+  Outcome healthy = run_case(1.0);
+  Outcome degraded = run_case(0.25);
+
+  bench::section("job times");
+  std::printf("  healthy %.1f s, degraded %.1f s — every barrier waits for "
+              "the bad OST's files\n",
+              healthy.job_time, degraded.job_time);
+
+  bench::section("write-duration distributions");
+  stats::Histogram hd = stats::Histogram::from_samples(
+      degraded.write_durations, stats::BinScale::kLog10, 40);
+  stats::Histogram hh(stats::BinScale::kLog10, hd.lo(), hd.hi(), 40);
+  hh.add_all(healthy.write_durations);
+  std::vector<const stats::Histogram*> hs{&hh, &hd};
+  std::vector<std::string> names{"healthy", "slow OST"};
+  std::printf("%s", analysis::render_histograms(
+                        hs, names, {.width = 84, .height = 12, .log_y = true,
+                                    .x_label = "seconds (log)"})
+                        .c_str());
+
+  auto modes = stats::find_modes(degraded.write_durations, {.log_axis = true});
+  bench::print_modes(modes, "s");
+
+  stats::Moments mh = stats::compute_moments(healthy.write_durations);
+  stats::Moments md = stats::compute_moments(degraded.write_durations);
+  double slow_mass = 0.0, slow_loc = 0.0;
+  for (const auto& m : modes) {
+    if (m.location > slow_loc) {
+      slow_loc = m.location;
+      slow_mass = m.mass;
+    }
+  }
+  std::printf(
+      "\n  the mean moves only %.2fx — easy to shrug off. The ensemble view\n"
+      "  shows a separated mode at %.1f s (%.1fx the healthy mean) holding\n"
+      "  %.0f%% of events: one OST in %u (%.0f%% of files) is sick.\n",
+      md.mean / mh.mean, slow_loc, slow_loc / mh.mean, slow_mass * 100.0,
+      lustre::MachineConfig::franklin().ost_count,
+      100.0 / lustre::MachineConfig::franklin().ost_count);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Shared output helpers for the figure-reproduction benches.
+//
+// Every bench prints: a banner, the paper's reference numbers next to
+// the measured ones, ASCII renderings of the figure panels, and (when
+// EIO_BENCH_CSV is set in the environment) CSV files with the raw
+// series for external plotting.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "core/ascii_chart.h"
+#include "core/csv.h"
+#include "core/distribution.h"
+#include "core/modes.h"
+#include "core/rate_series.h"
+#include "core/samples.h"
+#include "core/trace_diagram.h"
+#include "workloads/experiment.h"
+
+namespace eio::bench {
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void section(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+/// paper-vs-measured row.
+inline void compare_row(const std::string& what, double paper, double measured,
+                        const std::string& unit) {
+  double ratio = paper != 0.0 ? measured / paper : 0.0;
+  std::printf("  %-38s paper %10.1f %-6s measured %10.1f %-6s (x%.2f)\n",
+              what.c_str(), paper, unit.c_str(), measured, unit.c_str(), ratio);
+}
+
+/// True when CSV dumps are requested (EIO_BENCH_CSV=dir).
+inline const char* csv_dir() { return std::getenv("EIO_BENCH_CSV"); }
+
+inline void maybe_save_csv(const std::string& name, analysis::CsvWriter& csv) {
+  const char* dir = csv_dir();
+  if (dir == nullptr) return;
+  std::string path = std::string(dir) + "/" + name + ".csv";
+  csv.save(path);
+  std::printf("  [csv] %s\n", path.c_str());
+}
+
+/// Print the standard three panels of a paper figure row: trace
+/// diagram, aggregate rate, duration histogram.
+inline void print_trace_diagram(const workloads::RunResult& result,
+                                std::size_t rows = 24, std::size_t cols = 96) {
+  analysis::TraceDiagram diagram(result.trace, {.max_rows = rows, .columns = cols});
+  std::printf("%s", diagram.render_text().c_str());
+  std::printf("  idle fraction: %.2f\n", diagram.idle_fraction());
+}
+
+inline void print_rate_series(const workloads::RunResult& result,
+                              const analysis::EventFilter& filter,
+                              const std::string& label) {
+  analysis::TimeSeries series = analysis::aggregate_rate(result.trace, filter, 120);
+  analysis::Series line{label, {}, {}};
+  for (std::size_t i = 0; i < series.values.size(); ++i) {
+    line.x.push_back(series.time_at(i));
+    line.y.push_back(series.values[i] / static_cast<double>(MiB));
+  }
+  std::printf("%s", analysis::render_lines(
+                        std::vector<analysis::Series>{line},
+                        {.width = 84, .height = 12, .x_label = "seconds",
+                         .y_label = "aggregate MiB/s", .title = ""})
+                        .c_str());
+}
+
+inline void print_modes(const std::vector<stats::Mode>& modes,
+                        const std::string& unit) {
+  std::printf("  detected modes:\n");
+  for (const auto& m : modes) {
+    std::printf("    at %8.2f %-8s mass %4.1f%%  density %.4f\n", m.location,
+                unit.c_str(), m.mass * 100.0, m.density);
+  }
+}
+
+inline void print_summary(const workloads::RunResult& result) {
+  std::printf("  run: %-28s  job time %8.1f s   data %8.1f GiB   rate %s\n",
+              result.name.c_str(), result.job_time,
+              to_gib(result.fs_stats.bytes_written + result.fs_stats.bytes_read),
+              analysis::format_rate(result.reported_rate()).c_str());
+  std::printf("       events traced %zu, engine events %llu, monitor overhead %s\n",
+              result.trace.size(),
+              static_cast<unsigned long long>(result.engine_events),
+              analysis::format_seconds(result.monitor_overhead).c_str());
+}
+
+}  // namespace eio::bench

@@ -1,0 +1,112 @@
+// Figure 2 + Section III-A reproduction: splitting the 512 MiB block
+// into k = 1, 2, 4, 8 write() calls.
+//
+// The per-task total-time distributions narrow and become more
+// Gaussian as k grows (Law of Large Numbers), pulling the Nth order
+// statistic — and with it the reported data rate — toward the mean:
+// paper rates 11,610 / 12,016 / 13,446 / 13,486 MB/s.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/histogram.h"
+#include "core/lln.h"
+#include "core/normality.h"
+#include "core/order_stats.h"
+#include "workloads/ior.h"
+
+using namespace eio;
+
+int main() {
+  bench::banner("fig2_lln_splitting — IOR 512MiB in k calls",
+                "Figure 2(a-c) + Section III-A rates");
+
+  const std::vector<std::uint32_t> ks{1, 2, 4, 8};
+  const std::vector<double> paper_rates{11610.0, 12016.0, 13446.0, 13486.0};
+  lustre::MachineConfig franklin = lustre::MachineConfig::franklin();
+
+  struct Row {
+    std::uint32_t k;
+    double rate_mib;
+    stats::Moments totals;
+    double expected_worst;
+    double ppcc;  // probability-plot correlation vs the Gaussian
+  };
+  std::vector<Row> rows;
+  std::vector<stats::Histogram> histograms;
+
+  for (std::uint32_t k : ks) {
+    workloads::IorConfig cfg;
+    cfg.calls_per_block = k;
+    workloads::RunResult result =
+        workloads::run_job(workloads::make_ior_job(franklin, cfg));
+    auto per_call = analysis::per_rank_ordered(
+        result.trace, {.op = posix::OpType::kWrite, .min_bytes = MiB},
+        static_cast<std::size_t>(k) * cfg.segments);
+    auto totals = stats::sum_groups(per_call, k);  // per task per segment
+    stats::EmpiricalDistribution dist(totals);
+
+    Row row;
+    row.k = k;
+    row.rate_mib = to_mib_per_s(result.reported_rate());
+    row.totals = dist.moments();
+    row.expected_worst = dist.expected_max_of(cfg.tasks);
+    row.ppcc = stats::normal_ppcc(totals);
+    rows.push_back(row);
+
+    histograms.push_back(
+        stats::Histogram(stats::BinScale::kLinear, 10.0, 60.0, 50));
+    histograms.back().add_all(totals);
+  }
+
+  bench::section("per-task total-time distributions t_k");
+  std::vector<const stats::Histogram*> hs;
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    hs.push_back(&histograms[i]);
+    names.push_back("k=" + std::to_string(rows[i].k));
+  }
+  std::printf("%s", analysis::render_histograms(
+                        hs, names, {.width = 84, .height = 14,
+                                    .x_label = "t_k (seconds)",
+                                    .y_label = "count"})
+                        .c_str());
+
+  bench::section("narrowing and Gaussianization");
+  std::printf("  %4s %10s %10s %10s %10s %10s %12s\n", "k", "mean(s)", "cv",
+              "skewness", "PPCC", "E[max](s)", "rate MiB/s");
+  for (const Row& r : rows) {
+    std::printf("  %4u %10.2f %10.3f %10.2f %10.4f %10.2f %12.0f\n", r.k,
+                r.totals.mean, r.totals.cv(), r.totals.skewness, r.ppcc,
+                r.expected_worst, r.rate_mib);
+  }
+  std::printf(
+      "  (PPCC = probability-plot correlation vs the Gaussian; 1 = normal.\n"
+      "   The narrowing and the rate gain reproduce; unlike the paper's\n"
+      "   visual Gaussianization, our totals stay left-skewed — the node\n"
+      "   scheduler anti-correlates siblings' waits, a model deviation\n"
+      "   recorded in EXPERIMENTS.md.)\n");
+
+  bench::section("paper vs measured (reported rate)");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    bench::compare_row("k=" + std::to_string(rows[i].k), paper_rates[i],
+                       rows[i].rate_mib, "MiB/s");
+  }
+  double paper_gain = paper_rates.back() / paper_rates.front();
+  double measured_gain = rows.back().rate_mib / rows.front().rate_mib;
+  bench::compare_row("k=8 / k=1 improvement", (paper_gain - 1.0) * 100.0,
+                     (measured_gain - 1.0) * 100.0, "%");
+
+  analysis::CsvWriter csv;
+  std::vector<double> kcol, cv, skew, rate;
+  for (const Row& r : rows) {
+    kcol.push_back(r.k);
+    cv.push_back(r.totals.cv());
+    skew.push_back(r.totals.skewness);
+    rate.push_back(r.rate_mib);
+  }
+  csv.column("k", kcol).column("cv", cv).column("skewness", skew)
+      .column("rate_mib", rate);
+  bench::maybe_save_csv("fig2_splitting", csv);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 4 reproduction: MADbench at 256 tasks on Franklin (with the
+// strided read-ahead defect) versus Jaguar XT4.
+//
+//   (a/d) trace diagrams; (b/e) aggregate read/write rates;
+//   (c/f) log-log duration histograms. Franklin's middle-phase reads
+//   carry a 30-500 s tail; Jaguar's do not; write distributions are
+//   similar on both. Paper job times: ~2200 s vs ~275 s.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/histogram.h"
+#include "workloads/madbench.h"
+
+using namespace eio;
+
+namespace {
+
+void report_platform(const workloads::RunResult& result, const char* label) {
+  bench::section(std::string(label) + ": trace diagram");
+  bench::print_trace_diagram(result);
+
+  bench::section(std::string(label) + ": aggregate rates");
+  bench::print_rate_series(result,
+                           {.op = posix::OpType::kWrite, .min_bytes = MiB},
+                           "write");
+  bench::print_rate_series(result,
+                           {.op = posix::OpType::kRead, .min_bytes = MiB},
+                           "read");
+
+  bench::section(std::string(label) + ": log-log duration histograms");
+  auto reads = analysis::durations(result.trace,
+                                   {.op = posix::OpType::kRead, .min_bytes = MiB});
+  auto writes = analysis::durations(result.trace,
+                                    {.op = posix::OpType::kWrite, .min_bytes = MiB});
+  stats::Histogram hr(stats::BinScale::kLog10, 0.5, 1000.0, 44);
+  stats::Histogram hw(stats::BinScale::kLog10, 0.5, 1000.0, 44);
+  hr.add_all(reads);
+  hw.add_all(writes);
+  std::vector<const stats::Histogram*> hs{&hw, &hr};
+  std::vector<std::string> names{"write", "read"};
+  std::printf("%s", analysis::render_histograms(
+                        hs, names, {.width = 84, .height = 12, .log_y = true,
+                                    .x_label = "seconds (log)",
+                                    .y_label = "count (log)"})
+                        .c_str());
+
+  stats::EmpiricalDistribution dr(std::move(reads));
+  std::printf("  reads: median %.1f s, p95 %.1f s, max %.1f s\n", dr.median(),
+              dr.quantile(0.95), dr.max());
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("fig4_madbench_platforms — MADbench 256 tasks",
+                "Figure 4(a-f), Section IV");
+
+  workloads::MadbenchConfig cfg;  // paper defaults: 256 tasks, ~300 MB matrices
+  workloads::RunResult franklin = workloads::run_job(
+      workloads::make_madbench_job(lustre::MachineConfig::franklin(), cfg));
+  workloads::RunResult jaguar = workloads::run_job(
+      workloads::make_madbench_job(lustre::MachineConfig::jaguar(), cfg));
+
+  report_platform(franklin, "Franklin");
+  report_platform(jaguar, "Jaguar");
+
+  bench::section("per-phase read medians (the middle-phase deterioration)");
+  std::printf("  %10s %14s %14s\n", "read #", "franklin (s)", "jaguar (s)");
+  for (std::uint32_t i = 1; i <= cfg.matrices; ++i) {
+    auto fr = analysis::durations(
+        franklin.trace, {.op = posix::OpType::kRead,
+                         .phase = workloads::MadbenchConfig::middle_phase(i),
+                         .min_bytes = MiB});
+    auto jr = analysis::durations(
+        jaguar.trace, {.op = posix::OpType::kRead,
+                       .phase = workloads::MadbenchConfig::middle_phase(i),
+                       .min_bytes = MiB});
+    std::printf("  %10u %14.1f %14.1f\n", i,
+                stats::EmpiricalDistribution(std::move(fr)).median(),
+                stats::EmpiricalDistribution(std::move(jr)).median());
+  }
+
+  bench::section("paper vs measured");
+  bench::compare_row("Franklin job time", 2200.0, franklin.job_time, "s");
+  bench::compare_row("Jaguar job time", 275.0, jaguar.job_time, "s");
+  bench::compare_row("Franklin slowest read", 500.0, [&] {
+    auto reads = analysis::durations(
+        franklin.trace, {.op = posix::OpType::kRead, .min_bytes = MiB});
+    return stats::EmpiricalDistribution(std::move(reads)).max();
+  }(), "s");
+  std::printf("  degraded reads on Franklin: %llu, on Jaguar: %llu\n",
+              static_cast<unsigned long long>(franklin.fs_stats.degraded_reads),
+              static_cast<unsigned long long>(jaguar.fs_stats.degraded_reads));
+
+  bench::print_summary(franklin);
+  bench::print_summary(jaguar);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// google-benchmark microbenchmarks for the simulation engine: event
+// calendar throughput and fluid-network flow churn, the two costs that
+// bound how large a machine the simulator can model.
+#include <benchmark/benchmark.h>
+
+#include "common/units.h"
+#include "sim/engine.h"
+#include "sim/fluid.h"
+
+namespace {
+
+using namespace eio;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t x = 88172645463325252ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      engine.schedule_at(static_cast<double>(x % 100000) * 1e-3, [] {});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_run());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_EngineCancelHalf(benchmark::State& state) {
+  const std::size_t n = 10000;
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::vector<sim::EventId> ids;
+    ids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(engine.schedule_at(static_cast<double>(i), [] {}));
+    }
+    for (std::size_t i = 0; i < n; i += 2) engine.cancel(ids[i]);
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineCancelHalf);
+
+/// Flow churn: `flows` concurrent striped flows over a 48-OST system,
+/// the shape of a GCRM-scale simulation step.
+void BM_FluidFlowChurn(benchmark::State& state) {
+  const auto flows = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::FluidNetwork::Config cfg;
+    cfg.nic_capacity.assign(flows / 4 + 1, 1e9);
+    cfg.ost_capacity.assign(48, 350.0 * static_cast<double>(MiB));
+    cfg.node_policy = sim::ConcurrencyPolicy::fixed(4);
+    sim::FluidNetwork net(engine, cfg);
+    for (std::uint32_t i = 0; i < flows; ++i) {
+      net.start_flow({.node = i / 4,
+                      .bytes = 2 * MiB,
+                      .osts = {static_cast<OstId>(i % 48),
+                               static_cast<OstId>((i + 1) % 48)}});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(net.bytes_completed());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FluidFlowChurn)->Arg(256)->Arg(4096);
+
+/// Full-stripe flows: every flow touches every OST (the IOR shape),
+/// stressing the full-scan recompute path.
+void BM_FluidFullStripe(benchmark::State& state) {
+  const std::uint32_t flows = 512;
+  std::vector<OstId> all_osts;
+  for (OstId o = 0; o < 48; ++o) all_osts.push_back(o);
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::FluidNetwork::Config cfg;
+    cfg.nic_capacity.assign(flows / 4, 1e9);
+    cfg.ost_capacity.assign(48, 350.0 * static_cast<double>(MiB));
+    sim::FluidNetwork net(engine, cfg);
+    for (std::uint32_t i = 0; i < flows; ++i) {
+      net.start_flow({.node = i / 4, .bytes = 32 * MiB, .osts = all_osts});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(net.bytes_completed());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FluidFullStripe);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,360 @@
+#include "cli/eiotrace.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "common/units.h"
+#include "core/ascii_chart.h"
+#include "core/diagnose.h"
+#include "core/distribution.h"
+#include "core/histogram.h"
+#include "core/ks.h"
+#include "core/modes.h"
+#include "core/patterns.h"
+#include "core/rate_series.h"
+#include "core/samples.h"
+#include "core/trace_diagram.h"
+#include "ipm/report.h"
+#include "ipm/trace.h"
+
+namespace eio::cli {
+
+namespace {
+
+/// Minimal --flag[=value] parser over positional args.
+class Args {
+ public:
+  Args(const std::vector<std::string>& raw, std::size_t skip) {
+    for (std::size_t i = skip; i < raw.size(); ++i) {
+      const std::string& a = raw[i];
+      if (a.rfind("--", 0) == 0) {
+        auto eq = a.find('=');
+        if (eq == std::string::npos) {
+          flags_[a.substr(2)] = "true";
+        } else {
+          flags_[a.substr(2, eq - 2)] = a.substr(eq + 1);
+        }
+      } else {
+        positional_.push_back(a);
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] bool has(const std::string& name) const {
+    return flags_.count(name) > 0;
+  }
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] std::size_t get_size(const std::string& name,
+                                     std::size_t fallback) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback
+                              : static_cast<std::size_t>(std::stoull(it->second));
+  }
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+std::optional<posix::OpType> parse_op(const std::string& name, std::ostream& err) {
+  if (name.empty() || name == "any") return std::nullopt;
+  if (name == "write") return posix::OpType::kWrite;
+  if (name == "read") return posix::OpType::kRead;
+  if (name == "open") return posix::OpType::kOpen;
+  if (name == "close") return posix::OpType::kClose;
+  if (name == "seek") return posix::OpType::kSeek;
+  if (name == "fsync") return posix::OpType::kFsync;
+  err << "eiotrace: unknown op '" << name << "'\n";
+  throw std::invalid_argument("bad op");
+}
+
+analysis::EventFilter filter_from(const Args& args, std::ostream& err) {
+  analysis::EventFilter f;
+  f.op = parse_op(args.get("op", ""), err);
+  if (args.has("phase")) {
+    f.phase = static_cast<std::int32_t>(args.get_double("phase", 0));
+  }
+  f.min_bytes = static_cast<Bytes>(args.get_double("min-bytes", 0));
+  if (args.has("max-bytes")) {
+    f.max_bytes = static_cast<Bytes>(args.get_double("max-bytes", 0));
+  }
+  return f;
+}
+
+int cmd_report(const ipm::Trace& trace, const Args&, std::ostream& out,
+               std::ostream&) {
+  ipm::print_report(out, ipm::summarize(trace));
+  return 0;
+}
+
+int cmd_summary(const ipm::Trace& trace, const Args& args, std::ostream& out,
+                std::ostream& err) {
+  analysis::EventFilter base = filter_from(args, err);
+  out << "  op       count   median(s)     mean(s)      p95(s)      max(s)\n";
+  for (posix::OpType op : {posix::OpType::kWrite, posix::OpType::kRead}) {
+    analysis::EventFilter f = base;
+    f.op = op;
+    auto d = analysis::durations(trace, f);
+    if (d.empty()) continue;
+    stats::EmpiricalDistribution dist(std::move(d));
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "  %-6s %7zu %11.4f %11.4f %11.4f %11.4f\n",
+                  posix::op_name(op), dist.size(), dist.median(), dist.mean(),
+                  dist.quantile(0.95), dist.max());
+    out << line;
+  }
+  return 0;
+}
+
+int cmd_histogram(const ipm::Trace& trace, const Args& args, std::ostream& out,
+                  std::ostream& err) {
+  auto durations = analysis::durations(trace, filter_from(args, err));
+  if (durations.empty()) {
+    err << "eiotrace: no events match the filter\n";
+    return 2;
+  }
+  bool log = args.has("log");
+  auto bins = args.get_size("bins", 40);
+  stats::Histogram h = stats::Histogram::from_samples(
+      durations, log ? stats::BinScale::kLog10 : stats::BinScale::kLinear, bins);
+  out << analysis::render_histogram(
+      h, {.width = 72, .height = 12, .log_y = log,
+          .x_label = log ? "seconds (log)" : "seconds", .y_label = "count"});
+  return 0;
+}
+
+int cmd_modes(const ipm::Trace& trace, const Args& args, std::ostream& out,
+              std::ostream& err) {
+  auto durations = analysis::durations(trace, filter_from(args, err));
+  if (durations.empty()) {
+    err << "eiotrace: no events match the filter\n";
+    return 2;
+  }
+  auto modes = stats::find_modes(
+      durations, {.log_axis = args.has("log"),
+                  .bandwidth_scale = args.get_double("bandwidth", 0.5)});
+  out << "modes (" << durations.size() << " events):\n";
+  for (const auto& m : modes) {
+    char line[120];
+    std::snprintf(line, sizeof line, "  at %10.4f s   mass %5.1f%%\n",
+                  m.location, m.mass * 100.0);
+    out << line;
+  }
+  auto matched = stats::harmonic_signature(modes);
+  if (matched.size() > 1) {
+    out << "harmonic signature:";
+    for (int h : matched) out << " T/" << h;
+    out << "  -> intra-node stream serialization likely\n";
+  }
+  return 0;
+}
+
+int cmd_rates(const ipm::Trace& trace, const Args& args, std::ostream& out,
+              std::ostream& err) {
+  auto bins = args.get_size("bins", 100);
+  analysis::TimeSeries series =
+      analysis::aggregate_rate(trace, filter_from(args, err), bins);
+  analysis::Series line{"rate", {}, {}};
+  for (std::size_t i = 0; i < series.values.size(); ++i) {
+    line.x.push_back(series.time_at(i));
+    line.y.push_back(series.values[i] / static_cast<double>(MiB));
+  }
+  out << analysis::render_lines(
+      std::vector<analysis::Series>{line},
+      {.width = 72, .height = 12, .x_label = "seconds",
+       .y_label = "aggregate MiB/s"});
+  return 0;
+}
+
+int cmd_diagram(const ipm::Trace& trace, const Args& args, std::ostream& out,
+                std::ostream&) {
+  analysis::TraceDiagram diagram(
+      trace, {.max_rows = args.get_size("rows", 24),
+              .columns = args.get_size("cols", 72)});
+  out << diagram.render_text();
+  return 0;
+}
+
+int cmd_diagnose(const ipm::Trace& trace, const Args& args, std::ostream& out,
+                 std::ostream&) {
+  analysis::DiagnoserOptions opt;
+  opt.fair_share_rate =
+      args.get_double("fair-share-mibs", 0.0) * static_cast<double>(MiB);
+  auto findings = analysis::diagnose(trace, opt);
+  if (findings.empty()) {
+    out << "no findings\n";
+    return 0;
+  }
+  for (const auto& f : findings) {
+    out << "[" << analysis::finding_name(f.code) << " sev ";
+    char sev[16];
+    std::snprintf(sev, sizeof sev, "%.2f", f.severity);
+    out << sev << "] " << f.message << "\n";
+  }
+  return 0;
+}
+
+int cmd_phases(const ipm::Trace& trace, const Args& args, std::ostream& out,
+               std::ostream& err) {
+  analysis::EventFilter base = filter_from(args, err);
+  auto by_phase = analysis::durations_by_phase(trace, base);
+  if (by_phase.empty()) {
+    err << "eiotrace: no events match the filter\n";
+    return 2;
+  }
+  out << "  phase     events   median(s)      p95(s)      max(s)\n";
+  for (auto& [phase, ds] : by_phase) {
+    stats::EmpiricalDistribution d(std::move(ds));
+    char line[120];
+    std::snprintf(line, sizeof line, "  %6d %9zu %11.4f %11.4f %11.4f\n",
+                  phase, d.size(), d.median(), d.quantile(0.95), d.max());
+    out << line;
+  }
+  return 0;
+}
+
+int cmd_compare(const ipm::Trace& trace, const Args& args, std::ostream& out,
+                std::ostream& err) {
+  if (args.positional().size() < 2) {
+    err << "eiotrace: compare needs two trace files\n";
+    return 1;
+  }
+  ipm::Trace other = ipm::Trace::load(args.positional()[1]);
+  analysis::EventFilter base = filter_from(args, err);
+  out << "  op      A-median    B-median     B/A        KS-D     p-value\n";
+  for (posix::OpType op : {posix::OpType::kWrite, posix::OpType::kRead}) {
+    analysis::EventFilter f = base;
+    f.op = op;
+    auto a = analysis::durations(trace, f);
+    auto b = analysis::durations(other, f);
+    if (a.empty() || b.empty()) continue;
+    stats::KsResult ks = stats::ks_two_sample(a, b);
+    stats::EmpiricalDistribution da(std::move(a));
+    stats::EmpiricalDistribution db(std::move(b));
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "  %-6s %9.4f %11.4f %9.3f %11.4f %11.4f\n",
+                  posix::op_name(op), da.median(), db.median(),
+                  da.median() > 0 ? db.median() / da.median() : 0.0,
+                  ks.statistic, ks.p_value);
+    out << line;
+  }
+  return 0;
+}
+
+int cmd_convert(const ipm::Trace& trace, const Args& args, std::ostream& out,
+                std::ostream& err) {
+  if (args.positional().size() < 2) {
+    err << "eiotrace: convert needs an output path\n";
+    return 1;
+  }
+  const std::string& target = args.positional()[1];
+  if (args.has("tsv")) {
+    trace.save(target);
+  } else {
+    trace.save_binary(target);
+  }
+  out << "wrote " << trace.size() << " events to " << target << "\n";
+  return 0;
+}
+
+int cmd_patterns(const ipm::Trace& trace, const Args&, std::ostream& out,
+                 std::ostream&) {
+  auto patterns = analysis::detect_patterns(trace);
+  out << patterns.size() << " streams\n";
+  // Aggregate per (file, op, pattern) so 10k-rank traces stay readable.
+  std::map<std::string, std::size_t> counts;
+  for (const auto& p : patterns) {
+    std::ostringstream key;
+    key << "file " << p.file << " " << posix::op_name(p.op) << " "
+        << analysis::pattern_name(p.pattern)
+        << (p.stripe_aligned ? "" : " unaligned");
+    ++counts[key.str()];
+  }
+  for (const auto& [key, n] : counts) {
+    out << "  " << key << ": " << n << " streams\n";
+  }
+  for (const auto& h : analysis::derive_hints(patterns)) {
+    out << "hint: file " << h.file << " (" << posix::op_name(h.op)
+        << "): " << h.rationale << "\n";
+  }
+  return 0;
+}
+
+using Command = int (*)(const ipm::Trace&, const Args&, std::ostream&,
+                        std::ostream&);
+
+const std::map<std::string, Command>& commands() {
+  static const std::map<std::string, Command> table{
+      {"report", cmd_report},     {"summary", cmd_summary},
+      {"histogram", cmd_histogram}, {"modes", cmd_modes},
+      {"rates", cmd_rates},       {"diagram", cmd_diagram},
+      {"diagnose", cmd_diagnose}, {"patterns", cmd_patterns},
+      {"phases", cmd_phases},     {"compare", cmd_compare},
+      {"convert", cmd_convert},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::string usage_text() {
+  std::ostringstream os;
+  os << "usage: eiotrace <command> <trace.tsv> [flags]\n"
+     << "commands:\n"
+     << "  report     IPM job banner (per-call profile, imbalance)\n"
+     << "  summary    quantile table per op\n"
+     << "  histogram  duration histogram   [--op W] [--log] [--bins N]\n"
+     << "  modes      KDE mode detection   [--op W] [--log] [--bandwidth S]\n"
+     << "  rates      aggregate rate chart [--op W] [--bins N]\n"
+     << "  diagram    per-rank trace raster [--rows N] [--cols N]\n"
+     << "  diagnose   automatic bottleneck findings [--fair-share-mibs X]\n"
+     << "  patterns   access-pattern detection + fs hints\n"
+     << "  phases     per-phase duration table\n"
+     << "  compare    A vs B medians + KS distance (two trace files)\n"
+     << "  convert    rewrite as binary (default) or --tsv\n"
+     << "common filter flags: --op=write|read --phase=P --min-bytes=N "
+        "--max-bytes=N\n";
+  return os.str();
+}
+
+int run_eiotrace(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  if (args.empty() || args[0] == "--help" || args[0] == "help") {
+    out << usage_text();
+    return args.empty() ? 1 : 0;
+  }
+  auto it = commands().find(args[0]);
+  if (it == commands().end()) {
+    err << "eiotrace: unknown command '" << args[0] << "'\n" << usage_text();
+    return 1;
+  }
+  Args parsed(args, 1);
+  if (parsed.positional().empty()) {
+    err << "eiotrace: missing trace file\n" << usage_text();
+    return 1;
+  }
+  try {
+    ipm::Trace trace = ipm::Trace::load(parsed.positional()[0]);
+    return it->second(trace, parsed, out, err);
+  } catch (const std::exception& e) {
+    err << "eiotrace: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace eio::cli

@@ -1,0 +1,42 @@
+// Lightweight invariant checking.
+//
+// EIO_CHECK is always on (simulation correctness depends on these
+// invariants and their cost is negligible next to event processing);
+// EIO_DCHECK compiles out in release builds for hot-path assertions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace eio::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "EIO_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace eio::detail
+
+#define EIO_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) ::eio::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define EIO_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream eio_os_;                                      \
+      eio_os_ << msg;                                                  \
+      ::eio::detail::check_failed(#expr, __FILE__, __LINE__, eio_os_.str()); \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define EIO_DCHECK(expr) ((void)0)
+#else
+#define EIO_DCHECK(expr) EIO_CHECK(expr)
+#endif

@@ -1,0 +1,30 @@
+// Integer identifier types for the simulated machine.
+//
+// These are plain integer aliases rather than wrapper classes: they are
+// used as array indices on hot paths and never mix in practice (ranks
+// index programs, nodes index NICs/caches, OSTs index servers).
+#pragma once
+
+#include <cstdint>
+
+namespace eio {
+
+/// MPI rank (task) index, 0-based.
+using RankId = std::uint32_t;
+
+/// Compute-node index, 0-based.
+using NodeId = std::uint32_t;
+
+/// Object Storage Target index, 0-based.
+using OstId = std::uint32_t;
+
+/// Simulated file identity.
+using FileId = std::uint64_t;
+
+/// POSIX-like file descriptor (negative values signal errors).
+using Fd = std::int32_t;
+
+inline constexpr RankId kInvalidRank = ~RankId{0};
+inline constexpr FileId kInvalidFile = ~FileId{0};
+
+}  // namespace eio

@@ -1,0 +1,45 @@
+// Units and strong-ish aliases used throughout ensembleio.
+//
+// Simulation time is a double count of seconds; data volumes are 64-bit
+// byte counts. Helper literals keep workload definitions readable
+// (`512 * MiB`, `ms(5)`).
+#pragma once
+
+#include <cstdint>
+
+namespace eio {
+
+/// Simulation time in seconds since the start of the run.
+using Seconds = double;
+
+/// Data volume in bytes.
+using Bytes = std::uint64_t;
+
+/// Data rate in bytes per second.
+using Rate = double;
+
+inline constexpr Bytes KiB = 1024;
+inline constexpr Bytes MiB = 1024 * KiB;
+inline constexpr Bytes GiB = 1024 * MiB;
+
+/// Milliseconds expressed as Seconds.
+[[nodiscard]] constexpr Seconds ms(double v) noexcept { return v * 1e-3; }
+/// Microseconds expressed as Seconds.
+[[nodiscard]] constexpr Seconds us(double v) noexcept { return v * 1e-6; }
+
+/// Convert bytes to mebibytes as a double (for reporting).
+[[nodiscard]] constexpr double to_mib(Bytes b) noexcept {
+  return static_cast<double>(b) / static_cast<double>(MiB);
+}
+
+/// Convert bytes to gibibytes as a double (for reporting).
+[[nodiscard]] constexpr double to_gib(Bytes b) noexcept {
+  return static_cast<double>(b) / static_cast<double>(GiB);
+}
+
+/// A rate expressed in MiB/s (for reporting).
+[[nodiscard]] constexpr double to_mib_per_s(Rate r) noexcept {
+  return r / static_cast<double>(MiB);
+}
+
+}  // namespace eio

@@ -1,0 +1,211 @@
+#include "core/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace eio::analysis {
+
+namespace {
+
+constexpr const char kGlyphs[] = "*ox+%@&";
+
+struct Axis {
+  double lo = 0.0;
+  double hi = 1.0;
+  bool log = false;
+
+  [[nodiscard]] double position(double v, std::size_t extent) const {
+    double a = log ? std::log10(std::max(v, 1e-300)) : v;
+    double l = log ? std::log10(std::max(lo, 1e-300)) : lo;
+    double h = log ? std::log10(std::max(hi, 1e-300)) : hi;
+    if (h <= l) h = l + 1.0;
+    double frac = (a - l) / (h - l);
+    return frac * static_cast<double>(extent - 1);
+  }
+};
+
+[[nodiscard]] std::string format_number(double v) {
+  std::ostringstream os;
+  if (v != 0.0 && (std::abs(v) >= 1e5 || std::abs(v) < 1e-3)) {
+    os << std::scientific << std::setprecision(1) << v;
+  } else {
+    os << std::fixed << std::setprecision(std::abs(v) < 10 ? 2 : 1) << v;
+  }
+  return os.str();
+}
+
+void frame(std::ostringstream& os, const std::vector<std::string>& grid,
+           const Axis& x, const Axis& y, const ChartOptions& options) {
+  if (!options.title.empty()) os << options.title << '\n';
+  std::string ytop = format_number(y.hi);
+  std::string ybot = format_number(y.lo);
+  std::size_t label_w = std::max(ytop.size(), ybot.size());
+  for (std::size_t r = 0; r < grid.size(); ++r) {
+    std::string label;
+    if (r == 0) {
+      label = ytop;
+    } else if (r + 1 == grid.size()) {
+      label = ybot;
+    }
+    os << std::setw(static_cast<int>(label_w)) << label << " |" << grid[r]
+       << "|\n";
+  }
+  os << std::string(label_w, ' ') << " +" << std::string(options.width, '-')
+     << "+\n";
+  std::string xlo = format_number(x.lo);
+  std::string xhi = format_number(x.hi);
+  os << std::string(label_w + 2, ' ') << xlo;
+  std::size_t pad = options.width > xlo.size() + xhi.size()
+                        ? options.width - xlo.size() - xhi.size()
+                        : 1;
+  os << std::string(pad, ' ') << xhi;
+  if (!options.x_label.empty()) os << "  [" << options.x_label << ']';
+  os << '\n';
+  if (!options.y_label.empty()) {
+    os << std::string(label_w + 2, ' ') << "y: " << options.y_label << '\n';
+  }
+}
+
+}  // namespace
+
+std::string render_lines(std::span<const Series> series,
+                         const ChartOptions& options) {
+  EIO_CHECK(!series.empty());
+  EIO_CHECK(options.width >= 8 && options.height >= 4);
+  Axis x{std::numeric_limits<double>::infinity(),
+         -std::numeric_limits<double>::infinity(), options.log_x};
+  Axis y{std::numeric_limits<double>::infinity(),
+         -std::numeric_limits<double>::infinity(), options.log_y};
+  bool any = false;
+  for (const Series& s : series) {
+    EIO_CHECK(s.x.size() == s.y.size());
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (options.log_x && s.x[i] <= 0.0) continue;
+      if (options.log_y && s.y[i] <= 0.0) continue;
+      x.lo = std::min(x.lo, s.x[i]);
+      x.hi = std::max(x.hi, s.x[i]);
+      y.lo = std::min(y.lo, s.y[i]);
+      y.hi = std::max(y.hi, s.y[i]);
+      any = true;
+    }
+  }
+  if (!any) return "(no drawable points)\n";
+  if (!options.log_y && y.lo > 0.0) y.lo = 0.0;
+
+  std::vector<std::string> grid(options.height, std::string(options.width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    char glyph = kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    const Series& s = series[si];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (options.log_x && s.x[i] <= 0.0) continue;
+      if (options.log_y && s.y[i] <= 0.0) continue;
+      auto cx = static_cast<std::size_t>(std::clamp(
+          x.position(s.x[i], options.width), 0.0,
+          static_cast<double>(options.width - 1)));
+      auto cy = static_cast<std::size_t>(std::clamp(
+          y.position(s.y[i], options.height), 0.0,
+          static_cast<double>(options.height - 1)));
+      grid[options.height - 1 - cy][cx] = glyph;
+    }
+  }
+
+  std::ostringstream os;
+  frame(os, grid, x, y, options);
+  if (series.size() > 1) {
+    os << "  legend:";
+    for (std::size_t si = 0; si < series.size(); ++si) {
+      os << "  '" << kGlyphs[si % (sizeof(kGlyphs) - 1)] << "'=" << series[si].name;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render_histogram(const stats::Histogram& histogram,
+                             const ChartOptions& options) {
+  EIO_CHECK(options.width >= 8 && options.height >= 4);
+  double max_count = 0.0;
+  for (auto c : histogram.counts()) {
+    max_count = std::max(max_count, static_cast<double>(c));
+  }
+  if (max_count == 0.0) return "(empty histogram)\n";
+
+  Axis y{options.log_y ? 0.8 : 0.0, max_count, options.log_y};
+  std::vector<std::string> grid(options.height, std::string(options.width, ' '));
+  std::size_t bins = histogram.bin_count();
+  for (std::size_t col = 0; col < options.width; ++col) {
+    // Map columns onto bins (several bins may share a column).
+    auto b0 = bins * col / options.width;
+    auto b1 = std::max(bins * (col + 1) / options.width, b0 + 1);
+    double count = 0.0;
+    for (std::size_t b = b0; b < b1 && b < bins; ++b) {
+      count = std::max(count, static_cast<double>(histogram.count(b)));
+    }
+    if (count <= 0.0) continue;
+    auto top = static_cast<std::size_t>(std::clamp(
+        y.position(count, options.height), 0.0,
+        static_cast<double>(options.height - 1)));
+    for (std::size_t r = 0; r <= top; ++r) {
+      grid[options.height - 1 - r][col] = '#';
+    }
+  }
+  Axis x{histogram.lo(), histogram.hi(), histogram.scale() == stats::BinScale::kLog10};
+  std::ostringstream os;
+  frame(os, grid, x, y, options);
+  return os.str();
+}
+
+std::string render_histograms(std::span<const stats::Histogram* const> histograms,
+                              std::span<const std::string> names,
+                              const ChartOptions& options) {
+  EIO_CHECK(!histograms.empty());
+  EIO_CHECK(histograms.size() == names.size());
+  std::vector<Series> series;
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const stats::Histogram& h = *histograms[i];
+    Series s;
+    s.name = names[i];
+    for (std::size_t b = 0; b < h.bin_count(); ++b) {
+      s.x.push_back(h.bin_center(b));
+      s.y.push_back(static_cast<double>(h.count(b)));
+    }
+    series.push_back(std::move(s));
+  }
+  ChartOptions opts = options;
+  opts.log_x = histograms[0]->scale() == stats::BinScale::kLog10;
+  return render_lines(series, opts);
+}
+
+std::string format_rate(double bytes_per_second) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  if (bytes_per_second >= static_cast<double>(GiB)) {
+    os << bytes_per_second / static_cast<double>(GiB) << " GiB/s";
+  } else if (bytes_per_second >= static_cast<double>(MiB)) {
+    os << bytes_per_second / static_cast<double>(MiB) << " MiB/s";
+  } else {
+    os << bytes_per_second / static_cast<double>(KiB) << " KiB/s";
+  }
+  return os.str();
+}
+
+std::string format_seconds(double seconds) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(seconds < 0.1 ? 3 : 1);
+  if (seconds >= 1.0 || seconds == 0.0) {
+    os << seconds << " s";
+  } else if (seconds >= 1e-3) {
+    os << seconds * 1e3 << " ms";
+  } else {
+    os << seconds * 1e6 << " us";
+  }
+  return os.str();
+}
+
+}  // namespace eio::analysis

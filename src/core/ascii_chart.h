@@ -1,0 +1,56 @@
+// Terminal rendering of the paper's chart types.
+//
+// Benches and examples print their figures directly to stdout; these
+// helpers draw line charts (aggregate rates, CDFs) and histogram bar
+// charts (linear or log-log) as fixed-width character grids, plus CSV
+// export for anyone who wants real plots.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/histogram.h"
+
+namespace eio::analysis {
+
+/// Options shared by the chart renderers.
+struct ChartOptions {
+  std::size_t width = 72;   ///< plot columns (excluding axis labels)
+  std::size_t height = 16;  ///< plot rows
+  bool log_x = false;
+  bool log_y = false;
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// One named series of (x, y) points.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Render one or more line series on shared axes. Series beyond the
+/// first use distinct glyphs ('*', 'o', 'x', '+', ...).
+[[nodiscard]] std::string render_lines(std::span<const Series> series,
+                                       const ChartOptions& options);
+
+/// Render a histogram as a vertical bar chart (respecting the
+/// histogram's own bin scale on x; log_y controls the count axis).
+[[nodiscard]] std::string render_histogram(const stats::Histogram& histogram,
+                                           const ChartOptions& options);
+
+/// Render several histograms with shared binning as overlaid outlines.
+[[nodiscard]] std::string render_histograms(
+    std::span<const stats::Histogram* const> histograms,
+    std::span<const std::string> names, const ChartOptions& options);
+
+/// Format a byte rate with units (e.g. "11610.2 MiB/s").
+[[nodiscard]] std::string format_rate(double bytes_per_second);
+
+/// Format seconds compactly ("34.2 s", "12.5 ms").
+[[nodiscard]] std::string format_seconds(double seconds);
+
+}  // namespace eio::analysis

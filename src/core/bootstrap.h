@@ -1,0 +1,53 @@
+// Bootstrap confidence intervals for ensemble statistics.
+//
+// Supports the reproducibility analysis: when we claim a moment or a
+// mode location is stable, the bootstrap interval says how stable the
+// estimate itself is given the sample size.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/distribution.h"
+
+namespace eio::stats {
+
+/// A two-sided percentile interval.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double point = 0.0;  ///< statistic on the original sample
+  [[nodiscard]] bool contains(double v) const noexcept { return v >= lo && v <= hi; }
+  [[nodiscard]] double width() const noexcept { return hi - lo; }
+};
+
+/// Percentile bootstrap of an arbitrary statistic.
+///
+/// `statistic` is evaluated on resampled copies of `samples`;
+/// `confidence` is the two-sided level (e.g. 0.95).
+[[nodiscard]] inline Interval bootstrap_interval(
+    std::span<const double> samples,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t resamples = 1000, double confidence = 0.95,
+    std::uint64_t seed = 0xB007) {
+  EIO_CHECK(!samples.empty());
+  EIO_CHECK(resamples >= 10);
+  EIO_CHECK(confidence > 0.0 && confidence < 1.0);
+  rng::Stream stream(seed);
+  std::vector<double> scratch(samples.size());
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (double& v : scratch) v = samples[stream.index(samples.size())];
+    stats.push_back(statistic(scratch));
+  }
+  EmpiricalDistribution dist(std::move(stats));
+  double alpha = (1.0 - confidence) / 2.0;
+  return {dist.quantile(alpha), dist.quantile(1.0 - alpha), statistic(samples)};
+}
+
+}  // namespace eio::stats

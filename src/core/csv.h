@@ -1,0 +1,59 @@
+// Minimal CSV export for figure data.
+//
+// Every bench prints its figures as ASCII and can also emit the raw
+// series as CSV so the paper's plots can be regenerated with any
+// plotting tool.
+#pragma once
+
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace eio::analysis {
+
+/// A set of equally-long named columns written as RFC-4180-ish CSV.
+class CsvWriter {
+ public:
+  /// Add a column; all columns must end up the same length.
+  CsvWriter& column(std::string name, std::vector<double> values) {
+    names_.push_back(std::move(name));
+    columns_.push_back(std::move(values));
+    return *this;
+  }
+
+  /// Serialize to a stream.
+  void write(std::ostream& out) const {
+    EIO_CHECK(!columns_.empty());
+    std::size_t rows = columns_[0].size();
+    for (const auto& c : columns_) {
+      EIO_CHECK_MSG(c.size() == rows, "ragged CSV columns");
+    }
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      out << (i ? "," : "") << names_[i];
+    }
+    out << '\n';
+    out.precision(10);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < columns_.size(); ++c) {
+        out << (c ? "," : "") << columns_[c][r];
+      }
+      out << '\n';
+    }
+  }
+
+  /// Serialize to a file path.
+  void save(const std::string& path) const {
+    std::ofstream out(path);
+    EIO_CHECK_MSG(out.good(), "cannot open " << path);
+    write(out);
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> columns_;
+};
+
+}  // namespace eio::analysis

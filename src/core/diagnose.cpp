@@ -1,0 +1,240 @@
+#include "core/diagnose.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "core/distribution.h"
+#include "core/modes.h"
+#include "core/samples.h"
+
+namespace eio::analysis {
+
+namespace {
+
+using posix::OpType;
+
+void detect_harmonics(const ipm::Trace& trace, const DiagnoserOptions& opt,
+                      std::vector<Finding>& findings) {
+  // Harmonic modes show up in the durations of equal-size writes.
+  auto writes = durations(trace, {.op = OpType::kWrite,
+                                  .min_bytes = opt.stripe_size});
+  if (writes.size() < opt.min_events) return;
+  auto modes = stats::find_modes(writes, {.log_axis = false});
+  if (modes.size() < 2) return;
+  auto matched = stats::harmonic_signature(modes, opt.harmonic_tolerance);
+  bool has_half = std::find(matched.begin(), matched.end(), 2) != matched.end();
+  bool has_quarter = std::find(matched.begin(), matched.end(), 4) != matched.end();
+  if (!has_half && !has_quarter) return;
+  Finding f;
+  f.code = FindingCode::kHarmonicModes;
+  f.severity = has_half && has_quarter ? 0.9 : 0.6;
+  f.metric = static_cast<double>(modes.size());
+  std::ostringstream os;
+  os << "write-time modes at harmonic positions (";
+  for (std::size_t i = 0; i < matched.size(); ++i) {
+    os << (i ? ", " : "") << "T/" << matched[i];
+  }
+  os << " of the slow mode): tasks on a node are taking turns at the "
+        "client's I/O streams — intra-node serialization, not random noise";
+  f.message = os.str();
+  findings.push_back(std::move(f));
+}
+
+void detect_read_deterioration(const ipm::Trace& trace,
+                               const DiagnoserOptions& opt,
+                               std::vector<Finding>& findings) {
+  auto by_phase = durations_by_phase(trace, {.op = OpType::kRead,
+                                             .min_bytes = opt.stripe_size});
+  // Keep phases with enough reads to trust a median.
+  std::vector<std::pair<std::int32_t, double>> medians;
+  for (auto& [phase, ds] : by_phase) {
+    if (ds.size() < 8) continue;
+    medians.emplace_back(phase, stats::EmpiricalDistribution(std::move(ds)).median());
+  }
+  if (medians.size() < 3) return;
+  std::sort(medians.begin(), medians.end());
+  // Find the longest run of consecutively-worsening phases and the
+  // median growth across it. (The run matters, not the global first
+  // vs last phase: a pathology confined to phases 4-8 must not be
+  // masked by clean later phases.)
+  std::size_t run = 1, best_run = 1;
+  std::size_t run_start = 0;
+  double worst_ratio = 1.0;
+  for (std::size_t i = 1; i < medians.size(); ++i) {
+    if (medians[i].second > medians[i - 1].second * 1.1) {
+      if (run == 1) run_start = i - 1;
+      ++run;
+      if (run >= best_run && medians[run_start].second > 0.0) {
+        best_run = run;
+        worst_ratio = std::max(worst_ratio,
+                               medians[i].second / medians[run_start].second);
+      }
+    } else {
+      run = 1;
+    }
+  }
+  if (best_run < 3 || worst_ratio < 2.0) return;
+  Finding f;
+  f.code = FindingCode::kReadDeterioration;
+  f.severity = std::min(1.0, 0.4 + 0.1 * static_cast<double>(best_run) +
+                                 0.05 * std::log2(worst_ratio));
+  f.metric = worst_ratio;
+  std::ostringstream os;
+  os << "read performance deteriorates monotonically across " << best_run
+     << " consecutive phases (last/first median = " << worst_ratio
+     << "x): a stateful middleware mechanism (e.g. strided read-ahead "
+        "detection) is compounding — inspect file-system client behaviour";
+  f.message = os.str();
+  findings.push_back(std::move(f));
+}
+
+void detect_heavy_read_tail(const ipm::Trace& trace, const DiagnoserOptions& opt,
+                            std::vector<Finding>& findings) {
+  auto reads = durations(trace, {.op = OpType::kRead,
+                                 .min_bytes = opt.stripe_size});
+  if (reads.size() < opt.min_events) return;
+  stats::EmpiricalDistribution dist(std::move(reads));
+  double median = dist.median();
+  double p99 = dist.quantile(0.99);
+  if (median <= 0.0 || p99 / median < opt.tail_ratio) return;
+  Finding f;
+  f.code = FindingCode::kHeavyReadTail;
+  f.severity = std::min(1.0, 0.3 + 0.1 * std::log2(p99 / median));
+  f.metric = p99 / median;
+  std::ostringstream os;
+  os << "read-time distribution has a heavy right tail (p99/median = "
+     << p99 / median << "x, p99 = " << p99
+     << " s): a few catastrophic reads dominate synchronous phases";
+  f.message = os.str();
+  findings.push_back(std::move(f));
+}
+
+void detect_metadata_serialization(const ipm::Trace& trace,
+                                   const DiagnoserOptions& opt,
+                                   std::vector<Finding>& findings) {
+  // Small data calls, grouped by rank.
+  EventFilter small{.min_bytes = 1, .max_bytes = opt.stripe_size / 16};
+  std::map<RankId, double> time_by_rank;
+  std::size_t count = 0;
+  for (const auto& e : trace.events()) {
+    if (!small.matches(e)) continue;
+    time_by_rank[e.rank] += e.duration;
+    ++count;
+  }
+  if (count < opt.min_events || time_by_rank.empty()) return;
+  auto hottest = std::max_element(
+      time_by_rank.begin(), time_by_rank.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  double span = trace.span();
+  if (span <= 0.0) return;
+  double share = hottest->second / span;
+  if (share < opt.metadata_share) return;
+  Finding f;
+  f.code = FindingCode::kMetadataSerialization;
+  f.severity = std::min(1.0, share);
+  f.metric = share;
+  std::ostringstream os;
+  os << "rank " << hottest->first << " spends " << static_cast<int>(share * 100)
+     << "% of the run in serialized small (<"
+     << opt.stripe_size / 16 / 1024
+     << " KiB) transfers: aggregate metadata into large deferred writes";
+  f.message = os.str();
+  findings.push_back(std::move(f));
+}
+
+void detect_sub_fair_share(const ipm::Trace& trace, const DiagnoserOptions& opt,
+                           std::vector<Finding>& findings) {
+  if (opt.fair_share_rate <= 0.0) return;
+  EventFilter bulk{.op = OpType::kWrite, .min_bytes = opt.stripe_size / 4};
+  auto events = select(trace, bulk);
+  if (events.size() < opt.min_events) return;
+  std::size_t below = 0, unaligned = 0;
+  for (const auto& e : events) {
+    double rate = e.duration > 0.0 ? static_cast<double>(e.bytes) / e.duration : 0.0;
+    if (rate < 0.6 * opt.fair_share_rate) ++below;
+    if (e.offset % opt.stripe_size != 0 ||
+        (e.offset + e.bytes) % opt.stripe_size != 0) {
+      ++unaligned;
+    }
+  }
+  double below_frac = static_cast<double>(below) / static_cast<double>(events.size());
+  double unaligned_frac =
+      static_cast<double>(unaligned) / static_cast<double>(events.size());
+  if (below_frac < 0.4 || unaligned_frac < 0.5) return;
+  Finding f;
+  f.code = FindingCode::kSubFairShare;
+  f.severity = std::min(1.0, below_frac * unaligned_frac + 0.2);
+  f.metric = below_frac;
+  std::ostringstream os;
+  os << static_cast<int>(below_frac * 100)
+     << "% of bulk writes run below 60% of the per-task fair share while "
+     << static_cast<int>(unaligned_frac * 100)
+     << "% of them are not stripe-aligned: pad and align transfers to "
+     << opt.stripe_size / (1024 * 1024) << " MiB boundaries";
+  f.message = os.str();
+  findings.push_back(std::move(f));
+}
+
+void detect_splitting_opportunity(const ipm::Trace& trace,
+                                  const DiagnoserOptions& opt,
+                                  std::vector<Finding>& findings) {
+  // One (or very few) large write per rank per phase leaves the phase
+  // time pinned to the Nth order statistic of a wide distribution.
+  auto by_rank = durations_by_rank(trace, {.op = OpType::kWrite,
+                                           .min_bytes = 64 * opt.stripe_size});
+  if (by_rank.size() < opt.min_events) return;
+  double avg_calls = 0.0;
+  std::vector<double> all;
+  for (const auto& [rank, ds] : by_rank) {
+    avg_calls += static_cast<double>(ds.size());
+    all.insert(all.end(), ds.begin(), ds.end());
+  }
+  avg_calls /= static_cast<double>(by_rank.size());
+  if (avg_calls > 4.0) return;  // already splitting
+  stats::Moments m = stats::compute_moments(all);
+  if (m.cv() < 0.25) return;  // narrow already; nothing to gain
+  Finding f;
+  f.code = FindingCode::kSplittingOpportunity;
+  f.severity = std::min(1.0, 0.3 + m.cv() / 2.0);
+  f.metric = m.cv();
+  std::ostringstream os;
+  os << "tasks issue ~" << avg_calls
+     << " very large write(s) each with a wide duration spread (cv = "
+     << m.cv()
+     << "): splitting each transfer into k calls (or collective "
+        "buffering) narrows per-task totals by the law of large numbers";
+  f.message = os.str();
+  findings.push_back(std::move(f));
+}
+
+}  // namespace
+
+const char* finding_name(FindingCode code) noexcept {
+  switch (code) {
+    case FindingCode::kHarmonicModes: return "harmonic-modes";
+    case FindingCode::kReadDeterioration: return "read-deterioration";
+    case FindingCode::kHeavyReadTail: return "heavy-read-tail";
+    case FindingCode::kMetadataSerialization: return "metadata-serialization";
+    case FindingCode::kSubFairShare: return "sub-fair-share";
+    case FindingCode::kSplittingOpportunity: return "splitting-opportunity";
+  }
+  return "?";
+}
+
+std::vector<Finding> diagnose(const ipm::Trace& trace,
+                              const DiagnoserOptions& options) {
+  std::vector<Finding> findings;
+  detect_harmonics(trace, options, findings);
+  detect_read_deterioration(trace, options, findings);
+  detect_heavy_read_tail(trace, options, findings);
+  detect_metadata_serialization(trace, options, findings);
+  detect_sub_fair_share(trace, options, findings);
+  detect_splitting_opportunity(trace, options, findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) { return a.severity > b.severity; });
+  return findings;
+}
+
+}  // namespace eio::analysis

@@ -1,0 +1,71 @@
+// Automatic bottleneck diagnosis from ensemble statistics.
+//
+// The paper closes by proposing that IPM-I/O "will be expanded to
+// detect an application's I/O patterns". This module implements that
+// extension: each detector encodes one of the paper's diagnostic
+// arguments as a rule over the trace's ensemble statistics, and
+// returns a structured finding when it fires.
+//
+//  * kHarmonicModes      — Figure 1c: completion-time modes at T, T/2,
+//                          T/4 ⇒ intra-node stream serialization;
+//  * kReadDeterioration  — Figure 5a: per-phase read times strictly
+//                          worsening across phases ⇒ middleware
+//                          (read-ahead) pathology;
+//  * kHeavyReadTail      — Figure 4c: a read tail orders of magnitude
+//                          past the median mode;
+//  * kMetadataSerialization — Figure 6g: small ops concentrated on one
+//                          rank occupying a large share of run time
+//                          ⇒ aggregate/defer metadata;
+//  * kSubFairShare       — Figure 6c/f: per-task rate mass far below
+//                          fair share with unaligned offsets present
+//                          ⇒ align transfers to the stripe size;
+//  * kSplittingOpportunity — Figure 2: one large transfer per barrier
+//                          phase ⇒ split calls / collective buffering
+//                          (LLN narrowing).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "ipm/trace.h"
+
+namespace eio::analysis {
+
+/// Detector identities.
+enum class FindingCode : std::uint8_t {
+  kHarmonicModes,
+  kReadDeterioration,
+  kHeavyReadTail,
+  kMetadataSerialization,
+  kSubFairShare,
+  kSplittingOpportunity,
+};
+
+[[nodiscard]] const char* finding_name(FindingCode code) noexcept;
+
+/// One diagnostic result.
+struct Finding {
+  FindingCode code{};
+  double severity = 0.0;  ///< 0..1, how strongly the rule fired
+  std::string message;    ///< human-readable diagnosis + suggested fix
+  double metric = 0.0;    ///< detector-specific headline number
+};
+
+/// Tunables for the detectors.
+struct DiagnoserOptions {
+  Rate fair_share_rate = 0.0;  ///< per-task fair-share bytes/s (0 = skip
+                               ///< the sub-fair-share detector)
+  Bytes stripe_size = 1 * MiB;
+  double harmonic_tolerance = 0.25;
+  double tail_ratio = 8.0;        ///< p99/median beyond this = heavy tail
+  double metadata_share = 0.25;   ///< rank-0 small-op time share threshold
+  std::size_t min_events = 32;    ///< below this, detectors stay silent
+};
+
+/// Run every detector over the trace; findings sorted by severity.
+[[nodiscard]] std::vector<Finding> diagnose(const ipm::Trace& trace,
+                                            const DiagnoserOptions& options = {});
+
+}  // namespace eio::analysis

@@ -1,0 +1,87 @@
+#include "core/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eio::stats {
+
+Moments compute_moments(std::span<const double> samples) {
+  Moments m;
+  m.count = samples.size();
+  if (samples.empty()) return m;
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  auto n = static_cast<double>(samples.size());
+  m.mean = sum / n;
+
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (double s : samples) {
+    double d = s - m.mean;
+    double d2 = d * d;
+    m2 += d2;
+    m3 += d2 * d;
+    m4 += d2 * d2;
+  }
+  if (samples.size() >= 2) {
+    m.variance = m2 / (n - 1.0);
+    m.stddev = std::sqrt(m.variance);
+  }
+  double pop_var = m2 / n;
+  if (pop_var > 0.0 && samples.size() >= 3) {
+    double sd = std::sqrt(pop_var);
+    m.skewness = (m3 / n) / (sd * sd * sd);
+    m.kurtosis_excess = (m4 / n) / (pop_var * pop_var) - 3.0;
+  }
+  return m;
+}
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+  moments_ = compute_moments(sorted_);
+}
+
+double EmpiricalDistribution::min() const {
+  EIO_CHECK(!sorted_.empty());
+  return sorted_.front();
+}
+
+double EmpiricalDistribution::max() const {
+  EIO_CHECK(!sorted_.empty());
+  return sorted_.back();
+}
+
+double EmpiricalDistribution::quantile(double q) const {
+  EIO_CHECK(!sorted_.empty());
+  EIO_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile out of range: " << q);
+  if (sorted_.size() == 1) return sorted_[0];
+  double pos = q * static_cast<double>(sorted_.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+  if (sorted_.empty()) return 0.0;
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDistribution::expected_max_of(std::size_t n) const {
+  EIO_CHECK(!sorted_.empty());
+  EIO_CHECK(n >= 1);
+  double expectation = 0.0;
+  double prev_pow = 0.0;
+  auto total = static_cast<double>(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    double cdf_here = static_cast<double>(i + 1) / total;
+    double pow_here = std::pow(cdf_here, static_cast<double>(n));
+    expectation += sorted_[i] * (pow_here - prev_pow);
+    prev_pow = pow_here;
+  }
+  return expectation;
+}
+
+}  // namespace eio::stats

@@ -1,0 +1,117 @@
+#include "core/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eio::stats {
+
+Histogram::Histogram(BinScale scale, double lo, double hi, std::size_t bins)
+    : scale_(scale), lo_(lo), hi_(hi), counts_(bins, 0) {
+  EIO_CHECK_MSG(bins >= 1, "histogram needs at least one bin");
+  EIO_CHECK_MSG(hi > lo, "empty histogram range");
+  if (scale_ == BinScale::kLog10) {
+    EIO_CHECK_MSG(lo > 0.0, "log-scale histogram needs positive lower bound");
+    tlo_ = std::log10(lo_);
+    thi_ = std::log10(hi_);
+  } else {
+    tlo_ = lo_;
+    thi_ = hi_;
+  }
+}
+
+Histogram Histogram::from_samples(std::span<const double> samples, BinScale scale,
+                                  std::size_t bins) {
+  EIO_CHECK_MSG(!samples.empty(), "cannot infer range from no samples");
+  double lo = samples[0], hi = samples[0];
+  for (double s : samples) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  if (scale == BinScale::kLog10) {
+    lo = std::max(lo, 1e-12);
+    hi = std::max(hi, lo * 1.0001);
+    lo /= 1.05;
+    hi *= 1.05;
+  } else {
+    double pad = std::max((hi - lo) * 0.01, 1e-12);
+    lo -= pad;
+    hi += pad;
+  }
+  Histogram h(scale, lo, hi, bins);
+  h.add_all(samples);
+  return h;
+}
+
+double Histogram::transform(double v) const {
+  return scale_ == BinScale::kLog10 ? std::log10(std::max(v, 1e-300)) : v;
+}
+
+std::size_t Histogram::bin_index(double value) const {
+  double t = transform(value);
+  double frac = (t - tlo_) / (thi_ - tlo_);
+  auto bin = static_cast<std::ptrdiff_t>(frac * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  return static_cast<std::size_t>(bin);
+}
+
+void Histogram::add(double value, std::uint64_t weight) {
+  if (value < lo_) {
+    underflow_ += weight;
+  } else if (value >= hi_) {
+    overflow_ += weight;
+  }
+  counts_[bin_index(value)] += weight;
+  total_ += weight;
+}
+
+void Histogram::add_all(std::span<const double> samples) {
+  for (double s : samples) add(s);
+}
+
+double Histogram::bin_lower(std::size_t bin) const {
+  EIO_CHECK(bin < counts_.size());
+  double t = tlo_ + (thi_ - tlo_) * static_cast<double>(bin) /
+                        static_cast<double>(counts_.size());
+  return scale_ == BinScale::kLog10 ? std::pow(10.0, t) : t;
+}
+
+double Histogram::bin_upper(std::size_t bin) const {
+  EIO_CHECK(bin < counts_.size());
+  double t = tlo_ + (thi_ - tlo_) * static_cast<double>(bin + 1) /
+                        static_cast<double>(counts_.size());
+  return scale_ == BinScale::kLog10 ? std::pow(10.0, t) : t;
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  if (scale_ == BinScale::kLog10) {
+    return std::sqrt(bin_lower(bin) * bin_upper(bin));
+  }
+  return 0.5 * (bin_lower(bin) + bin_upper(bin));
+}
+
+double Histogram::bin_width(std::size_t bin) const {
+  return bin_upper(bin) - bin_lower(bin);
+}
+
+std::vector<double> Histogram::density() const {
+  std::vector<double> d(counts_.size(), 0.0);
+  if (total_ == 0) return d;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    d[i] = static_cast<double>(counts_[i]) /
+           (static_cast<double>(total_) * bin_width(i));
+  }
+  return d;
+}
+
+void Histogram::merge(const Histogram& other) {
+  EIO_CHECK_MSG(other.scale_ == scale_ && other.counts_.size() == counts_.size() &&
+                    other.lo_ == lo_ && other.hi_ == hi_,
+                "histogram binning mismatch in merge");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
+}  // namespace eio::stats

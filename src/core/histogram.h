@@ -1,0 +1,88 @@
+// Histograms over I/O event measurements.
+//
+// The paper's central artifact is the histogram of per-event I/O times
+// (Figures 1c, 2, 4c/f, 5b, 6c/f/i/l), drawn with either linear bins
+// (IOR) or log-spaced bins rendered log-log (MADbench, GCRM). Both
+// binnings share this class; a normalized view provides the empirical
+// probability density used for the order-statistics analysis.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace eio::stats {
+
+/// Binning scheme.
+enum class BinScale : std::uint8_t { kLinear, kLog10 };
+
+/// A fixed-bin histogram of double-valued samples.
+class Histogram {
+ public:
+  /// Construct with explicit range [lo, hi) and bin count. For
+  /// kLog10, lo must be > 0.
+  Histogram(BinScale scale, double lo, double hi, std::size_t bins);
+
+  /// Convenience: build from samples with an automatic range (padded
+  /// slightly so extrema fall inside).
+  [[nodiscard]] static Histogram from_samples(std::span<const double> samples,
+                                              BinScale scale, std::size_t bins);
+
+  /// Add one sample (out-of-range samples clamp to the edge bins and
+  /// are counted in underflow()/overflow()).
+  void add(double value, std::uint64_t weight = 1);
+
+  /// Add many samples.
+  void add_all(std::span<const double> samples);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const {
+    EIO_CHECK(bin < counts_.size());
+    return counts_[bin];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] BinScale scale() const noexcept { return scale_; }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+
+  /// Lower edge of a bin in sample units.
+  [[nodiscard]] double bin_lower(std::size_t bin) const;
+  /// Upper edge of a bin in sample units.
+  [[nodiscard]] double bin_upper(std::size_t bin) const;
+  /// Representative center (arithmetic for linear, geometric for log).
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  /// Width of a bin in sample units.
+  [[nodiscard]] double bin_width(std::size_t bin) const;
+
+  /// Bin index a value falls into (clamped to [0, bins-1]).
+  [[nodiscard]] std::size_t bin_index(double value) const;
+
+  /// Normalized density: count / (total * bin_width) — integrates to ~1.
+  [[nodiscard]] std::vector<double> density() const;
+
+  /// Counts as a vector (for rendering/CSV).
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+  /// Merge a histogram with identical binning.
+  void merge(const Histogram& other);
+
+ private:
+  /// Transform a value into bin coordinate space.
+  [[nodiscard]] double transform(double v) const;
+
+  BinScale scale_;
+  double lo_, hi_;          // in sample units
+  double tlo_, thi_;        // in transformed space
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace eio::stats

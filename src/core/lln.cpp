@@ -1,0 +1,60 @@
+#include "core/lln.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace eio::stats {
+
+std::vector<double> sum_groups(std::span<const double> per_call, std::size_t k) {
+  EIO_CHECK(k >= 1);
+  EIO_CHECK_MSG(per_call.size() % k == 0,
+                "sample count " << per_call.size() << " not divisible by k=" << k);
+  std::vector<double> totals;
+  totals.reserve(per_call.size() / k);
+  for (std::size_t i = 0; i < per_call.size(); i += k) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < k; ++j) sum += per_call[i + j];
+    totals.push_back(sum);
+  }
+  return totals;
+}
+
+SplittingMetrics analyze_splitting(std::span<const double> totals, std::size_t k,
+                                   std::size_t n_tasks, double total_bytes) {
+  EIO_CHECK(!totals.empty());
+  SplittingMetrics m;
+  m.k = k;
+  EmpiricalDistribution dist(std::vector<double>(totals.begin(), totals.end()));
+  m.moments = dist.moments();
+  m.expected_worst = dist.expected_max_of(n_tasks);
+  m.reported_rate = m.expected_worst > 0.0 ? total_bytes / m.expected_worst : 0.0;
+  return m;
+}
+
+std::vector<SplittingMetrics> predict_splitting(
+    const EmpiricalDistribution& base_single_call, std::span<const std::size_t> ks,
+    std::size_t n_tasks, double total_bytes, std::size_t trials,
+    std::uint64_t seed) {
+  EIO_CHECK(!base_single_call.empty());
+  rng::Stream stream(seed);
+  const auto& samples = base_single_call.sorted();
+  std::vector<SplittingMetrics> out;
+  out.reserve(ks.size());
+  for (std::size_t k : ks) {
+    EIO_CHECK(k >= 1);
+    std::vector<double> totals;
+    totals.reserve(trials);
+    for (std::size_t t = 0; t < trials; ++t) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        // A 1/k-sized transfer takes ~1/k of a full-call draw.
+        sum += samples[stream.index(samples.size())] / static_cast<double>(k);
+      }
+      totals.push_back(sum);
+    }
+    out.push_back(analyze_splitting(totals, k, n_tasks, total_bytes));
+  }
+  return out;
+}
+
+}  // namespace eio::stats

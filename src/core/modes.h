@@ -1,0 +1,57 @@
+// Mode (peak) detection in event-time distributions.
+//
+// "Observe that each histogram has three prominent peaks corresponding
+// to three distinct modes of behavior" — identifying those peaks, and
+// relating them to the fair-share rate R, is how the paper turns a
+// histogram into a diagnosis (e.g. the R, R/2, R/4 harmonics of
+// intra-node serialization in Figure 1c). Here we estimate a density
+// with a Gaussian KDE (optionally on a log axis for heavy-tailed data)
+// and extract local maxima with a prominence filter.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace eio::stats {
+
+/// One detected mode of a distribution.
+struct Mode {
+  double location = 0.0;    ///< sample-space position of the peak
+  double density = 0.0;     ///< KDE density at the peak
+  double prominence = 0.0;  ///< height above the higher flanking saddle
+  double mass = 0.0;        ///< fraction of samples nearest this mode
+};
+
+/// Parameters for mode finding.
+struct ModeFinderOptions {
+  bool log_axis = false;        ///< run the KDE in log10 space
+  std::size_t grid_points = 256;
+  double bandwidth_scale = 1.0;  ///< multiplier on Silverman's rule
+  double min_prominence = 0.05;  ///< relative to the tallest peak
+  double min_mass = 0.02;        ///< discard modes owning < this mass
+};
+
+/// Gaussian KDE evaluated on a uniform grid.
+struct KdeResult {
+  std::vector<double> grid;     ///< sample-space positions
+  std::vector<double> density;  ///< estimated density at each position
+  double bandwidth = 0.0;       ///< bandwidth used (transformed space)
+};
+
+/// Estimate the density of `samples` (Silverman bandwidth × scale).
+[[nodiscard]] KdeResult kernel_density(std::span<const double> samples,
+                                       const ModeFinderOptions& options = {});
+
+/// Detect modes of `samples`, strongest (by density) first.
+[[nodiscard]] std::vector<Mode> find_modes(std::span<const double> samples,
+                                           const ModeFinderOptions& options = {});
+
+/// Check whether mode locations look like service-rate harmonics: i.e.
+/// there exist detected modes near T, T/2 and/or T/4 for the slowest
+/// prominent mode T (within `tolerance` relative error). Returns the
+/// harmonic indices matched (1 = T, 2 = T/2, 4 = T/4, ...).
+[[nodiscard]] std::vector<int> harmonic_signature(const std::vector<Mode>& modes,
+                                                  double tolerance = 0.25);
+
+}  // namespace eio::stats

@@ -1,0 +1,79 @@
+#include "core/normality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace eio::stats {
+
+double normal_quantile(double p) {
+  EIO_CHECK_MSG(p > 0.0 && p < 1.0, "normal quantile needs p in (0,1)");
+  // Acklam's algorithm.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+
+  if (p < p_low) {
+    double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - p_low) {
+    double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  double q = p - 0.5;
+  double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double normal_ppcc(std::span<const double> samples) {
+  EIO_CHECK_MSG(samples.size() >= 3, "PPCC needs at least 3 samples");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = sorted.size();
+  const auto nd = static_cast<double>(n);
+
+  // Filliben's median plotting positions.
+  std::vector<double> m(n);
+  m[0] = 1.0 - std::pow(0.5, 1.0 / nd);
+  m[n - 1] = std::pow(0.5, 1.0 / nd);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    m[i] = (static_cast<double>(i + 1) - 0.3175) / (nd + 0.365);
+  }
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = normal_quantile(m[i]);
+
+  // Pearson correlation of (sorted sample, normal order medians).
+  double sx = 0, sz = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += sorted[i];
+    sz += z[i];
+  }
+  double mx = sx / nd, mz = sz / nd;
+  double sxz = 0, sxx = 0, szz = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double dx = sorted[i] - mx;
+    double dz = z[i] - mz;
+    sxz += dx * dz;
+    sxx += dx * dx;
+    szz += dz * dz;
+  }
+  EIO_CHECK_MSG(sxx > 0.0, "PPCC undefined for a constant sample");
+  return sxz / std::sqrt(sxx * szz);
+}
+
+}  // namespace eio::stats

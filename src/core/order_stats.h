@@ -1,0 +1,50 @@
+// Order statistics of I/O event ensembles.
+//
+// Equation (1) of the paper: the distribution of the largest of N
+// observations is f_N(t) = N F(t)^{N-1} f(t). In a synchronous phase
+// the job waits for the slowest task, so f_N — not f — governs run
+// time, and "as N increases, F(t)^{N-1} quickly converges to a step
+// function picking out a point in the right-hand tail". These helpers
+// evaluate f_N/F_N against analytic or empirical base distributions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/distribution.h"
+
+namespace eio::stats {
+
+/// Probability density of the maximum of n iid draws, given the base
+/// pdf f and cdf F: f_N(t) = N * F(t)^(N-1) * f(t).
+[[nodiscard]] double max_order_pdf(double t, std::size_t n,
+                                   const std::function<double(double)>& pdf,
+                                   const std::function<double(double)>& cdf);
+
+/// CDF of the maximum of n iid draws: F_N(t) = F(t)^N.
+[[nodiscard]] double max_order_cdf(double t, std::size_t n,
+                                   const std::function<double(double)>& cdf);
+
+/// Quantile of the maximum: F_N^{-1}(q) = F^{-1}(q^{1/N}) applied to an
+/// empirical base distribution.
+[[nodiscard]] double max_order_quantile(const EmpiricalDistribution& base,
+                                        std::size_t n, double q);
+
+/// Evaluate f_N on a grid against an empirical base distribution
+/// (density from a histogram-difference estimate of F).
+struct MaxOrderCurve {
+  std::vector<double> t;
+  std::vector<double> density;
+};
+[[nodiscard]] MaxOrderCurve max_order_curve(const EmpiricalDistribution& base,
+                                            std::size_t n,
+                                            std::size_t grid_points = 256);
+
+/// Monte-Carlo estimate of E[max of n draws] by resampling the
+/// empirical distribution (used to cross-check the plug-in estimator).
+[[nodiscard]] double expected_max_monte_carlo(const EmpiricalDistribution& base,
+                                              std::size_t n, std::size_t trials,
+                                              std::uint64_t seed);
+
+}  // namespace eio::stats

@@ -1,0 +1,74 @@
+// Application I/O access-pattern detection from traces.
+//
+// The paper's closing direction: "the IPM-I/O framework will be
+// expanded to detect an application's I/O patterns; thus providing key
+// information to the underlying file system that can be leveraged for
+// improving I/O behavior."  This module classifies each (rank, file,
+// direction) access stream from the trace into sequential / strided /
+// random, recovers the dominant stride, and emits file-system hints
+// (prefetch distance, alignment advice) that a smarter middleware
+// could apply.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "ipm/trace.h"
+
+namespace eio::analysis {
+
+/// Classification of one access stream.
+enum class AccessPattern : std::uint8_t {
+  kSequential,  ///< each access starts where the previous ended
+  kStrided,     ///< constant positive gap between access starts
+  kRandom,      ///< no dominant stride
+};
+
+[[nodiscard]] const char* pattern_name(AccessPattern pattern) noexcept;
+
+/// One detected stream.
+struct StreamPattern {
+  RankId rank = 0;
+  FileId file = kInvalidFile;
+  posix::OpType op = posix::OpType::kRead;  ///< kRead or kWrite
+  AccessPattern pattern = AccessPattern::kRandom;
+  std::size_t accesses = 0;
+  Bytes typical_size = 0;       ///< median access size
+  std::int64_t stride = 0;      ///< dominant start-to-start stride
+  double confidence = 0.0;      ///< fraction of gaps matching the stride
+  bool stripe_aligned = true;   ///< all accesses stripe-aligned?
+};
+
+/// Hints a pattern-aware file system could consume.
+struct FsHint {
+  FileId file = kInvalidFile;
+  posix::OpType op = posix::OpType::kRead;
+  /// Suggested read-ahead distance (bytes beyond the current access)
+  /// for sequential/strided read streams; 0 = disable read-ahead.
+  Bytes prefetch_bytes = 0;
+  /// True when transfers should be padded/aligned to the stripe size.
+  bool advise_alignment = false;
+  std::string rationale;
+};
+
+/// Detection tunables.
+struct PatternOptions {
+  std::size_t min_accesses = 4;      ///< streams shorter than this are skipped
+  double stride_confidence = 0.6;    ///< gap agreement needed for kStrided
+  Bytes stripe_size = 1 * MiB;
+};
+
+/// Classify every (rank, file, op) stream with enough accesses.
+[[nodiscard]] std::vector<StreamPattern> detect_patterns(
+    const ipm::Trace& trace, const PatternOptions& options = {});
+
+/// Derive per-(file, op) hints from detected streams: prefetch sizing
+/// for coherent read streams, alignment advice for unaligned writes,
+/// and read-ahead disabling for random reads.
+[[nodiscard]] std::vector<FsHint> derive_hints(
+    const std::vector<StreamPattern>& patterns, const PatternOptions& options = {});
+
+}  // namespace eio::analysis

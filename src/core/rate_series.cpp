@@ -1,0 +1,75 @@
+#include "core/rate_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eio::analysis {
+
+double TimeSeries::max_value() const {
+  double m = 0.0;
+  for (double v : values) m = std::max(m, v);
+  return m;
+}
+
+double TimeSeries::integral() const {
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc * dt;
+}
+
+TimeSeries aggregate_rate(const ipm::Trace& trace, const EventFilter& filter,
+                          std::size_t bins) {
+  EIO_CHECK(bins >= 1);
+  TimeSeries series;
+  double span = trace.span();
+  if (span <= 0.0) span = 1.0;
+  series.t0 = 0.0;
+  series.dt = span / static_cast<double>(bins);
+  series.values.assign(bins, 0.0);
+
+  for (const auto& e : trace.events()) {
+    if (!filter.matches(e) || e.bytes == 0) continue;
+    double start = e.start;
+    double end = e.end();
+    if (end <= start) end = start + 1e-9;
+    double rate = static_cast<double>(e.bytes) / (end - start);
+    auto first = static_cast<std::size_t>(
+        std::clamp(start / series.dt, 0.0, static_cast<double>(bins - 1)));
+    auto last = static_cast<std::size_t>(
+        std::clamp(end / series.dt, 0.0, static_cast<double>(bins - 1)));
+    for (std::size_t b = first; b <= last; ++b) {
+      double bin_lo = series.dt * static_cast<double>(b);
+      double bin_hi = bin_lo + series.dt;
+      double overlap = std::min(end, bin_hi) - std::max(start, bin_lo);
+      if (overlap > 0.0) series.values[b] += rate * overlap / series.dt;
+    }
+  }
+  return series;
+}
+
+ProgressCurve completion_curve(const ipm::Trace& trace, const EventFilter& filter) {
+  std::vector<double> starts, ends;
+  for (const auto& e : trace.events()) {
+    if (!filter.matches(e)) continue;
+    starts.push_back(e.start);
+    ends.push_back(e.end());
+  }
+  ProgressCurve curve;
+  if (ends.empty()) return curve;
+  double origin = *std::min_element(starts.begin(), starts.end());
+  std::sort(ends.begin(), ends.end());
+  auto n = static_cast<double>(ends.size());
+  curve.t.reserve(ends.size() + 1);
+  curve.fraction.reserve(ends.size() + 1);
+  curve.t.push_back(0.0);
+  curve.fraction.push_back(0.0);
+  for (std::size_t i = 0; i < ends.size(); ++i) {
+    curve.t.push_back(ends[i] - origin);
+    curve.fraction.push_back(static_cast<double>(i + 1) / n);
+  }
+  return curve;
+}
+
+}  // namespace eio::analysis

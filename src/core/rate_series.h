@@ -1,0 +1,48 @@
+// Aggregate instantaneous data-rate time series.
+//
+// Figures 1(b), 4(b/e) and 6(b/e/h/k) plot the job-wide data rate over
+// wall-clock time. Each traced transfer is assumed to move bytes at a
+// uniform rate across its [start, end) interval; binning those
+// contributions gives the aggregate series. The same machinery yields
+// the per-phase completion-fraction curves of Figure 5(a).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/samples.h"
+#include "ipm/trace.h"
+
+namespace eio::analysis {
+
+/// A uniformly-binned time series.
+struct TimeSeries {
+  double t0 = 0.0;
+  double dt = 1.0;
+  std::vector<double> values;
+
+  [[nodiscard]] double time_at(std::size_t i) const noexcept {
+    return t0 + dt * (static_cast<double>(i) + 0.5);
+  }
+  [[nodiscard]] double max_value() const;
+  /// Sum of values * dt (for rates: total bytes).
+  [[nodiscard]] double integral() const;
+};
+
+/// Aggregate data rate (bytes/s) of matching events over the job.
+/// `bins` partitions [0, trace.span()].
+[[nodiscard]] TimeSeries aggregate_rate(const ipm::Trace& trace,
+                                        const EventFilter& filter,
+                                        std::size_t bins);
+
+/// Fraction of matching I/O operations complete versus time, measured
+/// from the first matching event's start (the Figure 5a curves; one
+/// call per phase via filter.phase).
+struct ProgressCurve {
+  std::vector<double> t;         ///< seconds since phase start
+  std::vector<double> fraction;  ///< ops complete by then (0..1)
+};
+[[nodiscard]] ProgressCurve completion_curve(const ipm::Trace& trace,
+                                             const EventFilter& filter);
+
+}  // namespace eio::analysis

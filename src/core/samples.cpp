@@ -1,0 +1,88 @@
+#include "core/samples.h"
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace eio::analysis {
+
+bool EventFilter::matches(const ipm::TraceEvent& e) const {
+  using posix::OpType;
+  if (data_calls_only && e.op != OpType::kRead && e.op != OpType::kWrite) {
+    return false;
+  }
+  if (op && e.op != *op) return false;
+  if (phase && e.phase != *phase) return false;
+  if (rank && e.rank != *rank) return false;
+  if (e.bytes < min_bytes) return false;
+  if (max_bytes && e.bytes > *max_bytes) return false;
+  return true;
+}
+
+std::vector<ipm::TraceEvent> select(const ipm::Trace& trace,
+                                    const EventFilter& filter) {
+  std::vector<ipm::TraceEvent> out;
+  for (const auto& e : trace.events()) {
+    if (filter.matches(e)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<double> durations(const ipm::Trace& trace, const EventFilter& filter) {
+  std::vector<double> out;
+  for (const auto& e : trace.events()) {
+    if (filter.matches(e)) out.push_back(e.duration);
+  }
+  return out;
+}
+
+std::vector<double> seconds_per_mib(const ipm::Trace& trace,
+                                    const EventFilter& filter) {
+  std::vector<double> out;
+  for (const auto& e : trace.events()) {
+    if (!filter.matches(e) || e.bytes == 0) continue;
+    out.push_back(e.duration / to_mib(e.bytes));
+  }
+  return out;
+}
+
+std::vector<double> rates_mib(const ipm::Trace& trace, const EventFilter& filter) {
+  std::vector<double> out;
+  for (const auto& e : trace.events()) {
+    if (!filter.matches(e) || e.bytes == 0 || e.duration <= 0.0) continue;
+    out.push_back(to_mib(e.bytes) / e.duration);
+  }
+  return out;
+}
+
+std::map<std::int32_t, std::vector<double>> durations_by_phase(
+    const ipm::Trace& trace, const EventFilter& filter) {
+  std::map<std::int32_t, std::vector<double>> out;
+  for (const auto& e : trace.events()) {
+    if (filter.matches(e)) out[e.phase].push_back(e.duration);
+  }
+  return out;
+}
+
+std::map<RankId, std::vector<double>> durations_by_rank(const ipm::Trace& trace,
+                                                        const EventFilter& filter) {
+  std::map<RankId, std::vector<double>> out;
+  for (const auto& e : trace.events()) {
+    if (filter.matches(e)) out[e.rank].push_back(e.duration);
+  }
+  return out;
+}
+
+std::vector<double> per_rank_ordered(const ipm::Trace& trace,
+                                     const EventFilter& filter, std::size_t k) {
+  auto by_rank = durations_by_rank(trace, filter);
+  std::vector<double> out;
+  out.reserve(by_rank.size() * k);
+  for (const auto& [rank, ds] : by_rank) {
+    EIO_CHECK_MSG(ds.size() == k, "rank " << rank << " has " << ds.size()
+                                          << " events, expected " << k);
+    out.insert(out.end(), ds.begin(), ds.end());
+  }
+  return out;
+}
+
+}  // namespace eio::analysis

@@ -1,0 +1,61 @@
+// Extraction of measurement samples from traces.
+//
+// Everything downstream (histograms, modes, order statistics, the
+// diagnoser) consumes flat vectors of per-event measurements; this is
+// where trace events are filtered and shaped into them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ipm/trace.h"
+#include "posix/hooks.h"
+
+namespace eio::analysis {
+
+/// Predicate over trace events; unset fields match everything.
+struct EventFilter {
+  std::optional<posix::OpType> op;
+  std::optional<std::int32_t> phase;
+  std::optional<RankId> rank;
+  Bytes min_bytes = 0;                      ///< inclusive
+  std::optional<Bytes> max_bytes;           ///< inclusive
+  bool data_calls_only = true;              ///< keep only read/write
+
+  [[nodiscard]] bool matches(const ipm::TraceEvent& e) const;
+};
+
+/// Matching events (copies), in trace order.
+[[nodiscard]] std::vector<ipm::TraceEvent> select(const ipm::Trace& trace,
+                                                  const EventFilter& filter);
+
+/// Durations of matching events.
+[[nodiscard]] std::vector<double> durations(const ipm::Trace& trace,
+                                            const EventFilter& filter);
+
+/// Per-event normalized cost in seconds per MiB (the Figure 6
+/// histogram axis, which makes mixed transfer sizes comparable).
+[[nodiscard]] std::vector<double> seconds_per_mib(const ipm::Trace& trace,
+                                                  const EventFilter& filter);
+
+/// Per-event achieved rate in MiB/s.
+[[nodiscard]] std::vector<double> rates_mib(const ipm::Trace& trace,
+                                            const EventFilter& filter);
+
+/// Durations grouped by phase label (for the Figure 5a per-phase CDFs).
+[[nodiscard]] std::map<std::int32_t, std::vector<double>> durations_by_phase(
+    const ipm::Trace& trace, const EventFilter& filter);
+
+/// Durations grouped by rank, each in issue order (feeds
+/// stats::sum_groups for per-task totals).
+[[nodiscard]] std::map<RankId, std::vector<double>> durations_by_rank(
+    const ipm::Trace& trace, const EventFilter& filter);
+
+/// Flatten durations_by_rank in rank order into one vector with `k`
+/// entries per rank, checking each rank contributed exactly k.
+[[nodiscard]] std::vector<double> per_rank_ordered(const ipm::Trace& trace,
+                                                   const EventFilter& filter,
+                                                   std::size_t k);
+
+}  // namespace eio::analysis

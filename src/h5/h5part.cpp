@@ -1,0 +1,148 @@
+#include "h5/h5part.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace eio::h5 {
+
+namespace {
+/// Metadata region placement: far above any data the simulator will
+/// address, so metadata reads always land on previously written bytes.
+constexpr Bytes kMetaBase = Bytes{1} << 42;  // 4 TiB
+}  // namespace
+
+H5PartWriter::H5PartWriter(std::uint32_t ranks, H5Config config,
+                           Bytes record_bytes)
+    : ranks_(ranks),
+      config_(config),
+      record_bytes_(record_bytes),
+      meta_cursor_(kMetaBase) {
+  EIO_CHECK(ranks_ >= 1);
+  EIO_CHECK(record_bytes_ >= 1);
+  EIO_CHECK(config_.btree_fanout >= 1);
+  EIO_CHECK(config_.meta_block >= 1);
+  if (config_.alignment > 0) {
+    slot_bytes_ = (record_bytes_ + config_.alignment - 1) / config_.alignment *
+                  config_.alignment;
+    write_bytes_ = slot_bytes_;  // H5Pset_alignment pads the transfer
+  } else {
+    slot_bytes_ = record_bytes_;
+    write_bytes_ = record_bytes_;
+  }
+}
+
+void H5PartWriter::meta_ops(std::vector<mpi::Program>& programs,
+                            mpi::FileSlot slot, std::uint64_t writes,
+                            std::uint64_t reads) {
+  if (config_.defer_metadata) {
+    // Metadata-cache writeback: account now, flush at close.
+    deferred_meta_ += writes * config_.meta_block;
+    stats_.meta_bytes += writes * config_.meta_block;
+    return;
+  }
+  mpi::Program& p0 = programs[0];
+  for (std::uint64_t w = 0; w < writes; ++w) {
+    p0.seek(slot, meta_cursor_);
+    p0.write(slot, config_.meta_block);
+    meta_cursor_ += config_.meta_block;
+    ++stats_.meta_writes;
+    stats_.meta_bytes += config_.meta_block;
+  }
+  for (std::uint64_t r = 0; r < reads; ++r) {
+    // Re-read a recently written metadata block (index lookups).
+    p0.seek(slot, meta_cursor_ - config_.meta_block);
+    p0.read(slot, config_.meta_block);
+    ++stats_.meta_reads;
+  }
+}
+
+void H5PartWriter::emit_open(std::vector<mpi::Program>& programs,
+                             mpi::FileSlot slot, const std::string& path) {
+  EIO_CHECK_MSG(!opened_, "file already opened");
+  EIO_CHECK_MSG(programs.size() == ranks_, "one program per rank");
+  opened_ = true;
+  for (auto& p : programs) p.open(slot, path);
+  // Superblock + root group header.
+  meta_ops(programs, slot, /*writes=*/2, /*reads=*/1);
+}
+
+void H5PartWriter::emit_set_step(std::vector<mpi::Program>& programs,
+                                 mpi::FileSlot slot) {
+  EIO_CHECK(opened_);
+  // Step group: group object header, link message, two attribute
+  // updates; one lookup read.
+  meta_ops(programs, slot, /*writes=*/4, /*reads=*/1);
+}
+
+void H5PartWriter::emit_write_field(std::vector<mpi::Program>& programs,
+                                    mpi::FileSlot slot,
+                                    std::uint32_t records_per_rank,
+                                    std::uint32_t io_ranks) {
+  EIO_CHECK(opened_);
+  EIO_CHECK(records_per_rank >= 1);
+  EIO_CHECK_MSG(io_ranks == 0 || ranks_ % io_ranks == 0,
+                "io_ranks must divide ranks");
+
+  const Bytes field_base = data_cursor_;
+  const std::uint64_t chunks =
+      static_cast<std::uint64_t>(ranks_) * records_per_rank;
+  stats_.chunks += chunks;
+
+  // Chunk placement: record r of rank k sits at (r * ranks + k) slots
+  // into the dataset (the H5Part record-major layout).
+  auto chunk_offset = [&](std::uint32_t record, RankId rank) {
+    return field_base +
+           (static_cast<Bytes>(record) * ranks_ + rank) * slot_bytes_;
+  };
+
+  const std::uint32_t group = io_ranks == 0 ? 1 : ranks_ / io_ranks;
+  for (RankId rank = 0; rank < ranks_; ++rank) {
+    if (rank % group != 0) continue;  // not an I/O rank
+    mpi::Program& p = programs[rank];
+    for (std::uint32_t r = 0; r < records_per_rank; ++r) {
+      for (std::uint32_t m = 0; m < group; ++m) {
+        if (config_.per_write_overhead > 0.0) {
+          p.compute(config_.per_write_overhead);
+        }
+        p.seek(slot, chunk_offset(r, rank + m));
+        p.write(slot, write_bytes_);
+        stats_.data_bytes += write_bytes_;
+      }
+    }
+  }
+  data_cursor_ = field_base + chunks * slot_bytes_;
+
+  // Dataset metadata: object header, dataspace/datatype messages, and
+  // the chunk-index B-tree — one node write per `btree_fanout` chunk
+  // insertions, plus occasional index-traversal reads. The index is
+  // flushed when the collective write completes, which is why rank 0's
+  // serialized metadata follows the data phase (the Figure 6(g) gaps).
+  std::uint64_t btree_nodes = (chunks + config_.btree_fanout - 1) /
+                              config_.btree_fanout;
+  meta_ops(programs, slot, /*writes=*/btree_nodes + 3,
+           /*reads=*/std::max<std::uint64_t>(1, btree_nodes / 4));
+}
+
+void H5PartWriter::emit_close(std::vector<mpi::Program>& programs,
+                              mpi::FileSlot slot) {
+  EIO_CHECK(opened_);
+  if (config_.defer_metadata && deferred_meta_ > 0) {
+    // Flush the metadata cache as large contiguous writes.
+    mpi::Program& p0 = programs[0];
+    Bytes remaining = deferred_meta_;
+    while (remaining > 0) {
+      Bytes block = std::min(remaining, config_.defer_block);
+      p0.seek(slot, meta_cursor_);
+      p0.write(slot, block);
+      meta_cursor_ += block;
+      remaining -= block;
+      ++stats_.meta_writes;
+    }
+    deferred_meta_ = 0;
+  }
+  for (auto& p : programs) p.close(slot);
+  opened_ = false;
+}
+
+}  // namespace eio::h5

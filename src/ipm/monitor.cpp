@@ -1,0 +1,52 @@
+#include "ipm/monitor.h"
+
+namespace eio::ipm {
+
+Monitor::Monitor() : Monitor(Config{}) {}
+
+Monitor::Monitor(Config config) : config_(config) {}
+
+Monitor::~Monitor() { detach(); }
+
+void Monitor::attach(posix::PosixIo& io) {
+  EIO_CHECK_MSG(attached_ == nullptr, "monitor already attached");
+  attached_ = &io;
+  io.add_observer(this);
+}
+
+void Monitor::detach() {
+  if (attached_ != nullptr) {
+    attached_->remove_observer(this);
+    attached_ = nullptr;
+  }
+}
+
+void Monitor::set_phase(RankId rank, std::int32_t phase) {
+  if (phase_.size() <= rank) phase_.resize(rank + 1, 0);
+  phase_[rank] = phase;
+}
+
+void Monitor::on_call(const posix::CallRecord& record) {
+  using posix::OpType;
+  ++intercepted_;
+  bool is_data = record.op == OpType::kRead || record.op == OpType::kWrite;
+  if (!is_data && !config_.record_metadata_calls) return;
+
+  if (config_.mode == Mode::kTrace || config_.mode == Mode::kBoth) {
+    TraceEvent e;
+    e.start = record.start;
+    e.duration = record.duration;
+    e.op = record.op;
+    e.rank = record.rank;
+    e.file = record.file;
+    e.offset = record.offset;
+    e.bytes = record.bytes;
+    e.phase = record.rank < phase_.size() ? phase_[record.rank] : 0;
+    trace_.add(e);
+  }
+  if (config_.mode == Mode::kProfile || config_.mode == Mode::kBoth) {
+    profile_.observe(record.op, record.bytes, record.duration);
+  }
+}
+
+}  // namespace eio::ipm

@@ -1,0 +1,404 @@
+#include "lustre/filesystem.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace eio::lustre {
+
+sim::FluidNetwork::Config Filesystem::network_config(const MachineConfig& machine,
+                                                     std::uint32_t node_count) {
+  sim::FluidNetwork::Config cfg;
+  // Extra NICs for the phantom client nodes the interference stream
+  // issues from (other jobs are many distinct Lustre clients).
+  std::uint32_t phantoms =
+      std::max<std::uint32_t>(machine.background.phantom_nodes, 1);
+  cfg.nic_capacity.assign(node_count + phantoms, machine.nic_bandwidth);
+  cfg.ost_capacity.assign(machine.ost_count, machine.ost_bandwidth);
+  cfg.node_policy = machine.node_policy;
+  cfg.contention = machine.contention;
+  cfg.seed = machine.seed;
+  return cfg;
+}
+
+Filesystem::Filesystem(sim::Engine& engine, const MachineConfig& machine,
+                       std::uint32_t node_count)
+    : engine_(engine),
+      machine_(machine),
+      network_(engine, network_config(machine, node_count)),
+      mds_(engine) {
+  EIO_CHECK(node_count > 0);
+  rng::StreamFactory factory(machine.seed);
+  background_rng_ = rng::make_stream(factory, rng::StreamKind::kBackground, 0);
+  nodes_.resize(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    nodes_[i].noise = rng::make_stream(factory, rng::StreamKind::kFlowNoise, i);
+    nodes_[i].straggler = rng::make_stream(factory, rng::StreamKind::kStraggler, i);
+    nodes_[i].readahead = rng::make_stream(factory, rng::StreamKind::kReadahead, i);
+  }
+}
+
+FileId Filesystem::create(std::string name, const FileOptions& options) {
+  EIO_CHECK_MSG(names_.find(name) == names_.end(), "file exists: " << name);
+  FileId id = next_file_++;
+  FileState f;
+  f.name = name;
+  f.shared = options.shared;
+  f.layout.stripe_size = machine_.stripe_size;
+  f.layout.stripe_count =
+      std::min<std::uint32_t>(std::max<std::uint32_t>(options.stripe_count, 1),
+                              machine_.ost_count);
+  f.layout.total_osts = machine_.ost_count;
+  f.layout.start_ost = next_start_ost_;
+  next_start_ost_ = (next_start_ost_ + 1) % machine_.ost_count;
+  names_.emplace(std::move(name), id);
+  files_.emplace(id, std::move(f));
+  return id;
+}
+
+const FileLayout& Filesystem::layout(FileId file) const {
+  auto it = files_.find(file);
+  EIO_CHECK_MSG(it != files_.end(), "unknown file " << file);
+  return it->second.layout;
+}
+
+FileId Filesystem::lookup(const std::string& name) const {
+  auto it = names_.find(name);
+  return it == names_.end() ? kInvalidFile : it->second;
+}
+
+Bytes Filesystem::size(FileId file) const {
+  auto it = files_.find(file);
+  EIO_CHECK_MSG(it != files_.end(), "size of unknown file " << file);
+  return it->second.size;
+}
+
+double Filesystem::draw_slowdown(NodeState& n) {
+  double factor = n.noise.noise(machine_.service_noise_sigma);
+  if (machine_.straggler_probability > 0.0 &&
+      n.straggler.chance(machine_.straggler_probability)) {
+    factor *= n.straggler.pareto(machine_.straggler_min, machine_.straggler_alpha);
+  }
+  return factor;
+}
+
+
+void Filesystem::write(NodeId node, RankId rank, FileId file, Bytes offset,
+                       Bytes length, IoCallback done) {
+  (void)rank;  // writes carry no per-stream state today
+  EIO_CHECK(node < nodes_.size());
+  auto fit = files_.find(file);
+  EIO_CHECK_MSG(fit != files_.end(), "write to unknown file " << file);
+  FileState& f = fit->second;
+  NodeState& n = nodes_[node];
+
+  ++stats_.writes;
+  stats_.bytes_written += length;
+  f.size = std::max(f.size, offset + length);
+
+  if (length == 0) {
+    engine_.schedule_in(machine_.syscall_latency, std::move(done));
+    return;
+  }
+
+  // Sub-threshold transfers take the serialized small-I/O path
+  // (metadata traffic: HDF5 headers, attributes, H5Part bookkeeping).
+  if (length < machine_.small_io_threshold) {
+    small_io(node, f, /*is_write=*/true, length, std::move(done));
+    return;
+  }
+
+  const bool aligned = f.layout.aligned(offset, length);
+  const bool locky = f.shared && !aligned;
+  if (locky) f.saw_unaligned = true;
+
+  // --- write-back absorption ---
+  // Aligned (or private) writes may land in the client cache up to a
+  // per-task quota of the node's dirty ceiling; unaligned shared-file
+  // writes are forced write-through by extent-lock semantics.
+  Bytes absorbed = 0;
+  if (machine_.write_absorb_limit > 0 && !locky) {
+    Bytes quota = machine_.write_absorb_limit /
+                  std::max<std::uint32_t>(machine_.tasks_per_node, 1);
+    Bytes free = machine_.write_absorb_limit > n.dirty
+                     ? machine_.write_absorb_limit - n.dirty
+                     : 0;
+    absorbed = std::min({length, quota, free});
+  }
+  Bytes sync_part = length - absorbed;
+  Seconds absorb_time =
+      absorbed > 0 ? static_cast<double>(absorbed) / machine_.absorb_bandwidth : 0.0;
+
+  if (absorbed > 0) {
+    n.dirty += absorbed;
+    stats_.bytes_absorbed += absorbed;
+    start_drain(node, file, offset, absorbed);
+  }
+
+  if (sync_part == 0) {
+    engine_.schedule_in(absorb_time + machine_.syscall_latency,
+                        [this, file, done = std::move(done)] {
+                          files_.at(file).last_write_done = engine_.now();
+                          if (done) done();
+                        });
+    return;
+  }
+
+  // --- synchronous remainder ---
+  double inflation = 1.0;
+  Seconds pre_delay = absorb_time;
+  if (locky) {
+    inflation += machine_.rmw_inflation;
+    double crossings =
+        static_cast<double>(f.layout.boundaries_crossed(offset, length)) + 1.0;
+    pre_delay += machine_.lock_latency_per_boundary * crossings *
+                 n.noise.noise(machine_.service_noise_sigma);
+  }
+  start_sync_write(node, file, offset + absorbed, sync_part, pre_delay, inflation,
+                   std::move(done));
+}
+
+void Filesystem::start_sync_write(NodeId node, FileId file, Bytes offset,
+                                  Bytes length, Seconds pre_delay, double inflation,
+                                  IoCallback done) {
+  NodeState& n = nodes_[node];
+  const FileState& f = files_.at(file);
+  // Per-event service luck: an unlucky transfer pays a time tax
+  // proportional to its own service time (server hiccups, RPC
+  // retries), charged after the data movement so it extends the call's
+  // critical path. Because the tax is drawn per event and scales with
+  // the event, splitting a transfer into k calls averages it away —
+  // the Law-of-Large-Numbers effect of Figure 2.
+  double slowdown = draw_slowdown(n);
+  auto bytes = static_cast<Bytes>(static_cast<double>(length) * inflation);
+  bytes = std::max<Bytes>(bytes, 1);
+
+  n.sync_in_flight += length;
+  auto launch = [this, node, file, length, bytes, slowdown,
+                 done = std::move(done),
+                 osts = f.layout.osts_for_extent(offset, length)]() mutable {
+    Seconds issued = engine_.now();
+    sim::FlowSpec spec;
+    spec.node = node;
+    spec.bytes = bytes;
+    spec.osts = std::move(osts);
+    spec.on_complete = [this, node, file, length, slowdown, issued,
+                        done = std::move(done)](sim::FlowId) {
+      NodeState& ns = nodes_[node];
+      EIO_CHECK(ns.sync_in_flight >= length);
+      ns.sync_in_flight -= length;
+      files_.at(file).last_write_done = engine_.now();
+      Seconds tax = std::max(0.0, slowdown - 1.0) * (engine_.now() - issued);
+      // The written pages linger in the client cache until reclaim;
+      // that residue is what the read-ahead pressure check sees.
+      Bytes residue = std::min(length, machine_.dirty_residue_cap);
+      ns.residue += residue;
+      engine_.schedule_in(machine_.dirty_residue_ttl, [this, node, residue] {
+        NodeState& n2 = nodes_[node];
+        EIO_CHECK(n2.residue >= residue);
+        n2.residue -= residue;
+      });
+      if (tax > 0.0) {
+        engine_.schedule_in(tax, [this, file, done = std::move(done)] {
+          // Write activity extends through the tax (retries are still
+          // writing); keep the interleave window anchored to it.
+          files_.at(file).last_write_done = engine_.now();
+          if (done) done();
+        });
+      } else if (done) {
+        done();
+      }
+    };
+    network_.start_flow(std::move(spec));
+  };
+  if (pre_delay > 0.0) {
+    engine_.schedule_in(pre_delay, std::move(launch));
+  } else {
+    launch();
+  }
+}
+
+void Filesystem::start_drain(NodeId node, FileId file, Bytes offset, Bytes bytes) {
+  NodeState& n = nodes_[node];
+  const FileState& f = files_.at(file);
+  ++n.drains;
+  sim::FlowSpec spec;
+  spec.node = node;
+  spec.bytes = bytes;
+  spec.osts = f.layout.osts_for_extent(offset, std::max<Bytes>(bytes, 1));
+  // Write-out streams compete for the client's stream tokens like any
+  // other transfer; a serialized client serializes its drains too.
+  spec.scheduled = true;
+  spec.on_complete = [this, node, bytes](sim::FlowId) { finish_drain(node, bytes); };
+  network_.start_flow(std::move(spec));
+}
+
+void Filesystem::finish_drain(NodeId node, Bytes bytes) {
+  NodeState& n = nodes_[node];
+  EIO_CHECK(n.dirty >= bytes);
+  EIO_CHECK(n.drains > 0);
+  n.dirty -= bytes;
+  --n.drains;
+  if (n.drains == 0) {
+    auto waiters = std::move(n.flush_waiters);
+    n.flush_waiters.clear();
+    for (auto& w : waiters) {
+      if (w) w();
+    }
+  }
+}
+
+void Filesystem::start_background() {
+  if (!machine_.background.enabled || background_active_) return;
+  background_active_ = true;
+  background_arrival();
+}
+
+void Filesystem::stop_background() {
+  background_active_ = false;
+  if (background_event_ != sim::kInvalidEvent) {
+    engine_.cancel(background_event_);
+    background_event_ = sim::kInvalidEvent;
+  }
+}
+
+void Filesystem::background_arrival() {
+  background_event_ = sim::kInvalidEvent;
+  if (!background_active_) return;
+  const BackgroundLoad& bg = machine_.background;
+
+  // Exponential request size against `spread` random OSTs, issued from
+  // the phantom client node (the last NIC).
+  auto bytes = static_cast<Bytes>(
+      std::max(1.0, background_rng_.exponential(
+                        static_cast<double>(bg.mean_request))));
+  sim::FlowSpec spec;
+  std::uint32_t phantoms = std::max<std::uint32_t>(bg.phantom_nodes, 1);
+  spec.node = static_cast<NodeId>(nodes_.size() +
+                                  background_rng_.index(phantoms));
+  spec.bytes = bytes;
+  for (std::uint32_t i = 0; i < std::max<std::uint32_t>(bg.spread, 1); ++i) {
+    spec.osts.push_back(
+        static_cast<OstId>(background_rng_.index(machine_.ost_count)));
+  }
+  spec.scheduled = false;
+  network_.start_flow(std::move(spec));
+  background_bytes_ += bytes;
+
+  // Poisson arrivals tuned so average injected load = intensity x
+  // aggregate OST bandwidth.
+  double aggregate = machine_.ost_bandwidth * machine_.ost_count;
+  double rate = bg.intensity * aggregate /
+                static_cast<double>(std::max<Bytes>(bg.mean_request, 1));
+  Seconds gap = background_rng_.exponential(1.0 / std::max(rate, 1e-9));
+  background_event_ = engine_.schedule_in(gap, [this] { background_arrival(); });
+}
+
+void Filesystem::flush(NodeId node, IoCallback done) {
+  EIO_CHECK(node < nodes_.size());
+  NodeState& n = nodes_[node];
+  if (n.drains == 0) {
+    engine_.schedule_in(machine_.syscall_latency, std::move(done));
+  } else {
+    n.flush_waiters.push_back(std::move(done));
+  }
+}
+
+void Filesystem::read(NodeId node, RankId rank, FileId file, Bytes offset,
+                      Bytes length, IoCallback done) {
+  EIO_CHECK(node < nodes_.size());
+  auto fit = files_.find(file);
+  EIO_CHECK_MSG(fit != files_.end(), "read of unknown file " << file);
+  FileState& f = fit->second;
+  NodeState& n = nodes_[node];
+
+  ++stats_.reads;
+  stats_.bytes_read += length;
+
+  if (length == 0) {
+    engine_.schedule_in(machine_.syscall_latency, std::move(done));
+    return;
+  }
+  if (length < machine_.small_io_threshold) {
+    small_io(node, f, /*is_write=*/false, length, std::move(done));
+    return;
+  }
+
+  std::uint32_t matches = readahead_.observe(rank, file, offset, length);
+
+  sim::FlowSpec spec;
+  spec.node = node;
+  spec.osts = f.layout.osts_for_extent(offset, length);
+  spec.ost_efficiency = machine_.read_efficiency;
+  spec.bytes = std::max<Bytes>(length, 1);
+
+  double slowdown = 1.0;
+  // The strided read-ahead defect: on the pattern's 3rd+ appearance,
+  // with client memory full of dirty write pages, the enlarged window
+  // degenerates into single 4 KiB page reads — and keeps growing.
+  if (machine_.strided_readahead_bug && matches >= machine_.strided_trigger &&
+      under_pressure(node, file)) {
+    ++stats_.degraded_reads;
+    double pages = static_cast<double>(length) /
+                   static_cast<double>(machine_.page_size);
+    double severity =
+        std::pow(machine_.readahead_growth,
+                 static_cast<double>(matches - machine_.strided_trigger)) *
+        n.readahead.noise(machine_.readahead_task_sigma);
+    Seconds duration = pages * machine_.readahead_page_latency /
+                       std::max(machine_.readahead_pipeline, 1.0) * severity;
+    duration = std::max(duration, 1e-6);
+    spec.cap = static_cast<double>(length) / duration;
+  } else {
+    slowdown = draw_slowdown(n);
+  }
+  Seconds issued = engine_.now();
+  spec.on_complete = [this, slowdown, issued,
+                      done = std::move(done)](sim::FlowId) mutable {
+    Seconds tax = std::max(0.0, slowdown - 1.0) * (engine_.now() - issued);
+    if (tax > 0.0) {
+      engine_.schedule_in(tax, std::move(done));
+    } else if (done) {
+      done();
+    }
+  };
+  network_.start_flow(std::move(spec));
+}
+
+void Filesystem::small_io(NodeId node, const FileState& f, bool is_write,
+                          Bytes length, IoCallback done) {
+  NodeState& n = nodes_[node];
+  ++stats_.small_ops;
+  double meta_factor = 1.0;
+  // Metadata regions of unaligned files ping-pong locks with data
+  // writes; alignment calms them down (Figure 6(i) vs 6(f)).
+  if (f.saw_unaligned) meta_factor = machine_.unaligned_meta_factor;
+  Seconds service = machine_.small_io_base_latency * meta_factor *
+                        n.noise.noise(machine_.service_noise_sigma * 2.0) +
+                    static_cast<double>(length) / machine_.small_io_bandwidth;
+  (void)is_write;
+  mds_.submit(service, std::move(done));
+}
+
+Bytes Filesystem::dirty(NodeId node) const {
+  EIO_CHECK(node < nodes_.size());
+  return nodes_[node].dirty;
+}
+
+Bytes Filesystem::residue(NodeId node) const {
+  EIO_CHECK(node < nodes_.size());
+  return nodes_[node].residue;
+}
+
+bool Filesystem::under_pressure(NodeId node, FileId file) const {
+  EIO_CHECK(node < nodes_.size());
+  const NodeState& n = nodes_[node];
+  Bytes load = n.dirty + n.residue + n.sync_in_flight;
+  if (load >= machine_.pressure_threshold) return true;
+  auto it = files_.find(file);
+  if (it == files_.end()) return false;
+  return engine_.now() - it->second.last_write_done <
+         machine_.interleave_pressure_window;
+}
+
+}  // namespace eio::lustre

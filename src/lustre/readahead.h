@@ -1,0 +1,106 @@
+// Client-side read-ahead with the strided-detection defect.
+//
+// The paper traced MADbench's catastrophic middle-phase reads to a
+// Lustre client behaviour: a strided read pattern is *recognized on its
+// third appearance*, after which matching reads get an enlarged
+// read-ahead window. When client memory is full of dirty write pages
+// (the seek-read-seek-write phase), the window is serviced as 4 KiB
+// single-page reads, and the window keeps growing with every further
+// match — so reads 4 through 8 get progressively worse (Figure 5a).
+// The installed patch removed strided detection entirely.
+//
+// This module reproduces exactly that state machine per (client node,
+// file) read stream.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace eio::lustre {
+
+/// Per-stream strided-pattern detector.
+///
+/// A "match" is a *non-contiguous* read whose start offset continues
+/// the previously seen constant stride. Contiguous (sequential) access
+/// is the healthy read-ahead path and never accumulates matches — the
+/// Lustre defect lived specifically in strided-pattern detection. The
+/// first occurrence of a stride sets it; the second confirms it (match
+/// count 1), and so on; the defect activates once the pattern has
+/// appeared `trigger` times.
+class StridedDetector {
+ public:
+  /// Feed a read; returns the updated match count for this stream.
+  std::uint32_t observe(Bytes offset, Bytes length = 0) {
+    if (has_prev_) {
+      if (offset == prev_offset_ + prev_length_) {
+        // Sequential continuation: the well-behaved case.
+        has_stride_ = false;
+        matches_ = 0;
+      } else {
+        std::int64_t stride = static_cast<std::int64_t>(offset) -
+                              static_cast<std::int64_t>(prev_offset_);
+        if (has_stride_ && stride == stride_ && stride != 0) {
+          ++matches_;
+        } else {
+          stride_ = stride;
+          has_stride_ = (stride != 0);
+          matches_ = has_stride_ ? 1 : 0;
+        }
+      }
+    }
+    prev_offset_ = offset;
+    prev_length_ = length;
+    has_prev_ = true;
+    return matches_;
+  }
+
+  /// Current consecutive-match count (appearances of the stride).
+  [[nodiscard]] std::uint32_t matches() const noexcept { return matches_; }
+
+  /// The stride currently being tracked (0 if none).
+  [[nodiscard]] std::int64_t stride() const noexcept {
+    return has_stride_ ? stride_ : 0;
+  }
+
+  void reset() { *this = StridedDetector{}; }
+
+ private:
+  Bytes prev_offset_ = 0;
+  Bytes prev_length_ = 0;
+  std::int64_t stride_ = 0;
+  std::uint32_t matches_ = 0;
+  bool has_prev_ = false;
+  bool has_stride_ = false;
+};
+
+/// Registry of detectors keyed by (rank, file): read-ahead state is
+/// per process/file-descriptor stream, not per client node.
+class ReadaheadTracker {
+ public:
+  /// Observe a read on the given stream; returns the match count.
+  std::uint32_t observe(RankId rank, FileId file, Bytes offset, Bytes length = 0) {
+    return detectors_[key(rank, file)].observe(offset, length);
+  }
+
+  [[nodiscard]] std::uint32_t matches(RankId rank, FileId file) const {
+    auto it = detectors_.find(key(rank, file));
+    return it == detectors_.end() ? 0 : it->second.matches();
+  }
+
+  void forget(RankId rank, FileId file) { detectors_.erase(key(rank, file)); }
+
+  [[nodiscard]] std::size_t stream_count() const noexcept {
+    return detectors_.size();
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t key(RankId rank, FileId file) noexcept {
+    return (static_cast<std::uint64_t>(rank) << 40) ^ file;
+  }
+  std::unordered_map<std::uint64_t, StridedDetector> detectors_;
+};
+
+}  // namespace eio::lustre

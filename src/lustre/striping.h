@@ -1,0 +1,77 @@
+// File striping layout (Lustre-style round-robin RAID-0 over OSTs).
+//
+// A file is carved into `stripe_size` pieces; stripe i lives on OST
+// `(start_ost + i) % stripe_count` (indices into the file's OST set,
+// which is the first `stripe_count` OSTs rotated by `start_ost`).
+// The layout answers the two questions the performance model needs:
+// which OSTs an extent touches, and how many stripe boundaries it
+// crosses (each boundary is an extent-lock conflict opportunity for
+// unaligned shared-file writes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace eio::lustre {
+
+/// Striping description for one file.
+struct FileLayout {
+  Bytes stripe_size = 1 * MiB;   ///< bytes per stripe
+  std::uint32_t stripe_count = 1;  ///< number of OSTs the file uses
+  OstId start_ost = 0;           ///< first OST (rotated per file)
+  std::uint32_t total_osts = 1;  ///< OSTs available in the file system
+
+  /// OST storing stripe index `stripe`.
+  [[nodiscard]] OstId ost_for_stripe(std::uint64_t stripe) const noexcept {
+    return static_cast<OstId>((start_ost + stripe % stripe_count) % total_osts);
+  }
+
+  /// OST holding the byte at `offset`.
+  [[nodiscard]] OstId ost_for_offset(Bytes offset) const noexcept {
+    return ost_for_stripe(offset / stripe_size);
+  }
+
+  /// Distinct OSTs an extent [offset, offset+length) touches.
+  /// Extents spanning >= stripe_count stripes touch every OST in the
+  /// file's set.
+  [[nodiscard]] std::vector<OstId> osts_for_extent(Bytes offset, Bytes length) const {
+    EIO_CHECK(length > 0);
+    std::uint64_t first = offset / stripe_size;
+    std::uint64_t last = (offset + length - 1) / stripe_size;
+    std::uint64_t span = last - first + 1;
+    std::vector<OstId> result;
+    if (span >= stripe_count) {
+      result.reserve(stripe_count);
+      for (std::uint32_t i = 0; i < stripe_count; ++i) {
+        result.push_back(static_cast<OstId>((start_ost + i) % total_osts));
+      }
+    } else {
+      result.reserve(span);
+      for (std::uint64_t s = first; s <= last; ++s) {
+        result.push_back(ost_for_stripe(s));
+      }
+    }
+    return result;
+  }
+
+  /// Number of stripe-boundary crossings inside the extent (0 when the
+  /// extent fits in one stripe).
+  [[nodiscard]] std::uint64_t boundaries_crossed(Bytes offset, Bytes length) const noexcept {
+    if (length == 0) return 0;
+    std::uint64_t first = offset / stripe_size;
+    std::uint64_t last = (offset + length - 1) / stripe_size;
+    return last - first;
+  }
+
+  /// True when both ends of the extent sit on stripe boundaries
+  /// (no read-modify-write and no shared-stripe lock conflicts).
+  [[nodiscard]] bool aligned(Bytes offset, Bytes length) const noexcept {
+    return offset % stripe_size == 0 && (offset + length) % stripe_size == 0;
+  }
+};
+
+}  // namespace eio::lustre

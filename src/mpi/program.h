@@ -1,0 +1,139 @@
+// Per-rank I/O programs.
+//
+// A workload is expressed as one `Program` per rank: a straight-line
+// sequence of POSIX calls, barriers, timed compute, phase markers, and
+// group-gather collectives. This mirrors how the paper's applications
+// behave once computation is stripped away (MADbench is run with
+// "all computation and communication effectively turned off").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace eio::mpi {
+
+/// Rank-local index of an open file handle (programs may hold several).
+using FileSlot = std::uint32_t;
+
+namespace op {
+
+/// open(path, flags); the resulting fd is stored in `slot`.
+struct Open {
+  FileSlot slot = 0;
+  std::string path;
+  bool create = true;
+};
+
+/// close(slot) — flushes the node's outstanding write-back data.
+struct Close {
+  FileSlot slot = 0;
+};
+
+/// lseek(slot, offset, SEEK_SET).
+struct Seek {
+  FileSlot slot = 0;
+  Bytes offset = 0;
+};
+
+/// read(slot, bytes) at the current position.
+struct Read {
+  FileSlot slot = 0;
+  Bytes bytes = 0;
+};
+
+/// write(slot, bytes) at the current position.
+struct Write {
+  FileSlot slot = 0;
+  Bytes bytes = 0;
+};
+
+/// fsync(slot).
+struct Fsync {
+  FileSlot slot = 0;
+};
+
+/// MPI_Barrier over all ranks in the job.
+struct Barrier {};
+
+/// Spin for a fixed amount of simulated time.
+struct Compute {
+  Seconds duration = 0.0;
+};
+
+/// Tag subsequent trace events with a phase label (IPM region).
+struct Phase {
+  std::int32_t phase = 0;
+};
+
+/// Collective-buffering stage one: ranks in consecutive groups of
+/// `group_size` ship `bytes_per_rank` to the group root over the
+/// interconnect. Every participant blocks until its group completes.
+struct Gather {
+  std::uint32_t group_size = 1;
+  Bytes bytes_per_rank = 0;
+};
+
+}  // namespace op
+
+/// One program step.
+using Op = std::variant<op::Open, op::Close, op::Seek, op::Read, op::Write,
+                        op::Fsync, op::Barrier, op::Compute, op::Phase, op::Gather>;
+
+/// A rank's full instruction sequence.
+class Program {
+ public:
+  Program& open(FileSlot slot, std::string path, bool create = true) {
+    ops_.emplace_back(op::Open{slot, std::move(path), create});
+    return *this;
+  }
+  Program& close(FileSlot slot) {
+    ops_.emplace_back(op::Close{slot});
+    return *this;
+  }
+  Program& seek(FileSlot slot, Bytes offset) {
+    ops_.emplace_back(op::Seek{slot, offset});
+    return *this;
+  }
+  Program& read(FileSlot slot, Bytes bytes) {
+    ops_.emplace_back(op::Read{slot, bytes});
+    return *this;
+  }
+  Program& write(FileSlot slot, Bytes bytes) {
+    ops_.emplace_back(op::Write{slot, bytes});
+    return *this;
+  }
+  Program& fsync(FileSlot slot) {
+    ops_.emplace_back(op::Fsync{slot});
+    return *this;
+  }
+  Program& barrier() {
+    ops_.emplace_back(op::Barrier{});
+    return *this;
+  }
+  Program& compute(Seconds duration) {
+    ops_.emplace_back(op::Compute{duration});
+    return *this;
+  }
+  Program& phase(std::int32_t phase) {
+    ops_.emplace_back(op::Phase{phase});
+    return *this;
+  }
+  Program& gather(std::uint32_t group_size, Bytes bytes_per_rank) {
+    ops_.emplace_back(op::Gather{group_size, bytes_per_rank});
+    return *this;
+  }
+
+  [[nodiscard]] const std::vector<Op>& ops() const noexcept { return ops_; }
+  [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ops_.empty(); }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace eio::mpi

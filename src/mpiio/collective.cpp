@@ -1,0 +1,120 @@
+#include "mpiio/collective.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace eio::mpiio {
+
+TwoPhaseIo::TwoPhaseIo(std::uint32_t ranks, CollectiveConfig config)
+    : ranks_(ranks), config_(config) {
+  EIO_CHECK(ranks_ >= 1);
+  EIO_CHECK(config_.cb_buffer_size >= 1);
+  EIO_CHECK(config_.alignment >= 1);
+  cb_nodes_ = std::clamp<std::uint32_t>(config_.cb_nodes, 1, ranks_);
+  stride_ = ranks_ / cb_nodes_;
+  EIO_CHECK(stride_ >= 1);
+}
+
+std::vector<TwoPhaseIo::Domain> TwoPhaseIo::partition(Bytes lo, Bytes hi) const {
+  EIO_CHECK_MSG(hi >= lo, "inverted range");
+  std::vector<Domain> domains;
+  domains.reserve(cb_nodes_);
+  Bytes span = hi - lo;
+  Bytes cursor = lo;
+  for (std::uint32_t i = 0; i < cb_nodes_; ++i) {
+    Domain d;
+    d.aggregator = static_cast<RankId>(i * stride_);
+    d.lo = cursor;
+    if (i + 1 == cb_nodes_) {
+      d.hi = hi;
+    } else {
+      // Even split, interior boundary rounded up to the alignment so
+      // every aggregator writes stripe-aligned chunks.
+      Bytes target = lo + span * (i + 1) / cb_nodes_;
+      Bytes aligned =
+          (target + config_.alignment - 1) / config_.alignment * config_.alignment;
+      d.hi = std::clamp(aligned, d.lo, hi);
+    }
+    cursor = d.hi;
+    domains.push_back(d);
+  }
+  EIO_CHECK(domains.back().hi == hi);
+  return domains;
+}
+
+void TwoPhaseIo::emit_write_all(std::vector<mpi::Program>& programs,
+                                mpi::FileSlot slot,
+                                std::span<const Extent> extents) const {
+  emit(programs, slot, extents, /*is_write=*/true);
+}
+
+void TwoPhaseIo::emit_read_all(std::vector<mpi::Program>& programs,
+                               mpi::FileSlot slot,
+                               std::span<const Extent> extents) const {
+  emit(programs, slot, extents, /*is_write=*/false);
+}
+
+void TwoPhaseIo::emit(std::vector<mpi::Program>& programs, mpi::FileSlot slot,
+                      std::span<const Extent> extents, bool is_write) const {
+  EIO_CHECK_MSG(programs.size() == ranks_, "one program per rank required");
+  EIO_CHECK_MSG(extents.size() == ranks_, "one extent per rank required");
+
+  // Global byte range of this collective.
+  Bytes lo = ~Bytes{0}, hi = 0;
+  Bytes payload = 0;
+  for (const Extent& e : extents) {
+    if (e.bytes == 0) continue;
+    lo = std::min(lo, e.offset);
+    hi = std::max(hi, e.offset + e.bytes);
+    payload += e.bytes;
+  }
+  if (payload == 0) {
+    for (auto& p : programs) p.barrier();
+    return;
+  }
+  // Two-phase I/O transfers whole file domains. With holes between
+  // extents the aggregators move the covering range anyway (data
+  // sieving / read-modify-write), unless the hint forbids it.
+  if (!config_.data_sieving) {
+    EIO_CHECK_MSG(payload == hi - lo,
+                  "collective extents must tile the range densely (payload "
+                      << payload << " vs range " << hi - lo
+                      << ") when data sieving is disabled");
+  }
+
+  auto domains = partition(lo, hi);
+
+  // Phase 1: shuffle. Every rank ships its contribution toward its
+  // aggregator; the group gather is the cost model for the exchange
+  // (group = aggregator stride, root = the aggregator rank).
+  Bytes typical = payload / ranks_;
+  for (auto& p : programs) p.gather(stride_, typical);
+
+  // Phase 2: aggregators move their domains in cb_buffer_size chunks.
+  for (const Domain& d : domains) {
+    if (d.size() == 0) continue;
+    mpi::Program& p = programs[d.aggregator];
+    Bytes cursor = d.lo;
+    while (cursor < d.hi) {
+      Bytes chunk = std::min<Bytes>(config_.cb_buffer_size, d.hi - cursor);
+      p.seek(slot, cursor);
+      if (is_write) {
+        p.write(slot, chunk);
+      } else {
+        p.read(slot, chunk);
+      }
+      cursor += chunk;
+    }
+  }
+
+  // For reads, the scattered return traffic costs another exchange.
+  if (!is_write) {
+    for (auto& p : programs) p.gather(stride_, typical);
+  }
+
+  // The collective completes together.
+  for (auto& p : programs) p.barrier();
+}
+
+}  // namespace eio::mpiio

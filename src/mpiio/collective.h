@@ -1,0 +1,94 @@
+// MPI-IO-style two-phase collective buffering.
+//
+// MADbench performs its matrix I/O "using an MPI-IO call
+// (MPI_File_write and MPI_File_read)", and the GCRM fix the paper
+// lands on is "a 'collective buffering' scheme (similar to that of
+// MPI-IO)". This module is that middleware: given the per-rank extents
+// of one collective write (or read), it plans the ROMIO-style two
+// phases —
+//
+//   phase 1: shuffle each rank's data to its aggregator over the
+//            interconnect (modeled with the runtime's group gather);
+//   phase 2: aggregators write their contiguous, stripe-aligned *file
+//            domains* in cb_buffer_size chunks;
+//
+// — and emits the corresponding ops into each rank's Program. The
+// planner is exposed separately so tests (and curious users) can
+// inspect the file-domain partition.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "mpi/program.h"
+
+namespace eio::mpiio {
+
+/// One rank's contribution to a collective operation.
+struct Extent {
+  Bytes offset = 0;
+  Bytes bytes = 0;
+};
+
+/// Hints, in the spirit of ROMIO's cb_* info keys.
+struct CollectiveConfig {
+  std::uint32_t cb_nodes = 48;       ///< aggregator count (clamped to ranks)
+  Bytes cb_buffer_size = 16 * MiB;   ///< per-chunk transfer size
+  Bytes alignment = 1 * MiB;         ///< file-domain boundary alignment
+  /// Permit holes between extents: aggregators then move whole file
+  /// domains (data sieving on reads, read-modify-write on writes).
+  /// When false, sparse collectives are rejected.
+  bool data_sieving = true;
+};
+
+/// Plans and emits two-phase collective transfers for a fixed job size.
+class TwoPhaseIo {
+ public:
+  TwoPhaseIo(std::uint32_t ranks, CollectiveConfig config);
+
+  /// A contiguous file region owned by one aggregator.
+  struct Domain {
+    Bytes lo = 0;
+    Bytes hi = 0;  ///< exclusive
+    RankId aggregator = 0;
+    [[nodiscard]] Bytes size() const noexcept { return hi - lo; }
+  };
+
+  /// Effective aggregator count after clamping.
+  [[nodiscard]] std::uint32_t aggregators() const noexcept { return cb_nodes_; }
+  /// Rank distance between consecutive aggregators.
+  [[nodiscard]] std::uint32_t aggregator_stride() const noexcept { return stride_; }
+  [[nodiscard]] bool is_aggregator(RankId rank) const noexcept {
+    return rank % stride_ == 0 && rank / stride_ < cb_nodes_;
+  }
+
+  /// Split [lo, hi) into per-aggregator domains with alignment-rounded
+  /// interior boundaries. Domains cover the range exactly and are
+  /// non-overlapping; some may be empty when the range is small.
+  [[nodiscard]] std::vector<Domain> partition(Bytes lo, Bytes hi) const;
+
+  /// Append one collective write to every rank's program:
+  /// `extents[r]` is rank r's contribution (0 bytes to sit out).
+  /// The call is collective: every rank synchronizes on it.
+  void emit_write_all(std::vector<mpi::Program>& programs, mpi::FileSlot slot,
+                      std::span<const Extent> extents) const;
+
+  /// The read mirror image: aggregators read their domains, then the
+  /// data scatters back (modeled with the same exchange cost).
+  void emit_read_all(std::vector<mpi::Program>& programs, mpi::FileSlot slot,
+                     std::span<const Extent> extents) const;
+
+ private:
+  void emit(std::vector<mpi::Program>& programs, mpi::FileSlot slot,
+            std::span<const Extent> extents, bool is_write) const;
+
+  std::uint32_t ranks_;
+  std::uint32_t cb_nodes_;
+  std::uint32_t stride_;
+  CollectiveConfig config_;
+};
+
+}  // namespace eio::mpiio

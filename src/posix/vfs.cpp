@@ -1,0 +1,200 @@
+#include "posix/vfs.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace eio::posix {
+
+const char* op_name(OpType op) noexcept {
+  switch (op) {
+    case OpType::kOpen: return "open";
+    case OpType::kClose: return "close";
+    case OpType::kSeek: return "seek";
+    case OpType::kRead: return "read";
+    case OpType::kWrite: return "write";
+    case OpType::kFsync: return "fsync";
+  }
+  return "?";
+}
+
+PosixIo::PosixIo(sim::Engine& engine, lustre::Filesystem& fs,
+                 std::uint32_t tasks_per_node)
+    : engine_(engine), fs_(fs), tasks_per_node_(tasks_per_node) {
+  EIO_CHECK(tasks_per_node_ >= 1);
+}
+
+void PosixIo::setstripe(const std::string& path, const lustre::FileOptions& options) {
+  EIO_CHECK_MSG(fs_.lookup(path) == kInvalidFile,
+                "setstripe after creation: " << path);
+  stripe_options_[path] = options;
+}
+
+void PosixIo::add_observer(IoObserver* observer) {
+  EIO_CHECK(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+void PosixIo::remove_observer(IoObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+void PosixIo::notify(const CallRecord& record) {
+  for (IoObserver* o : observers_) o->on_call(record);
+}
+
+PosixIo::OpenFile* PosixIo::find(RankId rank, Fd fd) {
+  auto it = fds_.find(key(rank, fd));
+  return it == fds_.end() ? nullptr : &it->second;
+}
+
+void PosixIo::open(RankId rank, const std::string& path, std::uint32_t flags,
+                   FdCallback done) {
+  Seconds start = engine_.now();
+  FileId file = fs_.lookup(path);
+  if (file == kInvalidFile) {
+    if (!(flags & kCreate)) {
+      engine_.schedule_in(fs_.syscall_latency(), [this, rank, start,
+                                                  done = std::move(done)] {
+        notify({rank, OpType::kOpen, -1, kInvalidFile, 0, 0, start,
+                engine_.now() - start});
+        done(-1);
+      });
+      return;
+    }
+    auto oit = stripe_options_.find(path);
+    lustre::FileOptions options =
+        oit != stripe_options_.end() ? oit->second : lustre::FileOptions{};
+    file = fs_.create(path, options);
+  }
+
+  Fd fd = next_fd_.emplace(rank, 3).first->second;
+  next_fd_[rank] = fd + 1;
+  fds_[key(rank, fd)] = OpenFile{file, 0, flags};
+
+  engine_.schedule_in(fs_.syscall_latency(),
+                      [this, rank, fd, file, start, done = std::move(done)] {
+                        notify({rank, OpType::kOpen, fd, file, 0, 0, start,
+                                engine_.now() - start});
+                        done(fd);
+                      });
+}
+
+void PosixIo::close(RankId rank, Fd fd, StatusCallback done) {
+  Seconds start = engine_.now();
+  OpenFile* of = find(rank, fd);
+  if (of == nullptr) {
+    engine_.schedule_in(fs_.syscall_latency(), [done = std::move(done)] { done(-1); });
+    return;
+  }
+  FileId file = of->file;
+  fds_.erase(key(rank, fd));
+  // close() flushes this node's outstanding write-back data; this is
+  // where deferred/aggregated work becomes visible in run time.
+  fs_.flush(node_of(rank), [this, rank, fd, file, start, done = std::move(done)] {
+    notify({rank, OpType::kClose, fd, file, 0, 0, start, engine_.now() - start});
+    done(0);
+  });
+}
+
+void PosixIo::lseek(RankId rank, Fd fd, std::int64_t offset, Whence whence,
+                    SizeCallback done) {
+  Seconds start = engine_.now();
+  OpenFile* of = find(rank, fd);
+  if (of == nullptr) {
+    engine_.schedule_in(fs_.syscall_latency(), [done = std::move(done)] { done(-1); });
+    return;
+  }
+  std::int64_t base = 0;
+  switch (whence) {
+    case Whence::kSet: base = 0; break;
+    case Whence::kCur: base = static_cast<std::int64_t>(of->position); break;
+    case Whence::kEnd: base = static_cast<std::int64_t>(fs_.size(of->file)); break;
+  }
+  std::int64_t target = base + offset;
+  if (target < 0) {
+    engine_.schedule_in(fs_.syscall_latency(), [done = std::move(done)] { done(-1); });
+    return;
+  }
+  of->position = static_cast<Bytes>(target);
+  FileId file = of->file;
+  engine_.schedule_in(
+      fs_.syscall_latency(),
+      [this, rank, fd, file, target, start, done = std::move(done)] {
+        notify({rank, OpType::kSeek, fd, file, static_cast<Bytes>(target), 0, start,
+                engine_.now() - start});
+        done(target);
+      });
+}
+
+void PosixIo::data_op(RankId rank, Fd fd, Bytes count, Bytes offset, bool advance,
+                      bool is_write, SizeCallback done) {
+  Seconds start = engine_.now();
+  OpenFile* of = find(rank, fd);
+  if (of == nullptr) {
+    engine_.schedule_in(fs_.syscall_latency(), [done = std::move(done)] { done(-1); });
+    return;
+  }
+  FileId file = of->file;
+  Bytes actual = count;
+  if (!is_write) {
+    Bytes size = fs_.size(file);
+    actual = offset >= size ? 0 : std::min(count, size - offset);
+  }
+  if (advance) of->position = offset + actual;
+
+  auto finish = [this, rank, fd, file, offset, actual, start, is_write,
+                 done = std::move(done)] {
+    notify({rank, is_write ? OpType::kWrite : OpType::kRead, fd, file, offset,
+            actual, start, engine_.now() - start});
+    done(static_cast<std::int64_t>(actual));
+  };
+  NodeId node = node_of(rank);
+  if (is_write) {
+    fs_.write(node, rank, file, offset, actual, std::move(finish));
+  } else {
+    fs_.read(node, rank, file, offset, actual, std::move(finish));
+  }
+}
+
+void PosixIo::read(RankId rank, Fd fd, Bytes count, SizeCallback done) {
+  OpenFile* of = find(rank, fd);
+  Bytes offset = of != nullptr ? of->position : 0;
+  data_op(rank, fd, count, offset, /*advance=*/true, /*is_write=*/false,
+          std::move(done));
+}
+
+void PosixIo::write(RankId rank, Fd fd, Bytes count, SizeCallback done) {
+  OpenFile* of = find(rank, fd);
+  Bytes offset = of != nullptr ? of->position : 0;
+  data_op(rank, fd, count, offset, /*advance=*/true, /*is_write=*/true,
+          std::move(done));
+}
+
+void PosixIo::pread(RankId rank, Fd fd, Bytes count, Bytes offset, SizeCallback done) {
+  data_op(rank, fd, count, offset, /*advance=*/false, /*is_write=*/false,
+          std::move(done));
+}
+
+void PosixIo::pwrite(RankId rank, Fd fd, Bytes count, Bytes offset,
+                     SizeCallback done) {
+  data_op(rank, fd, count, offset, /*advance=*/false, /*is_write=*/true,
+          std::move(done));
+}
+
+void PosixIo::fsync(RankId rank, Fd fd, StatusCallback done) {
+  Seconds start = engine_.now();
+  OpenFile* of = find(rank, fd);
+  if (of == nullptr) {
+    engine_.schedule_in(fs_.syscall_latency(), [done = std::move(done)] { done(-1); });
+    return;
+  }
+  FileId file = of->file;
+  fs_.flush(node_of(rank), [this, rank, fd, file, start, done = std::move(done)] {
+    notify({rank, OpType::kFsync, fd, file, 0, 0, start, engine_.now() - start});
+    done(0);
+  });
+}
+
+}  // namespace eio::posix

@@ -1,0 +1,102 @@
+// POSIX-like I/O surface over the simulated file system.
+//
+// Each MPI rank has its own descriptor table (as separate processes
+// would); calls are asynchronous because they advance simulated time.
+// Completion callbacks deliver the usual POSIX results (byte counts,
+// new offsets, -1 on error). Registered IoObservers see every completed
+// call with its duration — the interception point the tracer uses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "lustre/filesystem.h"
+#include "posix/hooks.h"
+#include "sim/engine.h"
+
+namespace eio::posix {
+
+/// Flags for open(); combined with |.
+enum OpenFlags : std::uint32_t {
+  kRdOnly = 0,
+  kWrOnly = 1u << 0,
+  kRdWr = 1u << 1,
+  kCreate = 1u << 2,
+};
+
+/// Seek origin.
+enum class Whence : std::uint8_t { kSet, kCur, kEnd };
+
+/// The simulated POSIX layer.
+class PosixIo {
+ public:
+  using SizeCallback = std::function<void(std::int64_t)>;  ///< bytes or -1
+  using FdCallback = std::function<void(Fd)>;              ///< fd or -1
+  using StatusCallback = std::function<void(int)>;         ///< 0 or -1
+
+  /// `tasks_per_node` maps ranks onto client nodes (rank / tasks_per_node).
+  PosixIo(sim::Engine& engine, lustre::Filesystem& fs, std::uint32_t tasks_per_node);
+
+  PosixIo(const PosixIo&) = delete;
+  PosixIo& operator=(const PosixIo&) = delete;
+
+  /// Pre-declare striping/sharing options for a path (the moral
+  /// equivalent of `lfs setstripe`). Must be called before the file is
+  /// first created.
+  void setstripe(const std::string& path, const lustre::FileOptions& options);
+
+  void open(RankId rank, const std::string& path, std::uint32_t flags, FdCallback done);
+  void close(RankId rank, Fd fd, StatusCallback done);
+  /// Returns the resulting absolute offset (or -1).
+  void lseek(RankId rank, Fd fd, std::int64_t offset, Whence whence, SizeCallback done);
+  void read(RankId rank, Fd fd, Bytes count, SizeCallback done);
+  void write(RankId rank, Fd fd, Bytes count, SizeCallback done);
+  void pread(RankId rank, Fd fd, Bytes count, Bytes offset, SizeCallback done);
+  void pwrite(RankId rank, Fd fd, Bytes count, Bytes offset, SizeCallback done);
+  void fsync(RankId rank, Fd fd, StatusCallback done);
+
+  /// Register a call observer (not owned). Observers fire on completion.
+  void add_observer(IoObserver* observer);
+  void remove_observer(IoObserver* observer);
+
+  /// Node hosting a rank.
+  [[nodiscard]] NodeId node_of(RankId rank) const noexcept {
+    return rank / tasks_per_node_;
+  }
+
+  [[nodiscard]] lustre::Filesystem& filesystem() noexcept { return fs_; }
+
+  /// Number of fds currently open across all ranks.
+  [[nodiscard]] std::size_t open_fd_count() const noexcept { return fds_.size(); }
+
+ private:
+  struct OpenFile {
+    FileId file = kInvalidFile;
+    Bytes position = 0;
+    std::uint32_t flags = 0;
+  };
+
+  [[nodiscard]] static std::uint64_t key(RankId rank, Fd fd) noexcept {
+    return (static_cast<std::uint64_t>(rank) << 32) |
+           static_cast<std::uint32_t>(fd);
+  }
+  OpenFile* find(RankId rank, Fd fd);
+  void notify(const CallRecord& record);
+  void data_op(RankId rank, Fd fd, Bytes count, Bytes offset, bool advance,
+               bool is_write, SizeCallback done);
+
+  sim::Engine& engine_;
+  lustre::Filesystem& fs_;
+  std::uint32_t tasks_per_node_;
+  std::unordered_map<std::uint64_t, OpenFile> fds_;
+  std::unordered_map<RankId, Fd> next_fd_;
+  std::unordered_map<std::string, lustre::FileOptions> stripe_options_;
+  std::vector<IoObserver*> observers_;
+};
+
+}  // namespace eio::posix

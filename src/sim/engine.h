@@ -1,0 +1,129 @@
+// Discrete-event simulation engine.
+//
+// A binary-heap calendar of cancellable events. Cancellation is lazy:
+// the heap entry stays behind, but its id is erased from the live map,
+// so popping skips it. Events at equal times fire in scheduling order
+// (FIFO tie-break via a monotone sequence number), which keeps runs
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace eio::sim {
+
+/// Handle to a scheduled event; used for cancellation.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEvent = 0;
+
+/// The event calendar and simulation clock.
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulation time.
+  [[nodiscard]] Seconds now() const noexcept { return now_; }
+
+  /// Schedule `action` to run at absolute time `when` (>= now).
+  /// Returns a handle that can be passed to cancel().
+  EventId schedule_at(Seconds when, Action action) {
+    EIO_CHECK_MSG(when >= now_, "scheduling into the past: when=" << when
+                                                                 << " now=" << now_);
+    EventId id = ++next_id_;
+    live_.emplace(id, std::move(action));
+    heap_.push(Entry{when, id});
+    return id;
+  }
+
+  /// Schedule `action` to run `delay` seconds from now.
+  EventId schedule_in(Seconds delay, Action action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Cancel a previously scheduled event. Returns true if the event was
+  /// still pending (false if it already ran or was cancelled).
+  bool cancel(EventId id) { return live_.erase(id) > 0; }
+
+  /// True if an event is still pending.
+  [[nodiscard]] bool pending(EventId id) const { return live_.count(id) > 0; }
+
+  /// Number of live (not-yet-run, not-cancelled) events.
+  [[nodiscard]] std::size_t live_events() const noexcept { return live_.size(); }
+
+  /// Run a single event. Returns false if the calendar is empty.
+  bool step() {
+    while (!heap_.empty()) {
+      Entry top = heap_.top();
+      auto it = live_.find(top.id);
+      if (it == live_.end()) {  // cancelled — discard the stale entry
+        heap_.pop();
+        continue;
+      }
+      heap_.pop();
+      now_ = top.when;
+      Action action = std::move(it->second);
+      live_.erase(it);
+      ++events_run_;
+      action();
+      return true;
+    }
+    return false;
+  }
+
+  /// Run until the calendar drains. Returns the final time.
+  Seconds run() {
+    while (step()) {
+    }
+    return now_;
+  }
+
+  /// Run until the calendar drains or the clock passes `deadline`.
+  Seconds run_until(Seconds deadline) {
+    while (!heap_.empty()) {
+      // Peek at the next live event's time without running it.
+      Entry top = heap_.top();
+      if (live_.find(top.id) == live_.end()) {
+        heap_.pop();
+        continue;
+      }
+      if (top.when > deadline) break;
+      step();
+    }
+    if (now_ < deadline) now_ = deadline;
+    return now_;
+  }
+
+  /// Total number of events executed so far.
+  [[nodiscard]] std::uint64_t events_run() const noexcept { return events_run_; }
+
+ private:
+  struct Entry {
+    Seconds when;
+    EventId id;
+    // Min-heap by (time, id): smaller id == scheduled earlier.
+    [[nodiscard]] bool operator>(const Entry& o) const noexcept {
+      if (when != o.when) return when > o.when;
+      return id > o.id;
+    }
+  };
+
+  Seconds now_ = 0.0;
+  EventId next_id_ = 0;
+  std::uint64_t events_run_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, Action> live_;
+};
+
+}  // namespace eio::sim

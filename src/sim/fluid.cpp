@@ -1,0 +1,288 @@
+#include "sim/fluid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eio::sim {
+
+std::uint32_t ConcurrencyPolicy::sample(rng::Stream& s) const {
+  EIO_CHECK_MSG(!choices.empty(), "empty concurrency policy");
+  double u = s.uniform();
+  double acc = 0.0;
+  for (const Choice& c : choices) {
+    acc += c.probability;
+    if (u < acc) return c.streams;
+  }
+  return choices.back().streams;
+}
+
+FluidNetwork::FluidNetwork(Engine& engine, Config config)
+    : engine_(engine),
+      contention_(config.contention),
+      policy_(std::move(config.node_policy)) {
+  EIO_CHECK(!config.nic_capacity.empty());
+  EIO_CHECK(!config.ost_capacity.empty());
+  rng::StreamFactory factory(config.seed);
+  nodes_.resize(config.nic_capacity.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].nic_capacity = config.nic_capacity[i];
+    nodes_[i].rng = rng::make_stream(factory, rng::StreamKind::kNodeScheduler, i);
+    EIO_CHECK(nodes_[i].nic_capacity > 0.0);
+  }
+  osts_.resize(config.ost_capacity.size());
+  for (std::size_t i = 0; i < osts_.size(); ++i) {
+    osts_[i].capacity = config.ost_capacity[i];
+    EIO_CHECK(osts_[i].capacity > 0.0);
+  }
+}
+
+FlowId FluidNetwork::start_flow(FlowSpec spec) {
+  EIO_CHECK_MSG(spec.node < nodes_.size(), "bad node id " << spec.node);
+  for (OstId o : spec.osts) EIO_CHECK_MSG(o < osts_.size(), "bad ost id " << o);
+  EIO_CHECK_MSG(!spec.osts.empty(), "flow must touch at least one OST");
+
+  FlowId id = ++next_flow_id_;
+  Flow f;
+  f.id = id;
+  f.node = spec.node;
+  f.osts = std::move(spec.osts);
+  // De-duplicate the OST set; shares are computed per unique OST.
+  std::sort(f.osts.begin(), f.osts.end());
+  f.osts.erase(std::unique(f.osts.begin(), f.osts.end()), f.osts.end());
+  f.total_bytes = spec.bytes;
+  f.remaining = static_cast<double>(spec.bytes);
+  f.cap = spec.cap;
+  f.ost_efficiency = spec.ost_efficiency;
+  f.scheduled = spec.scheduled;
+  f.last_update = engine_.now();
+  f.on_complete = std::move(spec.on_complete);
+
+  if (f.remaining <= 0.0) {
+    // Zero-byte transfer: complete on the next event boundary so the
+    // caller's callback never runs re-entrantly inside start_flow.
+    auto cb = std::move(f.on_complete);
+    engine_.schedule_in(0.0, [cb = std::move(cb), id] {
+      if (cb) cb(id);
+    });
+    return id;
+  }
+
+  Node& n = nodes_[f.node];
+  maybe_start_burst(n);
+
+  auto [it, inserted] = flows_.emplace(id, std::move(f));
+  EIO_CHECK(inserted);
+  Flow& flow = it->second;
+
+  bool can_grant = !flow.scheduled || n.granted.size() < n.concurrency;
+  if (can_grant) {
+    grant(flow);
+    recompute_touching(flow.node, flow.osts);
+  } else {
+    n.waiting.push_back(id);
+  }
+  return id;
+}
+
+void FluidNetwork::maybe_start_burst(Node& n) {
+  if (n.granted.empty() && n.waiting.empty()) {
+    n.concurrency = policy_.sample(n.rng);
+    EIO_CHECK(n.concurrency >= 1);
+  }
+}
+
+void FluidNetwork::grant(Flow& f) {
+  EIO_CHECK(!f.granted);
+  f.granted = true;
+  ++granted_count_;
+  Node& n = nodes_[f.node];
+  n.granted.push_back(f.id);
+  f.group_refs.clear();
+  f.group_refs.reserve(f.osts.size());
+  for (OstId o : f.osts) {
+    Ost& ost = osts_[o];
+    auto& group = ost.by_node[f.node];
+    group.push_back(f.id);
+    f.group_refs.push_back(&group);
+    ++ost.flow_count;
+  }
+}
+
+void FluidNetwork::release_resources(Flow& f) {
+  Node& n = nodes_[f.node];
+  if (f.granted) {
+    --granted_count_;
+    auto it = std::find(n.granted.begin(), n.granted.end(), f.id);
+    EIO_CHECK(it != n.granted.end());
+    n.granted.erase(it);
+    for (OstId o : f.osts) {
+      Ost& ost = osts_[o];
+      auto bn = ost.by_node.find(f.node);
+      EIO_CHECK(bn != ost.by_node.end());
+      auto fit = std::find(bn->second.begin(), bn->second.end(), f.id);
+      EIO_CHECK(fit != bn->second.end());
+      bn->second.erase(fit);
+      if (bn->second.empty()) ost.by_node.erase(bn);
+      --ost.flow_count;
+    }
+    f.group_refs.clear();
+  } else {
+    auto it = std::find(n.waiting.begin(), n.waiting.end(), f.id);
+    EIO_CHECK(it != n.waiting.end());
+    n.waiting.erase(it);
+  }
+  f.granted = false;
+}
+
+void FluidNetwork::pump_waiting(Node& n) {
+  while (!n.waiting.empty() && n.granted.size() < n.concurrency) {
+    // Random grant order: scheduler luck is redrawn per stream, which
+    // averages out over a task's successive calls (LLN, Figure 2).
+    std::size_t pick = static_cast<std::size_t>(n.rng.index(n.waiting.size()));
+    FlowId id = n.waiting[pick];
+    n.waiting.erase(n.waiting.begin() + static_cast<std::ptrdiff_t>(pick));
+    auto it = flows_.find(id);
+    EIO_CHECK(it != flows_.end());
+    grant(it->second);
+  }
+}
+
+void FluidNetwork::settle(Flow& f) {
+  Seconds now = engine_.now();
+  double dt = now - f.last_update;
+  if (dt > 0.0 && f.rate > 0.0) {
+    f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+  }
+  f.last_update = now;
+}
+
+Rate FluidNetwork::compute_rate(const Flow& f) const {
+  if (!f.granted) return 0.0;
+  const Node& n = nodes_[f.node];
+  EIO_DCHECK(!n.granted.empty());
+  Rate nic_share = n.nic_capacity / static_cast<double>(n.granted.size());
+
+  Rate ost_total = 0.0;
+  for (std::size_t i = 0; i < f.osts.size(); ++i) {
+    const Ost& ost = osts_[f.osts[i]];
+    std::size_t clients = ost.by_node.size();
+    EIO_DCHECK(clients >= 1);
+    double eff = contention_.efficiency(static_cast<std::uint32_t>(clients));
+    Rate node_slice = ost.capacity * eff / static_cast<double>(clients);
+    EIO_DCHECK(f.group_refs[i] != nullptr && !f.group_refs[i]->empty());
+    ost_total += node_slice / static_cast<double>(f.group_refs[i]->size());
+  }
+  ost_total *= f.ost_efficiency;
+
+  return std::min({nic_share, ost_total, f.cap});
+}
+
+void FluidNetwork::reschedule(Flow& f) {
+  if (f.completion != kInvalidEvent) {
+    engine_.cancel(f.completion);
+    f.completion = kInvalidEvent;
+  }
+  if (f.rate <= 0.0) return;  // waiting flows have no completion event
+  Seconds eta = f.remaining / f.rate;
+  FlowId id = f.id;
+  f.completion = engine_.schedule_in(eta, [this, id] { complete_flow(id); });
+}
+
+void FluidNetwork::refresh(Flow& f) {
+  settle(f);
+  Rate rate = compute_rate(f);
+  // If the rate is unchanged, the pending completion event is still
+  // exact (settle advanced last_update by exactly rate*dt), so the
+  // cancel+reschedule churn can be skipped.
+  if (rate == f.rate && f.completion != kInvalidEvent) return;
+  f.rate = rate;
+  reschedule(f);
+}
+
+void FluidNetwork::recompute_touching(NodeId node, const std::vector<OstId>& osts) {
+  // When the touched resources cover most granted flows (typical for
+  // full-stripe transfers where every flow uses every OST), a direct
+  // scan is cheaper than gathering per-resource lists.
+  std::size_t touched = nodes_[node].granted.size();
+  for (OstId o : osts) touched += osts_[o].flow_count;
+  if (touched >= granted_count_) {
+    for (auto& [id, f] : flows_) {
+      if (f.granted) refresh(f);
+    }
+    return;
+  }
+
+  ++epoch_;
+  auto visit = [this](FlowId id) {
+    auto it = flows_.find(id);
+    EIO_DCHECK(it != flows_.end());
+    Flow& f = it->second;
+    if (f.visit_epoch == epoch_) return;
+    f.visit_epoch = epoch_;
+    refresh(f);
+  };
+  for (FlowId id : nodes_[node].granted) visit(id);
+  for (OstId o : osts) {
+    for (const auto& [client, ids] : osts_[o].by_node) {
+      for (FlowId id : ids) visit(id);
+    }
+  }
+}
+
+void FluidNetwork::complete_flow(FlowId id) {
+  auto it = flows_.find(id);
+  EIO_CHECK(it != flows_.end());
+  Flow& f = it->second;
+  settle(f);
+  // The completion event fires exactly at remaining/rate; any residue
+  // is floating-point noise.
+  EIO_DCHECK(f.remaining < 1.0);
+  bytes_completed_ += f.total_bytes;
+
+  NodeId node = f.node;
+  std::vector<OstId> osts = f.osts;
+  auto on_complete = std::move(f.on_complete);
+
+  release_resources(f);
+  flows_.erase(it);
+
+  Node& n = nodes_[node];
+  pump_waiting(n);
+  recompute_touching(node, osts);
+
+  if (on_complete) on_complete(id);
+}
+
+Rate FluidNetwork::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+std::size_t FluidNetwork::ost_flow_count(OstId ost) const {
+  EIO_CHECK(ost < osts_.size());
+  return osts_[ost].flow_count;
+}
+
+std::size_t FluidNetwork::ost_client_count(OstId ost) const {
+  EIO_CHECK(ost < osts_.size());
+  return osts_[ost].by_node.size();
+}
+
+std::size_t FluidNetwork::node_granted(NodeId node) const {
+  EIO_CHECK(node < nodes_.size());
+  return nodes_[node].granted.size();
+}
+
+std::size_t FluidNetwork::node_waiting(NodeId node) const {
+  EIO_CHECK(node < nodes_.size());
+  return nodes_[node].waiting.size();
+}
+
+void FluidNetwork::set_ost_capacity(OstId ost, Rate capacity) {
+  EIO_CHECK(ost < osts_.size());
+  EIO_CHECK(capacity > 0.0);
+  osts_[ost].capacity = capacity;
+  recompute_touching(/*node=*/0, std::vector<OstId>{ost});
+}
+
+}  // namespace eio::sim

@@ -1,0 +1,208 @@
+// Fluid-flow bottleneck-share network.
+//
+// Every bulk transfer in the simulated machine is a *flow*: an amount of
+// bytes moving from a compute node to a set of OSTs (or back). A flow's
+// instantaneous rate is
+//
+//     rate = min( NIC share,  Σ_osts OST share,  per-flow cap )
+//
+// where shares are *structural* (they depend only on how many flows and
+// client nodes are active on a resource, never on other flows' rates),
+// so a flow arrival/departure only requires recomputing flows that
+// share one of its resources — no global water-filling and no cascades.
+//
+// OST capacity is divided in two levels, mirroring how a Lustre OST
+// services RPC streams: first equally among distinct *client nodes*
+// with traffic on the OST, then equally among that node's flows on the
+// OST. This is the mechanism behind the paper's Figure 1(c) harmonics:
+// a node whose client admits only one stream concentrates the node's
+// entire OST allocation onto that stream (≈4R), two streams get ≈2R
+// each, and four streams get the fair share R.
+//
+// Each node has a token scheduler that admits a bounded number of
+// concurrent streams (concurrency sampled per busy-burst from a
+// configurable policy; grant order randomized per grant, which is what
+// produces the Law-of-Large-Numbers averaging of Figure 2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/engine.h"
+
+namespace eio::sim {
+
+/// Handle identifying an active flow.
+using FlowId = std::uint64_t;
+
+inline constexpr FlowId kInvalidFlow = 0;
+
+/// Distribution over per-burst stream concurrency for a node's client
+/// I/O scheduler. Probabilities must sum to ~1.
+struct ConcurrencyPolicy {
+  struct Choice {
+    std::uint32_t streams = 1;  ///< concurrent streams admitted
+    double probability = 1.0;
+  };
+  std::vector<Choice> choices;
+
+  /// All bursts admit exactly `n` concurrent streams.
+  [[nodiscard]] static ConcurrencyPolicy fixed(std::uint32_t n) {
+    return ConcurrencyPolicy{{{n, 1.0}}};
+  }
+
+  /// The Franklin-like mixture observed in the paper: most bursts are
+  /// fair, but some nodes serialize down to 2 or 1 streams.
+  [[nodiscard]] static ConcurrencyPolicy franklin_mix() {
+    return ConcurrencyPolicy{{{1, 0.25}, {2, 0.30}, {4, 0.45}}};
+  }
+
+  [[nodiscard]] std::uint32_t sample(rng::Stream& s) const;
+};
+
+/// Diminishing OST efficiency as the count of distinct client nodes
+/// grows (queue-depth / seek-interleaving contention):
+///   eff(c) = 1 / (1 + alpha * max(0, c - knee))
+struct ContentionModel {
+  double alpha = 0.0;        ///< per-extra-client penalty slope
+  std::uint32_t knee = 16;   ///< clients at/below this are free
+
+  [[nodiscard]] double efficiency(std::uint32_t clients) const noexcept {
+    if (clients <= knee || alpha <= 0.0) return 1.0;
+    return 1.0 / (1.0 + alpha * static_cast<double>(clients - knee));
+  }
+};
+
+/// Parameters of a new flow.
+struct FlowSpec {
+  NodeId node = 0;               ///< originating compute node
+  Bytes bytes = 0;               ///< payload to move
+  std::vector<OstId> osts;       ///< unique OSTs this flow stripes over
+  Rate cap = 1e18;               ///< per-flow rate ceiling (e.g. degraded reads)
+  double ost_efficiency = 1.0;   ///< multiplier on OST-side share (read penalty)
+  bool scheduled = true;         ///< subject to the node token scheduler
+  std::function<void(FlowId)> on_complete;  ///< fired when bytes drain
+};
+
+/// The network of NICs and OSTs carrying fluid flows.
+class FluidNetwork {
+ public:
+  struct Config {
+    std::vector<Rate> nic_capacity;    ///< per-node injection bandwidth
+    std::vector<Rate> ost_capacity;    ///< per-OST service bandwidth
+    ConcurrencyPolicy node_policy = ConcurrencyPolicy::fixed(4);
+    ContentionModel contention;        ///< OST client-count contention
+    std::uint64_t seed = 1;            ///< master seed for scheduler draws
+  };
+
+  FluidNetwork(Engine& engine, Config config);
+
+  FluidNetwork(const FluidNetwork&) = delete;
+  FluidNetwork& operator=(const FluidNetwork&) = delete;
+
+  /// Launch a flow. Completion (possibly delayed by queueing in the
+  /// node scheduler) invokes spec.on_complete.
+  FlowId start_flow(FlowSpec spec);
+
+  /// Number of flows not yet completed (granted + waiting).
+  [[nodiscard]] std::size_t active_flows() const noexcept { return flows_.size(); }
+
+  /// Instantaneous rate of a flow (0 if waiting for a token or done).
+  [[nodiscard]] Rate flow_rate(FlowId id) const;
+
+  /// True while the flow exists (granted or queued).
+  [[nodiscard]] bool flow_active(FlowId id) const { return flows_.count(id) > 0; }
+
+  /// Count of granted flows currently registered on an OST.
+  [[nodiscard]] std::size_t ost_flow_count(OstId ost) const;
+
+  /// Count of distinct client nodes currently active on an OST.
+  [[nodiscard]] std::size_t ost_client_count(OstId ost) const;
+
+  /// Count of granted flows on a node (streams holding a token).
+  [[nodiscard]] std::size_t node_granted(NodeId node) const;
+
+  /// Count of flows queued behind the node's token scheduler.
+  [[nodiscard]] std::size_t node_waiting(NodeId node) const;
+
+  /// Total bytes fully drained through the network so far.
+  [[nodiscard]] Bytes bytes_completed() const noexcept { return bytes_completed_; }
+
+  /// Adjust an OST's base capacity (used by fault-injection tests).
+  void set_ost_capacity(OstId ost, Rate capacity);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t ost_count() const noexcept { return osts_.size(); }
+
+ private:
+  struct Flow {
+    FlowId id = kInvalidFlow;
+    NodeId node = 0;
+    std::vector<OstId> osts;
+    /// Cached pointers to each OST's per-node flow group for this
+    /// flow's node (parallel to `osts`, valid while granted; the
+    /// pointees are unordered_map mapped values, whose addresses are
+    /// stable under unrelated insert/erase).
+    std::vector<const std::vector<FlowId>*> group_refs;
+    Bytes total_bytes = 0;        ///< original payload size
+    double remaining = 0.0;       ///< bytes left to move
+    Rate cap = 1e18;
+    double ost_efficiency = 1.0;
+    bool scheduled = true;
+    bool granted = false;
+    Rate rate = 0.0;
+    Seconds last_update = 0.0;
+    std::uint64_t visit_epoch = 0;
+    EventId completion = kInvalidEvent;
+    std::function<void(FlowId)> on_complete;
+  };
+
+  struct Node {
+    Rate nic_capacity = 0.0;
+    std::uint32_t concurrency = 1;   ///< tokens for the current burst
+    std::vector<FlowId> granted;     ///< flows holding a token
+    std::vector<FlowId> waiting;     ///< flows queued for a token
+    rng::Stream rng;
+  };
+
+  struct Ost {
+    Rate capacity = 0.0;
+    // granted flows on this OST, grouped by client node
+    std::unordered_map<NodeId, std::vector<FlowId>> by_node;
+    std::size_t flow_count = 0;
+  };
+
+  void grant(Flow& f);
+  void release_resources(Flow& f);
+  void complete_flow(FlowId id);
+  /// Settle + recompute + reschedule every granted flow touching the
+  /// given node or any of the given OSTs. Falls back to a full scan of
+  /// granted flows when the touched set covers most of them.
+  void recompute_touching(NodeId node, const std::vector<OstId>& osts);
+  /// Settle one flow, recompute its rate and reschedule completion.
+  void refresh(Flow& f);
+  void settle(Flow& f);
+  [[nodiscard]] Rate compute_rate(const Flow& f) const;
+  void reschedule(Flow& f);
+  void maybe_start_burst(Node& n);
+  void pump_waiting(Node& n);
+
+  Engine& engine_;
+  ContentionModel contention_;
+  ConcurrencyPolicy policy_;
+  std::vector<Node> nodes_;
+  std::vector<Ost> osts_;
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_flow_id_ = 0;
+  Bytes bytes_completed_ = 0;
+  std::size_t granted_count_ = 0;
+  std::uint64_t epoch_ = 0;  ///< visitation stamp for recompute dedup
+};
+
+}  // namespace eio::sim

@@ -1,0 +1,77 @@
+#include "workloads/experiment.h"
+
+#include "common/check.h"
+#include "posix/vfs.h"
+#include "sim/engine.h"
+
+namespace eio::workloads {
+
+std::uint32_t node_count_for(const lustre::MachineConfig& machine,
+                             std::uint32_t tasks) {
+  EIO_CHECK(tasks >= 1);
+  return (tasks + machine.tasks_per_node - 1) / machine.tasks_per_node;
+}
+
+Rate fair_share_rate(const lustre::MachineConfig& machine, std::uint32_t tasks) {
+  EIO_CHECK(tasks >= 1);
+  return machine.ost_bandwidth * static_cast<double>(machine.ost_count) /
+         static_cast<double>(tasks);
+}
+
+RunResult run_job(const JobSpec& spec) {
+  EIO_CHECK_MSG(!spec.programs.empty(), "job has no programs");
+  auto ranks = static_cast<std::uint32_t>(spec.programs.size());
+  std::uint32_t nodes = node_count_for(spec.machine, ranks);
+
+  sim::Engine engine;
+  lustre::Filesystem fs(engine, spec.machine, nodes);
+  posix::PosixIo io(engine, fs, spec.machine.tasks_per_node);
+  for (const auto& [path, options] : spec.stripe_options) {
+    io.setstripe(path, options);
+  }
+
+  ipm::Monitor monitor(ipm::Monitor::Config{.mode = spec.capture});
+  monitor.attach(io);
+  monitor.trace().set_experiment(spec.name);
+  monitor.trace().set_ranks(ranks);
+
+  mpi::Runtime runtime(engine, io, spec.collective_costs);
+  runtime.set_phase_hook(
+      [&monitor](RankId rank, std::int32_t phase) { monitor.set_phase(rank, phase); });
+  runtime.load(spec.programs);
+
+  RunResult result;
+  result.name = spec.name;
+  // Step until every rank has finished (the interference stream, when
+  // enabled, would keep the calendar alive forever), then stop the
+  // generator and drain the remaining in-flight work.
+  runtime.start();
+  fs.start_background();
+  while (!runtime.all_done()) {
+    EIO_CHECK_MSG(engine.step(), "engine drained before ranks finished — deadlock?");
+  }
+  fs.stop_background();
+  engine.run();
+  result.job_time = runtime.job_finish_time();
+  result.trace = std::move(monitor.trace());
+  result.profile = monitor.profile();
+  result.fs_stats = fs.stats();
+  result.engine_events = engine.events_run();
+  result.monitor_overhead = monitor.accounted_overhead();
+  return result;
+}
+
+std::vector<RunResult> run_ensemble(JobSpec spec, std::size_t runs) {
+  EIO_CHECK(runs >= 1);
+  std::vector<RunResult> results;
+  results.reserve(runs);
+  std::uint64_t base_seed = spec.machine.seed;
+  for (std::size_t r = 0; r < runs; ++r) {
+    spec.machine.seed = base_seed + r;
+    results.push_back(run_job(spec));
+    results.back().name = spec.name + "#" + std::to_string(r);
+  }
+  return results;
+}
+
+}  // namespace eio::workloads

@@ -1,0 +1,69 @@
+// Experiment driver: build a simulated job, run it, keep everything.
+//
+// The paper's vocabulary: "we refer to a particular choice of test
+// parameters as an experiment and a specific instance of running that
+// experiment simply as a run". A JobSpec is an experiment; run_job()
+// performs one run (seeded deterministically); run_ensemble() performs
+// several runs with derived seeds for reproducibility studies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "ipm/monitor.h"
+#include "lustre/filesystem.h"
+#include "lustre/machine.h"
+#include "mpi/program.h"
+#include "mpi/runtime.h"
+
+namespace eio::workloads {
+
+/// An experiment: machine + per-rank programs + capture settings.
+struct JobSpec {
+  std::string name = "job";
+  lustre::MachineConfig machine;
+  std::vector<mpi::Program> programs;  ///< one per rank
+  std::map<std::string, lustre::FileOptions> stripe_options;  ///< per path
+  ipm::Mode capture = ipm::Mode::kBoth;
+  mpi::CollectiveCosts collective_costs;
+};
+
+/// Everything a run produces.
+struct RunResult {
+  std::string name;
+  Seconds job_time = 0.0;        ///< slowest rank's finish time
+  ipm::Trace trace;
+  ipm::Profile profile;
+  lustre::FilesystemStats fs_stats;
+  std::uint64_t engine_events = 0;
+  Seconds monitor_overhead = 0.0;
+  /// Reported aggregate data rate the way benchmarks report it:
+  /// payload bytes moved / job wall time.
+  [[nodiscard]] double reported_rate() const {
+    return job_time > 0.0
+               ? static_cast<double>(fs_stats.bytes_written + fs_stats.bytes_read) /
+                     job_time
+               : 0.0;
+  }
+};
+
+/// Execute one run of the experiment.
+[[nodiscard]] RunResult run_job(const JobSpec& spec);
+
+/// Execute `runs` runs with seeds derived from the machine seed
+/// (machine.seed + run index); the per-run traces land in the results.
+[[nodiscard]] std::vector<RunResult> run_ensemble(JobSpec spec, std::size_t runs);
+
+/// Per-task fair-share rate of a machine at a given task count:
+/// aggregate OST bandwidth divided by the number of tasks.
+[[nodiscard]] Rate fair_share_rate(const lustre::MachineConfig& machine,
+                                   std::uint32_t tasks);
+
+/// Nodes needed for `tasks` ranks on this machine.
+[[nodiscard]] std::uint32_t node_count_for(const lustre::MachineConfig& machine,
+                                           std::uint32_t tasks);
+
+}  // namespace eio::workloads

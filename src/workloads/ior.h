@@ -1,0 +1,48 @@
+// The Interleaved-Or-Random (IOR) micro-benchmark, as configured in
+// Section III of the paper.
+//
+// Each of `tasks` MPI tasks writes `block_size` bytes to its own offset
+// in one shared file, in `calls_per_block` successive write() calls
+// (k = 1 reproduces Figure 1; k = 2/4/8 reproduce Figure 2), followed
+// by a barrier; the pattern repeats for `segments` phases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+#include "workloads/experiment.h"
+
+namespace eio::workloads {
+
+/// IOR experiment parameters.
+struct IorConfig {
+  std::uint32_t tasks = 1024;
+  Bytes block_size = 512 * MiB;       ///< per task per segment
+  std::uint32_t segments = 5;         ///< barrier-separated repeats
+  std::uint32_t calls_per_block = 1;  ///< k: write() calls per block
+  std::uint32_t stripe_count = 0;     ///< 0 = stripe over every OST
+  bool read_back = false;             ///< also read each block back
+  /// The "Random" in Interleaved-Or-Random: permute each task's
+  /// segment slots instead of walking them in order.
+  bool random_offsets = false;
+  /// N-to-N instead of N-to-1: every rank writes its own file.
+  bool file_per_process = false;
+  std::uint32_t fpp_stripe_count = 1;  ///< striping of per-process files
+  std::string file_name = "ior.dat";
+
+  /// Phase label of segment s (write part).
+  [[nodiscard]] static std::int32_t write_phase(std::uint32_t s) {
+    return static_cast<std::int32_t>(1 + s);
+  }
+  /// Phase label of segment s (read-back part).
+  [[nodiscard]] static std::int32_t read_phase(std::uint32_t s) {
+    return static_cast<std::int32_t>(51 + s);
+  }
+};
+
+/// Build the runnable experiment.
+[[nodiscard]] JobSpec make_ior_job(const lustre::MachineConfig& machine,
+                                   const IorConfig& config);
+
+}  // namespace eio::workloads

@@ -1,0 +1,63 @@
+// MADbench: the MADCAP-derived out-of-core I/O benchmark (Section IV).
+//
+// Per MPI task, with all computation/communication disabled, the I/O
+// pattern is:
+//
+//   8 x (write 300 MB)                            -- phase S (generate)
+//   8 x (seek, read 300 MB, seek, write 300 MB)   -- phase W (multiply)
+//   8 x (read 300 MB)                             -- phase C (trace)
+//
+// All matrices of a task sit consecutively in one shared file, each
+// matrix slot aligned up to `alignment` — which leaves a small gap
+// after every matrix and creates the strided read pattern the Lustre
+// read-ahead defect latches onto.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+#include "workloads/experiment.h"
+
+namespace eio::workloads {
+
+/// MADbench experiment parameters.
+struct MadbenchConfig {
+  std::uint32_t tasks = 256;
+  /// Matrix bytes per task; deliberately not a stripe multiple, so the
+  /// aligned slot leaves a gap (as in the real code).
+  Bytes matrix_bytes = 300 * MiB + 300 * KiB;
+  std::uint32_t matrices = 8;
+  Bytes alignment = 1 * MiB;
+  std::uint32_t stripe_count = 0;  ///< 0 = all OSTs
+  std::string file_name = "madbench.dat";
+  /// Route matrix I/O through MPI-IO-style two-phase collectives
+  /// instead of independent POSIX calls. Aggregators then access the
+  /// file *sequentially*, so the strided read-ahead defect never trips
+  /// — collective I/O dodges the Lustre bug.
+  bool collective_io = false;
+  std::uint32_t cb_nodes = 48;     ///< aggregators when collective_io
+
+  /// Aligned per-matrix slot size.
+  [[nodiscard]] Bytes slot() const {
+    return (matrix_bytes + alignment - 1) / alignment * alignment;
+  }
+
+  // Phase labels: generate-phase writes, middle-phase reads/writes
+  // (the "read i" of Figures 4-5 is middle_phase(i)), final reads.
+  [[nodiscard]] static std::int32_t generate_phase(std::uint32_t i) {
+    return static_cast<std::int32_t>(100 + i);  // i in [1, matrices]
+  }
+  [[nodiscard]] static std::int32_t middle_phase(std::uint32_t i) {
+    return static_cast<std::int32_t>(200 + i);
+  }
+  [[nodiscard]] static std::int32_t final_phase(std::uint32_t i) {
+    return static_cast<std::int32_t>(300 + i);
+  }
+};
+
+/// Build the runnable experiment.
+[[nodiscard]] JobSpec make_madbench_job(const lustre::MachineConfig& machine,
+                                        const MadbenchConfig& config);
+
+}  // namespace eio::workloads

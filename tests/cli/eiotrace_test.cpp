@@ -1,0 +1,204 @@
+// Tests for the eiotrace command-line analyzer.
+#include "cli/eiotrace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "ipm/trace.h"
+
+namespace eio::cli {
+namespace {
+
+using posix::OpType;
+
+/// Writes a representative trace to a temp file and cleans it up.
+class EiotraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/eiotrace_test.tsv";
+    ipm::Trace t("cli-test", 8);
+    rng::Stream r(1);
+    // 8 ranks x 6 strided unaligned reads + 4 aligned writes each.
+    Bytes stride = 65 * MiB;
+    for (RankId rank = 0; rank < 8; ++rank) {
+      for (int i = 0; i < 6; ++i) {
+        ipm::TraceEvent e;
+        e.start = i * 10.0;
+        e.duration = 2.0 * r.noise(0.2);
+        e.op = OpType::kRead;
+        e.rank = rank;
+        e.file = 1;
+        e.offset = rank * 600 * MiB + static_cast<Bytes>(i) * stride;
+        e.bytes = 8 * MiB;
+        e.phase = i;
+        t.add(e);
+      }
+      for (int i = 0; i < 4; ++i) {
+        ipm::TraceEvent e;
+        e.start = 60.0 + i * 5.0;
+        e.duration = 1.0 * r.noise(0.2);
+        e.op = OpType::kWrite;
+        e.rank = rank;
+        e.file = 1;
+        e.offset = (static_cast<Bytes>(i) * 8 + rank) * 16 * MiB;
+        e.bytes = 16 * MiB;
+        e.phase = 10 + i;
+        t.add(e);
+      }
+    }
+    t.save(path_);
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Run a command line; returns {exit code, stdout, stderr}.
+  std::tuple<int, std::string, std::string> run(std::vector<std::string> args) {
+    std::ostringstream out, err;
+    int rc = run_eiotrace(args, out, err);
+    return {rc, out.str(), err.str()};
+  }
+
+  std::string path_;
+};
+
+TEST_F(EiotraceTest, NoArgsPrintsUsageAndFails) {
+  auto [rc, out, err] = run({});
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, HelpSucceeds) {
+  auto [rc, out, err] = run({"help"});
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("diagnose"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, UnknownCommandFails) {
+  auto [rc, out, err] = run({"frobnicate", path_});
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, MissingFileFails) {
+  auto [rc, out, err] = run({"report"});
+  EXPECT_EQ(rc, 1);
+  auto [rc2, out2, err2] = run({"report", "/nonexistent.tsv"});
+  EXPECT_EQ(rc2, 2);
+}
+
+TEST_F(EiotraceTest, ReportShowsBanner) {
+  auto [rc, out, err] = run({"report", path_});
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("IPM-I/O"), std::string::npos);
+  EXPECT_NE(out.find("cli-test"), std::string::npos);
+  EXPECT_NE(out.find("write"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, SummaryHasBothOps) {
+  auto [rc, out, err] = run({"summary", path_});
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("write"), std::string::npos);
+  EXPECT_NE(out.find("read"), std::string::npos);
+  EXPECT_NE(out.find("48"), std::string::npos);  // 8x6 reads
+}
+
+TEST_F(EiotraceTest, HistogramRendersBars) {
+  auto [rc, out, err] = run({"histogram", path_, "--op=read", "--bins=20"});
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("seconds"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, HistogramEmptyFilterFails) {
+  auto [rc, out, err] = run({"histogram", path_, "--op=fsync"});
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err.find("no events"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, BadOpFails) {
+  auto [rc, out, err] = run({"histogram", path_, "--op=chmod"});
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err.find("unknown op"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, ModesFindsTheCluster) {
+  auto [rc, out, err] = run({"modes", path_, "--op=write"});
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("modes (32 events)"), std::string::npos);
+  EXPECT_NE(out.find("mass"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, RatesRendersChart) {
+  auto [rc, out, err] = run({"rates", path_, "--bins=50"});
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("aggregate MiB/s"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, DiagramRendersRaster) {
+  auto [rc, out, err] = run({"diagram", path_, "--rows=8", "--cols=40"});
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("'#'=write"), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);  // reads present
+}
+
+TEST_F(EiotraceTest, DiagnoseRuns) {
+  auto [rc, out, err] = run({"diagnose", path_});
+  EXPECT_EQ(rc, 0);
+  // Either findings or an explicit "no findings".
+  EXPECT_FALSE(out.empty());
+}
+
+TEST_F(EiotraceTest, PatternsDetectsStridedReads) {
+  auto [rc, out, err] = run({"patterns", path_});
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("strided"), std::string::npos);
+  EXPECT_NE(out.find("hint"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, PhasesTableListsPhases) {
+  auto [rc, out, err] = run({"phases", path_, "--op=read"});
+  EXPECT_EQ(rc, 0);
+  // Phases 0..5 (reads).
+  EXPECT_NE(out.find("     0"), std::string::npos);
+  EXPECT_NE(out.find("     5"), std::string::npos);
+  EXPECT_NE(out.find("median"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, CompareAgainstItselfIsNeutral) {
+  auto [rc, out, err] = run({"compare", path_, path_});
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("KS-D"), std::string::npos);
+  EXPECT_NE(out.find("1.000"), std::string::npos);  // B/A median ratio
+  EXPECT_NE(out.find("0.0000"), std::string::npos); // KS distance
+}
+
+TEST_F(EiotraceTest, CompareNeedsTwoFiles) {
+  auto [rc, out, err] = run({"compare", path_});
+  EXPECT_EQ(rc, 1);
+}
+
+TEST_F(EiotraceTest, ConvertRoundTripsThroughBinary) {
+  std::string bin = ::testing::TempDir() + "/eiotrace_test.bin";
+  auto [rc, out, err] = run({"convert", path_, bin});
+  EXPECT_EQ(rc, 0);
+  // The binary file is analyzable like the original.
+  auto [rc2, out2, err2] = run({"summary", bin});
+  EXPECT_EQ(rc2, 0);
+  EXPECT_NE(out2.find("write"), std::string::npos);
+  std::remove(bin.c_str());
+}
+
+TEST_F(EiotraceTest, PhaseFilterNarrowsEvents) {
+  auto [rc, out, err] = run({"summary", path_, "--phase=3"});
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("read"), std::string::npos);
+  // Only the 8 phase-3 reads; writes (phases 10+) are filtered out.
+  EXPECT_EQ(out.find("write"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eio::cli

@@ -1,0 +1,117 @@
+// Unit tests for the deterministic RNG substreams.
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace eio::rng {
+namespace {
+
+TEST(RngTest, SplitmixIsDeterministic) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+TEST(RngTest, SubstreamSeedsDiffer) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      seeds.insert(substream_seed(99, a, b));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 256u);  // no collisions in a small grid
+}
+
+TEST(RngTest, StreamsWithSameSeedAgree) {
+  Stream a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngTest, UniformInRange) {
+  Stream s(3);
+  for (int i = 0; i < 1000; ++i) {
+    double u = s.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, IndexCoversRange) {
+  Stream s(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(s.index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  for (std::uint64_t v : seen) EXPECT_LT(v, 7u);
+}
+
+TEST(RngTest, NoiseHasUnitMedian) {
+  Stream s(11);
+  int above = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (s.noise(0.3) > 1.0) ++above;
+  }
+  // exp(sigma*Z) has median 1: ~50% above.
+  EXPECT_NEAR(static_cast<double>(above) / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ParetoRespectsMinimumAndMean) {
+  Stream s(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double p = s.pareto(2.0, 3.0);
+    EXPECT_GE(p, 2.0);
+    sum += p;
+  }
+  // E[Pareto(xm=2, a=3)] = a*xm/(a-1) = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(RngTest, ChanceMatchesProbability) {
+  Stream s(17);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (s.chance(0.2)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.2, 0.01);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Stream s(19);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += s.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(RngTest, NormalMoments) {
+  Stream s(23);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double z = s.normal();
+    sum += z;
+    sum2 += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, FactoryStreamsIndependentButDeterministic) {
+  StreamFactory f(123);
+  Stream a1 = make_stream(f, StreamKind::kFlowNoise, 5);
+  Stream a2 = make_stream(f, StreamKind::kFlowNoise, 5);
+  Stream b = make_stream(f, StreamKind::kFlowNoise, 6);
+  Stream c = make_stream(f, StreamKind::kStraggler, 5);
+  EXPECT_DOUBLE_EQ(a1.uniform(), a2.uniform());
+  double av = a1.uniform();
+  EXPECT_NE(av, b.uniform());
+  EXPECT_NE(av, c.uniform());
+}
+
+}  // namespace
+}  // namespace eio::rng

@@ -1,0 +1,37 @@
+// Unit tests for the unit helpers.
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace eio {
+namespace {
+
+TEST(UnitsTest, ByteConstants) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * 1024u);
+  EXPECT_EQ(GiB, 1024u * 1024u * 1024u);
+}
+
+TEST(UnitsTest, TimeLiterals) {
+  EXPECT_DOUBLE_EQ(ms(250.0), 0.25);
+  EXPECT_DOUBLE_EQ(us(1.0), 1e-6);
+  EXPECT_DOUBLE_EQ(ms(0.0), 0.0);
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_DOUBLE_EQ(to_mib(512 * MiB), 512.0);
+  EXPECT_DOUBLE_EQ(to_gib(3 * GiB), 3.0);
+  EXPECT_DOUBLE_EQ(to_mib(512 * KiB), 0.5);
+  EXPECT_DOUBLE_EQ(to_mib_per_s(16.0 * static_cast<double>(MiB)), 16.0);
+}
+
+TEST(UnitsTest, ConstexprUsable) {
+  constexpr Seconds t = ms(5.0);
+  constexpr double m = to_mib(2 * MiB);
+  static_assert(t == 0.005);
+  static_assert(m == 2.0);
+  EXPECT_TRUE(true);
+}
+
+}  // namespace
+}  // namespace eio

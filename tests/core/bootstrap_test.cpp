@@ -1,0 +1,76 @@
+// Unit tests for percentile-bootstrap intervals.
+#include "core/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eio::stats {
+namespace {
+
+double mean_of(std::span<const double> s) {
+  double acc = 0.0;
+  for (double v : s) acc += v;
+  return acc / static_cast<double>(s.size());
+}
+
+TEST(BootstrapTest, IntervalContainsPointEstimate) {
+  rng::Stream r(1);
+  std::vector<double> s;
+  for (int i = 0; i < 300; ++i) s.push_back(r.normal() + 10.0);
+  Interval iv = bootstrap_interval(s, mean_of, 500, 0.95, 42);
+  EXPECT_TRUE(iv.contains(iv.point));
+  EXPECT_NEAR(iv.point, 10.0, 0.2);
+  EXPECT_GT(iv.width(), 0.0);
+}
+
+TEST(BootstrapTest, WidthShrinksWithSampleSize) {
+  rng::Stream r(2);
+  std::vector<double> small, large;
+  for (int i = 0; i < 50; ++i) small.push_back(r.normal());
+  for (int i = 0; i < 5000; ++i) large.push_back(r.normal());
+  Interval iv_small = bootstrap_interval(small, mean_of, 400, 0.95, 1);
+  Interval iv_large = bootstrap_interval(large, mean_of, 400, 0.95, 1);
+  EXPECT_LT(iv_large.width(), iv_small.width() / 3.0);
+}
+
+TEST(BootstrapTest, HigherConfidenceIsWider) {
+  rng::Stream r(3);
+  std::vector<double> s;
+  for (int i = 0; i < 200; ++i) s.push_back(r.lognormal(0.0, 0.5));
+  Interval narrow = bootstrap_interval(s, mean_of, 600, 0.80, 5);
+  Interval wide = bootstrap_interval(s, mean_of, 600, 0.99, 5);
+  EXPECT_GT(wide.width(), narrow.width());
+}
+
+TEST(BootstrapTest, DeterministicForFixedSeed) {
+  std::vector<double> s{1, 2, 3, 4, 5, 6, 7, 8};
+  Interval a = bootstrap_interval(s, mean_of, 200, 0.9, 9);
+  Interval b = bootstrap_interval(s, mean_of, 200, 0.9, 9);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapTest, WorksWithQuantileStatistic) {
+  rng::Stream r(4);
+  std::vector<double> s;
+  for (int i = 0; i < 500; ++i) s.push_back(r.uniform());
+  auto median = [](std::span<const double> v) {
+    return EmpiricalDistribution(std::vector<double>(v.begin(), v.end())).median();
+  };
+  Interval iv = bootstrap_interval(s, median, 400, 0.95, 6);
+  EXPECT_TRUE(iv.contains(0.5));
+}
+
+TEST(BootstrapTest, GuardsOnBadArguments) {
+  std::vector<double> s{1.0};
+  std::vector<double> none;
+  EXPECT_THROW((void)bootstrap_interval(none, mean_of), std::logic_error);
+  EXPECT_THROW((void)bootstrap_interval(s, mean_of, 5), std::logic_error);
+  EXPECT_THROW((void)bootstrap_interval(s, mean_of, 100, 1.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace eio::stats

@@ -1,0 +1,221 @@
+// Unit tests for the automatic bottleneck diagnoser: each detector is
+// fed a synthetic trace with (and without) its target pathology.
+#include "core/diagnose.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace eio::analysis {
+namespace {
+
+using posix::OpType;
+
+ipm::TraceEvent event(double start, double dur, OpType op, RankId rank,
+                      Bytes bytes, std::int32_t phase = 0, Bytes offset = 0) {
+  ipm::TraceEvent e;
+  e.start = start;
+  e.duration = dur;
+  e.op = op;
+  e.rank = rank;
+  e.file = 1;
+  e.offset = offset;
+  e.bytes = bytes;
+  e.phase = phase;
+  return e;
+}
+
+bool has_finding(const std::vector<Finding>& fs, FindingCode code) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [code](const Finding& f) { return f.code == code; });
+}
+
+TEST(DiagnoseTest, HarmonicModesDetected) {
+  rng::Stream r(1);
+  ipm::Trace t("h", 256);
+  // 60% of writes at T=32, 28% at 16, 12% at 8 (the Fig 1c shape).
+  for (int i = 0; i < 600; ++i) {
+    t.add(event(0, 32.0 + r.normal() * 0.8, OpType::kWrite,
+                static_cast<RankId>(i % 256), 512 * MiB, 0, 0));
+  }
+  for (int i = 0; i < 280; ++i) {
+    t.add(event(0, 16.0 + r.normal() * 0.5, OpType::kWrite,
+                static_cast<RankId>(i % 256), 512 * MiB, 0, 0));
+  }
+  for (int i = 0; i < 120; ++i) {
+    t.add(event(0, 8.0 + r.normal() * 0.3, OpType::kWrite,
+                static_cast<RankId>(i % 256), 512 * MiB, 0, 0));
+  }
+  auto findings = diagnose(t);
+  ASSERT_TRUE(has_finding(findings, FindingCode::kHarmonicModes));
+}
+
+TEST(DiagnoseTest, NoHarmonicsInUnimodalWrites) {
+  rng::Stream r(2);
+  ipm::Trace t("u", 64);
+  for (int i = 0; i < 500; ++i) {
+    t.add(event(0, 30.0 + r.normal(), OpType::kWrite,
+                static_cast<RankId>(i % 64), 512 * MiB));
+  }
+  EXPECT_FALSE(has_finding(diagnose(t), FindingCode::kHarmonicModes));
+}
+
+TEST(DiagnoseTest, ReadDeteriorationDetected) {
+  rng::Stream r(3);
+  ipm::Trace t("d", 64);
+  // Medians grow 10, 15, 23, 34, 51 across phases 4..8 (MADbench).
+  double median = 10.0;
+  for (int phase = 4; phase <= 8; ++phase) {
+    for (int i = 0; i < 64; ++i) {
+      t.add(event(phase * 100.0, median * r.noise(0.2), OpType::kRead,
+                  static_cast<RankId>(i), 300 * MiB, phase));
+    }
+    median *= 1.5;
+  }
+  auto findings = diagnose(t);
+  ASSERT_TRUE(has_finding(findings, FindingCode::kReadDeterioration));
+}
+
+TEST(DiagnoseTest, StableReadPhasesNotFlagged) {
+  rng::Stream r(4);
+  ipm::Trace t("s", 64);
+  for (int phase = 1; phase <= 8; ++phase) {
+    for (int i = 0; i < 64; ++i) {
+      t.add(event(phase * 100.0, 10.0 * r.noise(0.2), OpType::kRead,
+                  static_cast<RankId>(i), 300 * MiB, phase));
+    }
+  }
+  EXPECT_FALSE(has_finding(diagnose(t), FindingCode::kReadDeterioration));
+}
+
+TEST(DiagnoseTest, HeavyReadTailDetected) {
+  rng::Stream r(5);
+  ipm::Trace t("t", 64);
+  for (int i = 0; i < 300; ++i) {
+    t.add(event(0, 10.0 * r.noise(0.1), OpType::kRead,
+                static_cast<RankId>(i % 64), 300 * MiB));
+  }
+  for (int i = 0; i < 15; ++i) {  // catastrophic stragglers 30-500 s
+    t.add(event(0, 150.0 * r.noise(0.5), OpType::kRead,
+                static_cast<RankId>(i), 300 * MiB));
+  }
+  EXPECT_TRUE(has_finding(diagnose(t), FindingCode::kHeavyReadTail));
+}
+
+TEST(DiagnoseTest, MetadataSerializationDetected) {
+  ipm::Trace t("m", 1024);
+  // Rank 0 spends most of a 100 s run in 2 KiB writes.
+  for (int i = 0; i < 600; ++i) {
+    t.add(event(i * 0.15, 0.1, OpType::kWrite, 0, 2 * KiB));
+  }
+  // Other ranks do a little bulk I/O.
+  for (int i = 0; i < 64; ++i) {
+    t.add(event(0, 2.0, OpType::kWrite, static_cast<RankId>(1 + i), 2 * MiB));
+  }
+  auto findings = diagnose(t);
+  ASSERT_TRUE(has_finding(findings, FindingCode::kMetadataSerialization));
+  // The message should point at the hot rank.
+  auto it = std::find_if(findings.begin(), findings.end(), [](const Finding& f) {
+    return f.code == FindingCode::kMetadataSerialization;
+  });
+  EXPECT_NE(it->message.find("rank 0"), std::string::npos);
+}
+
+TEST(DiagnoseTest, SubFairShareDetectedWithUnalignedWrites) {
+  rng::Stream r(6);
+  ipm::Trace t("a", 1024);
+  // 1.6 MB records at unaligned offsets, running at ~0.5 MiB/s when the
+  // fair share is 1.6 MiB/s.
+  Bytes record = 1600 * KiB;
+  for (int i = 0; i < 200; ++i) {
+    t.add(event(0, 3.0 * r.noise(0.3), OpType::kWrite,
+                static_cast<RankId>(i % 1024), record, 0,
+                static_cast<Bytes>(i) * record));
+  }
+  DiagnoserOptions opt;
+  opt.fair_share_rate = 1.6 * static_cast<double>(MiB);
+  EXPECT_TRUE(has_finding(diagnose(t, opt), FindingCode::kSubFairShare));
+  // Aligned writes at the same rate do not fire this detector.
+  ipm::Trace aligned("a2", 1024);
+  for (int i = 0; i < 200; ++i) {
+    aligned.add(event(0, 3.0 * r.noise(0.3), OpType::kWrite,
+                      static_cast<RankId>(i % 1024), 2 * MiB, 0,
+                      static_cast<Bytes>(i) * 2 * MiB));
+  }
+  EXPECT_FALSE(has_finding(diagnose(aligned, opt), FindingCode::kSubFairShare));
+}
+
+TEST(DiagnoseTest, SplittingOpportunityDetected) {
+  rng::Stream r(7);
+  ipm::Trace t("k", 256);
+  // One huge write per rank with a wide spread.
+  for (int i = 0; i < 256; ++i) {
+    t.add(event(0, 30.0 * r.noise(0.5), OpType::kWrite,
+                static_cast<RankId>(i), 512 * MiB));
+  }
+  EXPECT_TRUE(has_finding(diagnose(t), FindingCode::kSplittingOpportunity));
+  // Many small calls per rank: already split, not flagged.
+  ipm::Trace split("k2", 256);
+  for (int i = 0; i < 256; ++i) {
+    for (int c = 0; c < 8; ++c) {
+      split.add(event(0, 4.0 * r.noise(0.5), OpType::kWrite,
+                      static_cast<RankId>(i), 64 * MiB));
+    }
+  }
+  EXPECT_FALSE(has_finding(diagnose(split), FindingCode::kSplittingOpportunity));
+}
+
+TEST(DiagnoseTest, QuietTraceYieldsNoFindings) {
+  rng::Stream r(8);
+  ipm::Trace t("q", 64);
+  for (int i = 0; i < 64; ++i) {
+    for (int c = 0; c < 8; ++c) {
+      t.add(event(c * 5.0, 4.0 * r.noise(0.05), OpType::kWrite,
+                  static_cast<RankId>(i), 64 * MiB, c,
+                  static_cast<Bytes>(i) * 512 * MiB));
+    }
+  }
+  EXPECT_TRUE(diagnose(t).empty());
+}
+
+TEST(DiagnoseTest, FindingsSortedBySeverity) {
+  rng::Stream r(9);
+  ipm::Trace t("multi", 256);
+  for (int i = 0; i < 600; ++i) {
+    t.add(event(i * 0.15, 0.1, OpType::kWrite, 0, 2 * KiB));
+  }
+  for (int i = 0; i < 300; ++i) {
+    t.add(event(0, 10.0 * r.noise(0.1), OpType::kRead,
+                static_cast<RankId>(i % 64), 300 * MiB));
+  }
+  for (int i = 0; i < 15; ++i) {
+    t.add(event(0, 200.0, OpType::kRead, static_cast<RankId>(i), 300 * MiB));
+  }
+  auto findings = diagnose(t);
+  ASSERT_GE(findings.size(), 2u);
+  for (std::size_t i = 1; i < findings.size(); ++i) {
+    EXPECT_GE(findings[i - 1].severity, findings[i].severity);
+  }
+}
+
+TEST(DiagnoseTest, TooFewEventsStaySilent) {
+  ipm::Trace t("few", 4);
+  t.add(event(0, 32.0, OpType::kWrite, 0, 512 * MiB));
+  t.add(event(0, 16.0, OpType::kWrite, 1, 512 * MiB));
+  EXPECT_TRUE(diagnose(t).empty());
+}
+
+TEST(DiagnoseTest, FindingNamesAreStable) {
+  EXPECT_STREQ(finding_name(FindingCode::kHarmonicModes), "harmonic-modes");
+  EXPECT_STREQ(finding_name(FindingCode::kMetadataSerialization),
+               "metadata-serialization");
+  EXPECT_STREQ(finding_name(FindingCode::kSplittingOpportunity),
+               "splitting-opportunity");
+}
+
+}  // namespace
+}  // namespace eio::analysis

@@ -1,0 +1,131 @@
+// Unit tests for linear and log histograms.
+#include "core/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace eio::stats {
+namespace {
+
+TEST(HistogramTest, LinearBinningBasics) {
+  Histogram h(BinScale::kLinear, 0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(9.999);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_width(3), 1.0);
+}
+
+TEST(HistogramTest, OutOfRangeClampsAndCounts) {
+  Histogram h(BinScale::kLinear, 0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(50.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(HistogramTest, WeightedAdd) {
+  Histogram h(BinScale::kLinear, 0.0, 1.0, 2);
+  h.add(0.25, 7);
+  EXPECT_EQ(h.count(0), 7u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(HistogramTest, LogBinningCoversDecades) {
+  Histogram h(BinScale::kLog10, 0.1, 1000.0, 8);  // 4 decades, 2 bins each
+  h.add(0.15);
+  h.add(1.5);
+  h.add(15.0);
+  h.add(150.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.count(6), 1u);
+  // Geometric bin center of [0.1, 10^-0.5): sqrt(0.1 * 0.3162) = 0.1778.
+  EXPECT_NEAR(h.bin_center(0), 0.17783, 1e-4);
+  EXPECT_GT(h.bin_width(7), h.bin_width(0));  // widths grow on a log axis
+}
+
+TEST(HistogramTest, LogBinningRejectsNonPositiveLo) {
+  EXPECT_THROW(Histogram(BinScale::kLog10, 0.0, 10.0, 4), std::logic_error);
+  EXPECT_THROW(Histogram(BinScale::kLog10, -1.0, 10.0, 4), std::logic_error);
+}
+
+TEST(HistogramTest, InvalidConstruction) {
+  EXPECT_THROW(Histogram(BinScale::kLinear, 0.0, 10.0, 0), std::logic_error);
+  EXPECT_THROW(Histogram(BinScale::kLinear, 5.0, 5.0, 4), std::logic_error);
+}
+
+TEST(HistogramTest, DensityIntegratesToOne) {
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(0.001 * i * i);
+  for (BinScale scale : {BinScale::kLinear, BinScale::kLog10}) {
+    Histogram h = Histogram::from_samples(
+        std::span<const double>(samples.data() + 1, samples.size() - 1), scale, 40);
+    auto d = h.density();
+    double integral = 0.0;
+    for (std::size_t b = 0; b < h.bin_count(); ++b) {
+      integral += d[b] * h.bin_width(b);
+    }
+    EXPECT_NEAR(integral, 1.0, 1e-9);
+  }
+}
+
+TEST(HistogramTest, FromSamplesContainsAllSamples) {
+  std::vector<double> samples{1.0, 2.0, 3.0, 4.0, 100.0};
+  Histogram h = Histogram::from_samples(samples, BinScale::kLinear, 16);
+  EXPECT_EQ(h.total(), samples.size());
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(HistogramTest, FromSamplesConstantInput) {
+  std::vector<double> samples(10, 3.0);
+  Histogram h = Histogram::from_samples(samples, BinScale::kLinear, 4);
+  EXPECT_EQ(h.total(), 10u);
+  Histogram hl = Histogram::from_samples(samples, BinScale::kLog10, 4);
+  EXPECT_EQ(hl.total(), 10u);
+}
+
+TEST(HistogramTest, FromSamplesEmptyThrows) {
+  std::vector<double> none;
+  EXPECT_THROW((void)Histogram::from_samples(none, BinScale::kLinear, 4),
+               std::logic_error);
+}
+
+TEST(HistogramTest, MergeRequiresIdenticalBinning) {
+  Histogram a(BinScale::kLinear, 0.0, 10.0, 10);
+  Histogram b(BinScale::kLinear, 0.0, 10.0, 10);
+  Histogram c(BinScale::kLinear, 0.0, 20.0, 10);
+  a.add(1.0);
+  b.add(1.0);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 2u);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_THROW(a.merge(c), std::logic_error);
+}
+
+TEST(HistogramTest, BinIndexMonotone) {
+  Histogram h(BinScale::kLog10, 0.001, 1000.0, 60);
+  std::size_t prev = 0;
+  for (double v = 0.001; v < 1000.0; v *= 1.3) {
+    std::size_t idx = h.bin_index(v);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+}
+
+}  // namespace
+}  // namespace eio::stats

@@ -1,0 +1,93 @@
+// Unit tests for the two-sample Kolmogorov–Smirnov comparison.
+#include "core/ks.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eio::stats {
+namespace {
+
+TEST(KsTest, IdenticalSamplesHaveZeroDistance) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  KsResult r = ks_two_sample(a, a);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+}
+
+TEST(KsTest, DisjointSamplesHaveDistanceOne) {
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{10, 11, 12};
+  KsResult r = ks_two_sample(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+  EXPECT_LT(r.p_value, 0.1);
+}
+
+TEST(KsTest, SameDistributionSmallDistance) {
+  rng::Stream r1(1), r2(2);
+  std::vector<double> a, b;
+  for (int i = 0; i < 5000; ++i) {
+    a.push_back(r1.lognormal(0.0, 0.5));
+    b.push_back(r2.lognormal(0.0, 0.5));
+  }
+  KsResult r = ks_two_sample(a, b);
+  EXPECT_LT(r.statistic, 0.04);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(KsTest, ShiftedDistributionDetected) {
+  rng::Stream r1(3), r2(4);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(r1.normal());
+    b.push_back(r2.normal() + 0.5);
+  }
+  KsResult r = ks_two_sample(a, b);
+  EXPECT_GT(r.statistic, 0.15);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, AsymmetricSampleSizes) {
+  rng::Stream r1(5), r2(6);
+  std::vector<double> a, b;
+  for (int i = 0; i < 100; ++i) a.push_back(r1.uniform());
+  for (int i = 0; i < 10000; ++i) b.push_back(r2.uniform());
+  KsResult r = ks_two_sample(a, b);
+  EXPECT_LT(r.statistic, 0.2);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(KsTest, StatisticIsSymmetric) {
+  std::vector<double> a{1, 3, 5, 7};
+  std::vector<double> b{2, 4, 6};
+  EXPECT_DOUBLE_EQ(ks_two_sample(a, b).statistic, ks_two_sample(b, a).statistic);
+}
+
+TEST(KsTest, EmptySampleRejected) {
+  std::vector<double> a{1.0};
+  std::vector<double> none;
+  EXPECT_THROW((void)ks_two_sample(a, none), std::logic_error);
+  EXPECT_THROW((void)ks_two_sample(none, a), std::logic_error);
+}
+
+TEST(KolmogorovQTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+  EXPECT_NEAR(kolmogorov_q(0.5), 0.9639, 0.01);
+  EXPECT_NEAR(kolmogorov_q(1.0), 0.27, 0.01);
+  EXPECT_NEAR(kolmogorov_q(2.0), 0.00067, 0.0005);
+  EXPECT_LT(kolmogorov_q(5.0), 1e-12);
+}
+
+TEST(KolmogorovQTest, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double lambda = 0.1; lambda < 3.0; lambda += 0.1) {
+    double q = kolmogorov_q(lambda);
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+}
+
+}  // namespace
+}  // namespace eio::stats

@@ -1,0 +1,103 @@
+// Unit + property tests for the transfer-splitting (LLN) analysis.
+#include "core/lln.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eio::stats {
+namespace {
+
+TEST(LlnTest, SumGroupsBasic) {
+  std::vector<double> per_call{1, 2, 3, 4, 5, 6};
+  auto totals = sum_groups(per_call, 2);
+  EXPECT_EQ(totals, (std::vector<double>{3, 7, 11}));
+  auto identity = sum_groups(per_call, 1);
+  EXPECT_EQ(identity, per_call);
+}
+
+TEST(LlnTest, SumGroupsRejectsRaggedInput) {
+  std::vector<double> per_call{1, 2, 3};
+  EXPECT_THROW((void)sum_groups(per_call, 2), std::logic_error);
+}
+
+TEST(LlnTest, AnalyzeSplittingReportsRateFromWorstCase) {
+  std::vector<double> totals{10.0, 10.0, 10.0, 20.0};
+  SplittingMetrics m = analyze_splitting(totals, 1, 4, 400.0);
+  EXPECT_EQ(m.k, 1u);
+  EXPECT_GT(m.expected_worst, 15.0);
+  EXPECT_LT(m.reported_rate, 400.0 / 15.0);
+}
+
+TEST(LlnTest, PredictedCvShrinksAsRootK) {
+  rng::Stream r(1);
+  std::vector<double> base;
+  for (int i = 0; i < 4000; ++i) base.push_back(r.lognormal(0.0, 0.4));
+  EmpiricalDistribution d(std::move(base));
+  std::vector<std::size_t> ks{1, 2, 4, 8, 16};
+  auto metrics = predict_splitting(d, ks, 1024, 1.0, 20000, 7);
+  ASSERT_EQ(metrics.size(), ks.size());
+  for (std::size_t i = 1; i < metrics.size(); ++i) {
+    // cv ratio should be ~1/sqrt(2) per doubling.
+    double ratio = metrics[i].moments.cv() / metrics[i - 1].moments.cv();
+    EXPECT_NEAR(ratio, 1.0 / std::sqrt(2.0), 0.08) << "k=" << ks[i];
+  }
+}
+
+TEST(LlnTest, PredictedDistributionsBecomeMoreGaussian) {
+  rng::Stream r(2);
+  std::vector<double> base;
+  for (int i = 0; i < 4000; ++i) base.push_back(r.lognormal(0.0, 0.6));
+  EmpiricalDistribution d(std::move(base));
+  std::vector<std::size_t> ks{1, 8};
+  auto metrics = predict_splitting(d, ks, 256, 1.0, 20000, 9);
+  // Lognormal is right-skewed; sums of 8 iid draws shrink the skew by
+  // ~1/sqrt(8) ≈ 2.8x.
+  EXPECT_GT(metrics[0].moments.skewness, 2.3 * metrics[1].moments.skewness);
+}
+
+TEST(LlnTest, PredictedWorstCaseImproves) {
+  // The headline effect of Figure 2: expected worst case (and hence
+  // the reported rate) improves monotonically with k.
+  rng::Stream r(3);
+  std::vector<double> base;
+  for (int i = 0; i < 4000; ++i) base.push_back(1.0 + 0.5 * r.lognormal(0.0, 0.5));
+  EmpiricalDistribution d(std::move(base));
+  std::vector<std::size_t> ks{1, 2, 4, 8};
+  auto metrics = predict_splitting(d, ks, 1024, 1000.0, 30000, 11);
+  for (std::size_t i = 1; i < metrics.size(); ++i) {
+    EXPECT_LT(metrics[i].expected_worst, metrics[i - 1].expected_worst);
+    EXPECT_GT(metrics[i].reported_rate, metrics[i - 1].reported_rate);
+  }
+  // Means are preserved (same total work).
+  EXPECT_NEAR(metrics[0].moments.mean, metrics[3].moments.mean, 0.03);
+}
+
+TEST(LlnTest, AnalyzeEmptyTotalsThrows) {
+  std::vector<double> none;
+  EXPECT_THROW((void)analyze_splitting(none, 1, 4, 1.0), std::logic_error);
+}
+
+// Property: measured per-rank grouping then k-sum equals direct totals.
+class SumGroupsPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SumGroupsPropertyTest, GroupSumsPreserveTotal) {
+  std::size_t k = GetParam();
+  rng::Stream r(k);
+  std::vector<double> per_call;
+  for (std::size_t i = 0; i < k * 97; ++i) per_call.push_back(r.uniform());
+  auto totals = sum_groups(per_call, k);
+  EXPECT_EQ(totals.size(), 97u);
+  double sum_calls = 0.0, sum_totals = 0.0;
+  for (double v : per_call) sum_calls += v;
+  for (double v : totals) sum_totals += v;
+  EXPECT_NEAR(sum_calls, sum_totals, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, SumGroupsPropertyTest,
+                         ::testing::Values<std::size_t>(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace eio::stats

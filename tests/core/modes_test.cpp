@@ -1,0 +1,123 @@
+// Unit tests for KDE mode finding and the harmonic-signature check.
+#include "core/modes.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eio::stats {
+namespace {
+
+/// Gaussian mixture sample around the given centers.
+std::vector<double> mixture(std::vector<std::pair<double, int>> components,
+                            double sigma, std::uint64_t seed) {
+  rng::Stream r(seed);
+  std::vector<double> s;
+  for (auto [center, count] : components) {
+    for (int i = 0; i < count; ++i) s.push_back(center + sigma * r.normal());
+  }
+  return s;
+}
+
+TEST(ModesTest, SingleModeRecovered) {
+  auto s = mixture({{10.0, 2000}}, 0.5, 1);
+  auto modes = find_modes(s);
+  ASSERT_GE(modes.size(), 1u);
+  EXPECT_NEAR(modes[0].location, 10.0, 0.3);
+  EXPECT_GT(modes[0].mass, 0.95);
+}
+
+TEST(ModesTest, ThreePlantedModesRecovered) {
+  // The Figure 1(c) structure: peaks at T, T/2, T/4 with decreasing mass.
+  auto s = mixture({{32.0, 1400}, {16.0, 450}, {8.0, 150}}, 0.7, 2);
+  auto modes = find_modes(s, {.bandwidth_scale = 0.4});
+  ASSERT_EQ(modes.size(), 3u);
+  // Strongest first.
+  EXPECT_NEAR(modes[0].location, 32.0, 1.0);
+  EXPECT_NEAR(modes[1].location, 16.0, 1.0);
+  EXPECT_NEAR(modes[2].location, 8.0, 1.0);
+  EXPECT_GT(modes[0].mass, modes[1].mass);
+  EXPECT_GT(modes[1].mass, modes[2].mass);
+  double total_mass = modes[0].mass + modes[1].mass + modes[2].mass;
+  EXPECT_NEAR(total_mass, 1.0, 1e-9);
+}
+
+TEST(ModesTest, LogAxisSeparatesDecadeModes) {
+  // Heavy-tailed data (the MADbench read histogram): modes at 15 s and
+  // 300 s are invisible on a linear axis but clean on a log axis.
+  auto fast = mixture({{15.0, 1000}}, 2.0, 3);
+  auto slow = mixture({{300.0, 200}}, 40.0, 4);
+  fast.insert(fast.end(), slow.begin(), slow.end());
+  auto modes = find_modes(fast, {.log_axis = true, .bandwidth_scale = 0.6});
+  ASSERT_GE(modes.size(), 2u);
+  EXPECT_NEAR(modes[0].location, 15.0, 4.0);
+  EXPECT_NEAR(modes[1].location, 300.0, 80.0);
+}
+
+TEST(ModesTest, LowMassModesDropped) {
+  auto s = mixture({{10.0, 2000}, {30.0, 10}}, 0.5, 5);
+  auto modes = find_modes(s, {.min_mass = 0.02});
+  EXPECT_EQ(modes.size(), 1u);
+}
+
+TEST(ModesTest, KdeDensityIntegratesToOne) {
+  auto s = mixture({{5.0, 500}, {9.0, 500}}, 0.6, 6);
+  KdeResult kde = kernel_density(s);
+  double integral = 0.0;
+  for (std::size_t i = 1; i < kde.grid.size(); ++i) {
+    integral += 0.5 * (kde.density[i] + kde.density[i - 1]) *
+                (kde.grid[i] - kde.grid[i - 1]);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(ModesTest, KdeEmptySampleThrows) {
+  std::vector<double> none;
+  EXPECT_THROW((void)kernel_density(none), std::logic_error);
+}
+
+TEST(ModesTest, ConstantSampleYieldsOneMode) {
+  std::vector<double> s(100, 7.0);
+  auto modes = find_modes(s);
+  ASSERT_EQ(modes.size(), 1u);
+  EXPECT_NEAR(modes[0].location, 7.0, 0.1);
+}
+
+TEST(HarmonicSignatureTest, DetectsFullHarmonicSet) {
+  std::vector<Mode> modes{{32.0, 1.0, 1.0, 0.6},
+                          {16.2, 0.5, 0.5, 0.3},
+                          {7.8, 0.2, 0.2, 0.1}};
+  auto matched = harmonic_signature(modes, 0.2);
+  EXPECT_TRUE(std::find(matched.begin(), matched.end(), 1) != matched.end());
+  EXPECT_TRUE(std::find(matched.begin(), matched.end(), 2) != matched.end());
+  EXPECT_TRUE(std::find(matched.begin(), matched.end(), 4) != matched.end());
+}
+
+TEST(HarmonicSignatureTest, NonHarmonicModesMatchOnlyFundamental) {
+  std::vector<Mode> modes{{30.0, 1.0, 1.0, 0.7}, {23.0, 0.6, 0.6, 0.3}};
+  auto matched = harmonic_signature(modes, 0.1);
+  EXPECT_EQ(matched, std::vector<int>{1});
+}
+
+TEST(HarmonicSignatureTest, EmptyModesMatchNothing) {
+  EXPECT_TRUE(harmonic_signature({}).empty());
+}
+
+// Property sweep: mode recovery across separations and bandwidths.
+class ModeSeparationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ModeSeparationTest, TwoModesRecoveredWhenSeparated) {
+  double separation = GetParam();
+  auto s = mixture({{10.0, 1000}, {10.0 + separation, 1000}}, 0.5, 7);
+  auto modes = find_modes(s, {.bandwidth_scale = 0.5});
+  ASSERT_EQ(modes.size(), 2u) << "separation " << separation;
+  EXPECT_NEAR(modes[0].mass, 0.5, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Separations, ModeSeparationTest,
+                         ::testing::Values(4.0, 6.0, 10.0, 20.0));
+
+}  // namespace
+}  // namespace eio::stats

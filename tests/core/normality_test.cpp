@@ -1,0 +1,102 @@
+// Unit tests for the normal-quantile function and the PPCC normality
+// measure.
+#include "core/normality.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eio::stats {
+namespace {
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.841344746), 1.0, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.999), 3.090232, 1e-4);
+  EXPECT_NEAR(normal_quantile(0.001), -3.090232, 1e-4);
+}
+
+TEST(NormalQuantileTest, TailsAreFinite) {
+  EXPECT_LT(normal_quantile(1e-12), -6.0);
+  EXPECT_GT(normal_quantile(1.0 - 1e-12), 6.0);
+}
+
+TEST(NormalQuantileTest, Monotone) {
+  double prev = normal_quantile(0.001);
+  for (double p = 0.01; p < 1.0; p += 0.01) {
+    double q = normal_quantile(p);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(NormalQuantileTest, OutOfRangeThrows) {
+  EXPECT_THROW((void)normal_quantile(0.0), std::logic_error);
+  EXPECT_THROW((void)normal_quantile(1.0), std::logic_error);
+}
+
+TEST(PpccTest, GaussianSampleScoresNearOne) {
+  rng::Stream r(1);
+  std::vector<double> s;
+  for (int i = 0; i < 2000; ++i) s.push_back(5.0 + 2.0 * r.normal());
+  EXPECT_GT(normal_ppcc(s), 0.998);
+}
+
+TEST(PpccTest, HeavyTailedSampleScoresLower) {
+  rng::Stream r(2);
+  std::vector<double> gaussian, lognormal, pareto;
+  for (int i = 0; i < 2000; ++i) {
+    gaussian.push_back(r.normal());
+    lognormal.push_back(r.lognormal(0.0, 0.8));
+    pareto.push_back(r.pareto(1.0, 1.5));
+  }
+  double g = normal_ppcc(gaussian);
+  double l = normal_ppcc(lognormal);
+  double p = normal_ppcc(pareto);
+  EXPECT_GT(g, l);
+  EXPECT_GT(l, p);
+  EXPECT_LT(l, 0.96);
+  EXPECT_LT(p, 0.75);
+}
+
+TEST(PpccTest, BimodalSampleScoresLower) {
+  rng::Stream r(3);
+  std::vector<double> s;
+  for (int i = 0; i < 1000; ++i) {
+    s.push_back((i % 2 ? 10.0 : -10.0) + r.normal());
+  }
+  EXPECT_LT(normal_ppcc(s), 0.95);
+}
+
+TEST(PpccTest, SumsOfSkewedDrawsGaussianize) {
+  // The Figure 2 claim, quantified: sums of k draws from a skewed
+  // distribution score monotonically higher PPCC as k grows.
+  rng::Stream r(4);
+  double prev = 0.0;
+  for (int k : {1, 2, 8, 32}) {
+    std::vector<double> sums;
+    for (int i = 0; i < 1500; ++i) {
+      double acc = 0.0;
+      for (int j = 0; j < k; ++j) acc += r.lognormal(0.0, 0.8);
+      sums.push_back(acc);
+    }
+    double score = normal_ppcc(sums);
+    EXPECT_GT(score, prev) << "k=" << k;
+    prev = score;
+  }
+  EXPECT_GT(prev, 0.985);
+}
+
+TEST(PpccTest, GuardsOnDegenerateInput) {
+  std::vector<double> two{1.0, 2.0};
+  EXPECT_THROW((void)normal_ppcc(two), std::logic_error);
+  std::vector<double> constant(10, 3.0);
+  EXPECT_THROW((void)normal_ppcc(constant), std::logic_error);
+}
+
+}  // namespace
+}  // namespace eio::stats

@@ -1,0 +1,113 @@
+// Unit + property tests for the order-statistics helpers (Equation 1).
+#include "core/order_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eio::stats {
+namespace {
+
+TEST(OrderStatsTest, UniformMaxPdfClosedForm) {
+  // For U(0,1): f_N(t) = N t^(N-1).
+  auto pdf = [](double) { return 1.0; };
+  auto cdf = [](double t) { return t; };
+  for (std::size_t n : {1u, 2u, 5u, 32u}) {
+    for (double t : {0.1, 0.5, 0.9}) {
+      double expected = static_cast<double>(n) *
+                        std::pow(t, static_cast<double>(n - 1));
+      EXPECT_NEAR(max_order_pdf(t, n, pdf, cdf), expected, 1e-12);
+    }
+  }
+}
+
+TEST(OrderStatsTest, MaxCdfIsBaseCdfToTheN) {
+  auto cdf = [](double t) { return t; };
+  EXPECT_NEAR(max_order_cdf(0.5, 10, cdf), std::pow(0.5, 10), 1e-15);
+  EXPECT_NEAR(max_order_cdf(1.0, 10, cdf), 1.0, 1e-15);
+}
+
+TEST(OrderStatsTest, MaxCdfConvergesToStepFunction) {
+  // "As N increases, F(t)^{N-1} quickly converges to a step function
+  // picking out a point in the right-hand tail."
+  auto cdf = [](double t) { return t; };
+  EXPECT_LT(max_order_cdf(0.9, 1024, cdf), 1e-40);
+  EXPECT_GT(max_order_cdf(0.999999, 1024, cdf), 0.99);
+}
+
+TEST(OrderStatsTest, QuantileOfMaxViaRootN) {
+  rng::Stream r(3);
+  std::vector<double> s;
+  for (int i = 0; i < 10000; ++i) s.push_back(r.uniform());
+  EmpiricalDistribution d(std::move(s));
+  // Median of max of N uniforms is (1/2)^(1/N).
+  double q = max_order_quantile(d, 64, 0.5);
+  EXPECT_NEAR(q, std::pow(0.5, 1.0 / 64.0), 0.01);
+}
+
+TEST(OrderStatsTest, CurveIsNormalizedDensity) {
+  rng::Stream r(5);
+  std::vector<double> s;
+  for (int i = 0; i < 5000; ++i) s.push_back(r.normal());
+  EmpiricalDistribution d(std::move(s));
+  MaxOrderCurve curve = max_order_curve(d, 128, 512);
+  double integral = 0.0;
+  for (std::size_t i = 1; i < curve.t.size(); ++i) {
+    integral += 0.5 * (curve.density[i] + curve.density[i - 1]) *
+                (curve.t[i] - curve.t[i - 1]);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.05);
+  // The mass concentrates in the right tail.
+  double peak_t = curve.t[static_cast<std::size_t>(
+      std::max_element(curve.density.begin(), curve.density.end()) -
+      curve.density.begin())];
+  EXPECT_GT(peak_t, d.quantile(0.95));
+}
+
+// Property test: the plug-in estimator E[max of n] must agree with a
+// Monte-Carlo resampling estimate across distribution shapes and n.
+struct MaxProperty {
+  const char* name;
+  std::function<double(rng::Stream&)> draw;
+};
+
+class ExpectedMaxPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(ExpectedMaxPropertyTest, PluginMatchesMonteCarlo) {
+  auto [shape, n] = GetParam();
+  rng::Stream r(static_cast<std::uint64_t>(shape) * 100 + n);
+  std::vector<double> s;
+  for (int i = 0; i < 4000; ++i) {
+    switch (shape) {
+      case 0: s.push_back(r.uniform()); break;
+      case 1: s.push_back(r.normal()); break;
+      case 2: s.push_back(r.lognormal(0.0, 0.5)); break;
+      default: s.push_back(r.pareto(1.0, 3.0)); break;
+    }
+  }
+  EmpiricalDistribution d(std::move(s));
+  double plugin = d.expected_max_of(n);
+  double mc = expected_max_monte_carlo(d, n, 4000, 99);
+  double scale = std::max(1.0, std::abs(plugin));
+  EXPECT_NEAR(plugin, mc, 0.06 * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndN, ExpectedMaxPropertyTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values<std::size_t>(1, 4, 32, 256)));
+
+TEST(OrderStatsTest, GuardsOnBadArguments) {
+  EmpiricalDistribution d({1.0, 2.0});
+  EXPECT_THROW((void)max_order_quantile(d, 0, 0.5), std::logic_error);
+  EXPECT_THROW((void)max_order_quantile(d, 4, 0.0), std::logic_error);
+  EmpiricalDistribution empty;
+  EXPECT_THROW((void)max_order_curve(empty, 4), std::logic_error);
+}
+
+}  // namespace
+}  // namespace eio::stats

@@ -1,0 +1,151 @@
+// Unit tests for access-pattern detection and file-system hints.
+#include "core/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace eio::analysis {
+namespace {
+
+using posix::OpType;
+
+ipm::TraceEvent event(OpType op, RankId rank, FileId file, Bytes offset,
+                      Bytes bytes) {
+  ipm::TraceEvent e;
+  e.start = 0.0;
+  e.duration = 0.1;
+  e.op = op;
+  e.rank = rank;
+  e.file = file;
+  e.offset = offset;
+  e.bytes = bytes;
+  return e;
+}
+
+TEST(PatternsTest, SequentialStreamDetected) {
+  ipm::Trace t("p", 1);
+  for (Bytes off = 0; off < 64 * MiB; off += 8 * MiB) {
+    t.add(event(OpType::kWrite, 0, 1, off, 8 * MiB));
+  }
+  auto patterns = detect_patterns(t);
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].pattern, AccessPattern::kSequential);
+  EXPECT_EQ(patterns[0].typical_size, 8 * MiB);
+  EXPECT_GE(patterns[0].confidence, 0.99);
+  EXPECT_TRUE(patterns[0].stripe_aligned);
+}
+
+TEST(PatternsTest, StridedStreamDetected) {
+  // The MADbench shape: 8 MiB reads every 64 MiB + 1 MiB.
+  ipm::Trace t("p", 1);
+  Bytes stride = 65 * MiB;
+  for (int i = 0; i < 8; ++i) {
+    t.add(event(OpType::kRead, 0, 1, static_cast<Bytes>(i) * stride, 8 * MiB));
+  }
+  auto patterns = detect_patterns(t);
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].pattern, AccessPattern::kStrided);
+  EXPECT_EQ(patterns[0].stride, static_cast<std::int64_t>(stride));
+}
+
+TEST(PatternsTest, RandomStreamDetected) {
+  rng::Stream r(5);
+  ipm::Trace t("p", 1);
+  for (int i = 0; i < 32; ++i) {
+    t.add(event(OpType::kRead, 0, 1, r.index(1000) * MiB, 1 * MiB));
+  }
+  auto patterns = detect_patterns(t);
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].pattern, AccessPattern::kRandom);
+  EXPECT_EQ(patterns[0].stride, 0);
+}
+
+TEST(PatternsTest, StreamsSeparatedByRankFileAndOp) {
+  ipm::Trace t("p", 2);
+  for (int i = 0; i < 6; ++i) {
+    Bytes off = static_cast<Bytes>(i) * 4 * MiB;
+    t.add(event(OpType::kWrite, 0, 1, off, 4 * MiB));
+    t.add(event(OpType::kRead, 0, 1, off, 4 * MiB));
+    t.add(event(OpType::kWrite, 1, 2, off, 4 * MiB));
+  }
+  auto patterns = detect_patterns(t);
+  EXPECT_EQ(patterns.size(), 3u);
+}
+
+TEST(PatternsTest, ShortStreamsSkipped) {
+  ipm::Trace t("p", 1);
+  t.add(event(OpType::kWrite, 0, 1, 0, MiB));
+  t.add(event(OpType::kWrite, 0, 1, MiB, MiB));
+  EXPECT_TRUE(detect_patterns(t, {.min_accesses = 4}).empty());
+}
+
+TEST(PatternsTest, UnalignedStreamFlagged) {
+  ipm::Trace t("p", 1);
+  Bytes record = 1600 * KiB;  // the GCRM record
+  for (int i = 0; i < 8; ++i) {
+    t.add(event(OpType::kWrite, 0, 1, static_cast<Bytes>(i) * record, record));
+  }
+  auto patterns = detect_patterns(t);
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_FALSE(patterns[0].stripe_aligned);
+}
+
+TEST(HintsTest, CoherentReadsGetBoundedPrefetch) {
+  ipm::Trace t("p", 1);
+  Bytes stride = 65 * MiB;
+  for (int i = 0; i < 8; ++i) {
+    t.add(event(OpType::kRead, 0, 7, static_cast<Bytes>(i) * stride, 8 * MiB));
+  }
+  auto hints = derive_hints(detect_patterns(t));
+  ASSERT_EQ(hints.size(), 1u);
+  EXPECT_EQ(hints[0].file, 7u);
+  EXPECT_GT(hints[0].prefetch_bytes, 0u);
+  // Never beyond the stride — the exact failure mode of the Lustre bug.
+  EXPECT_LE(hints[0].prefetch_bytes, stride);
+}
+
+TEST(HintsTest, RandomReadsDisablePrefetch) {
+  rng::Stream r(7);
+  ipm::Trace t("p", 1);
+  for (int i = 0; i < 32; ++i) {
+    t.add(event(OpType::kRead, 0, 7, r.index(5000) * MiB, 1 * MiB));
+  }
+  auto hints = derive_hints(detect_patterns(t));
+  ASSERT_EQ(hints.size(), 1u);
+  EXPECT_EQ(hints[0].prefetch_bytes, 0u);
+  EXPECT_NE(hints[0].rationale.find("disable read-ahead"), std::string::npos);
+}
+
+TEST(HintsTest, UnalignedWritesGetAlignmentAdvice) {
+  ipm::Trace t("p", 4);
+  Bytes record = 1600 * KiB;
+  for (RankId rank = 0; rank < 4; ++rank) {
+    for (int i = 0; i < 8; ++i) {
+      t.add(event(OpType::kWrite, rank, 9,
+                  (static_cast<Bytes>(i) * 4 + rank) * record, record));
+    }
+  }
+  auto hints = derive_hints(detect_patterns(t));
+  ASSERT_EQ(hints.size(), 1u);
+  EXPECT_TRUE(hints[0].advise_alignment);
+  EXPECT_NE(hints[0].rationale.find("stripe"), std::string::npos);
+}
+
+TEST(HintsTest, AlignedSequentialWritesNeedNothing) {
+  ipm::Trace t("p", 1);
+  for (int i = 0; i < 8; ++i) {
+    t.add(event(OpType::kWrite, 0, 3, static_cast<Bytes>(i) * 16 * MiB, 16 * MiB));
+  }
+  EXPECT_TRUE(derive_hints(detect_patterns(t)).empty());
+}
+
+TEST(PatternsTest, NamesAreStable) {
+  EXPECT_STREQ(pattern_name(AccessPattern::kSequential), "sequential");
+  EXPECT_STREQ(pattern_name(AccessPattern::kStrided), "strided");
+  EXPECT_STREQ(pattern_name(AccessPattern::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace eio::analysis

@@ -1,0 +1,186 @@
+// Unit tests for the H5Part/HDF5-format middleware model.
+#include "h5/h5part.h"
+
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "common/units.h"
+#include "lustre/striping.h"
+
+namespace eio::h5 {
+namespace {
+
+template <typename OpT>
+std::size_t count_ops(const mpi::Program& p) {
+  std::size_t n = 0;
+  for (const auto& op : p.ops()) {
+    if (std::holds_alternative<OpT>(op)) ++n;
+  }
+  return n;
+}
+
+template <typename OpT>
+std::vector<OpT> collect_ops(const mpi::Program& p) {
+  std::vector<OpT> out;
+  for (const auto& op : p.ops()) {
+    if (const auto* o = std::get_if<OpT>(&op)) out.push_back(*o);
+  }
+  return out;
+}
+
+TEST(H5PartTest, SlotAndWriteBytesFollowAlignment) {
+  H5PartWriter plain(4, {}, 1600 * KiB);
+  EXPECT_EQ(plain.slot_bytes(), 1600 * KiB);
+  EXPECT_EQ(plain.write_bytes(), 1600 * KiB);
+  H5PartWriter aligned(4, {.alignment = 1 * MiB}, 1600 * KiB);
+  EXPECT_EQ(aligned.slot_bytes(), 2 * MiB);
+  EXPECT_EQ(aligned.write_bytes(), 2 * MiB);
+  // Already-aligned records are unchanged.
+  H5PartWriter exact(4, {.alignment = 1 * MiB}, 2 * MiB);
+  EXPECT_EQ(exact.slot_bytes(), 2 * MiB);
+}
+
+TEST(H5PartTest, OpenEmitsSuperblockOnRankZero) {
+  std::vector<mpi::Program> programs(4);
+  H5PartWriter h5(4, {}, 1 * MiB);
+  h5.emit_open(programs, 0, "f.h5");
+  EXPECT_EQ(count_ops<mpi::op::Open>(programs[0]), 1u);
+  EXPECT_EQ(count_ops<mpi::op::Open>(programs[3]), 1u);
+  EXPECT_EQ(count_ops<mpi::op::Write>(programs[0]), 2u);  // superblock
+  EXPECT_EQ(count_ops<mpi::op::Read>(programs[0]), 1u);
+  EXPECT_EQ(count_ops<mpi::op::Write>(programs[3]), 0u);
+}
+
+TEST(H5PartTest, DoubleOpenThrows) {
+  std::vector<mpi::Program> programs(2);
+  H5PartWriter h5(2, {}, 1 * MiB);
+  h5.emit_open(programs, 0, "f.h5");
+  EXPECT_THROW(h5.emit_open(programs, 0, "g.h5"), std::logic_error);
+}
+
+TEST(H5PartTest, WriteFieldChunkLayoutIsRecordMajor) {
+  std::vector<mpi::Program> programs(4);
+  H5PartWriter h5(4, {}, 1 * MiB);
+  h5.emit_open(programs, 0, "f.h5");
+  h5.emit_write_field(programs, 0, /*records_per_rank=*/2);
+  // Rank 2's seeks: record 0 at slot 2, record 1 at slot 4+2.
+  auto seeks = collect_ops<mpi::op::Seek>(programs[2]);
+  ASSERT_EQ(seeks.size(), 2u);
+  EXPECT_EQ(seeks[0].offset, 2u * 1 * MiB);
+  EXPECT_EQ(seeks[1].offset, 6u * 1 * MiB);
+  // Cursor advanced by ranks x records slots.
+  EXPECT_EQ(h5.data_cursor(), 8u * 1 * MiB);
+  EXPECT_EQ(h5.stats().chunks, 8u);
+}
+
+TEST(H5PartTest, BtreeMetadataScalesWithChunks) {
+  std::vector<mpi::Program> p1(16), p2(16);
+  H5PartWriter small(16, {.btree_fanout = 4}, 1 * MiB);
+  H5PartWriter large(16, {.btree_fanout = 4}, 1 * MiB);
+  small.emit_open(p1, 0, "a");
+  large.emit_open(p2, 0, "b");
+  small.emit_write_field(p1, 0, 1);   // 16 chunks -> 4 nodes
+  large.emit_write_field(p2, 0, 4);   // 64 chunks -> 16 nodes
+  EXPECT_EQ(small.stats().meta_writes, 2u + 4u + 3u);
+  EXPECT_EQ(large.stats().meta_writes, 2u + 16u + 3u);
+  EXPECT_GE(large.stats().meta_reads, small.stats().meta_reads);
+}
+
+TEST(H5PartTest, CollectiveBufferingRestrictsWriters) {
+  std::vector<mpi::Program> programs(16);
+  H5PartWriter h5(16, {}, 1 * MiB);
+  h5.emit_open(programs, 0, "f.h5");
+  h5.emit_write_field(programs, 0, /*records=*/2, /*io_ranks=*/4);
+  // Aggregators every 4 ranks write 4x records; leaves none.
+  EXPECT_EQ(count_ops<mpi::op::Write>(programs[4]), 8u);
+  EXPECT_EQ(count_ops<mpi::op::Write>(programs[1]), 0u);
+  EXPECT_EQ(count_ops<mpi::op::Write>(programs[5]), 0u);
+  // Total data volume unchanged.
+  EXPECT_EQ(h5.stats().data_bytes, 32u * 1 * MiB);
+}
+
+TEST(H5PartTest, PerWriteOverheadEmitsCompute) {
+  std::vector<mpi::Program> programs(2);
+  H5PartWriter h5(2, {.per_write_overhead = ms(5.0)}, 1 * MiB);
+  h5.emit_open(programs, 0, "f.h5");
+  h5.emit_write_field(programs, 0, 3);
+  EXPECT_EQ(count_ops<mpi::op::Compute>(programs[1]), 3u);
+}
+
+TEST(H5PartTest, DeferredMetadataFlushesAtClose) {
+  std::vector<mpi::Program> programs(8);
+  H5PartWriter h5(8, {.btree_fanout = 2, .defer_metadata = true}, 1 * MiB);
+  h5.emit_open(programs, 0, "f.h5");
+  h5.emit_set_step(programs, 0);
+  h5.emit_write_field(programs, 0, 4);  // 32 chunks -> 16 nodes
+  // Nothing small has been written by rank 0 beyond data.
+  auto writes_before = collect_ops<mpi::op::Write>(programs[0]);
+  for (const auto& w : writes_before) EXPECT_GE(w.bytes, 1 * MiB);
+  EXPECT_EQ(h5.stats().meta_writes, 0u);
+  EXPECT_GT(h5.stats().meta_bytes, 0u);
+
+  h5.emit_close(programs, 0);
+  auto writes_after = collect_ops<mpi::op::Write>(programs[0]);
+  ASSERT_GT(writes_after.size(), writes_before.size());
+  // The flush is a small number of large blocks (defer_block-sized,
+  // with a final remainder) covering the accumulated metadata bytes —
+  // far larger than the 2 KiB ops they replace.
+  Bytes flushed = 0;
+  for (std::size_t i = writes_before.size(); i < writes_after.size(); ++i) {
+    EXPECT_GT(writes_after[i].bytes, 16 * KiB);
+    flushed += writes_after[i].bytes;
+  }
+  EXPECT_EQ(flushed, h5.stats().meta_bytes);
+  EXPECT_EQ(count_ops<mpi::op::Close>(programs[0]), 1u);
+}
+
+TEST(H5PartTest, AlignedFieldWritesAreStripeAligned) {
+  std::vector<mpi::Program> programs(8);
+  H5PartWriter h5(8, {.alignment = 1 * MiB}, 1600 * KiB);
+  h5.emit_open(programs, 0, "f.h5");
+  h5.emit_write_field(programs, 0, 2);
+  lustre::FileLayout layout{.stripe_size = 1 * MiB, .stripe_count = 48,
+                            .total_osts = 48};
+  auto seeks = collect_ops<mpi::op::Seek>(programs[3]);
+  auto writes = collect_ops<mpi::op::Write>(programs[3]);
+  for (std::size_t i = 0; i < seeks.size(); ++i) {
+    EXPECT_TRUE(layout.aligned(seeks[i].offset, writes[i].bytes));
+  }
+}
+
+TEST(H5PartTest, MetadataReadsFollowWrites) {
+  // Reads target recently written metadata so a simulated (or real)
+  // file system never sees a read of never-written bytes.
+  std::vector<mpi::Program> programs(4);
+  H5PartWriter h5(4, {.btree_fanout = 1}, 1 * MiB);
+  h5.emit_open(programs, 0, "f.h5");
+  h5.emit_write_field(programs, 0, 2);
+  Bytes max_written_end = 0;
+  for (const auto& op : programs[0].ops()) {
+    if (const auto* s = std::get_if<mpi::op::Seek>(&op)) {
+      max_written_end = std::max(max_written_end, s->offset + 2 * KiB);
+    }
+  }
+  // Every read's offset lies below the metadata high-water mark.
+  const auto& ops = programs[0].ops();
+  for (std::size_t i = 0; i + 1 < ops.size(); ++i) {
+    const auto* s = std::get_if<mpi::op::Seek>(&ops[i]);
+    const auto* r = std::get_if<mpi::op::Read>(&ops[i + 1]);
+    if (s != nullptr && r != nullptr) {
+      EXPECT_LT(s->offset, max_written_end);
+    }
+  }
+}
+
+TEST(H5PartTest, InvalidConfigsRejected) {
+  EXPECT_THROW(H5PartWriter(0, {}, 1), std::logic_error);
+  EXPECT_THROW(H5PartWriter(1, {}, 0), std::logic_error);
+  EXPECT_THROW(H5PartWriter(1, {.btree_fanout = 0}, 1), std::logic_error);
+  std::vector<mpi::Program> wrong(3);
+  H5PartWriter h5(4, {}, 1 * MiB);
+  EXPECT_THROW(h5.emit_open(wrong, 0, "f"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace eio::h5

@@ -1,0 +1,92 @@
+// Unit tests for the IPM job-summary report.
+#include "ipm/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/units.h"
+
+namespace eio::ipm {
+namespace {
+
+using posix::OpType;
+
+TraceEvent event(double start, double dur, OpType op, RankId rank, Bytes bytes) {
+  TraceEvent e;
+  e.start = start;
+  e.duration = dur;
+  e.op = op;
+  e.rank = rank;
+  e.file = 1;
+  e.bytes = bytes;
+  return e;
+}
+
+Trace sample_trace() {
+  Trace t("report-test", 4);
+  t.add(event(0.0, 2.0, OpType::kWrite, 0, 100 * MiB));
+  t.add(event(0.0, 4.0, OpType::kWrite, 1, 100 * MiB));
+  t.add(event(0.0, 2.0, OpType::kWrite, 2, 100 * MiB));
+  t.add(event(0.0, 2.0, OpType::kWrite, 3, 100 * MiB));
+  t.add(event(5.0, 1.0, OpType::kRead, 0, 50 * MiB));
+  t.add(event(5.0, 0.001, OpType::kSeek, 1, 0));
+  return t;
+}
+
+TEST(ReportTest, PerOpAggregates) {
+  JobReport r = summarize(sample_trace());
+  EXPECT_EQ(r.ranks, 4u);
+  EXPECT_DOUBLE_EQ(r.wall_time, 6.0);
+  const CallStats& w = r.by_op.at(OpType::kWrite);
+  EXPECT_EQ(w.count, 4u);
+  EXPECT_EQ(w.bytes, 400 * MiB);
+  EXPECT_DOUBLE_EQ(w.total_time, 10.0);
+  EXPECT_DOUBLE_EQ(w.max_time, 4.0);
+  EXPECT_DOUBLE_EQ(w.avg_time(), 2.5);
+  EXPECT_NEAR(to_mib_per_s(w.bandwidth()), 40.0, 1e-9);
+  EXPECT_EQ(r.by_op.at(OpType::kRead).count, 1u);
+  EXPECT_EQ(r.by_op.at(OpType::kSeek).bytes, 0u);
+}
+
+TEST(ReportTest, ImbalanceTriple) {
+  JobReport r = summarize(sample_trace());
+  // Per-rank I/O time: 3, 4.001, 2, 2.
+  EXPECT_NEAR(r.io_time_per_rank.min, 2.0, 1e-9);
+  EXPECT_NEAR(r.io_time_per_rank.max, 4.001, 1e-9);
+  EXPECT_NEAR(r.io_time_per_rank.mean, 11.001 / 4.0, 1e-9);
+  EXPECT_GT(r.io_time_per_rank.factor(), 1.4);
+  EXPECT_EQ(r.busiest_rank, 1u);
+  // Bytes: 150 MiB on rank 0, 100 elsewhere.
+  EXPECT_NEAR(r.bytes_per_rank.max, 150.0 * static_cast<double>(MiB), 1.0);
+}
+
+TEST(ReportTest, IoFraction) {
+  JobReport r = summarize(sample_trace());
+  // 11.001 rank-seconds over 4 ranks x 6 s.
+  EXPECT_NEAR(r.io_fraction(), 11.001 / 24.0, 1e-6);
+}
+
+TEST(ReportTest, BannerContainsKeyLines) {
+  std::string text = report_text(sample_trace());
+  EXPECT_NE(text.find("IPM-I/O"), std::string::npos);
+  EXPECT_NE(text.find("experiment : report-test"), std::string::npos);
+  EXPECT_NE(text.find("write"), std::string::npos);
+  EXPECT_NE(text.find("imbalance"), std::string::npos);
+  EXPECT_NE(text.find("busiest rank : 1"), std::string::npos);
+}
+
+TEST(ReportTest, EmptyTrace) {
+  Trace t("empty", 8);
+  JobReport r = summarize(t);
+  EXPECT_EQ(r.by_op.size(), 0u);
+  EXPECT_DOUBLE_EQ(r.total_io_time, 0.0);
+  EXPECT_DOUBLE_EQ(r.io_fraction(), 0.0);
+  // Rendering must not crash.
+  std::ostringstream os;
+  print_report(os, r);
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace eio::ipm

@@ -1,0 +1,104 @@
+// Unit tests for the strided read-ahead detector — the state machine
+// behind the MADbench pathology (Figures 4-5).
+#include "lustre/readahead.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace eio::lustre {
+namespace {
+
+TEST(StridedDetectorTest, FirstObservationHasNoStride) {
+  StridedDetector d;
+  EXPECT_EQ(d.observe(100), 0u);
+  EXPECT_EQ(d.stride(), 0);
+}
+
+TEST(StridedDetectorTest, ConstantStrideAccumulatesMatches) {
+  StridedDetector d;
+  // MADbench: reads at consecutive matrix slots.
+  Bytes slot = 301 * MiB;
+  EXPECT_EQ(d.observe(0), 0u);
+  EXPECT_EQ(d.observe(slot), 1u);       // stride established
+  EXPECT_EQ(d.observe(2 * slot), 2u);
+  EXPECT_EQ(d.observe(3 * slot), 3u);   // the Lustre trigger point
+  EXPECT_EQ(d.observe(4 * slot), 4u);
+  EXPECT_EQ(d.stride(), static_cast<std::int64_t>(slot));
+}
+
+TEST(StridedDetectorTest, StrideChangeResets) {
+  StridedDetector d;
+  (void)d.observe(0);
+  (void)d.observe(100);
+  (void)d.observe(200);
+  EXPECT_EQ(d.matches(), 2u);
+  EXPECT_EQ(d.observe(500), 1u);  // new stride 300: reset to first match
+  EXPECT_EQ(d.stride(), 300);
+}
+
+TEST(StridedDetectorTest, BackwardJumpResets) {
+  StridedDetector d;
+  Bytes slot = 10 * MiB;
+  for (int i = 0; i < 8; ++i) (void)d.observe(static_cast<Bytes>(i) * slot);
+  EXPECT_EQ(d.matches(), 7u);
+  // MADbench's final phase jumps back to matrix 0: negative stride.
+  EXPECT_EQ(d.observe(0), 1u);
+  EXPECT_LT(d.stride(), 0);
+}
+
+TEST(StridedDetectorTest, RereadingSameOffsetIsNotAStride) {
+  StridedDetector d;
+  (void)d.observe(100);
+  EXPECT_EQ(d.observe(100), 0u);  // stride 0 doesn't count
+  EXPECT_EQ(d.observe(100), 0u);
+}
+
+TEST(StridedDetectorTest, ResetClearsState) {
+  StridedDetector d;
+  (void)d.observe(0);
+  (void)d.observe(10);
+  (void)d.observe(20);
+  d.reset();
+  EXPECT_EQ(d.matches(), 0u);
+  EXPECT_EQ(d.observe(30), 0u);
+}
+
+TEST(ReadaheadTrackerTest, StreamsAreIndependentPerRank) {
+  ReadaheadTracker t;
+  // Rank 0 builds a stride; rank 1's interleaved reads must not
+  // disturb it (this was the original per-node-keying bug).
+  EXPECT_EQ(t.observe(0, 1, 0), 0u);
+  EXPECT_EQ(t.observe(1, 1, 777), 0u);
+  EXPECT_EQ(t.observe(0, 1, 100), 1u);
+  EXPECT_EQ(t.observe(1, 1, 999), 1u);
+  EXPECT_EQ(t.observe(0, 1, 200), 2u);
+  EXPECT_EQ(t.matches(0, 1), 2u);
+}
+
+TEST(ReadaheadTrackerTest, StreamsAreIndependentPerFile) {
+  ReadaheadTracker t;
+  (void)t.observe(0, 1, 0);
+  (void)t.observe(0, 1, 100);
+  (void)t.observe(0, 2, 5000);
+  EXPECT_EQ(t.matches(0, 1), 1u);
+  EXPECT_EQ(t.matches(0, 2), 0u);
+  EXPECT_EQ(t.stream_count(), 2u);
+}
+
+TEST(ReadaheadTrackerTest, ForgetDropsStream) {
+  ReadaheadTracker t;
+  (void)t.observe(3, 9, 0);
+  (void)t.observe(3, 9, 50);
+  t.forget(3, 9);
+  EXPECT_EQ(t.matches(3, 9), 0u);
+  EXPECT_EQ(t.stream_count(), 0u);
+}
+
+TEST(ReadaheadTrackerTest, UnknownStreamHasZeroMatches) {
+  ReadaheadTracker t;
+  EXPECT_EQ(t.matches(42, 42), 0u);
+}
+
+}  // namespace
+}  // namespace eio::lustre

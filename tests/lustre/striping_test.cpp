@@ -1,0 +1,123 @@
+// Unit tests for the striping layout arithmetic.
+#include "lustre/striping.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/units.h"
+
+namespace eio::lustre {
+namespace {
+
+TEST(StripingTest, OstForOffsetRoundRobins) {
+  FileLayout layout{.stripe_size = 1 * MiB, .stripe_count = 4, .start_ost = 0,
+                    .total_osts = 8};
+  EXPECT_EQ(layout.ost_for_offset(0), 0u);
+  EXPECT_EQ(layout.ost_for_offset(1 * MiB), 1u);
+  EXPECT_EQ(layout.ost_for_offset(3 * MiB), 3u);
+  EXPECT_EQ(layout.ost_for_offset(4 * MiB), 0u);  // wraps at stripe_count
+  EXPECT_EQ(layout.ost_for_offset(1 * MiB - 1), 0u);
+}
+
+TEST(StripingTest, StartOstRotatesTheSet) {
+  FileLayout layout{.stripe_size = 1 * MiB, .stripe_count = 4, .start_ost = 6,
+                    .total_osts = 8};
+  EXPECT_EQ(layout.ost_for_offset(0), 6u);
+  EXPECT_EQ(layout.ost_for_offset(1 * MiB), 7u);
+  EXPECT_EQ(layout.ost_for_offset(2 * MiB), 0u);  // wraps modulo total_osts
+}
+
+TEST(StripingTest, ExtentWithinOneStripe) {
+  FileLayout layout{.stripe_size = 1 * MiB, .stripe_count = 4, .start_ost = 0,
+                    .total_osts = 8};
+  auto osts = layout.osts_for_extent(512 * KiB, 256 * KiB);
+  ASSERT_EQ(osts.size(), 1u);
+  EXPECT_EQ(osts[0], 0u);
+}
+
+TEST(StripingTest, ExtentSpanningTwoStripes) {
+  FileLayout layout{.stripe_size = 1 * MiB, .stripe_count = 4, .start_ost = 0,
+                    .total_osts = 8};
+  auto osts = layout.osts_for_extent(900 * KiB, 300 * KiB);
+  ASSERT_EQ(osts.size(), 2u);
+  EXPECT_EQ(osts[0], 0u);
+  EXPECT_EQ(osts[1], 1u);
+}
+
+TEST(StripingTest, LargeExtentTouchesAllStripeCountOsts) {
+  FileLayout layout{.stripe_size = 1 * MiB, .stripe_count = 4, .start_ost = 2,
+                    .total_osts = 8};
+  auto osts = layout.osts_for_extent(0, 100 * MiB);
+  ASSERT_EQ(osts.size(), 4u);
+  std::sort(osts.begin(), osts.end());
+  EXPECT_EQ(osts, (std::vector<OstId>{2, 3, 4, 5}));
+}
+
+TEST(StripingTest, BoundariesCrossed) {
+  FileLayout layout{.stripe_size = 1 * MiB, .stripe_count = 4, .start_ost = 0,
+                    .total_osts = 8};
+  EXPECT_EQ(layout.boundaries_crossed(0, 1 * MiB), 0u);
+  EXPECT_EQ(layout.boundaries_crossed(0, 1 * MiB + 1), 1u);
+  EXPECT_EQ(layout.boundaries_crossed(512 * KiB, 1 * MiB), 1u);
+  EXPECT_EQ(layout.boundaries_crossed(0, 10 * MiB), 9u);
+  EXPECT_EQ(layout.boundaries_crossed(0, 0), 0u);
+}
+
+TEST(StripingTest, AlignmentPredicate) {
+  FileLayout layout{.stripe_size = 1 * MiB, .stripe_count = 4, .start_ost = 0,
+                    .total_osts = 8};
+  EXPECT_TRUE(layout.aligned(0, 1 * MiB));
+  EXPECT_TRUE(layout.aligned(3 * MiB, 2 * MiB));
+  EXPECT_FALSE(layout.aligned(0, 1600 * KiB));       // GCRM record
+  EXPECT_FALSE(layout.aligned(1600 * KiB, 1 * MiB)); // unaligned start
+  EXPECT_TRUE(layout.aligned(0, 2 * MiB));           // padded GCRM slot
+}
+
+TEST(StripingTest, ZeroLengthExtentRejected) {
+  FileLayout layout;
+  EXPECT_THROW(layout.osts_for_extent(0, 0), std::logic_error);
+}
+
+TEST(StripingTest, SingleStripeCountAlwaysSameOst) {
+  FileLayout layout{.stripe_size = 4 * MiB, .stripe_count = 1, .start_ost = 5,
+                    .total_osts = 48};
+  for (Bytes off : {Bytes{0}, 100 * MiB, 999 * MiB}) {
+    EXPECT_EQ(layout.ost_for_offset(off), 5u);
+  }
+  auto osts = layout.osts_for_extent(0, 1 * GiB);
+  EXPECT_EQ(osts, std::vector<OstId>{5});
+}
+
+// Property sweep: every stripe's OST must agree between the per-offset
+// and per-extent views, for a mix of layouts.
+class StripingPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(StripingPropertyTest, ExtentViewMatchesOffsetView) {
+  auto [stripe_count, start] = GetParam();
+  FileLayout layout{.stripe_size = 1 * MiB, .stripe_count = stripe_count,
+                    .start_ost = start, .total_osts = 48};
+  for (Bytes off = 0; off < 20 * MiB; off += 768 * KiB) {
+    Bytes len = 1664 * KiB;
+    auto osts = layout.osts_for_extent(off, len);
+    // First and last byte's OSTs must be in the set.
+    EXPECT_TRUE(std::find(osts.begin(), osts.end(), layout.ost_for_offset(off)) !=
+                osts.end());
+    EXPECT_TRUE(std::find(osts.begin(), osts.end(),
+                          layout.ost_for_offset(off + len - 1)) != osts.end());
+    // No duplicates.
+    auto sorted = osts;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+    // Bounded by stripe_count.
+    EXPECT_LE(osts.size(), stripe_count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, StripingPropertyTest,
+                         ::testing::Combine(::testing::Values(1u, 2u, 4u, 48u),
+                                            ::testing::Values(0u, 7u, 47u)));
+
+}  // namespace
+}  // namespace eio::lustre

@@ -1,0 +1,173 @@
+// Unit tests for the discrete-event engine.
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eio::sim {
+namespace {
+
+TEST(EngineTest, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0.0);
+  EXPECT_EQ(e.events_run(), 0u);
+}
+
+TEST(EngineTest, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 3.0);
+}
+
+TEST(EngineTest, EqualTimesRunFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EngineTest, ScheduleInIsRelative) {
+  Engine e;
+  double seen = -1.0;
+  e.schedule_at(5.0, [&] {
+    e.schedule_in(2.5, [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+}
+
+TEST(EngineTest, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  EventId id = e.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(e.pending(id));
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.pending(id));
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EngineTest, CancelTwiceReturnsFalse) {
+  Engine e;
+  EventId id = e.schedule_at(1.0, [] {});
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(EngineTest, CancelAfterRunReturnsFalse) {
+  Engine e;
+  EventId id = e.schedule_at(1.0, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(EngineTest, StepRunsExactlyOneEvent) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(1.0, [&] { ++count; });
+  e.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(EngineTest, RunUntilStopsAtDeadline) {
+  Engine e;
+  std::vector<double> seen;
+  e.schedule_at(1.0, [&] { seen.push_back(1.0); });
+  e.schedule_at(5.0, [&] { seen.push_back(5.0); });
+  e.run_until(3.0);
+  EXPECT_EQ(seen, (std::vector<double>{1.0}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  e.run();
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(EngineTest, EventsCanScheduleMoreEvents) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) e.schedule_in(1.0, recurse);
+  };
+  e.schedule_in(1.0, recurse);
+  e.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(e.now(), 100.0);
+}
+
+TEST(EngineTest, SchedulingIntoThePastThrows) {
+  Engine e;
+  e.schedule_at(5.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(1.0, [] {}), std::logic_error);
+}
+
+TEST(EngineTest, LiveEventCountTracksCancellation) {
+  Engine e;
+  EventId a = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  EXPECT_EQ(e.live_events(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.live_events(), 1u);
+  e.run();
+  EXPECT_EQ(e.live_events(), 0u);
+}
+
+TEST(EngineTest, CancelledEventsDoNotAdvanceClock) {
+  Engine e;
+  EventId id = e.schedule_at(10.0, [] {});
+  e.schedule_at(1.0, [] {});
+  e.cancel(id);
+  e.run();
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);
+}
+
+TEST(EngineTest, EventsRunCountsOnlyExecuted) {
+  Engine e;
+  EventId id = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  e.cancel(id);
+  e.run();
+  EXPECT_EQ(e.events_run(), 1u);
+}
+
+TEST(EngineTest, ZeroDelayEventRunsAtCurrentTime) {
+  Engine e;
+  double when = -1.0;
+  e.schedule_at(4.0, [&] {
+    e.schedule_in(0.0, [&] { when = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(when, 4.0);
+}
+
+TEST(EngineTest, ManyEventsStressOrdering) {
+  Engine e;
+  std::vector<double> times;
+  // Deterministic pseudo-random times.
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 2000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    double t = static_cast<double>(x % 100000) / 100.0;
+    e.schedule_at(t, [&times, &e] { times.push_back(e.now()); });
+  }
+  e.run();
+  ASSERT_EQ(times.size(), 2000u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i - 1], times[i]);
+  }
+}
+
+}  // namespace
+}  // namespace eio::sim

@@ -1,0 +1,363 @@
+// Unit tests for the fluid-flow network: share arithmetic, token
+// scheduling, byte conservation, and the two-level OST allocation that
+// produces the paper's harmonic modes.
+#include "sim/fluid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/engine.h"
+
+namespace eio::sim {
+namespace {
+
+/// Convenience fixture: N nodes, M OSTs, uniform capacities.
+struct Net {
+  Engine engine;
+  FluidNetwork network;
+
+  Net(std::size_t nodes, std::size_t osts, Rate nic, Rate ost,
+      ConcurrencyPolicy policy = ConcurrencyPolicy::fixed(4),
+      ContentionModel contention = {})
+      : network(engine, FluidNetwork::Config{
+                            .nic_capacity = std::vector<Rate>(nodes, nic),
+                            .ost_capacity = std::vector<Rate>(osts, ost),
+                            .node_policy = std::move(policy),
+                            .contention = contention,
+                            .seed = 42}) {}
+};
+
+TEST(FluidTest, SingleFlowRunsAtBottleneck) {
+  Net net(1, 1, /*nic=*/100.0, /*ost=*/50.0);
+  double finished = -1.0;
+  net.network.start_flow({.node = 0,
+                          .bytes = 500,
+                          .osts = {0},
+                          .on_complete = [&](FlowId) { finished = net.engine.now(); }});
+  net.engine.run();
+  // OST 50 B/s is the bottleneck: 500 bytes in 10 s.
+  EXPECT_NEAR(finished, 10.0, 1e-9);
+}
+
+TEST(FluidTest, NicBoundWhenSlowerThanOst) {
+  Net net(1, 1, /*nic=*/20.0, /*ost=*/50.0);
+  double finished = -1.0;
+  net.network.start_flow({.node = 0,
+                          .bytes = 100,
+                          .osts = {0},
+                          .on_complete = [&](FlowId) { finished = net.engine.now(); }});
+  net.engine.run();
+  EXPECT_NEAR(finished, 5.0, 1e-9);
+}
+
+TEST(FluidTest, PerFlowCapRespected) {
+  Net net(1, 1, 1000.0, 1000.0);
+  double finished = -1.0;
+  net.network.start_flow({.node = 0,
+                          .bytes = 100,
+                          .osts = {0},
+                          .cap = 10.0,
+                          .on_complete = [&](FlowId) { finished = net.engine.now(); }});
+  net.engine.run();
+  EXPECT_NEAR(finished, 10.0, 1e-9);
+}
+
+TEST(FluidTest, TwoFlowsFromOneNodeShareEqually) {
+  Net net(1, 1, 1000.0, 100.0, ConcurrencyPolicy::fixed(4));
+  std::vector<double> done(2, -1.0);
+  for (int i = 0; i < 2; ++i) {
+    net.network.start_flow(
+        {.node = 0,
+         .bytes = 100,
+         .osts = {0},
+         .on_complete = [&done, i, &net](FlowId) { done[static_cast<std::size_t>(i)] = net.engine.now(); }});
+  }
+  net.engine.run();
+  // Each gets 50 B/s: both complete at t=2.
+  EXPECT_NEAR(done[0], 2.0, 1e-9);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);
+}
+
+TEST(FluidTest, OstSharedPerClientNodeFirst) {
+  // Two nodes on one OST: the node with 3 flows gets the same total as
+  // the node with 1 flow (client-node fair share), so the solo flow
+  // runs 3x as fast as each of the trio.
+  Net net(2, 1, 1e9, 120.0);
+  std::map<int, double> done;
+  for (int i = 0; i < 3; ++i) {
+    net.network.start_flow(
+        {.node = 0, .bytes = 60, .osts = {0}, .on_complete = [&done, i, &net](FlowId) {
+           done[i] = net.engine.now();
+         }});
+  }
+  net.network.start_flow(
+      {.node = 1, .bytes = 60, .osts = {0}, .on_complete = [&done, &net](FlowId) {
+         done[3] = net.engine.now();
+       }});
+  net.engine.run();
+  // Node 1's flow: 60 B/s -> 1s. Node 0's flows: 20 B/s each until the
+  // solo flow finishes, then 30 B/s each.
+  EXPECT_NEAR(done[3], 1.0, 1e-9);
+  // After 1s each trio flow has 40 left; now node 0 is alone: slice
+  // 120/1 node /3 flows = 40 B/s -> 1 more second.
+  EXPECT_NEAR(done[0], 2.0, 1e-9);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);
+  EXPECT_NEAR(done[2], 2.0, 1e-9);
+}
+
+TEST(FluidTest, StripedFlowSumsOstShares) {
+  Net net(1, 4, 1e9, 25.0);
+  double finished = -1.0;
+  net.network.start_flow({.node = 0,
+                          .bytes = 100,
+                          .osts = {0, 1, 2, 3},
+                          .on_complete = [&](FlowId) { finished = net.engine.now(); }});
+  net.engine.run();
+  // 4 OSTs x 25 B/s = 100 B/s.
+  EXPECT_NEAR(finished, 1.0, 1e-9);
+}
+
+TEST(FluidTest, DuplicateOstsInSpecAreDeduplicated) {
+  Net net(1, 2, 1e9, 25.0);
+  double finished = -1.0;
+  net.network.start_flow({.node = 0,
+                          .bytes = 100,
+                          .osts = {0, 0, 1, 1, 0},
+                          .on_complete = [&](FlowId) { finished = net.engine.now(); }});
+  net.engine.run();
+  EXPECT_NEAR(finished, 2.0, 1e-9);  // 2 distinct OSTs -> 50 B/s
+}
+
+TEST(FluidTest, OstEfficiencyScalesShare) {
+  Net net(1, 1, 1e9, 100.0);
+  double finished = -1.0;
+  net.network.start_flow({.node = 0,
+                          .bytes = 100,
+                          .osts = {0},
+                          .ost_efficiency = 0.25,
+                          .on_complete = [&](FlowId) { finished = net.engine.now(); }});
+  net.engine.run();
+  EXPECT_NEAR(finished, 4.0, 1e-9);
+}
+
+TEST(FluidTest, TokenSchedulerSerializesBeyondConcurrency) {
+  // Concurrency 1: four equal flows on one node run one at a time,
+  // completing at 1, 2, 3, 4 x the single-flow time — the harmonic
+  // completion times behind Figure 1(c).
+  Net net(1, 1, 1e9, 100.0, ConcurrencyPolicy::fixed(1));
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i) {
+    net.network.start_flow({.node = 0, .bytes = 100, .osts = {0},
+                            .on_complete = [&done, &net](FlowId) {
+                              done.push_back(net.engine.now());
+                            }});
+  }
+  EXPECT_EQ(net.network.node_granted(0), 1u);
+  EXPECT_EQ(net.network.node_waiting(0), 3u);
+  net.engine.run();
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_NEAR(done[0], 1.0, 1e-9);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);
+  EXPECT_NEAR(done[2], 3.0, 1e-9);
+  EXPECT_NEAR(done[3], 4.0, 1e-9);
+}
+
+TEST(FluidTest, PairedConcurrencyGivesHalfHarmonics) {
+  Net net(1, 1, 1e9, 100.0, ConcurrencyPolicy::fixed(2));
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i) {
+    net.network.start_flow({.node = 0, .bytes = 100, .osts = {0},
+                            .on_complete = [&done, &net](FlowId) {
+                              done.push_back(net.engine.now());
+                            }});
+  }
+  net.engine.run();
+  ASSERT_EQ(done.size(), 4u);
+  // Two at 50 B/s finish at 2s; the next two finish at 4s.
+  EXPECT_NEAR(done[0], 2.0, 1e-9);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);
+  EXPECT_NEAR(done[2], 4.0, 1e-9);
+  EXPECT_NEAR(done[3], 4.0, 1e-9);
+}
+
+TEST(FluidTest, UnscheduledFlowBypassesTokens) {
+  Net net(1, 1, 1e9, 100.0, ConcurrencyPolicy::fixed(1));
+  int completed = 0;
+  net.network.start_flow({.node = 0, .bytes = 1000, .osts = {0},
+                          .on_complete = [&](FlowId) { ++completed; }});
+  net.network.start_flow({.node = 0, .bytes = 10, .osts = {0},
+                          .scheduled = false,
+                          .on_complete = [&](FlowId) { ++completed; }});
+  EXPECT_EQ(net.network.node_granted(0), 2u);
+  EXPECT_EQ(net.network.node_waiting(0), 0u);
+  net.engine.run();
+  EXPECT_EQ(completed, 2);
+}
+
+TEST(FluidTest, BytesConservedAcrossCompletions) {
+  Net net(4, 3, 1e9, 77.0, ConcurrencyPolicy::fixed(2));
+  Bytes total = 0;
+  int remaining = 0;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    Bytes b = 100 + 37 * i;
+    total += b;
+    ++remaining;
+    net.network.start_flow({.node = i % 4,
+                            .bytes = b,
+                            .osts = {static_cast<OstId>(i % 3)},
+                            .on_complete = [&remaining](FlowId) { --remaining; }});
+  }
+  net.engine.run();
+  EXPECT_EQ(remaining, 0);
+  EXPECT_EQ(net.network.bytes_completed(), total);
+  EXPECT_EQ(net.network.active_flows(), 0u);
+}
+
+TEST(FluidTest, ZeroByteFlowCompletesImmediately) {
+  Net net(1, 1, 10.0, 10.0);
+  bool done = false;
+  net.network.start_flow({.node = 0, .bytes = 0, .osts = {0},
+                          .on_complete = [&](FlowId) { done = true; }});
+  EXPECT_FALSE(done);  // deferred to the event loop, never re-entrant
+  net.engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(net.engine.now(), 0.0);
+}
+
+TEST(FluidTest, ContentionReducesEffectiveCapacity) {
+  ContentionModel contention{.alpha = 1.0, .knee = 1};
+  Net net(3, 1, 1e9, 90.0, ConcurrencyPolicy::fixed(4), contention);
+  std::vector<double> done;
+  for (std::uint32_t n = 0; n < 3; ++n) {
+    net.network.start_flow({.node = n, .bytes = 90, .osts = {0},
+                            .on_complete = [&done, &net](FlowId) {
+                              done.push_back(net.engine.now());
+                            }});
+  }
+  net.engine.run();
+  ASSERT_EQ(done.size(), 3u);
+  // 3 clients, eff = 1/(1+1*2) = 1/3: each node slice = 90/3/3 = 10 B/s.
+  // As flows drain the efficiency recovers; the first completion is
+  // bounded below by the degraded rate and above by the clean rate.
+  EXPECT_GT(done[0], 1.0);   // would be 3.0 with no contention recovery
+  EXPECT_LE(done.back(), 9.01);
+}
+
+TEST(FluidTest, ContentionModelEfficiencyFormula) {
+  ContentionModel m{.alpha = 0.5, .knee = 4};
+  EXPECT_DOUBLE_EQ(m.efficiency(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.efficiency(4), 1.0);
+  EXPECT_DOUBLE_EQ(m.efficiency(5), 1.0 / 1.5);
+  EXPECT_DOUBLE_EQ(m.efficiency(8), 1.0 / 3.0);
+  ContentionModel off{};
+  EXPECT_DOUBLE_EQ(off.efficiency(100000), 1.0);
+}
+
+TEST(FluidTest, ConcurrencyPolicySamplesFromDistribution) {
+  ConcurrencyPolicy policy{{{1, 0.5}, {4, 0.5}}};
+  rng::Stream s(7);
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < 2000; ++i) ++counts[policy.sample(s)];
+  EXPECT_GT(counts[1], 800);
+  EXPECT_GT(counts[4], 800);
+  EXPECT_EQ(counts[1] + counts[4], 2000);
+}
+
+TEST(FluidTest, FixedPolicyAlwaysSamplesSame) {
+  auto policy = ConcurrencyPolicy::fixed(3);
+  rng::Stream s(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(policy.sample(s), 3u);
+}
+
+TEST(FluidTest, SetOstCapacityChangesRates) {
+  Net net(1, 1, 1e9, 100.0);
+  double finished = -1.0;
+  net.network.start_flow({.node = 0, .bytes = 100, .osts = {0},
+                          .on_complete = [&](FlowId) { finished = net.engine.now(); }});
+  // Halve capacity at t=0.5 (after 50 bytes moved).
+  net.engine.schedule_at(0.5, [&] { net.network.set_ost_capacity(0, 50.0); });
+  net.engine.run();
+  EXPECT_NEAR(finished, 1.5, 1e-9);
+}
+
+TEST(FluidTest, OstAccountingTracksClientsAndFlows) {
+  Net net(2, 2, 1e9, 100.0);
+  net.network.start_flow({.node = 0, .bytes = 1000, .osts = {0, 1}});
+  net.network.start_flow({.node = 1, .bytes = 1000, .osts = {0}});
+  EXPECT_EQ(net.network.ost_flow_count(0), 2u);
+  EXPECT_EQ(net.network.ost_flow_count(1), 1u);
+  EXPECT_EQ(net.network.ost_client_count(0), 2u);
+  EXPECT_EQ(net.network.ost_client_count(1), 1u);
+  net.engine.run();
+  EXPECT_EQ(net.network.ost_flow_count(0), 0u);
+  EXPECT_EQ(net.network.ost_client_count(0), 0u);
+}
+
+TEST(FluidTest, FlowRateQueriesMatchExpectation) {
+  Net net(1, 1, 1e9, 100.0, ConcurrencyPolicy::fixed(2));
+  FlowId a = net.network.start_flow({.node = 0, .bytes = 1000, .osts = {0}});
+  EXPECT_DOUBLE_EQ(net.network.flow_rate(a), 100.0);
+  FlowId b = net.network.start_flow({.node = 0, .bytes = 1000, .osts = {0}});
+  EXPECT_DOUBLE_EQ(net.network.flow_rate(a), 50.0);
+  EXPECT_DOUBLE_EQ(net.network.flow_rate(b), 50.0);
+  FlowId c = net.network.start_flow({.node = 0, .bytes = 1000, .osts = {0}});
+  EXPECT_DOUBLE_EQ(net.network.flow_rate(c), 0.0);  // waiting for a token
+  EXPECT_TRUE(net.network.flow_active(c));
+  net.engine.run();
+  EXPECT_FALSE(net.network.flow_active(c));
+  EXPECT_DOUBLE_EQ(net.network.flow_rate(c), 0.0);
+}
+
+TEST(FluidTest, ManyFlowsDrainCompletely) {
+  Net net(16, 8, 1e6, 1000.0, ConcurrencyPolicy::franklin_mix());
+  int completed = 0;
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    net.network.start_flow(
+        {.node = i % 16,
+         .bytes = 500 + (i * 131) % 1000,
+         .osts = {static_cast<OstId>(i % 8), static_cast<OstId>((i * 3) % 8)},
+         .on_complete = [&completed](FlowId) { ++completed; }});
+  }
+  net.engine.run();
+  EXPECT_EQ(completed, 400);
+  EXPECT_EQ(net.network.active_flows(), 0u);
+  for (std::uint32_t n = 0; n < 16; ++n) {
+    EXPECT_EQ(net.network.node_granted(n), 0u);
+    EXPECT_EQ(net.network.node_waiting(n), 0u);
+  }
+}
+
+TEST(FluidTest, InvalidSpecsRejected) {
+  Net net(1, 1, 10.0, 10.0);
+  EXPECT_THROW(net.network.start_flow({.node = 5, .bytes = 1, .osts = {0}}),
+               std::logic_error);
+  EXPECT_THROW(net.network.start_flow({.node = 0, .bytes = 1, .osts = {9}}),
+               std::logic_error);
+  EXPECT_THROW(net.network.start_flow({.node = 0, .bytes = 1, .osts = {}}),
+               std::logic_error);
+}
+
+TEST(FluidTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Net net(8, 4, 1e6, 500.0, ConcurrencyPolicy::franklin_mix());
+    std::vector<double> done;
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      net.network.start_flow({.node = i % 8,
+                              .bytes = 1000,
+                              .osts = {static_cast<OstId>(i % 4)},
+                              .on_complete = [&done, &net](FlowId) {
+                                done.push_back(net.engine.now());
+                              }});
+    }
+    net.engine.run();
+    return done;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace eio::sim

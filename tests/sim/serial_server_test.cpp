@@ -1,0 +1,76 @@
+// Unit tests for the serialized (MDS-style) service queue.
+#include "sim/serial_server.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eio::sim {
+namespace {
+
+TEST(SerialServerTest, SingleRequestServedImmediately) {
+  Engine e;
+  SerialServer s(e);
+  double done = -1.0;
+  Seconds predicted = s.submit(2.0, [&] { done = e.now(); });
+  EXPECT_DOUBLE_EQ(predicted, 2.0);
+  e.run();
+  EXPECT_DOUBLE_EQ(done, 2.0);
+}
+
+TEST(SerialServerTest, RequestsSerializeFifo) {
+  Engine e;
+  SerialServer s(e);
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) {
+    s.submit(1.0, [&] { done.push_back(e.now()); });
+  }
+  e.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);
+  EXPECT_DOUBLE_EQ(done[2], 3.0);
+}
+
+TEST(SerialServerTest, IdleGapResetsQueue) {
+  Engine e;
+  SerialServer s(e);
+  std::vector<double> done;
+  s.submit(1.0, [&] { done.push_back(e.now()); });
+  e.schedule_at(10.0, [&] {
+    s.submit(1.0, [&] { done.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 11.0);  // starts at submit time, not at 1.0
+}
+
+TEST(SerialServerTest, TracksBusyTimeAndRequests) {
+  Engine e;
+  SerialServer s(e);
+  s.submit(1.5, nullptr);
+  s.submit(2.5, nullptr);
+  EXPECT_EQ(s.requests(), 2u);
+  EXPECT_DOUBLE_EQ(s.busy_time(), 4.0);
+  EXPECT_DOUBLE_EQ(s.next_free(), 4.0);
+  e.run();
+}
+
+TEST(SerialServerTest, ZeroServiceTimeAllowed) {
+  Engine e;
+  SerialServer s(e);
+  bool done = false;
+  s.submit(0.0, [&] { done = true; });
+  e.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(SerialServerTest, NegativeServiceTimeRejected) {
+  Engine e;
+  SerialServer s(e);
+  EXPECT_THROW(s.submit(-1.0, nullptr), std::logic_error);
+}
+
+}  // namespace
+}  // namespace eio::sim

@@ -1,0 +1,121 @@
+// Tests for the IOR variants: random offsets and file-per-process.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <variant>
+
+#include "common/units.h"
+#include "workloads/ior.h"
+
+namespace eio::workloads {
+namespace {
+
+template <typename OpT>
+std::vector<OpT> collect_ops(const mpi::Program& p) {
+  std::vector<OpT> out;
+  for (const auto& op : p.ops()) {
+    if (const auto* o = std::get_if<OpT>(&op)) out.push_back(*o);
+  }
+  return out;
+}
+
+TEST(IorVariantsTest, SequentialSegmentsAreInterleaved) {
+  IorConfig cfg;
+  cfg.tasks = 4;
+  cfg.block_size = 8 * MiB;
+  cfg.segments = 3;
+  JobSpec job = make_ior_job(lustre::MachineConfig::franklin(), cfg);
+  auto seeks = collect_ops<mpi::op::Seek>(job.programs[2]);
+  ASSERT_EQ(seeks.size(), 3u);
+  // Segment s of rank 2: (s*4 + 2) * 8 MiB.
+  EXPECT_EQ(seeks[0].offset, 2u * 8 * MiB);
+  EXPECT_EQ(seeks[1].offset, 6u * 8 * MiB);
+  EXPECT_EQ(seeks[2].offset, 10u * 8 * MiB);
+}
+
+TEST(IorVariantsTest, RandomOffsetsPermuteSlots) {
+  IorConfig cfg;
+  cfg.tasks = 4;
+  cfg.block_size = 8 * MiB;
+  cfg.segments = 8;
+  cfg.random_offsets = true;
+  JobSpec job = make_ior_job(lustre::MachineConfig::franklin(), cfg);
+  auto seeks = collect_ops<mpi::op::Seek>(job.programs[1]);
+  ASSERT_EQ(seeks.size(), 8u);
+  // Same set of slots as sequential, different order.
+  std::set<Bytes> offsets;
+  bool reordered = false;
+  for (std::size_t s = 0; s < seeks.size(); ++s) {
+    offsets.insert(seeks[s].offset);
+    Bytes sequential = (static_cast<Bytes>(s) * 4 + 1) * 8 * MiB;
+    if (seeks[s].offset != sequential) reordered = true;
+  }
+  EXPECT_EQ(offsets.size(), 8u);
+  EXPECT_TRUE(reordered);
+  // Every offset still belongs to rank 1's slot set.
+  for (Bytes off : offsets) {
+    EXPECT_EQ((off / (8 * MiB)) % 4, 1u);
+  }
+}
+
+TEST(IorVariantsTest, RandomPermutationsDifferAcrossRanks) {
+  IorConfig cfg;
+  cfg.tasks = 8;
+  cfg.block_size = 4 * MiB;
+  cfg.segments = 8;
+  cfg.random_offsets = true;
+  JobSpec job = make_ior_job(lustre::MachineConfig::franklin(), cfg);
+  auto slot_of = [&](const mpi::op::Seek& s) {
+    return (s.offset / (4 * MiB)) / 8;  // segment slot index
+  };
+  auto a = collect_ops<mpi::op::Seek>(job.programs[0]);
+  auto b = collect_ops<mpi::op::Seek>(job.programs[1]);
+  bool differ = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (slot_of(a[i]) != slot_of(b[i])) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(IorVariantsTest, FilePerProcessCreatesPrivateFiles) {
+  IorConfig cfg;
+  cfg.tasks = 4;
+  cfg.block_size = 8 * MiB;
+  cfg.segments = 2;
+  cfg.file_per_process = true;
+  cfg.fpp_stripe_count = 2;
+  JobSpec job = make_ior_job(lustre::MachineConfig::franklin(), cfg);
+  EXPECT_EQ(job.stripe_options.size(), 4u);
+  for (const auto& [path, opt] : job.stripe_options) {
+    EXPECT_FALSE(opt.shared);
+    EXPECT_EQ(opt.stripe_count, 2u);
+  }
+  // Private layout: consecutive blocks from 0.
+  auto seeks = collect_ops<mpi::op::Seek>(job.programs[3]);
+  EXPECT_EQ(seeks[0].offset, 0u);
+  EXPECT_EQ(seeks[1].offset, 8 * MiB);
+}
+
+TEST(IorVariantsTest, FppRunsEndToEnd) {
+  IorConfig cfg;
+  cfg.tasks = 16;
+  cfg.block_size = 16 * MiB;
+  cfg.segments = 2;
+  cfg.file_per_process = true;
+  RunResult r = run_job(make_ior_job(lustre::MachineConfig::franklin(), cfg));
+  EXPECT_EQ(r.fs_stats.bytes_written, 16u * 2u * 16 * MiB);
+  EXPECT_GT(r.job_time, 0.0);
+}
+
+TEST(IorVariantsTest, NamesEncodeVariants) {
+  IorConfig cfg;
+  cfg.tasks = 2;
+  cfg.random_offsets = true;
+  cfg.file_per_process = true;
+  JobSpec job = make_ior_job(lustre::MachineConfig::franklin(), cfg);
+  EXPECT_NE(job.name.find("-random"), std::string::npos);
+  EXPECT_NE(job.name.find("-fpp"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eio::workloads

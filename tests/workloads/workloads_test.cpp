@@ -1,0 +1,313 @@
+// Unit tests for the workload generators: op counts, sizes, offsets,
+// and phase labels must match the paper's descriptions exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <variant>
+
+#include "common/units.h"
+#include "workloads/gcrm.h"
+#include "workloads/ior.h"
+#include "workloads/madbench.h"
+
+namespace eio::workloads {
+namespace {
+
+/// Count ops of a given type in a program.
+template <typename OpT>
+std::size_t count_ops(const mpi::Program& p) {
+  std::size_t n = 0;
+  for (const auto& op : p.ops()) {
+    if (std::holds_alternative<OpT>(op)) ++n;
+  }
+  return n;
+}
+
+template <typename OpT>
+std::vector<OpT> collect_ops(const mpi::Program& p) {
+  std::vector<OpT> out;
+  for (const auto& op : p.ops()) {
+    if (const auto* o = std::get_if<OpT>(&op)) out.push_back(*o);
+  }
+  return out;
+}
+
+// --- IOR ---
+
+TEST(IorWorkloadTest, ProgramShape) {
+  IorConfig cfg;
+  cfg.tasks = 8;
+  cfg.block_size = 64 * MiB;
+  cfg.segments = 5;
+  cfg.calls_per_block = 1;
+  JobSpec job = make_ior_job(lustre::MachineConfig::franklin(), cfg);
+  ASSERT_EQ(job.programs.size(), 8u);
+  const auto& p = job.programs[3];
+  EXPECT_EQ(count_ops<mpi::op::Write>(p), 5u);     // one per segment
+  EXPECT_EQ(count_ops<mpi::op::Barrier>(p), 5u);   // barrier per segment
+  EXPECT_EQ(count_ops<mpi::op::Open>(p), 1u);
+  EXPECT_EQ(count_ops<mpi::op::Close>(p), 1u);
+  auto writes = collect_ops<mpi::op::Write>(p);
+  for (const auto& w : writes) EXPECT_EQ(w.bytes, 64 * MiB);
+  // Each task writes at its own offset.
+  auto seeks = collect_ops<mpi::op::Seek>(p);
+  ASSERT_EQ(seeks.size(), 5u);
+  EXPECT_EQ(seeks[0].offset, 3u * 64 * MiB);
+}
+
+TEST(IorWorkloadTest, SplitsBlockIntoKCalls) {
+  IorConfig cfg;
+  cfg.tasks = 4;
+  cfg.block_size = 64 * MiB;
+  cfg.segments = 2;
+  cfg.calls_per_block = 8;
+  JobSpec job = make_ior_job(lustre::MachineConfig::franklin(), cfg);
+  const auto& p = job.programs[0];
+  EXPECT_EQ(count_ops<mpi::op::Write>(p), 16u);
+  auto writes = collect_ops<mpi::op::Write>(p);
+  for (const auto& w : writes) EXPECT_EQ(w.bytes, 8 * MiB);
+  // Still only one barrier per segment (no barrier between sub-calls).
+  EXPECT_EQ(count_ops<mpi::op::Barrier>(p), 2u);
+}
+
+TEST(IorWorkloadTest, ReadBackAddsReads) {
+  IorConfig cfg;
+  cfg.tasks = 2;
+  cfg.block_size = 8 * MiB;
+  cfg.segments = 3;
+  cfg.read_back = true;
+  JobSpec job = make_ior_job(lustre::MachineConfig::franklin(), cfg);
+  EXPECT_EQ(count_ops<mpi::op::Read>(job.programs[0]), 3u);
+  EXPECT_EQ(count_ops<mpi::op::Barrier>(job.programs[0]), 6u);
+}
+
+TEST(IorWorkloadTest, StripeDefaultsToAllOsts) {
+  IorConfig cfg;
+  cfg.tasks = 2;
+  JobSpec job = make_ior_job(lustre::MachineConfig::franklin(), cfg);
+  EXPECT_EQ(job.stripe_options.at(cfg.file_name).stripe_count, 48u);
+  EXPECT_TRUE(job.stripe_options.at(cfg.file_name).shared);
+}
+
+TEST(IorWorkloadTest, UnevenSplitRejected) {
+  IorConfig cfg;
+  cfg.block_size = 10 * MiB;
+  cfg.calls_per_block = 3;
+  EXPECT_THROW((void)make_ior_job(lustre::MachineConfig::franklin(), cfg),
+               std::logic_error);
+}
+
+// --- MADbench ---
+
+TEST(MadbenchWorkloadTest, SlotAlignsUp) {
+  MadbenchConfig cfg;
+  EXPECT_EQ(cfg.slot() % cfg.alignment, 0u);
+  EXPECT_GE(cfg.slot(), cfg.matrix_bytes);
+  EXPECT_LT(cfg.slot() - cfg.matrix_bytes, cfg.alignment);  // a small gap
+  EXPECT_GT(cfg.slot(), cfg.matrix_bytes);  // gap is non-zero by default
+}
+
+TEST(MadbenchWorkloadTest, IoPatternMatchesPaper) {
+  MadbenchConfig cfg;
+  cfg.tasks = 4;
+  JobSpec job = make_madbench_job(lustre::MachineConfig::franklin(), cfg);
+  const auto& p = job.programs[0];
+  // 8x W + 8x (R, W) + 8x R = 16 writes, 16 reads.
+  EXPECT_EQ(count_ops<mpi::op::Write>(p), 16u);
+  EXPECT_EQ(count_ops<mpi::op::Read>(p), 16u);
+  EXPECT_EQ(count_ops<mpi::op::Barrier>(p), 24u);
+  // Middle phase: seek-read-seek-write (two seeks per iteration), plus
+  // one seek per op in the other phases.
+  EXPECT_EQ(count_ops<mpi::op::Seek>(p), 32u);
+  auto writes = collect_ops<mpi::op::Write>(p);
+  for (const auto& w : writes) EXPECT_EQ(w.bytes, cfg.matrix_bytes);
+}
+
+TEST(MadbenchWorkloadTest, MatricesContiguousPerTask) {
+  MadbenchConfig cfg;
+  cfg.tasks = 4;
+  JobSpec job = make_madbench_job(lustre::MachineConfig::franklin(), cfg);
+  auto seeks = collect_ops<mpi::op::Seek>(job.programs[1]);
+  // Generate-phase seeks: task 1's region starts at 8 slots.
+  Bytes base = 8 * cfg.slot();
+  for (std::uint32_t m = 0; m < 8; ++m) {
+    EXPECT_EQ(seeks[m].offset, base + m * cfg.slot());
+  }
+}
+
+TEST(MadbenchWorkloadTest, PhaseLabelsDistinguishReads) {
+  EXPECT_NE(MadbenchConfig::generate_phase(4), MadbenchConfig::middle_phase(4));
+  EXPECT_NE(MadbenchConfig::middle_phase(4), MadbenchConfig::final_phase(4));
+}
+
+// --- GCRM ---
+
+TEST(GcrmWorkloadTest, BaselineRecordCounts) {
+  GcrmConfig cfg = GcrmConfig::baseline();
+  cfg.tasks = 16;
+  cfg.btree_fanout = 8;
+  JobSpec job = make_gcrm_job(lustre::MachineConfig::franklin(), cfg);
+  EXPECT_EQ(cfg.records_per_task(), 21u);  // 3x1 + 3x6
+  // Every non-zero rank writes exactly its 21 records.
+  EXPECT_EQ(count_ops<mpi::op::Write>(job.programs[5]), 21u);
+  // Rank 0 adds the structural metadata: superblock (2) + step group
+  // (4) + per single-record var ceil(16/8)+3 = 5 and per multi-record
+  // var ceil(96/8)+3 = 15.
+  std::size_t meta_writes = 2 + 4 + 3 * 5 + 3 * 15;
+  EXPECT_EQ(count_ops<mpi::op::Write>(job.programs[0]), 21u + meta_writes);
+  // Metadata reads: 1 (open) + 1 (step) + 3x1 + 3x3.
+  EXPECT_EQ(count_ops<mpi::op::Read>(job.programs[0]), 1u + 1u + 3u + 9u);
+  EXPECT_EQ(count_ops<mpi::op::Barrier>(job.programs[0]), 6u);
+  EXPECT_EQ(count_ops<mpi::op::Gather>(job.programs[0]), 0u);
+}
+
+TEST(GcrmWorkloadTest, MetadataVolumeScalesWithChunkCount) {
+  // Twice the tasks -> roughly twice the B-tree nodes -> roughly twice
+  // the rank-0 metadata writes (the structural claim of the H5 model).
+  auto meta_writes_at = [](std::uint32_t tasks) {
+    GcrmConfig cfg = GcrmConfig::baseline();
+    cfg.tasks = tasks;
+    cfg.btree_fanout = 8;
+    JobSpec job = make_gcrm_job(lustre::MachineConfig::franklin(), cfg);
+    return count_ops<mpi::op::Write>(job.programs[0]) - cfg.records_per_task();
+  };
+  double ratio = static_cast<double>(meta_writes_at(64)) /
+                 static_cast<double>(meta_writes_at(32));
+  EXPECT_GT(ratio, 1.7);
+  EXPECT_LT(ratio, 2.1);
+}
+
+TEST(GcrmWorkloadTest, BaselineRecordsUnaligned) {
+  GcrmConfig cfg = GcrmConfig::baseline();
+  cfg.tasks = 4;
+  JobSpec job = make_gcrm_job(lustre::MachineConfig::franklin(), cfg);
+  lustre::FileLayout layout{.stripe_size = 1 * MiB, .stripe_count = 48,
+                            .total_osts = 48};
+  auto seeks = collect_ops<mpi::op::Seek>(job.programs[1]);
+  auto writes = collect_ops<mpi::op::Write>(job.programs[1]);
+  ASSERT_EQ(seeks.size(), writes.size());
+  std::size_t unaligned = 0;
+  for (std::size_t i = 0; i < seeks.size(); ++i) {
+    if (!layout.aligned(seeks[i].offset, writes[i].bytes)) ++unaligned;
+  }
+  EXPECT_GT(unaligned, seeks.size() / 2);
+}
+
+TEST(GcrmWorkloadTest, AlignedConfigPadsRecords) {
+  GcrmConfig cfg = GcrmConfig::with_alignment();
+  cfg.tasks = 256;
+  cfg.io_tasks = 2;
+  JobSpec job = make_gcrm_job(lustre::MachineConfig::franklin(), cfg);
+  lustre::FileLayout layout{.stripe_size = 1 * MiB, .stripe_count = 48,
+                            .total_osts = 48};
+  // Aggregator rank 128 has no metadata stream: pure padded records.
+  auto seeks = collect_ops<mpi::op::Seek>(job.programs[128]);
+  auto writes = collect_ops<mpi::op::Write>(job.programs[128]);
+  ASSERT_FALSE(writes.empty());
+  for (std::size_t i = 0; i < seeks.size(); ++i) {
+    EXPECT_TRUE(layout.aligned(seeks[i].offset, writes[i].bytes));
+    EXPECT_EQ(writes[i].bytes, 2 * MiB);  // 1.5625 MiB padded up
+  }
+}
+
+TEST(GcrmWorkloadTest, CollectiveBufferingRoles) {
+  GcrmConfig cfg = GcrmConfig::with_collective_buffering();
+  cfg.tasks = 256;
+  cfg.io_tasks = 2;  // groups of 128
+  JobSpec job = make_gcrm_job(lustre::MachineConfig::franklin(), cfg);
+  // Aggregator 128 writes the whole group's records (rank 0 adds the
+  // metadata stream on top).
+  EXPECT_EQ(count_ops<mpi::op::Write>(job.programs[128]), 21u * 128u);
+  EXPECT_GT(count_ops<mpi::op::Write>(job.programs[0]), 21u * 128u);
+  // Leaves only gather and wait.
+  EXPECT_EQ(count_ops<mpi::op::Write>(job.programs[1]), 0u);
+  EXPECT_EQ(count_ops<mpi::op::Gather>(job.programs[1]), 6u);
+  EXPECT_EQ(count_ops<mpi::op::Gather>(job.programs[0]), 6u);
+}
+
+TEST(GcrmWorkloadTest, AggregatedMetadataReplacesPerVarStream) {
+  GcrmConfig cfg = GcrmConfig::fully_optimized();
+  cfg.tasks = 256;
+  cfg.io_tasks = 2;
+  JobSpec job = make_gcrm_job(lustre::MachineConfig::franklin(), cfg);
+  auto writes = collect_ops<mpi::op::Write>(job.programs[0]);
+  // Data writes plus a handful of large deferred metadata flushes at
+  // close — no small per-variable stream, no metadata reads.
+  ASSERT_GT(writes.size(), 21u * 128u);
+  std::size_t small = 0;
+  Bytes deferred = 0;
+  for (std::size_t i = 21u * 128u; i < writes.size(); ++i) {
+    deferred += writes[i].bytes;
+    if (writes[i].bytes < 64 * KiB) ++small;
+  }
+  EXPECT_EQ(small, 0u);
+  EXPECT_GT(deferred, 0u);
+  EXPECT_EQ(count_ops<mpi::op::Read>(job.programs[0]), 0u);
+}
+
+TEST(GcrmWorkloadTest, IoTasksMustDivideTasks) {
+  GcrmConfig cfg = GcrmConfig::with_collective_buffering();
+  cfg.tasks = 100;
+  cfg.io_tasks = 3;
+  EXPECT_THROW((void)make_gcrm_job(lustre::MachineConfig::franklin(), cfg),
+               std::logic_error);
+}
+
+TEST(GcrmWorkloadTest, NamesEncodeConfiguration) {
+  GcrmConfig cfg = GcrmConfig::fully_optimized();
+  cfg.tasks = 256;
+  cfg.io_tasks = 2;
+  JobSpec job = make_gcrm_job(lustre::MachineConfig::franklin(), cfg);
+  EXPECT_NE(job.name.find("cb2"), std::string::npos);
+  EXPECT_NE(job.name.find("aligned"), std::string::npos);
+  EXPECT_NE(job.name.find("aggmeta"), std::string::npos);
+}
+
+// --- experiment driver ---
+
+TEST(ExperimentTest, NodeCountRoundsUp) {
+  lustre::MachineConfig m = lustre::MachineConfig::franklin();
+  EXPECT_EQ(node_count_for(m, 1), 1u);
+  EXPECT_EQ(node_count_for(m, 4), 1u);
+  EXPECT_EQ(node_count_for(m, 5), 2u);
+  EXPECT_EQ(node_count_for(m, 1024), 256u);
+}
+
+TEST(ExperimentTest, FairShareRate) {
+  lustre::MachineConfig m = lustre::MachineConfig::franklin();
+  double r = fair_share_rate(m, 1024);
+  EXPECT_NEAR(r / static_cast<double>(MiB), 48.0 * 350.0 / 1024.0, 1e-9);
+}
+
+TEST(ExperimentTest, RunJobProducesTraceAndStats) {
+  IorConfig cfg;
+  cfg.tasks = 8;
+  cfg.block_size = 16 * MiB;
+  cfg.segments = 2;
+  JobSpec job = make_ior_job(lustre::MachineConfig::franklin(), cfg);
+  RunResult result = run_job(job);
+  EXPECT_GT(result.job_time, 0.0);
+  EXPECT_EQ(result.fs_stats.bytes_written, 8u * 2u * 16 * MiB);
+  EXPECT_EQ(result.trace.ranks(), 8u);
+  // Trace has opens, seeks, writes, closes per rank.
+  EXPECT_GE(result.trace.size(), 8u * (1 + 2 + 2 + 1));
+  EXPECT_GT(result.reported_rate(), 0.0);
+  EXPECT_EQ(result.profile.total(), result.trace.size());
+}
+
+TEST(ExperimentTest, EnsembleRunsVaryBySeedButAreDeterministic) {
+  IorConfig cfg;
+  cfg.tasks = 8;
+  cfg.block_size = 16 * MiB;
+  cfg.segments = 1;
+  JobSpec job = make_ior_job(lustre::MachineConfig::franklin(), cfg);
+  auto ensemble1 = run_ensemble(job, 3);
+  auto ensemble2 = run_ensemble(job, 3);
+  ASSERT_EQ(ensemble1.size(), 3u);
+  // Same seed -> identical job time; different seeds -> different times.
+  EXPECT_EQ(ensemble1[0].job_time, ensemble2[0].job_time);
+  EXPECT_NE(ensemble1[0].job_time, ensemble1[1].job_time);
+}
+
+}  // namespace
+}  // namespace eio::workloads

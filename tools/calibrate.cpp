@@ -1,0 +1,97 @@
+// Internal calibration scratch tool (not installed): prints headline
+// numbers for each paper experiment so model constants can be tuned.
+#include <cstdio>
+#include <string>
+
+#include "core/distribution.h"
+#include "core/lln.h"
+#include "core/modes.h"
+#include "core/samples.h"
+#include "workloads/gcrm.h"
+#include "workloads/ior.h"
+#include "workloads/madbench.h"
+
+using namespace eio;
+
+static void ior_report(std::uint32_t k) {
+  workloads::IorConfig cfg;
+  cfg.calls_per_block = k;
+  auto job = workloads::make_ior_job(lustre::MachineConfig::franklin(), cfg);
+  auto result = workloads::run_job(job);
+  auto writes = analysis::durations(result.trace,
+                                    {.op = posix::OpType::kWrite, .min_bytes = MiB});
+  stats::EmpiricalDistribution dist(writes);
+  auto per_task = analysis::per_rank_ordered(
+      result.trace, {.op = posix::OpType::kWrite, .min_bytes = MiB},
+      static_cast<std::size_t>(k) * cfg.segments);
+  auto totals = stats::sum_groups(per_task, k);  // per task per segment
+  stats::EmpiricalDistribution tdist(totals);
+  double bytes = static_cast<double>(result.fs_stats.bytes_written);
+  double rate_mib = bytes / result.job_time / static_cast<double>(MiB);
+  std::printf(
+      "IOR k=%u: job=%.1fs rate=%.0f MiB/s call[min=%.1f med=%.1f mean=%.1f "
+      "max=%.1f] totals[med=%.1f max=%.1f cv=%.3f skew=%.2f] events=%llu\n",
+      k, result.job_time, rate_mib, dist.min(), dist.median(),
+      dist.mean(), dist.max(), tdist.median(), tdist.max(),
+      tdist.moments().cv(), tdist.moments().skewness,
+      static_cast<unsigned long long>(result.engine_events));
+  if (k == 1) {
+    auto modes = stats::find_modes(writes, {});
+    std::printf("  modes:");
+    for (const auto& m : modes) {
+      std::printf(" (t=%.1fs mass=%.2f)", m.location, m.mass);
+    }
+    std::printf("\n");
+  }
+}
+
+static void madbench_report(const lustre::MachineConfig& m) {
+  workloads::MadbenchConfig cfg;
+  auto result = workloads::run_job(workloads::make_madbench_job(m, cfg));
+  std::printf("MADbench %s: job=%.0fs", m.name.c_str(), result.job_time);
+  for (std::uint32_t i = 1; i <= 8; ++i) {
+    auto reads = analysis::durations(
+        result.trace,
+        {.op = posix::OpType::kRead,
+         .phase = workloads::MadbenchConfig::middle_phase(i),
+         .min_bytes = MiB});
+    stats::EmpiricalDistribution d(reads);
+    std::printf(" r%u[%.0f/%.0f]", i, d.median(), d.max());
+  }
+  std::printf(" events=%llu\n",
+              static_cast<unsigned long long>(result.engine_events));
+}
+
+static void gcrm_report(const workloads::GcrmConfig& cfg, const char* label) {
+  auto result =
+      workloads::run_job(workloads::make_gcrm_job(lustre::MachineConfig::franklin(), cfg));
+  auto data_rates = analysis::rates_mib(
+      result.trace, {.op = posix::OpType::kWrite, .min_bytes = MiB});
+  stats::EmpiricalDistribution d(data_rates);
+  double bytes = static_cast<double>(result.fs_stats.bytes_written);
+  std::printf(
+      "GCRM %-10s: job=%.0fs sustained=%.2f GiB/s task-rate[med=%.2f MiB/s] "
+      "events=%llu\n",
+      label, result.job_time,
+      bytes / result.job_time / static_cast<double>(GiB), d.median(),
+      static_cast<unsigned long long>(result.engine_events));
+}
+
+int main(int argc, char** argv) {
+  std::string what = argc > 1 ? argv[1] : "all";
+  if (what == "ior" || what == "all") {
+    for (std::uint32_t k : {1u, 2u, 4u, 8u}) ior_report(k);
+  }
+  if (what == "madbench" || what == "all") {
+    madbench_report(lustre::MachineConfig::franklin());
+    madbench_report(lustre::MachineConfig::franklin_patched());
+    madbench_report(lustre::MachineConfig::jaguar());
+  }
+  if (what == "gcrm" || what == "all") {
+    gcrm_report(workloads::GcrmConfig::baseline(), "baseline");
+    gcrm_report(workloads::GcrmConfig::with_collective_buffering(), "cb80");
+    gcrm_report(workloads::GcrmConfig::with_alignment(), "aligned");
+    gcrm_report(workloads::GcrmConfig::fully_optimized(), "aggmeta");
+  }
+  return 0;
+}

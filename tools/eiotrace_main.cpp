@@ -1,0 +1,11 @@
+// eiotrace command-line entry point; all logic lives in src/cli.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/eiotrace.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return eio::cli::run_eiotrace(args, std::cout, std::cerr);
+}
