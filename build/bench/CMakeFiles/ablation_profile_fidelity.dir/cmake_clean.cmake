@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_profile_fidelity.dir/ablation_profile_fidelity.cpp.o"
+  "CMakeFiles/ablation_profile_fidelity.dir/ablation_profile_fidelity.cpp.o.d"
+  "ablation_profile_fidelity"
+  "ablation_profile_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_profile_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slow_ost.dir/ablation_slow_ost.cpp.o"
+  "CMakeFiles/ablation_slow_ost.dir/ablation_slow_ost.cpp.o.d"
+  "ablation_slow_ost"
+  "ablation_slow_ost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slow_ost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

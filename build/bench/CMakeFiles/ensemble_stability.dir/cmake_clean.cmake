@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_stability.dir/ensemble_stability.cpp.o"
+  "CMakeFiles/ensemble_stability.dir/ensemble_stability.cpp.o.d"
+  "ensemble_stability"
+  "ensemble_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

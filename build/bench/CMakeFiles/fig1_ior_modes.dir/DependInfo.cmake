@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_ior_modes.cpp" "bench/CMakeFiles/fig1_ior_modes.dir/fig1_ior_modes.cpp.o" "gcc" "bench/CMakeFiles/fig1_ior_modes.dir/fig1_ior_modes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/eio_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/eio_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/h5/CMakeFiles/eio_h5.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/eio_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipm/CMakeFiles/eio_ipm.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/eio_posix.dir/DependInfo.cmake"
+  "/root/repo/build/src/lustre/CMakeFiles/eio_lustre.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

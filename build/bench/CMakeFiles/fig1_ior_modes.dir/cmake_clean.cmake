@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ior_modes.dir/fig1_ior_modes.cpp.o"
+  "CMakeFiles/fig1_ior_modes.dir/fig1_ior_modes.cpp.o.d"
+  "fig1_ior_modes"
+  "fig1_ior_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ior_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

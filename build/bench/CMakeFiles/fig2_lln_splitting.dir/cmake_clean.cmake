@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_lln_splitting.dir/fig2_lln_splitting.cpp.o"
+  "CMakeFiles/fig2_lln_splitting.dir/fig2_lln_splitting.cpp.o.d"
+  "fig2_lln_splitting"
+  "fig2_lln_splitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_lln_splitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_madbench_platforms.dir/fig4_madbench_platforms.cpp.o"
+  "CMakeFiles/fig4_madbench_platforms.dir/fig4_madbench_platforms.cpp.o.d"
+  "fig4_madbench_platforms"
+  "fig4_madbench_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_madbench_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_readahead_patch.dir/fig5_readahead_patch.cpp.o"
+  "CMakeFiles/fig5_readahead_patch.dir/fig5_readahead_patch.cpp.o.d"
+  "fig5_readahead_patch"
+  "fig5_readahead_patch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_readahead_patch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_gcrm_optimizations.dir/fig6_gcrm_optimizations.cpp.o"
+  "CMakeFiles/fig6_gcrm_optimizations.dir/fig6_gcrm_optimizations.cpp.o.d"
+  "fig6_gcrm_optimizations"
+  "fig6_gcrm_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_gcrm_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

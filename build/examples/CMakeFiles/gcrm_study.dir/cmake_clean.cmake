@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcrm_study.dir/gcrm_study.cpp.o"
+  "CMakeFiles/gcrm_study.dir/gcrm_study.cpp.o.d"
+  "gcrm_study"
+  "gcrm_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcrm_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

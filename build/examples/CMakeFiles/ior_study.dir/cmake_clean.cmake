@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ior_study.dir/ior_study.cpp.o"
+  "CMakeFiles/ior_study.dir/ior_study.cpp.o.d"
+  "ior_study"
+  "ior_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ior_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

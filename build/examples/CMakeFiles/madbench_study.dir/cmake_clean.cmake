@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madbench_study.dir/madbench_study.cpp.o"
+  "CMakeFiles/madbench_study.dir/madbench_study.cpp.o.d"
+  "madbench_study"
+  "madbench_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madbench_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

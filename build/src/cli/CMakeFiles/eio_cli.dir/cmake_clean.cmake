@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eio_cli.dir/eiotrace.cpp.o"
+  "CMakeFiles/eio_cli.dir/eiotrace.cpp.o.d"
+  "libeio_cli.a"
+  "libeio_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eio_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ascii_chart.cpp" "src/core/CMakeFiles/eio_core.dir/ascii_chart.cpp.o" "gcc" "src/core/CMakeFiles/eio_core.dir/ascii_chart.cpp.o.d"
+  "/root/repo/src/core/diagnose.cpp" "src/core/CMakeFiles/eio_core.dir/diagnose.cpp.o" "gcc" "src/core/CMakeFiles/eio_core.dir/diagnose.cpp.o.d"
+  "/root/repo/src/core/distribution.cpp" "src/core/CMakeFiles/eio_core.dir/distribution.cpp.o" "gcc" "src/core/CMakeFiles/eio_core.dir/distribution.cpp.o.d"
+  "/root/repo/src/core/histogram.cpp" "src/core/CMakeFiles/eio_core.dir/histogram.cpp.o" "gcc" "src/core/CMakeFiles/eio_core.dir/histogram.cpp.o.d"
+  "/root/repo/src/core/ks.cpp" "src/core/CMakeFiles/eio_core.dir/ks.cpp.o" "gcc" "src/core/CMakeFiles/eio_core.dir/ks.cpp.o.d"
+  "/root/repo/src/core/lln.cpp" "src/core/CMakeFiles/eio_core.dir/lln.cpp.o" "gcc" "src/core/CMakeFiles/eio_core.dir/lln.cpp.o.d"
+  "/root/repo/src/core/modes.cpp" "src/core/CMakeFiles/eio_core.dir/modes.cpp.o" "gcc" "src/core/CMakeFiles/eio_core.dir/modes.cpp.o.d"
+  "/root/repo/src/core/normality.cpp" "src/core/CMakeFiles/eio_core.dir/normality.cpp.o" "gcc" "src/core/CMakeFiles/eio_core.dir/normality.cpp.o.d"
+  "/root/repo/src/core/order_stats.cpp" "src/core/CMakeFiles/eio_core.dir/order_stats.cpp.o" "gcc" "src/core/CMakeFiles/eio_core.dir/order_stats.cpp.o.d"
+  "/root/repo/src/core/patterns.cpp" "src/core/CMakeFiles/eio_core.dir/patterns.cpp.o" "gcc" "src/core/CMakeFiles/eio_core.dir/patterns.cpp.o.d"
+  "/root/repo/src/core/rate_series.cpp" "src/core/CMakeFiles/eio_core.dir/rate_series.cpp.o" "gcc" "src/core/CMakeFiles/eio_core.dir/rate_series.cpp.o.d"
+  "/root/repo/src/core/samples.cpp" "src/core/CMakeFiles/eio_core.dir/samples.cpp.o" "gcc" "src/core/CMakeFiles/eio_core.dir/samples.cpp.o.d"
+  "/root/repo/src/core/trace_diagram.cpp" "src/core/CMakeFiles/eio_core.dir/trace_diagram.cpp.o" "gcc" "src/core/CMakeFiles/eio_core.dir/trace_diagram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ipm/CMakeFiles/eio_ipm.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/eio_posix.dir/DependInfo.cmake"
+  "/root/repo/build/src/lustre/CMakeFiles/eio_lustre.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

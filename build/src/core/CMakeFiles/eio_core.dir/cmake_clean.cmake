@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eio_core.dir/ascii_chart.cpp.o"
+  "CMakeFiles/eio_core.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/eio_core.dir/diagnose.cpp.o"
+  "CMakeFiles/eio_core.dir/diagnose.cpp.o.d"
+  "CMakeFiles/eio_core.dir/distribution.cpp.o"
+  "CMakeFiles/eio_core.dir/distribution.cpp.o.d"
+  "CMakeFiles/eio_core.dir/histogram.cpp.o"
+  "CMakeFiles/eio_core.dir/histogram.cpp.o.d"
+  "CMakeFiles/eio_core.dir/ks.cpp.o"
+  "CMakeFiles/eio_core.dir/ks.cpp.o.d"
+  "CMakeFiles/eio_core.dir/lln.cpp.o"
+  "CMakeFiles/eio_core.dir/lln.cpp.o.d"
+  "CMakeFiles/eio_core.dir/modes.cpp.o"
+  "CMakeFiles/eio_core.dir/modes.cpp.o.d"
+  "CMakeFiles/eio_core.dir/normality.cpp.o"
+  "CMakeFiles/eio_core.dir/normality.cpp.o.d"
+  "CMakeFiles/eio_core.dir/order_stats.cpp.o"
+  "CMakeFiles/eio_core.dir/order_stats.cpp.o.d"
+  "CMakeFiles/eio_core.dir/patterns.cpp.o"
+  "CMakeFiles/eio_core.dir/patterns.cpp.o.d"
+  "CMakeFiles/eio_core.dir/rate_series.cpp.o"
+  "CMakeFiles/eio_core.dir/rate_series.cpp.o.d"
+  "CMakeFiles/eio_core.dir/samples.cpp.o"
+  "CMakeFiles/eio_core.dir/samples.cpp.o.d"
+  "CMakeFiles/eio_core.dir/trace_diagram.cpp.o"
+  "CMakeFiles/eio_core.dir/trace_diagram.cpp.o.d"
+  "libeio_core.a"
+  "libeio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

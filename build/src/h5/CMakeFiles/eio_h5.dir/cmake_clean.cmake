@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eio_h5.dir/h5part.cpp.o"
+  "CMakeFiles/eio_h5.dir/h5part.cpp.o.d"
+  "libeio_h5.a"
+  "libeio_h5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eio_h5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eio_ipm.dir/monitor.cpp.o"
+  "CMakeFiles/eio_ipm.dir/monitor.cpp.o.d"
+  "CMakeFiles/eio_ipm.dir/profile.cpp.o"
+  "CMakeFiles/eio_ipm.dir/profile.cpp.o.d"
+  "CMakeFiles/eio_ipm.dir/report.cpp.o"
+  "CMakeFiles/eio_ipm.dir/report.cpp.o.d"
+  "CMakeFiles/eio_ipm.dir/trace.cpp.o"
+  "CMakeFiles/eio_ipm.dir/trace.cpp.o.d"
+  "libeio_ipm.a"
+  "libeio_ipm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eio_ipm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

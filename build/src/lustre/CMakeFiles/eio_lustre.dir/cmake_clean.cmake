@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eio_lustre.dir/filesystem.cpp.o"
+  "CMakeFiles/eio_lustre.dir/filesystem.cpp.o.d"
+  "libeio_lustre.a"
+  "libeio_lustre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eio_lustre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

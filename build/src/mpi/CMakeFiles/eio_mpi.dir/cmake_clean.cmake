@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eio_mpi.dir/runtime.cpp.o"
+  "CMakeFiles/eio_mpi.dir/runtime.cpp.o.d"
+  "libeio_mpi.a"
+  "libeio_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eio_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

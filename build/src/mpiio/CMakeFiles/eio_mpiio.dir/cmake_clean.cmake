@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eio_mpiio.dir/collective.cpp.o"
+  "CMakeFiles/eio_mpiio.dir/collective.cpp.o.d"
+  "libeio_mpiio.a"
+  "libeio_mpiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eio_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

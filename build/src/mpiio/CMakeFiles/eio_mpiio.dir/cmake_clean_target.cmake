@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeio_mpiio.a"
+)

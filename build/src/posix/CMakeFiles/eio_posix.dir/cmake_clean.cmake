@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eio_posix.dir/vfs.cpp.o"
+  "CMakeFiles/eio_posix.dir/vfs.cpp.o.d"
+  "libeio_posix.a"
+  "libeio_posix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eio_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

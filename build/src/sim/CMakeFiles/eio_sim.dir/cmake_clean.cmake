@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eio_sim.dir/fluid.cpp.o"
+  "CMakeFiles/eio_sim.dir/fluid.cpp.o.d"
+  "libeio_sim.a"
+  "libeio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/experiment.cpp" "src/workloads/CMakeFiles/eio_workloads.dir/experiment.cpp.o" "gcc" "src/workloads/CMakeFiles/eio_workloads.dir/experiment.cpp.o.d"
+  "/root/repo/src/workloads/gcrm.cpp" "src/workloads/CMakeFiles/eio_workloads.dir/gcrm.cpp.o" "gcc" "src/workloads/CMakeFiles/eio_workloads.dir/gcrm.cpp.o.d"
+  "/root/repo/src/workloads/ior.cpp" "src/workloads/CMakeFiles/eio_workloads.dir/ior.cpp.o" "gcc" "src/workloads/CMakeFiles/eio_workloads.dir/ior.cpp.o.d"
+  "/root/repo/src/workloads/madbench.cpp" "src/workloads/CMakeFiles/eio_workloads.dir/madbench.cpp.o" "gcc" "src/workloads/CMakeFiles/eio_workloads.dir/madbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/eio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lustre/CMakeFiles/eio_lustre.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/eio_posix.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/eio_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/eio_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/h5/CMakeFiles/eio_h5.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipm/CMakeFiles/eio_ipm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eio_workloads.dir/experiment.cpp.o"
+  "CMakeFiles/eio_workloads.dir/experiment.cpp.o.d"
+  "CMakeFiles/eio_workloads.dir/gcrm.cpp.o"
+  "CMakeFiles/eio_workloads.dir/gcrm.cpp.o.d"
+  "CMakeFiles/eio_workloads.dir/ior.cpp.o"
+  "CMakeFiles/eio_workloads.dir/ior.cpp.o.d"
+  "CMakeFiles/eio_workloads.dir/madbench.cpp.o"
+  "CMakeFiles/eio_workloads.dir/madbench.cpp.o.d"
+  "libeio_workloads.a"
+  "libeio_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eio_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

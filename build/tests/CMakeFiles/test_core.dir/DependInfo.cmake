@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/analysis_test.cpp" "tests/CMakeFiles/test_core.dir/core/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/analysis_test.cpp.o.d"
+  "/root/repo/tests/core/bootstrap_test.cpp" "tests/CMakeFiles/test_core.dir/core/bootstrap_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/bootstrap_test.cpp.o.d"
+  "/root/repo/tests/core/chart_csv_test.cpp" "tests/CMakeFiles/test_core.dir/core/chart_csv_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/chart_csv_test.cpp.o.d"
+  "/root/repo/tests/core/diagnose_test.cpp" "tests/CMakeFiles/test_core.dir/core/diagnose_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/diagnose_test.cpp.o.d"
+  "/root/repo/tests/core/distribution_test.cpp" "tests/CMakeFiles/test_core.dir/core/distribution_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/distribution_test.cpp.o.d"
+  "/root/repo/tests/core/histogram_test.cpp" "tests/CMakeFiles/test_core.dir/core/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/histogram_test.cpp.o.d"
+  "/root/repo/tests/core/ks_test.cpp" "tests/CMakeFiles/test_core.dir/core/ks_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/ks_test.cpp.o.d"
+  "/root/repo/tests/core/lln_test.cpp" "tests/CMakeFiles/test_core.dir/core/lln_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/lln_test.cpp.o.d"
+  "/root/repo/tests/core/modes_test.cpp" "tests/CMakeFiles/test_core.dir/core/modes_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/modes_test.cpp.o.d"
+  "/root/repo/tests/core/normality_test.cpp" "tests/CMakeFiles/test_core.dir/core/normality_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/normality_test.cpp.o.d"
+  "/root/repo/tests/core/order_stats_test.cpp" "tests/CMakeFiles/test_core.dir/core/order_stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/order_stats_test.cpp.o.d"
+  "/root/repo/tests/core/patterns_test.cpp" "tests/CMakeFiles/test_core.dir/core/patterns_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/patterns_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/eio_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/eio_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/h5/CMakeFiles/eio_h5.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/eio_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipm/CMakeFiles/eio_ipm.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/eio_posix.dir/DependInfo.cmake"
+  "/root/repo/build/src/lustre/CMakeFiles/eio_lustre.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

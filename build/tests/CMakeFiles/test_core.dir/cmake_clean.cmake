@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/analysis_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/analysis_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/bootstrap_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/bootstrap_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/chart_csv_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/chart_csv_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/diagnose_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/diagnose_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/distribution_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/distribution_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/histogram_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/histogram_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/ks_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ks_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/lln_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/lln_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/modes_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/modes_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/normality_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/normality_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/order_stats_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/order_stats_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/patterns_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/patterns_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

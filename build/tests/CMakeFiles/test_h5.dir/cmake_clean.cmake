@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_h5.dir/h5/h5part_test.cpp.o"
+  "CMakeFiles/test_h5.dir/h5/h5part_test.cpp.o.d"
+  "test_h5"
+  "test_h5.pdb"
+  "test_h5[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_h5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

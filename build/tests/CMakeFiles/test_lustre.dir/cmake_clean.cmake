@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lustre.dir/lustre/background_test.cpp.o"
+  "CMakeFiles/test_lustre.dir/lustre/background_test.cpp.o.d"
+  "CMakeFiles/test_lustre.dir/lustre/filesystem_property_test.cpp.o"
+  "CMakeFiles/test_lustre.dir/lustre/filesystem_property_test.cpp.o.d"
+  "CMakeFiles/test_lustre.dir/lustre/filesystem_test.cpp.o"
+  "CMakeFiles/test_lustre.dir/lustre/filesystem_test.cpp.o.d"
+  "CMakeFiles/test_lustre.dir/lustre/readahead_test.cpp.o"
+  "CMakeFiles/test_lustre.dir/lustre/readahead_test.cpp.o.d"
+  "CMakeFiles/test_lustre.dir/lustre/striping_test.cpp.o"
+  "CMakeFiles/test_lustre.dir/lustre/striping_test.cpp.o.d"
+  "test_lustre"
+  "test_lustre.pdb"
+  "test_lustre[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lustre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

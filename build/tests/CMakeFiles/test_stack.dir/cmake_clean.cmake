@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stack.dir/ipm/monitor_test.cpp.o"
+  "CMakeFiles/test_stack.dir/ipm/monitor_test.cpp.o.d"
+  "CMakeFiles/test_stack.dir/ipm/profile_test.cpp.o"
+  "CMakeFiles/test_stack.dir/ipm/profile_test.cpp.o.d"
+  "CMakeFiles/test_stack.dir/ipm/report_test.cpp.o"
+  "CMakeFiles/test_stack.dir/ipm/report_test.cpp.o.d"
+  "CMakeFiles/test_stack.dir/ipm/trace_test.cpp.o"
+  "CMakeFiles/test_stack.dir/ipm/trace_test.cpp.o.d"
+  "CMakeFiles/test_stack.dir/mpi/runtime_test.cpp.o"
+  "CMakeFiles/test_stack.dir/mpi/runtime_test.cpp.o.d"
+  "CMakeFiles/test_stack.dir/posix/vfs_test.cpp.o"
+  "CMakeFiles/test_stack.dir/posix/vfs_test.cpp.o.d"
+  "test_stack"
+  "test_stack.pdb"
+  "test_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/eiotrace_main.cpp" "tools/CMakeFiles/eiotrace.dir/eiotrace_main.cpp.o" "gcc" "tools/CMakeFiles/eiotrace.dir/eiotrace_main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/eio_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipm/CMakeFiles/eio_ipm.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/eio_posix.dir/DependInfo.cmake"
+  "/root/repo/build/src/lustre/CMakeFiles/eio_lustre.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eiotrace.dir/eiotrace_main.cpp.o"
+  "CMakeFiles/eiotrace.dir/eiotrace_main.cpp.o.d"
+  "eiotrace"
+  "eiotrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eiotrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
