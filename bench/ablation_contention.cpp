@@ -13,27 +13,35 @@
 
 using namespace eio;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("ablation_contention — writer-count sweep, fixed 40 GiB total",
                 "Section V: '80 tasks can saturate the I/O subsystem'");
 
   lustre::MachineConfig franklin = lustre::MachineConfig::franklin();
   const Bytes total = 40 * GiB;
 
-  bench::section("aggregate write throughput vs writer count");
-  std::printf("  %8s %12s %14s %16s\n", "writers", "MiB each", "job time (s)",
-              "aggregate GiB/s");
-  std::vector<double> writers, rates;
-  for (std::uint32_t n : {16u, 40u, 80u, 160u, 320u, 640u, 1280u, 2560u, 5120u,
-                          10240u}) {
+  const std::vector<std::uint32_t> counts{16u, 40u, 80u, 160u, 320u, 640u,
+                                          1280u, 2560u, 5120u, 10240u};
+  std::vector<workloads::JobSpec> specs;
+  for (std::uint32_t n : counts) {
     workloads::IorConfig cfg;
     cfg.tasks = n;
     cfg.block_size = total / n;
     cfg.segments = 1;
-    workloads::RunResult result =
-        workloads::run_job(workloads::make_ior_job(franklin, cfg));
+    specs.push_back(workloads::make_ior_job(franklin, cfg));
+  }
+  std::vector<workloads::RunResult> results =
+      workloads::run_jobs(specs, bench::jobs_flag(argc, argv));
+
+  bench::section("aggregate write throughput vs writer count");
+  std::printf("  %8s %12s %14s %16s\n", "writers", "MiB each", "job time (s)",
+              "aggregate GiB/s");
+  std::vector<double> writers, rates;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::uint32_t n = counts[i];
+    workloads::RunResult& result = results[i];
     double gib_s = to_gib(result.fs_stats.bytes_written) / result.job_time;
-    std::printf("  %8u %12.1f %14.1f %16.2f\n", n, to_mib(cfg.block_size),
+    std::printf("  %8u %12.1f %14.1f %16.2f\n", n, to_mib(total / n),
                 result.job_time, gib_s);
     writers.push_back(n);
     rates.push_back(gib_s);

@@ -17,26 +17,34 @@
 
 using namespace eio;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("ablation_interference — other-jobs load sweep",
                 "Section III run-to-run variability sources");
 
+  std::size_t jobs = bench::jobs_flag(argc, argv);
   workloads::IorConfig cfg;
   cfg.tasks = 256;
   cfg.block_size = 64 * MiB;
   cfg.segments = 3;
+
+  const std::vector<double> intensities{0.0, 0.2, 0.4, 0.6};
+  std::vector<workloads::JobSpec> specs;
+  for (double intensity : intensities) {
+    lustre::MachineConfig machine = lustre::MachineConfig::franklin();
+    machine.background.enabled = intensity > 0.0;
+    machine.background.intensity = intensity;
+    specs.push_back(workloads::make_ior_job(machine, cfg));
+  }
+  std::vector<workloads::RunResult> sweep = workloads::run_jobs(specs, jobs);
 
   bench::section("foreground IOR under increasing background load");
   std::printf("  %10s %12s %14s %12s %12s\n", "intensity", "job (s)",
               "rate (MiB/s)", "write med", "write p95");
   std::vector<stats::Histogram> hists;
   std::vector<std::string> names;
-  for (double intensity : {0.0, 0.2, 0.4, 0.6}) {
-    lustre::MachineConfig machine = lustre::MachineConfig::franklin();
-    machine.background.enabled = intensity > 0.0;
-    machine.background.intensity = intensity;
-    workloads::RunResult r =
-        workloads::run_job(workloads::make_ior_job(machine, cfg));
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    double intensity = intensities[i];
+    workloads::RunResult& r = sweep[i];
     auto writes = analysis::durations(r.trace, {.op = posix::OpType::kWrite,
                                                 .min_bytes = MiB});
     stats::EmpiricalDistribution d(writes);
@@ -71,7 +79,7 @@ int main() {
   busy.background.enabled = true;
   busy.background.intensity = 0.4;
   workloads::JobSpec job = workloads::make_ior_job(busy, cfg);
-  auto runs = workloads::run_ensemble(job, 2);
+  auto runs = workloads::run_ensemble(job, 2, jobs);
   auto wa = analysis::durations(runs[0].trace, {.op = posix::OpType::kWrite,
                                                 .min_bytes = MiB});
   auto wb = analysis::durations(runs[1].trace, {.op = posix::OpType::kWrite,

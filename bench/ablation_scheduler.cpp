@@ -16,7 +16,7 @@
 
 using namespace eio;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("ablation_scheduler — node stream-scheduler policies",
                 "DESIGN.md: mechanism behind Figure 1(c) harmonics");
 
@@ -36,11 +36,18 @@ int main() {
   cfg.block_size = 256 * MiB;
   cfg.segments = 2;
 
+  std::vector<workloads::JobSpec> specs;
   for (const Case& c : cases) {
     lustre::MachineConfig machine = lustre::MachineConfig::franklin();
     machine.node_policy = c.policy;
-    workloads::RunResult result =
-        workloads::run_job(workloads::make_ior_job(machine, cfg));
+    specs.push_back(workloads::make_ior_job(machine, cfg));
+  }
+  std::vector<workloads::RunResult> results =
+      workloads::run_jobs(specs, bench::jobs_flag(argc, argv));
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Case& c = cases[i];
+    workloads::RunResult& result = results[i];
     auto writes = analysis::durations(
         result.trace, {.op = posix::OpType::kWrite, .min_bytes = MiB});
     auto modes = stats::find_modes(writes, {.bandwidth_scale = 0.45});

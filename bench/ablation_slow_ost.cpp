@@ -15,7 +15,7 @@
 #include "ipm/monitor.h"
 #include "mpi/runtime.h"
 #include "posix/vfs.h"
-#include "sim/engine.h"
+#include "sim/run_context.h"
 
 using namespace eio;
 
@@ -33,20 +33,21 @@ Outcome run_case(double slow_factor) {
   const std::uint32_t ranks = 256;
   const Bytes block = 64 * MiB;
 
-  sim::Engine engine;
-  lustre::Filesystem fs(engine, machine, ranks / machine.tasks_per_node);
+  sim::RunContext run(machine.seed);
+  lustre::Filesystem fs(run, machine, ranks / machine.tasks_per_node);
   if (slow_factor < 1.0) {
     fs.network().set_ost_capacity(0, machine.ost_bandwidth * slow_factor);
   }
-  posix::PosixIo io(engine, fs, machine.tasks_per_node);
+  posix::PosixIo io(run, fs, machine.tasks_per_node);
   ipm::Monitor monitor;
   monitor.attach(io);
   monitor.trace().set_ranks(ranks);
-  mpi::Runtime runtime(engine, io);
+  mpi::Runtime runtime(run, io);
 
   std::vector<mpi::Program> programs;
   for (RankId r = 0; r < ranks; ++r) {
-    std::string path = "f" + std::to_string(r);
+    std::string path = "f";
+    path += std::to_string(r);
     io.setstripe(path, {.stripe_count = 1, .shared = false});
     mpi::Program p;
     p.open(0, path);

@@ -19,9 +19,35 @@
 #include "core/rate_series.h"
 #include "core/samples.h"
 #include "core/trace_diagram.h"
+#include "workloads/ensemble.h"
 #include "workloads/experiment.h"
 
 namespace eio::bench {
+
+/// Parse `--jobs N` / `--jobs=N` from argv. Returns 0 (meaning "use
+/// EIO_JOBS or hardware concurrency") when absent; every figure bench
+/// forwards the value to workloads::run_jobs / run_ensemble.
+inline std::size_t jobs_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (arg == "--jobs" && i + 1 < argc) {
+      value = argv[i + 1];
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      value = arg.substr(7);
+    } else {
+      continue;
+    }
+    char* end = nullptr;
+    unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+    std::fprintf(stderr, "warning: ignoring malformed --jobs value '%s'\n",
+                 value.c_str());
+  }
+  return 0;
+}
 
 inline void banner(const std::string& title, const std::string& paper_ref) {
   std::printf("\n================================================================\n");

@@ -7,19 +7,45 @@
 // "although the I/O rate an individual task observes may vary
 // significantly from run to run, the statistical moments and modes of
 // the performance distribution are reproducible."
+//
+// The bench also times a 16-run ensemble serially (--jobs 1) and with
+// the parallel runner, and writes BENCH_ensemble.json with both
+// throughputs so the speedup is recorded alongside the machine shape.
+#include <sys/utsname.h>
+
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/check.h"
 #include "core/bootstrap.h"
 #include "core/ks.h"
 #include "workloads/ior.h"
 
 using namespace eio;
 
-int main() {
+namespace {
+
+double time_ensemble(const workloads::JobSpec& job, std::size_t runs,
+                     std::size_t jobs) {
+  auto start = std::chrono::steady_clock::now();
+  workloads::ParallelEnsembleRunner runner({.jobs = jobs});
+  auto results = runner.run_ensemble(job, runs);
+  EIO_CHECK(results.size() == runs);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   bench::banner("ensemble_stability — IOR across 5 independent runs",
                 "Section III reproducibility claim / Figure 1(c) overlay");
+
+  std::size_t jobs = workloads::resolve_jobs(bench::jobs_flag(argc, argv));
 
   workloads::IorConfig cfg;
   cfg.tasks = 512;  // 5 runs: keep each moderate
@@ -27,7 +53,7 @@ int main() {
   cfg.segments = 3;
   workloads::JobSpec job =
       workloads::make_ior_job(lustre::MachineConfig::franklin(), cfg);
-  auto runs = workloads::run_ensemble(job, 5);
+  auto runs = workloads::run_ensemble(job, 5, jobs);
 
   std::vector<std::vector<double>> samples;
   for (const auto& r : runs) {
@@ -87,5 +113,44 @@ int main() {
                                             m.mass * 100.0);
     std::printf("\n");
   }
+
+  bench::section("serial vs parallel ensemble throughput (16 runs)");
+  const std::size_t bench_runs = 16;
+  workloads::IorConfig small = cfg;
+  small.tasks = 128;  // 16 runs: keep the wall-clock budget sane
+  small.segments = 2;
+  workloads::JobSpec bench_job =
+      workloads::make_ior_job(lustre::MachineConfig::franklin(), small);
+  double serial_s = time_ensemble(bench_job, bench_runs, 1);
+  double parallel_s = time_ensemble(bench_job, bench_runs, jobs);
+  double serial_rps = static_cast<double>(bench_runs) / serial_s;
+  double parallel_rps = static_cast<double>(bench_runs) / parallel_s;
+  unsigned hw = std::thread::hardware_concurrency();
+  std::printf("  serial   (--jobs 1):  %6.2f s  (%.2f runs/s)\n", serial_s,
+              serial_rps);
+  std::printf("  parallel (--jobs %zu): %6.2f s  (%.2f runs/s)\n", jobs,
+              parallel_s, parallel_rps);
+  std::printf("  speedup x%.2f on %u hardware threads\n", serial_s / parallel_s,
+              hw);
+
+  utsname uts{};
+  uname(&uts);
+  std::ofstream json("BENCH_ensemble.json");
+  json << "{\n"
+       << "  \"benchmark\": \"ensemble_stability\",\n"
+       << "  \"runs\": " << bench_runs << ",\n"
+       << "  \"tasks_per_run\": " << small.tasks << ",\n"
+       << "  \"serial_seconds\": " << serial_s << ",\n"
+       << "  \"parallel_seconds\": " << parallel_s << ",\n"
+       << "  \"serial_runs_per_sec\": " << serial_rps << ",\n"
+       << "  \"parallel_runs_per_sec\": " << parallel_rps << ",\n"
+       << "  \"speedup\": " << serial_s / parallel_s << ",\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"hardware_concurrency\": " << hw << ",\n"
+       << "  \"worst_pairwise_ks\": " << worst << ",\n"
+       << "  \"machine\": \"" << uts.sysname << " " << uts.release << " "
+       << uts.machine << "\"\n"
+       << "}\n";
+  std::printf("  [json] BENCH_ensemble.json written\n");
   return 0;
 }

@@ -15,20 +15,22 @@
 
 using namespace eio;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("fig1_ior_modes — IOR 1024x512MiB, k=1",
                 "Figure 1(a-c), Section III");
 
   workloads::IorConfig cfg;  // paper defaults: 1024 tasks, 512 MiB, 5 phases
   lustre::MachineConfig franklin = lustre::MachineConfig::franklin();
-  workloads::RunResult scratch =
-      workloads::run_job(workloads::make_ior_job(franklin, cfg));
 
   // The paper's second file system: same hardware, independent run.
   lustre::MachineConfig scratch2_machine = franklin;
   scratch2_machine.seed += 1;
-  workloads::RunResult scratch2 =
-      workloads::run_job(workloads::make_ior_job(scratch2_machine, cfg));
+  std::vector<workloads::RunResult> results = workloads::run_jobs(
+      {workloads::make_ior_job(franklin, cfg),
+       workloads::make_ior_job(scratch2_machine, cfg)},
+      bench::jobs_flag(argc, argv));
+  workloads::RunResult& scratch = results[0];
+  workloads::RunResult& scratch2 = results[1];
 
   bench::section("(a) I/O trace diagram (scratch)");
   bench::print_trace_diagram(scratch);

@@ -17,13 +17,22 @@
 
 using namespace eio;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("fig2_lln_splitting — IOR 512MiB in k calls",
                 "Figure 2(a-c) + Section III-A rates");
 
   const std::vector<std::uint32_t> ks{1, 2, 4, 8};
   const std::vector<double> paper_rates{11610.0, 12016.0, 13446.0, 13486.0};
   lustre::MachineConfig franklin = lustre::MachineConfig::franklin();
+
+  std::vector<workloads::JobSpec> specs;
+  for (std::uint32_t k : ks) {
+    workloads::IorConfig cfg;
+    cfg.calls_per_block = k;
+    specs.push_back(workloads::make_ior_job(franklin, cfg));
+  }
+  std::vector<workloads::RunResult> results =
+      workloads::run_jobs(specs, bench::jobs_flag(argc, argv));
 
   struct Row {
     std::uint32_t k;
@@ -35,11 +44,11 @@ int main() {
   std::vector<Row> rows;
   std::vector<stats::Histogram> histograms;
 
-  for (std::uint32_t k : ks) {
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    std::uint32_t k = ks[i];
     workloads::IorConfig cfg;
     cfg.calls_per_block = k;
-    workloads::RunResult result =
-        workloads::run_job(workloads::make_ior_job(franklin, cfg));
+    workloads::RunResult& result = results[i];
     auto per_call = analysis::per_rank_ordered(
         result.trace, {.op = posix::OpType::kWrite, .min_bytes = MiB},
         static_cast<std::size_t>(k) * cfg.segments);

@@ -51,15 +51,17 @@ void report_platform(const workloads::RunResult& result, const char* label) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("fig4_madbench_platforms — MADbench 256 tasks",
                 "Figure 4(a-f), Section IV");
 
   workloads::MadbenchConfig cfg;  // paper defaults: 256 tasks, ~300 MB matrices
-  workloads::RunResult franklin = workloads::run_job(
-      workloads::make_madbench_job(lustre::MachineConfig::franklin(), cfg));
-  workloads::RunResult jaguar = workloads::run_job(
-      workloads::make_madbench_job(lustre::MachineConfig::jaguar(), cfg));
+  std::vector<workloads::RunResult> results = workloads::run_jobs(
+      {workloads::make_madbench_job(lustre::MachineConfig::franklin(), cfg),
+       workloads::make_madbench_job(lustre::MachineConfig::jaguar(), cfg)},
+      bench::jobs_flag(argc, argv));
+  workloads::RunResult& franklin = results[0];
+  workloads::RunResult& jaguar = results[1];
 
   report_platform(franklin, "Franklin");
   report_platform(jaguar, "Jaguar");

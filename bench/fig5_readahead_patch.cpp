@@ -14,15 +14,23 @@
 
 using namespace eio;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("fig5_readahead_patch — MADbench before/after Lustre patch",
                 "Figure 5(a-c), Section IV-C");
 
+  std::size_t jobs = bench::jobs_flag(argc, argv);
   workloads::MadbenchConfig cfg;
-  workloads::RunResult before = workloads::run_job(
-      workloads::make_madbench_job(lustre::MachineConfig::franklin(), cfg));
-  workloads::RunResult after = workloads::run_job(
-      workloads::make_madbench_job(lustre::MachineConfig::franklin_patched(), cfg));
+  workloads::MadbenchConfig coll = cfg;
+  coll.collective_io = true;
+  std::vector<workloads::RunResult> results = workloads::run_jobs(
+      {workloads::make_madbench_job(lustre::MachineConfig::franklin(), cfg),
+       workloads::make_madbench_job(lustre::MachineConfig::franklin_patched(),
+                                    cfg),
+       workloads::make_madbench_job(lustre::MachineConfig::franklin(), coll)},
+      jobs);
+  workloads::RunResult& before = results[0];
+  workloads::RunResult& after = results[1];
+  workloads::RunResult& collective = results[2];
 
   bench::section("(a) middle-phase read completion curves F_p, p = 4..8");
   std::vector<analysis::Series> curves;
@@ -92,10 +100,6 @@ int main() {
               "buggy heuristic lacked)\n");
 
   bench::section("the MPI-IO alternative: collective I/O dodges the bug");
-  workloads::MadbenchConfig coll = cfg;
-  coll.collective_io = true;
-  workloads::RunResult collective = workloads::run_job(
-      workloads::make_madbench_job(lustre::MachineConfig::franklin(), coll));
   std::printf("  unpatched Franklin, two-phase collectives: job %.0f s, "
               "%llu degraded reads\n  (aggregators stream sequentially; the "
               "strided detector never reaches its trigger)\n",

@@ -59,7 +59,7 @@ void report_config(const workloads::RunResult& result, const char* label) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("fig6_gcrm_optimizations — GCRM 10,240 tasks, shared file",
                 "Figure 6(a-l), Section V");
 
@@ -79,11 +79,14 @@ int main() {
        workloads::GcrmConfig::fully_optimized(), 75.0},
   };
 
-  std::vector<workloads::RunResult> results;
+  std::vector<workloads::JobSpec> specs;
   for (const Step& step : steps) {
-    results.push_back(
-        workloads::run_job(workloads::make_gcrm_job(franklin, step.cfg)));
-    report_config(results.back(), step.label);
+    specs.push_back(workloads::make_gcrm_job(franklin, step.cfg));
+  }
+  std::vector<workloads::RunResult> results =
+      workloads::run_jobs(specs, bench::jobs_flag(argc, argv));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    report_config(results[i], steps[i].label);
   }
 
   bench::section("diagnosis of the baseline (what the method tells you to fix)");

@@ -19,6 +19,9 @@
 #include "core/trace_diagram.h"
 #include "ipm/report.h"
 #include "ipm/trace.h"
+#include "lustre/machine.h"
+#include "workloads/ensemble.h"
+#include "workloads/ior.h"
 
 namespace eio::cli {
 
@@ -295,6 +298,74 @@ int cmd_patterns(const ipm::Trace& trace, const Args&, std::ostream& out,
   return 0;
 }
 
+// `simulate` is special-cased in run_eiotrace: it generates traces via
+// the parallel ensemble runner instead of loading one from disk.
+int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
+  std::string machine_name = args.get("machine", "franklin");
+  lustre::MachineConfig machine;
+  if (machine_name == "franklin") {
+    machine = lustre::MachineConfig::franklin();
+  } else if (machine_name == "franklin-patched") {
+    machine = lustre::MachineConfig::franklin_patched();
+  } else if (machine_name == "jaguar") {
+    machine = lustre::MachineConfig::jaguar();
+  } else {
+    err << "eiotrace: unknown machine '" << machine_name
+        << "' (franklin|franklin-patched|jaguar)\n";
+    return 1;
+  }
+
+  workloads::IorConfig cfg;
+  cfg.tasks = static_cast<std::uint32_t>(args.get_size("tasks", 256));
+  cfg.block_size = static_cast<Bytes>(args.get_double("block-mib", 64.0) *
+                                      static_cast<double>(MiB));
+  cfg.segments = static_cast<std::uint32_t>(args.get_size("segments", 2));
+  std::size_t runs = args.get_size("runs", 4);
+
+  workloads::ParallelEnsembleRunner runner({.jobs = args.get_size("jobs", 0)});
+  out << "simulating " << runs << " IOR runs (" << cfg.tasks << " tasks, "
+      << to_mib(cfg.block_size) << " MiB blocks, " << cfg.segments
+      << " segments) on " << machine_name << " with " << runner.jobs()
+      << " worker(s)\n";
+  auto results =
+      runner.run_ensemble(workloads::make_ior_job(machine, cfg), runs);
+
+  std::vector<std::vector<double>> samples;
+  out << "  run          job(s)    events    median(s)      p95(s)\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    auto writes = analysis::durations(
+        results[i].trace, {.op = posix::OpType::kWrite, .min_bytes = MiB});
+    stats::EmpiricalDistribution d(writes);
+    char line[160];
+    std::snprintf(line, sizeof line, "  %-8zu %10.1f %9zu %12.4f %11.4f\n", i,
+                  results[i].job_time, results[i].trace.size(), d.median(),
+                  d.quantile(0.95));
+    out << line;
+    samples.push_back(std::move(writes));
+  }
+
+  out << "pairwise KS distances (write durations):\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    for (std::size_t j = i + 1; j < samples.size(); ++j) {
+      stats::KsResult ks = stats::ks_two_sample(samples[i], samples[j]);
+      char line[120];
+      std::snprintf(line, sizeof line, "  %zu vs %zu: D = %.4f (p = %.3f)\n",
+                    i, j, ks.statistic, ks.p_value);
+      out << line;
+    }
+  }
+
+  if (args.has("save-dir")) {
+    std::string dir = args.get("save-dir", ".");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::string path = dir + "/run" + std::to_string(i) + ".tsv";
+      results[i].trace.save(path);
+      out << "wrote " << path << "\n";
+    }
+  }
+  return 0;
+}
+
 using Command = int (*)(const ipm::Trace&, const Args&, std::ostream&,
                         std::ostream&);
 
@@ -327,6 +398,11 @@ std::string usage_text() {
      << "  phases     per-phase duration table\n"
      << "  compare    A vs B medians + KS distance (two trace files)\n"
      << "  convert    rewrite as binary (default) or --tsv\n"
+     << "  simulate   generate an IOR ensemble (no trace file needed)\n"
+     << "             [--runs N] [--jobs N] [--tasks N] [--block-mib X]\n"
+     << "             [--segments N] [--machine franklin|franklin-patched|"
+        "jaguar]\n"
+     << "             [--save-dir DIR]\n"
      << "common filter flags: --op=write|read --phase=P --min-bytes=N "
         "--max-bytes=N\n";
   return os.str();
@@ -337,6 +413,14 @@ int run_eiotrace(const std::vector<std::string>& args, std::ostream& out,
   if (args.empty() || args[0] == "--help" || args[0] == "help") {
     out << usage_text();
     return args.empty() ? 1 : 0;
+  }
+  if (args[0] == "simulate") {
+    try {
+      return cmd_simulate(Args(args, 1), out, err);
+    } catch (const std::exception& e) {
+      err << "eiotrace: " << e.what() << "\n";
+      return 2;
+    }
   }
   auto it = commands().find(args[0]);
   if (it == commands().end()) {

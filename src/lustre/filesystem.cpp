@@ -7,7 +7,8 @@
 namespace eio::lustre {
 
 sim::FluidNetwork::Config Filesystem::network_config(const MachineConfig& machine,
-                                                     std::uint32_t node_count) {
+                                                     std::uint32_t node_count,
+                                                     std::uint64_t seed) {
   sim::FluidNetwork::Config cfg;
   // Extra NICs for the phantom client nodes the interference stream
   // issues from (other jobs are many distinct Lustre clients).
@@ -17,24 +18,23 @@ sim::FluidNetwork::Config Filesystem::network_config(const MachineConfig& machin
   cfg.ost_capacity.assign(machine.ost_count, machine.ost_bandwidth);
   cfg.node_policy = machine.node_policy;
   cfg.contention = machine.contention;
-  cfg.seed = machine.seed;
+  cfg.seed = seed;
   return cfg;
 }
 
-Filesystem::Filesystem(sim::Engine& engine, const MachineConfig& machine,
+Filesystem::Filesystem(sim::RunContext& run, const MachineConfig& machine,
                        std::uint32_t node_count)
-    : engine_(engine),
+    : engine_(run.engine()),
       machine_(machine),
-      network_(engine, network_config(machine, node_count)),
-      mds_(engine) {
+      network_(run.engine(), network_config(machine, node_count, run.seed())),
+      mds_(run.engine()) {
   EIO_CHECK(node_count > 0);
-  rng::StreamFactory factory(machine.seed);
-  background_rng_ = rng::make_stream(factory, rng::StreamKind::kBackground, 0);
+  background_rng_ = run.stream(rng::StreamKind::kBackground, 0);
   nodes_.resize(node_count);
   for (std::uint32_t i = 0; i < node_count; ++i) {
-    nodes_[i].noise = rng::make_stream(factory, rng::StreamKind::kFlowNoise, i);
-    nodes_[i].straggler = rng::make_stream(factory, rng::StreamKind::kStraggler, i);
-    nodes_[i].readahead = rng::make_stream(factory, rng::StreamKind::kReadahead, i);
+    nodes_[i].noise = run.stream(rng::StreamKind::kFlowNoise, i);
+    nodes_[i].straggler = run.stream(rng::StreamKind::kStraggler, i);
+    nodes_[i].readahead = run.stream(rng::StreamKind::kReadahead, i);
   }
 }
 

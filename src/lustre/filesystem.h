@@ -34,6 +34,7 @@
 #include "lustre/striping.h"
 #include "sim/engine.h"
 #include "sim/fluid.h"
+#include "sim/run_context.h"
 #include "sim/serial_server.h"
 
 namespace eio::lustre {
@@ -62,8 +63,9 @@ struct FilesystemStats {
 class Filesystem {
  public:
   /// Build a file system backing `node_count` client nodes on the given
-  /// platform.
-  Filesystem(sim::Engine& engine, const MachineConfig& machine,
+  /// platform. All state — clock, flows, caches, RNG substreams — is
+  /// owned by or derived from `run`, never shared across runs.
+  Filesystem(sim::RunContext& run, const MachineConfig& machine,
              std::uint32_t node_count);
 
   Filesystem(const Filesystem&) = delete;
@@ -168,7 +170,8 @@ class Filesystem {
   void background_arrival();
 
   [[nodiscard]] static sim::FluidNetwork::Config network_config(
-      const MachineConfig& machine, std::uint32_t node_count);
+      const MachineConfig& machine, std::uint32_t node_count,
+      std::uint64_t seed);
 
   sim::Engine& engine_;
   MachineConfig machine_;

@@ -12,8 +12,8 @@ namespace {
 
 }  // namespace
 
-Runtime::Runtime(sim::Engine& engine, posix::PosixIo& io, CollectiveCosts costs)
-    : engine_(engine), io_(io), costs_(costs) {}
+Runtime::Runtime(sim::RunContext& run, posix::PosixIo& io, CollectiveCosts costs)
+    : engine_(run.engine()), io_(io), costs_(costs) {}
 
 void Runtime::load(std::vector<Program> programs) {
   EIO_CHECK(!programs.empty());

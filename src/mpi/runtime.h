@@ -17,6 +17,7 @@
 #include "mpi/program.h"
 #include "posix/vfs.h"
 #include "sim/engine.h"
+#include "sim/run_context.h"
 
 namespace eio::mpi {
 
@@ -33,7 +34,8 @@ class Runtime {
   /// Called when a Phase op executes (the tracer hooks this).
   using PhaseHook = std::function<void(RankId, std::int32_t)>;
 
-  Runtime(sim::Engine& engine, posix::PosixIo& io, CollectiveCosts costs = {});
+  /// `run` must be the same run context the POSIX layer was built on.
+  Runtime(sim::RunContext& run, posix::PosixIo& io, CollectiveCosts costs = {});
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;

@@ -18,9 +18,9 @@ const char* op_name(OpType op) noexcept {
   return "?";
 }
 
-PosixIo::PosixIo(sim::Engine& engine, lustre::Filesystem& fs,
+PosixIo::PosixIo(sim::RunContext& run, lustre::Filesystem& fs,
                  std::uint32_t tasks_per_node)
-    : engine_(engine), fs_(fs), tasks_per_node_(tasks_per_node) {
+    : engine_(run.engine()), fs_(fs), tasks_per_node_(tasks_per_node) {
   EIO_CHECK(tasks_per_node_ >= 1);
 }
 

@@ -18,6 +18,7 @@
 #include "lustre/filesystem.h"
 #include "posix/hooks.h"
 #include "sim/engine.h"
+#include "sim/run_context.h"
 
 namespace eio::posix {
 
@@ -40,7 +41,9 @@ class PosixIo {
   using StatusCallback = std::function<void(int)>;         ///< 0 or -1
 
   /// `tasks_per_node` maps ranks onto client nodes (rank / tasks_per_node).
-  PosixIo(sim::Engine& engine, lustre::Filesystem& fs, std::uint32_t tasks_per_node);
+  /// `run` must be the same run context the filesystem was built on.
+  PosixIo(sim::RunContext& run, lustre::Filesystem& fs,
+          std::uint32_t tasks_per_node);
 
   PosixIo(const PosixIo&) = delete;
   PosixIo& operator=(const PosixIo&) = delete;

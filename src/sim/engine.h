@@ -2,15 +2,18 @@
 //
 // A binary-heap calendar of cancellable events. Cancellation is lazy:
 // the heap entry stays behind, but its id is erased from the live map,
-// so popping skips it. Events at equal times fire in scheduling order
-// (FIFO tie-break via a monotone sequence number), which keeps runs
-// deterministic.
+// so popping skips it. When dead entries outnumber live ones the heap
+// is compacted in place, so churn-heavy workloads (schedule/cancel
+// loops like flow rescheduling) keep the calendar bounded by the live
+// event count instead of growing monotonically. Events at equal times
+// fire in scheduling order (FIFO tie-break via a monotone sequence
+// number), which keeps runs deterministic.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -43,7 +46,8 @@ class Engine {
                                                                  << " now=" << now_);
     EventId id = ++next_id_;
     live_.emplace(id, std::move(action));
-    heap_.push(Entry{when, id});
+    heap_.push_back(Entry{when, id});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
     return id;
   }
 
@@ -54,7 +58,11 @@ class Engine {
 
   /// Cancel a previously scheduled event. Returns true if the event was
   /// still pending (false if it already ran or was cancelled).
-  bool cancel(EventId id) { return live_.erase(id) > 0; }
+  bool cancel(EventId id) {
+    if (live_.erase(id) == 0) return false;
+    maybe_compact();
+    return true;
+  }
 
   /// True if an event is still pending.
   [[nodiscard]] bool pending(EventId id) const { return live_.count(id) > 0; }
@@ -62,16 +70,20 @@ class Engine {
   /// Number of live (not-yet-run, not-cancelled) events.
   [[nodiscard]] std::size_t live_events() const noexcept { return live_.size(); }
 
+  /// Number of calendar entries, live or cancelled-but-not-yet-reaped.
+  /// Compaction keeps this within 2x of live_events() (plus a small
+  /// constant below which compaction is not worth the scan).
+  [[nodiscard]] std::size_t calendar_entries() const noexcept {
+    return heap_.size();
+  }
+
   /// Run a single event. Returns false if the calendar is empty.
   bool step() {
     while (!heap_.empty()) {
-      Entry top = heap_.top();
+      Entry top = heap_.front();
+      pop_entry();
       auto it = live_.find(top.id);
-      if (it == live_.end()) {  // cancelled — discard the stale entry
-        heap_.pop();
-        continue;
-      }
-      heap_.pop();
+      if (it == live_.end()) continue;  // cancelled — stale entry discarded
       now_ = top.when;
       Action action = std::move(it->second);
       live_.erase(it);
@@ -93,9 +105,9 @@ class Engine {
   Seconds run_until(Seconds deadline) {
     while (!heap_.empty()) {
       // Peek at the next live event's time without running it.
-      Entry top = heap_.top();
+      Entry top = heap_.front();
       if (live_.find(top.id) == live_.end()) {
-        heap_.pop();
+        pop_entry();
         continue;
       }
       if (top.when > deadline) break;
@@ -119,10 +131,31 @@ class Engine {
     }
   };
 
+  /// Pop the root of the min-heap.
+  void pop_entry() {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+  }
+
+  /// Reap cancelled entries once they exceed the live ones. Linear in
+  /// the heap, but amortized O(1) per cancel: a compaction halves the
+  /// heap, so the next one needs at least that many new dead entries.
+  void maybe_compact() {
+    if (heap_.size() < kCompactMinEntries) return;
+    if (heap_.size() - live_.size() <= live_.size()) return;
+    std::erase_if(heap_,
+                  [this](const Entry& e) { return live_.count(e.id) == 0; });
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+
+  /// Below this calendar size compaction is not worth the scan.
+  static constexpr std::size_t kCompactMinEntries = 64;
+
   Seconds now_ = 0.0;
   EventId next_id_ = 0;
   std::uint64_t events_run_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // Min-heap via std::*_heap with std::greater (see Entry::operator>).
+  std::vector<Entry> heap_;
   std::unordered_map<EventId, Action> live_;
 };
 

@@ -1,0 +1,69 @@
+// Run-scoped execution context.
+//
+// One RunContext is the execution core of exactly one simulated run: it
+// owns the event Engine (the calendar and clock) and the run-scoped RNG
+// stream factory every stochastic component derives its substreams
+// from. Nothing in a RunContext is shared with any other run — that is
+// the isolation contract that lets ensembles execute on concurrent
+// threads (see workloads::ParallelEnsembleRunner).
+//
+// The contract, concretely:
+//
+//  * every per-run component (Filesystem, PosixIo, Runtime, ...) takes
+//    a RunContext& at construction instead of a raw Engine& plus an
+//    ad-hoc seed, so a component can never pair the clock of one run
+//    with the randomness of another;
+//  * all RNG substreams derive from stream(kind, index) — i.e. from
+//    (run seed, entity kind, entity index) via splitmix64 mixing — so
+//    draws are reproducible and independent of event interleaving;
+//  * the run seed is supplied by the caller (run_job() passes
+//    machine.seed; ensemble runners pass machine.seed + run_index), so
+//    serial and parallel execution see byte-identical randomness.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "sim/engine.h"
+
+namespace eio::sim {
+
+/// The self-contained execution state of one run: engine + RNG streams.
+class RunContext {
+ public:
+  /// `seed` is the run-local master seed; `run_index` identifies the
+  /// run within an ensemble (0 for standalone runs, metadata only).
+  explicit RunContext(std::uint64_t seed, std::uint64_t run_index = 0)
+      : seed_(seed), run_index_(run_index), streams_(seed) {}
+
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  [[nodiscard]] Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] const Engine& engine() const noexcept { return engine_; }
+
+  /// The run-local master seed all substreams derive from.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Position of this run within its ensemble (0 outside ensembles).
+  [[nodiscard]] std::uint64_t run_index() const noexcept { return run_index_; }
+
+  /// The run-scoped substream factory.
+  [[nodiscard]] const rng::StreamFactory& streams() const noexcept {
+    return streams_;
+  }
+
+  /// Substream for entity (kind, index), deterministic in its inputs.
+  [[nodiscard]] rng::Stream stream(rng::StreamKind kind,
+                                   std::uint64_t index) const {
+    return rng::make_stream(streams_, kind, index);
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t run_index_;
+  rng::StreamFactory streams_;
+  Engine engine_;
+};
+
+}  // namespace eio::sim

@@ -1,10 +1,20 @@
 #include "workloads/experiment.h"
 
+#include <utility>
+
 #include "common/check.h"
-#include "posix/vfs.h"
-#include "sim/engine.h"
+#include "workloads/ensemble.h"
 
 namespace eio::workloads {
+
+namespace {
+
+std::uint32_t checked_rank_count(const JobSpec& spec) {
+  EIO_CHECK_MSG(!spec.programs.empty(), "job has no programs");
+  return static_cast<std::uint32_t>(spec.programs.size());
+}
+
+}  // namespace
 
 std::uint32_t node_count_for(const lustre::MachineConfig& machine,
                              std::uint32_t tasks) {
@@ -18,60 +28,61 @@ Rate fair_share_rate(const lustre::MachineConfig& machine, std::uint32_t tasks) 
          static_cast<double>(tasks);
 }
 
-RunResult run_job(const JobSpec& spec) {
-  EIO_CHECK_MSG(!spec.programs.empty(), "job has no programs");
-  auto ranks = static_cast<std::uint32_t>(spec.programs.size());
-  std::uint32_t nodes = node_count_for(spec.machine, ranks);
-
-  sim::Engine engine;
-  lustre::Filesystem fs(engine, spec.machine, nodes);
-  posix::PosixIo io(engine, fs, spec.machine.tasks_per_node);
-  for (const auto& [path, options] : spec.stripe_options) {
-    io.setstripe(path, options);
+RunInstance::RunInstance(JobSpec spec, std::uint64_t run_index)
+    : spec_(std::move(spec)),
+      ranks_(checked_rank_count(spec_)),
+      run_(spec_.machine.seed, run_index),
+      fs_(run_, spec_.machine, node_count_for(spec_.machine, ranks_)),
+      io_(run_, fs_, spec_.machine.tasks_per_node),
+      monitor_(ipm::Monitor::Config{.mode = spec_.capture}),
+      runtime_(run_, io_, spec_.collective_costs) {
+  for (const auto& [path, options] : spec_.stripe_options) {
+    io_.setstripe(path, options);
   }
+  monitor_.attach(io_);
+  monitor_.trace().set_experiment(spec_.name);
+  monitor_.trace().set_ranks(ranks_);
+  runtime_.set_phase_hook([this](RankId rank, std::int32_t phase) {
+    monitor_.set_phase(rank, phase);
+  });
+  runtime_.load(spec_.programs);
+}
 
-  ipm::Monitor monitor(ipm::Monitor::Config{.mode = spec.capture});
-  monitor.attach(io);
-  monitor.trace().set_experiment(spec.name);
-  monitor.trace().set_ranks(ranks);
-
-  mpi::Runtime runtime(engine, io, spec.collective_costs);
-  runtime.set_phase_hook(
-      [&monitor](RankId rank, std::int32_t phase) { monitor.set_phase(rank, phase); });
-  runtime.load(spec.programs);
+RunResult RunInstance::execute() {
+  EIO_CHECK_MSG(!executed_, "RunInstance::execute() called twice");
+  executed_ = true;
 
   RunResult result;
-  result.name = spec.name;
+  result.name = spec_.name;
   // Step until every rank has finished (the interference stream, when
   // enabled, would keep the calendar alive forever), then stop the
   // generator and drain the remaining in-flight work.
-  runtime.start();
-  fs.start_background();
-  while (!runtime.all_done()) {
+  sim::Engine& engine = run_.engine();
+  runtime_.start();
+  fs_.start_background();
+  while (!runtime_.all_done()) {
     EIO_CHECK_MSG(engine.step(), "engine drained before ranks finished — deadlock?");
   }
-  fs.stop_background();
+  fs_.stop_background();
   engine.run();
-  result.job_time = runtime.job_finish_time();
-  result.trace = std::move(monitor.trace());
-  result.profile = monitor.profile();
-  result.fs_stats = fs.stats();
+  result.job_time = runtime_.job_finish_time();
+  result.trace = std::move(monitor_.trace());
+  result.profile = monitor_.profile();
+  result.fs_stats = fs_.stats();
   result.engine_events = engine.events_run();
-  result.monitor_overhead = monitor.accounted_overhead();
+  result.monitor_overhead = monitor_.accounted_overhead();
   return result;
 }
 
-std::vector<RunResult> run_ensemble(JobSpec spec, std::size_t runs) {
-  EIO_CHECK(runs >= 1);
-  std::vector<RunResult> results;
-  results.reserve(runs);
-  std::uint64_t base_seed = spec.machine.seed;
-  for (std::size_t r = 0; r < runs; ++r) {
-    spec.machine.seed = base_seed + r;
-    results.push_back(run_job(spec));
-    results.back().name = spec.name + "#" + std::to_string(r);
-  }
-  return results;
+RunResult run_job(const JobSpec& spec) {
+  RunInstance run(spec);
+  return run.execute();
+}
+
+std::vector<RunResult> run_ensemble(JobSpec spec, std::size_t runs,
+                                    std::size_t jobs) {
+  ParallelEnsembleRunner runner(EnsembleOptions{.jobs = jobs});
+  return runner.run_ensemble(std::move(spec), runs);
 }
 
 }  // namespace eio::workloads

@@ -5,6 +5,14 @@
 // experiment simply as a run". A JobSpec is an experiment; run_job()
 // performs one run (seeded deterministically); run_ensemble() performs
 // several runs with derived seeds for reproducibility studies.
+//
+// A RunInstance is the isolation boundary: it owns one run's complete
+// object graph (the sim::RunContext with engine + RNG streams, the
+// Filesystem, the POSIX layer, the IPM monitor, and the MPI runtime)
+// and shares nothing with any other RunInstance. That is what lets
+// ensembles execute runs on concurrent threads (see
+// workloads/ensemble.h) with byte-identical results to serial
+// execution.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +26,8 @@
 #include "lustre/machine.h"
 #include "mpi/program.h"
 #include "mpi/runtime.h"
+#include "posix/vfs.h"
+#include "sim/run_context.h"
 
 namespace eio::workloads {
 
@@ -50,12 +60,58 @@ struct RunResult {
   }
 };
 
+/// One run as a self-contained, thread-safe unit. Owns a private copy
+/// of the JobSpec and every piece of simulation state the run touches:
+///
+///   sim::RunContext  — event engine (clock + calendar) and the
+///                      run-scoped RNG stream factory, seeded from
+///                      spec.machine.seed (+ run index in ensembles);
+///   lustre::Filesystem, posix::PosixIo — the storage stack;
+///   ipm::Monitor     — the per-run trace/profile collectors;
+///   mpi::Runtime     — the rank programs and collectives.
+///
+/// Two RunInstances never share mutable state, so any number of them
+/// may execute() on concurrent threads.
+class RunInstance {
+ public:
+  /// Builds the run's object graph; the run executes with seed
+  /// spec.machine.seed. `run_index` tags the context in ensembles.
+  explicit RunInstance(JobSpec spec, std::uint64_t run_index = 0);
+
+  RunInstance(const RunInstance&) = delete;
+  RunInstance& operator=(const RunInstance&) = delete;
+
+  /// Run every rank to completion and collect the results. Call once.
+  [[nodiscard]] RunResult execute();
+
+  [[nodiscard]] const JobSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] sim::RunContext& context() noexcept { return run_; }
+  [[nodiscard]] lustre::Filesystem& filesystem() noexcept { return fs_; }
+  [[nodiscard]] posix::PosixIo& io() noexcept { return io_; }
+  [[nodiscard]] ipm::Monitor& monitor() noexcept { return monitor_; }
+  [[nodiscard]] mpi::Runtime& runtime() noexcept { return runtime_; }
+
+ private:
+  JobSpec spec_;
+  std::uint32_t ranks_;
+  sim::RunContext run_;
+  lustre::Filesystem fs_;
+  posix::PosixIo io_;
+  ipm::Monitor monitor_;
+  mpi::Runtime runtime_;
+  bool executed_ = false;
+};
+
 /// Execute one run of the experiment.
 [[nodiscard]] RunResult run_job(const JobSpec& spec);
 
 /// Execute `runs` runs with seeds derived from the machine seed
 /// (machine.seed + run index); the per-run traces land in the results.
-[[nodiscard]] std::vector<RunResult> run_ensemble(JobSpec spec, std::size_t runs);
+/// Runs execute on `jobs` worker threads (0 = the EIO_JOBS environment
+/// variable if set, else hardware concurrency); results are identical
+/// to serial execution for any thread count.
+[[nodiscard]] std::vector<RunResult> run_ensemble(JobSpec spec, std::size_t runs,
+                                                  std::size_t jobs = 0);
 
 /// Per-task fair-share rate of a machine at a given task count:
 /// aggregate OST bandwidth divided by the number of tasks.

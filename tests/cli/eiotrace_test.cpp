@@ -192,6 +192,36 @@ TEST_F(EiotraceTest, ConvertRoundTripsThroughBinary) {
   std::remove(bin.c_str());
 }
 
+TEST_F(EiotraceTest, SimulateRunsAnEnsembleWithoutATraceFile) {
+  auto [rc, out, err] = run({"simulate", "--runs=2", "--jobs=2", "--tasks=16",
+                             "--block-mib=16", "--segments=1"});
+  EXPECT_EQ(rc, 0) << err;
+  EXPECT_NE(out.find("simulating 2 IOR runs"), std::string::npos);
+  EXPECT_NE(out.find("pairwise KS"), std::string::npos);
+  EXPECT_NE(out.find("0 vs 1"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, SimulateSavesTraces) {
+  std::string dir = ::testing::TempDir();
+  auto [rc, out, err] =
+      run({"simulate", "--runs=2", "--tasks=8", "--block-mib=8",
+           "--segments=1", "--save-dir=" + dir});
+  EXPECT_EQ(rc, 0) << err;
+  // The saved traces are analyzable like any recorded one.
+  std::string saved = dir + "/run0.tsv";
+  auto [rc2, out2, err2] = run({"summary", saved});
+  EXPECT_EQ(rc2, 0);
+  EXPECT_NE(out2.find("write"), std::string::npos);
+  std::remove(saved.c_str());
+  std::remove((dir + "/run1.tsv").c_str());
+}
+
+TEST_F(EiotraceTest, SimulateRejectsUnknownMachine) {
+  auto [rc, out, err] = run({"simulate", "--machine=bluegene"});
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(err.find("unknown machine"), std::string::npos);
+}
+
 TEST_F(EiotraceTest, PhaseFilterNarrowsEvents) {
   auto [rc, out, err] = run({"summary", path_, "--phase=3"});
   EXPECT_EQ(rc, 0);

@@ -7,7 +7,7 @@
 #include "common/units.h"
 #include "lustre/filesystem.h"
 #include "posix/vfs.h"
-#include "sim/engine.h"
+#include "sim/run_context.h"
 
 namespace eio::ipm {
 namespace {
@@ -28,11 +28,12 @@ lustre::MachineConfig quiet_machine() {
 }
 
 struct Env {
-  sim::Engine engine;
+  sim::RunContext run{quiet_machine().seed};
+  sim::Engine& engine = run.engine();
   lustre::Filesystem fs;
   posix::PosixIo io;
 
-  Env() : fs(engine, quiet_machine(), 1), io(engine, fs, 4) {}
+  Env() : fs(run, quiet_machine(), 1), io(run, fs, 4) {}
 
   void run_small_job(RankId rank = 0) {
     io.open(rank, "f", posix::kCreate, [&, rank](Fd fd) {

@@ -6,15 +6,16 @@
 #include "core/ks.h"
 #include "core/samples.h"
 #include "lustre/filesystem.h"
-#include "sim/engine.h"
+#include "sim/run_context.h"
 #include "workloads/ior.h"
 
 namespace eio::lustre {
 namespace {
 
 TEST(BackgroundTest, DisabledByDefault) {
-  sim::Engine engine;
-  Filesystem fs(engine, MachineConfig::franklin(), 4);
+  sim::RunContext run(MachineConfig::franklin().seed);
+  sim::Engine& engine = run.engine();
+  Filesystem fs(run, MachineConfig::franklin(), 4);
   fs.start_background();
   EXPECT_EQ(engine.live_events(), 0u);
   EXPECT_EQ(fs.background_bytes(), 0u);
@@ -24,8 +25,9 @@ TEST(BackgroundTest, GeneratesLoadUntilStopped) {
   MachineConfig m = MachineConfig::franklin();
   m.background.enabled = true;
   m.background.intensity = 0.5;
-  sim::Engine engine;
-  Filesystem fs(engine, m, 4);
+  sim::RunContext run(m.seed);
+  sim::Engine& engine = run.engine();
+  Filesystem fs(run, m, 4);
   fs.start_background();
   engine.run_until(10.0);
   Bytes mid = fs.background_bytes();
@@ -40,8 +42,9 @@ TEST(BackgroundTest, GeneratesLoadUntilStopped) {
 TEST(BackgroundTest, StopPreventsFurtherArrivals) {
   MachineConfig m = MachineConfig::franklin();
   m.background.enabled = true;
-  sim::Engine engine;
-  Filesystem fs(engine, m, 4);
+  sim::RunContext run(m.seed);
+  sim::Engine& engine = run.engine();
+  Filesystem fs(run, m, 4);
   fs.start_background();
   engine.run_until(2.0);
   fs.stop_background();
@@ -94,8 +97,9 @@ TEST(BackgroundTest, Deterministic) {
   MachineConfig m = MachineConfig::franklin();
   m.background.enabled = true;
   auto run_once = [&] {
-    sim::Engine engine;
-    Filesystem fs(engine, m, 4);
+    sim::RunContext run(m.seed);
+    sim::Engine& engine = run.engine();
+    Filesystem fs(run, m, 4);
     fs.start_background();
     engine.run_until(5.0);
     fs.stop_background();

@@ -7,7 +7,7 @@
 
 #include "common/units.h"
 #include "lustre/filesystem.h"
-#include "sim/engine.h"
+#include "sim/run_context.h"
 
 namespace eio::lustre {
 namespace {
@@ -47,8 +47,9 @@ class BoundaryPenaltyTest : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(BoundaryPenaltyTest, LockDelayScalesWithCrossings) {
   // An unaligned extent of n MiB + 512 KiB crosses n boundaries.
   std::uint64_t n = GetParam();
-  sim::Engine engine;
-  Filesystem fs(engine, quiet_machine(), 1);
+  sim::RunContext run(quiet_machine().seed);
+  sim::Engine& engine = run.engine();
+  Filesystem fs(run, quiet_machine(), 1);
   FileId f = fs.create("f", {.stripe_count = 8, .shared = true});
   Bytes len = n * MiB + 512 * KiB;
   Seconds unaligned = timed_write(fs, engine, f, 512 * KiB, len);
@@ -75,8 +76,9 @@ TEST_P(ContentionMonotoneTest, MoreClientsNeverRaisePerClientThroughput) {
   MachineConfig m = quiet_machine();
   m.contention = {.alpha = 0.2, .knee = 2};
   m.node_policy = sim::ConcurrencyPolicy::fixed(1);
-  sim::Engine engine;
-  Filesystem fs(engine, m, clients);
+  sim::RunContext run(m.seed);
+  sim::Engine& engine = run.engine();
+  Filesystem fs(run, m, clients);
   FileId f = fs.create("f", {.stripe_count = 1, .shared = true});
   // One write per client node, all to the same single-OST file.
   std::vector<Seconds> done(clients, -1.0);
@@ -115,11 +117,12 @@ TEST_P(SplitConservationTest, KSplitMovesSameBytesInSameTime) {
   // stripe_count x stripe_size); smaller pieces legitimately lose
   // parallel width.
   std::uint32_t k = GetParam();
-  sim::Engine engine;
   MachineConfig m = quiet_machine();
   m.lock_latency_per_boundary = 0.0;
   m.rmw_inflation = 0.0;
-  Filesystem fs(engine, m, 1);
+  sim::RunContext run(m.seed);
+  sim::Engine& engine = run.engine();
+  Filesystem fs(run, m, 1);
   FileId f = fs.create("f", {.stripe_count = 8, .shared = false});
   Bytes total = 64 * MiB;
   Bytes piece = total / k;

@@ -38,10 +38,11 @@ MachineConfig quiet_machine() {
 }
 
 struct Fs {
-  sim::Engine engine;
+  sim::RunContext run;
+  sim::Engine& engine = run.engine();
   Filesystem fs;
   explicit Fs(const MachineConfig& m, std::uint32_t nodes = 2)
-      : fs(engine, m, nodes) {}
+      : run(m.seed), fs(run, m, nodes) {}
 
   /// Run a single write and return its duration.
   Seconds timed_write(NodeId node, FileId file, Bytes offset, Bytes len) {

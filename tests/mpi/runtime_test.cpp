@@ -9,7 +9,7 @@
 #include "common/units.h"
 #include "lustre/filesystem.h"
 #include "posix/vfs.h"
-#include "sim/engine.h"
+#include "sim/run_context.h"
 
 namespace eio::mpi {
 namespace {
@@ -33,14 +33,15 @@ lustre::MachineConfig quiet_machine() {
 }
 
 struct Env {
-  sim::Engine engine;
+  sim::RunContext run{quiet_machine().seed};
+  sim::Engine& engine = run.engine();
   lustre::Filesystem fs;
   posix::PosixIo io;
   Runtime runtime;
 
   explicit Env(std::uint32_t nodes = 2, CollectiveCosts costs = {})
-      : fs(engine, quiet_machine(), nodes), io(engine, fs, 4),
-        runtime(engine, io, costs) {}
+      : fs(run, quiet_machine(), nodes), io(run, fs, 4),
+        runtime(run, io, costs) {}
 };
 
 TEST(RuntimeTest, SingleRankRunsToCompletion) {

@@ -8,7 +8,7 @@
 
 #include "common/units.h"
 #include "lustre/filesystem.h"
-#include "sim/engine.h"
+#include "sim/run_context.h"
 
 namespace eio::posix {
 namespace {
@@ -37,12 +37,13 @@ struct Recorder : IoObserver {
 };
 
 struct Env {
-  sim::Engine engine;
+  sim::RunContext run{tiny_machine().seed};
+  sim::Engine& engine = run.engine();
   lustre::Filesystem fs;
   PosixIo io;
   Recorder recorder;
 
-  Env() : fs(engine, tiny_machine(), 2), io(engine, fs, 4) {
+  Env() : fs(run, tiny_machine(), 2), io(run, fs, 4) {
     io.add_observer(&recorder);
   }
 

@@ -152,6 +152,46 @@ TEST(EngineTest, ZeroDelayEventRunsAtCurrentTime) {
   EXPECT_DOUBLE_EQ(when, 4.0);
 }
 
+TEST(EngineTest, CalendarStaysBoundedUnderScheduleCancelChurn) {
+  // Lazy cancellation must not let dead heap entries accumulate: the
+  // timeout-heavy protocols (readahead timers, retry guards) schedule
+  // and cancel constantly. Compaction keeps the calendar within a
+  // constant factor of the live set.
+  Engine e;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<EventId> doomed;
+    for (int i = 0; i < 50; ++i) {
+      EventId id = e.schedule_at(1e6 + round * 50.0 + i, [] {});
+      if (i > 0) doomed.push_back(id);  // one survivor per round
+    }
+    // Cancel 49 of the 50 — ~98% churn.
+    for (EventId id : doomed) e.cancel(id);
+    EXPECT_LE(e.calendar_entries(), 2 * e.live_events() + 64)
+        << "round " << round;
+  }
+  EXPECT_EQ(e.live_events(), 200u);  // one survivor per round
+  e.run();
+  EXPECT_EQ(e.calendar_entries(), 0u);
+}
+
+TEST(EngineTest, CompactionPreservesOrderAndFifo) {
+  Engine e;
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  // Interleave survivors with a large doomed population so compaction
+  // definitely triggers, then check ordering semantics survive it.
+  for (int i = 0; i < 500; ++i) {
+    doomed.push_back(e.schedule_at(2.0, [] {}));
+  }
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(1.0, [&] { order.push_back(11); });  // FIFO tie-break
+  for (EventId id : doomed) e.cancel(id);
+  EXPECT_LE(e.calendar_entries(), 2 * e.live_events() + 64);
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 11, 3}));
+}
+
 TEST(EngineTest, ManyEventsStressOrdering) {
   Engine e;
   std::vector<double> times;
