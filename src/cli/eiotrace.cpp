@@ -1,5 +1,6 @@
 #include "cli/eiotrace.h"
 
+#include <fstream>
 #include <functional>
 #include <map>
 #include <optional>
@@ -16,9 +17,12 @@
 #include "core/patterns.h"
 #include "core/rate_series.h"
 #include "core/samples.h"
+#include "core/streaming.h"
 #include "core/trace_diagram.h"
 #include "ipm/report.h"
 #include "ipm/trace.h"
+#include "ipm/trace_source.h"
+#include "ipm/trace_stream.h"
 #include "lustre/machine.h"
 #include "workloads/ensemble.h"
 #include "workloads/ior.h"
@@ -97,60 +101,90 @@ analysis::EventFilter filter_from(const Args& args, std::ostream& err) {
   return f;
 }
 
-int cmd_report(const ipm::Trace& trace, const Args&, std::ostream& out,
+// Every subcommand consumes a TraceSource: the trace file is streamed
+// per analysis pass, never materialized, so peak memory is independent
+// of the event count (except where noted: diagnose/patterns need
+// random access and materialize internally).
+
+int cmd_report(const ipm::TraceSource& source, const Args&, std::ostream& out,
                std::ostream&) {
-  ipm::print_report(out, ipm::summarize(trace));
+  ipm::print_report(out, ipm::summarize(source));
   return 0;
 }
 
-int cmd_summary(const ipm::Trace& trace, const Args& args, std::ostream& out,
-                std::ostream& err) {
+int cmd_summary(const ipm::TraceSource& source, const Args& args,
+                std::ostream& out, std::ostream& err) {
   analysis::EventFilter base = filter_from(args, err);
   out << "  op       count   median(s)     mean(s)      p95(s)      max(s)\n";
   for (posix::OpType op : {posix::OpType::kWrite, posix::OpType::kRead}) {
     analysis::EventFilter f = base;
     f.op = op;
-    auto d = analysis::durations(trace, f);
-    if (d.empty()) continue;
-    stats::EmpiricalDistribution dist(std::move(d));
+    analysis::SummarySink sink(f);
+    source.for_each_hinted(analysis::hint_for(f),
+                           [&sink](const ipm::TraceEvent& e) { sink.on_event(e); });
+    const stats::StreamingSummary& s = sink.summary();
+    if (s.empty()) continue;
     char line[160];
     std::snprintf(line, sizeof line,
                   "  %-6s %7zu %11.4f %11.4f %11.4f %11.4f\n",
-                  posix::op_name(op), dist.size(), dist.median(), dist.mean(),
-                  dist.quantile(0.95), dist.max());
+                  posix::op_name(op), s.count(), s.median(), s.moments().mean,
+                  s.quantile(0.95), s.max());
     out << line;
   }
   return 0;
 }
 
-int cmd_histogram(const ipm::Trace& trace, const Args& args, std::ostream& out,
-                  std::ostream& err) {
-  auto durations = analysis::durations(trace, filter_from(args, err));
-  if (durations.empty()) {
+int cmd_histogram(const ipm::TraceSource& source, const Args& args,
+                  std::ostream& out, std::ostream& err) {
+  analysis::EventFilter filter = filter_from(args, err);
+  // Two streaming passes: extrema, then binning — the same bins
+  // Histogram::from_samples would produce from the materialized vector.
+  double lo = 0.0, hi = 0.0;
+  std::uint64_t matched = 0;
+  analysis::for_each_matching(source, filter, [&](const ipm::TraceEvent& e) {
+    if (matched == 0) {
+      lo = hi = e.duration;
+    } else {
+      lo = std::min(lo, e.duration);
+      hi = std::max(hi, e.duration);
+    }
+    ++matched;
+  });
+  if (matched == 0) {
     err << "eiotrace: no events match the filter\n";
     return 2;
   }
   bool log = args.has("log");
   auto bins = args.get_size("bins", 40);
-  stats::Histogram h = stats::Histogram::from_samples(
-      durations, log ? stats::BinScale::kLog10 : stats::BinScale::kLinear, bins);
+  stats::BinScale scale = log ? stats::BinScale::kLog10 : stats::BinScale::kLinear;
+  stats::Histogram::Range range = stats::Histogram::padded_range(lo, hi, scale);
+  stats::Histogram h(scale, range.lo, range.hi, bins);
+  analysis::for_each_matching(
+      source, filter, [&h](const ipm::TraceEvent& e) { h.add(e.duration); });
   out << analysis::render_histogram(
       h, {.width = 72, .height = 12, .log_y = log,
           .x_label = log ? "seconds (log)" : "seconds", .y_label = "count"});
   return 0;
 }
 
-int cmd_modes(const ipm::Trace& trace, const Args& args, std::ostream& out,
-              std::ostream& err) {
-  auto durations = analysis::durations(trace, filter_from(args, err));
-  if (durations.empty()) {
+int cmd_modes(const ipm::TraceSource& source, const Args& args,
+              std::ostream& out, std::ostream& err) {
+  analysis::SummarySink sink(filter_from(args, err));
+  source.for_each_hinted(analysis::hint_for(filter_from(args, err)),
+                         [&sink](const ipm::TraceEvent& e) { sink.on_event(e); });
+  const stats::StreamingSummary& s = sink.summary();
+  if (s.empty()) {
     err << "eiotrace: no events match the filter\n";
     return 2;
   }
+  // KDE runs over the reservoir — every duration while the stream fits
+  // (so results match the materialized path exactly), a uniform sample
+  // beyond that.
   auto modes = stats::find_modes(
-      durations, {.log_axis = args.has("log"),
-                  .bandwidth_scale = args.get_double("bandwidth", 0.5)});
-  out << "modes (" << durations.size() << " events):\n";
+      s.reservoir().samples(),
+      {.log_axis = args.has("log"),
+       .bandwidth_scale = args.get_double("bandwidth", 0.5)});
+  out << "modes (" << s.count() << " events):\n";
   for (const auto& m : modes) {
     char line[120];
     std::snprintf(line, sizeof line, "  at %10.4f s   mass %5.1f%%\n",
@@ -166,11 +200,11 @@ int cmd_modes(const ipm::Trace& trace, const Args& args, std::ostream& out,
   return 0;
 }
 
-int cmd_rates(const ipm::Trace& trace, const Args& args, std::ostream& out,
-              std::ostream& err) {
+int cmd_rates(const ipm::TraceSource& source, const Args& args,
+              std::ostream& out, std::ostream& err) {
   auto bins = args.get_size("bins", 100);
   analysis::TimeSeries series =
-      analysis::aggregate_rate(trace, filter_from(args, err), bins);
+      analysis::aggregate_rate(source, filter_from(args, err), bins);
   analysis::Series line{"rate", {}, {}};
   for (std::size_t i = 0; i < series.values.size(); ++i) {
     line.x.push_back(series.time_at(i));
@@ -183,20 +217,24 @@ int cmd_rates(const ipm::Trace& trace, const Args& args, std::ostream& out,
   return 0;
 }
 
-int cmd_diagram(const ipm::Trace& trace, const Args& args, std::ostream& out,
-                std::ostream&) {
+int cmd_diagram(const ipm::TraceSource& source, const Args& args,
+                std::ostream& out, std::ostream&) {
   analysis::TraceDiagram diagram(
-      trace, {.max_rows = args.get_size("rows", 24),
-              .columns = args.get_size("cols", 72)});
+      source, {.max_rows = args.get_size("rows", 24),
+               .columns = args.get_size("cols", 72)});
   out << diagram.render_text();
   return 0;
 }
 
-int cmd_diagnose(const ipm::Trace& trace, const Args& args, std::ostream& out,
-                 std::ostream&) {
+int cmd_diagnose(const ipm::TraceSource& source, const Args& args,
+                 std::ostream& out, std::ostream&) {
   analysis::DiagnoserOptions opt;
   opt.fair_share_rate =
       args.get_double("fair-share-mibs", 0.0) * static_cast<double>(MiB);
+  // The diagnoser cross-references events (stragglers vs. the pack,
+  // per-file contention), so it materializes — the documented
+  // O(events) exception to the streaming contract.
+  ipm::Trace trace = source.materialize();
   auto findings = analysis::diagnose(trace, opt);
   if (findings.empty()) {
     out << "no findings\n";
@@ -211,38 +249,39 @@ int cmd_diagnose(const ipm::Trace& trace, const Args& args, std::ostream& out,
   return 0;
 }
 
-int cmd_phases(const ipm::Trace& trace, const Args& args, std::ostream& out,
-               std::ostream& err) {
+int cmd_phases(const ipm::TraceSource& source, const Args& args,
+               std::ostream& out, std::ostream& err) {
   analysis::EventFilter base = filter_from(args, err);
-  auto by_phase = analysis::durations_by_phase(trace, base);
-  if (by_phase.empty()) {
+  analysis::PhaseSummarySink sink(base);
+  source.for_each_hinted(analysis::hint_for(base),
+                         [&sink](const ipm::TraceEvent& e) { sink.on_event(e); });
+  if (sink.by_phase().empty()) {
     err << "eiotrace: no events match the filter\n";
     return 2;
   }
   out << "  phase     events   median(s)      p95(s)      max(s)\n";
-  for (auto& [phase, ds] : by_phase) {
-    stats::EmpiricalDistribution d(std::move(ds));
+  for (const auto& [phase, s] : sink.by_phase()) {
     char line[120];
     std::snprintf(line, sizeof line, "  %6d %9zu %11.4f %11.4f %11.4f\n",
-                  phase, d.size(), d.median(), d.quantile(0.95), d.max());
+                  phase, s.count(), s.median(), s.quantile(0.95), s.max());
     out << line;
   }
   return 0;
 }
 
-int cmd_compare(const ipm::Trace& trace, const Args& args, std::ostream& out,
-                std::ostream& err) {
+int cmd_compare(const ipm::TraceSource& source, const Args& args,
+                std::ostream& out, std::ostream& err) {
   if (args.positional().size() < 2) {
     err << "eiotrace: compare needs two trace files\n";
     return 1;
   }
-  ipm::Trace other = ipm::Trace::load(args.positional()[1]);
+  ipm::FileTraceSource other(args.positional()[1]);
   analysis::EventFilter base = filter_from(args, err);
   out << "  op      A-median    B-median     B/A        KS-D     p-value\n";
   for (posix::OpType op : {posix::OpType::kWrite, posix::OpType::kRead}) {
     analysis::EventFilter f = base;
     f.op = op;
-    auto a = analysis::durations(trace, f);
+    auto a = analysis::durations(source, f);
     auto b = analysis::durations(other, f);
     if (a.empty() || b.empty()) continue;
     stats::KsResult ks = stats::ks_two_sample(a, b);
@@ -259,24 +298,55 @@ int cmd_compare(const ipm::Trace& trace, const Args& args, std::ostream& out,
   return 0;
 }
 
-int cmd_convert(const ipm::Trace& trace, const Args& args, std::ostream& out,
-                std::ostream& err) {
+int cmd_convert(const ipm::TraceSource& source, const Args& args,
+                std::ostream& out, std::ostream& err) {
   if (args.positional().size() < 2) {
     err << "eiotrace: convert needs an output path\n";
     return 1;
   }
   const std::string& target = args.positional()[1];
-  if (args.has("tsv")) {
-    trace.save(target);
-  } else {
-    trace.save_binary(target);
+  std::ofstream file(target, std::ios::binary);
+  if (!file.good()) {
+    err << "eiotrace: cannot open for writing: " << target << "\n";
+    return 2;
   }
-  out << "wrote " << trace.size() << " events to " << target << "\n";
+  std::uint64_t written = 0;
+  if (args.has("tsv")) {
+    ipm::write_tsv_header(file, source.meta().experiment, source.meta().ranks,
+                          source.event_count());
+    source.for_each([&](const ipm::TraceEvent& e) {
+      ipm::write_tsv_event(file, e);
+      ++written;
+    });
+  } else if (args.has("v1")) {
+    ipm::write_binary_v1_header(file, source.meta().experiment,
+                                source.meta().ranks, source.event_count());
+    source.for_each([&](const ipm::TraceEvent& e) {
+      ipm::write_binary_v1_event(file, e);
+      ++written;
+    });
+  } else {
+    // Default: chunked v2 with the footer index — a single streaming
+    // pass, no up-front event count needed.
+    ipm::TraceWriterV2 writer(file, source.meta().experiment,
+                              source.meta().ranks);
+    source.for_each([&writer](const ipm::TraceEvent& e) { writer.add(e); });
+    writer.finish();
+    written = writer.events_written();
+  }
+  if (!file.good()) {
+    err << "eiotrace: write failed: " << target << "\n";
+    return 2;
+  }
+  out << "wrote " << written << " events to " << target << "\n";
   return 0;
 }
 
-int cmd_patterns(const ipm::Trace& trace, const Args&, std::ostream& out,
+int cmd_patterns(const ipm::TraceSource& source, const Args&, std::ostream& out,
                  std::ostream&) {
+  // Pattern detection orders each (rank, file) stream by offset, so it
+  // materializes — documented O(events), like diagnose.
+  ipm::Trace trace = source.materialize();
   auto patterns = analysis::detect_patterns(trace);
   out << patterns.size() << " streams\n";
   // Aggregate per (file, op, pattern) so 10k-rank traces stay readable.
@@ -298,8 +368,11 @@ int cmd_patterns(const ipm::Trace& trace, const Args&, std::ostream& out,
   return 0;
 }
 
-// `simulate` is special-cased in run_eiotrace: it generates traces via
-// the parallel ensemble runner instead of loading one from disk.
+// `simulate` is special-cased in run_eiotrace: it generates runs via
+// the parallel ensemble runner instead of loading a trace from disk.
+// Per-run statistics come from a streaming SummarySink attached to
+// each run's monitor, so without --save-dir no trace is ever
+// materialized (capture stays in profile mode).
 int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
   std::string machine_name = args.get("machine", "franklin");
   lustre::MachineConfig machine;
@@ -321,33 +394,46 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
                                       static_cast<double>(MiB));
   cfg.segments = static_cast<std::uint32_t>(args.get_size("segments", 2));
   std::size_t runs = args.get_size("runs", 4);
+  bool save = args.has("save-dir");
+
+  workloads::JobSpec job = workloads::make_ior_job(machine, cfg);
+  // Traces are only retained when they are being written out.
+  job.capture = save ? ipm::Mode::kBoth : ipm::Mode::kProfile;
+  analysis::EventFilter write_filter{.op = posix::OpType::kWrite,
+                                     .min_bytes = MiB};
+  std::vector<std::shared_ptr<analysis::SummarySink>> sinks(runs);
+  job.sink_factory = [&sinks, write_filter](std::size_t run_index) {
+    auto sink = std::make_shared<analysis::SummarySink>(write_filter);
+    sinks[run_index] = sink;
+    return sink;
+  };
 
   workloads::ParallelEnsembleRunner runner({.jobs = args.get_size("jobs", 0)});
   out << "simulating " << runs << " IOR runs (" << cfg.tasks << " tasks, "
       << to_mib(cfg.block_size) << " MiB blocks, " << cfg.segments
       << " segments) on " << machine_name << " with " << runner.jobs()
       << " worker(s)\n";
-  auto results =
-      runner.run_ensemble(workloads::make_ior_job(machine, cfg), runs);
+  auto results = runner.run_ensemble(job, runs);
 
-  std::vector<std::vector<double>> samples;
   out << "  run          job(s)    events    median(s)      p95(s)\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
-    auto writes = analysis::durations(
-        results[i].trace, {.op = posix::OpType::kWrite, .min_bytes = MiB});
-    stats::EmpiricalDistribution d(writes);
+    const stats::StreamingSummary& s = sinks[i]->summary();
+    std::uint64_t events =
+        save ? results[i].trace.size() : results[i].profile.total();
     char line[160];
-    std::snprintf(line, sizeof line, "  %-8zu %10.1f %9zu %12.4f %11.4f\n", i,
-                  results[i].job_time, results[i].trace.size(), d.median(),
-                  d.quantile(0.95));
+    std::snprintf(line, sizeof line, "  %-8zu %10.1f %9llu %12.4f %11.4f\n", i,
+                  results[i].job_time, static_cast<unsigned long long>(events),
+                  s.empty() ? 0.0 : s.median(),
+                  s.empty() ? 0.0 : s.quantile(0.95));
     out << line;
-    samples.push_back(std::move(writes));
   }
 
   out << "pairwise KS distances (write durations):\n";
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    for (std::size_t j = i + 1; j < samples.size(); ++j) {
-      stats::KsResult ks = stats::ks_two_sample(samples[i], samples[j]);
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    for (std::size_t j = i + 1; j < sinks.size(); ++j) {
+      stats::KsResult ks = stats::ks_two_sample(
+          sinks[i]->summary().reservoir().samples(),
+          sinks[j]->summary().reservoir().samples());
       char line[120];
       std::snprintf(line, sizeof line, "  %zu vs %zu: D = %.4f (p = %.3f)\n",
                     i, j, ks.statistic, ks.p_value);
@@ -355,7 +441,7 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
     }
   }
 
-  if (args.has("save-dir")) {
+  if (save) {
     std::string dir = args.get("save-dir", ".");
     for (std::size_t i = 0; i < results.size(); ++i) {
       std::string path = dir + "/run" + std::to_string(i) + ".tsv";
@@ -366,7 +452,7 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
-using Command = int (*)(const ipm::Trace&, const Args&, std::ostream&,
+using Command = int (*)(const ipm::TraceSource&, const Args&, std::ostream&,
                         std::ostream&);
 
 const std::map<std::string, Command>& commands() {
@@ -397,7 +483,7 @@ std::string usage_text() {
      << "  patterns   access-pattern detection + fs hints\n"
      << "  phases     per-phase duration table\n"
      << "  compare    A vs B medians + KS distance (two trace files)\n"
-     << "  convert    rewrite as binary (default) or --tsv\n"
+     << "  convert    rewrite as indexed binary v2 (default), --v1, or --tsv\n"
      << "  simulate   generate an IOR ensemble (no trace file needed)\n"
      << "             [--runs N] [--jobs N] [--tasks N] [--block-mib X]\n"
      << "             [--segments N] [--machine franklin|franklin-patched|"
@@ -433,8 +519,10 @@ int run_eiotrace(const std::vector<std::string>& args, std::ostream& out,
     return 1;
   }
   try {
-    ipm::Trace trace = ipm::Trace::load(parsed.positional()[0]);
-    return it->second(trace, parsed, out, err);
+    // The trace file is opened as a streaming source; each command
+    // pulls the passes it needs.
+    ipm::FileTraceSource source(parsed.positional()[0]);
+    return it->second(source, parsed, out, err);
   } catch (const std::exception& e) {
     err << "eiotrace: " << e.what() << "\n";
     return 2;

@@ -3,36 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/streaming.h"
+
 namespace eio::stats {
 
 Moments compute_moments(std::span<const double> samples) {
-  Moments m;
-  m.count = samples.size();
-  if (samples.empty()) return m;
-  double sum = 0.0;
-  for (double s : samples) sum += s;
-  auto n = static_cast<double>(samples.size());
-  m.mean = sum / n;
-
-  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
-  for (double s : samples) {
-    double d = s - m.mean;
-    double d2 = d * d;
-    m2 += d2;
-    m3 += d2 * d;
-    m4 += d2 * d2;
-  }
-  if (samples.size() >= 2) {
-    m.variance = m2 / (n - 1.0);
-    m.stddev = std::sqrt(m.variance);
-  }
-  double pop_var = m2 / n;
-  if (pop_var > 0.0 && samples.size() >= 3) {
-    double sd = std::sqrt(pop_var);
-    m.skewness = (m3 / n) / (sd * sd * sd);
-    m.kurtosis_excess = (m4 / n) / (pop_var * pop_var) - 3.0;
-  }
-  return m;
+  // Thin wrapper over the incremental kernel, so batch and streaming
+  // paths share one numerical implementation.
+  StreamingMoments acc;
+  for (double s : samples) acc.add(s);
+  return acc.moments();
 }
 
 EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)

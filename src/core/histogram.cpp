@@ -19,14 +19,9 @@ Histogram::Histogram(BinScale scale, double lo, double hi, std::size_t bins)
   }
 }
 
-Histogram Histogram::from_samples(std::span<const double> samples, BinScale scale,
-                                  std::size_t bins) {
-  EIO_CHECK_MSG(!samples.empty(), "cannot infer range from no samples");
-  double lo = samples[0], hi = samples[0];
-  for (double s : samples) {
-    lo = std::min(lo, s);
-    hi = std::max(hi, s);
-  }
+Histogram::Range Histogram::padded_range(double sample_min, double sample_max,
+                                         BinScale scale) {
+  double lo = sample_min, hi = sample_max;
   if (scale == BinScale::kLog10) {
     lo = std::max(lo, 1e-12);
     hi = std::max(hi, lo * 1.0001);
@@ -37,7 +32,19 @@ Histogram Histogram::from_samples(std::span<const double> samples, BinScale scal
     lo -= pad;
     hi += pad;
   }
-  Histogram h(scale, lo, hi, bins);
+  return {lo, hi};
+}
+
+Histogram Histogram::from_samples(std::span<const double> samples, BinScale scale,
+                                  std::size_t bins) {
+  EIO_CHECK_MSG(!samples.empty(), "cannot infer range from no samples");
+  double lo = samples[0], hi = samples[0];
+  for (double s : samples) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  Range range = padded_range(lo, hi, scale);
+  Histogram h(scale, range.lo, range.hi, bins);
   h.add_all(samples);
   return h;
 }

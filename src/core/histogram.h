@@ -30,6 +30,17 @@ class Histogram {
   [[nodiscard]] static Histogram from_samples(std::span<const double> samples,
                                               BinScale scale, std::size_t bins);
 
+  /// An automatic [lo, hi) range for the given sample extrema, padded
+  /// slightly so they fall inside. Factored out of from_samples so a
+  /// streaming two-pass binning (extrema pass, then fill pass) builds
+  /// bit-identical bins.
+  struct Range {
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+  [[nodiscard]] static Range padded_range(double sample_min, double sample_max,
+                                          BinScale scale);
+
   /// Add one sample (out-of-range samples clamp to the edge bins and
   /// are counted in underflow()/overflow()).
   void add(double value, std::uint64_t weight = 1);

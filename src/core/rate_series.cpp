@@ -19,34 +19,53 @@ double TimeSeries::integral() const {
   return acc * dt;
 }
 
+RateSeriesBuilder::RateSeriesBuilder(double span, std::size_t bins) {
+  EIO_CHECK(bins >= 1);
+  if (span <= 0.0) span = 1.0;
+  series_.t0 = 0.0;
+  series_.dt = span / static_cast<double>(bins);
+  series_.values.assign(bins, 0.0);
+}
+
+void RateSeriesBuilder::add(const ipm::TraceEvent& e) {
+  if (e.bytes == 0) return;
+  std::size_t bins = series_.values.size();
+  double start = e.start;
+  double end = e.end();
+  if (end <= start) end = start + 1e-9;
+  double rate = static_cast<double>(e.bytes) / (end - start);
+  auto first = static_cast<std::size_t>(
+      std::clamp(start / series_.dt, 0.0, static_cast<double>(bins - 1)));
+  auto last = static_cast<std::size_t>(
+      std::clamp(end / series_.dt, 0.0, static_cast<double>(bins - 1)));
+  for (std::size_t b = first; b <= last; ++b) {
+    double bin_lo = series_.dt * static_cast<double>(b);
+    double bin_hi = bin_lo + series_.dt;
+    double overlap = std::min(end, bin_hi) - std::max(start, bin_lo);
+    if (overlap > 0.0) series_.values[b] += rate * overlap / series_.dt;
+  }
+}
+
 TimeSeries aggregate_rate(const ipm::Trace& trace, const EventFilter& filter,
                           std::size_t bins) {
-  EIO_CHECK(bins >= 1);
-  TimeSeries series;
-  double span = trace.span();
-  if (span <= 0.0) span = 1.0;
-  series.t0 = 0.0;
-  series.dt = span / static_cast<double>(bins);
-  series.values.assign(bins, 0.0);
-
+  RateSeriesBuilder builder(trace.span(), bins);
   for (const auto& e : trace.events()) {
-    if (!filter.matches(e) || e.bytes == 0) continue;
-    double start = e.start;
-    double end = e.end();
-    if (end <= start) end = start + 1e-9;
-    double rate = static_cast<double>(e.bytes) / (end - start);
-    auto first = static_cast<std::size_t>(
-        std::clamp(start / series.dt, 0.0, static_cast<double>(bins - 1)));
-    auto last = static_cast<std::size_t>(
-        std::clamp(end / series.dt, 0.0, static_cast<double>(bins - 1)));
-    for (std::size_t b = first; b <= last; ++b) {
-      double bin_lo = series.dt * static_cast<double>(b);
-      double bin_hi = bin_lo + series.dt;
-      double overlap = std::min(end, bin_hi) - std::max(start, bin_lo);
-      if (overlap > 0.0) series.values[b] += rate * overlap / series.dt;
-    }
+    if (filter.matches(e)) builder.add(e);
   }
-  return series;
+  return builder.series();
+}
+
+TimeSeries aggregate_rate(const ipm::TraceSource& source,
+                          const EventFilter& filter, std::size_t bins) {
+  // Span comes from *all* events (batch semantics use trace.span()),
+  // so this costs one unfiltered pass before the folding pass.
+  double span = 0.0;
+  source.for_each(
+      [&span](const ipm::TraceEvent& e) { span = std::max(span, e.end()); });
+  RateSeriesBuilder builder(span, bins);
+  for_each_matching(source, filter,
+                    [&builder](const ipm::TraceEvent& e) { builder.add(e); });
+  return builder.series();
 }
 
 ProgressCurve completion_curve(const ipm::Trace& trace, const EventFilter& filter) {

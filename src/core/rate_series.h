@@ -29,9 +29,35 @@ struct TimeSeries {
   [[nodiscard]] double integral() const;
 };
 
+/// One-pass rate-series accumulator: fix the span up front, then fold
+/// events in any order. Each transfer contributes its uniform rate to
+/// every bin its [start, end) interval overlaps. Memory is O(bins).
+/// Both aggregate_rate overloads are wrappers over this kernel.
+class RateSeriesBuilder {
+ public:
+  /// `span` is the wall-clock extent binned into [0, span); non-
+  /// positive spans clamp to 1 (an empty trace's 1-second axis).
+  RateSeriesBuilder(double span, std::size_t bins);
+
+  /// Fold one event (ignores zero-byte transfers).
+  void add(const ipm::TraceEvent& event);
+
+  [[nodiscard]] const TimeSeries& series() const noexcept { return series_; }
+
+ private:
+  TimeSeries series_;
+};
+
 /// Aggregate data rate (bytes/s) of matching events over the job.
 /// `bins` partitions [0, trace.span()].
 [[nodiscard]] TimeSeries aggregate_rate(const ipm::Trace& trace,
+                                        const EventFilter& filter,
+                                        std::size_t bins);
+
+/// Streaming form: one pass for the span (over all events, matching
+/// the batch semantics), one pass to fold matching events. O(bins)
+/// memory.
+[[nodiscard]] TimeSeries aggregate_rate(const ipm::TraceSource& source,
                                         const EventFilter& filter,
                                         std::size_t bins);
 

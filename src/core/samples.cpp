@@ -72,6 +72,36 @@ std::map<RankId, std::vector<double>> durations_by_rank(const ipm::Trace& trace,
   return out;
 }
 
+ipm::ChunkHint hint_for(const EventFilter& filter) {
+  ipm::ChunkHint hint;
+  hint.op = filter.op;
+  hint.phase = filter.phase;
+  hint.rank = filter.rank;
+  return hint;
+}
+
+void for_each_matching(const ipm::TraceSource& source,
+                       const EventFilter& filter,
+                       const std::function<void(const ipm::TraceEvent&)>& fn) {
+  source.for_each_hinted(hint_for(filter), [&](const ipm::TraceEvent& e) {
+    if (filter.matches(e)) fn(e);
+  });
+}
+
+std::vector<double> durations(const ipm::TraceSource& source,
+                              const EventFilter& filter) {
+  std::vector<double> out;
+  for_each_matching(source, filter,
+                    [&out](const ipm::TraceEvent& e) { out.push_back(e.duration); });
+  return out;
+}
+
+void PhaseSummarySink::on_event(const ipm::TraceEvent& event) {
+  if (!filter_.matches(event)) return;
+  auto it = by_phase_.try_emplace(event.phase, options_).first;
+  it->second.add(event.duration);
+}
+
 std::vector<double> per_rank_ordered(const ipm::Trace& trace,
                                      const EventFilter& filter, std::size_t k) {
   auto by_rank = durations_by_rank(trace, filter);

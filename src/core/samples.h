@@ -9,7 +9,10 @@
 #include <optional>
 #include <vector>
 
+#include "core/streaming.h"
+#include "ipm/sink.h"
 #include "ipm/trace.h"
+#include "ipm/trace_source.h"
 #include "posix/hooks.h"
 
 namespace eio::analysis {
@@ -57,5 +60,67 @@ struct EventFilter {
 [[nodiscard]] std::vector<double> per_rank_ordered(const ipm::Trace& trace,
                                                    const EventFilter& filter,
                                                    std::size_t k);
+
+// ---------------------------------------------------------------------------
+// Streaming counterparts: visit a TraceSource instead of materializing.
+
+/// The chunk-index pre-filter a filter implies (op/phase/rank pins
+/// become hints; indexed v2 sources skip chunks that cannot match).
+[[nodiscard]] ipm::ChunkHint hint_for(const EventFilter& filter);
+
+/// Visit every matching event of the source, in stored order.
+void for_each_matching(const ipm::TraceSource& source,
+                       const EventFilter& filter,
+                       const std::function<void(const ipm::TraceEvent&)>& fn);
+
+/// Durations of matching events (materializes the samples, not the
+/// events — use SummarySink when bounded memory matters).
+[[nodiscard]] std::vector<double> durations(const ipm::TraceSource& source,
+                                            const EventFilter& filter);
+
+/// EventSink folding filter-matched durations into a StreamingSummary
+/// (count/extrema/moments/reservoir) — the bounded-memory analysis
+/// attachment for monitors and ensemble runs.
+class SummarySink final : public ipm::EventSink {
+ public:
+  explicit SummarySink(EventFilter filter)
+      : SummarySink(std::move(filter), stats::SummaryOptions{}) {}
+  SummarySink(EventFilter filter, const stats::SummaryOptions& options)
+      : filter_(std::move(filter)), summary_(options) {}
+
+  void on_event(const ipm::TraceEvent& event) override {
+    if (filter_.matches(event)) summary_.add(event.duration);
+  }
+
+  [[nodiscard]] const stats::StreamingSummary& summary() const noexcept {
+    return summary_;
+  }
+
+ private:
+  EventFilter filter_;
+  stats::StreamingSummary summary_;
+};
+
+/// EventSink grouping filter-matched durations by phase label — the
+/// streaming form of durations_by_phase (per-phase CDFs, Figure 5a).
+class PhaseSummarySink final : public ipm::EventSink {
+ public:
+  explicit PhaseSummarySink(EventFilter filter)
+      : PhaseSummarySink(std::move(filter), stats::SummaryOptions{}) {}
+  PhaseSummarySink(EventFilter filter, const stats::SummaryOptions& options)
+      : filter_(std::move(filter)), options_(options) {}
+
+  void on_event(const ipm::TraceEvent& event) override;
+
+  [[nodiscard]] const std::map<std::int32_t, stats::StreamingSummary>&
+  by_phase() const noexcept {
+    return by_phase_;
+  }
+
+ private:
+  EventFilter filter_;
+  stats::SummaryOptions options_;
+  std::map<std::int32_t, stats::StreamingSummary> by_phase_;
+};
 
 }  // namespace eio::analysis

@@ -1,0 +1,196 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eio::stats {
+
+void StreamingMoments::add(double x) {
+  // Pébay's one-pass updates for central moments through order four.
+  double n1 = static_cast<double>(n_);
+  ++n_;
+  double n = static_cast<double>(n_);
+  double delta = x - mean_;
+  double delta_n = delta / n;
+  double delta_n2 = delta_n * delta_n;
+  double term1 = delta * delta_n * n1;
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+void StreamingMoments::merge(const StreamingMoments& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  double na = static_cast<double>(n_);
+  double nb = static_cast<double>(other.n_);
+  double n = na + nb;
+  double delta = other.mean_ - mean_;
+  double delta2 = delta * delta;
+
+  double m2 = m2_ + other.m2_ + delta2 * na * nb / n;
+  double m3 = m3_ + other.m3_ +
+              delta * delta2 * na * nb * (na - nb) / (n * n) +
+              3.0 * delta * (na * other.m2_ - nb * m2_) / n;
+  double m4 = m4_ + other.m4_ +
+              delta2 * delta2 * na * nb * (na * na - na * nb + nb * nb) /
+                  (n * n * n) +
+              6.0 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (n * n) +
+              4.0 * delta * (na * other.m3_ - nb * m3_) / n;
+
+  mean_ += delta * nb / n;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+  n_ += other.n_;
+}
+
+Moments StreamingMoments::moments() const {
+  Moments m;
+  m.count = n_;
+  if (n_ == 0) return m;
+  double n = static_cast<double>(n_);
+  m.mean = mean_;
+  if (n_ >= 2) {
+    m.variance = m2_ / (n - 1.0);
+    m.stddev = std::sqrt(m.variance);
+  }
+  double pop_var = m2_ / n;
+  if (pop_var > 0.0 && n_ >= 3) {
+    double sd = std::sqrt(pop_var);
+    m.skewness = (m3_ / n) / (sd * sd * sd);
+    m.kurtosis_excess = (m4_ / n) / (pop_var * pop_var) - 3.0;
+  }
+  return m;
+}
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  EIO_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile out of range: " << q);
+  rates_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+      desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+    }
+    return;
+  }
+  ++count_;
+
+  // Locate the cell and absorb extrema into the end markers.
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += rates_[i];
+
+  // Adjust the interior markers toward their desired positions with
+  // the piecewise-parabolic (P²) prediction, falling back to linear
+  // when the parabola would break marker monotonicity.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    double d = desired_[i] - positions_[i];
+    double below = positions_[i] - positions_[i - 1];
+    double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+      double s = d >= 0.0 ? 1.0 : -1.0;
+      double np = positions_[i] + s;
+      double parabolic =
+          heights_[i] +
+          s / (positions_[i + 1] - positions_[i - 1]) *
+              ((below + s) * (heights_[i + 1] - heights_[i]) / above +
+               (above - s) * (heights_[i] - heights_[i - 1]) / below);
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        std::size_t j = d >= 0.0 ? i + 1 : i - 1;
+        heights_[i] += s * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] = np;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  EIO_CHECK_MSG(count_ >= 1, "P2Quantile::value() on empty stream");
+  if (count_ < 5) {
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    if (count_ == 1) return sorted[0];
+    double pos = q_ * static_cast<double>(count_ - 1);
+    auto lo = static_cast<std::size_t>(pos);
+    std::size_t hi = std::min(lo + 1, count_ - 1);
+    double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+  return heights_[2];
+}
+
+ReservoirSampler::ReservoirSampler(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  EIO_CHECK_MSG(capacity >= 1, "reservoir needs capacity >= 1");
+}
+
+void ReservoirSampler::add(double x) {
+  ++seen_;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(x);
+    return;
+  }
+  std::uint64_t j = rng_.index(seen_);
+  if (j < capacity_) samples_[static_cast<std::size_t>(j)] = x;
+}
+
+EmpiricalDistribution ReservoirSampler::distribution() const {
+  return EmpiricalDistribution(samples_);
+}
+
+void StreamingSummary::add(double x) {
+  if (moments_.count() == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  moments_.add(x);
+  reservoir_.add(x);
+}
+
+double StreamingSummary::min() const {
+  EIO_CHECK(!empty());
+  return min_;
+}
+
+double StreamingSummary::max() const {
+  EIO_CHECK(!empty());
+  return max_;
+}
+
+double StreamingSummary::quantile(double q) const {
+  EIO_CHECK(!empty());
+  return reservoir_.distribution().quantile(q);
+}
+
+}  // namespace eio::stats

@@ -1,0 +1,147 @@
+// One-pass statistical accumulators.
+//
+// The paper's §VI direction — "from an I/O tracing paradigm to an I/O
+// profiling paradigm" — requires every distribution-level statistic to
+// be computable without holding the events. These kernels maintain
+// bounded state per sample stream:
+//
+//  * StreamingMoments: mean/variance/skewness/kurtosis via the
+//    Welford/Pébay incremental central-moment updates;
+//  * P2Quantile: the Jain-Chlamtac P² estimator — one quantile in
+//    five markers, O(1) memory, no samples retained;
+//  * ReservoirSampler: Vitter's Algorithm R — a uniform sample of
+//    bounded size, *exact* (every value retained) until the capacity
+//    is exceeded, so quantiles/CDFs/KS inputs computed from it are
+//    identical to the materialized answer on bounded traces while
+//    degrading gracefully at scale;
+//  * StreamingSummary: the bundle (count/min/max + moments +
+//    reservoir) every analysis sink composes.
+//
+// The batch entry points in distribution.h/histogram.h are thin
+// wrappers over these kernels, so streaming and materialized paths
+// agree by construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/distribution.h"
+
+namespace eio::stats {
+
+/// Incremental central moments M1..M4 (Welford's algorithm extended to
+/// higher orders by Pébay's single-pass update formulas).
+class StreamingMoments {
+ public:
+  void add(double x);
+
+  /// Combine with another accumulator (Pébay's pairwise update) —
+  /// what per-rank or per-run partial moments use to fold together.
+  void merge(const StreamingMoments& other);
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+
+  /// Finalized moments, with the same small-count and zero-variance
+  /// conventions as compute_moments().
+  [[nodiscard]] Moments moments() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+};
+
+/// P² single-quantile estimator (Jain & Chlamtac 1985): five markers
+/// track the target quantile with parabolic adjustment. Exact for the
+/// first five observations, O(1) memory forever after.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  /// Current estimate (exact while count() <= 5; requires count() >= 1).
+  [[nodiscard]] double value() const;
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};    ///< marker values
+  std::array<double, 5> positions_{};  ///< actual marker positions (1-based)
+  std::array<double, 5> desired_{};    ///< desired marker positions
+  std::array<double, 5> rates_{};      ///< desired-position increments
+};
+
+/// Uniform bounded-size sample of a stream (Vitter's Algorithm R with
+/// a deterministic substream). While seen() <= capacity the reservoir
+/// holds *every* value, so downstream order statistics are exact.
+class ReservoirSampler {
+ public:
+  explicit ReservoirSampler(std::size_t capacity = kDefaultCapacity,
+                            std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// True while no value has been discarded (the sample is the stream).
+  [[nodiscard]] bool exact() const noexcept { return seen_ <= capacity_; }
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// Sorted-copy view for quantile/CDF/KS queries.
+  [[nodiscard]] EmpiricalDistribution distribution() const;
+
+ private:
+  std::size_t capacity_;
+  rng::Stream rng_;
+  std::vector<double> samples_;
+  std::uint64_t seen_ = 0;
+};
+
+/// Knobs for StreamingSummary (at namespace scope so it can be a
+/// defaulted constructor argument).
+struct SummaryOptions {
+  std::size_t reservoir_capacity = ReservoirSampler::kDefaultCapacity;
+  std::uint64_t reservoir_seed = 0x9E3779B97F4A7C15ULL;
+};
+
+/// The standard per-stream bundle: count, extrema, incremental
+/// moments, and a reservoir for order statistics. Memory is
+/// O(reservoir capacity), independent of the stream length.
+class StreamingSummary {
+ public:
+  StreamingSummary() : StreamingSummary(SummaryOptions{}) {}
+  explicit StreamingSummary(const SummaryOptions& options)
+      : reservoir_(options.reservoir_capacity, options.reservoir_seed) {}
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const noexcept { return moments_.count(); }
+  [[nodiscard]] bool empty() const noexcept { return count() == 0; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] Moments moments() const { return moments_.moments(); }
+  [[nodiscard]] const ReservoirSampler& reservoir() const noexcept {
+    return reservoir_;
+  }
+  /// Quantile from the reservoir (exact while the reservoir is exact).
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+ private:
+  StreamingMoments moments_;
+  ReservoirSampler reservoir_;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace eio::stats

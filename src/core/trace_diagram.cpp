@@ -8,12 +8,12 @@
 
 namespace eio::analysis {
 
-TraceDiagram::TraceDiagram(const ipm::Trace& trace, Options options) {
+TraceDiagram::TraceDiagram(std::uint32_t ranks, double span, Options options) {
   EIO_CHECK(options.max_rows >= 1 && options.columns >= 1);
-  std::uint32_t ranks = std::max<std::uint32_t>(trace.ranks(), 1);
+  ranks = std::max<std::uint32_t>(ranks, 1);
   rows_ = std::min<std::size_t>(options.max_rows, ranks);
   cols_ = options.columns;
-  span_ = std::max(trace.span(), 1e-9);
+  span_ = std::max(span, 1e-9);
   dt_ = span_ / static_cast<double>(cols_);
 
   write_.assign(rows_ * cols_, 0.0);
@@ -22,36 +22,54 @@ TraceDiagram::TraceDiagram(const ipm::Trace& trace, Options options) {
 
   // ranks_per_row tasks share a row; cell "busy fraction" normalizes by
   // (ranks_per_row * dt) so a fully-busy row saturates at 1.
-  double ranks_per_row = static_cast<double>(ranks) / static_cast<double>(rows_);
+  ranks_per_row_ = static_cast<double>(ranks) / static_cast<double>(rows_);
+}
 
-  for (const auto& e : trace.events()) {
-    std::vector<double>* plane = nullptr;
-    using posix::OpType;
-    switch (e.op) {
-      case OpType::kWrite: plane = &write_; break;
-      case OpType::kRead: plane = &read_; break;
-      case OpType::kOpen:
-      case OpType::kClose:
-      case OpType::kSeek:
-      case OpType::kFsync: plane = &meta_; break;
-    }
-    if (plane == nullptr) continue;
-    auto row = static_cast<std::size_t>(
-        std::min<double>(static_cast<double>(e.rank) / ranks_per_row,
-                         static_cast<double>(rows_ - 1)));
-    double start = e.start;
-    double end = std::max(e.end(), start + 1e-12);
-    auto first = static_cast<std::size_t>(
-        std::clamp(start / dt_, 0.0, static_cast<double>(cols_ - 1)));
-    auto last = static_cast<std::size_t>(
-        std::clamp(end / dt_, 0.0, static_cast<double>(cols_ - 1)));
-    for (std::size_t c = first; c <= last; ++c) {
-      double lo = dt_ * static_cast<double>(c);
-      double hi = lo + dt_;
-      double overlap = std::min(end, hi) - std::max(start, lo);
-      if (overlap > 0.0) {
-        cell(*plane, row, c) += overlap / (dt_ * ranks_per_row);
-      }
+TraceDiagram::TraceDiagram(const ipm::Trace& trace, Options options)
+    : TraceDiagram(trace.ranks(), trace.span(), options) {
+  for (const auto& e : trace.events()) add(e);
+}
+
+TraceDiagram::TraceDiagram(const ipm::TraceSource& source, Options options)
+    : TraceDiagram(source.meta().ranks,
+                   [&source] {
+                     double span = 0.0;
+                     source.for_each([&span](const ipm::TraceEvent& e) {
+                       span = std::max(span, e.end());
+                     });
+                     return span;
+                   }(),
+                   options) {
+  source.for_each([this](const ipm::TraceEvent& e) { add(e); });
+}
+
+void TraceDiagram::add(const ipm::TraceEvent& e) {
+  std::vector<double>* plane = nullptr;
+  using posix::OpType;
+  switch (e.op) {
+    case OpType::kWrite: plane = &write_; break;
+    case OpType::kRead: plane = &read_; break;
+    case OpType::kOpen:
+    case OpType::kClose:
+    case OpType::kSeek:
+    case OpType::kFsync: plane = &meta_; break;
+  }
+  if (plane == nullptr) return;
+  auto row = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(e.rank) / ranks_per_row_,
+                       static_cast<double>(rows_ - 1)));
+  double start = e.start;
+  double end = std::max(e.end(), start + 1e-12);
+  auto first = static_cast<std::size_t>(
+      std::clamp(start / dt_, 0.0, static_cast<double>(cols_ - 1)));
+  auto last = static_cast<std::size_t>(
+      std::clamp(end / dt_, 0.0, static_cast<double>(cols_ - 1)));
+  for (std::size_t c = first; c <= last; ++c) {
+    double lo = dt_ * static_cast<double>(c);
+    double hi = lo + dt_;
+    double overlap = std::min(end, hi) - std::max(start, lo);
+    if (overlap > 0.0) {
+      cell(*plane, row, c) += overlap / (dt_ * ranks_per_row_);
     }
   }
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ipm/trace.h"
+#include "ipm/trace_source.h"
 
 namespace eio::analysis {
 
@@ -24,8 +25,19 @@ class TraceDiagram {
     std::size_t columns = 100;   ///< time bins
   };
 
+  /// Streaming form: fix the geometry (rank mapping and time axis) up
+  /// front, then fold events with add() in any order. Memory is
+  /// O(rows * columns), independent of the event count.
+  TraceDiagram(std::uint32_t ranks, double span, Options options);
+
   /// Build from a trace (uses trace.ranks() for the row mapping).
   TraceDiagram(const ipm::Trace& trace, Options options);
+
+  /// Build from a source (one pass for the span, one to rasterize).
+  TraceDiagram(const ipm::TraceSource& source, Options options);
+
+  /// Fold one event into the raster.
+  void add(const ipm::TraceEvent& event);
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
   [[nodiscard]] std::size_t columns() const noexcept { return cols_; }
@@ -59,6 +71,7 @@ class TraceDiagram {
   std::size_t cols_ = 0;
   double dt_ = 0.0;
   double span_ = 0.0;
+  double ranks_per_row_ = 1.0;
   std::vector<double> write_;  ///< busy fraction per cell
   std::vector<double> read_;
   std::vector<double> meta_;

@@ -1,12 +1,24 @@
 #include "ipm/monitor.h"
 
+#include "common/check.h"
+
 namespace eio::ipm {
 
 Monitor::Monitor() : Monitor(Config{}) {}
 
-Monitor::Monitor(Config config) : config_(config) {}
+Monitor::Monitor(Config config) : config_(config) {
+  if (config_.mode == Mode::kTrace || config_.mode == Mode::kBoth) {
+    sinks_.push_back(&trace_sink_);
+  }
+  if (config_.mode == Mode::kProfile || config_.mode == Mode::kBoth) {
+    sinks_.push_back(&profile_sink_);
+  }
+}
 
-Monitor::~Monitor() { detach(); }
+Monitor::~Monitor() {
+  detach();
+  finish();
+}
 
 void Monitor::attach(posix::PosixIo& io) {
   EIO_CHECK_MSG(attached_ == nullptr, "monitor already attached");
@@ -26,27 +38,33 @@ void Monitor::set_phase(RankId rank, std::int32_t phase) {
   phase_[rank] = phase;
 }
 
+void Monitor::add_sink(EventSink* sink) {
+  EIO_CHECK(sink != nullptr);
+  sinks_.push_back(sink);
+}
+
+void Monitor::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (EventSink* sink : sinks_) sink->finish();
+}
+
 void Monitor::on_call(const posix::CallRecord& record) {
   using posix::OpType;
   ++intercepted_;
   bool is_data = record.op == OpType::kRead || record.op == OpType::kWrite;
   if (!is_data && !config_.record_metadata_calls) return;
 
-  if (config_.mode == Mode::kTrace || config_.mode == Mode::kBoth) {
-    TraceEvent e;
-    e.start = record.start;
-    e.duration = record.duration;
-    e.op = record.op;
-    e.rank = record.rank;
-    e.file = record.file;
-    e.offset = record.offset;
-    e.bytes = record.bytes;
-    e.phase = record.rank < phase_.size() ? phase_[record.rank] : 0;
-    trace_.add(e);
-  }
-  if (config_.mode == Mode::kProfile || config_.mode == Mode::kBoth) {
-    profile_.observe(record.op, record.bytes, record.duration);
-  }
+  TraceEvent e;
+  e.start = record.start;
+  e.duration = record.duration;
+  e.op = record.op;
+  e.rank = record.rank;
+  e.file = record.file;
+  e.offset = record.offset;
+  e.bytes = record.bytes;
+  e.phase = record.rank < phase_.size() ? phase_[record.rank] : 0;
+  for (EventSink* sink : sinks_) sink->on_event(e);
 }
 
 }  // namespace eio::ipm

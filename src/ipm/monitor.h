@@ -1,18 +1,22 @@
 // The IPM-I/O monitor: interposed call recording.
 //
-// Attach a Monitor to the POSIX layer and it records every completed
-// call as a TraceEvent, stamping each with the rank's current IPM
-// region (phase). Two capture paradigms are supported, matching the
-// paper's present and future-work designs:
+// Attach a Monitor to the POSIX layer and it stamps every completed
+// call with the rank's current IPM region (phase) and emits it into a
+// chain of EventSinks. The built-in sinks match the paper's present
+// and future-work capture paradigms:
 //
-//  * full tracing (default): every event is kept — "by default IPM-I/O
-//    emits the entire trace";
-//  * in-situ profiling (`Mode::kProfile`): only per-(op, size-bucket)
-//    duration histograms are kept, the paper's proposed transition
-//    "from an I/O tracing paradigm to an I/O profiling paradigm".
+//  * full tracing (default): a TraceSink keeps every event — "by
+//    default IPM-I/O emits the entire trace";
+//  * in-situ profiling (`Mode::kProfile`): a ProfileSink keeps only
+//    per-(op, size-bucket) duration histograms, the paper's proposed
+//    transition "from an I/O tracing paradigm to an I/O profiling
+//    paradigm".
 //
-// The monitor also accounts its own overhead (a fixed cost per
-// intercepted call) so the "lightweight" claim is checkable.
+// Callers can add further sinks (streaming statistics accumulators,
+// an indexed-file TraceWriterV2, ...) with add_sink(); every sink sees
+// each event exactly once, in completion order. The monitor also
+// accounts its own overhead (a fixed cost per intercepted call) so
+// the "lightweight" claim is checkable.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +25,7 @@
 #include "common/ids.h"
 #include "common/units.h"
 #include "ipm/profile.h"
+#include "ipm/sink.h"
 #include "ipm/trace.h"
 #include "posix/hooks.h"
 #include "posix/vfs.h"
@@ -57,6 +62,15 @@ class Monitor final : public posix::IoObserver {
   /// Set the IPM region subsequent events of `rank` are tagged with.
   void set_phase(RankId rank, std::int32_t phase);
 
+  /// Append a sink to the chain (non-owning; must outlive capture).
+  /// Added sinks receive every subsequent event after the built-ins.
+  void add_sink(EventSink* sink);
+
+  /// Capture is over: finish() every sink in the chain. Idempotent;
+  /// called by the destructor, but explicit calls are preferred for
+  /// sinks whose finish can fail (e.g. file writers).
+  void finish();
+
   /// IoObserver hook.
   void on_call(const posix::CallRecord& record) override;
 
@@ -77,8 +91,12 @@ class Monitor final : public posix::IoObserver {
   posix::PosixIo* attached_ = nullptr;
   Trace trace_;
   Profile profile_;
+  TraceSink trace_sink_{trace_};
+  ProfileSink profile_sink_{profile_};
+  std::vector<EventSink*> sinks_;    ///< the dispatch chain
   std::vector<std::int32_t> phase_;  ///< per-rank current region
   std::uint64_t intercepted_ = 0;
+  bool finished_ = false;
 };
 
 }  // namespace eio::ipm

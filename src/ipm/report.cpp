@@ -27,32 +27,48 @@ Imbalance imbalance_of(const std::vector<double>& per_rank) {
 
 }  // namespace
 
-JobReport summarize(const Trace& trace) {
-  JobReport report;
-  report.experiment = trace.experiment();
-  report.ranks = std::max<std::uint32_t>(trace.ranks(), 1);
-  report.wall_time = trace.span();
+JobReportAccumulator::JobReportAccumulator(std::string experiment,
+                                           std::uint32_t ranks) {
+  report_.experiment = std::move(experiment);
+  report_.ranks = std::max<std::uint32_t>(ranks, 1);
+  time_per_rank_.assign(report_.ranks, 0.0);
+  bytes_per_rank_.assign(report_.ranks, 0.0);
+}
 
-  std::vector<double> time_per_rank(report.ranks, 0.0);
-  std::vector<double> bytes_per_rank(report.ranks, 0.0);
-  for (const TraceEvent& e : trace.events()) {
-    CallStats& s = report.by_op[e.op];
-    ++s.count;
-    s.bytes += e.bytes;
-    s.total_time += e.duration;
-    s.max_time = std::max(s.max_time, e.duration);
-    report.total_io_time += e.duration;
-    if (e.rank < report.ranks) {
-      time_per_rank[e.rank] += e.duration;
-      bytes_per_rank[e.rank] += static_cast<double>(e.bytes);
-    }
+void JobReportAccumulator::on_event(const TraceEvent& e) {
+  report_.wall_time = std::max(report_.wall_time, e.end());
+  CallStats& s = report_.by_op[e.op];
+  ++s.count;
+  s.bytes += e.bytes;
+  s.total_time += e.duration;
+  s.max_time = std::max(s.max_time, e.duration);
+  report_.total_io_time += e.duration;
+  if (e.rank < report_.ranks) {
+    time_per_rank_[e.rank] += e.duration;
+    bytes_per_rank_[e.rank] += static_cast<double>(e.bytes);
   }
-  report.io_time_per_rank = imbalance_of(time_per_rank);
-  report.bytes_per_rank = imbalance_of(bytes_per_rank);
+}
+
+JobReport JobReportAccumulator::report() const {
+  JobReport report = report_;
+  report.io_time_per_rank = imbalance_of(time_per_rank_);
+  report.bytes_per_rank = imbalance_of(bytes_per_rank_);
   report.busiest_rank = static_cast<RankId>(
-      std::max_element(time_per_rank.begin(), time_per_rank.end()) -
-      time_per_rank.begin());
+      std::max_element(time_per_rank_.begin(), time_per_rank_.end()) -
+      time_per_rank_.begin());
   return report;
+}
+
+JobReport summarize(const Trace& trace) {
+  JobReportAccumulator acc(trace.experiment(), trace.ranks());
+  for (const TraceEvent& e : trace.events()) acc.add(e);
+  return acc.report();
+}
+
+JobReport summarize(const TraceSource& source) {
+  JobReportAccumulator acc(source.meta().experiment, source.meta().ranks);
+  source.for_each([&acc](const TraceEvent& e) { acc.add(e); });
+  return acc.report();
 }
 
 void print_report(std::ostream& out, const JobReport& report) {
@@ -92,6 +108,12 @@ void print_report(std::ostream& out, const JobReport& report) {
 std::string report_text(const Trace& trace) {
   std::ostringstream os;
   print_report(os, summarize(trace));
+  return os.str();
+}
+
+std::string report_text(const TraceSource& source) {
+  std::ostringstream os;
+  print_report(os, summarize(source));
   return os.str();
 }
 

@@ -15,7 +15,9 @@
 
 #include "common/ids.h"
 #include "common/units.h"
+#include "ipm/sink.h"
 #include "ipm/trace.h"
+#include "ipm/trace_source.h"
 
 namespace eio::ipm {
 
@@ -64,13 +66,37 @@ struct JobReport {
   }
 };
 
-/// Compute the summary from a trace.
+/// One-pass report builder: an EventSink folding each event into the
+/// per-op and per-rank aggregates. Memory is O(ranks + op types),
+/// independent of the event count — this is the kernel both summarize
+/// overloads wrap, so streaming and materialized reports are
+/// identical by construction.
+class JobReportAccumulator final : public EventSink {
+ public:
+  JobReportAccumulator(std::string experiment, std::uint32_t ranks);
+
+  void on_event(const TraceEvent& event) override;
+  void add(const TraceEvent& event) { on_event(event); }
+
+  /// The summary of everything seen so far.
+  [[nodiscard]] JobReport report() const;
+
+ private:
+  JobReport report_;
+  std::vector<double> time_per_rank_;
+  std::vector<double> bytes_per_rank_;
+};
+
+/// Compute the summary from a materialized trace.
 [[nodiscard]] JobReport summarize(const Trace& trace);
+/// Compute the summary in one streaming pass (O(ranks) memory).
+[[nodiscard]] JobReport summarize(const TraceSource& source);
 
 /// Render the classic banner.
 void print_report(std::ostream& out, const JobReport& report);
 
 /// Convenience: summarize + render to a string.
 [[nodiscard]] std::string report_text(const Trace& trace);
+[[nodiscard]] std::string report_text(const TraceSource& source);
 
 }  // namespace eio::ipm

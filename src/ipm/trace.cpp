@@ -1,28 +1,16 @@
+// Materializing wrappers over the streaming kernels in trace_stream.h.
+// All parsing, validation, and encoding lives there; a Trace is just
+// what you get when the visitor appends to a vector.
 #include "ipm/trace.h"
 
 #include <algorithm>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 
 #include "common/check.h"
+#include "ipm/trace_stream.h"
 
 namespace eio::ipm {
-
-namespace {
-
-[[nodiscard]] posix::OpType op_from_name(const std::string& name) {
-  using posix::OpType;
-  if (name == "open") return OpType::kOpen;
-  if (name == "close") return OpType::kClose;
-  if (name == "seek") return OpType::kSeek;
-  if (name == "read") return OpType::kRead;
-  if (name == "write") return OpType::kWrite;
-  if (name == "fsync") return OpType::kFsync;
-  throw std::runtime_error("unknown op name in trace: " + name);
-}
-
-}  // namespace
 
 Seconds Trace::span() const noexcept {
   Seconds latest = 0.0;
@@ -43,153 +31,45 @@ void Trace::sort_by_start() {
                    });
 }
 
-void Trace::write(std::ostream& out) const {
-  out << "# ipm-io-trace v1\texperiment=" << experiment_ << "\tranks=" << ranks_
-      << "\tevents=" << events_.size() << "\n";
-  out << "start\tduration\top\trank\tfile\toffset\tbytes\tphase\n";
-  out.precision(9);
-  for (const TraceEvent& e : events_) {
-    out << e.start << '\t' << e.duration << '\t' << posix::op_name(e.op) << '\t'
-        << e.rank << '\t' << e.file << '\t' << e.offset << '\t' << e.bytes << '\t'
-        << e.phase << '\n';
-  }
-}
-
-Trace Trace::read(std::istream& in) {
-  std::string line;
-  if (!std::getline(in, line) || line.rfind("# ipm-io-trace", 0) != 0) {
-    throw std::runtime_error("not an ipm-io trace (missing magic)");
-  }
-  Trace trace;
-  {
-    std::istringstream header(line);
-    std::string field;
-    while (std::getline(header, field, '\t')) {
-      if (field.rfind("experiment=", 0) == 0) {
-        trace.experiment_ = field.substr(11);
-      } else if (field.rfind("ranks=", 0) == 0) {
-        trace.ranks_ = static_cast<std::uint32_t>(std::stoul(field.substr(6)));
-      }
-    }
-  }
-  if (!std::getline(in, line)) {
-    throw std::runtime_error("trace missing column header");
-  }
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::istringstream row(line);
-    TraceEvent e;
-    std::string op;
-    if (!(row >> e.start >> e.duration >> op >> e.rank >> e.file >> e.offset >>
-          e.bytes >> e.phase)) {
-      throw std::runtime_error("malformed trace row: " + line);
-    }
-    e.op = op_from_name(op);
-    trace.events_.push_back(e);
-  }
-  return trace;
-}
-
 namespace {
 
-constexpr char kBinaryMagic[8] = {'I', 'P', 'M', 'I', 'O', 'B', '1', '\n'};
-
-template <typename T>
-void put(std::ostream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof value);
-}
-
-template <typename T>
-T get(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!in.good()) throw std::runtime_error("truncated binary trace");
-  return value;
-}
-
-/// LEB128 unsigned varint — small integers (ranks, byte counts, op
-/// codes) take 1-3 bytes instead of 8.
-void put_varint(std::ostream& out, std::uint64_t value) {
-  while (value >= 0x80) {
-    put<std::uint8_t>(out, static_cast<std::uint8_t>(value) | 0x80);
-    value >>= 7;
-  }
-  put<std::uint8_t>(out, static_cast<std::uint8_t>(value));
-}
-
-std::uint64_t get_varint(std::istream& in) {
-  std::uint64_t value = 0;
-  int shift = 0;
-  while (true) {
-    auto byte = get<std::uint8_t>(in);
-    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) return value;
-    shift += 7;
-    if (shift >= 64) throw std::runtime_error("corrupt varint in binary trace");
-  }
-}
-
-/// Zigzag for the (rarely negative) phase label.
-std::uint64_t zigzag(std::int64_t v) {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
-std::int64_t unzigzag(std::uint64_t v) {
-  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+Trace materialize(std::istream& in,
+                  TraceMeta (*kernel)(std::istream&, const EventVisitor&)) {
+  Trace trace;
+  TraceMeta meta =
+      kernel(in, [&trace](const TraceEvent& e) { trace.add(e); });
+  trace.set_experiment(meta.experiment);
+  trace.set_ranks(meta.ranks);
+  return trace;
 }
 
 }  // namespace
 
+void Trace::write(std::ostream& out) const {
+  write_tsv_header(out, experiment_, ranks_, events_.size());
+  for (const TraceEvent& e : events_) write_tsv_event(out, e);
+}
+
+Trace Trace::read(std::istream& in) { return materialize(in, stream_tsv); }
+
 void Trace::write_binary(std::ostream& out) const {
-  out.write(kBinaryMagic, sizeof kBinaryMagic);
-  put_varint(out, ranks_);
-  put_varint(out, experiment_.size());
-  out.write(experiment_.data(),
-            static_cast<std::streamsize>(experiment_.size()));
-  put_varint(out, events_.size());
-  for (const TraceEvent& e : events_) {
-    put<double>(out, e.start);
-    put<double>(out, e.duration);
-    put_varint(out, static_cast<std::uint64_t>(e.op));
-    put_varint(out, e.rank);
-    put_varint(out, e.file);
-    put_varint(out, e.offset);
-    put_varint(out, e.bytes);
-    put_varint(out, zigzag(e.phase));
-  }
+  write_binary_v1_header(out, experiment_, ranks_, events_.size());
+  for (const TraceEvent& e : events_) write_binary_v1_event(out, e);
+}
+
+void Trace::write_binary_v2(std::ostream& out) const {
+  TraceWriterV2 writer(out, experiment_, ranks_);
+  for (const TraceEvent& e : events_) writer.add(e);
+  writer.finish();
 }
 
 Trace Trace::read_binary(std::istream& in) {
-  char magic[sizeof kBinaryMagic];
-  in.read(magic, sizeof magic);
-  if (!in.good() || !std::equal(std::begin(magic), std::end(magic),
-                                std::begin(kBinaryMagic))) {
-    throw std::runtime_error("not a binary ipm-io trace (missing magic)");
+  switch (sniff_format(in)) {
+    case TraceFormat::kBinaryV1: return materialize(in, stream_binary_v1);
+    case TraceFormat::kBinaryV2: return materialize(in, stream_binary_v2);
+    case TraceFormat::kTsv: break;
   }
-  Trace trace;
-  trace.ranks_ = static_cast<std::uint32_t>(get_varint(in));
-  auto name_len = get_varint(in);
-  trace.experiment_.resize(name_len);
-  in.read(trace.experiment_.data(), static_cast<std::streamsize>(name_len));
-  auto count = get_varint(in);
-  trace.events_.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    TraceEvent e;
-    e.start = get<double>(in);
-    e.duration = get<double>(in);
-    auto op = get_varint(in);
-    if (op > static_cast<std::uint64_t>(posix::OpType::kFsync)) {
-      throw std::runtime_error("corrupt binary trace: bad op code");
-    }
-    e.op = static_cast<posix::OpType>(op);
-    e.rank = static_cast<RankId>(get_varint(in));
-    e.file = get_varint(in);
-    e.offset = get_varint(in);
-    e.bytes = get_varint(in);
-    e.phase = static_cast<std::int32_t>(unzigzag(get_varint(in)));
-    trace.events_.push_back(e);
-  }
-  return trace;
+  throw std::runtime_error("not a binary ipm-io trace (missing magic)");
 }
 
 void Trace::save(const std::string& path) const {
@@ -206,15 +86,17 @@ void Trace::save_binary(const std::string& path) const {
   EIO_CHECK_MSG(out.good(), "write failed: " << path);
 }
 
+void Trace::save_binary_v2(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  EIO_CHECK_MSG(out.good(), "cannot open for writing: " << path);
+  write_binary_v2(out);
+  EIO_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
 Trace Trace::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   EIO_CHECK_MSG(in.good(), "cannot open for reading: " << path);
-  // Sniff the magic to pick the format.
-  char first = static_cast<char>(in.peek());
-  if (first == kBinaryMagic[0]) {
-    return read_binary(in);
-  }
-  return read(in);
+  return materialize(in, stream_any);
 }
 
 }  // namespace eio::ipm

@@ -72,18 +72,24 @@ class Trace {
   /// malformed input.
   [[nodiscard]] static Trace read(std::istream& in);
 
-  /// Serialize as the compact binary format (fixed-width little-endian
-  /// records behind a magic header) — ~3x smaller and much faster to
-  /// parse than the TSV form; the natural at-scale emission format.
+  /// Serialize as the compact binary v1 format (varint-packed records
+  /// behind a magic header) — ~3x smaller and much faster to parse
+  /// than the TSV form.
   void write_binary(std::ostream& out) const;
-  /// Parse a stream produced by write_binary().
+  /// Serialize as the chunked, indexed binary v2 format (see
+  /// trace_stream.h) — the at-scale format readers can stream or
+  /// selectively scan.
+  void write_binary_v2(std::ostream& out) const;
+  /// Parse a stream produced by write_binary() or write_binary_v2().
+  /// Throws std::runtime_error on truncated or corrupt input.
   [[nodiscard]] static Trace read_binary(std::istream& in);
 
   /// Convenience file-path wrappers. save()/load() use TSV;
-  /// save_binary() writes the compact form; load() auto-detects the
-  /// format from the magic bytes.
+  /// save_binary()/save_binary_v2() write the compact forms; load()
+  /// auto-detects the format from the magic bytes.
   void save(const std::string& path) const;
   void save_binary(const std::string& path) const;
+  void save_binary_v2(const std::string& path) const;
   [[nodiscard]] static Trace load(const std::string& path);
 
  private:

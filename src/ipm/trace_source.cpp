@@ -1,0 +1,96 @@
+#include "ipm/trace_source.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace eio::ipm {
+
+std::uint64_t TraceSource::event_count() const {
+  if (meta().declared_events) return *meta().declared_events;
+  std::uint64_t n = 0;
+  for_each([&n](const TraceEvent&) { ++n; });
+  return n;
+}
+
+Trace TraceSource::materialize() const {
+  Trace trace(meta().experiment, meta().ranks);
+  if (meta().declared_events) trace.reserve(*meta().declared_events);
+  for_each([&trace](const TraceEvent& e) { trace.add(e); });
+  return trace;
+}
+
+MemoryTraceSource::MemoryTraceSource(const Trace& trace) : trace_(&trace) {
+  meta_.experiment = trace.experiment();
+  meta_.ranks = trace.ranks();
+  meta_.declared_events = trace.size();
+}
+
+void MemoryTraceSource::for_each(const EventVisitor& visit) const {
+  for (const TraceEvent& e : trace_->events()) visit(e);
+}
+
+std::uint64_t MemoryTraceSource::event_count() const { return trace_->size(); }
+
+Trace MemoryTraceSource::materialize() const {
+  Trace copy = *trace_;
+  return copy;
+}
+
+namespace {
+
+std::ifstream open_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EIO_CHECK_MSG(in.good(), "cannot open for reading: " << path);
+  return in;
+}
+
+}  // namespace
+
+FileTraceSource::FileTraceSource(std::string path) : path_(std::move(path)) {
+  auto in = open_trace(path_);
+  format_ = sniff_format(in);
+  switch (format_) {
+    case TraceFormat::kBinaryV2:
+      index_ = read_index_v2(in);
+      meta_ = index_->meta;
+      break;
+    case TraceFormat::kTsv:
+    case TraceFormat::kBinaryV1: {
+      // The legacy formats keep no trailing index, so validating the
+      // header costs one pass; the constructor pays it once and meta()
+      // stays cheap thereafter.
+      std::uint64_t counted = 0;
+      meta_ = stream_any(in, [&counted](const TraceEvent&) { ++counted; });
+      if (!meta_.declared_events) meta_.declared_events = counted;
+      break;
+    }
+  }
+}
+
+void FileTraceSource::for_each(const EventVisitor& visit) const {
+  auto in = open_trace(path_);
+  (void)stream_any(in, visit);
+}
+
+void FileTraceSource::for_each_hinted(const ChunkHint& hint,
+                                      const EventVisitor& visit) const {
+  if (!index_) {
+    for_each(visit);
+    return;
+  }
+  auto in = open_trace(path_);
+  for (const ChunkMeta& chunk : index_->chunks) {
+    if (hint.admits(chunk)) stream_chunk_v2(in, chunk, visit);
+  }
+}
+
+std::uint64_t FileTraceSource::event_count() const {
+  // Every backing format declares its count (TSV via the header field,
+  // v1 via the up-front varint, v2 via the footer), and the
+  // constructor's metadata pass validated it.
+  return meta_.declared_events.value_or(0);
+}
+
+}  // namespace eio::ipm

@@ -1,0 +1,120 @@
+// TraceSource: the analysis side of the streaming pipeline.
+//
+// Every consumer of a trace — eiotrace subcommands, the reporters, the
+// streaming accumulators in core — pulls events through this interface
+// instead of demanding a materialized std::vector<TraceEvent>. A
+// MemoryTraceSource adapts an in-memory Trace (so the batch paths stay
+// available and the streaming kernels can be validated against them);
+// a FileTraceSource replays a trace file on every pass, keeping memory
+// O(1) in the event count. For indexed v2 files, a ChunkHint lets the
+// source skip whole chunks whose footer metadata cannot match, turning
+// filtered scans into selective reads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ipm/trace.h"
+#include "ipm/trace_stream.h"
+
+namespace eio::ipm {
+
+/// A conservative pre-filter for indexed scans: a chunk is skipped only
+/// when its footer metadata proves no event can match. Hints are a
+/// superset promise — visitors still see non-matching events inside
+/// surviving chunks and must filter exactly.
+struct ChunkHint {
+  std::optional<posix::OpType> op;
+  std::optional<std::int32_t> phase;
+  std::optional<RankId> rank;
+
+  /// True when the hinted chunk may contain matching events.
+  [[nodiscard]] bool admits(const ChunkMeta& chunk) const noexcept {
+    if (op && (chunk.op_mask & (1u << static_cast<unsigned>(*op))) == 0) {
+      return false;
+    }
+    if (phase && (*phase < chunk.phase_lo || *phase > chunk.phase_hi)) {
+      return false;
+    }
+    if (rank && (*rank < chunk.rank_lo || *rank > chunk.rank_hi)) {
+      return false;
+    }
+    return true;
+  }
+};
+
+/// Abstract multi-pass event stream with job metadata.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Job-level metadata (experiment name, rank count, event count when
+  /// the backing format declares it).
+  [[nodiscard]] virtual const TraceMeta& meta() const = 0;
+
+  /// Visit every event in stored order. May be called repeatedly; each
+  /// call replays the full stream.
+  virtual void for_each(const EventVisitor& visit) const = 0;
+
+  /// Visit events from chunks a hint admits. Default: full scan (exact
+  /// for any source, since hints only promise a superset).
+  virtual void for_each_hinted(const ChunkHint& hint,
+                               const EventVisitor& visit) const {
+    (void)hint;
+    for_each(visit);
+  }
+
+  /// Total events (one pass when the format does not declare it).
+  [[nodiscard]] virtual std::uint64_t event_count() const;
+
+  /// Copy the stream into an in-memory Trace — the escape hatch for
+  /// analyses that genuinely need random access (O(events) memory).
+  [[nodiscard]] virtual Trace materialize() const;
+};
+
+/// Non-owning view over an in-memory Trace.
+class MemoryTraceSource final : public TraceSource {
+ public:
+  explicit MemoryTraceSource(const Trace& trace);
+
+  [[nodiscard]] const TraceMeta& meta() const override { return meta_; }
+  void for_each(const EventVisitor& visit) const override;
+  [[nodiscard]] std::uint64_t event_count() const override;
+  [[nodiscard]] Trace materialize() const override;
+
+ private:
+  const Trace* trace_;
+  TraceMeta meta_;
+};
+
+/// Streams a trace file (TSV, binary v1, or binary v2) from disk on
+/// every pass. Holds only the header metadata — plus, for v2, the
+/// footer index, which for_each_hinted uses to skip chunks.
+class FileTraceSource final : public TraceSource {
+ public:
+  /// Opens the file once to sniff the format and cache metadata (for
+  /// v2 this reads just header + footer, not the events). Throws
+  /// std::runtime_error if unreadable or unrecognized.
+  explicit FileTraceSource(std::string path);
+
+  [[nodiscard]] const TraceMeta& meta() const override { return meta_; }
+  void for_each(const EventVisitor& visit) const override;
+  void for_each_hinted(const ChunkHint& hint,
+                       const EventVisitor& visit) const override;
+  [[nodiscard]] std::uint64_t event_count() const override;
+
+  [[nodiscard]] TraceFormat format() const noexcept { return format_; }
+  /// The v2 footer index; nullopt for TSV/v1 files.
+  [[nodiscard]] const std::optional<TraceIndex>& index() const noexcept {
+    return index_;
+  }
+
+ private:
+  std::string path_;
+  TraceFormat format_;
+  TraceMeta meta_;
+  std::optional<TraceIndex> index_;
+};
+
+}  // namespace eio::ipm

@@ -1,0 +1,454 @@
+#include "ipm/trace_stream.h"
+
+#include <algorithm>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace eio::ipm {
+
+namespace {
+
+constexpr char kTsvMagic[] = "# ipm-io-trace";
+constexpr char kBinaryMagicV1[8] = {'I', 'P', 'M', 'I', 'O', 'B', '1', '\n'};
+constexpr char kBinaryMagicV2[8] = {'I', 'P', 'M', 'I', 'O', 'B', '2', '\n'};
+constexpr char kTrailerMagicV2[8] = {'I', 'P', 'M', '2', 'I', 'D', 'X', '\n'};
+
+// Sanity caps rejecting absurd header fields before they turn into
+// multi-gigabyte allocations on corrupt input.
+constexpr std::uint64_t kMaxNameLen = 1 << 20;
+constexpr std::uint64_t kMaxChunks = std::uint64_t{1} << 32;
+
+constexpr std::uint8_t kChunkTag = 0x01;
+constexpr std::uint8_t kFooterTag = 0x00;
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in.good()) throw std::runtime_error("truncated binary trace");
+  return value;
+}
+
+/// LEB128 unsigned varint — small integers (ranks, byte counts, op
+/// codes) take 1-3 bytes instead of 8.
+void put_varint(std::ostream& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t get_varint(std::istream& in) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    auto byte = get<std::uint8_t>(in);
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+    if (shift >= 64) throw std::runtime_error("corrupt varint in binary trace");
+  }
+}
+
+/// Zigzag for the (rarely negative) phase label.
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+void put_event(std::ostream& out, const TraceEvent& e) {
+  put<double>(out, e.start);
+  put<double>(out, e.duration);
+  put_varint(out, static_cast<std::uint64_t>(e.op));
+  put_varint(out, e.rank);
+  put_varint(out, e.file);
+  put_varint(out, e.offset);
+  put_varint(out, e.bytes);
+  put_varint(out, zigzag(e.phase));
+}
+
+TraceEvent get_event(std::istream& in) {
+  TraceEvent e;
+  e.start = get<double>(in);
+  e.duration = get<double>(in);
+  auto op = get_varint(in);
+  if (op > static_cast<std::uint64_t>(posix::OpType::kFsync)) {
+    throw std::runtime_error("corrupt binary trace: bad op code");
+  }
+  e.op = static_cast<posix::OpType>(op);
+  e.rank = static_cast<RankId>(get_varint(in));
+  e.file = get_varint(in);
+  e.offset = get_varint(in);
+  e.bytes = get_varint(in);
+  e.phase = static_cast<std::int32_t>(unzigzag(get_varint(in)));
+  return e;
+}
+
+std::string get_name(std::istream& in) {
+  auto len = get_varint(in);
+  if (len > kMaxNameLen) {
+    throw std::runtime_error("corrupt binary trace: absurd experiment name");
+  }
+  std::string name(len, '\0');
+  in.read(name.data(), static_cast<std::streamsize>(len));
+  if (!in.good() && len > 0) {
+    throw std::runtime_error("truncated binary trace (experiment name)");
+  }
+  return name;
+}
+
+[[nodiscard]] posix::OpType op_from_name(const std::string& name) {
+  using posix::OpType;
+  if (name == "open") return OpType::kOpen;
+  if (name == "close") return OpType::kClose;
+  if (name == "seek") return OpType::kSeek;
+  if (name == "read") return OpType::kRead;
+  if (name == "write") return OpType::kWrite;
+  if (name == "fsync") return OpType::kFsync;
+  throw std::runtime_error("unknown op name in trace: " + name);
+}
+
+void check_magic(std::istream& in, const char (&magic)[8], const char* what) {
+  char buf[8];
+  in.read(buf, sizeof buf);
+  if (!in.good() || !std::equal(std::begin(buf), std::end(buf), magic)) {
+    throw std::runtime_error(std::string("not a ") + what +
+                             " (missing magic)");
+  }
+}
+
+void fold_into(ChunkMeta& meta, const TraceEvent& e) {
+  if (meta.events == 0) {
+    meta.rank_lo = meta.rank_hi = e.rank;
+    meta.phase_lo = meta.phase_hi = e.phase;
+    meta.t_lo = e.start;
+    meta.t_hi = e.end();
+  } else {
+    meta.rank_lo = std::min(meta.rank_lo, e.rank);
+    meta.rank_hi = std::max(meta.rank_hi, e.rank);
+    meta.phase_lo = std::min(meta.phase_lo, e.phase);
+    meta.phase_hi = std::max(meta.phase_hi, e.phase);
+    meta.t_lo = std::min(meta.t_lo, e.start);
+    meta.t_hi = std::max(meta.t_hi, e.end());
+  }
+  ++meta.events;
+  meta.op_mask |= 1u << static_cast<unsigned>(e.op);
+  if (e.op == posix::OpType::kRead || e.op == posix::OpType::kWrite) {
+    meta.data_bytes += e.bytes;
+  }
+}
+
+void put_chunk_meta(std::ostream& out, const ChunkMeta& c) {
+  put_varint(out, c.offset);
+  put_varint(out, c.events);
+  put_varint(out, c.op_mask);
+  put_varint(out, c.rank_lo);
+  put_varint(out, c.rank_hi);
+  put_varint(out, zigzag(c.phase_lo));
+  put_varint(out, zigzag(c.phase_hi));
+  put<double>(out, c.t_lo);
+  put<double>(out, c.t_hi);
+  put_varint(out, c.data_bytes);
+}
+
+ChunkMeta get_chunk_meta(std::istream& in) {
+  ChunkMeta c;
+  c.offset = get_varint(in);
+  c.events = get_varint(in);
+  c.op_mask = static_cast<std::uint32_t>(get_varint(in));
+  c.rank_lo = static_cast<RankId>(get_varint(in));
+  c.rank_hi = static_cast<RankId>(get_varint(in));
+  c.phase_lo = static_cast<std::int32_t>(unzigzag(get_varint(in)));
+  c.phase_hi = static_cast<std::int32_t>(unzigzag(get_varint(in)));
+  c.t_lo = get<double>(in);
+  c.t_hi = get<double>(in);
+  c.data_bytes = get_varint(in);
+  return c;
+}
+
+/// Parse the footer body (after its tag byte): chunk metas + total.
+std::pair<std::vector<ChunkMeta>, std::uint64_t> get_footer(std::istream& in) {
+  auto chunk_count = get_varint(in);
+  if (chunk_count > kMaxChunks) {
+    throw std::runtime_error("corrupt v2 trace: absurd chunk count");
+  }
+  std::vector<ChunkMeta> chunks;
+  chunks.reserve(chunk_count);
+  for (std::uint64_t i = 0; i < chunk_count; ++i) {
+    chunks.push_back(get_chunk_meta(in));
+  }
+  auto total = get_varint(in);
+  std::uint64_t sum = 0;
+  for (const ChunkMeta& c : chunks) sum += c.events;
+  if (sum != total) {
+    throw std::runtime_error("corrupt v2 trace: footer event counts disagree");
+  }
+  return {std::move(chunks), total};
+}
+
+/// Read the shared v2 header (magic + ranks + name).
+TraceMeta get_header_v2(std::istream& in) {
+  check_magic(in, kBinaryMagicV2, "v2 binary ipm-io trace");
+  TraceMeta meta;
+  meta.ranks = static_cast<std::uint32_t>(get_varint(in));
+  meta.experiment = get_name(in);
+  return meta;
+}
+
+}  // namespace
+
+TraceFormat sniff_format(std::istream& in) {
+  char buf[8] = {};
+  in.read(buf, sizeof buf);
+  auto got = in.gcount();
+  in.clear();
+  in.seekg(-got, std::ios::cur);
+  if (got >= 8 && std::equal(std::begin(buf), std::end(buf),
+                             std::begin(kBinaryMagicV1))) {
+    return TraceFormat::kBinaryV1;
+  }
+  if (got >= 8 && std::equal(std::begin(buf), std::end(buf),
+                             std::begin(kBinaryMagicV2))) {
+    return TraceFormat::kBinaryV2;
+  }
+  if (got >= 1 && buf[0] == '#') return TraceFormat::kTsv;
+  throw std::runtime_error("not an ipm-io trace (unrecognized magic)");
+}
+
+TraceMeta stream_tsv(std::istream& in, const EventVisitor& visit) {
+  std::string line;
+  if (!std::getline(in, line) || line.rfind(kTsvMagic, 0) != 0) {
+    throw std::runtime_error("not an ipm-io trace (missing magic)");
+  }
+  TraceMeta meta;
+  {
+    std::istringstream header(line);
+    std::string field;
+    while (std::getline(header, field, '\t')) {
+      if (field.rfind("experiment=", 0) == 0) {
+        meta.experiment = field.substr(11);
+      } else if (field.rfind("ranks=", 0) == 0) {
+        meta.ranks = static_cast<std::uint32_t>(std::stoul(field.substr(6)));
+      } else if (field.rfind("events=", 0) == 0) {
+        meta.declared_events = std::stoull(field.substr(7));
+      }
+    }
+  }
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("trace missing column header");
+  }
+  std::uint64_t parsed = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    TraceEvent e;
+    std::string op;
+    if (!(row >> e.start >> e.duration >> op >> e.rank >> e.file >> e.offset >>
+          e.bytes >> e.phase)) {
+      throw std::runtime_error("malformed trace row: " + line);
+    }
+    e.op = op_from_name(op);
+    visit(e);
+    ++parsed;
+  }
+  if (meta.declared_events && parsed != *meta.declared_events) {
+    std::ostringstream os;
+    os << "truncated trace: header declares " << *meta.declared_events
+       << " events, found " << parsed;
+    throw std::runtime_error(os.str());
+  }
+  return meta;
+}
+
+TraceMeta stream_binary_v1(std::istream& in, const EventVisitor& visit) {
+  check_magic(in, kBinaryMagicV1, "binary ipm-io trace");
+  TraceMeta meta;
+  meta.ranks = static_cast<std::uint32_t>(get_varint(in));
+  meta.experiment = get_name(in);
+  auto count = get_varint(in);
+  meta.declared_events = count;
+  for (std::uint64_t i = 0; i < count; ++i) visit(get_event(in));
+  return meta;
+}
+
+TraceMeta stream_binary_v2(std::istream& in, const EventVisitor& visit) {
+  TraceMeta meta = get_header_v2(in);
+  std::uint64_t parsed = 0;
+  for (;;) {
+    auto tag = get<std::uint8_t>(in);
+    if (tag == kChunkTag) {
+      auto count = get_varint(in);
+      for (std::uint64_t i = 0; i < count; ++i) visit(get_event(in));
+      parsed += count;
+      continue;
+    }
+    if (tag != kFooterTag) {
+      throw std::runtime_error("corrupt v2 trace: bad chunk tag");
+    }
+    auto [chunks, total] = get_footer(in);
+    if (parsed != total) {
+      throw std::runtime_error(
+          "truncated v2 trace: chunk events disagree with footer");
+    }
+    meta.declared_events = total;
+    // The trailer must be present and intact even on a sequential read
+    // — it is what distinguishes a complete file from one cut off
+    // exactly at a chunk boundary.
+    (void)get<std::uint64_t>(in);
+    check_magic(in, kTrailerMagicV2, "complete v2 trace trailer");
+    return meta;
+  }
+}
+
+void write_tsv_header(std::ostream& out, const std::string& experiment,
+                      std::uint32_t ranks, std::uint64_t events) {
+  out << "# ipm-io-trace v1\texperiment=" << experiment << "\tranks=" << ranks
+      << "\tevents=" << events << "\n";
+  out << "start\tduration\top\trank\tfile\toffset\tbytes\tphase\n";
+  out.precision(9);
+}
+
+void write_tsv_event(std::ostream& out, const TraceEvent& e) {
+  out << e.start << '\t' << e.duration << '\t' << posix::op_name(e.op) << '\t'
+      << e.rank << '\t' << e.file << '\t' << e.offset << '\t' << e.bytes
+      << '\t' << e.phase << '\n';
+}
+
+void write_binary_v1_header(std::ostream& out, const std::string& experiment,
+                            std::uint32_t ranks, std::uint64_t events) {
+  out.write(kBinaryMagicV1, sizeof kBinaryMagicV1);
+  put_varint(out, ranks);
+  put_varint(out, experiment.size());
+  out.write(experiment.data(), static_cast<std::streamsize>(experiment.size()));
+  put_varint(out, events);
+}
+
+void write_binary_v1_event(std::ostream& out, const TraceEvent& event) {
+  put_event(out, event);
+}
+
+TraceMeta stream_any(std::istream& in, const EventVisitor& visit) {
+  switch (sniff_format(in)) {
+    case TraceFormat::kTsv: return stream_tsv(in, visit);
+    case TraceFormat::kBinaryV1: return stream_binary_v1(in, visit);
+    case TraceFormat::kBinaryV2: return stream_binary_v2(in, visit);
+  }
+  throw std::runtime_error("unreachable trace format");
+}
+
+TraceWriterV2::TraceWriterV2(std::ostream& out, std::string experiment,
+                             std::uint32_t ranks)
+    : TraceWriterV2(out, std::move(experiment), ranks, Options{}) {}
+
+TraceWriterV2::TraceWriterV2(std::ostream& out, std::string experiment,
+                             std::uint32_t ranks, Options options)
+    : out_(&out), options_(options) {
+  if (options_.chunk_events == 0) options_.chunk_events = 1;
+  buffer_.reserve(options_.chunk_events);
+  out.write(kBinaryMagicV2, sizeof kBinaryMagicV2);
+  put_varint(out, ranks);
+  put_varint(out, experiment.size());
+  out.write(experiment.data(), static_cast<std::streamsize>(experiment.size()));
+}
+
+TraceWriterV2::~TraceWriterV2() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; callers wanting the error should
+    // call finish() explicitly.
+  }
+}
+
+void TraceWriterV2::add(const TraceEvent& event) {
+  buffer_.push_back(event);
+  ++total_events_;
+  if (buffer_.size() >= options_.chunk_events) flush_chunk();
+}
+
+void TraceWriterV2::flush_chunk() {
+  if (buffer_.empty()) return;
+  ChunkMeta meta;
+  meta.offset = static_cast<std::uint64_t>(out_->tellp());
+  put<std::uint8_t>(*out_, kChunkTag);
+  put_varint(*out_, buffer_.size());
+  for (const TraceEvent& e : buffer_) {
+    fold_into(meta, e);
+    put_event(*out_, e);
+  }
+  chunks_.push_back(meta);
+  buffer_.clear();
+}
+
+void TraceWriterV2::finish() {
+  if (finished_) return;
+  finished_ = true;
+  flush_chunk();
+  auto footer_offset = static_cast<std::uint64_t>(out_->tellp());
+  put<std::uint8_t>(*out_, kFooterTag);
+  put_varint(*out_, chunks_.size());
+  for (const ChunkMeta& c : chunks_) put_chunk_meta(*out_, c);
+  put_varint(*out_, total_events_);
+  put<std::uint64_t>(*out_, footer_offset);
+  out_->write(kTrailerMagicV2, sizeof kTrailerMagicV2);
+  if (!out_->good()) throw std::runtime_error("v2 trace write failed");
+}
+
+TraceIndex read_index_v2(std::istream& in) {
+  TraceIndex index;
+  index.meta = get_header_v2(in);
+  auto header_end = static_cast<std::uint64_t>(in.tellg());
+
+  in.seekg(0, std::ios::end);
+  auto file_size = static_cast<std::uint64_t>(in.tellg());
+  if (file_size < header_end + 16) {
+    throw std::runtime_error("truncated v2 trace (no trailer)");
+  }
+  in.seekg(static_cast<std::streamoff>(file_size - 16));
+  auto footer_offset = get<std::uint64_t>(in);
+  check_magic(in, kTrailerMagicV2, "complete v2 trace trailer");
+  if (footer_offset < header_end || footer_offset >= file_size - 16) {
+    throw std::runtime_error("corrupt v2 trace: footer offset out of bounds");
+  }
+  in.seekg(static_cast<std::streamoff>(footer_offset));
+  if (get<std::uint8_t>(in) != kFooterTag) {
+    throw std::runtime_error("corrupt v2 trace: footer tag mismatch");
+  }
+  auto [chunks, total] = get_footer(in);
+  index.chunks = std::move(chunks);
+  index.meta.declared_events = total;
+  for (const ChunkMeta& c : index.chunks) {
+    if (c.offset < header_end || c.offset >= footer_offset) {
+      throw std::runtime_error("corrupt v2 trace: chunk offset out of bounds");
+    }
+  }
+  return index;
+}
+
+void stream_chunk_v2(std::istream& in, const ChunkMeta& chunk,
+                     const EventVisitor& visit) {
+  in.clear();
+  in.seekg(static_cast<std::streamoff>(chunk.offset));
+  if (get<std::uint8_t>(in) != kChunkTag) {
+    throw std::runtime_error("corrupt v2 trace: expected chunk tag");
+  }
+  auto count = get_varint(in);
+  if (count != chunk.events) {
+    throw std::runtime_error("corrupt v2 trace: chunk count mismatch");
+  }
+  for (std::uint64_t i = 0; i < count; ++i) visit(get_event(in));
+}
+
+}  // namespace eio::ipm

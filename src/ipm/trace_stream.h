@@ -1,0 +1,148 @@
+// Streaming trace serialization: format kernels and the chunked,
+// indexed binary format v2.
+//
+// Three on-disk formats share one event schema:
+//
+//  * TSV ("# ipm-io-trace v1"): human-readable, one event per line;
+//  * binary v1 ("IPMIOB1\n"): varint-packed records behind an up-front
+//    event count — compact, but monolithic;
+//  * binary v2 ("IPMIOB2\n"): the at-scale format. Events are written
+//    in chunks, each preceded by a one-byte tag, and a footer index
+//    records every chunk's offset, event count, op mask, rank/phase
+//    ranges and time span. A fixed 16-byte trailer (footer offset +
+//    magic) lets a seekable reader jump straight to the index and scan
+//    only the chunks that can match a filter; a non-seekable reader
+//    streams the tagged chunks in order. Either way, memory stays
+//    O(chunk), never O(events).
+//
+// The functions here are the *kernels*: they parse or emit events one
+// at a time through a visitor, and every error path throws
+// std::runtime_error (truncated or corrupt input never yields a
+// partial, silently-wrong trace). Trace::read/read_binary/load are
+// thin materializing wrappers over these; TraceSource streams from
+// them without materializing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ipm/sink.h"
+#include "ipm/trace.h"
+
+namespace eio::ipm {
+
+/// Per-event visitor used by all streaming readers.
+using EventVisitor = std::function<void(const TraceEvent&)>;
+
+/// Job-level metadata parsed from any format's header.
+struct TraceMeta {
+  std::string experiment;
+  std::uint32_t ranks = 0;
+  /// Total events, when the format declares it up front (TSV header
+  /// field, v1 count, v2 footer); validated against the events
+  /// actually parsed.
+  std::optional<std::uint64_t> declared_events;
+};
+
+/// The serialization formats, as sniffed from leading magic bytes.
+enum class TraceFormat : std::uint8_t { kTsv, kBinaryV1, kBinaryV2 };
+
+/// Identify the format from the first bytes of a stream (the stream is
+/// left positioned at the start). Throws if it matches none.
+[[nodiscard]] TraceFormat sniff_format(std::istream& in);
+
+/// Streaming readers: parse the header, call `visit` once per event in
+/// stored order, and return the metadata. Throw std::runtime_error on
+/// any malformed, truncated, or count-mismatched input.
+TraceMeta stream_tsv(std::istream& in, const EventVisitor& visit);
+TraceMeta stream_binary_v1(std::istream& in, const EventVisitor& visit);
+TraceMeta stream_binary_v2(std::istream& in, const EventVisitor& visit);
+
+/// Dispatch on sniff_format().
+TraceMeta stream_any(std::istream& in, const EventVisitor& visit);
+
+/// Streaming writers for the legacy formats. Both declare the event
+/// count up front, so callers must know it before emitting (v2 has no
+/// such requirement — its count lives in the footer).
+void write_tsv_header(std::ostream& out, const std::string& experiment,
+                      std::uint32_t ranks, std::uint64_t events);
+void write_tsv_event(std::ostream& out, const TraceEvent& event);
+void write_binary_v1_header(std::ostream& out, const std::string& experiment,
+                            std::uint32_t ranks, std::uint64_t events);
+void write_binary_v1_event(std::ostream& out, const TraceEvent& event);
+
+// ---------------------------------------------------------------------------
+// Binary format v2: chunked events + footer index.
+
+/// Index entry summarizing one chunk of events.
+struct ChunkMeta {
+  std::uint64_t offset = 0;     ///< stream offset of the chunk tag byte
+  std::uint64_t events = 0;
+  std::uint32_t op_mask = 0;    ///< bit (1 << op) per op type present
+  RankId rank_lo = 0, rank_hi = 0;
+  std::int32_t phase_lo = 0, phase_hi = 0;
+  double t_lo = 0.0;            ///< earliest event start
+  double t_hi = 0.0;            ///< latest event end
+  std::uint64_t data_bytes = 0; ///< read+write payload bytes in the chunk
+};
+
+/// The footer index of a v2 trace.
+struct TraceIndex {
+  TraceMeta meta;  ///< declared_events always set (footer total)
+  std::vector<ChunkMeta> chunks;
+};
+
+/// Streaming v2 writer; usable directly as a capture sink, so the
+/// monitor can emit an indexed trace file without ever materializing
+/// the event list.
+class TraceWriterV2 final : public EventSink {
+ public:
+  struct Options {
+    std::size_t chunk_events = 4096;  ///< events buffered per chunk
+  };
+
+  TraceWriterV2(std::ostream& out, std::string experiment,
+                std::uint32_t ranks);
+  TraceWriterV2(std::ostream& out, std::string experiment,
+                std::uint32_t ranks, Options options);
+  ~TraceWriterV2() override;
+
+  TraceWriterV2(const TraceWriterV2&) = delete;
+  TraceWriterV2& operator=(const TraceWriterV2&) = delete;
+
+  void add(const TraceEvent& event);
+  void on_event(const TraceEvent& event) override { add(event); }
+
+  /// Flush the trailing chunk and write the footer index + trailer.
+  /// Idempotent; called by the destructor if the caller forgot, but
+  /// explicit calls are preferred (destructors swallow I/O errors).
+  void finish() override;
+
+  [[nodiscard]] std::uint64_t events_written() const noexcept {
+    return total_events_;
+  }
+
+ private:
+  void flush_chunk();
+
+  std::ostream* out_;
+  Options options_;
+  std::vector<TraceEvent> buffer_;
+  std::vector<ChunkMeta> chunks_;
+  std::uint64_t total_events_ = 0;
+  bool finished_ = false;
+};
+
+/// Read the footer index of a v2 trace from a seekable stream.
+/// Validates the trailer magic and footer bounds.
+[[nodiscard]] TraceIndex read_index_v2(std::istream& in);
+
+/// Visit the events of one indexed chunk (seeks to chunk.offset).
+void stream_chunk_v2(std::istream& in, const ChunkMeta& chunk,
+                     const EventVisitor& visit);
+
+}  // namespace eio::ipm

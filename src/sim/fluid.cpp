@@ -49,6 +49,9 @@ FlowId FluidNetwork::start_flow(FlowSpec spec) {
   // De-duplicate the OST set; shares are computed per unique OST.
   std::sort(f.osts.begin(), f.osts.end());
   f.osts.erase(std::unique(f.osts.begin(), f.osts.end()), f.osts.end());
+  // One allocation up front; grant() (possibly re-entered after a wait)
+  // only fills the already-sized buffer.
+  f.group_refs.reserve(f.osts.size());
   f.total_bytes = spec.bytes;
   f.remaining = static_cast<double>(spec.bytes);
   f.cap = spec.cap;
@@ -240,10 +243,11 @@ void FluidNetwork::complete_flow(FlowId id) {
   bytes_completed_ += f.total_bytes;
 
   NodeId node = f.node;
-  std::vector<OstId> osts = f.osts;
   auto on_complete = std::move(f.on_complete);
 
   release_resources(f);
+  // release_resources walks f.osts, so the move must come after it.
+  std::vector<OstId> osts = std::move(f.osts);
   flows_.erase(it);
 
   Node& n = nodes_[node];

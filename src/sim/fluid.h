@@ -117,7 +117,9 @@ class FluidNetwork {
   [[nodiscard]] Rate flow_rate(FlowId id) const;
 
   /// True while the flow exists (granted or queued).
-  [[nodiscard]] bool flow_active(FlowId id) const { return flows_.count(id) > 0; }
+  [[nodiscard]] bool flow_active(FlowId id) const {
+    return flows_.find(id) != flows_.end();
+  }
 
   /// Count of granted flows currently registered on an OST.
   [[nodiscard]] std::size_t ost_flow_count(OstId ost) const;

@@ -40,6 +40,10 @@ RunInstance::RunInstance(JobSpec spec, std::uint64_t run_index)
     io_.setstripe(path, options);
   }
   monitor_.attach(io_);
+  if (spec_.sink_factory) {
+    sink_ = spec_.sink_factory(run_index);
+    if (sink_) monitor_.add_sink(sink_.get());
+  }
   monitor_.trace().set_experiment(spec_.name);
   monitor_.trace().set_ranks(ranks_);
   runtime_.set_phase_hook([this](RankId rank, std::int32_t phase) {
@@ -66,11 +70,13 @@ RunResult RunInstance::execute() {
   fs_.stop_background();
   engine.run();
   result.job_time = runtime_.job_finish_time();
+  monitor_.finish();  // flush the sink chain before harvesting
   result.trace = std::move(monitor_.trace());
   result.profile = monitor_.profile();
   result.fs_stats = fs_.stats();
   result.engine_events = engine.events_run();
   result.monitor_overhead = monitor_.accounted_overhead();
+  result.sink = sink_;
   return result;
 }
 

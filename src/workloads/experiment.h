@@ -16,12 +16,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/units.h"
 #include "ipm/monitor.h"
+#include "ipm/sink.h"
 #include "lustre/filesystem.h"
 #include "lustre/machine.h"
 #include "mpi/program.h"
@@ -39,6 +42,13 @@ struct JobSpec {
   std::map<std::string, lustre::FileOptions> stripe_options;  ///< per path
   ipm::Mode capture = ipm::Mode::kBoth;
   mpi::CollectiveCosts collective_costs;
+  /// Optional per-run streaming sink: called once per run with the run
+  /// index; the returned sink receives every completed call as it
+  /// retires (before any trace/profile harvesting) and its finish() is
+  /// invoked when the run completes. Lets ensembles compute per-run
+  /// statistics without retaining whole traces (capture = kProfile).
+  std::function<std::shared_ptr<ipm::EventSink>(std::size_t run_index)>
+      sink_factory;
 };
 
 /// Everything a run produces.
@@ -50,6 +60,9 @@ struct RunResult {
   lustre::FilesystemStats fs_stats;
   std::uint64_t engine_events = 0;
   Seconds monitor_overhead = 0.0;
+  /// The sink produced by JobSpec::sink_factory for this run (if any),
+  /// already finish()ed — ready for result extraction.
+  std::shared_ptr<ipm::EventSink> sink;
   /// Reported aggregate data rate the way benchmarks report it:
   /// payload bytes moved / job wall time.
   [[nodiscard]] double reported_rate() const {
@@ -99,6 +112,7 @@ class RunInstance {
   posix::PosixIo io_;
   ipm::Monitor monitor_;
   mpi::Runtime runtime_;
+  std::shared_ptr<ipm::EventSink> sink_;
   bool executed_ = false;
 };
 

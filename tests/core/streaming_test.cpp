@@ -1,0 +1,265 @@
+// Equivalence tests: the streaming accumulators must reproduce the
+// materialized batch path — histogram bins, moments, quantiles, KS
+// inputs, rate series, reports — on seed traces from all three
+// workloads (IOR, MADbench, GCRM).
+#include "core/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "core/distribution.h"
+#include "core/histogram.h"
+#include "core/ks.h"
+#include "core/rate_series.h"
+#include "core/samples.h"
+#include "core/trace_diagram.h"
+#include "ipm/report.h"
+#include "ipm/trace_source.h"
+#include "workloads/gcrm.h"
+#include "workloads/ior.h"
+#include "workloads/madbench.h"
+
+namespace eio::analysis {
+namespace {
+
+using ipm::MemoryTraceSource;
+
+ipm::Trace ior_trace() {
+  workloads::IorConfig cfg;
+  cfg.tasks = 32;
+  cfg.block_size = 4 * MiB;
+  cfg.segments = 2;
+  cfg.read_back = true;
+  return workloads::run_job(
+             workloads::make_ior_job(lustre::MachineConfig::franklin(), cfg))
+      .trace;
+}
+
+ipm::Trace madbench_trace() {
+  workloads::MadbenchConfig cfg;
+  cfg.tasks = 16;
+  cfg.matrix_bytes = 4 * MiB + 300 * KiB;
+  cfg.matrices = 2;
+  return workloads::run_job(
+             workloads::make_madbench_job(lustre::MachineConfig::franklin(), cfg))
+      .trace;
+}
+
+ipm::Trace gcrm_trace() {
+  workloads::GcrmConfig cfg = workloads::GcrmConfig::baseline();
+  cfg.tasks = 64;
+  cfg.io_tasks = 8;
+  cfg.multi_record_vars = 1;
+  cfg.records_per_multi = 2;
+  return workloads::run_job(
+             workloads::make_gcrm_job(lustre::MachineConfig::franklin(), cfg))
+      .trace;
+}
+
+const std::vector<ipm::Trace>& seed_traces() {
+  static const std::vector<ipm::Trace> traces = [] {
+    std::vector<ipm::Trace> t;
+    t.push_back(ior_trace());
+    t.push_back(madbench_trace());
+    t.push_back(gcrm_trace());
+    return t;
+  }();
+  return traces;
+}
+
+TEST(StreamingEquivalenceTest, SeedTracesAreNonTrivial) {
+  for (const ipm::Trace& t : seed_traces()) {
+    EXPECT_GT(t.size(), 100u) << t.experiment();
+    // Small enough that the default reservoir keeps every duration, so
+    // order statistics below must be bit-identical, not approximate.
+    EXPECT_LT(t.size(), stats::ReservoirSampler::kDefaultCapacity)
+        << t.experiment();
+  }
+}
+
+TEST(StreamingEquivalenceTest, MomentsMatchBatchPath) {
+  for (const ipm::Trace& t : seed_traces()) {
+    auto d = durations(t, {});
+    stats::Moments batch = stats::compute_moments(d);
+    stats::StreamingMoments acc;
+    for (double x : d) acc.add(x);
+    stats::Moments streamed = acc.moments();
+    EXPECT_EQ(streamed.count, batch.count) << t.experiment();
+    EXPECT_DOUBLE_EQ(streamed.mean, batch.mean) << t.experiment();
+    EXPECT_DOUBLE_EQ(streamed.variance, batch.variance) << t.experiment();
+    EXPECT_DOUBLE_EQ(streamed.skewness, batch.skewness) << t.experiment();
+    EXPECT_DOUBLE_EQ(streamed.kurtosis_excess, batch.kurtosis_excess)
+        << t.experiment();
+  }
+}
+
+TEST(StreamingEquivalenceTest, PairwiseMergeMatchesSequentialFold) {
+  for (const ipm::Trace& t : seed_traces()) {
+    auto d = durations(t, {});
+    stats::StreamingMoments whole, left, right;
+    for (double x : d) whole.add(x);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      (i < d.size() / 2 ? left : right).add(d[i]);
+    }
+    left.merge(right);
+    stats::Moments a = whole.moments();
+    stats::Moments b = left.moments();
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_NEAR(a.mean, b.mean, 1e-12 * std::abs(a.mean));
+    EXPECT_NEAR(a.variance, b.variance, 1e-9 * std::abs(a.variance));
+    EXPECT_NEAR(a.skewness, b.skewness, 1e-6 * std::abs(a.skewness) + 1e-9);
+  }
+}
+
+TEST(StreamingEquivalenceTest, HistogramBinsMatchFromSamples) {
+  for (const ipm::Trace& t : seed_traces()) {
+    EventFilter write_filter{.op = posix::OpType::kWrite};
+    auto d = durations(t, write_filter);
+    ASSERT_FALSE(d.empty()) << t.experiment();
+    for (stats::BinScale scale :
+         {stats::BinScale::kLinear, stats::BinScale::kLog10}) {
+      stats::Histogram batch = stats::Histogram::from_samples(d, scale, 40);
+
+      // The streaming path: extrema pass, padded_range, fill pass —
+      // fed from a TraceSource, not the vector.
+      MemoryTraceSource source(t);
+      double lo = 0.0, hi = 0.0;
+      std::size_t n = 0;
+      for_each_matching(source, write_filter, [&](const ipm::TraceEvent& e) {
+        lo = n == 0 ? e.duration : std::min(lo, e.duration);
+        hi = n == 0 ? e.duration : std::max(hi, e.duration);
+        ++n;
+      });
+      stats::Histogram::Range range = stats::Histogram::padded_range(lo, hi, scale);
+      stats::Histogram streamed(scale, range.lo, range.hi, 40);
+      for_each_matching(source, write_filter, [&](const ipm::TraceEvent& e) {
+        streamed.add(e.duration);
+      });
+
+      EXPECT_DOUBLE_EQ(streamed.lo(), batch.lo()) << t.experiment();
+      EXPECT_DOUBLE_EQ(streamed.hi(), batch.hi()) << t.experiment();
+      ASSERT_EQ(streamed.bin_count(), batch.bin_count());
+      EXPECT_EQ(streamed.counts(), batch.counts()) << t.experiment();
+      EXPECT_EQ(streamed.underflow(), batch.underflow());
+      EXPECT_EQ(streamed.overflow(), batch.overflow());
+    }
+  }
+}
+
+TEST(StreamingEquivalenceTest, ReservoirKeepsKsInputsExact) {
+  for (const ipm::Trace& t : seed_traces()) {
+    EventFilter f{.op = posix::OpType::kWrite};
+    auto batch = durations(t, f);
+
+    SummarySink sink(f);
+    MemoryTraceSource source(t);
+    source.for_each([&sink](const ipm::TraceEvent& e) { sink.on_event(e); });
+    const stats::ReservoirSampler& r = sink.summary().reservoir();
+
+    // Below capacity the reservoir holds the stream verbatim, so the
+    // KS input vectors are *identical*, not statistically close.
+    ASSERT_TRUE(r.exact()) << t.experiment();
+    EXPECT_EQ(r.samples(), batch) << t.experiment();
+
+    stats::KsResult self = stats::ks_two_sample(r.samples(), batch);
+    EXPECT_DOUBLE_EQ(self.statistic, 0.0);
+  }
+}
+
+TEST(StreamingEquivalenceTest, QuantilesMatchEmpiricalDistribution) {
+  for (const ipm::Trace& t : seed_traces()) {
+    auto d = durations(t, {});
+    stats::EmpiricalDistribution dist(d);
+    stats::StreamingSummary summary;
+    for (double x : d) summary.add(x);
+    for (double q : {0.05, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+      EXPECT_DOUBLE_EQ(summary.quantile(q), dist.quantile(q))
+          << t.experiment() << " q=" << q;
+    }
+    EXPECT_DOUBLE_EQ(summary.min(), dist.min());
+    EXPECT_DOUBLE_EQ(summary.max(), dist.max());
+  }
+}
+
+TEST(StreamingEquivalenceTest, P2TracksTrueQuantileClosely) {
+  // P² is the O(1) estimator for beyond-reservoir scale; on the seed
+  // traces it must land near the exact quantile (not exactly on it).
+  for (const ipm::Trace& t : seed_traces()) {
+    auto d = durations(t, {});
+    stats::EmpiricalDistribution dist(d);
+    stats::P2Quantile p50(0.5);
+    for (double x : d) p50.add(x);
+    double spread = dist.quantile(0.9) - dist.quantile(0.1);
+    EXPECT_NEAR(p50.value(), dist.median(), 0.25 * spread + 1e-12)
+        << t.experiment();
+  }
+}
+
+TEST(StreamingEquivalenceTest, PhaseSummariesMatchDurationsByPhase) {
+  for (const ipm::Trace& t : seed_traces()) {
+    auto batch = durations_by_phase(t, {});
+    PhaseSummarySink sink{{}};
+    MemoryTraceSource source(t);
+    source.for_each([&sink](const ipm::TraceEvent& e) { sink.on_event(e); });
+    ASSERT_EQ(sink.by_phase().size(), batch.size()) << t.experiment();
+    for (const auto& [phase, ds] : batch) {
+      auto it = sink.by_phase().find(phase);
+      ASSERT_NE(it, sink.by_phase().end()) << t.experiment();
+      stats::EmpiricalDistribution dist(ds);
+      EXPECT_EQ(it->second.count(), dist.size());
+      EXPECT_DOUBLE_EQ(it->second.median(), dist.median()) << t.experiment();
+      EXPECT_DOUBLE_EQ(it->second.quantile(0.95), dist.quantile(0.95));
+    }
+  }
+}
+
+TEST(StreamingEquivalenceTest, RateSeriesMatchesBatchAggregate) {
+  for (const ipm::Trace& t : seed_traces()) {
+    EventFilter f{.op = posix::OpType::kWrite};
+    TimeSeries batch = aggregate_rate(t, f, 64);
+    TimeSeries streamed = aggregate_rate(MemoryTraceSource(t), f, 64);
+    EXPECT_DOUBLE_EQ(streamed.t0, batch.t0);
+    EXPECT_DOUBLE_EQ(streamed.dt, batch.dt);
+    ASSERT_EQ(streamed.values.size(), batch.values.size());
+    for (std::size_t i = 0; i < batch.values.size(); ++i) {
+      EXPECT_DOUBLE_EQ(streamed.values[i], batch.values[i])
+          << t.experiment() << " bin " << i;
+    }
+  }
+}
+
+TEST(StreamingEquivalenceTest, ReportsMatchBatchSummarize) {
+  for (const ipm::Trace& t : seed_traces()) {
+    EXPECT_EQ(ipm::report_text(MemoryTraceSource(t)), ipm::report_text(t))
+        << t.experiment();
+  }
+}
+
+TEST(StreamingEquivalenceTest, TraceDiagramMatchesBatchRaster) {
+  for (const ipm::Trace& t : seed_traces()) {
+    TraceDiagram::Options opt{.max_rows = 16, .columns = 48};
+    TraceDiagram batch(t, opt);
+    TraceDiagram streamed(MemoryTraceSource(t), opt);
+    EXPECT_EQ(streamed.render_text(), batch.render_text()) << t.experiment();
+  }
+}
+
+TEST(StreamingEquivalenceTest, V2FileRoundTripPreservesAnalysisInputs) {
+  // The full pipeline: workload trace -> v2 file -> FileTraceSource ->
+  // streaming filter must yield the very vector the in-memory batch
+  // path computes.
+  for (const ipm::Trace& t : seed_traces()) {
+    std::string path = ::testing::TempDir() + "/eio_equiv_" + t.experiment() +
+                       ".bin";
+    t.save_binary_v2(path);
+    ipm::FileTraceSource source(path);
+    EventFilter f{.op = posix::OpType::kWrite};
+    EXPECT_EQ(durations(source, f), durations(t, f)) << t.experiment();
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace eio::analysis
