@@ -1,20 +1,30 @@
-// Streaming-vs-materialized analysis throughput and memory.
+// Analysis-path throughput and memory: materialized vs streaming vs
+// batched vs chunk-parallel.
 //
 // Builds synthetic traces at two sizes (N and 4N events), saves them
 // as indexed binary v2, and runs the same analysis bundle — per-op
-// summary (count/median/p95/moments), histogram bins, rate series —
-// through both paths:
+// write summary (count/median/p95/moments), histogram bins, rate
+// series — through each path:
 //
-//  * streaming: FileTraceSource passes feeding the incremental
-//    accumulators (memory O(reservoir), independent of N);
 //  * materialized: Trace::load + the batch helpers over the full
-//    event vector (memory O(N)).
+//    event vector (memory O(N));
+//  * streaming: the PR-2 shape — per-event std::function visitors over
+//    FileTraceSource, plus the extra full pass rates used to need for
+//    the span (memory O(reservoir));
+//  * batched: the serial span-per-chunk API (for_each_batch_hinted),
+//    extrema reused from the summary pass, span from the index;
+//  * parallel jN: the same bundle through ParallelTraceScanner with N
+//    worker threads.
 //
-// Writes BENCH_analysis.json with events/sec and peak RSS (VmHWM) for
-// each path at each size. VmHWM is a process-lifetime high-water mark,
-// so the streaming path runs FIRST; the materialized numbers then show
-// the watermark being dragged up by the event vectors.
+// Every row runs in a forked child that reports its own VmHWM through
+// a pipe: fork resets the child's high-water mark to the current RSS,
+// so rows are independent instead of inheriting the largest earlier
+// footprint. Parallel speedups are only observable when the host
+// grants more than one CPU; hardware_concurrency is recorded in the
+// JSON so the numbers are interpretable.
 #include <sys/utsname.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cmath>
@@ -22,12 +32,15 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/histogram.h"
+#include "core/parallel_analysis.h"
 #include "core/rate_series.h"
 #include "core/samples.h"
 #include "core/streaming.h"
+#include "ipm/parallel_scan.h"
 #include "ipm/trace.h"
 #include "ipm/trace_source.h"
 #include "ipm/trace_stream.h"
@@ -91,65 +104,68 @@ struct PathResult {
   double seconds = 0.0;
   double events_per_sec = 0.0;
   long peak_rss_kib = 0;
-  // Cross-checked between the two paths: the mean is exact at any
-  // stream length; the median is reservoir-sampled beyond 65536 write
-  // events, so it is only statistically close at bench sizes.
+  // Cross-checked against the materialized reference: the mean is
+  // exact at any stream length; the median is reservoir-sampled beyond
+  // 65536 write events, so it is only statistically close at bench
+  // sizes.
   double mean = 0.0;
   double median = 0.0;
 };
 
-PathResult run_streaming(const std::string& path, std::size_t events) {
-  double t0 = now_seconds();
-  ipm::FileTraceSource source(path);
-  analysis::EventFilter writes{.op = posix::OpType::kWrite};
-
-  analysis::SummarySink summary(writes);
-  source.for_each_hinted(
-      analysis::hint_for(writes),
-      [&summary](const ipm::TraceEvent& e) { summary.on_event(e); });
-
-  double lo = 0.0, hi = 0.0;
-  std::size_t n = 0;
-  analysis::for_each_matching(source, writes, [&](const ipm::TraceEvent& e) {
-    lo = n == 0 ? e.duration : std::min(lo, e.duration);
-    hi = n == 0 ? e.duration : std::max(hi, e.duration);
-    ++n;
-  });
-  auto range = stats::Histogram::padded_range(lo, hi, stats::BinScale::kLinear);
-  stats::Histogram hist(stats::BinScale::kLinear, range.lo, range.hi, 40);
-  analysis::for_each_matching(source, writes, [&hist](const ipm::TraceEvent& e) {
-    hist.add(e.duration);
-  });
-
-  analysis::TimeSeries rates = analysis::aggregate_rate(source, writes, 100);
-
-  PathResult r;
-  r.seconds = now_seconds() - t0;
-  r.events_per_sec = static_cast<double>(events) / r.seconds;
-  r.peak_rss_kib = peak_rss_kib();
-  r.mean = summary.summary().moments().mean;
-  r.median = summary.summary().median();
-  // Keep the results observable so the passes cannot be elided.
-  if (hist.total() == 0 || rates.values.empty()) std::abort();
+/// Run `fn` in a forked child and collect its PathResult through a
+/// pipe. The child's VmHWM starts at the fork point, so each row's
+/// peak RSS reflects only its own analysis footprint.
+template <typename Fn>
+PathResult measure(const Fn& fn) {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    std::perror("pipe");
+    std::exit(1);
+  }
+  std::fflush(stdout);
+  std::fflush(stderr);
+  pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    PathResult r = fn();
+    r.peak_rss_kib = peak_rss_kib();
+    ssize_t wrote = write(fds[1], &r, sizeof r);
+    _exit(wrote == static_cast<ssize_t>(sizeof r) ? 0 : 1);
+  }
+  close(fds[1]);
+  PathResult r{};
+  ssize_t got = read(fds[0], &r, sizeof r);
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (got != static_cast<ssize_t>(sizeof r) || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "measurement child failed\n");
+    std::exit(1);
+  }
   return r;
 }
+
+const analysis::EventFilter kWrites{.op = posix::OpType::kWrite};
 
 PathResult run_materialized(const std::string& path, std::size_t events) {
   double t0 = now_seconds();
   ipm::Trace trace = ipm::Trace::load(path);
-  analysis::EventFilter writes{.op = posix::OpType::kWrite};
 
-  auto d = analysis::durations(trace, writes);
+  auto d = analysis::durations(trace, kWrites);
   stats::EmpiricalDistribution dist(d);
   stats::Moments moments = stats::compute_moments(d);
   stats::Histogram hist =
       stats::Histogram::from_samples(d, stats::BinScale::kLinear, 40);
-  analysis::TimeSeries rates = analysis::aggregate_rate(trace, writes, 100);
+  analysis::TimeSeries rates = analysis::aggregate_rate(trace, kWrites, 100);
 
   PathResult r;
   r.seconds = now_seconds() - t0;
   r.events_per_sec = static_cast<double>(events) / r.seconds;
-  r.peak_rss_kib = peak_rss_kib();
   r.mean = moments.mean;
   r.median = dist.median();
   if (moments.count == 0 || hist.total() == 0 || rates.values.empty()) {
@@ -158,67 +174,208 @@ PathResult run_materialized(const std::string& path, std::size_t events) {
   return r;
 }
 
+/// The pre-batch streaming shape: per-event std::function dispatch on
+/// every pass, plus the extra unfiltered pass rates needed for the
+/// span. Kept as the baseline the batch API is measured against.
+PathResult run_streaming(const std::string& path, std::size_t events) {
+  double t0 = now_seconds();
+  ipm::FileTraceSource source(path);
+
+  analysis::SummarySink summary(kWrites);
+  source.for_each_hinted(
+      analysis::hint_for(kWrites),
+      [&summary](const ipm::TraceEvent& e) { summary.on_event(e); });
+
+  double lo = 0.0, hi = 0.0;
+  std::size_t n = 0;
+  analysis::for_each_matching(source, kWrites, [&](const ipm::TraceEvent& e) {
+    lo = n == 0 ? e.duration : std::min(lo, e.duration);
+    hi = n == 0 ? e.duration : std::max(hi, e.duration);
+    ++n;
+  });
+  auto range = stats::Histogram::padded_range(lo, hi, stats::BinScale::kLinear);
+  stats::Histogram hist(stats::BinScale::kLinear, range.lo, range.hi, 40);
+  analysis::for_each_matching(source, kWrites, [&hist](const ipm::TraceEvent& e) {
+    hist.add(e.duration);
+  });
+
+  double span = 0.0;
+  source.for_each(
+      [&span](const ipm::TraceEvent& e) { span = std::max(span, e.end()); });
+  analysis::RateSeriesBuilder rates(span, 100);
+  analysis::for_each_matching(
+      source, kWrites, [&rates](const ipm::TraceEvent& e) { rates.add(e); });
+
+  PathResult r;
+  r.seconds = now_seconds() - t0;
+  r.events_per_sec = static_cast<double>(events) / r.seconds;
+  r.mean = summary.summary().moments().mean;
+  r.median = summary.summary().median();
+  // Keep the results observable so the passes cannot be elided.
+  if (hist.total() == 0 || rates.series().values.empty()) std::abort();
+  return r;
+}
+
+/// Serial batch API: one span per decoded chunk, histogram extrema
+/// reused from the summary pass, rate span from the index — three
+/// event passes total, none of them per-event-dispatched.
+PathResult run_batched(const std::string& path, std::size_t events) {
+  double t0 = now_seconds();
+  ipm::FileTraceSource source(path);
+  const ipm::ChunkHint hint = analysis::hint_for(kWrites);
+
+  analysis::SummarySink summary(kWrites);
+  source.for_each_batch_hinted(
+      hint, [&summary](std::span<const ipm::TraceEvent> span) {
+        summary.on_batch(span);
+      });
+  const stats::StreamingSummary& s = summary.summary();
+  if (s.empty()) std::abort();
+
+  auto range = stats::Histogram::padded_range(s.min(), s.max(),
+                                              stats::BinScale::kLinear);
+  stats::Histogram hist(stats::BinScale::kLinear, range.lo, range.hi, 40);
+  source.for_each_batch_hinted(
+      hint, [&hist](std::span<const ipm::TraceEvent> span) {
+        for (const ipm::TraceEvent& e : span) {
+          if (kWrites.matches(e)) hist.add(e.duration);
+        }
+      });
+
+  analysis::RateSeriesBuilder rates(source.time_span(), 100);
+  source.for_each_batch_hinted(
+      hint, [&rates](std::span<const ipm::TraceEvent> span) {
+        for (const ipm::TraceEvent& e : span) {
+          if (kWrites.matches(e)) rates.add(e);
+        }
+      });
+
+  PathResult r;
+  r.seconds = now_seconds() - t0;
+  r.events_per_sec = static_cast<double>(events) / r.seconds;
+  r.mean = s.moments().mean;
+  r.median = s.median();
+  if (hist.total() == 0 || rates.series().values.empty()) std::abort();
+  return r;
+}
+
+/// The same three-pass bundle through the chunk-parallel scanner.
+PathResult run_parallel(const std::string& path, std::size_t events,
+                        std::size_t jobs) {
+  double t0 = now_seconds();
+  ipm::ParallelTraceScanner scanner(path, {.jobs = jobs});
+  const ipm::ChunkHint hint = analysis::hint_for(kWrites);
+
+  stats::StreamingSummary s = analysis::scan_summary(scanner, kWrites);
+  if (s.empty()) std::abort();
+
+  auto range = stats::Histogram::padded_range(s.min(), s.max(),
+                                              stats::BinScale::kLinear);
+  stats::Histogram hist = scanner.scan(
+      [&](std::size_t) {
+        return stats::Histogram(stats::BinScale::kLinear, range.lo, range.hi,
+                                40);
+      },
+      [&](stats::Histogram& h, std::span<const ipm::TraceEvent> span) {
+        for (const ipm::TraceEvent& e : span) {
+          if (kWrites.matches(e)) h.add(e.duration);
+        }
+      },
+      [](stats::Histogram& a, stats::Histogram&& b) { a.merge(b); }, &hint);
+
+  analysis::TimeSeries rates = analysis::scan_rate(scanner, kWrites, 100);
+
+  PathResult r;
+  r.seconds = now_seconds() - t0;
+  r.events_per_sec = static_cast<double>(events) / r.seconds;
+  r.mean = s.moments().mean;
+  r.median = s.median();
+  if (hist.total() == 0 || rates.values.empty()) std::abort();
+  return r;
+}
+
+void check_against_reference(const char* path_name, const PathResult& r,
+                             const PathResult& ref) {
+  if (std::abs(r.mean - ref.mean) > 1e-12 * ref.mean) {
+    std::fprintf(stderr, "%s mean mismatch: %.17g vs %.17g\n", path_name,
+                 r.mean, ref.mean);
+    std::exit(1);
+  }
+  if (std::abs(r.median - ref.median) > 0.02 * ref.median) {
+    std::fprintf(stderr, "%s median diverged: %.17g vs %.17g\n", path_name,
+                 r.median, ref.median);
+    std::exit(1);
+  }
+}
+
 }  // namespace
 
 int main() {
   const std::size_t base = 200'000;
   const std::vector<std::size_t> sizes{base, 4 * base};
+  const std::vector<std::size_t> job_counts{1, 2, 4, 8};
 
-  std::printf("micro_analysis: streaming vs materialized trace analysis\n");
+  std::printf("micro_analysis: analysis-path throughput and memory\n");
   std::printf("%10s %14s %16s %14s\n", "events", "path", "events/sec",
               "peak RSS KiB");
 
   struct Row {
     std::size_t events;
-    PathResult streaming, materialized;
+    std::string path_name;
+    PathResult result;
   };
   std::vector<Row> rows;
+  auto emit = [&rows](std::size_t events, std::string name, PathResult r) {
+    std::printf("%10zu %14s %16.0f %14ld\n", events, name.c_str(),
+                r.events_per_sec, r.peak_rss_kib);
+    rows.push_back({events, std::move(name), r});
+  };
+
   for (std::size_t events : sizes) {
     std::string path = "micro_analysis_tmp.v2";
     write_synthetic_v2(path, events);
 
-    Row row{events, {}, {}};
-    // Streaming first: VmHWM only ever grows, so this order proves the
-    // streaming pass did not need the materialized footprint.
-    row.streaming = run_streaming(path, events);
-    row.materialized = run_materialized(path, events);
-    std::remove(path.c_str());
+    PathResult materialized =
+        measure([&] { return run_materialized(path, events); });
+    emit(events, "materialized", materialized);
 
-    if (std::abs(row.streaming.mean - row.materialized.mean) >
-        1e-12 * row.materialized.mean) {
-      std::fprintf(stderr, "mean mismatch: %.17g vs %.17g\n",
-                   row.streaming.mean, row.materialized.mean);
-      return 1;
+    PathResult streaming =
+        measure([&] { return run_streaming(path, events); });
+    check_against_reference("streaming", streaming, materialized);
+    emit(events, "streaming", streaming);
+
+    PathResult batched = measure([&] { return run_batched(path, events); });
+    check_against_reference("batched", batched, materialized);
+    emit(events, "batched", batched);
+
+    for (std::size_t jobs : job_counts) {
+      PathResult parallel =
+          measure([&] { return run_parallel(path, events, jobs); });
+      std::string name = "parallel_j" + std::to_string(jobs);
+      check_against_reference(name.c_str(), parallel, materialized);
+      emit(events, std::move(name), parallel);
     }
-    if (std::abs(row.streaming.median - row.materialized.median) >
-        0.02 * row.materialized.median) {
-      std::fprintf(stderr, "median diverged: %.17g vs %.17g\n",
-                   row.streaming.median, row.materialized.median);
-      return 1;
-    }
-    std::printf("%10zu %14s %16.0f %14ld\n", events, "streaming",
-                row.streaming.events_per_sec, row.streaming.peak_rss_kib);
-    std::printf("%10zu %14s %16.0f %14ld\n", events, "materialized",
-                row.materialized.events_per_sec, row.materialized.peak_rss_kib);
-    rows.push_back(row);
+    std::remove(path.c_str());
   }
 
   utsname uts{};
   uname(&uts);
   std::ofstream json("BENCH_analysis.json");
-  json << "{\n  \"benchmark\": \"micro_analysis\",\n  \"rows\": [\n";
+  json << "{\n  \"benchmark\": \"micro_analysis\",\n"
+       << "  \"note\": \"each row measured in a forked child, so "
+          "peak_rss_kib is per-path VmHWM, not a shared high-water mark; "
+          "parallel rows only show speedup when hardware_concurrency > "
+          "1\",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     json << "    {\n"
          << "      \"events\": " << r.events << ",\n"
-         << "      \"streaming_events_per_sec\": "
-         << r.streaming.events_per_sec << ",\n"
-         << "      \"streaming_peak_rss_kib\": " << r.streaming.peak_rss_kib
-         << ",\n"
-         << "      \"materialized_events_per_sec\": "
-         << r.materialized.events_per_sec << ",\n"
-         << "      \"materialized_peak_rss_kib\": "
-         << r.materialized.peak_rss_kib << "\n"
+         << "      \"path\": \"" << r.path_name << "\",\n"
+         << "      \"events_per_sec\": " << r.result.events_per_sec << ",\n"
+         << "      \"seconds\": " << r.result.seconds << ",\n"
+         << "      \"peak_rss_kib\": " << r.result.peak_rss_kib << "\n"
          << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   json << "  ],\n"

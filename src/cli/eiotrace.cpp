@@ -14,6 +14,7 @@
 #include "core/histogram.h"
 #include "core/ks.h"
 #include "core/modes.h"
+#include "core/parallel_analysis.h"
 #include "core/patterns.h"
 #include "core/rate_series.h"
 #include "core/samples.h"
@@ -98,7 +99,32 @@ analysis::EventFilter filter_from(const Args& args, std::ostream& err) {
   if (args.has("max-bytes")) {
     f.max_bytes = static_cast<Bytes>(args.get_double("max-bytes", 0));
   }
+  if (args.has("t-lo")) f.t_lo = args.get_double("t-lo", 0.0);
+  if (args.has("t-hi")) f.t_hi = args.get_double("t-hi", 0.0);
   return f;
+}
+
+/// The chunk-parallel engine for this invocation, when the source is
+/// an indexed v2 file: borrows the already-read footer index, so
+/// construction is free. TSV/v1 sources return nullopt and commands
+/// fall back to serial batched streaming.
+std::optional<ipm::ParallelTraceScanner> scanner_for(
+    const ipm::TraceSource& source, const Args& args) {
+  const auto* file = dynamic_cast<const ipm::FileTraceSource*>(&source);
+  if (!file || !file->index()) return std::nullopt;
+  return ipm::ParallelTraceScanner(file->path(), *file->index(),
+                                   {.jobs = args.get_size("jobs", 0)});
+}
+
+/// Serial fallback: fold a sink over the source's batched hinted pass
+/// (one virtual call per chunk, not per event).
+void fold_batches(const ipm::TraceSource& source,
+                  const analysis::EventFilter& filter, ipm::EventSink& sink) {
+  source.for_each_batch_hinted(
+      analysis::hint_for(filter),
+      [&sink](std::span<const ipm::TraceEvent> events) {
+        sink.on_batch(events);
+      });
 }
 
 // Every subcommand consumes a TraceSource: the trace file is streamed
@@ -115,14 +141,19 @@ int cmd_report(const ipm::TraceSource& source, const Args&, std::ostream& out,
 int cmd_summary(const ipm::TraceSource& source, const Args& args,
                 std::ostream& out, std::ostream& err) {
   analysis::EventFilter base = filter_from(args, err);
+  auto scanner = scanner_for(source, args);
   out << "  op       count   median(s)     mean(s)      p95(s)      max(s)\n";
   for (posix::OpType op : {posix::OpType::kWrite, posix::OpType::kRead}) {
     analysis::EventFilter f = base;
     f.op = op;
-    analysis::SummarySink sink(f);
-    source.for_each_hinted(analysis::hint_for(f),
-                           [&sink](const ipm::TraceEvent& e) { sink.on_event(e); });
-    const stats::StreamingSummary& s = sink.summary();
+    stats::StreamingSummary s;
+    if (scanner) {
+      s = analysis::scan_summary(*scanner, f);
+    } else {
+      analysis::SummarySink sink(f);
+      fold_batches(source, f, sink);
+      s = sink.summary();
+    }
     if (s.empty()) continue;
     char line[160];
     std::snprintf(line, sizeof line,
@@ -137,42 +168,57 @@ int cmd_summary(const ipm::TraceSource& source, const Args& args,
 int cmd_histogram(const ipm::TraceSource& source, const Args& args,
                   std::ostream& out, std::ostream& err) {
   analysis::EventFilter filter = filter_from(args, err);
-  // Two streaming passes: extrema, then binning — the same bins
-  // Histogram::from_samples would produce from the materialized vector.
-  double lo = 0.0, hi = 0.0;
-  std::uint64_t matched = 0;
-  analysis::for_each_matching(source, filter, [&](const ipm::TraceEvent& e) {
-    if (matched == 0) {
-      lo = hi = e.duration;
-    } else {
-      lo = std::min(lo, e.duration);
-      hi = std::max(hi, e.duration);
-    }
-    ++matched;
-  });
-  if (matched == 0) {
-    err << "eiotrace: no events match the filter\n";
-    return 2;
-  }
   bool log = args.has("log");
   auto bins = args.get_size("bins", 40);
   stats::BinScale scale = log ? stats::BinScale::kLog10 : stats::BinScale::kLinear;
-  stats::Histogram::Range range = stats::Histogram::padded_range(lo, hi, scale);
-  stats::Histogram h(scale, range.lo, range.hi, bins);
-  analysis::for_each_matching(
-      source, filter, [&h](const ipm::TraceEvent& e) { h.add(e.duration); });
+  std::optional<stats::Histogram> h;
+  if (auto scanner = scanner_for(source, args)) {
+    h = analysis::scan_histogram(*scanner, filter, scale, bins);
+  } else {
+    // Two streaming passes: extrema, then binning — the same bins
+    // Histogram::from_samples would produce from the materialized
+    // vector.
+    double lo = 0.0, hi = 0.0;
+    std::uint64_t matched = 0;
+    analysis::for_each_matching(source, filter, [&](const ipm::TraceEvent& e) {
+      if (matched == 0) {
+        lo = hi = e.duration;
+      } else {
+        lo = std::min(lo, e.duration);
+        hi = std::max(hi, e.duration);
+      }
+      ++matched;
+    });
+    if (matched > 0) {
+      stats::Histogram::Range range =
+          stats::Histogram::padded_range(lo, hi, scale);
+      h.emplace(scale, range.lo, range.hi, bins);
+      analysis::for_each_matching(
+          source, filter,
+          [&h](const ipm::TraceEvent& e) { h->add(e.duration); });
+    }
+  }
+  if (!h) {
+    err << "eiotrace: no events match the filter\n";
+    return 2;
+  }
   out << analysis::render_histogram(
-      h, {.width = 72, .height = 12, .log_y = log,
-          .x_label = log ? "seconds (log)" : "seconds", .y_label = "count"});
+      *h, {.width = 72, .height = 12, .log_y = log,
+           .x_label = log ? "seconds (log)" : "seconds", .y_label = "count"});
   return 0;
 }
 
 int cmd_modes(const ipm::TraceSource& source, const Args& args,
               std::ostream& out, std::ostream& err) {
-  analysis::SummarySink sink(filter_from(args, err));
-  source.for_each_hinted(analysis::hint_for(filter_from(args, err)),
-                         [&sink](const ipm::TraceEvent& e) { sink.on_event(e); });
-  const stats::StreamingSummary& s = sink.summary();
+  analysis::EventFilter filter = filter_from(args, err);
+  stats::StreamingSummary s;
+  if (auto scanner = scanner_for(source, args)) {
+    s = analysis::scan_summary(*scanner, filter);
+  } else {
+    analysis::SummarySink sink(filter);
+    fold_batches(source, filter, sink);
+    s = sink.summary();
+  }
   if (s.empty()) {
     err << "eiotrace: no events match the filter\n";
     return 2;
@@ -203,8 +249,11 @@ int cmd_modes(const ipm::TraceSource& source, const Args& args,
 int cmd_rates(const ipm::TraceSource& source, const Args& args,
               std::ostream& out, std::ostream& err) {
   auto bins = args.get_size("bins", 100);
+  analysis::EventFilter filter = filter_from(args, err);
+  auto scanner = scanner_for(source, args);
   analysis::TimeSeries series =
-      analysis::aggregate_rate(source, filter_from(args, err), bins);
+      scanner ? analysis::scan_rate(*scanner, filter, bins)
+              : analysis::aggregate_rate(source, filter, bins);
   analysis::Series line{"rate", {}, {}};
   for (std::size_t i = 0; i < series.values.size(); ++i) {
     line.x.push_back(series.time_at(i));
@@ -252,15 +301,20 @@ int cmd_diagnose(const ipm::TraceSource& source, const Args& args,
 int cmd_phases(const ipm::TraceSource& source, const Args& args,
                std::ostream& out, std::ostream& err) {
   analysis::EventFilter base = filter_from(args, err);
-  analysis::PhaseSummarySink sink(base);
-  source.for_each_hinted(analysis::hint_for(base),
-                         [&sink](const ipm::TraceEvent& e) { sink.on_event(e); });
-  if (sink.by_phase().empty()) {
+  std::map<std::int32_t, stats::StreamingSummary> by_phase;
+  if (auto scanner = scanner_for(source, args)) {
+    by_phase = analysis::scan_phase_summaries(*scanner, base);
+  } else {
+    analysis::PhaseSummarySink sink(base);
+    fold_batches(source, base, sink);
+    by_phase = sink.by_phase();
+  }
+  if (by_phase.empty()) {
     err << "eiotrace: no events match the filter\n";
     return 2;
   }
   out << "  phase     events   median(s)      p95(s)      max(s)\n";
-  for (const auto& [phase, s] : sink.by_phase()) {
+  for (const auto& [phase, s] : by_phase) {
     char line[120];
     std::snprintf(line, sizeof line, "  %6d %9zu %11.4f %11.4f %11.4f\n",
                   phase, s.count(), s.median(), s.quantile(0.95), s.max());
@@ -490,7 +544,13 @@ std::string usage_text() {
         "jaguar]\n"
      << "             [--save-dir DIR]\n"
      << "common filter flags: --op=write|read --phase=P --min-bytes=N "
-        "--max-bytes=N\n";
+        "--max-bytes=N\n"
+     << "                     --t-lo=S --t-hi=S (wall-clock window, "
+        "seconds)\n"
+     << "parallelism: summary/histogram/modes/rates/phases take --jobs=N\n"
+     << "             (default: hardware concurrency; indexed v2 traces "
+        "scan\n"
+     << "             chunk-parallel, other formats stream serially)\n";
   return os.str();
 }
 

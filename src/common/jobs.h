@@ -1,0 +1,27 @@
+// Worker-count resolution shared by every --jobs knob (ensemble
+// runner, parallel trace scanner, CLI, benches).
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <thread>
+
+namespace eio {
+
+/// Resolve a jobs knob: nonzero values pass through; 0 means the
+/// EIO_JOBS environment variable if set to a positive integer, else
+/// std::thread::hardware_concurrency() (at least 1).
+[[nodiscard]] inline std::size_t resolve_jobs(std::size_t jobs) {
+  if (jobs > 0) return jobs;
+  if (const char* env = std::getenv("EIO_JOBS")) {
+    char* end = nullptr;
+    unsigned long value = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0) {
+      return static_cast<std::size_t>(value);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace eio

@@ -1,0 +1,119 @@
+#include "core/parallel_analysis.h"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace eio::analysis {
+
+stats::StreamingSummary scan_summary(const ipm::ParallelTraceScanner& scanner,
+                                     const EventFilter& filter,
+                                     const stats::SummaryOptions& options) {
+  const ipm::ChunkHint hint = hint_for(filter);
+  SummarySink merged = scanner.scan(
+      [&](std::size_t chunk) {
+        stats::SummaryOptions per_chunk = options;
+        per_chunk.reservoir_seed =
+            rng::substream_seed(options.reservoir_seed, chunk);
+        return SummarySink(filter, per_chunk);
+      },
+      [](SummarySink& sink, std::span<const ipm::TraceEvent> events) {
+        sink.on_batch(events);
+      },
+      [](SummarySink& into, SummarySink&& from) { into.merge(from); }, &hint);
+  return merged.summary();
+}
+
+std::map<std::int32_t, stats::StreamingSummary> scan_phase_summaries(
+    const ipm::ParallelTraceScanner& scanner, const EventFilter& filter,
+    const stats::SummaryOptions& options) {
+  const ipm::ChunkHint hint = hint_for(filter);
+  PhaseSummarySink merged = scanner.scan(
+      [&](std::size_t chunk) {
+        stats::SummaryOptions per_chunk = options;
+        per_chunk.reservoir_seed =
+            rng::substream_seed(options.reservoir_seed, chunk);
+        return PhaseSummarySink(filter, per_chunk);
+      },
+      [](PhaseSummarySink& sink, std::span<const ipm::TraceEvent> events) {
+        sink.on_batch(events);
+      },
+      [](PhaseSummarySink& into, PhaseSummarySink&& from) {
+        into.merge(from);
+      },
+      &hint);
+  return merged.by_phase();
+}
+
+std::optional<stats::Histogram> scan_histogram(
+    const ipm::ParallelTraceScanner& scanner, const EventFilter& filter,
+    stats::BinScale scale, std::size_t bins) {
+  const ipm::ChunkHint hint = hint_for(filter);
+  // Pass 1: matched-duration extrema, to reproduce the serial padded
+  // range bit for bit (min/max merge exactly).
+  struct Extent {
+    std::uint64_t n = 0;
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+  Extent extent = scanner.scan(
+      [](std::size_t) { return Extent{}; },
+      [&](Extent& x, std::span<const ipm::TraceEvent> events) {
+        for (const ipm::TraceEvent& e : events) {
+          if (!filter.matches(e)) continue;
+          if (x.n == 0) {
+            x.lo = x.hi = e.duration;
+          } else {
+            x.lo = std::min(x.lo, e.duration);
+            x.hi = std::max(x.hi, e.duration);
+          }
+          ++x.n;
+        }
+      },
+      [](Extent& a, Extent&& b) {
+        if (b.n == 0) return;
+        if (a.n == 0) {
+          a = b;
+        } else {
+          a.lo = std::min(a.lo, b.lo);
+          a.hi = std::max(a.hi, b.hi);
+          a.n += b.n;
+        }
+      },
+      &hint);
+  if (extent.n == 0) return std::nullopt;
+
+  // Pass 2: fill fixed bins; bin counts merge exactly.
+  stats::Histogram::Range range =
+      stats::Histogram::padded_range(extent.lo, extent.hi, scale);
+  return scanner.scan(
+      [&](std::size_t) {
+        return stats::Histogram(scale, range.lo, range.hi, bins);
+      },
+      [&](stats::Histogram& h, std::span<const ipm::TraceEvent> events) {
+        for (const ipm::TraceEvent& e : events) {
+          if (filter.matches(e)) h.add(e.duration);
+        }
+      },
+      [](stats::Histogram& a, stats::Histogram&& b) { a.merge(b); }, &hint);
+}
+
+TimeSeries scan_rate(const ipm::ParallelTraceScanner& scanner,
+                     const EventFilter& filter, std::size_t bins) {
+  const double span = scanner.time_span();
+  const ipm::ChunkHint hint = hint_for(filter);
+  RateSeriesBuilder merged = scanner.scan(
+      [&](std::size_t) { return RateSeriesBuilder(span, bins); },
+      [&](RateSeriesBuilder& builder,
+          std::span<const ipm::TraceEvent> events) {
+        for (const ipm::TraceEvent& e : events) {
+          if (filter.matches(e)) builder.add(e);
+        }
+      },
+      [](RateSeriesBuilder& a, RateSeriesBuilder&& b) { a.merge(b); }, &hint);
+  return merged.series();
+}
+
+}  // namespace eio::analysis

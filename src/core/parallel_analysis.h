@@ -1,0 +1,53 @@
+// Chunk-parallel analysis kernels over indexed v2 traces.
+//
+// Each helper runs one ParallelTraceScanner map-reduce: a bounded
+// partial (summary sink, histogram, rate builder) per chunk, folded by
+// worker threads and merged in chunk order. Results are deterministic
+// in the scanner contract's sense — identical for every --jobs value —
+// and match the serial streaming path exactly wherever the underlying
+// kernel merges exactly (counts, extrema, histogram bins, rate bins,
+// reservoirs below capacity). Moments match to FP-merge rounding;
+// quantiles past reservoir capacity are served by the merged-exact
+// histogram mode (see StreamingSummary::histogram_quantile).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/rate_series.h"
+#include "core/samples.h"
+#include "core/streaming.h"
+#include "ipm/parallel_scan.h"
+
+namespace eio::analysis {
+
+/// Filter-matched duration summary (count/extrema/moments/reservoir)
+/// across all admitted chunks. Chunk c's reservoir draws from
+/// substream_seed(options.reservoir_seed, c), so the sample is a
+/// function of the trace and options alone.
+[[nodiscard]] stats::StreamingSummary scan_summary(
+    const ipm::ParallelTraceScanner& scanner, const EventFilter& filter,
+    const stats::SummaryOptions& options = {});
+
+/// Per-phase duration summaries (the streaming durations_by_phase).
+[[nodiscard]] std::map<std::int32_t, stats::StreamingSummary>
+scan_phase_summaries(const ipm::ParallelTraceScanner& scanner,
+                     const EventFilter& filter,
+                     const stats::SummaryOptions& options = {});
+
+/// Histogram of matched durations with the same automatic padded range
+/// the serial two-pass binning produces (extrema scan, then fill
+/// scan). nullopt when nothing matches.
+[[nodiscard]] std::optional<stats::Histogram> scan_histogram(
+    const ipm::ParallelTraceScanner& scanner, const EventFilter& filter,
+    stats::BinScale scale, std::size_t bins);
+
+/// Aggregate data rate of matched events; the span comes from the
+/// chunk index (no extra event pass), matching aggregate_rate's batch
+/// semantics.
+[[nodiscard]] TimeSeries scan_rate(const ipm::ParallelTraceScanner& scanner,
+                                   const EventFilter& filter,
+                                   std::size_t bins);
+
+}  // namespace eio::analysis

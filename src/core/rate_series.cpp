@@ -46,6 +46,20 @@ void RateSeriesBuilder::add(const ipm::TraceEvent& e) {
   }
 }
 
+void RateSeriesBuilder::add_batch(std::span<const ipm::TraceEvent> events) {
+  for (const ipm::TraceEvent& e : events) add(e);
+}
+
+void RateSeriesBuilder::merge(const RateSeriesBuilder& other) {
+  EIO_CHECK_MSG(other.series_.t0 == series_.t0 &&
+                    other.series_.dt == series_.dt &&
+                    other.series_.values.size() == series_.values.size(),
+                "rate-series binning mismatch in merge");
+  for (std::size_t i = 0; i < series_.values.size(); ++i) {
+    series_.values[i] += other.series_.values[i];
+  }
+}
+
 TimeSeries aggregate_rate(const ipm::Trace& trace, const EventFilter& filter,
                           std::size_t bins) {
   RateSeriesBuilder builder(trace.span(), bins);
@@ -57,14 +71,17 @@ TimeSeries aggregate_rate(const ipm::Trace& trace, const EventFilter& filter,
 
 TimeSeries aggregate_rate(const ipm::TraceSource& source,
                           const EventFilter& filter, std::size_t bins) {
-  // Span comes from *all* events (batch semantics use trace.span()),
-  // so this costs one unfiltered pass before the folding pass.
-  double span = 0.0;
-  source.for_each(
-      [&span](const ipm::TraceEvent& e) { span = std::max(span, e.end()); });
-  RateSeriesBuilder builder(span, bins);
-  for_each_matching(source, filter,
-                    [&builder](const ipm::TraceEvent& e) { builder.add(e); });
+  // Span comes from *all* events (batch semantics use trace.span());
+  // indexed sources answer time_span() from chunk metadata, so only
+  // the folding pass below touches events.
+  RateSeriesBuilder builder(source.time_span(), bins);
+  const ipm::ChunkHint hint = hint_for(filter);
+  source.for_each_batch_hinted(
+      hint, [&](std::span<const ipm::TraceEvent> events) {
+        for (const ipm::TraceEvent& e : events) {
+          if (filter.matches(e)) builder.add(e);
+        }
+      });
   return builder.series();
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/samples.h"
@@ -41,6 +42,13 @@ class RateSeriesBuilder {
 
   /// Fold one event (ignores zero-byte transfers).
   void add(const ipm::TraceEvent& event);
+
+  /// Fold every event of a chunk (the batch-dispatch hot path).
+  void add_batch(std::span<const ipm::TraceEvent> events);
+
+  /// Fold another builder over the same span/binning (elementwise add
+  /// — rates are linear, so partials merge exactly up to FP rounding).
+  void merge(const RateSeriesBuilder& other);
 
   [[nodiscard]] const TimeSeries& series() const noexcept { return series_; }
 

@@ -15,6 +15,8 @@ bool EventFilter::matches(const ipm::TraceEvent& e) const {
   if (rank && e.rank != *rank) return false;
   if (e.bytes < min_bytes) return false;
   if (max_bytes && e.bytes > *max_bytes) return false;
+  if (t_lo && e.end() < *t_lo) return false;
+  if (t_hi && e.start > *t_hi) return false;
   return true;
 }
 
@@ -77,6 +79,8 @@ ipm::ChunkHint hint_for(const EventFilter& filter) {
   hint.op = filter.op;
   hint.phase = filter.phase;
   hint.rank = filter.rank;
+  hint.t_lo = filter.t_lo;
+  hint.t_hi = filter.t_hi;
   return hint;
 }
 
@@ -100,6 +104,17 @@ void PhaseSummarySink::on_event(const ipm::TraceEvent& event) {
   if (!filter_.matches(event)) return;
   auto it = by_phase_.try_emplace(event.phase, options_).first;
   it->second.add(event.duration);
+}
+
+void PhaseSummarySink::on_batch(std::span<const ipm::TraceEvent> events) {
+  for (const ipm::TraceEvent& e : events) on_event(e);
+}
+
+void PhaseSummarySink::merge(const PhaseSummarySink& other) {
+  for (const auto& [phase, summary] : other.by_phase_) {
+    auto it = by_phase_.try_emplace(phase, options_).first;
+    it->second.merge(summary);
+  }
 }
 
 std::vector<double> per_rank_ordered(const ipm::Trace& trace,

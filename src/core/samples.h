@@ -7,6 +7,7 @@
 
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/streaming.h"
@@ -25,6 +26,11 @@ struct EventFilter {
   Bytes min_bytes = 0;                      ///< inclusive
   std::optional<Bytes> max_bytes;           ///< inclusive
   bool data_calls_only = true;              ///< keep only read/write
+  /// Wall-clock window: keep events whose [start, end] interval
+  /// intersects [t_lo, t_hi]. Maps onto the chunk index's time span,
+  /// so windowed scans skip whole chunks.
+  std::optional<double> t_lo;
+  std::optional<double> t_hi;
 
   [[nodiscard]] bool matches(const ipm::TraceEvent& e) const;
 };
@@ -92,6 +98,18 @@ class SummarySink final : public ipm::EventSink {
     if (filter_.matches(event)) summary_.add(event.duration);
   }
 
+  /// Fold a whole decoded chunk per virtual call — the hot path; the
+  /// per-event filter+add loop runs without any per-event indirection.
+  void on_batch(std::span<const ipm::TraceEvent> events) override {
+    for (const ipm::TraceEvent& e : events) {
+      if (filter_.matches(e)) summary_.add(e.duration);
+    }
+  }
+
+  /// Fold another sink's summary into this one (see
+  /// StreamingSummary::merge for exactness guarantees).
+  void merge(const SummarySink& other) { summary_.merge(other.summary_); }
+
   [[nodiscard]] const stats::StreamingSummary& summary() const noexcept {
     return summary_;
   }
@@ -111,6 +129,13 @@ class PhaseSummarySink final : public ipm::EventSink {
       : filter_(std::move(filter)), options_(options) {}
 
   void on_event(const ipm::TraceEvent& event) override;
+  void on_batch(std::span<const ipm::TraceEvent> events) override;
+
+  /// Fold another sink's per-phase summaries into this one. Phases
+  /// absent here adopt the other side's summary (reservoir substream
+  /// included), so the merged map is independent of how phases were
+  /// split across partials.
+  void merge(const PhaseSummarySink& other);
 
   [[nodiscard]] const std::map<std::int32_t, stats::StreamingSummary>&
   by_phase() const noexcept {

@@ -166,6 +166,61 @@ EmpiricalDistribution ReservoirSampler::distribution() const {
   return EmpiricalDistribution(samples_);
 }
 
+void ReservoirSampler::merge(const ReservoirSampler& other) {
+  EIO_CHECK_MSG(capacity_ == other.capacity_,
+                "reservoir merge needs matching capacities: "
+                    << capacity_ << " vs " << other.capacity_);
+  if (other.seen_ == 0) return;
+  if (seen_ == 0) {
+    // Adopt the other side wholesale, substream included, so merging
+    // into a fresh reservoir reproduces the other exactly.
+    *this = other;
+    return;
+  }
+  if (other.exact()) {
+    // The other side still holds every value it saw, in stream order —
+    // so Algorithm R simply continues over it, element by element.
+    // While the combined count fits the capacity this is a pure
+    // concatenation (the merged sample is the exact combined stream);
+    // past capacity it costs one draw per element, the same as the
+    // serial adds it replaces. Chunk-sized partials always take this
+    // path.
+    for (double x : other.samples_) {
+      ++seen_;
+      if (samples_.size() < capacity_) {
+        samples_.push_back(x);
+        continue;
+      }
+      std::uint64_t j = rng_.index(seen_);
+      if (j < capacity_) samples_[static_cast<std::size_t>(j)] = x;
+    }
+    return;
+  }
+  // Weighted draw: fill each output slot from side A with probability
+  // wa/(wa+wb) where the weights start at the stream counts and shrink
+  // as elements are consumed — every element of the combined stream
+  // ends up in the result with equal probability capacity/(na+nb).
+  // Removal is swap-pop, so the merge is O(capacity).
+  std::vector<double> a = std::move(samples_);
+  std::vector<double> b = other.samples_;
+  std::uint64_t wa = seen_;
+  std::uint64_t wb = other.seen_;
+  std::vector<double> merged;
+  merged.reserve(capacity_);
+  while (merged.size() < capacity_ && (!a.empty() || !b.empty())) {
+    bool from_a = !a.empty() && (b.empty() || rng_.index(wa + wb) < wa);
+    std::vector<double>& src = from_a ? a : b;
+    std::uint64_t& weight = from_a ? wa : wb;
+    auto j = static_cast<std::size_t>(rng_.index(src.size()));
+    merged.push_back(src[j]);
+    src[j] = src.back();
+    src.pop_back();
+    if (weight > 1) --weight;
+  }
+  samples_ = std::move(merged);
+  seen_ += other.seen_;
+}
+
 void StreamingSummary::add(double x) {
   if (moments_.count() == 0) {
     min_ = x;
@@ -176,6 +231,25 @@ void StreamingSummary::add(double x) {
   }
   moments_.add(x);
   reservoir_.add(x);
+  if (quantile_hist_) quantile_hist_->add(x);
+}
+
+void StreamingSummary::merge(const StreamingSummary& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  moments_.merge(other.moments_);
+  reservoir_.merge(other.reservoir_);
+  if (quantile_hist_) {
+    EIO_CHECK_MSG(other.quantile_hist_.has_value(),
+                  "summary merge mixes quantile-histogram modes");
+    quantile_hist_->merge(*other.quantile_hist_);
+  }
 }
 
 double StreamingSummary::min() const {
@@ -191,6 +265,27 @@ double StreamingSummary::max() const {
 double StreamingSummary::quantile(double q) const {
   EIO_CHECK(!empty());
   return reservoir_.distribution().quantile(q);
+}
+
+double StreamingSummary::histogram_quantile(double q) const {
+  EIO_CHECK(!empty());
+  EIO_CHECK_MSG(quantile_hist_.has_value(),
+                "histogram quantile mode is off (quantile_bins == 0)");
+  EIO_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile out of range: " << q);
+  const Histogram& h = *quantile_hist_;
+  // 1-based rank of the order statistic x_(⌈qN⌉); q = 0 maps to the
+  // minimum. Out-of-range samples were clamped into the edge bins, so
+  // total() == N and the cumulative walk always terminates.
+  std::uint64_t n = h.total();
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) {
+    cumulative += h.count(b);
+    if (cumulative >= rank) return h.bin_center(b);
+  }
+  return h.bin_center(h.bin_count() - 1);
 }
 
 }  // namespace eio::stats

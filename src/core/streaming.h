@@ -24,10 +24,12 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/distribution.h"
+#include "core/histogram.h"
 
 namespace eio::stats {
 
@@ -89,6 +91,20 @@ class ReservoirSampler {
 
   void add(double x);
 
+  /// Fold another reservoir (same capacity) into this one. When the
+  /// other side is exact its sample IS its substream, so Algorithm R
+  /// continues over it element by element — a pure concatenation while
+  /// the combined seen() fits the capacity (the merged sample equals
+  /// the serial one element for element when merges follow stream
+  /// order), one draw per element past it. When the other side has
+  /// itself overflowed, each output slot draws from one side with
+  /// probability proportional to that side's remaining stream weight
+  /// (the weighted Algorithm-R merge), so every stream element keeps
+  /// an equal chance of surviving. Draws come from this reservoir's
+  /// substream, so the result is deterministic in (seeds, merge
+  /// order).
+  void merge(const ReservoirSampler& other);
+
   [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   /// True while no value has been discarded (the sample is the stream).
@@ -112,6 +128,16 @@ class ReservoirSampler {
 struct SummaryOptions {
   std::size_t reservoir_capacity = ReservoirSampler::kDefaultCapacity;
   std::uint64_t reservoir_seed = 0x9E3779B97F4A7C15ULL;
+  /// When > 0, the summary also feeds a fixed-range log10 histogram
+  /// and histogram_quantile() becomes available — the merged-quantile
+  /// mode for parallel scans, where reservoirs past capacity merge
+  /// stochastically but histogram bins merge exactly. Error is bounded
+  /// by the width of the bin holding the requested order statistic.
+  std::size_t quantile_bins = 0;
+  /// Fixed histogram range (seconds); samples outside clamp to the
+  /// edge bins. The defaults cover 1 ns .. ~28 h per event.
+  double quantile_hist_lo = 1e-9;
+  double quantile_hist_hi = 1e5;
 };
 
 /// The standard per-stream bundle: count, extrema, incremental
@@ -121,9 +147,20 @@ class StreamingSummary {
  public:
   StreamingSummary() : StreamingSummary(SummaryOptions{}) {}
   explicit StreamingSummary(const SummaryOptions& options)
-      : reservoir_(options.reservoir_capacity, options.reservoir_seed) {}
+      : reservoir_(options.reservoir_capacity, options.reservoir_seed) {
+    if (options.quantile_bins > 0) {
+      quantile_hist_.emplace(BinScale::kLog10, options.quantile_hist_lo,
+                             options.quantile_hist_hi, options.quantile_bins);
+    }
+  }
 
   void add(double x);
+
+  /// Fold another summary into this one: counts/extrema/moments and
+  /// the quantile histogram merge exactly; the reservoir merges per
+  /// ReservoirSampler::merge (exact below capacity). Partials must be
+  /// merged in stream order for reservoir exactness to carry over.
+  void merge(const StreamingSummary& other);
 
   [[nodiscard]] std::size_t count() const noexcept { return moments_.count(); }
   [[nodiscard]] bool empty() const noexcept { return count() == 0; }
@@ -137,9 +174,22 @@ class StreamingSummary {
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] double median() const { return quantile(0.5); }
 
+  /// The fixed-range quantile histogram (present iff quantile_bins > 0).
+  [[nodiscard]] const std::optional<Histogram>& quantile_histogram()
+      const noexcept {
+    return quantile_hist_;
+  }
+  /// Quantile from the histogram: the center of the bin holding the
+  /// rank-⌈qN⌉ sample, so |estimate - exact order statistic| is at
+  /// most that bin's width (bins merge exactly, so this is the
+  /// merge-stable quantile past reservoir capacity). Requires
+  /// quantile_bins > 0 and a non-empty stream.
+  [[nodiscard]] double histogram_quantile(double q) const;
+
  private:
   StreamingMoments moments_;
   ReservoirSampler reservoir_;
+  std::optional<Histogram> quantile_hist_;
   double min_ = 0.0;
   double max_ = 0.0;
 };

@@ -1,0 +1,244 @@
+// Chunk-parallel map-reduce over indexed v2 traces.
+//
+// The paper's premise — ensembles are mergeable statistics, not event
+// sequences — makes trace analysis embarrassingly parallel over v2
+// chunks: every chunk folds into a bounded partial (moments,
+// histogram bins, reservoir, rate bins), and partials merge. The
+// ParallelTraceScanner partitions a file's TraceIndex across a worker
+// pool (the same claim-by-atomic-index pattern as
+// workloads::ParallelEnsembleRunner), streams chunks concurrently
+// through per-thread ifstreams with single sized reads, folds each
+// chunk into its own partial, and merges partials on the calling
+// thread in ascending chunk order.
+//
+// Determinism contract: the partial built for chunk c depends only on
+// chunk c (per-chunk reservoir seeds come from the chunk index), and
+// the merge sequence is always chunk 0, 1, 2, ... regardless of which
+// worker folded what first. scan() is therefore byte-identical for
+// every jobs value, including jobs=1 — "--jobs 1 == serial" holds by
+// construction, not by tolerance.
+//
+// Memory contract: workers may run at most merge_window chunks ahead
+// of the merge frontier, so at most O(jobs + merge_window) partials
+// and O(jobs) chunk buffers are live — peak memory stays O(chunk),
+// never O(events).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/jobs.h"
+#include "ipm/trace_source.h"
+#include "ipm/trace_stream.h"
+
+namespace eio::ipm {
+
+struct ScanOptions {
+  /// Worker threads. 0 = default (EIO_JOBS env or hardware concurrency).
+  std::size_t jobs = 0;
+  /// How many chunks workers may run ahead of the in-order merge
+  /// frontier before throttling (bounds live partials). 0 = default
+  /// (max(2 * jobs, 8)).
+  std::size_t merge_window = 0;
+};
+
+/// Per-thread chunk decoder: one seekable stream plus reusable raw and
+/// event buffers, so a worker's steady state allocates nothing.
+class ChunkReader {
+ public:
+  explicit ChunkReader(const std::string& path)
+      : in_(path, std::ios::binary) {
+    EIO_CHECK_MSG(in_.good(), "cannot open for reading: " << path);
+  }
+
+  /// Decode one indexed chunk; the span aliases this reader's buffer
+  /// and is valid until the next read().
+  [[nodiscard]] std::span<const TraceEvent> read(const TraceIndex& index,
+                                                 std::size_t chunk) {
+    read_chunk_v2(in_, index.chunks[chunk], chunk_byte_length(index, chunk),
+                  raw_, events_);
+    return std::span<const TraceEvent>(events_);
+  }
+
+ private:
+  std::ifstream in_;
+  std::vector<char> raw_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Map-reduce engine over one indexed v2 trace file. Stateless between
+/// scans; safe to reuse and cheap to construct (the index is read once
+/// or borrowed from a FileTraceSource).
+class ParallelTraceScanner {
+ public:
+  /// Open `path` and read its footer index. Throws std::runtime_error
+  /// when the file is not an indexed v2 trace.
+  explicit ParallelTraceScanner(std::string path, ScanOptions options = {})
+      : path_(std::move(path)),
+        jobs_(resolve_jobs(options.jobs)),
+        merge_window_(resolve_window(options, jobs_)) {
+    std::ifstream in(path_, std::ios::binary);
+    EIO_CHECK_MSG(in.good(), "cannot open for reading: " << path_);
+    if (sniff_format(in) != TraceFormat::kBinaryV2) {
+      throw std::runtime_error("parallel scan needs an indexed v2 trace: " +
+                               path_);
+    }
+    index_ = read_index_v2(in);
+  }
+
+  /// Reuse an index already read by a FileTraceSource.
+  ParallelTraceScanner(std::string path, TraceIndex index,
+                       ScanOptions options = {})
+      : path_(std::move(path)),
+        index_(std::move(index)),
+        jobs_(resolve_jobs(options.jobs)),
+        merge_window_(resolve_window(options, jobs_)) {}
+
+  [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] const TraceIndex& index() const noexcept { return index_; }
+
+  /// Wall-clock span of the whole trace (max chunk end time) — free
+  /// from the index, no event pass.
+  [[nodiscard]] double time_span() const noexcept {
+    double span = 0.0;
+    for (const ChunkMeta& c : index_.chunks) span = std::max(span, c.t_hi);
+    return span;
+  }
+
+  /// Map-reduce over the chunks `hint` admits (all chunks when null):
+  ///
+  ///   make(chunk_index)       -> Partial   (fresh, possibly seeded)
+  ///   fold(partial, events)                (one span = one chunk)
+  ///   merge(into, std::move(from))         (ascending chunk order)
+  ///
+  /// Returns the merged Partial; make(0) when no chunk is admitted.
+  /// The first worker exception is rethrown after the pool drains.
+  template <typename Make, typename Fold, typename Merge>
+  [[nodiscard]] auto scan(const Make& make, const Fold& fold,
+                          const Merge& merge,
+                          const ChunkHint* hint = nullptr) const
+      -> std::invoke_result_t<Make, std::size_t> {
+    using Partial = std::invoke_result_t<Make, std::size_t>;
+    std::vector<std::size_t> picks = admitted(hint);
+    if (picks.empty()) return make(std::size_t{0});
+
+    std::size_t workers = std::min(jobs_, picks.size());
+    if (workers <= 1) {
+      // Same per-chunk partial + ordered merge as the parallel path,
+      // on one thread — the determinism contract's base case.
+      ChunkReader reader(path_);
+      Partial result = make(picks[0]);
+      fold(result, reader.read(index_, picks[0]));
+      for (std::size_t k = 1; k < picks.size(); ++k) {
+        Partial p = make(picks[k]);
+        fold(p, reader.read(index_, picks[k]));
+        merge(result, std::move(p));
+      }
+      return result;
+    }
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::size_t, Partial> ready;  // slot -> folded partial
+    std::size_t merge_pos = 0;             // next slot to merge
+    std::exception_ptr error;
+    std::atomic<std::size_t> next{0};
+
+    auto worker = [&] {
+      try {
+        ChunkReader reader(path_);
+        for (;;) {
+          std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+          if (k >= picks.size()) return;
+          {
+            // Throttle: stay within merge_window of the merge frontier
+            // so un-merged partials stay bounded. The worker holding
+            // slot merge_pos is never throttled, so the frontier
+            // always advances.
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock,
+                    [&] { return error || k < merge_pos + merge_window_; });
+            if (error) return;
+          }
+          auto events = reader.read(index_, picks[k]);
+          Partial p = make(picks[k]);
+          fold(p, events);
+          std::lock_guard<std::mutex> lock(mu);
+          ready.emplace(k, std::move(p));
+          cv.notify_all();
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+        cv.notify_all();
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+
+    // The calling thread is the merger: consume partials strictly in
+    // slot order, merging outside the lock.
+    std::optional<Partial> result;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      while (merge_pos < picks.size()) {
+        cv.wait(lock, [&] { return error || ready.count(merge_pos) > 0; });
+        if (error) break;
+        auto it = ready.find(merge_pos);
+        Partial p = std::move(it->second);
+        ready.erase(it);
+        lock.unlock();
+        if (result) {
+          merge(*result, std::move(p));
+        } else {
+          result.emplace(std::move(p));
+        }
+        lock.lock();
+        ++merge_pos;
+        cv.notify_all();
+      }
+    }
+    for (std::thread& t : pool) t.join();
+    if (error) std::rethrow_exception(error);
+    return std::move(*result);
+  }
+
+ private:
+  [[nodiscard]] static std::size_t resolve_window(const ScanOptions& options,
+                                                  std::size_t jobs) {
+    if (options.merge_window > 0) return options.merge_window;
+    return std::max<std::size_t>(2 * jobs, 8);
+  }
+
+  [[nodiscard]] std::vector<std::size_t> admitted(const ChunkHint* hint) const {
+    std::vector<std::size_t> picks;
+    picks.reserve(index_.chunks.size());
+    for (std::size_t i = 0; i < index_.chunks.size(); ++i) {
+      if (!hint || hint->admits(index_.chunks[i])) picks.push_back(i);
+    }
+    return picks;
+  }
+
+  std::string path_;
+  TraceIndex index_;
+  std::size_t jobs_;
+  std::size_t merge_window_;
+};
+
+}  // namespace eio::ipm

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <utility>
 
 #include "ipm/profile.h"
@@ -25,6 +26,14 @@ class EventSink {
 
   /// One completed, phase-tagged call.
   virtual void on_event(const TraceEvent& event) = 0;
+
+  /// A run of consecutive events, in stored order. The default loops
+  /// over on_event; sinks on the analysis hot path override it so one
+  /// virtual dispatch amortizes over a whole decoded chunk instead of
+  /// costing one indirect call per event.
+  virtual void on_batch(std::span<const TraceEvent> events) {
+    for (const TraceEvent& e : events) on_event(e);
+  }
 
   /// Capture is over; flush any buffered state (e.g. a trailing chunk
   /// and footer index for file writers). Must be idempotent.

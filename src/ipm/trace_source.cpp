@@ -1,11 +1,45 @@
 #include "ipm/trace_source.h"
 
-#include <fstream>
+#include <algorithm>
+#include <span>
 #include <stdexcept>
 
 #include "common/check.h"
 
 namespace eio::ipm {
+
+void TraceSource::for_each_batch(const BatchVisitor& visit) const {
+  std::vector<TraceEvent> buffer;
+  buffer.reserve(kDefaultBatchEvents);
+  for_each([&](const TraceEvent& e) {
+    buffer.push_back(e);
+    if (buffer.size() == kDefaultBatchEvents) {
+      visit(std::span<const TraceEvent>(buffer));
+      buffer.clear();
+    }
+  });
+  if (!buffer.empty()) visit(std::span<const TraceEvent>(buffer));
+}
+
+void TraceSource::for_each_batch_hinted(const ChunkHint& hint,
+                                        const BatchVisitor& visit) const {
+  std::vector<TraceEvent> buffer;
+  buffer.reserve(kDefaultBatchEvents);
+  for_each_hinted(hint, [&](const TraceEvent& e) {
+    buffer.push_back(e);
+    if (buffer.size() == kDefaultBatchEvents) {
+      visit(std::span<const TraceEvent>(buffer));
+      buffer.clear();
+    }
+  });
+  if (!buffer.empty()) visit(std::span<const TraceEvent>(buffer));
+}
+
+double TraceSource::time_span() const {
+  double span = 0.0;
+  for_each([&span](const TraceEvent& e) { span = std::max(span, e.end()); });
+  return span;
+}
 
 std::uint64_t TraceSource::event_count() const {
   if (meta().declared_events) return *meta().declared_events;
@@ -31,6 +65,19 @@ void MemoryTraceSource::for_each(const EventVisitor& visit) const {
   for (const TraceEvent& e : trace_->events()) visit(e);
 }
 
+void MemoryTraceSource::for_each_batch(const BatchVisitor& visit) const {
+  // The whole trace is one contiguous run — a single span, no copying.
+  if (!trace_->empty()) visit(std::span<const TraceEvent>(trace_->events()));
+}
+
+void MemoryTraceSource::for_each_batch_hinted(const ChunkHint& hint,
+                                              const BatchVisitor& visit) const {
+  (void)hint;  // full scan is a valid superset
+  for_each_batch(visit);
+}
+
+double MemoryTraceSource::time_span() const { return trace_->span(); }
+
 std::uint64_t MemoryTraceSource::event_count() const { return trace_->size(); }
 
 Trace MemoryTraceSource::materialize() const {
@@ -49,11 +96,11 @@ std::ifstream open_trace(const std::string& path) {
 }  // namespace
 
 FileTraceSource::FileTraceSource(std::string path) : path_(std::move(path)) {
-  auto in = open_trace(path_);
-  format_ = sniff_format(in);
+  stream_ = open_trace(path_);
+  format_ = sniff_format(stream_);
   switch (format_) {
     case TraceFormat::kBinaryV2:
-      index_ = read_index_v2(in);
+      index_ = read_index_v2(stream_);
       meta_ = index_->meta;
       break;
     case TraceFormat::kTsv:
@@ -62,28 +109,86 @@ FileTraceSource::FileTraceSource(std::string path) : path_(std::move(path)) {
       // header costs one pass; the constructor pays it once and meta()
       // stays cheap thereafter.
       std::uint64_t counted = 0;
-      meta_ = stream_any(in, [&counted](const TraceEvent&) { ++counted; });
+      meta_ = stream_any(stream_, [&counted](const TraceEvent&) { ++counted; });
       if (!meta_.declared_events) meta_.declared_events = counted;
       break;
     }
   }
 }
 
+std::istream& FileTraceSource::reset_stream() const {
+  stream_.clear();
+  stream_.seekg(0);
+  EIO_CHECK_MSG(stream_.good(), "cannot rewind trace: " << path_);
+  return stream_;
+}
+
+void FileTraceSource::stream_legacy(const EventVisitor& visit) const {
+  // The format was sniffed at open; dispatch directly instead of
+  // re-sniffing the magic on every pass.
+  auto& in = reset_stream();
+  switch (format_) {
+    case TraceFormat::kTsv: (void)stream_tsv(in, visit); return;
+    case TraceFormat::kBinaryV1: (void)stream_binary_v1(in, visit); return;
+    case TraceFormat::kBinaryV2: break;  // handled by scan_chunks
+  }
+  EIO_CHECK_MSG(false, "stream_legacy on a v2 trace");
+}
+
+void FileTraceSource::scan_chunks(const ChunkHint* hint,
+                                  const BatchVisitor& batch) const {
+  auto& in = reset_stream();
+  for (std::size_t i = 0; i < index_->chunks.size(); ++i) {
+    const ChunkMeta& chunk = index_->chunks[i];
+    if (hint && !hint->admits(chunk)) continue;
+    read_chunk_v2(in, chunk, chunk_byte_length(*index_, i), raw_, batch_);
+    batch(std::span<const TraceEvent>(batch_));
+  }
+}
+
 void FileTraceSource::for_each(const EventVisitor& visit) const {
-  auto in = open_trace(path_);
-  (void)stream_any(in, visit);
+  if (index_) {
+    scan_chunks(nullptr, [&visit](std::span<const TraceEvent> events) {
+      for (const TraceEvent& e : events) visit(e);
+    });
+    return;
+  }
+  stream_legacy(visit);
 }
 
 void FileTraceSource::for_each_hinted(const ChunkHint& hint,
                                       const EventVisitor& visit) const {
   if (!index_) {
-    for_each(visit);
+    stream_legacy(visit);
     return;
   }
-  auto in = open_trace(path_);
-  for (const ChunkMeta& chunk : index_->chunks) {
-    if (hint.admits(chunk)) stream_chunk_v2(in, chunk, visit);
+  scan_chunks(&hint, [&visit](std::span<const TraceEvent> events) {
+    for (const TraceEvent& e : events) visit(e);
+  });
+}
+
+void FileTraceSource::for_each_batch(const BatchVisitor& visit) const {
+  if (index_) {
+    scan_chunks(nullptr, visit);
+    return;
   }
+  TraceSource::for_each_batch(visit);
+}
+
+void FileTraceSource::for_each_batch_hinted(const ChunkHint& hint,
+                                            const BatchVisitor& visit) const {
+  if (index_) {
+    scan_chunks(&hint, visit);
+    return;
+  }
+  TraceSource::for_each_batch_hinted(hint, visit);
+}
+
+double FileTraceSource::time_span() const {
+  if (!index_) return TraceSource::time_span();
+  double span = 0.0;
+  for (const ChunkMeta& c : index_->chunks) span = std::max(span, c.t_hi);
+  return span;
 }
 
 std::uint64_t FileTraceSource::event_count() const {

@@ -9,11 +9,20 @@
 // O(1) in the event count. For indexed v2 files, a ChunkHint lets the
 // source skip whole chunks whose footer metadata cannot match, turning
 // filtered scans into selective reads.
+//
+// Two dispatch granularities are offered: for_each (one visitor call
+// per event) and for_each_batch (one call per run of consecutive
+// events — a decoded v2 chunk, or the whole in-memory trace). The
+// batch form is the hot path: the per-event std::function indirection
+// disappears from the decode→accumulate loop, and sinks that override
+// EventSink::on_batch fold a whole chunk per virtual call.
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "ipm/trace.h"
 #include "ipm/trace_stream.h"
@@ -28,6 +37,11 @@ struct ChunkHint {
   std::optional<posix::OpType> op;
   std::optional<std::int32_t> phase;
   std::optional<RankId> rank;
+  /// Time window [t_lo, t_hi]: chunks whose [t_lo, t_hi] span does not
+  /// intersect the window are skipped, so windowed scans are selective
+  /// reads too.
+  std::optional<double> t_lo;
+  std::optional<double> t_hi;
 
   /// True when the hinted chunk may contain matching events.
   [[nodiscard]] bool admits(const ChunkMeta& chunk) const noexcept {
@@ -40,6 +54,8 @@ struct ChunkHint {
     if (rank && (*rank < chunk.rank_lo || *rank > chunk.rank_hi)) {
       return false;
     }
+    if (t_lo && chunk.t_hi < *t_lo) return false;
+    if (t_hi && chunk.t_lo > *t_hi) return false;
     return true;
   }
 };
@@ -48,6 +64,10 @@ struct ChunkHint {
 class TraceSource {
  public:
   virtual ~TraceSource() = default;
+
+  /// Events buffered per batch when a backing format has no natural
+  /// chunking (matches the v2 writer's default chunk size).
+  static constexpr std::size_t kDefaultBatchEvents = 4096;
 
   /// Job-level metadata (experiment name, rank count, event count when
   /// the backing format declares it).
@@ -65,6 +85,21 @@ class TraceSource {
     for_each(visit);
   }
 
+  /// Visit every event in stored order, one span per run of
+  /// consecutive events. Default: buffer kDefaultBatchEvents at a time
+  /// over for_each; sources with natural chunk boundaries hand out
+  /// their decode buffers directly.
+  virtual void for_each_batch(const BatchVisitor& visit) const;
+
+  /// Batched form of for_each_hinted (same superset contract).
+  virtual void for_each_batch_hinted(const ChunkHint& hint,
+                                     const BatchVisitor& visit) const;
+
+  /// Wall-clock span covered by the stream (latest event end time; 0
+  /// when empty) — the batch Trace::span() semantics. Default: one
+  /// pass; indexed sources answer from chunk metadata.
+  [[nodiscard]] virtual double time_span() const;
+
   /// Total events (one pass when the format does not declare it).
   [[nodiscard]] virtual std::uint64_t event_count() const;
 
@@ -80,6 +115,10 @@ class MemoryTraceSource final : public TraceSource {
 
   [[nodiscard]] const TraceMeta& meta() const override { return meta_; }
   void for_each(const EventVisitor& visit) const override;
+  void for_each_batch(const BatchVisitor& visit) const override;
+  void for_each_batch_hinted(const ChunkHint& hint,
+                             const BatchVisitor& visit) const override;
+  [[nodiscard]] double time_span() const override;
   [[nodiscard]] std::uint64_t event_count() const override;
   [[nodiscard]] Trace materialize() const override;
 
@@ -90,7 +129,13 @@ class MemoryTraceSource final : public TraceSource {
 
 /// Streams a trace file (TSV, binary v1, or binary v2) from disk on
 /// every pass. Holds only the header metadata — plus, for v2, the
-/// footer index, which for_each_hinted uses to skip chunks.
+/// footer index, which the hinted passes use to skip chunks. The file
+/// is opened (and its format sniffed) exactly once; every pass rewinds
+/// the same seekable stream, and v2 passes decode whole chunks with
+/// single sized reads into a reusable buffer. Passes mutate the cached
+/// stream and scratch buffers, so one FileTraceSource must not run
+/// concurrent passes — ParallelTraceScanner opens per-thread streams
+/// instead.
 class FileTraceSource final : public TraceSource {
  public:
   /// Opens the file once to sniff the format and cache metadata (for
@@ -102,8 +147,13 @@ class FileTraceSource final : public TraceSource {
   void for_each(const EventVisitor& visit) const override;
   void for_each_hinted(const ChunkHint& hint,
                        const EventVisitor& visit) const override;
+  void for_each_batch(const BatchVisitor& visit) const override;
+  void for_each_batch_hinted(const ChunkHint& hint,
+                             const BatchVisitor& visit) const override;
+  [[nodiscard]] double time_span() const override;
   [[nodiscard]] std::uint64_t event_count() const override;
 
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
   [[nodiscard]] TraceFormat format() const noexcept { return format_; }
   /// The v2 footer index; nullopt for TSV/v1 files.
   [[nodiscard]] const std::optional<TraceIndex>& index() const noexcept {
@@ -111,10 +161,23 @@ class FileTraceSource final : public TraceSource {
   }
 
  private:
+  /// Rewind the cached stream for a fresh pass.
+  [[nodiscard]] std::istream& reset_stream() const;
+  /// Replay the legacy (TSV/v1) formats through the cached stream.
+  void stream_legacy(const EventVisitor& visit) const;
+  /// Decode the admitted v2 chunks in order, handing each decoded
+  /// buffer to `batch` (all chunks when hint is null).
+  void scan_chunks(const ChunkHint* hint, const BatchVisitor& batch) const;
+
   std::string path_;
   TraceFormat format_;
   TraceMeta meta_;
   std::optional<TraceIndex> index_;
+  mutable std::ifstream stream_;
+  // Per-pass scratch, reused so a pass costs zero steady-state
+  // allocations (one chunk's worth of bytes + decoded events).
+  mutable std::vector<char> raw_;
+  mutable std::vector<TraceEvent> batch_;
 };
 
 }  // namespace eio::ipm

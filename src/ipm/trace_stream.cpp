@@ -1,11 +1,14 @@
 #include "ipm/trace_stream.h"
 
 #include <algorithm>
+#include <cstring>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "common/check.h"
 
 namespace eio::ipm {
 
@@ -93,6 +96,62 @@ TraceEvent get_event(std::istream& in) {
   e.offset = get_varint(in);
   e.bytes = get_varint(in);
   e.phase = static_cast<std::int32_t>(unzigzag(get_varint(in)));
+  return e;
+}
+
+/// Bounds-checked cursor over an in-memory chunk image — the decode
+/// hot path works on bytes already read, paying one istream call per
+/// chunk instead of several per field.
+struct ByteReader {
+  const char* p;
+  const char* end;
+
+  [[noreturn]] static void truncated() {
+    throw std::runtime_error("truncated binary trace");
+  }
+
+  std::uint8_t u8() {
+    if (p == end) truncated();
+    return static_cast<std::uint8_t>(*p++);
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      std::uint8_t byte = u8();
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return value;
+      shift += 7;
+      if (shift >= 64) {
+        throw std::runtime_error("corrupt varint in binary trace");
+      }
+    }
+  }
+
+  double f64() {
+    if (end - p < static_cast<std::ptrdiff_t>(sizeof(double))) truncated();
+    double value;
+    std::memcpy(&value, p, sizeof value);
+    p += sizeof value;
+    return value;
+  }
+};
+
+TraceEvent get_event(ByteReader& in) {
+  TraceEvent e;
+  e.start = in.f64();
+  e.duration = in.f64();
+  auto op = in.varint();
+  if (op > static_cast<std::uint64_t>(posix::OpType::kFsync)) {
+    throw std::runtime_error("corrupt binary trace: bad op code");
+  }
+  e.op = static_cast<posix::OpType>(op);
+  e.rank = static_cast<RankId>(in.varint());
+  e.file = in.varint();
+  e.offset = in.varint();
+  e.bytes = in.varint();
+  e.phase = static_cast<std::int32_t>(unzigzag(in.varint()));
   return e;
 }
 
@@ -429,12 +488,52 @@ TraceIndex read_index_v2(std::istream& in) {
   auto [chunks, total] = get_footer(in);
   index.chunks = std::move(chunks);
   index.meta.declared_events = total;
+  index.footer_offset = footer_offset;
+  std::uint64_t prev = header_end;
   for (const ChunkMeta& c : index.chunks) {
-    if (c.offset < header_end || c.offset >= footer_offset) {
+    // Offsets must be in-bounds and strictly increasing — the sized
+    // chunk reads below derive each chunk's byte length from the next
+    // offset, so out-of-order entries would alias chunk extents.
+    if (c.offset < prev || c.offset >= footer_offset) {
       throw std::runtime_error("corrupt v2 trace: chunk offset out of bounds");
     }
+    prev = c.offset + 1;
   }
   return index;
+}
+
+std::uint64_t chunk_byte_length(const TraceIndex& index, std::size_t i) {
+  EIO_CHECK_MSG(i < index.chunks.size() && index.footer_offset != 0,
+                "chunk_byte_length needs an indexed chunk");
+  std::uint64_t end = i + 1 < index.chunks.size() ? index.chunks[i + 1].offset
+                                                  : index.footer_offset;
+  return end - index.chunks[i].offset;
+}
+
+void read_chunk_v2(std::istream& in, const ChunkMeta& chunk,
+                   std::uint64_t byte_len, std::vector<char>& raw,
+                   std::vector<TraceEvent>& events) {
+  in.clear();
+  in.seekg(static_cast<std::streamoff>(chunk.offset));
+  raw.resize(byte_len);
+  in.read(raw.data(), static_cast<std::streamsize>(byte_len));
+  if (static_cast<std::uint64_t>(in.gcount()) != byte_len) {
+    throw std::runtime_error("truncated v2 trace (chunk body)");
+  }
+  ByteReader r{raw.data(), raw.data() + byte_len};
+  if (r.u8() != kChunkTag) {
+    throw std::runtime_error("corrupt v2 trace: expected chunk tag");
+  }
+  auto count = r.varint();
+  if (count != chunk.events) {
+    throw std::runtime_error("corrupt v2 trace: chunk count mismatch");
+  }
+  events.clear();
+  events.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) events.push_back(get_event(r));
+  if (r.p != r.end) {
+    throw std::runtime_error("corrupt v2 trace: chunk length mismatch");
+  }
 }
 
 void stream_chunk_v2(std::istream& in, const ChunkMeta& chunk,

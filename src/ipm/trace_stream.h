@@ -27,6 +27,7 @@
 #include <functional>
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,10 @@ namespace eio::ipm {
 
 /// Per-event visitor used by all streaming readers.
 using EventVisitor = std::function<void(const TraceEvent&)>;
+
+/// Per-batch visitor: one call per run of consecutive events (one v2
+/// chunk, one whole in-memory trace), amortizing the indirect call.
+using BatchVisitor = std::function<void(std::span<const TraceEvent>)>;
 
 /// Job-level metadata parsed from any format's header.
 struct TraceMeta {
@@ -94,7 +99,17 @@ struct ChunkMeta {
 struct TraceIndex {
   TraceMeta meta;  ///< declared_events always set (footer total)
   std::vector<ChunkMeta> chunks;
+  /// Stream offset of the footer tag byte (chunks end here). Zero for
+  /// indexes not produced by read_index_v2 (e.g. default-constructed).
+  std::uint64_t footer_offset = 0;
 };
+
+/// Exact on-disk byte length of chunk `i` (tag byte through last
+/// event), derived from consecutive index offsets — chunks are written
+/// back to back, so chunk i ends where chunk i+1 (or the footer)
+/// begins. Requires an index from read_index_v2 (footer_offset set).
+[[nodiscard]] std::uint64_t chunk_byte_length(const TraceIndex& index,
+                                              std::size_t i);
 
 /// Streaming v2 writer; usable directly as a capture sink, so the
 /// monitor can emit an indexed trace file without ever materializing
@@ -144,5 +159,18 @@ class TraceWriterV2 final : public EventSink {
 /// Visit the events of one indexed chunk (seeks to chunk.offset).
 void stream_chunk_v2(std::istream& in, const ChunkMeta& chunk,
                      const EventVisitor& visit);
+
+/// Decode one indexed chunk with a single sized read: seek to
+/// chunk.offset, pull byte_len raw bytes into `raw`, then decode the
+/// events into `events` (cleared first) from memory — no per-field
+/// istream calls on the hot path. byte_len must be the exact chunk
+/// record length (see chunk_byte_length); the decode is required to
+/// consume every byte, so a wrong length or corrupt chunk throws
+/// std::runtime_error instead of yielding a partial batch. `raw` and
+/// `events` are caller-owned scratch so repeated calls reuse their
+/// capacity.
+void read_chunk_v2(std::istream& in, const ChunkMeta& chunk,
+                   std::uint64_t byte_len, std::vector<char>& raw,
+                   std::vector<TraceEvent>& events);
 
 }  // namespace eio::ipm

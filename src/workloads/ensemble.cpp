@@ -1,7 +1,6 @@
 #include "workloads/ensemble.h"
 
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <string>
@@ -9,21 +8,11 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/jobs.h"
 
 namespace eio::workloads {
 
-std::size_t resolve_jobs(std::size_t jobs) {
-  if (jobs > 0) return jobs;
-  if (const char* env = std::getenv("EIO_JOBS")) {
-    char* end = nullptr;
-    unsigned long value = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0' && value > 0) {
-      return static_cast<std::size_t>(value);
-    }
-  }
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
-}
+std::size_t resolve_jobs(std::size_t jobs) { return eio::resolve_jobs(jobs); }
 
 ParallelEnsembleRunner::ParallelEnsembleRunner(EnsembleOptions options)
     : jobs_(resolve_jobs(options.jobs)) {}

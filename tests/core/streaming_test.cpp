@@ -6,8 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <vector>
+
+#include "common/rng.h"
 
 #include "core/distribution.h"
 #include "core/histogram.h"
@@ -258,6 +262,237 @@ TEST(StreamingEquivalenceTest, V2FileRoundTripPreservesAnalysisInputs) {
     EventFilter f{.op = posix::OpType::kWrite};
     EXPECT_EQ(durations(source, f), durations(t, f)) << t.experiment();
     std::remove(path.c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Merge kernels: the partials a chunk-parallel scan folds per chunk
+// must merge back into exactly what the serial stream produces.
+
+TEST(MergeKernelsTest, ReservoirMergeConcatenatesBelowCapacity) {
+  // Chunk partials merged in stream order reproduce the serial sample
+  // verbatim while the combined count fits the capacity — regardless
+  // of the partials' seeds (no draws happen below capacity).
+  for (const ipm::Trace& t : seed_traces()) {
+    auto d = durations(t, {});
+    stats::ReservoirSampler serial;
+    for (double x : d) serial.add(x);
+    ASSERT_TRUE(serial.exact()) << t.experiment();
+
+    stats::ReservoirSampler merged;
+    const std::size_t chunk = 100;
+    for (std::size_t i = 0; i < d.size(); i += chunk) {
+      stats::ReservoirSampler part(
+          stats::ReservoirSampler::kDefaultCapacity,
+          rng::substream_seed(0x9E3779B97F4A7C15ULL, i / chunk));
+      for (std::size_t j = i; j < std::min(i + chunk, d.size()); ++j) {
+        part.add(d[j]);
+      }
+      merged.merge(part);
+    }
+    EXPECT_EQ(merged.seen(), serial.seen());
+    EXPECT_EQ(merged.samples(), serial.samples()) << t.experiment();
+  }
+}
+
+TEST(MergeKernelsTest, ReservoirExactContinuationMatchesSerialAdds) {
+  // Past capacity, merging an *exact* partial replays Algorithm R
+  // element by element with the same draw sequence serial adds would
+  // have used — so the merged sample is bit-identical to serial.
+  constexpr std::size_t kCap = 64;
+  std::vector<double> stream(1060);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i] = 0.5 * static_cast<double>(i);
+  }
+  stats::ReservoirSampler serial(kCap, 42);
+  for (double x : stream) serial.add(x);
+
+  stats::ReservoirSampler head(kCap, 42);
+  for (std::size_t i = 0; i < 1000; ++i) head.add(stream[i]);
+  stats::ReservoirSampler tail(kCap, 7);  // different seed: irrelevant
+  for (std::size_t i = 1000; i < stream.size(); ++i) tail.add(stream[i]);
+  ASSERT_FALSE(head.exact());
+  ASSERT_TRUE(tail.exact());
+
+  head.merge(tail);
+  EXPECT_EQ(head.seen(), serial.seen());
+  EXPECT_EQ(head.samples(), serial.samples());
+}
+
+TEST(MergeKernelsTest, ReservoirWeightedMergeIsDeterministicAndBalanced) {
+  // When both sides have overflowed, the weighted merge draws from the
+  // self substream: deterministic in (seeds, merge order), keeps both
+  // streams represented in proportion to their weights.
+  constexpr std::size_t kCap = 64;
+  auto build = [](double base, std::uint64_t seed) {
+    stats::ReservoirSampler r(kCap, seed);
+    for (int i = 0; i < 1000; ++i) r.add(base + 1e-3 * i);
+    return r;
+  };
+  const stats::ReservoirSampler a = build(0.0, 1);
+  const stats::ReservoirSampler b = build(10.0, 2);
+  ASSERT_FALSE(a.exact());
+  ASSERT_FALSE(b.exact());
+
+  stats::ReservoirSampler m1 = a;
+  m1.merge(b);
+  stats::ReservoirSampler m2 = a;
+  m2.merge(b);
+  EXPECT_EQ(m1.samples(), m2.samples());
+  EXPECT_EQ(m1.seen(), 2000u);
+  EXPECT_EQ(m1.samples().size(), kCap);
+  // Equal stream weights: expect ~32 of 64 slots from each side; the
+  // [10, 54] band is many sigma of slack around that.
+  std::size_t from_a = 0;
+  for (double x : m1.samples()) from_a += x < 5.0 ? 1 : 0;
+  EXPECT_GE(from_a, 10u);
+  EXPECT_LE(from_a, 54u);
+}
+
+TEST(MergeKernelsTest, SummaryMergeMatchesSerialStream) {
+  for (const ipm::Trace& t : seed_traces()) {
+    auto d = durations(t, {});
+    stats::StreamingSummary serial;
+    for (double x : d) serial.add(x);
+
+    stats::StreamingSummary merged;
+    const std::size_t chunk = 128;
+    for (std::size_t i = 0; i < d.size(); i += chunk) {
+      stats::SummaryOptions opt;
+      opt.reservoir_seed = rng::substream_seed(opt.reservoir_seed, i / chunk);
+      stats::StreamingSummary part(opt);
+      for (std::size_t j = i; j < std::min(i + chunk, d.size()); ++j) {
+        part.add(d[j]);
+      }
+      merged.merge(part);
+    }
+
+    EXPECT_EQ(merged.count(), serial.count()) << t.experiment();
+    EXPECT_DOUBLE_EQ(merged.min(), serial.min());
+    EXPECT_DOUBLE_EQ(merged.max(), serial.max());
+    stats::Moments a = serial.moments();
+    stats::Moments b = merged.moments();
+    EXPECT_NEAR(b.mean, a.mean, 1e-12 * std::abs(a.mean));
+    EXPECT_NEAR(b.variance, a.variance, 1e-9 * std::abs(a.variance));
+    // Below reservoir capacity the merged sample is the stream itself,
+    // so order statistics match exactly, not approximately.
+    for (double q : {0.25, 0.5, 0.95}) {
+      EXPECT_DOUBLE_EQ(merged.quantile(q), serial.quantile(q))
+          << t.experiment() << " q=" << q;
+    }
+  }
+}
+
+TEST(MergeKernelsTest, PhaseSummarySinkMergeMatchesSingleSink) {
+  for (const ipm::Trace& t : seed_traces()) {
+    PhaseSummarySink whole{{}};
+    PhaseSummarySink left{{}};
+    PhaseSummarySink right{{}};
+    std::size_t n = 0;
+    const std::size_t half = t.size() / 2;
+    MemoryTraceSource source(t);
+    source.for_each([&](const ipm::TraceEvent& e) {
+      whole.on_event(e);
+      (n++ < half ? left : right).on_event(e);
+    });
+    left.merge(right);
+    ASSERT_EQ(left.by_phase().size(), whole.by_phase().size())
+        << t.experiment();
+    for (const auto& [phase, s] : whole.by_phase()) {
+      auto it = left.by_phase().find(phase);
+      ASSERT_NE(it, left.by_phase().end()) << t.experiment();
+      EXPECT_EQ(it->second.count(), s.count());
+      EXPECT_DOUBLE_EQ(it->second.median(), s.median()) << t.experiment();
+      EXPECT_DOUBLE_EQ(it->second.quantile(0.95), s.quantile(0.95));
+    }
+  }
+}
+
+TEST(MergeKernelsTest, RateSeriesMergeMatchesSingleBuilder) {
+  for (const ipm::Trace& t : seed_traces()) {
+    const double span = t.span();
+    RateSeriesBuilder whole(span, 64);
+    RateSeriesBuilder left(span, 64);
+    RateSeriesBuilder right(span, 64);
+    const auto& events = t.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      whole.add(events[i]);
+      (i < events.size() / 2 ? left : right).add(events[i]);
+    }
+    left.merge(right);
+    const TimeSeries& a = whole.series();
+    const TimeSeries& b = left.series();
+    EXPECT_DOUBLE_EQ(b.t0, a.t0);
+    EXPECT_DOUBLE_EQ(b.dt, a.dt);
+    ASSERT_EQ(b.values.size(), a.values.size());
+    for (std::size_t i = 0; i < a.values.size(); ++i) {
+      // Rates are linear, so partials merge exactly up to FP
+      // reassociation of the per-bin sums.
+      EXPECT_NEAR(b.values[i], a.values[i],
+                  1e-9 * std::max(std::abs(a.values[i]), 1.0))
+          << t.experiment() << " bin " << i;
+    }
+  }
+}
+
+TEST(MergeKernelsTest, HistogramQuantileWithinOneBinOfExact) {
+  // The merged-quantile mode: the histogram estimate must land within
+  // the width of the bin holding the exact order statistic.
+  for (const ipm::Trace& t : seed_traces()) {
+    auto d = durations(t, {});
+    stats::SummaryOptions opt;
+    opt.quantile_bins = 256;
+    stats::StreamingSummary serial(opt);
+    for (double x : d) serial.add(x);
+    ASSERT_TRUE(serial.quantile_histogram().has_value());
+    const stats::Histogram& h = *serial.quantile_histogram();
+    EXPECT_EQ(h.total(), d.size());
+
+    std::vector<double> sorted = d;
+    std::sort(sorted.begin(), sorted.end());
+    for (double q : {0.05, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+      auto rank = static_cast<std::size_t>(
+          std::ceil(q * static_cast<double>(sorted.size())));
+      if (rank == 0) rank = 1;
+      const double exact = sorted[rank - 1];
+      const double estimate = serial.histogram_quantile(q);
+      const double bound = h.bin_width(h.bin_index(exact));
+      EXPECT_NEAR(estimate, exact, bound)
+          << t.experiment() << " q=" << q;
+    }
+  }
+}
+
+TEST(MergeKernelsTest, HistogramQuantileIsMergeStable) {
+  // Unlike reservoir quantiles, histogram quantiles survive chunked
+  // merging bit-identically: bins are integers and merge exactly.
+  for (const ipm::Trace& t : seed_traces()) {
+    auto d = durations(t, {});
+    stats::SummaryOptions opt;
+    opt.quantile_bins = 256;
+    stats::StreamingSummary serial(opt);
+    for (double x : d) serial.add(x);
+
+    stats::StreamingSummary merged(opt);
+    const std::size_t chunk = 97;  // deliberately not a divisor
+    for (std::size_t i = 0; i < d.size(); i += chunk) {
+      stats::SummaryOptions part_opt = opt;
+      part_opt.reservoir_seed =
+          rng::substream_seed(opt.reservoir_seed, i / chunk);
+      stats::StreamingSummary part(part_opt);
+      for (std::size_t j = i; j < std::min(i + chunk, d.size()); ++j) {
+        part.add(d[j]);
+      }
+      merged.merge(part);
+    }
+    ASSERT_EQ(merged.quantile_histogram()->counts(),
+              serial.quantile_histogram()->counts())
+        << t.experiment();
+    for (double q : {0.05, 0.5, 0.95}) {
+      EXPECT_DOUBLE_EQ(merged.histogram_quantile(q),
+                       serial.histogram_quantile(q))
+          << t.experiment() << " q=" << q;
+    }
   }
 }
 

@@ -1,0 +1,405 @@
+// ParallelTraceScanner and the chunk-parallel analysis kernels: the
+// parallel scan must agree with the serial streaming path on IOR /
+// MADbench / GCRM seed traces — byte-identically for every --jobs
+// value, and exactly (not statistically) wherever the underlying
+// kernel merges exactly. Also covers hinted (selective) parallel
+// scans, the time-window chunk pre-filter, batch dispatch, and error
+// propagation out of the worker pool.
+#include "ipm/parallel_scan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/parallel_analysis.h"
+#include "core/rate_series.h"
+#include "core/samples.h"
+#include "core/streaming.h"
+#include "ipm/trace.h"
+#include "ipm/trace_source.h"
+#include "ipm/trace_stream.h"
+#include "workloads/gcrm.h"
+#include "workloads/ior.h"
+#include "workloads/madbench.h"
+
+namespace eio::analysis {
+namespace {
+
+ipm::Trace ior_trace() {
+  workloads::IorConfig cfg;
+  cfg.tasks = 32;
+  cfg.block_size = 4 * MiB;
+  cfg.segments = 2;
+  cfg.read_back = true;
+  return workloads::run_job(
+             workloads::make_ior_job(lustre::MachineConfig::franklin(), cfg))
+      .trace;
+}
+
+ipm::Trace madbench_trace() {
+  workloads::MadbenchConfig cfg;
+  cfg.tasks = 16;
+  cfg.matrix_bytes = 4 * MiB + 300 * KiB;
+  cfg.matrices = 2;
+  return workloads::run_job(
+             workloads::make_madbench_job(lustre::MachineConfig::franklin(), cfg))
+      .trace;
+}
+
+ipm::Trace gcrm_trace() {
+  workloads::GcrmConfig cfg = workloads::GcrmConfig::baseline();
+  cfg.tasks = 64;
+  cfg.io_tasks = 8;
+  cfg.multi_record_vars = 1;
+  cfg.records_per_multi = 2;
+  return workloads::run_job(
+             workloads::make_gcrm_job(lustre::MachineConfig::franklin(), cfg))
+      .trace;
+}
+
+const std::vector<ipm::Trace>& seed_traces() {
+  static const std::vector<ipm::Trace> traces = [] {
+    std::vector<ipm::Trace> t;
+    t.push_back(ior_trace());
+    t.push_back(madbench_trace());
+    t.push_back(gcrm_trace());
+    return t;
+  }();
+  return traces;
+}
+
+/// Write `t` as an indexed v2 file with a small chunk size, so even
+/// the seed traces span many chunks and the scan has real parallelism
+/// to get wrong.
+std::string write_v2_chunked(const ipm::Trace& t, std::size_t chunk_events,
+                             const std::string& tag) {
+  std::string path = ::testing::TempDir() + "/eio_pscan_" + tag + ".bin";
+  std::ofstream out(path, std::ios::binary);
+  ipm::TraceWriterV2 writer(out, t.experiment(), t.ranks(),
+                            {.chunk_events = chunk_events});
+  for (const ipm::TraceEvent& e : t.events()) writer.add(e);
+  writer.finish();
+  return path;
+}
+
+/// A synthetic trace whose event start times increase monotonically,
+/// so consecutive chunks cover disjoint time ranges — the shape that
+/// makes time-window chunk skipping observable.
+ipm::Trace monotonic_trace(std::size_t events) {
+  ipm::Trace t("monotonic", 8);
+  for (std::size_t i = 0; i < events; ++i) {
+    ipm::TraceEvent e;
+    e.start = 0.01 * static_cast<double>(i);
+    e.duration = 0.005;
+    e.op = i % 3 == 0 ? posix::OpType::kRead : posix::OpType::kWrite;
+    e.rank = static_cast<RankId>(i % 8);
+    e.file = 1;
+    e.bytes = 4096;
+    e.phase = static_cast<std::int32_t>(i / 256);
+    t.add(e);
+  }
+  return t;
+}
+
+stats::StreamingSummary serial_summary(const ipm::TraceSource& source,
+                                       const EventFilter& filter) {
+  SummarySink sink(filter);
+  source.for_each([&sink](const ipm::TraceEvent& e) { sink.on_event(e); });
+  return sink.summary();
+}
+
+TEST(ParallelScanTest, ScannerRejectsNonV2Files) {
+  const ipm::Trace t = monotonic_trace(100);
+  std::string path = ::testing::TempDir() + "/eio_pscan_tsv.trace";
+  t.save(path);
+  EXPECT_THROW(ipm::ParallelTraceScanner scanner(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ParallelScanTest, ChunkHintAdmitsTimeWindows) {
+  ipm::ChunkMeta chunk;
+  chunk.t_lo = 2.0;
+  chunk.t_hi = 3.0;
+  const auto admits = [&chunk](const ipm::ChunkHint& hint) {
+    return hint.admits(chunk);
+  };
+  EXPECT_TRUE(admits({}));
+  EXPECT_TRUE(admits({.t_lo = 2.5}));
+  EXPECT_TRUE(admits({.t_hi = 2.5}));
+  EXPECT_TRUE(admits({.t_lo = 1.0, .t_hi = 2.0}));
+  EXPECT_TRUE(admits({.t_lo = 3.0, .t_hi = 9.0}));
+  EXPECT_FALSE(admits({.t_hi = 1.9}));
+  EXPECT_FALSE(admits({.t_lo = 3.1}));
+  EXPECT_FALSE(admits({.t_lo = 0.0, .t_hi = 1.0}));
+}
+
+TEST(ParallelScanTest, SummaryMatchesSerialStreamingOnSeedTraces) {
+  for (const ipm::Trace& t : seed_traces()) {
+    const std::string path = write_v2_chunked(t, 64, t.experiment());
+    ipm::FileTraceSource source(path);
+    const stats::StreamingSummary serial = serial_summary(source, {});
+
+    ipm::ParallelTraceScanner scanner(path, {.jobs = 4});
+    ASSERT_GT(scanner.index().chunks.size(), 4u) << t.experiment();
+    const stats::StreamingSummary scanned = scan_summary(scanner, {});
+
+    EXPECT_EQ(scanned.count(), serial.count()) << t.experiment();
+    EXPECT_DOUBLE_EQ(scanned.min(), serial.min());
+    EXPECT_DOUBLE_EQ(scanned.max(), serial.max());
+    const stats::Moments a = serial.moments();
+    const stats::Moments b = scanned.moments();
+    EXPECT_NEAR(b.mean, a.mean, 1e-12 * std::abs(a.mean));
+    EXPECT_NEAR(b.variance, a.variance, 1e-9 * std::abs(a.variance));
+    // Chunk partials are exact (64 events << capacity) and merge in
+    // stream order, so the merged reservoir holds the full stream —
+    // identical to the serial sink's, and order statistics are exact.
+    ASSERT_TRUE(scanned.reservoir().exact());
+    EXPECT_EQ(scanned.reservoir().samples(), serial.reservoir().samples())
+        << t.experiment();
+    for (double q : {0.25, 0.5, 0.95}) {
+      EXPECT_DOUBLE_EQ(scanned.quantile(q), serial.quantile(q))
+          << t.experiment() << " q=" << q;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ParallelScanTest, ScanIsByteIdenticalForEveryJobsValue) {
+  const ipm::Trace t = gcrm_trace();
+  const std::string path = write_v2_chunked(t, 64, "jobs_invariance");
+  const EventFilter writes{.op = posix::OpType::kWrite};
+
+  ipm::ParallelTraceScanner reference(path, {.jobs = 1});
+  const stats::StreamingSummary base = scan_summary(reference, writes);
+  const auto base_hist =
+      scan_histogram(reference, writes, stats::BinScale::kLog10, 40);
+  const TimeSeries base_rate = scan_rate(reference, writes, 64);
+  const auto base_phases = scan_phase_summaries(reference, {});
+  ASSERT_TRUE(base_hist.has_value());
+
+  // A deliberately tight merge window exercises the worker throttle.
+  for (ipm::ScanOptions opt :
+       {ipm::ScanOptions{.jobs = 2}, ipm::ScanOptions{.jobs = 4},
+        ipm::ScanOptions{.jobs = 4, .merge_window = 2}}) {
+    ipm::ParallelTraceScanner scanner(path, opt);
+    const stats::StreamingSummary s = scan_summary(scanner, writes);
+    EXPECT_EQ(s.count(), base.count());
+    EXPECT_EQ(s.reservoir().samples(), base.reservoir().samples());
+    EXPECT_EQ(s.moments().mean, base.moments().mean);
+    EXPECT_EQ(s.moments().variance, base.moments().variance);
+
+    const auto h = scan_histogram(scanner, writes, stats::BinScale::kLog10, 40);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_EQ(h->counts(), base_hist->counts());
+    EXPECT_EQ(h->lo(), base_hist->lo());
+    EXPECT_EQ(h->hi(), base_hist->hi());
+
+    const TimeSeries r = scan_rate(scanner, writes, 64);
+    EXPECT_EQ(r.t0, base_rate.t0);
+    EXPECT_EQ(r.dt, base_rate.dt);
+    EXPECT_EQ(r.values, base_rate.values);
+
+    const auto phases = scan_phase_summaries(scanner, {});
+    ASSERT_EQ(phases.size(), base_phases.size());
+    for (const auto& [phase, summary] : base_phases) {
+      auto it = phases.find(phase);
+      ASSERT_NE(it, phases.end());
+      EXPECT_EQ(it->second.count(), summary.count());
+      EXPECT_EQ(it->second.reservoir().samples(),
+                summary.reservoir().samples());
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ParallelScanTest, HintedScanMatchesSerialFilteredStream) {
+  const ipm::Trace t = madbench_trace();
+  const std::string path = write_v2_chunked(t, 64, "hinted");
+  ipm::FileTraceSource source(path);
+  ipm::ParallelTraceScanner scanner(path, {.jobs = 4});
+
+  std::vector<EventFilter> filters;
+  filters.push_back({.op = posix::OpType::kWrite});
+  filters.push_back({.op = posix::OpType::kRead});
+  const auto& phases = scanner.index().chunks;
+  filters.push_back({.phase = phases[phases.size() / 2].phase_lo});
+  const double span = scanner.time_span();
+  filters.push_back({.t_lo = 0.25 * span, .t_hi = 0.5 * span});
+  filters.push_back({.op = posix::OpType::kWrite, .t_hi = 0.75 * span});
+
+  for (const EventFilter& f : filters) {
+    const stats::StreamingSummary serial = serial_summary(source, f);
+    const stats::StreamingSummary scanned = scan_summary(scanner, f);
+    ASSERT_EQ(scanned.count(), serial.count());
+    if (serial.count() == 0) continue;
+    EXPECT_DOUBLE_EQ(scanned.min(), serial.min());
+    EXPECT_DOUBLE_EQ(scanned.max(), serial.max());
+    EXPECT_EQ(scanned.reservoir().samples(), serial.reservoir().samples());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ParallelScanTest, TimeWindowHintSkipsChunksWithoutChangingResults) {
+  const ipm::Trace t = monotonic_trace(2048);
+  const std::string path = write_v2_chunked(t, 128, "window");
+  ipm::FileTraceSource source(path);
+  ipm::ParallelTraceScanner scanner(path, {.jobs = 4});
+  const double span = scanner.time_span();
+
+  // Monotonic starts make chunk time ranges disjoint, so a quarter-span
+  // window must prove most chunks unmatchable.
+  const EventFilter window{.t_lo = 0.40 * span, .t_hi = 0.60 * span};
+  const ipm::ChunkHint hint = hint_for(window);
+  std::size_t admitted = 0;
+  for (const ipm::ChunkMeta& c : scanner.index().chunks) {
+    admitted += hint.admits(c) ? 1 : 0;
+  }
+  ASSERT_GT(admitted, 0u);
+  EXPECT_LT(admitted, scanner.index().chunks.size() / 2);
+
+  const stats::StreamingSummary serial = serial_summary(source, window);
+  const stats::StreamingSummary scanned = scan_summary(scanner, window);
+  ASSERT_GT(serial.count(), 0u);
+  EXPECT_EQ(scanned.count(), serial.count());
+  EXPECT_EQ(scanned.reservoir().samples(), serial.reservoir().samples());
+
+  // A window entirely past the trace admits nothing and yields the
+  // empty summary on both paths.
+  const EventFilter beyond{.t_lo = span + 1.0};
+  EXPECT_EQ(scan_summary(scanner, beyond).count(), 0u);
+  EXPECT_EQ(serial_summary(source, beyond).count(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ParallelScanTest, HistogramMatchesBatchBinning) {
+  for (const ipm::Trace& t : seed_traces()) {
+    const std::string path = write_v2_chunked(t, 64, t.experiment() + "_hist");
+    ipm::ParallelTraceScanner scanner(path, {.jobs = 4});
+    const EventFilter writes{.op = posix::OpType::kWrite};
+    const auto d = durations(t, writes);
+    ASSERT_FALSE(d.empty()) << t.experiment();
+
+    for (stats::BinScale scale :
+         {stats::BinScale::kLinear, stats::BinScale::kLog10}) {
+      const stats::Histogram batch =
+          stats::Histogram::from_samples(d, scale, 40);
+      const auto scanned = scan_histogram(scanner, writes, scale, 40);
+      ASSERT_TRUE(scanned.has_value()) << t.experiment();
+      EXPECT_DOUBLE_EQ(scanned->lo(), batch.lo()) << t.experiment();
+      EXPECT_DOUBLE_EQ(scanned->hi(), batch.hi()) << t.experiment();
+      EXPECT_EQ(scanned->counts(), batch.counts()) << t.experiment();
+      EXPECT_EQ(scanned->underflow(), batch.underflow());
+      EXPECT_EQ(scanned->overflow(), batch.overflow());
+    }
+
+    // Nothing matches: the scan reports "no histogram", not a crash.
+    EXPECT_FALSE(
+        scan_histogram(scanner, {.rank = 99999}, stats::BinScale::kLinear, 40)
+            .has_value());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ParallelScanTest, RateSeriesMatchesSerialAggregate) {
+  for (const ipm::Trace& t : seed_traces()) {
+    const std::string path = write_v2_chunked(t, 64, t.experiment() + "_rate");
+    ipm::FileTraceSource source(path);
+    ipm::ParallelTraceScanner scanner(path, {.jobs = 4});
+    const EventFilter writes{.op = posix::OpType::kWrite};
+
+    const TimeSeries serial = aggregate_rate(source, writes, 64);
+    const TimeSeries scanned = scan_rate(scanner, writes, 64);
+    EXPECT_DOUBLE_EQ(scanned.t0, serial.t0);
+    EXPECT_DOUBLE_EQ(scanned.dt, serial.dt);
+    ASSERT_EQ(scanned.values.size(), serial.values.size());
+    for (std::size_t i = 0; i < serial.values.size(); ++i) {
+      EXPECT_NEAR(scanned.values[i], serial.values[i],
+                  1e-9 * std::max(std::abs(serial.values[i]), 1.0))
+          << t.experiment() << " bin " << i;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ParallelScanTest, PhaseSummariesMatchSerialSink) {
+  for (const ipm::Trace& t : seed_traces()) {
+    const std::string path = write_v2_chunked(t, 64, t.experiment() + "_phase");
+    ipm::FileTraceSource source(path);
+    ipm::ParallelTraceScanner scanner(path, {.jobs = 4});
+
+    PhaseSummarySink serial{{}};
+    source.for_each(
+        [&serial](const ipm::TraceEvent& e) { serial.on_event(e); });
+    const auto scanned = scan_phase_summaries(scanner, {});
+
+    ASSERT_EQ(scanned.size(), serial.by_phase().size()) << t.experiment();
+    for (const auto& [phase, s] : serial.by_phase()) {
+      auto it = scanned.find(phase);
+      ASSERT_NE(it, scanned.end()) << t.experiment();
+      EXPECT_EQ(it->second.count(), s.count());
+      EXPECT_EQ(it->second.reservoir().samples(), s.reservoir().samples())
+          << t.experiment() << " phase " << phase;
+      EXPECT_DOUBLE_EQ(it->second.median(), s.median());
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ParallelScanTest, BatchDispatchConcatenatesToEventOrder) {
+  const ipm::Trace t = monotonic_trace(1000);
+  const std::string path = write_v2_chunked(t, 128, "batch_dispatch");
+  ipm::FileTraceSource source(path);
+
+  std::vector<double> per_event;
+  source.for_each(
+      [&](const ipm::TraceEvent& e) { per_event.push_back(e.start); });
+
+  std::vector<double> batched;
+  std::size_t batches = 0;
+  source.for_each_batch([&](std::span<const ipm::TraceEvent> events) {
+    ++batches;
+    for (const ipm::TraceEvent& e : events) batched.push_back(e.start);
+  });
+  EXPECT_EQ(batched, per_event);
+  EXPECT_GT(batches, 1u);  // one span per v2 chunk
+
+  // An in-memory source hands out exactly one span — the whole trace.
+  ipm::MemoryTraceSource memory(t);
+  batches = 0;
+  std::size_t total = 0;
+  memory.for_each_batch([&](std::span<const ipm::TraceEvent> events) {
+    ++batches;
+    total += events.size();
+  });
+  EXPECT_EQ(batches, 1u);
+  EXPECT_EQ(total, t.size());
+  std::remove(path.c_str());
+}
+
+TEST(ParallelScanTest, WorkerExceptionsPropagateToCaller) {
+  const ipm::Trace t = monotonic_trace(1000);
+  const std::string path = write_v2_chunked(t, 64, "error_path");
+  ipm::ParallelTraceScanner scanner(path, {.jobs = 4});
+  EXPECT_THROW(
+      {
+        (void)scanner.scan(
+            [](std::size_t) { return 0; },
+            [](int&, std::span<const ipm::TraceEvent> events) {
+              if (events.front().start > 1.0) {
+                throw std::runtime_error("fold failed");
+              }
+            },
+            [](int& a, int&& b) { a += b; });
+      },
+      std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace eio::analysis
