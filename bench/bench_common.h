@@ -8,6 +8,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,9 @@
 #include "core/rate_series.h"
 #include "core/samples.h"
 #include "core/trace_diagram.h"
+#include "obs/build_info.h"
+#include "obs/export.h"
+#include "obs/registry.h"
 #include "workloads/ensemble.h"
 #include "workloads/experiment.h"
 
@@ -47,6 +52,82 @@ inline std::size_t jobs_flag(int argc, char** argv) {
                  value.c_str());
   }
   return 0;
+}
+
+/// The standard provenance header every BENCH_*.json embeds: report
+/// schema version, generation timestamp, and the same build block the
+/// eiotrace metrics report carries — so a bench number is always
+/// traceable to the commit and flags that produced it. Emits trailing
+/// ",\n"; call first inside the object.
+inline void write_provenance(std::ostream& json) {
+  json << "  \"schema_version\": " << obs::kMetricsSchemaVersion << ",\n"
+       << "  \"generated_at\": \"" << obs::iso8601_utc_now() << "\",\n"
+       << "  \"build\": ";
+  obs::write_build_info_json(json, "  ");
+  json << ",\n";
+}
+
+/// Self-observability flags shared with the eiotrace CLI
+/// (--chrome-trace PATH, --metrics PATH, --obs-summary, --obs), in
+/// both --flag=value and --flag value forms. Call obs_flags() before
+/// the measured work and finish_obs() after it.
+struct ObsFlags {
+  std::string chrome_trace;
+  std::string metrics;
+  bool summary = false;
+  bool enable = false;
+
+  [[nodiscard]] bool any() const {
+    return enable || summary || !chrome_trace.empty() || !metrics.empty();
+  }
+};
+
+inline ObsFlags obs_flags(int argc, char** argv) {
+  ObsFlags f;
+  auto value_of = [&](int& i, const char* flag) -> const char* {
+    std::string arg = argv[i];
+    std::string name = flag;
+    if (arg == name && i + 1 < argc) return argv[++i];
+    if (arg.rfind(name + "=", 0) == 0) {
+      return argv[i] + name.size() + 1;
+    }
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = value_of(i, "--chrome-trace")) {
+      f.chrome_trace = v;
+    } else if (const char* v = value_of(i, "--metrics")) {
+      f.metrics = v;
+    } else if (std::string(argv[i]) == "--obs-summary") {
+      f.summary = true;
+    } else if (std::string(argv[i]) == "--obs") {
+      f.enable = true;
+    }
+  }
+  if (f.any()) {
+    obs::Registry::instance().reset();
+    obs::set_enabled(true);
+  }
+  return f;
+}
+
+inline void finish_obs(const ObsFlags& f) {
+  if (!f.any()) return;
+  obs::set_enabled(false);
+  obs::Snapshot snap = obs::Registry::instance().snapshot();
+  if (!f.metrics.empty()) {
+    obs::write_metrics_file(f.metrics, snap);
+    std::printf("  [obs] %s written\n", f.metrics.c_str());
+  }
+  if (!f.chrome_trace.empty()) {
+    obs::write_chrome_trace_file(f.chrome_trace);
+    std::printf("  [obs] %s written\n", f.chrome_trace.c_str());
+  }
+  if (f.summary) {
+    std::ostringstream os;
+    obs::print_summary(os, snap);
+    std::printf("%s", os.str().c_str());
+  }
 }
 
 inline void banner(const std::string& title, const std::string& paper_ref) {

@@ -42,6 +42,7 @@ double time_ensemble(const workloads::JobSpec& job, std::size_t runs,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ObsFlags obs = bench::obs_flags(argc, argv);
   bench::banner("ensemble_stability — IOR across 5 independent runs",
                 "Section III reproducibility claim / Figure 1(c) overlay");
 
@@ -136,8 +137,9 @@ int main(int argc, char** argv) {
   utsname uts{};
   uname(&uts);
   std::ofstream json("BENCH_ensemble.json");
-  json << "{\n"
-       << "  \"benchmark\": \"ensemble_stability\",\n"
+  json << "{\n";
+  bench::write_provenance(json);
+  json << "  \"benchmark\": \"ensemble_stability\",\n"
        << "  \"runs\": " << bench_runs << ",\n"
        << "  \"tasks_per_run\": " << small.tasks << ",\n"
        << "  \"serial_seconds\": " << serial_s << ",\n"
@@ -152,5 +154,6 @@ int main(int argc, char** argv) {
        << uts.machine << "\"\n"
        << "}\n";
   std::printf("  [json] BENCH_ensemble.json written\n");
+  bench::finish_obs(obs);
   return 0;
 }

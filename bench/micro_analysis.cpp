@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/histogram.h"
 #include "core/parallel_analysis.h"
 #include "core/rate_series.h"
@@ -310,7 +311,8 @@ void check_against_reference(const char* path_name, const PathResult& r,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  eio::bench::ObsFlags obs = eio::bench::obs_flags(argc, argv);
   const std::size_t base = 200'000;
   const std::vector<std::size_t> sizes{base, 4 * base};
   const std::vector<std::size_t> job_counts{1, 2, 4, 8};
@@ -361,7 +363,9 @@ int main() {
   utsname uts{};
   uname(&uts);
   std::ofstream json("BENCH_analysis.json");
-  json << "{\n  \"benchmark\": \"micro_analysis\",\n"
+  json << "{\n";
+  eio::bench::write_provenance(json);
+  json << "  \"benchmark\": \"micro_analysis\",\n"
        << "  \"note\": \"each row measured in a forked child, so "
           "peak_rss_kib is per-path VmHWM, not a shared high-water mark; "
           "parallel rows only show speedup when hardware_concurrency > "
@@ -383,5 +387,6 @@ int main() {
        << uts.machine << "\"\n"
        << "}\n";
   std::printf("[json] BENCH_analysis.json written\n");
+  eio::bench::finish_obs(obs);
   return 0;
 }

@@ -25,6 +25,9 @@
 #include "ipm/trace_source.h"
 #include "ipm/trace_stream.h"
 #include "lustre/machine.h"
+#include "obs/build_info.h"
+#include "obs/export.h"
+#include "obs/registry.h"
 #include "workloads/ensemble.h"
 #include "workloads/ior.h"
 
@@ -506,6 +509,89 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Self-observability wiring.
+
+/// Obs flags are accepted anywhere on the command line, in both
+/// --flag=value and --flag value forms (scripts and the CI smoke step
+/// use the space form, which the Args parser does not), and stripped
+/// before command parsing so every command composes with them.
+struct ObsRequest {
+  std::string chrome_trace;  ///< --chrome-trace PATH: span trace JSON
+  std::string metrics;       ///< --metrics PATH: metrics JSON (or .tsv)
+  bool summary = false;      ///< --obs-summary: end-of-run table
+  bool enable = false;       ///< --obs: record without exporting
+
+  [[nodiscard]] bool any() const {
+    return enable || summary || !chrome_trace.empty() || !metrics.empty();
+  }
+};
+
+ObsRequest extract_obs_flags(std::vector<std::string>& args) {
+  ObsRequest req;
+  std::vector<std::string> kept;
+  kept.reserve(args.size());
+  auto value_of = [&args](std::size_t& i,
+                          std::string_view flag) -> std::optional<std::string> {
+    const std::string& a = args[i];
+    if (a == flag) {
+      if (i + 1 < args.size()) return args[++i];
+      return std::string();
+    }
+    if (a.size() > flag.size() + 1 && a.compare(0, flag.size(), flag) == 0 &&
+        a[flag.size()] == '=') {
+      return a.substr(flag.size() + 1);
+    }
+    return std::nullopt;
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (auto v = value_of(i, "--chrome-trace")) {
+      req.chrome_trace = *v;
+    } else if (auto v = value_of(i, "--metrics")) {
+      req.metrics = *v;
+    } else if (args[i] == "--obs-summary") {
+      req.summary = true;
+    } else if (args[i] == "--obs") {
+      req.enable = true;
+    } else {
+      kept.push_back(args[i]);
+    }
+  }
+  args = std::move(kept);
+  return req;
+}
+
+/// Export/print whatever the run recorded. Returns non-zero only when
+/// a requested output file cannot be written.
+int finish_obs(const ObsRequest& req, std::ostream& out, std::ostream& err) {
+  if (!req.any()) return 0;
+  int rc = 0;
+  obs::Snapshot snap = obs::Registry::instance().snapshot();
+  try {
+    if (!req.metrics.empty()) obs::write_metrics_file(req.metrics, snap);
+    if (!req.chrome_trace.empty()) {
+      obs::write_chrome_trace_file(req.chrome_trace);
+    }
+  } catch (const std::exception& e) {
+    err << "eiotrace: " << e.what() << "\n";
+    rc = 2;
+  }
+  if (req.summary) obs::print_summary(out, snap);
+  return rc;
+}
+
+int cmd_version(std::ostream& out) {
+  const obs::BuildInfo& b = obs::build_info();
+  out << "eiotrace (ensembleio) " << b.version << "\n"
+      << "  git_sha:       " << b.git_sha << "\n"
+      << "  compiler:      " << b.compiler << "\n"
+      << "  flags:         " << b.flags << "\n"
+      << "  build_type:    " << b.build_type << "\n"
+      << "  observability: "
+      << (b.obs_compiled_in ? "compiled in" : "compiled out") << "\n";
+  return 0;
+}
+
 using Command = int (*)(const ipm::TraceSource&, const Args&, std::ostream&,
                         std::ostream&);
 
@@ -543,6 +629,12 @@ std::string usage_text() {
      << "             [--segments N] [--machine franklin|franklin-patched|"
         "jaguar]\n"
      << "             [--save-dir DIR]\n"
+     << "  version    build provenance (git SHA, compiler, flags); also\n"
+     << "             --version / --build-info\n"
+     << "self-observability (any command): --chrome-trace OUT.json "
+        "--metrics OUT.json|.tsv\n"
+     << "             --obs-summary --obs   (instrument this invocation "
+        "itself)\n"
      << "common filter flags: --op=write|read --phase=P --min-bytes=N "
         "--max-bytes=N\n"
      << "                     --t-lo=S --t-hi=S (wall-clock window, "
@@ -554,11 +646,17 @@ std::string usage_text() {
   return os.str();
 }
 
-int run_eiotrace(const std::vector<std::string>& args, std::ostream& out,
-                 std::ostream& err) {
+namespace {
+
+int dispatch(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
   if (args.empty() || args[0] == "--help" || args[0] == "help") {
     out << usage_text();
     return args.empty() ? 1 : 0;
+  }
+  if (args[0] == "version" || args[0] == "--version" ||
+      args[0] == "--build-info") {
+    return cmd_version(out);
   }
   if (args[0] == "simulate") {
     try {
@@ -587,6 +685,28 @@ int run_eiotrace(const std::vector<std::string>& args, std::ostream& out,
     err << "eiotrace: " << e.what() << "\n";
     return 2;
   }
+}
+
+}  // namespace
+
+int run_eiotrace(const std::vector<std::string>& raw_args, std::ostream& out,
+                 std::ostream& err) {
+  std::vector<std::string> args = raw_args;
+  ObsRequest obs_req = extract_obs_flags(args);
+  if (obs_req.any()) {
+    if (!obs::kCompiledIn) {
+      err << "eiotrace: warning: observability was compiled out "
+             "(-DEIO_OBS=OFF); reports will be empty\n";
+    }
+    // Reset so each invocation's report covers exactly this invocation
+    // (matters for in-process drivers like the test harness).
+    obs::Registry::instance().reset();
+    obs::set_enabled(true);
+  }
+  int rc = dispatch(args, out, err);
+  int obs_rc = finish_obs(obs_req, out, err);
+  if (obs_req.any()) obs::set_enabled(false);
+  return rc != 0 ? rc : obs_rc;
 }
 
 }  // namespace eio::cli

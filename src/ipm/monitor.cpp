@@ -1,6 +1,7 @@
 #include "ipm/monitor.h"
 
 #include "common/check.h"
+#include "obs/registry.h"
 
 namespace eio::ipm {
 
@@ -45,6 +46,7 @@ void Monitor::add_sink(EventSink* sink) {
 
 void Monitor::finish() {
   if (finished_) return;
+  OBS_SPAN("monitor.finish");
   finished_ = true;
   for (EventSink* sink : sinks_) sink->finish();
 }
@@ -52,6 +54,7 @@ void Monitor::finish() {
 void Monitor::on_call(const posix::CallRecord& record) {
   using posix::OpType;
   ++intercepted_;
+  OBS_COUNTER_ADD("ipm.calls_intercepted", 1);
   bool is_data = record.op == OpType::kRead || record.op == OpType::kWrite;
   if (!is_data && !config_.record_metadata_calls) return;
 

@@ -43,6 +43,7 @@
 #include "common/jobs.h"
 #include "ipm/trace_source.h"
 #include "ipm/trace_stream.h"
+#include "obs/registry.h"
 
 namespace eio::ipm {
 
@@ -133,7 +134,12 @@ class ParallelTraceScanner {
                           const ChunkHint* hint = nullptr) const
       -> std::invoke_result_t<Make, std::size_t> {
     using Partial = std::invoke_result_t<Make, std::size_t>;
+    OBS_SPAN("scan.scan");
     std::vector<std::size_t> picks = admitted(hint);
+    // Hint-pruned chunks are skipped silently on the fast path; the
+    // counter pair makes the pruning visible in --obs-summary.
+    OBS_COUNTER_ADD("scan.chunks_scanned", picks.size());
+    OBS_COUNTER_ADD("scan.chunks_skipped", index_.chunks.size() - picks.size());
     if (picks.empty()) return make(std::size_t{0});
 
     std::size_t workers = std::min(jobs_, picks.size());
@@ -142,10 +148,17 @@ class ParallelTraceScanner {
       // on one thread — the determinism contract's base case.
       ChunkReader reader(path_);
       Partial result = make(picks[0]);
-      fold(result, reader.read(index_, picks[0]));
+      {
+        OBS_SPAN("scan.fold_chunk");
+        fold(result, reader.read(index_, picks[0]));
+      }
       for (std::size_t k = 1; k < picks.size(); ++k) {
         Partial p = make(picks[k]);
-        fold(p, reader.read(index_, picks[k]));
+        {
+          OBS_SPAN("scan.fold_chunk");
+          fold(p, reader.read(index_, picks[k]));
+        }
+        OBS_SPAN("scan.merge_partial");
         merge(result, std::move(p));
       }
       return result;
@@ -169,14 +182,17 @@ class ParallelTraceScanner {
             // so un-merged partials stay bounded. The worker holding
             // slot merge_pos is never throttled, so the frontier
             // always advances.
+            OBS_SPAN("scan.merge_wait");
             std::unique_lock<std::mutex> lock(mu);
             cv.wait(lock,
                     [&] { return error || k < merge_pos + merge_window_; });
             if (error) return;
           }
-          auto events = reader.read(index_, picks[k]);
           Partial p = make(picks[k]);
-          fold(p, events);
+          {
+            OBS_SPAN("scan.fold_chunk");
+            fold(p, reader.read(index_, picks[k]));
+          }
           std::lock_guard<std::mutex> lock(mu);
           ready.emplace(k, std::move(p));
           cv.notify_all();
@@ -205,6 +221,7 @@ class ParallelTraceScanner {
         ready.erase(it);
         lock.unlock();
         if (result) {
+          OBS_SPAN("scan.merge_partial");
           merge(*result, std::move(p));
         } else {
           result.emplace(std::move(p));

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "obs/registry.h"
 
 namespace eio::ipm {
 
@@ -140,7 +141,11 @@ void FileTraceSource::scan_chunks(const ChunkHint* hint,
   auto& in = reset_stream();
   for (std::size_t i = 0; i < index_->chunks.size(); ++i) {
     const ChunkMeta& chunk = index_->chunks[i];
-    if (hint && !hint->admits(chunk)) continue;
+    if (hint && !hint->admits(chunk)) {
+      OBS_COUNTER_ADD("scan.chunks_skipped", 1);
+      continue;
+    }
+    OBS_COUNTER_ADD("scan.chunks_scanned", 1);
     read_chunk_v2(in, chunk, chunk_byte_length(*index_, i), raw_, batch_);
     batch(std::span<const TraceEvent>(batch_));
   }

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "obs/registry.h"
 
 namespace eio::ipm {
 
@@ -439,6 +440,9 @@ void TraceWriterV2::add(const TraceEvent& event) {
 
 void TraceWriterV2::flush_chunk() {
   if (buffer_.empty()) return;
+  OBS_SPAN("v2.flush_chunk");
+  OBS_COUNTER_ADD("v2.chunks_written", 1);
+  OBS_COUNTER_ADD("v2.events_written", buffer_.size());
   ChunkMeta meta;
   meta.offset = static_cast<std::uint64_t>(out_->tellp());
   put<std::uint8_t>(*out_, kChunkTag);
@@ -513,6 +517,13 @@ std::uint64_t chunk_byte_length(const TraceIndex& index, std::size_t i) {
 void read_chunk_v2(std::istream& in, const ChunkMeta& chunk,
                    std::uint64_t byte_len, std::vector<char>& raw,
                    std::vector<TraceEvent>& events) {
+  // The decode chokepoint shared by the serial and parallel scan paths
+  // — its counters are work-proportional, so they are identical for
+  // any --jobs value.
+  OBS_SPAN("v2.decode_chunk");
+  OBS_COUNTER_ADD("v2.chunks_decoded", 1);
+  OBS_COUNTER_ADD("v2.events_decoded", chunk.events);
+  OBS_COUNTER_ADD("v2.bytes_decoded", byte_len);
   in.clear();
   in.seekg(static_cast<std::streamoff>(chunk.offset));
   raw.resize(byte_len);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/registry.h"
+
 namespace eio::lustre {
 
 sim::FluidNetwork::Config Filesystem::network_config(const MachineConfig& machine,
@@ -94,6 +96,8 @@ void Filesystem::write(NodeId node, RankId rank, FileId file, Bytes offset,
 
   ++stats_.writes;
   stats_.bytes_written += length;
+  OBS_COUNTER_ADD("fs.writes", 1);
+  OBS_COUNTER_ADD("fs.bytes_written", length);
   f.size = std::max(f.size, offset + length);
 
   if (length == 0) {
@@ -132,6 +136,7 @@ void Filesystem::write(NodeId node, RankId rank, FileId file, Bytes offset,
   if (absorbed > 0) {
     n.dirty += absorbed;
     stats_.bytes_absorbed += absorbed;
+    OBS_COUNTER_ADD("fs.bytes_absorbed", absorbed);
     start_drain(node, file, offset, absorbed);
   }
 
@@ -314,6 +319,8 @@ void Filesystem::read(NodeId node, RankId rank, FileId file, Bytes offset,
 
   ++stats_.reads;
   stats_.bytes_read += length;
+  OBS_COUNTER_ADD("fs.reads", 1);
+  OBS_COUNTER_ADD("fs.bytes_read", length);
 
   if (length == 0) {
     engine_.schedule_in(machine_.syscall_latency, std::move(done));
@@ -339,6 +346,7 @@ void Filesystem::read(NodeId node, RankId rank, FileId file, Bytes offset,
   if (machine_.strided_readahead_bug && matches >= machine_.strided_trigger &&
       under_pressure(node, file)) {
     ++stats_.degraded_reads;
+    OBS_COUNTER_ADD("fs.degraded_reads", 1);
     double pages = static_cast<double>(length) /
                    static_cast<double>(machine_.page_size);
     double severity =
@@ -369,6 +377,7 @@ void Filesystem::small_io(NodeId node, const FileState& f, bool is_write,
                           Bytes length, IoCallback done) {
   NodeState& n = nodes_[node];
   ++stats_.small_ops;
+  OBS_COUNTER_ADD("fs.small_ops", 1);
   double meta_factor = 1.0;
   // Metadata regions of unaligned files ping-pong locks with data
   // writes; alignment calms them down (Figure 6(i) vs 6(f)).

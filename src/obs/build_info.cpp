@@ -1,0 +1,97 @@
+#include "obs/build_info.h"
+
+#include <cstdio>
+#include <ctime>
+#include <ostream>
+
+namespace eio::obs {
+
+// The CMake side injects these through COMPILE_DEFINITIONS on this one
+// translation unit; missing definitions (e.g. a bare compiler
+// invocation) degrade to "unknown" rather than failing the build.
+#ifndef EIO_BUILD_VERSION
+#define EIO_BUILD_VERSION "unknown"
+#endif
+#ifndef EIO_BUILD_GIT_SHA
+#define EIO_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef EIO_BUILD_FLAGS
+#define EIO_BUILD_FLAGS "unknown"
+#endif
+#ifndef EIO_BUILD_TYPE
+#define EIO_BUILD_TYPE "unknown"
+#endif
+
+namespace {
+
+std::string compiler_string() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("g++ ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      EIO_BUILD_VERSION,    EIO_BUILD_GIT_SHA, compiler_string(),
+      EIO_BUILD_FLAGS,      EIO_BUILD_TYPE,
+#if defined(EIO_OBS_DISABLED)
+      false,
+#else
+      true,
+#endif
+  };
+  return info;
+}
+
+void write_build_info_json(std::ostream& out, const std::string& indent) {
+  const BuildInfo& b = build_info();
+  out << "{\n"
+      << indent << "  \"version\": \"" << json_escape(b.version) << "\",\n"
+      << indent << "  \"git_sha\": \"" << json_escape(b.git_sha) << "\",\n"
+      << indent << "  \"compiler\": \"" << json_escape(b.compiler) << "\",\n"
+      << indent << "  \"flags\": \"" << json_escape(b.flags) << "\",\n"
+      << indent << "  \"build_type\": \"" << json_escape(b.build_type)
+      << "\",\n"
+      << indent << "  \"obs_compiled_in\": "
+      << (b.obs_compiled_in ? "true" : "false") << "\n"
+      << indent << "}";
+}
+
+std::string iso8601_utc_now() {
+  std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace eio::obs

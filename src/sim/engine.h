@@ -19,6 +19,7 @@
 
 #include "common/check.h"
 #include "common/units.h"
+#include "obs/registry.h"
 
 namespace eio::sim {
 
@@ -96,8 +97,11 @@ class Engine {
 
   /// Run until the calendar drains. Returns the final time.
   Seconds run() {
+    OBS_SPAN("sim.run");
+    std::uint64_t before = events_run_;
     while (step()) {
     }
+    OBS_COUNTER_ADD("sim.events_run", events_run_ - before);
     return now_;
   }
 
@@ -143,6 +147,8 @@ class Engine {
   void maybe_compact() {
     if (heap_.size() < kCompactMinEntries) return;
     if (heap_.size() - live_.size() <= live_.size()) return;
+    OBS_COUNTER_ADD("sim.calendar_compactions", 1);
+    OBS_COUNTER_ADD("sim.calendar_entries_reaped", heap_.size() - live_.size());
     std::erase_if(heap_,
                   [this](const Entry& e) { return live_.count(e.id) == 0; });
     std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});

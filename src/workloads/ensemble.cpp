@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "common/jobs.h"
+#include "obs/registry.h"
 
 namespace eio::workloads {
 
@@ -21,12 +22,16 @@ std::vector<RunResult> ParallelEnsembleRunner::run_jobs(
     const std::vector<JobSpec>& specs) const {
   std::vector<RunResult> results(specs.size());
   if (specs.empty()) return results;
+  OBS_SPAN("ensemble.run_jobs");
 
   std::size_t workers = std::min(jobs_, specs.size());
+  OBS_GAUGE_SET("ensemble.jobs", workers);
   if (workers <= 1) {
     for (std::size_t i = 0; i < specs.size(); ++i) {
+      OBS_SPAN("ensemble.run");
       RunInstance run(specs[i], i);
       results[i] = run.execute();
+      OBS_COUNTER_ADD("ensemble.runs_completed", 1);
     }
     return results;
   }
@@ -42,8 +47,10 @@ std::vector<RunResult> ParallelEnsembleRunner::run_jobs(
       std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= specs.size()) return;
       try {
+        OBS_SPAN("ensemble.run");
         RunInstance run(specs[i], i);
         results[i] = run.execute();
+        OBS_COUNTER_ADD("ensemble.runs_completed", 1);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

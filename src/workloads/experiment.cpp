@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/registry.h"
 #include "workloads/ensemble.h"
 
 namespace eio::workloads {
@@ -55,6 +56,7 @@ RunInstance::RunInstance(JobSpec spec, std::uint64_t run_index)
 RunResult RunInstance::execute() {
   EIO_CHECK_MSG(!executed_, "RunInstance::execute() called twice");
   executed_ = true;
+  OBS_SPAN("run.execute");
 
   RunResult result;
   result.name = spec_.name;
@@ -64,8 +66,14 @@ RunResult RunInstance::execute() {
   sim::Engine& engine = run_.engine();
   runtime_.start();
   fs_.start_background();
-  while (!runtime_.all_done()) {
-    EIO_CHECK_MSG(engine.step(), "engine drained before ranks finished — deadlock?");
+  {
+    OBS_SPAN("sim.event_loop");
+    std::uint64_t before = engine.events_run();
+    while (!runtime_.all_done()) {
+      EIO_CHECK_MSG(engine.step(),
+                    "engine drained before ranks finished — deadlock?");
+    }
+    OBS_COUNTER_ADD("sim.events_run", engine.events_run() - before);
   }
   fs_.stop_background();
   engine.run();
