@@ -13,7 +13,7 @@
 #include "bench_common.h"
 #include "core/histogram.h"
 #include "core/ks.h"
-#include "workloads/ior.h"
+#include "workloads/scenario.h"
 
 using namespace eio;
 
@@ -27,13 +27,14 @@ int main(int argc, char** argv) {
   cfg.block_size = 64 * MiB;
   cfg.segments = 3;
 
+  // Each load level is examples/scenarios/interference.json with a
+  // different intensity, built through the shared ScenarioBuilder.
   const std::vector<double> intensities{0.0, 0.2, 0.4, 0.6};
   std::vector<workloads::JobSpec> specs;
   for (double intensity : intensities) {
-    lustre::MachineConfig machine = lustre::MachineConfig::franklin();
-    machine.background.enabled = intensity > 0.0;
-    machine.background.intensity = intensity;
-    specs.push_back(workloads::make_ior_job(machine, cfg));
+    workloads::ScenarioBuilder scenario;
+    scenario.machine("franklin").background(intensity).ior(cfg);
+    specs.push_back(scenario.job());
   }
   std::vector<workloads::RunResult> sweep = workloads::run_jobs(specs, jobs);
 
@@ -75,10 +76,9 @@ int main(int argc, char** argv) {
                         .c_str());
 
   bench::section("stability at a fixed load level (two seeds, bg=0.4)");
-  lustre::MachineConfig busy = lustre::MachineConfig::franklin();
-  busy.background.enabled = true;
-  busy.background.intensity = 0.4;
-  workloads::JobSpec job = workloads::make_ior_job(busy, cfg);
+  workloads::ScenarioBuilder busy;
+  busy.machine("franklin").background(0.4).ior(cfg);
+  workloads::JobSpec job = busy.job();
   auto runs = workloads::run_ensemble(job, 2, jobs);
   auto wa = analysis::durations(runs[0].trace, {.op = posix::OpType::kWrite,
                                                 .min_bytes = MiB});

@@ -23,7 +23,7 @@
 #include "common/check.h"
 #include "core/bootstrap.h"
 #include "core/ks.h"
-#include "workloads/ior.h"
+#include "workloads/scenario.h"
 
 using namespace eio;
 
@@ -48,12 +48,15 @@ int main(int argc, char** argv) {
 
   std::size_t jobs = workloads::resolve_jobs(bench::jobs_flag(argc, argv));
 
+  // The job examples/scenarios/ensemble_stability.json describes,
+  // assembled through the same ScenarioBuilder the CLI uses.
   workloads::IorConfig cfg;
   cfg.tasks = 512;  // 5 runs: keep each moderate
   cfg.block_size = 256 * MiB;
   cfg.segments = 3;
-  workloads::JobSpec job =
-      workloads::make_ior_job(lustre::MachineConfig::franklin(), cfg);
+  workloads::ScenarioBuilder scenario;
+  scenario.machine("franklin").ior(cfg);
+  workloads::JobSpec job = scenario.job();
   auto runs = workloads::run_ensemble(job, 5, jobs);
 
   std::vector<std::vector<double>> samples;
@@ -121,7 +124,7 @@ int main(int argc, char** argv) {
   small.tasks = 128;  // 16 runs: keep the wall-clock budget sane
   small.segments = 2;
   workloads::JobSpec bench_job =
-      workloads::make_ior_job(lustre::MachineConfig::franklin(), small);
+      workloads::ScenarioBuilder().machine("franklin").ior(small).job();
   double serial_s = time_ensemble(bench_job, bench_runs, 1);
   double parallel_s = time_ensemble(bench_job, bench_runs, jobs);
   double serial_rps = static_cast<double>(bench_runs) / serial_s;

@@ -1,11 +1,13 @@
 #include "cli/eiotrace.h"
 
+#include <cstdlib>
 #include <fstream>
-#include <functional>
 #include <map>
 #include <optional>
 #include <ostream>
+#include <span>
 #include <sstream>
+#include <string_view>
 
 #include "common/units.h"
 #include "core/ascii_chart.h"
@@ -29,56 +31,213 @@
 #include "obs/export.h"
 #include "obs/registry.h"
 #include "workloads/ensemble.h"
-#include "workloads/ior.h"
+#include "workloads/scenario.h"
 
 namespace eio::cli {
 
 namespace {
 
-/// Minimal --flag[=value] parser over positional args.
-class Args {
- public:
-  Args(const std::vector<std::string>& raw, std::size_t skip) {
-    for (std::size_t i = skip; i < raw.size(); ++i) {
-      const std::string& a = raw[i];
-      if (a.rfind("--", 0) == 0) {
-        auto eq = a.find('=');
-        if (eq == std::string::npos) {
-          flags_[a.substr(2)] = "true";
-        } else {
-          flags_[a.substr(2, eq - 2)] = a.substr(eq + 1);
-        }
-      } else {
-        positional_.push_back(a);
-      }
-    }
-  }
+// ---------------------------------------------------------------------------
+// Declarative option tables. Every subcommand lists its options as
+// data; the same tables drive parsing (uniform unknown-flag/bad-value
+// errors, exit code 1) and the generated usage text, so the two cannot
+// disagree.
 
+enum class OptKind : std::uint8_t {
+  kFlag,    ///< boolean, present or absent
+  kString,  ///< free-form value
+  kDouble,  ///< numeric value (validated at parse time)
+  kSize,    ///< non-negative integer (validated at parse time)
+};
+
+struct OptionSpec {
+  const char* name;      ///< without the leading "--"
+  OptKind kind;
+  const char* fallback;  ///< default shown in help ("" = none)
+  const char* help;
+};
+
+struct OptionGroup {
+  const char* title;
+  std::span<const OptionSpec> options;
+};
+
+constexpr OptionSpec kFilterSpecs[] = {
+    {"op", OptKind::kString, "any",
+     "event filter: write|read|open|close|seek|fsync"},
+    {"phase", OptKind::kDouble, "", "keep only this phase label"},
+    {"min-bytes", OptKind::kDouble, "0", "minimum transfer size (bytes)"},
+    {"max-bytes", OptKind::kDouble, "", "maximum transfer size (bytes)"},
+    {"t-lo", OptKind::kDouble, "", "window start (wall-clock seconds)"},
+    {"t-hi", OptKind::kDouble, "", "window end (wall-clock seconds)"},
+};
+
+constexpr OptionSpec kJobsSpecs[] = {
+    {"jobs", OptKind::kSize, "0",
+     "worker threads (0 = EIO_JOBS env, else hardware concurrency)"},
+};
+
+constexpr OptionSpec kHistogramSpecs[] = {
+    {"log", OptKind::kFlag, "", "log10 duration axis (and log counts)"},
+    {"bins", OptKind::kSize, "40", "histogram bins"},
+};
+
+constexpr OptionSpec kModesSpecs[] = {
+    {"log", OptKind::kFlag, "", "run the KDE on a log10 axis"},
+    {"bandwidth", OptKind::kDouble, "0.5", "KDE bandwidth scale"},
+};
+
+constexpr OptionSpec kRatesSpecs[] = {
+    {"bins", OptKind::kSize, "100", "time-axis bins"},
+};
+
+constexpr OptionSpec kDiagramSpecs[] = {
+    {"rows", OptKind::kSize, "24", "raster rows (ranks collapse to fit)"},
+    {"cols", OptKind::kSize, "72", "raster columns"},
+};
+
+constexpr OptionSpec kDiagnoseSpecs[] = {
+    {"fair-share-mibs", OptKind::kDouble, "0",
+     "per-task fair share (MiB/s) for the sub-fair-share detector (0 = skip)"},
+    {"ost-count", OptKind::kSize, "0",
+     "OSTs of the source machine for the degraded-OST detector (0 = skip)"},
+};
+
+constexpr OptionSpec kConvertSpecs[] = {
+    {"tsv", OptKind::kFlag, "", "write TSV instead of indexed binary v2"},
+    {"v1", OptKind::kFlag, "", "write binary v1 instead of indexed v2"},
+};
+
+constexpr OptionSpec kSimulateSpecs[] = {
+    {"scenario", OptKind::kString, "",
+     "scenario JSON file: machine + workload + ensemble + fault plan"},
+    {"machine", OptKind::kString, "franklin",
+     "machine preset: franklin|franklin-patched|jaguar"},
+    {"tasks", OptKind::kSize, "256", "IOR tasks"},
+    {"block-mib", OptKind::kDouble, "64", "IOR block per task per segment"},
+    {"segments", OptKind::kSize, "2", "IOR barrier-separated segments"},
+    {"runs", OptKind::kSize, "4", "ensemble size (scenario files set their own)"},
+    {"seed", OptKind::kSize, "", "override the machine seed"},
+    {"save-dir", OptKind::kString, "", "write each run's trace as DIR/runN.tsv"},
+};
+
+/// Workload flags that conflict with --scenario (the file is the
+/// single source of truth for the experiment it names).
+constexpr const char* kScenarioConflicts[] = {"machine", "tasks", "block-mib",
+                                              "segments"};
+
+// ---------------------------------------------------------------------------
+// Parsing against the tables.
+
+/// Parsed options + positionals of one invocation.
+class Parsed {
+ public:
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
   }
   [[nodiscard]] bool has(const std::string& name) const {
-    return flags_.count(name) > 0;
+    return values_.count(name) > 0;
   }
   [[nodiscard]] std::string get(const std::string& name,
                                 const std::string& fallback) const {
-    auto it = flags_.find(name);
-    return it == flags_.end() ? fallback : it->second;
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
   }
   [[nodiscard]] double get_double(const std::string& name, double fallback) const {
-    auto it = flags_.find(name);
-    return it == flags_.end() ? fallback : std::stod(it->second);
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
   }
   [[nodiscard]] std::size_t get_size(const std::string& name,
                                      std::size_t fallback) const {
-    auto it = flags_.find(name);
-    return it == flags_.end() ? fallback
-                              : static_cast<std::size_t>(std::stoull(it->second));
+    auto it = values_.find(name);
+    return it == values_.end()
+               ? fallback
+               : static_cast<std::size_t>(
+                     std::strtoull(it->second.c_str(), nullptr, 10));
   }
- private:
-  std::map<std::string, std::string> flags_;
+
+  std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
+
+[[nodiscard]] const OptionSpec* find_spec(
+    std::span<const OptionGroup> groups, std::string_view name) {
+  for (const OptionGroup& g : groups) {
+    for (const OptionSpec& s : g.options) {
+      if (name == s.name) return &s;
+    }
+  }
+  return nullptr;
+}
+
+[[nodiscard]] bool valid_value(OptKind kind, const std::string& value) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  switch (kind) {
+    case OptKind::kFlag:
+    case OptKind::kString:
+      return true;
+    case OptKind::kDouble:
+      std::strtod(value.c_str(), &end);
+      return end != nullptr && *end == '\0';
+    case OptKind::kSize:
+      if (value[0] == '-') return false;
+      std::strtoull(value.c_str(), &end, 10);
+      return end != nullptr && *end == '\0';
+  }
+  return false;
+}
+
+std::string usage_for(const std::string& command);
+
+/// Parse `raw[skip..]` against the command's option groups. Both
+/// --name=value and --name value forms are accepted. Unknown flags and
+/// malformed values print the command's usage and yield exit code 1.
+[[nodiscard]] std::optional<int> parse_args(
+    const std::string& command, std::span<const OptionGroup> groups,
+    const std::vector<std::string>& raw, std::size_t skip, Parsed& out,
+    std::ostream& err) {
+  for (std::size_t i = skip; i < raw.size(); ++i) {
+    const std::string& a = raw[i];
+    if (a.rfind("--", 0) != 0) {
+      out.positional_.push_back(a);
+      continue;
+    }
+    auto eq = a.find('=');
+    std::string name = a.substr(2, eq == std::string::npos ? eq : eq - 2);
+    const OptionSpec* spec = find_spec(groups, name);
+    if (spec == nullptr) {
+      err << "eiotrace: unknown flag '--" << name << "' for '" << command
+          << "'\n" << usage_for(command);
+      return 1;
+    }
+    std::string value;
+    if (spec->kind == OptKind::kFlag) {
+      if (eq != std::string::npos) {
+        err << "eiotrace: --" << name << " takes no value\n"
+            << usage_for(command);
+        return 1;
+      }
+      value = "true";
+    } else if (eq != std::string::npos) {
+      value = a.substr(eq + 1);
+    } else if (i + 1 < raw.size()) {
+      value = raw[++i];
+    } else {
+      err << "eiotrace: --" << name << " needs a value\n" << usage_for(command);
+      return 1;
+    }
+    if (!valid_value(spec->kind, value)) {
+      err << "eiotrace: bad value '" << value << "' for --" << name
+          << (spec->kind == OptKind::kSize ? " (expects a non-negative integer)"
+                                           : " (expects a number)")
+          << "\n" << usage_for(command);
+      return 1;
+    }
+    out.values_[std::move(name)] = std::move(value);
+  }
+  return std::nullopt;
+}
 
 std::optional<posix::OpType> parse_op(const std::string& name, std::ostream& err) {
   if (name.empty() || name == "any") return std::nullopt;
@@ -92,7 +251,7 @@ std::optional<posix::OpType> parse_op(const std::string& name, std::ostream& err
   throw std::invalid_argument("bad op");
 }
 
-analysis::EventFilter filter_from(const Args& args, std::ostream& err) {
+analysis::EventFilter filter_from(const Parsed& args, std::ostream& err) {
   analysis::EventFilter f;
   f.op = parse_op(args.get("op", ""), err);
   if (args.has("phase")) {
@@ -112,7 +271,7 @@ analysis::EventFilter filter_from(const Args& args, std::ostream& err) {
 /// construction is free. TSV/v1 sources return nullopt and commands
 /// fall back to serial batched streaming.
 std::optional<ipm::ParallelTraceScanner> scanner_for(
-    const ipm::TraceSource& source, const Args& args) {
+    const ipm::TraceSource& source, const Parsed& args) {
   const auto* file = dynamic_cast<const ipm::FileTraceSource*>(&source);
   if (!file || !file->index()) return std::nullopt;
   return ipm::ParallelTraceScanner(file->path(), *file->index(),
@@ -135,13 +294,13 @@ void fold_batches(const ipm::TraceSource& source,
 // of the event count (except where noted: diagnose/patterns need
 // random access and materialize internally).
 
-int cmd_report(const ipm::TraceSource& source, const Args&, std::ostream& out,
+int cmd_report(const ipm::TraceSource& source, const Parsed&, std::ostream& out,
                std::ostream&) {
   ipm::print_report(out, ipm::summarize(source));
   return 0;
 }
 
-int cmd_summary(const ipm::TraceSource& source, const Args& args,
+int cmd_summary(const ipm::TraceSource& source, const Parsed& args,
                 std::ostream& out, std::ostream& err) {
   analysis::EventFilter base = filter_from(args, err);
   auto scanner = scanner_for(source, args);
@@ -168,7 +327,7 @@ int cmd_summary(const ipm::TraceSource& source, const Args& args,
   return 0;
 }
 
-int cmd_histogram(const ipm::TraceSource& source, const Args& args,
+int cmd_histogram(const ipm::TraceSource& source, const Parsed& args,
                   std::ostream& out, std::ostream& err) {
   analysis::EventFilter filter = filter_from(args, err);
   bool log = args.has("log");
@@ -211,7 +370,7 @@ int cmd_histogram(const ipm::TraceSource& source, const Args& args,
   return 0;
 }
 
-int cmd_modes(const ipm::TraceSource& source, const Args& args,
+int cmd_modes(const ipm::TraceSource& source, const Parsed& args,
               std::ostream& out, std::ostream& err) {
   analysis::EventFilter filter = filter_from(args, err);
   stats::StreamingSummary s;
@@ -249,7 +408,7 @@ int cmd_modes(const ipm::TraceSource& source, const Args& args,
   return 0;
 }
 
-int cmd_rates(const ipm::TraceSource& source, const Args& args,
+int cmd_rates(const ipm::TraceSource& source, const Parsed& args,
               std::ostream& out, std::ostream& err) {
   auto bins = args.get_size("bins", 100);
   analysis::EventFilter filter = filter_from(args, err);
@@ -269,7 +428,7 @@ int cmd_rates(const ipm::TraceSource& source, const Args& args,
   return 0;
 }
 
-int cmd_diagram(const ipm::TraceSource& source, const Args& args,
+int cmd_diagram(const ipm::TraceSource& source, const Parsed& args,
                 std::ostream& out, std::ostream&) {
   analysis::TraceDiagram diagram(
       source, {.max_rows = args.get_size("rows", 24),
@@ -278,11 +437,13 @@ int cmd_diagram(const ipm::TraceSource& source, const Args& args,
   return 0;
 }
 
-int cmd_diagnose(const ipm::TraceSource& source, const Args& args,
+int cmd_diagnose(const ipm::TraceSource& source, const Parsed& args,
                  std::ostream& out, std::ostream&) {
   analysis::DiagnoserOptions opt;
   opt.fair_share_rate =
       args.get_double("fair-share-mibs", 0.0) * static_cast<double>(MiB);
+  opt.ost_count =
+      static_cast<std::uint32_t>(args.get_size("ost-count", 0));
   // The diagnoser cross-references events (stragglers vs. the pack,
   // per-file contention), so it materializes — the documented
   // O(events) exception to the streaming contract.
@@ -301,7 +462,7 @@ int cmd_diagnose(const ipm::TraceSource& source, const Args& args,
   return 0;
 }
 
-int cmd_phases(const ipm::TraceSource& source, const Args& args,
+int cmd_phases(const ipm::TraceSource& source, const Parsed& args,
                std::ostream& out, std::ostream& err) {
   analysis::EventFilter base = filter_from(args, err);
   std::map<std::int32_t, stats::StreamingSummary> by_phase;
@@ -326,7 +487,7 @@ int cmd_phases(const ipm::TraceSource& source, const Args& args,
   return 0;
 }
 
-int cmd_compare(const ipm::TraceSource& source, const Args& args,
+int cmd_compare(const ipm::TraceSource& source, const Parsed& args,
                 std::ostream& out, std::ostream& err) {
   if (args.positional().size() < 2) {
     err << "eiotrace: compare needs two trace files\n";
@@ -355,7 +516,7 @@ int cmd_compare(const ipm::TraceSource& source, const Args& args,
   return 0;
 }
 
-int cmd_convert(const ipm::TraceSource& source, const Args& args,
+int cmd_convert(const ipm::TraceSource& source, const Parsed& args,
                 std::ostream& out, std::ostream& err) {
   if (args.positional().size() < 2) {
     err << "eiotrace: convert needs an output path\n";
@@ -399,7 +560,7 @@ int cmd_convert(const ipm::TraceSource& source, const Args& args,
   return 0;
 }
 
-int cmd_patterns(const ipm::TraceSource& source, const Args&, std::ostream& out,
+int cmd_patterns(const ipm::TraceSource& source, const Parsed&, std::ostream& out,
                  std::ostream&) {
   // Pattern detection orders each (rank, file) stream by offset, so it
   // materializes — documented O(events), like diagnose.
@@ -430,30 +591,42 @@ int cmd_patterns(const ipm::TraceSource& source, const Args&, std::ostream& out,
 // Per-run statistics come from a streaming SummarySink attached to
 // each run's monitor, so without --save-dir no trace is ever
 // materialized (capture stays in profile mode).
-int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
-  std::string machine_name = args.get("machine", "franklin");
-  lustre::MachineConfig machine;
-  if (machine_name == "franklin") {
-    machine = lustre::MachineConfig::franklin();
-  } else if (machine_name == "franklin-patched") {
-    machine = lustre::MachineConfig::franklin_patched();
-  } else if (machine_name == "jaguar") {
-    machine = lustre::MachineConfig::jaguar();
+int cmd_simulate(const Parsed& args, std::ostream& out, std::ostream& err) {
+  workloads::ScenarioBuilder scenario;
+  if (args.has("scenario")) {
+    for (const char* flag : kScenarioConflicts) {
+      if (args.has(flag)) {
+        err << "eiotrace: --" << flag << " conflicts with --scenario (the "
+            << "file names the experiment)\n";
+        return 1;
+      }
+    }
+    try {
+      scenario = workloads::load_scenario(args.get("scenario", ""));
+    } catch (const std::exception& e) {
+      err << "eiotrace: " << e.what() << "\n";
+      return 1;
+    }
   } else {
-    err << "eiotrace: unknown machine '" << machine_name
-        << "' (franklin|franklin-patched|jaguar)\n";
-    return 1;
+    try {
+      scenario.machine(args.get("machine", "franklin"));
+    } catch (const std::invalid_argument& e) {
+      err << "eiotrace: " << e.what() << "\n";
+      return 1;
+    }
+    workloads::IorConfig cfg;
+    cfg.tasks = static_cast<std::uint32_t>(args.get_size("tasks", 256));
+    cfg.block_size = static_cast<Bytes>(args.get_double("block-mib", 64.0) *
+                                        static_cast<double>(MiB));
+    cfg.segments = static_cast<std::uint32_t>(args.get_size("segments", 2));
+    scenario.ior(cfg);
+    scenario.runs(4);
   }
-
-  workloads::IorConfig cfg;
-  cfg.tasks = static_cast<std::uint32_t>(args.get_size("tasks", 256));
-  cfg.block_size = static_cast<Bytes>(args.get_double("block-mib", 64.0) *
-                                      static_cast<double>(MiB));
-  cfg.segments = static_cast<std::uint32_t>(args.get_size("segments", 2));
-  std::size_t runs = args.get_size("runs", 4);
+  if (args.has("seed")) scenario.seed(args.get_size("seed", 0));
+  std::size_t runs = args.get_size("runs", scenario.run_count());
   bool save = args.has("save-dir");
 
-  workloads::JobSpec job = workloads::make_ior_job(machine, cfg);
+  workloads::JobSpec job = scenario.job();
   // Traces are only retained when they are being written out.
   job.capture = save ? ipm::Mode::kBoth : ipm::Mode::kProfile;
   analysis::EventFilter write_filter{.op = posix::OpType::kWrite,
@@ -465,11 +638,38 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
     return sink;
   };
 
+  const char* kind_label = "IOR";
+  std::ostringstream shape;
+  switch (scenario.kind()) {
+    case workloads::WorkloadKind::kIor: {
+      const workloads::IorConfig& c = scenario.ior_config();
+      shape << c.tasks << " tasks, " << to_mib(c.block_size) << " MiB blocks, "
+            << c.segments << " segments";
+      break;
+    }
+    case workloads::WorkloadKind::kMadbench: {
+      kind_label = "MADbench";
+      const workloads::MadbenchConfig& c = scenario.madbench_config();
+      shape << c.tasks << " tasks, " << c.matrices << " matrices";
+      break;
+    }
+    case workloads::WorkloadKind::kGcrm: {
+      kind_label = "GCRM";
+      const workloads::GcrmConfig& c = scenario.gcrm_config();
+      shape << c.tasks << " tasks, "
+            << (c.collective_buffering ? c.io_tasks : c.tasks) << " writers";
+      break;
+    }
+  }
+
   workloads::ParallelEnsembleRunner runner({.jobs = args.get_size("jobs", 0)});
-  out << "simulating " << runs << " IOR runs (" << cfg.tasks << " tasks, "
-      << to_mib(cfg.block_size) << " MiB blocks, " << cfg.segments
-      << " segments) on " << machine_name << " with " << runner.jobs()
-      << " worker(s)\n";
+  out << "simulating " << runs << " " << kind_label << " runs (" << shape.str()
+      << ") on " << scenario.machine_config().name << " with "
+      << runner.jobs() << " worker(s)\n";
+  if (scenario.fault_plan().enabled()) {
+    out << "fault plan: "
+        << fault::plan_to_json(scenario.fault_plan()) << "\n";
+  }
   auto results = runner.run_ensemble(job, runs);
 
   out << "  run          job(s)    events    median(s)      p95(s)\n";
@@ -483,6 +683,24 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
                   s.empty() ? 0.0 : s.median(),
                   s.empty() ? 0.0 : s.quantile(0.95));
     out << line;
+  }
+
+  if (scenario.fault_plan().enabled()) {
+    out << "fault injections:\n"
+        << "  run   ost-windows    stalls   retried ops   straggler-stalls"
+           "   injected(s)\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const fault::Counts& c = results[i].fault_counts;
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    "  %-5zu %11llu %9llu %13llu %18llu %13.3f\n", i,
+                    static_cast<unsigned long long>(c.ost_degradations),
+                    static_cast<unsigned long long>(c.stalls),
+                    static_cast<unsigned long long>(c.ops_retried),
+                    static_cast<unsigned long long>(c.straggler_stalls),
+                    c.stall_seconds + c.retry_seconds + c.straggler_seconds);
+      out << line;
+    }
   }
 
   out << "pairwise KS distances (write durations):\n";
@@ -510,12 +728,101 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
 }
 
 // ---------------------------------------------------------------------------
+// The command registry: name + operands + summary + option tables +
+// handler, in the order the usage text lists them.
+
+using TraceCommand = int (*)(const ipm::TraceSource&, const Parsed&,
+                             std::ostream&, std::ostream&);
+
+struct CommandDef {
+  const char* name;
+  const char* operands;  ///< positional operands shown in usage
+  const char* summary;
+  std::vector<OptionGroup> groups;
+  TraceCommand handler;  ///< nullptr: simulate (no trace operand)
+};
+
+const std::vector<CommandDef>& commands() {
+  static const std::vector<CommandDef> table{
+      {"report", "<trace>", "IPM job banner (per-call profile, imbalance)",
+       {}, cmd_report},
+      {"summary", "<trace>", "quantile table per op",
+       {{"filter", kFilterSpecs}, {"parallelism", kJobsSpecs}}, cmd_summary},
+      {"histogram", "<trace>", "duration histogram",
+       {{"histogram", kHistogramSpecs},
+        {"filter", kFilterSpecs},
+        {"parallelism", kJobsSpecs}},
+       cmd_histogram},
+      {"modes", "<trace>", "KDE mode detection + harmonic signature",
+       {{"modes", kModesSpecs},
+        {"filter", kFilterSpecs},
+        {"parallelism", kJobsSpecs}},
+       cmd_modes},
+      {"rates", "<trace>", "aggregate rate chart",
+       {{"rates", kRatesSpecs},
+        {"filter", kFilterSpecs},
+        {"parallelism", kJobsSpecs}},
+       cmd_rates},
+      {"diagram", "<trace>", "per-rank trace raster",
+       {{"diagram", kDiagramSpecs}}, cmd_diagram},
+      {"diagnose", "<trace>", "automatic bottleneck findings",
+       {{"diagnose", kDiagnoseSpecs}}, cmd_diagnose},
+      {"patterns", "<trace>", "access-pattern detection + fs hints",
+       {}, cmd_patterns},
+      {"phases", "<trace>", "per-phase duration table",
+       {{"filter", kFilterSpecs}, {"parallelism", kJobsSpecs}}, cmd_phases},
+      {"compare", "<traceA> <traceB>", "A vs B medians + KS distance",
+       {{"filter", kFilterSpecs}}, cmd_compare},
+      {"convert", "<trace> <out>",
+       "rewrite as indexed binary v2 (default), --v1, or --tsv",
+       {{"convert", kConvertSpecs}}, cmd_convert},
+      {"simulate", "",
+       "generate an ensemble from flags or a --scenario file",
+       {{"simulate", kSimulateSpecs}, {"parallelism", kJobsSpecs}}, nullptr},
+  };
+  return table;
+}
+
+[[nodiscard]] const CommandDef* find_command(const std::string& name) {
+  for (const CommandDef& c : commands()) {
+    if (name == c.name) return &c;
+  }
+  return nullptr;
+}
+
+std::string usage_for(const std::string& command) {
+  const CommandDef* cmd = find_command(command);
+  if (cmd == nullptr) return usage_text();
+  std::ostringstream os;
+  os << "usage: eiotrace " << cmd->name;
+  if (cmd->operands[0] != '\0') os << " " << cmd->operands;
+  os << " [flags]\n  " << cmd->summary << "\n";
+  for (const OptionGroup& g : cmd->groups) {
+    os << g.title << " flags:\n";
+    for (const OptionSpec& s : g.options) {
+      std::string left = std::string("--") + s.name;
+      switch (s.kind) {
+        case OptKind::kFlag: break;
+        case OptKind::kString: left += "=S"; break;
+        case OptKind::kDouble: left += "=X"; break;
+        case OptKind::kSize: left += "=N"; break;
+      }
+      os << "  " << left;
+      for (std::size_t pad = left.size(); pad < 20; ++pad) os << ' ';
+      os << s.help;
+      if (s.fallback[0] != '\0') os << " (default " << s.fallback << ")";
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
 // Self-observability wiring.
 
 /// Obs flags are accepted anywhere on the command line, in both
-/// --flag=value and --flag value forms (scripts and the CI smoke step
-/// use the space form, which the Args parser does not), and stripped
-/// before command parsing so every command composes with them.
+/// --flag=value and --flag value forms, and stripped before command
+/// parsing so every command composes with them.
 struct ObsRequest {
   std::string chrome_trace;  ///< --chrome-trace PATH: span trace JSON
   std::string metrics;       ///< --metrics PATH: metrics JSON (or .tsv)
@@ -592,45 +899,26 @@ int cmd_version(std::ostream& out) {
   return 0;
 }
 
-using Command = int (*)(const ipm::TraceSource&, const Args&, std::ostream&,
-                        std::ostream&);
-
-const std::map<std::string, Command>& commands() {
-  static const std::map<std::string, Command> table{
-      {"report", cmd_report},     {"summary", cmd_summary},
-      {"histogram", cmd_histogram}, {"modes", cmd_modes},
-      {"rates", cmd_rates},       {"diagram", cmd_diagram},
-      {"diagnose", cmd_diagnose}, {"patterns", cmd_patterns},
-      {"phases", cmd_phases},     {"compare", cmd_compare},
-      {"convert", cmd_convert},
-  };
-  return table;
-}
-
 }  // namespace
 
 std::string usage_text() {
   std::ostringstream os;
-  os << "usage: eiotrace <command> <trace.tsv> [flags]\n"
-     << "commands:\n"
-     << "  report     IPM job banner (per-call profile, imbalance)\n"
-     << "  summary    quantile table per op\n"
-     << "  histogram  duration histogram   [--op W] [--log] [--bins N]\n"
-     << "  modes      KDE mode detection   [--op W] [--log] [--bandwidth S]\n"
-     << "  rates      aggregate rate chart [--op W] [--bins N]\n"
-     << "  diagram    per-rank trace raster [--rows N] [--cols N]\n"
-     << "  diagnose   automatic bottleneck findings [--fair-share-mibs X]\n"
-     << "  patterns   access-pattern detection + fs hints\n"
-     << "  phases     per-phase duration table\n"
-     << "  compare    A vs B medians + KS distance (two trace files)\n"
-     << "  convert    rewrite as indexed binary v2 (default), --v1, or --tsv\n"
-     << "  simulate   generate an IOR ensemble (no trace file needed)\n"
-     << "             [--runs N] [--jobs N] [--tasks N] [--block-mib X]\n"
-     << "             [--segments N] [--machine franklin|franklin-patched|"
-        "jaguar]\n"
-     << "             [--save-dir DIR]\n"
-     << "  version    build provenance (git SHA, compiler, flags); also\n"
-     << "             --version / --build-info\n"
+  os << "usage: eiotrace <command> [operands] [flags]\n"
+     << "commands:\n";
+  for (const CommandDef& c : commands()) {
+    std::string left = c.name;
+    if (c.operands[0] != '\0') left += std::string(" ") + c.operands;
+    os << "  " << left;
+    for (std::size_t pad = left.size(); pad < 26; ++pad) os << ' ';
+    os << c.summary << "\n";
+  }
+  os << "  version                   build provenance (git SHA, compiler, "
+        "flags)\n"
+     << "  help [command]            this text, or one command's full flag "
+        "table\n"
+     << "simulate reads either flags (an IOR ensemble) or a declarative\n"
+     << "scenario JSON file (--scenario FILE: machine, workload, ensemble\n"
+     << "size, fault plan; see examples/scenarios/).\n"
      << "self-observability (any command): --chrome-trace OUT.json "
         "--metrics OUT.json|.tsv\n"
      << "             --obs-summary --obs   (instrument this invocation "
@@ -639,18 +927,25 @@ std::string usage_text() {
         "--max-bytes=N\n"
      << "                     --t-lo=S --t-hi=S (wall-clock window, "
         "seconds)\n"
-     << "parallelism: summary/histogram/modes/rates/phases take --jobs=N\n"
+     << "parallelism: summary/histogram/modes/rates/phases/simulate take "
+        "--jobs=N\n"
      << "             (default: hardware concurrency; indexed v2 traces "
         "scan\n"
      << "             chunk-parallel, other formats stream serially)\n";
   return os.str();
 }
 
+std::string usage_text(const std::string& command) { return usage_for(command); }
+
 namespace {
 
 int dispatch(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err) {
   if (args.empty() || args[0] == "--help" || args[0] == "help") {
+    if (args.size() > 1 && find_command(args[1]) != nullptr) {
+      out << usage_for(args[1]);
+      return 0;
+    }
     out << usage_text();
     return args.empty() ? 1 : 0;
   }
@@ -658,29 +953,32 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
       args[0] == "--build-info") {
     return cmd_version(out);
   }
-  if (args[0] == "simulate") {
+  const CommandDef* cmd = find_command(args[0]);
+  if (cmd == nullptr) {
+    err << "eiotrace: unknown command '" << args[0] << "'\n" << usage_text();
+    return 1;
+  }
+  Parsed parsed;
+  if (auto rc = parse_args(cmd->name, cmd->groups, args, 1, parsed, err)) {
+    return *rc;
+  }
+  if (cmd->handler == nullptr) {  // simulate: no trace operand
     try {
-      return cmd_simulate(Args(args, 1), out, err);
+      return cmd_simulate(parsed, out, err);
     } catch (const std::exception& e) {
       err << "eiotrace: " << e.what() << "\n";
       return 2;
     }
   }
-  auto it = commands().find(args[0]);
-  if (it == commands().end()) {
-    err << "eiotrace: unknown command '" << args[0] << "'\n" << usage_text();
-    return 1;
-  }
-  Args parsed(args, 1);
   if (parsed.positional().empty()) {
-    err << "eiotrace: missing trace file\n" << usage_text();
+    err << "eiotrace: missing trace file\n" << usage_for(cmd->name);
     return 1;
   }
   try {
     // The trace file is opened as a streaming source; each command
     // pulls the passes it needs.
     ipm::FileTraceSource source(parsed.positional()[0]);
-    return it->second(source, parsed, out, err);
+    return cmd->handler(source, parsed, out, err);
   } catch (const std::exception& e) {
     err << "eiotrace: " << e.what() << "\n";
     return 2;

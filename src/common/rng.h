@@ -108,6 +108,8 @@ enum class StreamKind : std::uint64_t {
   kWorkload = 5,
   kMetadata = 6,
   kBackground = 7,
+  kFault = 8,      ///< per-op fault draws (jitter, transient failures)
+  kFaultPlan = 9,  ///< plan-level draws (straggler-rank selection)
 };
 
 [[nodiscard]] inline Stream make_stream(const StreamFactory& f, StreamKind kind,

@@ -209,6 +209,153 @@ void detect_splitting_opportunity(const ipm::Trace& trace,
   findings.push_back(std::move(f));
 }
 
+void detect_degraded_ost(const ipm::Trace& trace, const DiagnoserOptions& opt,
+                         std::vector<Finding>& findings) {
+  // Degraded-component signature (§IV of the paper): a second, much
+  // slower duration mode whose events all touch files living on one
+  // OST. Attribution uses the creation-order round-robin convention
+  // `(file - 1) % ost_count`, exact for single-stripe file-per-process
+  // layouts — the only layouts where a per-file OST class exists.
+  if (opt.ost_count == 0) return;
+  EventFilter bulk{.min_bytes = opt.stripe_size / 4};
+  auto events = select(trace, bulk);
+  if (events.size() < opt.min_events) return;
+
+  // Group durations by OST class. The degraded-target signature is a
+  // *collective* shift of one class's median, not a handful of tail
+  // events — service noise puts individual slow transfers everywhere,
+  // but only a degraded OST moves a whole class.
+  std::map<std::uint32_t, std::vector<double>> by_class;
+  std::map<std::uint32_t, std::map<FileId, bool>> files_by_class;
+  for (const auto& e : events) {
+    if (e.file == kInvalidFile) continue;
+    auto ost = static_cast<std::uint32_t>((e.file - 1) % opt.ost_count);
+    by_class[ost].push_back(e.duration);
+    files_by_class[ost][e.file] = true;
+  }
+
+  // Per-class medians for classes with enough events to trust one.
+  // The baseline is the median of class medians — robust against the
+  // degraded class itself and against workload-wide shifts.
+  std::vector<std::pair<std::uint32_t, double>> class_medians;
+  std::map<std::uint32_t, std::size_t> class_sizes;
+  for (auto& [ost, ds] : by_class) {
+    if (ds.size() < 6) continue;
+    class_sizes[ost] = ds.size();
+    class_medians.emplace_back(
+        ost, stats::EmpiricalDistribution(std::move(ds)).median());
+  }
+  // Fewer than three populated classes (e.g. every event on one shared
+  // file) leaves no baseline to compare against: stay quiet.
+  if (class_medians.size() < 3) return;
+  std::vector<double> meds;
+  meds.reserve(class_medians.size());
+  for (const auto& [ost, m] : class_medians) meds.push_back(m);
+  double baseline = stats::EmpiricalDistribution(std::move(meds)).median();
+  if (baseline <= 0.0) return;
+
+  const std::pair<std::uint32_t, double>* top = nullptr;
+  double second_ratio = 0.0;
+  for (const auto& cm : class_medians) {
+    double r = cm.second / baseline;
+    if (top == nullptr || r > top->second / baseline) {
+      if (top != nullptr) second_ratio = std::max(second_ratio, top->second / baseline);
+      top = &cm;
+    } else {
+      second_ratio = std::max(second_ratio, r);
+    }
+  }
+  double top_ratio = top->second / baseline;
+  // Fire only when one class is collectively slow — far beyond the
+  // baseline AND clearly separated from the runner-up (a uniformly
+  // noisy fleet has many mildly-shifted classes, no lone outlier).
+  if (top_ratio < opt.degraded_ratio) return;
+  if (top_ratio < 1.5 * std::max(1.0, second_ratio)) return;
+  Finding f;
+  f.code = FindingCode::kDegradedOst;
+  f.severity = std::min(1.0, 0.25 * top_ratio);
+  f.metric = static_cast<double>(top->first);
+  std::ostringstream os;
+  os << "bulk transfers on files striped to OST " << top->first << " run "
+     << top_ratio << "x the fleet median (" << class_sizes[top->first]
+     << " events over " << files_by_class[top->first].size()
+     << " files; next-slowest OST class sits at " << second_ratio
+     << "x): one storage target is degraded — check OST " << top->first
+     << " for a failing disk or RAID rebuild";
+  f.message = os.str();
+  findings.push_back(std::move(f));
+}
+
+void detect_straggler_rank(const ipm::Trace& trace, const DiagnoserOptions& opt,
+                           std::vector<Finding>& findings) {
+  // Straggler signature: within barrier-bounded phases the slowest
+  // rank's completion sits far beyond the second order statistic, and
+  // it is the *same* rank phase after phase — a slow host, not the
+  // random extreme of a wide per-task distribution.
+  EventFilter bulk{.min_bytes = opt.stripe_size / 4};
+  struct PhaseAgg {
+    double start = 0.0;
+    bool any = false;
+    std::map<RankId, double> end_by_rank;
+  };
+  std::map<std::int32_t, PhaseAgg> phases;
+  std::size_t count = 0;
+  for (const auto& e : trace.events()) {
+    if (!bulk.matches(e)) continue;
+    PhaseAgg& agg = phases[e.phase];
+    if (!agg.any || e.start < agg.start) agg.start = e.start;
+    agg.any = true;
+    double& end = agg.end_by_rank[e.rank];
+    end = std::max(end, e.end());
+    ++count;
+  }
+  if (count < opt.min_events) return;
+
+  std::size_t considered = 0, firing = 0;
+  std::map<RankId, std::size_t> votes;
+  double worst_gap = 1.0;
+  for (const auto& [phase, agg] : phases) {
+    if (agg.end_by_rank.size() < 4) continue;
+    ++considered;
+    RankId slowest = kInvalidRank;
+    double t1 = 0.0, t2 = 0.0;  // top-two completion offsets
+    for (const auto& [rank, end] : agg.end_by_rank) {
+      double t = end - agg.start;
+      if (t > t1) {
+        t2 = t1;
+        t1 = t;
+        slowest = rank;
+      } else if (t > t2) {
+        t2 = t;
+      }
+    }
+    if (t2 <= 0.0) continue;
+    if (t1 / t2 < opt.straggler_gap) continue;
+    ++firing;
+    ++votes[slowest];
+    worst_gap = std::max(worst_gap, t1 / t2);
+  }
+  if (considered < 3 || firing < 2) return;
+  if (firing * 2 < considered) return;
+  auto leader = std::max_element(
+      votes.begin(), votes.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  double consistency =
+      static_cast<double>(leader->second) / static_cast<double>(firing);
+  if (consistency < 2.0 / 3.0) return;
+  Finding f;
+  f.code = FindingCode::kStragglerRank;
+  f.severity = std::min(1.0, consistency * (0.4 + 0.1 * worst_gap));
+  f.metric = static_cast<double>(leader->first);
+  std::ostringstream os;
+  os << "rank " << leader->first << " finishes last in " << leader->second
+     << " of " << firing << " stretched phases (worst gap " << worst_gap
+     << "x the second-slowest rank): a consistently slow host, not random "
+        "variation — check that node's health or reschedule the rank";
+  f.message = os.str();
+  findings.push_back(std::move(f));
+}
+
 }  // namespace
 
 const char* finding_name(FindingCode code) noexcept {
@@ -219,6 +366,8 @@ const char* finding_name(FindingCode code) noexcept {
     case FindingCode::kMetadataSerialization: return "metadata-serialization";
     case FindingCode::kSubFairShare: return "sub-fair-share";
     case FindingCode::kSplittingOpportunity: return "splitting-opportunity";
+    case FindingCode::kDegradedOst: return "degraded-ost";
+    case FindingCode::kStragglerRank: return "straggler-rank";
   }
   return "?";
 }
@@ -232,6 +381,8 @@ std::vector<Finding> diagnose(const ipm::Trace& trace,
   detect_metadata_serialization(trace, options, findings);
   detect_sub_fair_share(trace, options, findings);
   detect_splitting_opportunity(trace, options, findings);
+  detect_degraded_ost(trace, options, findings);
+  detect_straggler_rank(trace, options, findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) { return a.severity > b.severity; });
   return findings;

@@ -21,7 +21,14 @@
 //                          ⇒ align transfers to the stripe size;
 //  * kSplittingOpportunity — Figure 2: one large transfer per barrier
 //                          phase ⇒ split calls / collective buffering
-//                          (LLN narrowing).
+//                          (LLN narrowing);
+//  * kDegradedOst        — §IV degraded-component signature: a slow
+//                          duration mode concentrated on the files of
+//                          one OST ⇒ failing disk / RAID rebuild on
+//                          that OST (needs DiagnoserOptions::ost_count);
+//  * kStragglerRank      — order-statistics signature: the same rank
+//                          finishes phases far behind the second-
+//                          slowest ⇒ a slow host, not random noise.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +48,8 @@ enum class FindingCode : std::uint8_t {
   kMetadataSerialization,
   kSubFairShare,
   kSplittingOpportunity,
+  kDegradedOst,
+  kStragglerRank,
 };
 
 [[nodiscard]] const char* finding_name(FindingCode code) noexcept;
@@ -62,6 +71,13 @@ struct DiagnoserOptions {
   double tail_ratio = 8.0;        ///< p99/median beyond this = heavy tail
   double metadata_share = 0.25;   ///< rank-0 small-op time share threshold
   std::size_t min_events = 32;    ///< below this, detectors stay silent
+  /// OSTs on the machine the trace came from (0 = skip the degraded-OST
+  /// detector). File ids are attributed to OSTs by the creation-order
+  /// round-robin `(file - 1) % ost_count` — exact for the single-stripe
+  /// file-per-process layouts where per-OST attribution is meaningful.
+  std::uint32_t ost_count = 0;
+  double degraded_ratio = 2.5;   ///< slow-cluster split vs median duration
+  double straggler_gap = 1.5;    ///< slowest/2nd-slowest phase-time ratio
 };
 
 /// Run every detector over the trace; findings sorted by severity.

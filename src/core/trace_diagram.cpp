@@ -52,7 +52,8 @@ void TraceDiagram::add(const ipm::TraceEvent& e) {
     case OpType::kOpen:
     case OpType::kClose:
     case OpType::kSeek:
-    case OpType::kFsync: plane = &meta_; break;
+    case OpType::kFsync:
+    case OpType::kFault: plane = &meta_; break;
   }
   if (plane == nullptr) return;
   auto row = static_cast<std::size_t>(

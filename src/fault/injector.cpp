@@ -1,0 +1,125 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/registry.h"
+
+namespace eio::fault {
+
+namespace {
+
+/// Markers kept per run; a pathological plan (jitter probability 1 on
+/// a huge job) must not balloon memory. Counts stay exact.
+constexpr std::size_t kMaxMarkers = 1 << 16;
+
+}  // namespace
+
+Injector::Injector(Plan plan, sim::RunContext& run)
+    : plan_(std::move(plan)),
+      engine_(run.engine()),
+      op_rng_(run.stream(rng::StreamKind::kFault, 0)),
+      plan_rng_(run.stream(rng::StreamKind::kFaultPlan, 0)) {}
+
+void Injector::note(Kind kind, std::uint64_t component, RankId rank,
+                    Seconds detail) {
+  Marker m{engine_.now(), kind, component, rank, detail};
+  if (markers_.size() < kMaxMarkers) markers_.push_back(m);
+  if (hook_) hook_(m);
+}
+
+void Injector::arm_storage(sim::FluidNetwork& network, Rate base_ost_bandwidth) {
+  for (const SlowOst& s : plan_.slow_osts) {
+    if (s.ost >= network.ost_count()) continue;
+    Rate degraded = base_ost_bandwidth * s.factor;
+    engine_.schedule_at(std::max(s.from, engine_.now()),
+                        [this, &network, s, degraded] {
+                          network.set_ost_capacity(s.ost, degraded);
+                          ++counts_.ost_degradations;
+                          OBS_COUNTER_ADD("fault.ost_degradations", 1);
+                          note(Kind::kOstDegraded, s.ost, kInvalidRank, s.factor);
+                        });
+    if (s.until < kForever) {
+      engine_.schedule_at(s.until, [this, &network, s, base_ost_bandwidth] {
+        network.set_ost_capacity(s.ost, base_ost_bandwidth);
+        ++counts_.ost_restorations;
+        OBS_COUNTER_ADD("fault.ost_restorations", 1);
+        note(Kind::kOstRestored, s.ost, kInvalidRank, 0.0);
+      });
+    }
+  }
+}
+
+void Injector::bind_ranks(std::uint32_t rank_count) {
+  stragglers_.clear();
+  if (!plan_.stragglers.ranks.empty()) {
+    for (RankId r : plan_.stragglers.ranks) {
+      if (r < rank_count) stragglers_.push_back(r);
+    }
+  } else if (plan_.stragglers.count > 0) {
+    // Draw `count` distinct ranks from the plan stream (deterministic
+    // in the run seed; independent of event interleaving).
+    std::uint32_t want = std::min(plan_.stragglers.count, rank_count);
+    while (stragglers_.size() < want) {
+      auto r = static_cast<RankId>(plan_rng_.index(rank_count));
+      if (std::find(stragglers_.begin(), stragglers_.end(), r) ==
+          stragglers_.end()) {
+        stragglers_.push_back(r);
+      }
+    }
+  }
+  std::sort(stragglers_.begin(), stragglers_.end());
+}
+
+bool Injector::is_straggler(RankId rank) const {
+  return std::binary_search(stragglers_.begin(), stragglers_.end(), rank);
+}
+
+Seconds Injector::data_op_stall(RankId rank, bool is_write) {
+  const OpJitter& j = plan_.jitter;
+  if (j.probability <= 0.0) return 0.0;
+  if (is_write ? !j.writes : !j.reads) return 0.0;
+  if (!op_rng_.chance(j.probability)) return 0.0;
+  Seconds stall = op_rng_.exponential(j.mean_stall);
+  ++counts_.stalls;
+  counts_.stall_seconds += stall;
+  OBS_COUNTER_ADD("fault.stalls", 1);
+  note(Kind::kStall, 0, rank, stall);
+  return stall;
+}
+
+Seconds Injector::retry_delay(RankId rank) {
+  const TransientFaults& t = plan_.transient;
+  if (t.probability <= 0.0) return 0.0;
+  std::uint32_t failures = 0;
+  while (failures < t.max_retries && op_rng_.chance(t.probability)) {
+    ++failures;
+  }
+  if (failures == 0) return 0.0;
+  Seconds delay = 0.0;
+  Seconds backoff = t.backoff;
+  for (std::uint32_t i = 0; i < failures; ++i) {
+    delay += t.timeout + backoff;
+    backoff *= 2.0;
+  }
+  counts_.failed_attempts += failures;
+  ++counts_.ops_retried;
+  counts_.retry_seconds += delay;
+  OBS_COUNTER_ADD("fault.failed_attempts", failures);
+  OBS_COUNTER_ADD("fault.ops_retried", 1);
+  note(Kind::kRetry, failures, rank, delay);
+  return delay;
+}
+
+Seconds Injector::straggler_lag(RankId rank, Seconds elapsed) {
+  if (stragglers_.empty() || !is_straggler(rank)) return 0.0;
+  Seconds lag = (plan_.stragglers.slowdown - 1.0) * elapsed;
+  if (lag <= 0.0) return 0.0;
+  ++counts_.straggler_stalls;
+  counts_.straggler_seconds += lag;
+  OBS_COUNTER_ADD("fault.straggler_stalls", 1);
+  note(Kind::kStragglerStall, 0, rank, lag);
+  return lag;
+}
+
+}  // namespace eio::fault

@@ -1,0 +1,108 @@
+// Deterministic fault injection for one run.
+//
+// An Injector is the per-run executor of a fault::Plan. It is built
+// from the run's sim::RunContext, so every random draw comes from
+// run-scoped substreams (rng::StreamKind::kFault for per-op draws,
+// kFaultPlan for plan-level choices like straggler selection) and the
+// injected pathology is byte-identical for any --jobs value — the same
+// determinism contract every other component honours.
+//
+// The stack hooks into it at three levels:
+//  * lustre::Filesystem asks data_op_stall() before servicing a bulk
+//    op (jitter/stall clause) and calls arm_storage() at construction
+//    to schedule slow-OST capacity windows on the fluid network;
+//  * posix::PosixIo asks retry_delay() before issuing a data op
+//    (transient-failure clause: the traced call duration stretches by
+//    the timeout+backoff of the client-side retries) and
+//    straggler_lag() as the storage op completes (straggler clause:
+//    the call stretches by (slowdown-1) x the op's service time, so
+//    every data op of the rank effectively runs slowdown x slower and
+//    the traced duration, the rank's drift, and the barrier's order
+//    statistic all see the same lag);
+//  * mpi::Runtime fixes the rank universe via bind_ranks() at load().
+//
+// Every injection bumps obs counters and emits a Marker through the
+// optional marker hook; workloads::RunInstance forwards markers into
+// the IPM pipeline as OpType::kFault events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "fault/plan.h"
+#include "sim/fluid.h"
+#include "sim/run_context.h"
+
+namespace eio::fault {
+
+/// Per-run fault executor. Thread-compatible like every run-scoped
+/// component: one Injector belongs to exactly one run.
+class Injector {
+ public:
+  using MarkerHook = std::function<void(const Marker&)>;
+
+  Injector(Plan plan, sim::RunContext& run);
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Schedule the plan's slow-OST windows against the storage network.
+  /// `base_ost_bandwidth` is the healthy per-OST capacity restored when
+  /// a window closes. Called once by the owning run after the
+  /// filesystem exists; windows out of range of the network are
+  /// ignored.
+  void arm_storage(sim::FluidNetwork& network, Rate base_ost_bandwidth);
+
+  /// Fix the rank universe (and draw the straggler set). Called by
+  /// mpi::Runtime::load().
+  void bind_ranks(std::uint32_t rank_count);
+
+  /// Jitter clause: extra stall before the storage system services a
+  /// bulk data op of `rank`. 0 when the clause is off (no draw made).
+  [[nodiscard]] Seconds data_op_stall(RankId rank, bool is_write);
+
+  /// Transient-failure clause: total client-side delay (timeouts +
+  /// exponential backoff) the op of `rank` suffers before the attempt
+  /// that succeeds. 0 when the clause is off (no draw made).
+  [[nodiscard]] Seconds retry_delay(RankId rank);
+
+  /// Straggler clause: the hold applied as this rank's data op
+  /// completes — (slowdown-1) x the op's `elapsed` time, charged
+  /// before the rank proceeds (to its next op or a barrier). 0 for
+  /// non-stragglers.
+  [[nodiscard]] Seconds straggler_lag(RankId rank, Seconds elapsed);
+
+  [[nodiscard]] bool is_straggler(RankId rank) const;
+
+  /// Sink for markers (the trace bridge). At most one hook.
+  void set_marker_hook(MarkerHook hook) { hook_ = std::move(hook); }
+
+  [[nodiscard]] bool enabled() const noexcept { return plan_.enabled(); }
+  [[nodiscard]] const Plan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const Counts& counts() const noexcept { return counts_; }
+  [[nodiscard]] const std::vector<RankId>& stragglers() const noexcept {
+    return stragglers_;
+  }
+  /// Markers recorded so far (capped; counts are exact regardless).
+  [[nodiscard]] const std::vector<Marker>& markers() const noexcept {
+    return markers_;
+  }
+
+ private:
+  void note(Kind kind, std::uint64_t component, RankId rank, Seconds detail);
+
+  Plan plan_;
+  sim::Engine& engine_;
+  rng::Stream op_rng_;    ///< jitter + transient draws, in op order
+  rng::Stream plan_rng_;  ///< plan-level draws (straggler selection)
+  std::vector<RankId> stragglers_;
+  Counts counts_;
+  std::vector<Marker> markers_;
+  MarkerHook hook_;
+};
+
+}  // namespace eio::fault

@@ -88,7 +88,7 @@ TraceEvent get_event(std::istream& in) {
   e.start = get<double>(in);
   e.duration = get<double>(in);
   auto op = get_varint(in);
-  if (op > static_cast<std::uint64_t>(posix::OpType::kFsync)) {
+  if (op > static_cast<std::uint64_t>(posix::OpType::kFault)) {
     throw std::runtime_error("corrupt binary trace: bad op code");
   }
   e.op = static_cast<posix::OpType>(op);
@@ -144,7 +144,7 @@ TraceEvent get_event(ByteReader& in) {
   e.start = in.f64();
   e.duration = in.f64();
   auto op = in.varint();
-  if (op > static_cast<std::uint64_t>(posix::OpType::kFsync)) {
+  if (op > static_cast<std::uint64_t>(posix::OpType::kFault)) {
     throw std::runtime_error("corrupt binary trace: bad op code");
   }
   e.op = static_cast<posix::OpType>(op);
@@ -177,6 +177,7 @@ std::string get_name(std::istream& in) {
   if (name == "read") return OpType::kRead;
   if (name == "write") return OpType::kWrite;
   if (name == "fsync") return OpType::kFsync;
+  if (name == "fault") return OpType::kFault;
   throw std::runtime_error("unknown op name in trace: " + name);
 }
 

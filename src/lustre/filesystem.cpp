@@ -25,8 +25,9 @@ sim::FluidNetwork::Config Filesystem::network_config(const MachineConfig& machin
 }
 
 Filesystem::Filesystem(sim::RunContext& run, const MachineConfig& machine,
-                       std::uint32_t node_count)
+                       std::uint32_t node_count, fault::Injector* injector)
     : engine_(run.engine()),
+      injector_(injector),
       machine_(machine),
       network_(run.engine(), network_config(machine, node_count, run.seed())),
       mds_(run.engine()) {
@@ -37,6 +38,11 @@ Filesystem::Filesystem(sim::RunContext& run, const MachineConfig& machine,
     nodes_[i].noise = run.stream(rng::StreamKind::kFlowNoise, i);
     nodes_[i].straggler = run.stream(rng::StreamKind::kStraggler, i);
     nodes_[i].readahead = run.stream(rng::StreamKind::kReadahead, i);
+  }
+  // Slow-OST windows attach to the network as soon as it exists, so a
+  // window starting at t=0 is in force before the first rank issues.
+  if (injector_ != nullptr) {
+    injector_->arm_storage(network_, machine_.ost_bandwidth);
   }
 }
 
@@ -87,6 +93,24 @@ double Filesystem::draw_slowdown(NodeState& n) {
 
 void Filesystem::write(NodeId node, RankId rank, FileId file, Bytes offset,
                        Bytes length, IoCallback done) {
+  // Jitter clause of the fault plan: an unlucky op stalls before the
+  // storage system even sees it (server hiccup / RPC resend). The stall
+  // is part of the call's critical path, so traces and summaries see it.
+  if (injector_ != nullptr) {
+    Seconds stall = injector_->data_op_stall(rank, /*is_write=*/true);
+    if (stall > 0.0) {
+      engine_.schedule_in(stall, [this, node, rank, file, offset, length,
+                                  done = std::move(done)]() mutable {
+        write_impl(node, rank, file, offset, length, std::move(done));
+      });
+      return;
+    }
+  }
+  write_impl(node, rank, file, offset, length, std::move(done));
+}
+
+void Filesystem::write_impl(NodeId node, RankId rank, FileId file, Bytes offset,
+                            Bytes length, IoCallback done) {
   (void)rank;  // writes carry no per-stream state today
   EIO_CHECK(node < nodes_.size());
   auto fit = files_.find(file);
@@ -311,6 +335,21 @@ void Filesystem::flush(NodeId node, IoCallback done) {
 
 void Filesystem::read(NodeId node, RankId rank, FileId file, Bytes offset,
                       Bytes length, IoCallback done) {
+  if (injector_ != nullptr) {
+    Seconds stall = injector_->data_op_stall(rank, /*is_write=*/false);
+    if (stall > 0.0) {
+      engine_.schedule_in(stall, [this, node, rank, file, offset, length,
+                                  done = std::move(done)]() mutable {
+        read_impl(node, rank, file, offset, length, std::move(done));
+      });
+      return;
+    }
+  }
+  read_impl(node, rank, file, offset, length, std::move(done));
+}
+
+void Filesystem::read_impl(NodeId node, RankId rank, FileId file, Bytes offset,
+                           Bytes length, IoCallback done) {
   EIO_CHECK(node < nodes_.size());
   auto fit = files_.find(file);
   EIO_CHECK_MSG(fit != files_.end(), "read of unknown file " << file);

@@ -29,6 +29,7 @@
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/units.h"
+#include "fault/injector.h"
 #include "lustre/machine.h"
 #include "lustre/readahead.h"
 #include "lustre/striping.h"
@@ -65,8 +66,11 @@ class Filesystem {
   /// Build a file system backing `node_count` client nodes on the given
   /// platform. All state — clock, flows, caches, RNG substreams — is
   /// owned by or derived from `run`, never shared across runs.
+  /// `injector` (optional, not owned, same run) perturbs bulk data ops
+  /// per its fault plan: jitter stalls here, slow-OST windows armed on
+  /// the fluid network at construction.
   Filesystem(sim::RunContext& run, const MachineConfig& machine,
-             std::uint32_t node_count);
+             std::uint32_t node_count, fault::Injector* injector = nullptr);
 
   Filesystem(const Filesystem&) = delete;
   Filesystem& operator=(const Filesystem&) = delete;
@@ -161,6 +165,10 @@ class Filesystem {
   /// measured service time, so splitting transfers into more calls
   /// averages it away — the Law-of-Large-Numbers effect of Figure 2.
   [[nodiscard]] double draw_slowdown(NodeState& n);
+  void write_impl(NodeId node, RankId rank, FileId file, Bytes offset,
+                  Bytes length, IoCallback done);
+  void read_impl(NodeId node, RankId rank, FileId file, Bytes offset,
+                 Bytes length, IoCallback done);
   void start_drain(NodeId node, FileId file, Bytes offset, Bytes bytes);
   void start_sync_write(NodeId node, FileId file, Bytes offset, Bytes length,
                         Seconds pre_delay, double inflation, IoCallback done);
@@ -174,6 +182,7 @@ class Filesystem {
       std::uint64_t seed);
 
   sim::Engine& engine_;
+  fault::Injector* injector_;  ///< optional, not owned, same run
   MachineConfig machine_;
   sim::FluidNetwork network_;
   sim::SerialServer mds_;

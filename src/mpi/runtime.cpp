@@ -12,8 +12,9 @@ namespace {
 
 }  // namespace
 
-Runtime::Runtime(sim::RunContext& run, posix::PosixIo& io, CollectiveCosts costs)
-    : engine_(run.engine()), io_(io), costs_(costs) {}
+Runtime::Runtime(sim::RunContext& run, posix::PosixIo& io, CollectiveCosts costs,
+                 fault::Injector* injector)
+    : engine_(run.engine()), io_(io), costs_(costs), injector_(injector) {}
 
 void Runtime::load(std::vector<Program> programs) {
   EIO_CHECK(!programs.empty());
@@ -26,6 +27,8 @@ void Runtime::load(std::vector<Program> programs) {
   barrier_ = BarrierState{};
   done_count_ = 0;
   started_ = false;
+  // The rank universe is now known: fix the straggler set.
+  if (injector_ != nullptr) injector_->bind_ranks(rank_count());
 }
 
 void Runtime::start() {
@@ -107,17 +110,9 @@ void Runtime::run_op(RankId rank, const Op& operation) {
                       advance(rank);
                     });
         } else if constexpr (std::is_same_v<T, op::Read>) {
-          io_.read(rank, slot(rank, o.slot), o.bytes,
-                   [this, rank](std::int64_t n) {
-                     EIO_CHECK(n >= 0);
-                     advance(rank);
-                   });
+          issue_data_op(rank, slot(rank, o.slot), o.bytes, /*is_write=*/false);
         } else if constexpr (std::is_same_v<T, op::Write>) {
-          io_.write(rank, slot(rank, o.slot), o.bytes,
-                    [this, rank](std::int64_t n) {
-                      EIO_CHECK(n >= 0);
-                      advance(rank);
-                    });
+          issue_data_op(rank, slot(rank, o.slot), o.bytes, /*is_write=*/true);
         } else if constexpr (std::is_same_v<T, op::Fsync>) {
           io_.fsync(rank, slot(rank, o.slot), [this, rank](int rc) {
             EIO_CHECK(rc == 0);
@@ -135,6 +130,18 @@ void Runtime::run_op(RankId rank, const Op& operation) {
         }
       },
       operation);
+}
+
+void Runtime::issue_data_op(RankId rank, Fd fd, Bytes bytes, bool is_write) {
+  auto on_done = [this, rank](std::int64_t n) {
+    EIO_CHECK(n >= 0);
+    advance(rank);
+  };
+  if (is_write) {
+    io_.write(rank, fd, bytes, on_done);
+  } else {
+    io_.read(rank, fd, bytes, on_done);
+  }
 }
 
 void Runtime::arrive_barrier(RankId rank) {

@@ -14,6 +14,7 @@
 #include "common/check.h"
 #include "common/ids.h"
 #include "common/units.h"
+#include "fault/injector.h"
 #include "mpi/program.h"
 #include "posix/vfs.h"
 #include "sim/engine.h"
@@ -35,7 +36,12 @@ class Runtime {
   using PhaseHook = std::function<void(RankId, std::int32_t)>;
 
   /// `run` must be the same run context the POSIX layer was built on.
-  Runtime(sim::RunContext& run, posix::PosixIo& io, CollectiveCosts costs = {});
+  /// `injector` (optional, not owned, same run) supplies the straggler
+  /// clause: chosen ranks pay their previous data op's slowdown lag
+  /// before issuing the next one, so they drift late within phases and
+  /// the barrier order statistic governs phase time, as in the paper.
+  Runtime(sim::RunContext& run, posix::PosixIo& io, CollectiveCosts costs = {},
+          fault::Injector* injector = nullptr);
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -84,6 +90,8 @@ class Runtime {
   void step(RankId rank);
   void advance(RankId rank);
   void run_op(RankId rank, const Op& op);
+  /// Issue a data op, timing it for straggler bookkeeping.
+  void issue_data_op(RankId rank, Fd fd, Bytes bytes, bool is_write);
   [[nodiscard]] Fd& slot(RankId rank, FileSlot s);
   void arrive_barrier(RankId rank);
   void arrive_gather(RankId rank, const op::Gather& g);
@@ -91,6 +99,7 @@ class Runtime {
   sim::Engine& engine_;
   posix::PosixIo& io_;
   CollectiveCosts costs_;
+  fault::Injector* injector_;  ///< optional, not owned, same run
   PhaseHook phase_hook_;
   std::vector<RankState> ranks_;
   BarrierState barrier_;

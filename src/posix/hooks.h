@@ -22,6 +22,7 @@ enum class OpType : std::uint8_t {
   kRead,
   kWrite,
   kFsync,
+  kFault,  ///< injected-fault marker emitted by fault::Injector, not a call
 };
 
 /// Printable name of an op ("write", "read", ...).

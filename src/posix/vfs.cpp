@@ -14,13 +14,17 @@ const char* op_name(OpType op) noexcept {
     case OpType::kRead: return "read";
     case OpType::kWrite: return "write";
     case OpType::kFsync: return "fsync";
+    case OpType::kFault: return "fault";
   }
   return "?";
 }
 
 PosixIo::PosixIo(sim::RunContext& run, lustre::Filesystem& fs,
-                 std::uint32_t tasks_per_node)
-    : engine_(run.engine()), fs_(fs), tasks_per_node_(tasks_per_node) {
+                 std::uint32_t tasks_per_node, fault::Injector* injector)
+    : engine_(run.engine()),
+      fs_(fs),
+      injector_(injector),
+      tasks_per_node_(tasks_per_node) {
   EIO_CHECK(tasks_per_node_ >= 1);
 }
 
@@ -42,6 +46,11 @@ void PosixIo::remove_observer(IoObserver* observer) {
 
 void PosixIo::notify(const CallRecord& record) {
   for (IoObserver* o : observers_) o->on_call(record);
+}
+
+void PosixIo::notify_fault(const fault::Marker& marker) {
+  notify({marker.rank, OpType::kFault, -1, marker.component,
+          static_cast<Bytes>(marker.kind), 0, marker.time, marker.detail});
 }
 
 PosixIo::OpenFile* PosixIo::find(RankId rank, Fd fd) {
@@ -151,10 +160,38 @@ void PosixIo::data_op(RankId rank, Fd fd, Bytes count, Bytes offset, bool advanc
     done(static_cast<std::int64_t>(actual));
   };
   NodeId node = node_of(rank);
-  if (is_write) {
-    fs_.write(node, rank, file, offset, actual, std::move(finish));
+  auto issue = [this, node, rank, file, offset, actual, is_write,
+                finish = std::move(finish)]() mutable {
+    // Straggler clause: a slow host's call stretches by (slowdown-1) x
+    // the op's service time, charged inside the call — the traced
+    // duration, the rank's drift, and the barrier order statistic all
+    // see the same lag.
+    Seconds issued = engine_.now();
+    auto complete = [this, rank, issued, finish = std::move(finish)]() mutable {
+      Seconds lag = injector_ != nullptr
+                        ? injector_->straggler_lag(rank, engine_.now() - issued)
+                        : 0.0;
+      if (lag > 0.0) {
+        engine_.schedule_in(lag, std::move(finish));
+      } else {
+        finish();
+      }
+    };
+    if (is_write) {
+      fs_.write(node, rank, file, offset, actual, std::move(complete));
+    } else {
+      fs_.read(node, rank, file, offset, actual, std::move(complete));
+    }
+  };
+  // Transient-failure clause of the fault plan: the client retries
+  // failed attempts with timeout + exponential backoff before the one
+  // that sticks. `start` predates the retries, so the traced duration
+  // stretches by exactly the injected delay.
+  Seconds retry = injector_ != nullptr ? injector_->retry_delay(rank) : 0.0;
+  if (retry > 0.0) {
+    engine_.schedule_in(retry, std::move(issue));
   } else {
-    fs_.read(node, rank, file, offset, actual, std::move(finish));
+    issue();
   }
 }
 

@@ -15,6 +15,7 @@
 
 #include "common/ids.h"
 #include "common/units.h"
+#include "fault/injector.h"
 #include "lustre/filesystem.h"
 #include "posix/hooks.h"
 #include "sim/engine.h"
@@ -42,8 +43,11 @@ class PosixIo {
 
   /// `tasks_per_node` maps ranks onto client nodes (rank / tasks_per_node).
   /// `run` must be the same run context the filesystem was built on.
+  /// `injector` (optional, not owned, same run) injects transient op
+  /// failures: a faulted data op pays its retry timeouts + backoff
+  /// before being issued, so the traced call duration includes them.
   PosixIo(sim::RunContext& run, lustre::Filesystem& fs,
-          std::uint32_t tasks_per_node);
+          std::uint32_t tasks_per_node, fault::Injector* injector = nullptr);
 
   PosixIo(const PosixIo&) = delete;
   PosixIo& operator=(const PosixIo&) = delete;
@@ -66,6 +70,12 @@ class PosixIo {
   /// Register a call observer (not owned). Observers fire on completion.
   void add_observer(IoObserver* observer);
   void remove_observer(IoObserver* observer);
+
+  /// Surface an injected fault to the observers as an OpType::kFault
+  /// record (file = component, offset = fault kind, duration = the
+  /// injected delay). This is how fault markers enter the IPM pipeline
+  /// and every downstream trace format and scan.
+  void notify_fault(const fault::Marker& marker);
 
   /// Node hosting a rank.
   [[nodiscard]] NodeId node_of(RankId rank) const noexcept {
@@ -95,6 +105,7 @@ class PosixIo {
 
   sim::Engine& engine_;
   lustre::Filesystem& fs_;
+  fault::Injector* injector_;  ///< optional, not owned, same run
   std::uint32_t tasks_per_node_;
   std::unordered_map<std::uint64_t, OpenFile> fds_;
   std::unordered_map<RankId, Fd> next_fd_;

@@ -33,14 +33,24 @@ RunInstance::RunInstance(JobSpec spec, std::uint64_t run_index)
     : spec_(std::move(spec)),
       ranks_(checked_rank_count(spec_)),
       run_(spec_.machine.seed, run_index),
-      fs_(run_, spec_.machine, node_count_for(spec_.machine, ranks_)),
-      io_(run_, fs_, spec_.machine.tasks_per_node),
+      injector_(spec_.faults.enabled()
+                    ? std::make_unique<fault::Injector>(spec_.faults, run_)
+                    : nullptr),
+      fs_(run_, spec_.machine, node_count_for(spec_.machine, ranks_),
+          injector_.get()),
+      io_(run_, fs_, spec_.machine.tasks_per_node, injector_.get()),
       monitor_(ipm::Monitor::Config{.mode = spec_.capture}),
-      runtime_(run_, io_, spec_.collective_costs) {
+      runtime_(run_, io_, spec_.collective_costs, injector_.get()) {
   for (const auto& [path, options] : spec_.stripe_options) {
     io_.setstripe(path, options);
   }
   monitor_.attach(io_);
+  // Fault markers become OpType::kFault events in the IPM pipeline —
+  // they ride through traces, sinks, and scans like any other call.
+  if (injector_) {
+    injector_->set_marker_hook(
+        [this](const fault::Marker& m) { io_.notify_fault(m); });
+  }
   if (spec_.sink_factory) {
     sink_ = spec_.sink_factory(run_index);
     if (sink_) monitor_.add_sink(sink_.get());
@@ -84,6 +94,7 @@ RunResult RunInstance::execute() {
   result.fs_stats = fs_.stats();
   result.engine_events = engine.events_run();
   result.monitor_overhead = monitor_.accounted_overhead();
+  if (injector_) result.fault_counts = injector_->counts();
   result.sink = sink_;
   return result;
 }

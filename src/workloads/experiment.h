@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "fault/injector.h"
 #include "ipm/monitor.h"
 #include "ipm/sink.h"
 #include "lustre/filesystem.h"
@@ -42,6 +43,11 @@ struct JobSpec {
   std::map<std::string, lustre::FileOptions> stripe_options;  ///< per path
   ipm::Mode capture = ipm::Mode::kBoth;
   mpi::CollectiveCosts collective_costs;
+  /// Fault plan injected into every run of this experiment (empty =
+  /// healthy machine, no perturbation, no extra RNG draws). Faults are
+  /// executed by a per-run fault::Injector, so an ensemble's runs each
+  /// suffer their own deterministic instance of the pathology.
+  fault::Plan faults;
   /// Optional per-run streaming sink: called once per run with the run
   /// index; the returned sink receives every completed call as it
   /// retires (before any trace/profile harvesting) and its finish() is
@@ -60,6 +66,9 @@ struct RunResult {
   lustre::FilesystemStats fs_stats;
   std::uint64_t engine_events = 0;
   Seconds monitor_overhead = 0.0;
+  /// Injection counters of this run's fault::Injector (all zero when
+  /// the job's fault plan is empty).
+  fault::Counts fault_counts;
   /// The sink produced by JobSpec::sink_factory for this run (if any),
   /// already finish()ed — ready for result extraction.
   std::shared_ptr<ipm::EventSink> sink;
@@ -103,11 +112,14 @@ class RunInstance {
   [[nodiscard]] posix::PosixIo& io() noexcept { return io_; }
   [[nodiscard]] ipm::Monitor& monitor() noexcept { return monitor_; }
   [[nodiscard]] mpi::Runtime& runtime() noexcept { return runtime_; }
+  /// The run's fault injector (nullptr when the plan is empty).
+  [[nodiscard]] fault::Injector* injector() noexcept { return injector_.get(); }
 
  private:
   JobSpec spec_;
   std::uint32_t ranks_;
   sim::RunContext run_;
+  std::unique_ptr<fault::Injector> injector_;  ///< before fs_: fs uses it
   lustre::Filesystem fs_;
   posix::PosixIo io_;
   ipm::Monitor monitor_;

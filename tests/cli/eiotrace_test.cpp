@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "common/rng.h"
@@ -220,6 +221,110 @@ TEST_F(EiotraceTest, SimulateRejectsUnknownMachine) {
   auto [rc, out, err] = run({"simulate", "--machine=bluegene"});
   EXPECT_EQ(rc, 1);
   EXPECT_NE(err.find("unknown machine"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, UnknownFlagFailsWithPerCommandUsage) {
+  auto [rc, out, err] = run({"summary", path_, "--bogus=1"});
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(err.find("unknown flag '--bogus'"), std::string::npos);
+  EXPECT_NE(err.find("usage: eiotrace summary"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, BadNumericValueFails) {
+  auto [rc, out, err] = run({"histogram", path_, "--bins=many"});
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(err.find("bad value 'many' for --bins"), std::string::npos);
+  auto [rc2, out2, err2] = run({"summary", path_, "--min-bytes=huge"});
+  EXPECT_EQ(rc2, 1);
+  auto [rc3, out3, err3] = run({"histogram", path_, "--bins=-4"});
+  EXPECT_EQ(rc3, 1);
+}
+
+TEST_F(EiotraceTest, FlagValueMayBeASeparateArgument) {
+  auto [rc, out, err] = run({"histogram", path_, "--op", "read", "--bins", "20"});
+  EXPECT_EQ(rc, 0) << err;
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST_F(EiotraceTest, MissingFlagValueFails) {
+  auto [rc, out, err] = run({"histogram", path_, "--bins"});
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(err.find("needs a value"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, PerCommandUsageIsGeneratedFromTheOptionTables) {
+  std::string diag = usage_text("diagnose");
+  EXPECT_NE(diag.find("usage: eiotrace diagnose"), std::string::npos);
+  EXPECT_NE(diag.find("--ost-count"), std::string::npos);
+  EXPECT_NE(diag.find("--fair-share-mibs"), std::string::npos);
+  std::string sim = usage_text("simulate");
+  EXPECT_NE(sim.find("--scenario"), std::string::npos);
+  EXPECT_NE(sim.find("--machine"), std::string::npos);
+  EXPECT_NE(sim.find("default franklin"), std::string::npos);
+  // Every flag a command parses appears in its usage; unknown commands
+  // fall back to the global text.
+  EXPECT_EQ(usage_text("frobnicate"), usage_text());
+  std::string modes = usage_text("modes");
+  EXPECT_NE(modes.find("--bandwidth"), std::string::npos);
+  EXPECT_NE(modes.find("--op"), std::string::npos);
+  EXPECT_NE(modes.find("--jobs"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, HelpWithCommandShowsItsFlagTable) {
+  auto [rc, out, err] = run({"help", "modes"});
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("--bandwidth"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, SimulateScenarioFileEndToEnd) {
+  std::string scen = ::testing::TempDir() + "/scenario.json";
+  {
+    std::ofstream f(scen);
+    f << R"({
+      "schema_version": 1,
+      "name": "cli-scenario",
+      "machine": "franklin",
+      "runs": 2,
+      "workload": {"kind": "ior", "tasks": 8, "block_mib": 4, "segments": 1},
+      "faults": {"stragglers": {"ranks": [3], "slowdown": 3.0}}
+    })";
+  }
+  auto [rc, out, err] = run({"simulate", "--scenario=" + scen, "--jobs=2"});
+  EXPECT_EQ(rc, 0) << err;
+  EXPECT_NE(out.find("simulating 2 IOR runs"), std::string::npos);
+  EXPECT_NE(out.find("fault plan:"), std::string::npos);
+  EXPECT_NE(out.find("fault injections:"), std::string::npos);
+  std::remove(scen.c_str());
+}
+
+TEST_F(EiotraceTest, SimulateScenarioConflictsWithWorkloadFlags) {
+  auto [rc, out, err] = run({"simulate", "--scenario=x.json", "--tasks=4"});
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(err.find("conflicts with --scenario"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, SimulateMissingScenarioFileFails) {
+  auto [rc, out, err] = run({"simulate", "--scenario=/nonexistent.json"});
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(err.find("cannot open scenario file"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, SlowOstScenarioDiagnosesTheDegradedOst) {
+  // The acceptance path: the checked-in slow-OST scenario, simulated
+  // and fed back through diagnose, names the injected OST.
+  std::string scen =
+      std::string(EIO_SOURCE_DIR) + "/examples/scenarios/slow_ost.json";
+  std::string dir = ::testing::TempDir();
+  auto [rc, out, err] =
+      run({"simulate", "--scenario=" + scen, "--runs=1", "--save-dir=" + dir});
+  ASSERT_EQ(rc, 0) << err;
+  EXPECT_NE(out.find("ost-windows"), std::string::npos);
+  std::string trace = dir + "/run0.tsv";
+  auto [rc2, out2, err2] = run({"diagnose", trace, "--ost-count=48"});
+  EXPECT_EQ(rc2, 0) << err2;
+  EXPECT_NE(out2.find("degraded-ost"), std::string::npos);
+  EXPECT_NE(out2.find("OST 5"), std::string::npos);
+  std::remove(trace.c_str());
 }
 
 TEST_F(EiotraceTest, PhaseFilterNarrowsEvents) {

@@ -209,12 +209,136 @@ TEST(DiagnoseTest, TooFewEventsStaySilent) {
   EXPECT_TRUE(diagnose(t).empty());
 }
 
+ipm::TraceEvent fevent(double start, double dur, OpType op, RankId rank,
+                       Bytes bytes, std::int32_t phase, FileId file) {
+  ipm::TraceEvent e = event(start, dur, op, rank, bytes, phase);
+  e.file = file;
+  return e;
+}
+
+TEST(DiagnoseTest, DegradedOstDetected) {
+  rng::Stream r(10);
+  ipm::Trace t("ost", 16);
+  // 16 file-per-process files round-robined over 8 OSTs (two files per
+  // class); the files on OST 3 run 5x slow.
+  for (std::uint64_t f = 1; f <= 16; ++f) {
+    double base = (f - 1) % 8 == 3 ? 5.0 : 1.0;
+    for (int i = 0; i < 10; ++i) {
+      t.add(fevent(0, base * r.noise(0.15), OpType::kWrite,
+                   static_cast<RankId>(f - 1), 16 * MiB, 1, f));
+    }
+  }
+  DiagnoserOptions opt;
+  opt.ost_count = 8;
+  auto findings = diagnose(t, opt);
+  ASSERT_TRUE(has_finding(findings, FindingCode::kDegradedOst));
+  auto it = std::find_if(findings.begin(), findings.end(), [](const Finding& f) {
+    return f.code == FindingCode::kDegradedOst;
+  });
+  EXPECT_DOUBLE_EQ(it->metric, 3.0);
+  EXPECT_NE(it->message.find("OST 3"), std::string::npos);
+}
+
+TEST(DiagnoseTest, DegradedOstQuietOnHealthyFleet) {
+  rng::Stream r(11);
+  ipm::Trace t("ost-ok", 16);
+  for (std::uint64_t f = 1; f <= 16; ++f) {
+    for (int i = 0; i < 10; ++i) {
+      t.add(fevent(0, r.noise(0.2), OpType::kWrite, static_cast<RankId>(f - 1),
+                   16 * MiB, 1, f));
+    }
+  }
+  DiagnoserOptions opt;
+  opt.ost_count = 8;
+  EXPECT_FALSE(has_finding(diagnose(t, opt), FindingCode::kDegradedOst));
+}
+
+TEST(DiagnoseTest, DegradedOstQuietOnSharedFileAndWithoutOstCount) {
+  rng::Stream r(12);
+  // Shared file: every event maps to one OST class — no baseline to
+  // compare against, so even a heavy tail stays quiet here.
+  ipm::Trace shared("ost-shared", 16);
+  for (int i = 0; i < 150; ++i) {
+    shared.add(fevent(0, r.noise(0.2), OpType::kWrite,
+                      static_cast<RankId>(i % 16), 16 * MiB, 1, 1));
+  }
+  for (int i = 0; i < 12; ++i) {
+    shared.add(fevent(0, 6.0 * r.noise(0.2), OpType::kWrite,
+                      static_cast<RankId>(i), 16 * MiB, 1, 1));
+  }
+  DiagnoserOptions opt;
+  opt.ost_count = 8;
+  EXPECT_FALSE(has_finding(diagnose(shared, opt), FindingCode::kDegradedOst));
+
+  // ost_count = 0 (the default) skips the detector entirely, even on a
+  // trace that would otherwise fire.
+  ipm::Trace degraded("ost-skip", 16);
+  for (std::uint64_t f = 1; f <= 16; ++f) {
+    double base = (f - 1) % 8 == 3 ? 5.0 : 1.0;
+    for (int i = 0; i < 10; ++i) {
+      degraded.add(fevent(0, base * r.noise(0.15), OpType::kWrite,
+                          static_cast<RankId>(f - 1), 16 * MiB, 1, f));
+    }
+  }
+  EXPECT_FALSE(has_finding(diagnose(degraded), FindingCode::kDegradedOst));
+}
+
+TEST(DiagnoseTest, StragglerRankDetected) {
+  rng::Stream r(13);
+  ipm::Trace t("strag", 16);
+  // Five barrier-bounded phases; rank 11's writes run 4x long in every
+  // one of them.
+  for (int phase = 1; phase <= 5; ++phase) {
+    for (int rank = 0; rank < 16; ++rank) {
+      double dur = (rank == 11 ? 4.0 : 1.0) * r.noise(0.1);
+      t.add(event(phase * 100.0, dur, OpType::kWrite,
+                  static_cast<RankId>(rank), 64 * MiB, phase));
+    }
+  }
+  auto findings = diagnose(t);
+  ASSERT_TRUE(has_finding(findings, FindingCode::kStragglerRank));
+  auto it = std::find_if(findings.begin(), findings.end(), [](const Finding& f) {
+    return f.code == FindingCode::kStragglerRank;
+  });
+  EXPECT_DOUBLE_EQ(it->metric, 11.0);
+  EXPECT_NE(it->message.find("rank 11"), std::string::npos);
+}
+
+TEST(DiagnoseTest, StragglerQuietWhenTheExtremeRotates) {
+  rng::Stream r(14);
+  ipm::Trace t("rotate", 16);
+  // A different rank is slow in each phase: a wide distribution's
+  // random extreme, not a consistently slow host.
+  for (int phase = 1; phase <= 5; ++phase) {
+    for (int rank = 0; rank < 16; ++rank) {
+      double dur = (rank == phase * 3 ? 4.0 : 1.0) * r.noise(0.1);
+      t.add(event(phase * 100.0, dur, OpType::kWrite,
+                  static_cast<RankId>(rank), 64 * MiB, phase));
+    }
+  }
+  EXPECT_FALSE(has_finding(diagnose(t), FindingCode::kStragglerRank));
+}
+
+TEST(DiagnoseTest, StragglerQuietOnTightPhases) {
+  rng::Stream r(15);
+  ipm::Trace t("tight", 16);
+  for (int phase = 1; phase <= 5; ++phase) {
+    for (int rank = 0; rank < 16; ++rank) {
+      t.add(event(phase * 100.0, r.noise(0.1), OpType::kWrite,
+                  static_cast<RankId>(rank), 64 * MiB, phase));
+    }
+  }
+  EXPECT_FALSE(has_finding(diagnose(t), FindingCode::kStragglerRank));
+}
+
 TEST(DiagnoseTest, FindingNamesAreStable) {
   EXPECT_STREQ(finding_name(FindingCode::kHarmonicModes), "harmonic-modes");
   EXPECT_STREQ(finding_name(FindingCode::kMetadataSerialization),
                "metadata-serialization");
   EXPECT_STREQ(finding_name(FindingCode::kSplittingOpportunity),
                "splitting-opportunity");
+  EXPECT_STREQ(finding_name(FindingCode::kDegradedOst), "degraded-ost");
+  EXPECT_STREQ(finding_name(FindingCode::kStragglerRank), "straggler-rank");
 }
 
 }  // namespace

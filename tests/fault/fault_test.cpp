@@ -1,0 +1,172 @@
+// Unit tests for the fault-injection subsystem: plan JSON round-trip,
+// injector determinism and arming, and the zero-draw contract (an
+// empty plan perturbs nothing).
+#include "fault/injector.h"
+#include "fault/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/json.h"
+#include "sim/run_context.h"
+#include "workloads/scenario.h"
+
+namespace eio::fault {
+namespace {
+
+TEST(FaultPlanTest, EmptyPlanIsDisabled) {
+  Plan plan;
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_EQ(plan_to_json(plan), "{}");
+}
+
+TEST(FaultPlanTest, JsonRoundTripPreservesEveryClause) {
+  Plan plan;
+  plan.slow_osts.push_back({.ost = 5, .factor = 0.2, .from = 1.5, .until = 90.0});
+  plan.jitter = {.probability = 0.1, .mean_stall = 0.05, .reads = false,
+                 .writes = true};
+  plan.transient = {.probability = 0.02, .max_retries = 3, .timeout = 0.1,
+                    .backoff = 0.02};
+  plan.stragglers = {.count = 2, .ranks = {}, .slowdown = 3.5};
+  ASSERT_TRUE(plan.enabled());
+
+  Plan back = plan_from_json(json::parse(plan_to_json(plan)));
+  ASSERT_EQ(back.slow_osts.size(), 1u);
+  EXPECT_EQ(back.slow_osts[0].ost, 5u);
+  EXPECT_DOUBLE_EQ(back.slow_osts[0].factor, 0.2);
+  EXPECT_DOUBLE_EQ(back.slow_osts[0].from, 1.5);
+  EXPECT_DOUBLE_EQ(back.slow_osts[0].until, 90.0);
+  EXPECT_DOUBLE_EQ(back.jitter.probability, 0.1);
+  EXPECT_DOUBLE_EQ(back.jitter.mean_stall, 0.05);
+  EXPECT_FALSE(back.jitter.reads);
+  EXPECT_TRUE(back.jitter.writes);
+  EXPECT_DOUBLE_EQ(back.transient.probability, 0.02);
+  EXPECT_EQ(back.transient.max_retries, 3u);
+  EXPECT_EQ(back.stragglers.count, 2u);
+  EXPECT_DOUBLE_EQ(back.stragglers.slowdown, 3.5);
+}
+
+TEST(FaultPlanTest, ExplicitStragglerRanksRoundTrip) {
+  Plan plan;
+  plan.stragglers.ranks = {3, 7};
+  Plan back = plan_from_json(json::parse(plan_to_json(plan)));
+  ASSERT_EQ(back.stragglers.ranks.size(), 2u);
+  EXPECT_EQ(back.stragglers.ranks[0], 3u);
+  EXPECT_EQ(back.stragglers.ranks[1], 7u);
+}
+
+TEST(FaultPlanTest, UnknownKeysRejected) {
+  EXPECT_THROW(plan_from_json(json::parse(R"({"slow_ost": []})")),
+               std::runtime_error);
+  EXPECT_THROW(
+      plan_from_json(json::parse(R"({"jitter": {"probabilty": 0.5}})")),
+      std::runtime_error);
+}
+
+TEST(FaultPlanTest, OutOfRangeProbabilityRejected) {
+  EXPECT_THROW(
+      plan_from_json(json::parse(R"({"jitter": {"probability": 1.5}})")),
+      std::runtime_error);
+  EXPECT_THROW(
+      plan_from_json(json::parse(R"({"transient": {"probability": -0.1}})")),
+      std::runtime_error);
+}
+
+TEST(FaultInjectorTest, StragglerSelectionIsDeterministic) {
+  Plan plan;
+  plan.stragglers.count = 3;
+  std::vector<RankId> first;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    sim::RunContext run(0x5EED, 0);
+    Injector inj(plan, run);
+    inj.bind_ranks(64);
+    ASSERT_EQ(inj.stragglers().size(), 3u);
+    if (attempt == 0) {
+      first = inj.stragglers();
+    } else {
+      EXPECT_EQ(inj.stragglers(), first);
+    }
+  }
+  // A different run seed draws a different set (with overwhelming
+  // probability for 3 of 64; this particular pair differs).
+  sim::RunContext other(0xBEEF, 0);
+  Injector inj(plan, other);
+  inj.bind_ranks(64);
+  EXPECT_NE(inj.stragglers(), first);
+}
+
+TEST(FaultInjectorTest, ExplicitRanksWinOverCount) {
+  Plan plan;
+  plan.stragglers.count = 5;
+  plan.stragglers.ranks = {2, 9};
+  sim::RunContext run(1, 0);
+  Injector inj(plan, run);
+  inj.bind_ranks(16);
+  ASSERT_EQ(inj.stragglers().size(), 2u);
+  EXPECT_TRUE(inj.is_straggler(2));
+  EXPECT_TRUE(inj.is_straggler(9));
+  EXPECT_FALSE(inj.is_straggler(3));
+}
+
+TEST(FaultInjectorTest, StragglerLagScalesElapsedTime) {
+  Plan plan;
+  plan.stragglers.ranks = {1};
+  plan.stragglers.slowdown = 4.0;
+  sim::RunContext run(1, 0);
+  Injector inj(plan, run);
+  inj.bind_ranks(4);
+  EXPECT_DOUBLE_EQ(inj.straggler_lag(1, 0.5), 1.5);   // (4-1) x 0.5
+  EXPECT_DOUBLE_EQ(inj.straggler_lag(0, 0.5), 0.0);   // not a straggler
+  EXPECT_EQ(inj.counts().straggler_stalls, 1u);
+  EXPECT_DOUBLE_EQ(inj.counts().straggler_seconds, 1.5);
+}
+
+TEST(FaultInjectorTest, TransientRetryAlwaysFiresAtProbabilityOne) {
+  Plan plan;
+  plan.transient.probability = 1.0;
+  plan.transient.max_retries = 2;
+  plan.transient.timeout = 0.1;
+  plan.transient.backoff = 0.01;
+  sim::RunContext run(7, 0);
+  Injector inj(plan, run);
+  inj.bind_ranks(4);
+  // Every attempt fails until max_retries: delay = 2 timeouts + the
+  // doubling backoff = 0.1 + 0.01 + 0.1 + 0.02.
+  EXPECT_NEAR(inj.retry_delay(0), 0.23, 1e-12);
+  EXPECT_EQ(inj.counts().ops_retried, 1u);
+  EXPECT_EQ(inj.counts().failed_attempts, 2u);
+}
+
+TEST(FaultInjectorTest, EmptyPlanDrawsNothingAndInjectsNothing) {
+  Plan plan;
+  sim::RunContext run(9, 0);
+  Injector inj(plan, run);
+  inj.bind_ranks(8);
+  EXPECT_FALSE(inj.enabled());
+  EXPECT_DOUBLE_EQ(inj.data_op_stall(0, true), 0.0);
+  EXPECT_DOUBLE_EQ(inj.retry_delay(0), 0.0);
+  EXPECT_DOUBLE_EQ(inj.straggler_lag(0, 1.0), 0.0);
+  EXPECT_EQ(inj.counts().total_injections(), 0u);
+  EXPECT_TRUE(inj.markers().empty());
+  EXPECT_TRUE(inj.stragglers().empty());
+}
+
+TEST(FaultInjectorTest, MarkersFlowThroughTheHook) {
+  Plan plan;
+  plan.stragglers.ranks = {0};
+  plan.stragglers.slowdown = 2.0;
+  sim::RunContext run(3, 0);
+  Injector inj(plan, run);
+  inj.bind_ranks(2);
+  std::vector<Marker> seen;
+  inj.set_marker_hook([&seen](const Marker& m) { seen.push_back(m); });
+  (void)inj.straggler_lag(0, 0.25);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].kind, Kind::kStragglerStall);
+  EXPECT_EQ(seen[0].rank, 0u);
+  EXPECT_DOUBLE_EQ(seen[0].detail, 0.25);
+}
+
+}  // namespace
+}  // namespace eio::fault
