@@ -136,6 +136,14 @@ int main(int argc, char** argv) {
               parallel_s, parallel_rps);
   std::printf("  speedup x%.2f on %u hardware threads\n", serial_s / parallel_s,
               hw);
+  // The speedup figure is only honest when the host can actually run
+  // that many workers at once.
+  const bool meaningful = jobs <= hw;
+  if (!meaningful) {
+    std::printf("  [not meaningful: %zu jobs on %u cores — the parallel "
+                "timing says nothing about scaling]\n",
+                jobs, hw);
+  }
 
   utsname uts{};
   uname(&uts);
@@ -152,7 +160,13 @@ int main(int argc, char** argv) {
        << "  \"speedup\": " << serial_s / parallel_s << ",\n"
        << "  \"jobs\": " << jobs << ",\n"
        << "  \"hardware_concurrency\": " << hw << ",\n"
-       << "  \"worst_pairwise_ks\": " << worst << ",\n"
+       << "  \"speedup_meaningful\": " << (meaningful ? "true" : "false")
+       << ",\n";
+  if (!meaningful) {
+    json << "  \"speedup_annotation\": \"not meaningful: jobs exceed "
+            "hardware_concurrency\",\n";
+  }
+  json       << "  \"worst_pairwise_ks\": " << worst << ",\n"
        << "  \"machine\": \"" << uts.sysname << " " << uts.release << " "
        << uts.machine << "\"\n"
        << "}\n";

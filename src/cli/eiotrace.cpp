@@ -26,6 +26,7 @@
 #include "ipm/trace.h"
 #include "ipm/trace_source.h"
 #include "ipm/trace_stream.h"
+#include "ipm/trace_v3.h"
 #include "lustre/machine.h"
 #include "obs/build_info.h"
 #include "obs/export.h"
@@ -104,8 +105,10 @@ constexpr OptionSpec kDiagnoseSpecs[] = {
 };
 
 constexpr OptionSpec kConvertSpecs[] = {
-    {"tsv", OptKind::kFlag, "", "write TSV instead of indexed binary v2"},
-    {"v1", OptKind::kFlag, "", "write binary v1 instead of indexed v2"},
+    {"format", OptKind::kString, "v2",
+     "output format: tsv|v1|v2|v3 (v3 = columnar, compressed)"},
+    {"tsv", OptKind::kFlag, "", "alias for --format=tsv"},
+    {"v1", OptKind::kFlag, "", "alias for --format=v1"},
 };
 
 constexpr OptionSpec kSimulateSpecs[] = {
@@ -118,7 +121,9 @@ constexpr OptionSpec kSimulateSpecs[] = {
     {"segments", OptKind::kSize, "2", "IOR barrier-separated segments"},
     {"runs", OptKind::kSize, "4", "ensemble size (scenario files set their own)"},
     {"seed", OptKind::kSize, "", "override the machine seed"},
-    {"save-dir", OptKind::kString, "", "write each run's trace as DIR/runN.tsv"},
+    {"save-dir", OptKind::kString, "", "write each run's trace as DIR/runN.*"},
+    {"format", OptKind::kString, "tsv",
+     "trace format for --save-dir files: tsv|v2|v3"},
 };
 
 /// Workload flags that conflict with --scenario (the file is the
@@ -267,26 +272,28 @@ analysis::EventFilter filter_from(const Parsed& args, std::ostream& err) {
 }
 
 /// The chunk-parallel engine for this invocation, when the source is
-/// an indexed v2 file: borrows the already-read footer index, so
+/// an indexed (v2/v3) file: borrows the already-read footer index, so
 /// construction is free. TSV/v1 sources return nullopt and commands
 /// fall back to serial batched streaming.
 std::optional<ipm::ParallelTraceScanner> scanner_for(
     const ipm::TraceSource& source, const Parsed& args) {
   const auto* file = dynamic_cast<const ipm::FileTraceSource*>(&source);
   if (!file || !file->index()) return std::nullopt;
-  return ipm::ParallelTraceScanner(file->path(), *file->index(),
+  return ipm::ParallelTraceScanner(file->path(), file->format(),
+                                   *file->index(),
                                    {.jobs = args.get_size("jobs", 0)});
 }
 
-/// Serial fallback: fold a sink over the source's batched hinted pass
-/// (one virtual call per chunk, not per event).
-void fold_batches(const ipm::TraceSource& source,
-                  const analysis::EventFilter& filter, ipm::EventSink& sink) {
-  source.for_each_batch_hinted(
-      analysis::hint_for(filter),
-      [&sink](std::span<const ipm::TraceEvent> events) {
-        sink.on_batch(events);
-      });
+/// Serial fallback: fold a sink over the source's columnar hinted pass
+/// (one virtual call per chunk, not per event). The sink names the
+/// columns it reads, so a v3 source decodes only those; row-oriented
+/// sources shred into the same spans.
+template <typename Sink>
+void fold_columns(const ipm::TraceSource& source,
+                  const analysis::EventFilter& filter, Sink& sink) {
+  source.for_each_columns_hinted(
+      analysis::hint_for(filter), sink.required_columns(),
+      [&sink](const ipm::ColumnBatch& batch) { sink.on_columns(batch); });
 }
 
 // Every subcommand consumes a TraceSource: the trace file is streamed
@@ -313,7 +320,7 @@ int cmd_summary(const ipm::TraceSource& source, const Parsed& args,
       s = analysis::scan_summary(*scanner, f);
     } else {
       analysis::SummarySink sink(f);
-      fold_batches(source, f, sink);
+      fold_columns(source, f, sink);
       s = sink.summary();
     }
     if (s.empty()) continue;
@@ -378,7 +385,7 @@ int cmd_modes(const ipm::TraceSource& source, const Parsed& args,
     s = analysis::scan_summary(*scanner, filter);
   } else {
     analysis::SummarySink sink(filter);
-    fold_batches(source, filter, sink);
+    fold_columns(source, filter, sink);
     s = sink.summary();
   }
   if (s.empty()) {
@@ -470,7 +477,7 @@ int cmd_phases(const ipm::TraceSource& source, const Parsed& args,
     by_phase = analysis::scan_phase_summaries(*scanner, base);
   } else {
     analysis::PhaseSummarySink sink(base);
-    fold_batches(source, base, sink);
+    fold_columns(source, base, sink);
     by_phase = sink.by_phase();
   }
   if (by_phase.empty()) {
@@ -516,6 +523,16 @@ int cmd_compare(const ipm::TraceSource& source, const Parsed& args,
   return 0;
 }
 
+[[nodiscard]] const char* format_label(ipm::TraceFormat format) {
+  switch (format) {
+    case ipm::TraceFormat::kTsv: return "tsv";
+    case ipm::TraceFormat::kBinaryV1: return "v1";
+    case ipm::TraceFormat::kBinaryV2: return "v2";
+    case ipm::TraceFormat::kBinaryV3: return "v3";
+  }
+  return "?";
+}
+
 int cmd_convert(const ipm::TraceSource& source, const Parsed& args,
                 std::ostream& out, std::ostream& err) {
   if (args.positional().size() < 2) {
@@ -523,36 +540,79 @@ int cmd_convert(const ipm::TraceSource& source, const Parsed& args,
     return 1;
   }
   const std::string& target = args.positional()[1];
-  std::ofstream file(target, std::ios::binary);
-  if (!file.good()) {
+  std::string fmt = args.get("format", "");
+  if (!fmt.empty() && (args.has("tsv") || args.has("v1"))) {
+    err << "eiotrace: --format conflicts with --tsv/--v1\n";
+    return 1;
+  }
+  if (fmt.empty()) {
+    fmt = args.has("tsv") ? "tsv" : args.has("v1") ? "v1" : "v2";
+  }
+  if (fmt != "tsv" && fmt != "v1" && fmt != "v2" && fmt != "v3") {
+    err << "eiotrace: unknown --format '" << fmt << "' (tsv|v1|v2|v3)\n";
+    return 1;
+  }
+
+  // Converting a file to the format it is already in is a checked
+  // no-op: decode every event once to prove the file is intact, then
+  // copy the bytes verbatim — never a silent re-encode.
+  const auto* file = dynamic_cast<const ipm::FileTraceSource*>(&source);
+  if (file != nullptr && fmt == format_label(file->format())) {
+    std::uint64_t checked = 0;
+    source.for_each([&checked](const ipm::TraceEvent&) { ++checked; });
+    std::ifstream in(file->path(), std::ios::binary);
+    std::ofstream copy(target, std::ios::binary);
+    if (!in.good() || !copy.good()) {
+      err << "eiotrace: cannot open for copying: " << target << "\n";
+      return 2;
+    }
+    copy << in.rdbuf();
+    if (!copy.good()) {
+      err << "eiotrace: write failed: " << target << "\n";
+      return 2;
+    }
+    out << "input is already " << fmt << "; verified " << checked
+        << " events and copied byte-for-byte to " << target << "\n";
+    return 0;
+  }
+
+  std::ofstream outfile(target, std::ios::binary);
+  if (!outfile.good()) {
     err << "eiotrace: cannot open for writing: " << target << "\n";
     return 2;
   }
   std::uint64_t written = 0;
-  if (args.has("tsv")) {
-    ipm::write_tsv_header(file, source.meta().experiment, source.meta().ranks,
-                          source.event_count());
+  if (fmt == "tsv") {
+    ipm::write_tsv_header(outfile, source.meta().experiment,
+                          source.meta().ranks, source.event_count());
     source.for_each([&](const ipm::TraceEvent& e) {
-      ipm::write_tsv_event(file, e);
+      ipm::write_tsv_event(outfile, e);
       ++written;
     });
-  } else if (args.has("v1")) {
-    ipm::write_binary_v1_header(file, source.meta().experiment,
+  } else if (fmt == "v1") {
+    ipm::write_binary_v1_header(outfile, source.meta().experiment,
                                 source.meta().ranks, source.event_count());
     source.for_each([&](const ipm::TraceEvent& e) {
-      ipm::write_binary_v1_event(file, e);
+      ipm::write_binary_v1_event(outfile, e);
       ++written;
     });
+  } else if (fmt == "v3") {
+    // Columnar v3 — a single streaming pass, no up-front event count.
+    ipm::TraceWriterV3 writer(outfile, source.meta().experiment,
+                              source.meta().ranks);
+    source.for_each([&writer](const ipm::TraceEvent& e) { writer.add(e); });
+    writer.finish();
+    written = writer.events_written();
   } else {
     // Default: chunked v2 with the footer index — a single streaming
     // pass, no up-front event count needed.
-    ipm::TraceWriterV2 writer(file, source.meta().experiment,
+    ipm::TraceWriterV2 writer(outfile, source.meta().experiment,
                               source.meta().ranks);
     source.for_each([&writer](const ipm::TraceEvent& e) { writer.add(e); });
     writer.finish();
     written = writer.events_written();
   }
-  if (!file.good()) {
+  if (!outfile.good()) {
     err << "eiotrace: write failed: " << target << "\n";
     return 2;
   }
@@ -625,6 +685,11 @@ int cmd_simulate(const Parsed& args, std::ostream& out, std::ostream& err) {
   if (args.has("seed")) scenario.seed(args.get_size("seed", 0));
   std::size_t runs = args.get_size("runs", scenario.run_count());
   bool save = args.has("save-dir");
+  std::string save_fmt = args.get("format", "tsv");
+  if (save_fmt != "tsv" && save_fmt != "v2" && save_fmt != "v3") {
+    err << "eiotrace: unknown --format '" << save_fmt << "' (tsv|v2|v3)\n";
+    return 1;
+  }
 
   workloads::JobSpec job = scenario.job();
   // Traces are only retained when they are being written out.
@@ -719,8 +784,17 @@ int cmd_simulate(const Parsed& args, std::ostream& out, std::ostream& err) {
   if (save) {
     std::string dir = args.get("save-dir", ".");
     for (std::size_t i = 0; i < results.size(); ++i) {
-      std::string path = dir + "/run" + std::to_string(i) + ".tsv";
-      results[i].trace.save(path);
+      std::string path = dir + "/run" + std::to_string(i);
+      if (save_fmt == "v2") {
+        path += ".v2";
+        results[i].trace.save_binary_v2(path);
+      } else if (save_fmt == "v3") {
+        path += ".v3";
+        results[i].trace.save_binary_v3(path);
+      } else {
+        path += ".tsv";
+        results[i].trace.save(path);
+      }
       out << "wrote " << path << "\n";
     }
   }
@@ -774,7 +848,8 @@ const std::vector<CommandDef>& commands() {
       {"compare", "<traceA> <traceB>", "A vs B medians + KS distance",
        {{"filter", kFilterSpecs}}, cmd_compare},
       {"convert", "<trace> <out>",
-       "rewrite as indexed binary v2 (default), --v1, or --tsv",
+       "rewrite as --format=tsv|v1|v2|v3 (default v2; same format = "
+       "checked copy)",
        {{"convert", kConvertSpecs}}, cmd_convert},
       {"simulate", "",
        "generate an ensemble from flags or a --scenario file",
@@ -929,7 +1004,7 @@ std::string usage_text() {
         "seconds)\n"
      << "parallelism: summary/histogram/modes/rates/phases/simulate take "
         "--jobs=N\n"
-     << "             (default: hardware concurrency; indexed v2 traces "
+     << "             (default: hardware concurrency; indexed v2/v3 traces "
         "scan\n"
      << "             chunk-parallel, other formats stream serially)\n";
   return os.str();

@@ -49,29 +49,6 @@ Histogram Histogram::from_samples(std::span<const double> samples, BinScale scal
   return h;
 }
 
-double Histogram::transform(double v) const {
-  return scale_ == BinScale::kLog10 ? std::log10(std::max(v, 1e-300)) : v;
-}
-
-std::size_t Histogram::bin_index(double value) const {
-  double t = transform(value);
-  double frac = (t - tlo_) / (thi_ - tlo_);
-  auto bin = static_cast<std::ptrdiff_t>(frac * static_cast<double>(counts_.size()));
-  bin = std::clamp<std::ptrdiff_t>(bin, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  return static_cast<std::size_t>(bin);
-}
-
-void Histogram::add(double value, std::uint64_t weight) {
-  if (value < lo_) {
-    underflow_ += weight;
-  } else if (value >= hi_) {
-    overflow_ += weight;
-  }
-  counts_[bin_index(value)] += weight;
-  total_ += weight;
-}
-
 void Histogram::add_all(std::span<const double> samples) {
   for (double s : samples) add(s);
 }

@@ -7,6 +7,8 @@
 // probability density used for the order-statistics analysis.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -42,8 +44,17 @@ class Histogram {
                                           BinScale scale);
 
   /// Add one sample (out-of-range samples clamp to the edge bins and
-  /// are counted in underflow()/overflow()).
-  void add(double value, std::uint64_t weight = 1);
+  /// are counted in underflow()/overflow()). Inline: histogram fill is
+  /// a per-event hot path in the scan kernels.
+  void add(double value, std::uint64_t weight = 1) {
+    if (value < lo_) {
+      underflow_ += weight;
+    } else if (value >= hi_) {
+      overflow_ += weight;
+    }
+    counts_[bin_index(value)] += weight;
+    total_ += weight;
+  }
 
   /// Add many samples.
   void add_all(std::span<const double> samples);
@@ -70,7 +81,15 @@ class Histogram {
   [[nodiscard]] double bin_width(std::size_t bin) const;
 
   /// Bin index a value falls into (clamped to [0, bins-1]).
-  [[nodiscard]] std::size_t bin_index(double value) const;
+  [[nodiscard]] std::size_t bin_index(double value) const {
+    double t = transform(value);
+    double frac = (t - tlo_) / (thi_ - tlo_);
+    auto bin =
+        static_cast<std::ptrdiff_t>(frac * static_cast<double>(counts_.size()));
+    bin = std::clamp<std::ptrdiff_t>(
+        bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    return static_cast<std::size_t>(bin);
+  }
 
   /// Normalized density: count / (total * bin_width) — integrates to ~1.
   [[nodiscard]] std::vector<double> density() const;
@@ -85,7 +104,9 @@ class Histogram {
 
  private:
   /// Transform a value into bin coordinate space.
-  [[nodiscard]] double transform(double v) const;
+  [[nodiscard]] double transform(double v) const {
+    return scale_ == BinScale::kLog10 ? std::log10(std::max(v, 1e-300)) : v;
+  }
 
   BinScale scale_;
   double lo_, hi_;          // in sample units

@@ -27,25 +27,6 @@ RateSeriesBuilder::RateSeriesBuilder(double span, std::size_t bins) {
   series_.values.assign(bins, 0.0);
 }
 
-void RateSeriesBuilder::add(const ipm::TraceEvent& e) {
-  if (e.bytes == 0) return;
-  std::size_t bins = series_.values.size();
-  double start = e.start;
-  double end = e.end();
-  if (end <= start) end = start + 1e-9;
-  double rate = static_cast<double>(e.bytes) / (end - start);
-  auto first = static_cast<std::size_t>(
-      std::clamp(start / series_.dt, 0.0, static_cast<double>(bins - 1)));
-  auto last = static_cast<std::size_t>(
-      std::clamp(end / series_.dt, 0.0, static_cast<double>(bins - 1)));
-  for (std::size_t b = first; b <= last; ++b) {
-    double bin_lo = series_.dt * static_cast<double>(b);
-    double bin_hi = bin_lo + series_.dt;
-    double overlap = std::min(end, bin_hi) - std::max(start, bin_lo);
-    if (overlap > 0.0) series_.values[b] += rate * overlap / series_.dt;
-  }
-}
-
 void RateSeriesBuilder::add_batch(std::span<const ipm::TraceEvent> events) {
   for (const ipm::TraceEvent& e : events) add(e);
 }
@@ -76,12 +57,14 @@ TimeSeries aggregate_rate(const ipm::TraceSource& source,
   // the folding pass below touches events.
   RateSeriesBuilder builder(source.time_span(), bins);
   const ipm::ChunkHint hint = hint_for(filter);
-  source.for_each_batch_hinted(
-      hint, [&](std::span<const ipm::TraceEvent> events) {
-        for (const ipm::TraceEvent& e : events) {
-          if (filter.matches(e)) builder.add(e);
-        }
-      });
+  const ipm::ColumnMask mask = filter.required_columns() | ipm::kColStart |
+                               ipm::kColDuration | ipm::kColBytes;
+  source.for_each_columns_hinted(hint, mask, [&](const ipm::ColumnBatch& b) {
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      if (filter.matches_at(b, i)) builder.add(b.start[i], b.duration[i],
+                                               b.bytes[i]);
+    }
+  });
   return builder.series();
 }
 

@@ -7,6 +7,7 @@
 // the per-phase completion-fraction curves of Figure 5(a).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -40,8 +41,33 @@ class RateSeriesBuilder {
   /// positive spans clamp to 1 (an empty trace's 1-second axis).
   RateSeriesBuilder(double span, std::size_t bins);
 
+  /// Fold one transfer from its raw fields — the columnar entry point
+  /// (callers hand in decoded column values without building a
+  /// TraceEvent). Ignores zero-byte transfers; zero/negative durations
+  /// clamp to 1 ns, matching the event overload exactly. Inline: one
+  /// call per matching event in the rate scans.
+  void add(double start, double duration, Bytes bytes) {
+    if (bytes == 0) return;
+    std::size_t bins = series_.values.size();
+    double end = start + duration;
+    if (end <= start) end = start + 1e-9;
+    double rate = static_cast<double>(bytes) / (end - start);
+    auto first = static_cast<std::size_t>(
+        std::clamp(start / series_.dt, 0.0, static_cast<double>(bins - 1)));
+    auto last = static_cast<std::size_t>(
+        std::clamp(end / series_.dt, 0.0, static_cast<double>(bins - 1)));
+    for (std::size_t b = first; b <= last; ++b) {
+      double bin_lo = series_.dt * static_cast<double>(b);
+      double bin_hi = bin_lo + series_.dt;
+      double overlap = std::min(end, bin_hi) - std::max(start, bin_lo);
+      if (overlap > 0.0) series_.values[b] += rate * overlap / series_.dt;
+    }
+  }
+
   /// Fold one event (ignores zero-byte transfers).
-  void add(const ipm::TraceEvent& event);
+  void add(const ipm::TraceEvent& event) {
+    add(event.start, event.duration, event.bytes);
+  }
 
   /// Fold every event of a chunk (the batch-dispatch hot path).
   void add_batch(std::span<const ipm::TraceEvent> events);

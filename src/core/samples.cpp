@@ -5,19 +5,17 @@
 
 namespace eio::analysis {
 
-bool EventFilter::matches(const ipm::TraceEvent& e) const {
-  using posix::OpType;
-  if (data_calls_only && e.op != OpType::kRead && e.op != OpType::kWrite) {
-    return false;
-  }
-  if (op && e.op != *op) return false;
-  if (phase && e.phase != *phase) return false;
-  if (rank && e.rank != *rank) return false;
-  if (e.bytes < min_bytes) return false;
-  if (max_bytes && e.bytes > *max_bytes) return false;
-  if (t_lo && e.end() < *t_lo) return false;
-  if (t_hi && e.start > *t_hi) return false;
-  return true;
+ipm::ColumnMask EventFilter::required_columns() const noexcept {
+  ipm::ColumnMask mask = 0;
+  if (data_calls_only || op) mask |= ipm::kColOp;
+  if (phase) mask |= ipm::kColPhase;
+  if (rank) mask |= ipm::kColRank;
+  if (min_bytes > 0 || max_bytes) mask |= ipm::kColBytes;
+  // The window predicate compares e.end() = start + duration on the
+  // left edge, so t_lo pulls in both time columns.
+  if (t_lo) mask |= ipm::kColStart | ipm::kColDuration;
+  if (t_hi) mask |= ipm::kColStart;
+  return mask;
 }
 
 std::vector<ipm::TraceEvent> select(const ipm::Trace& trace,
@@ -108,6 +106,14 @@ void PhaseSummarySink::on_event(const ipm::TraceEvent& event) {
 
 void PhaseSummarySink::on_batch(std::span<const ipm::TraceEvent> events) {
   for (const ipm::TraceEvent& e : events) on_event(e);
+}
+
+void PhaseSummarySink::on_columns(const ipm::ColumnBatch& batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!filter_.matches_at(batch, i)) continue;
+    auto it = by_phase_.try_emplace(batch.phase[i], options_).first;
+    it->second.add(batch.duration[i]);
+  }
 }
 
 void PhaseSummarySink::merge(const PhaseSummarySink& other) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/streaming.h"
+#include "ipm/columns.h"
 #include "ipm/sink.h"
 #include "ipm/trace.h"
 #include "ipm/trace_source.h"
@@ -32,7 +33,47 @@ struct EventFilter {
   std::optional<double> t_lo;
   std::optional<double> t_hi;
 
-  [[nodiscard]] bool matches(const ipm::TraceEvent& e) const;
+  /// Inline: the predicate runs once per event inside every scan loop,
+  /// and with the common pins (op/data_calls_only) the compiler folds
+  /// the unset-field branches away at the call site.
+  [[nodiscard]] bool matches(const ipm::TraceEvent& e) const {
+    using posix::OpType;
+    if (data_calls_only && e.op != OpType::kRead && e.op != OpType::kWrite) {
+      return false;
+    }
+    if (op && e.op != *op) return false;
+    if (phase && e.phase != *phase) return false;
+    if (rank && e.rank != *rank) return false;
+    if (e.bytes < min_bytes) return false;
+    if (max_bytes && e.bytes > *max_bytes) return false;
+    if (t_lo && e.end() < *t_lo) return false;
+    if (t_hi && e.start > *t_hi) return false;
+    return true;
+  }
+
+  /// The columns this filter reads. A columnar pass must decode at
+  /// least these (plus whatever the analysis itself consumes) for
+  /// matches_at() to be exact; everything else may stay un-decoded.
+  [[nodiscard]] ipm::ColumnMask required_columns() const noexcept;
+
+  /// matches() over row i of a ColumnBatch — field-for-field the same
+  /// predicate, reading only the required_columns() spans.
+  [[nodiscard]] bool matches_at(const ipm::ColumnBatch& b,
+                                std::size_t i) const {
+    using posix::OpType;
+    if (data_calls_only) {
+      auto code = static_cast<OpType>(b.op[i]);
+      if (code != OpType::kRead && code != OpType::kWrite) return false;
+    }
+    if (op && static_cast<OpType>(b.op[i]) != *op) return false;
+    if (phase && b.phase[i] != *phase) return false;
+    if (rank && b.rank[i] != *rank) return false;
+    if (min_bytes > 0 && b.bytes[i] < min_bytes) return false;
+    if (max_bytes && b.bytes[i] > *max_bytes) return false;
+    if (t_lo && b.start[i] + b.duration[i] < *t_lo) return false;
+    if (t_hi && b.start[i] > *t_hi) return false;
+    return true;
+  }
 };
 
 /// Matching events (copies), in trace order.
@@ -106,6 +147,20 @@ class SummarySink final : public ipm::EventSink {
     }
   }
 
+  /// Columnar twin of on_batch: same index-order filter+add sequence
+  /// over dense column spans, so the summary is value-identical. The
+  /// batch needs required_columns() | kColDuration decoded.
+  void on_columns(const ipm::ColumnBatch& batch) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (filter_.matches_at(batch, i)) summary_.add(batch.duration[i]);
+    }
+  }
+
+  /// Columns on_columns reads: the filter's plus the duration samples.
+  [[nodiscard]] ipm::ColumnMask required_columns() const noexcept {
+    return filter_.required_columns() | ipm::kColDuration;
+  }
+
   /// Fold another sink's summary into this one (see
   /// StreamingSummary::merge for exactness guarantees).
   void merge(const SummarySink& other) { summary_.merge(other.summary_); }
@@ -130,6 +185,15 @@ class PhaseSummarySink final : public ipm::EventSink {
 
   void on_event(const ipm::TraceEvent& event) override;
   void on_batch(std::span<const ipm::TraceEvent> events) override;
+
+  /// Columnar twin of on_batch (needs required_columns() decoded).
+  void on_columns(const ipm::ColumnBatch& batch);
+
+  /// Columns on_columns reads: the filter's, the phase labels it
+  /// groups by, and the duration samples.
+  [[nodiscard]] ipm::ColumnMask required_columns() const noexcept {
+    return filter_.required_columns() | ipm::kColPhase | ipm::kColDuration;
+  }
 
   /// Fold another sink's per-phase summaries into this one. Phases
   /// absent here adopt the other side's summary (reservoir substream

@@ -7,22 +7,6 @@
 
 namespace eio::stats {
 
-void StreamingMoments::add(double x) {
-  // Pébay's one-pass updates for central moments through order four.
-  double n1 = static_cast<double>(n_);
-  ++n_;
-  double n = static_cast<double>(n_);
-  double delta = x - mean_;
-  double delta_n = delta / n;
-  double delta_n2 = delta_n * delta_n;
-  double term1 = delta * delta_n * n1;
-  mean_ += delta_n;
-  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
-         4.0 * delta_n * m3_;
-  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
-  m2_ += term1;
-}
-
 void StreamingMoments::merge(const StreamingMoments& other) {
   if (other.n_ == 0) return;
   if (n_ == 0) {
@@ -152,16 +136,6 @@ ReservoirSampler::ReservoirSampler(std::size_t capacity, std::uint64_t seed)
   EIO_CHECK_MSG(capacity >= 1, "reservoir needs capacity >= 1");
 }
 
-void ReservoirSampler::add(double x) {
-  ++seen_;
-  if (samples_.size() < capacity_) {
-    samples_.push_back(x);
-    return;
-  }
-  std::uint64_t j = rng_.index(seen_);
-  if (j < capacity_) samples_[static_cast<std::size_t>(j)] = x;
-}
-
 EmpiricalDistribution ReservoirSampler::distribution() const {
   return EmpiricalDistribution(samples_);
 }
@@ -219,19 +193,6 @@ void ReservoirSampler::merge(const ReservoirSampler& other) {
   }
   samples_ = std::move(merged);
   seen_ += other.seen_;
-}
-
-void StreamingSummary::add(double x) {
-  if (moments_.count() == 0) {
-    min_ = x;
-    max_ = x;
-  } else {
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-  }
-  moments_.add(x);
-  reservoir_.add(x);
-  if (quantile_hist_) quantile_hist_->add(x);
 }
 
 void StreamingSummary::merge(const StreamingSummary& other) {

@@ -22,9 +22,11 @@
 // agree by construction.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -37,7 +39,31 @@ namespace eio::stats {
 /// higher orders by Pébay's single-pass update formulas).
 class StreamingMoments {
  public:
-  void add(double x);
+  /// Defined inline: this is the innermost call of every columnar and
+  /// per-event fold, and keeping it visible to callers lets the whole
+  /// add chain flatten into the scan loops.
+  void add(double x) {
+    // Pébay's one-pass updates for central moments through order four.
+    double n1 = static_cast<double>(n_);
+    ++n_;
+    double n = static_cast<double>(n_);
+    double delta = x - mean_;
+    double delta_n = delta / n;
+    double delta_n2 = delta_n * delta_n;
+    double term1 = delta * delta_n * n1;
+    mean_ += delta_n;
+    m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+           4.0 * delta_n * m3_;
+    m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+    m2_ += term1;
+  }
+
+  /// Fold a dense sample span (a decoded column) in index order — the
+  /// identical update sequence as calling add() per element, so batch
+  /// and per-event feeds agree bit for bit.
+  void add_batch(std::span<const double> xs) {
+    for (double x : xs) add(x);
+  }
 
   /// Combine with another accumulator (Pébay's pairwise update) —
   /// what per-rank or per-run partial moments use to fold together.
@@ -89,7 +115,17 @@ class ReservoirSampler {
 
   static constexpr std::size_t kDefaultCapacity = 65536;
 
-  void add(double x);
+  /// Inline for the same reason as StreamingMoments::add — one draw
+  /// per element past capacity is the scan hot path.
+  void add(double x) {
+    ++seen_;
+    if (samples_.size() < capacity_) {
+      samples_.push_back(x);
+      return;
+    }
+    std::uint64_t j = rng_.index(seen_);
+    if (j < capacity_) samples_[static_cast<std::size_t>(j)] = x;
+  }
 
   /// Fold another reservoir (same capacity) into this one. When the
   /// other side is exact its sample IS its substream, so Algorithm R
@@ -154,7 +190,24 @@ class StreamingSummary {
     }
   }
 
-  void add(double x);
+  void add(double x) {
+    if (moments_.count() == 0) {
+      min_ = x;
+      max_ = x;
+    } else {
+      min_ = std::min(min_, x);
+      max_ = std::max(max_, x);
+    }
+    moments_.add(x);
+    reservoir_.add(x);
+    if (quantile_hist_) quantile_hist_->add(x);
+  }
+
+  /// Fold a dense sample span (a decoded column) in index order —
+  /// value-identical to add() per element (see StreamingMoments).
+  void add_batch(std::span<const double> xs) {
+    for (double x : xs) add(x);
+  }
 
   /// Fold another summary into this one: counts/extrema/moments and
   /// the quantile histogram merge exactly; the reservoir merges per

@@ -1,0 +1,101 @@
+// Columnar event batches: the decoded form of a v3 chunk.
+//
+// The v3 format stores each event field as its own stream, so a
+// decoded chunk is naturally a struct-of-arrays: parallel spans, one
+// per field, all the same length. Analysis kernels that consume a
+// ColumnBatch touch only the columns they need (a filter over op +
+// bytes + duration reads three dense arrays instead of striding
+// through 64-byte TraceEvent structs), and the decoder can skip
+// columns a scan never reads via a ColumnMask. shred()/unshred()
+// convert between the row and columnar views so every format can serve
+// both APIs: v2 chunks shred into columns for the columnar kernels,
+// v3 chunks unshred into rows for the legacy per-event visitors.
+//
+// Determinism contract: column order is event order. A kernel that
+// walks a ColumnBatch index 0..events-1 performs the identical
+// floating-point operation sequence as the same kernel over the row
+// batch, so row and columnar paths agree byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ipm/trace.h"
+
+namespace eio::ipm {
+
+/// Bitmask selecting which columns a consumer needs decoded. Spans of
+/// unmasked columns are left empty (size 0), never partially filled.
+using ColumnMask = std::uint32_t;
+inline constexpr ColumnMask kColStart = 1u << 0;
+inline constexpr ColumnMask kColDuration = 1u << 1;
+inline constexpr ColumnMask kColOp = 1u << 2;
+inline constexpr ColumnMask kColRank = 1u << 3;
+inline constexpr ColumnMask kColFile = 1u << 4;
+inline constexpr ColumnMask kColOffset = 1u << 5;
+inline constexpr ColumnMask kColBytes = 1u << 6;
+inline constexpr ColumnMask kColPhase = 1u << 7;
+inline constexpr ColumnMask kColAll = 0xFF;
+
+/// Caller-owned backing storage for a ColumnBatch, reused across
+/// chunks so a steady-state decode allocates nothing.
+struct ColumnScratch {
+  std::vector<double> start;
+  std::vector<double> duration;
+  std::vector<std::uint8_t> op;
+  std::vector<RankId> rank;
+  std::vector<FileId> file;
+  std::vector<Bytes> offset;
+  std::vector<Bytes> bytes;
+  std::vector<std::int32_t> phase;
+  std::vector<char> blob;  ///< staging for compressed column payloads
+};
+
+/// One decoded run of consecutive events, as parallel column spans.
+/// Spans alias a ColumnScratch (or, for raw v3 file columns, the
+/// decoder's scratch filled straight from the mapped file) and are
+/// valid until the next decode into the same scratch.
+struct ColumnBatch {
+  std::size_t events = 0;
+  std::span<const double> start;
+  std::span<const double> duration;
+  std::span<const std::uint8_t> op;  ///< posix::OpType codes
+  std::span<const RankId> rank;
+  std::span<const FileId> file;
+  std::span<const Bytes> offset;
+  std::span<const Bytes> bytes;
+  std::span<const std::int32_t> phase;
+
+  [[nodiscard]] std::size_t size() const noexcept { return events; }
+  [[nodiscard]] bool empty() const noexcept { return events == 0; }
+
+  /// Row view of one index — requires every column decoded (kColAll).
+  [[nodiscard]] TraceEvent event_at(std::size_t i) const {
+    TraceEvent e;
+    e.start = start[i];
+    e.duration = duration[i];
+    e.op = static_cast<posix::OpType>(op[i]);
+    e.rank = rank[i];
+    e.file = file[i];
+    e.offset = offset[i];
+    e.bytes = bytes[i];
+    e.phase = phase[i];
+    return e;
+  }
+};
+
+/// Per-columnar-batch visitor (one call per decoded chunk).
+using ColumnBatchVisitor = std::function<void(const ColumnBatch&)>;
+
+/// Transpose rows into columns (only the masked columns are filled).
+[[nodiscard]] ColumnBatch shred(std::span<const TraceEvent> events,
+                                ColumnScratch& scratch,
+                                ColumnMask mask = kColAll);
+
+/// Transpose columns back into rows (requires every column decoded).
+/// `events` is cleared first and reuses its capacity.
+void unshred(const ColumnBatch& batch, std::vector<TraceEvent>& events);
+
+}  // namespace eio::ipm

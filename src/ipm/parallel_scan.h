@@ -1,27 +1,38 @@
-// Chunk-parallel map-reduce over indexed v2 traces.
+// Chunk-parallel map-reduce over indexed (v2/v3) traces.
 //
 // The paper's premise — ensembles are mergeable statistics, not event
-// sequences — makes trace analysis embarrassingly parallel over v2
-// chunks: every chunk folds into a bounded partial (moments,
+// sequences — makes trace analysis embarrassingly parallel over
+// indexed chunks: every chunk folds into a bounded partial (moments,
 // histogram bins, reservoir, rate bins), and partials merge. The
 // ParallelTraceScanner partitions a file's TraceIndex across a worker
 // pool (the same claim-by-atomic-index pattern as
-// workloads::ParallelEnsembleRunner), streams chunks concurrently
-// through per-thread ifstreams with single sized reads, folds each
-// chunk into its own partial, and merges partials on the calling
-// thread in ascending chunk order.
+// workloads::ParallelEnsembleRunner), decodes chunks concurrently,
+// folds each chunk into its own partial, and merges partials on the
+// calling thread in ascending chunk order.
+//
+// Format seam: row-oriented v2 chunks are decoded through per-thread
+// ifstreams with single sized reads; columnar v3 chunks are decoded
+// straight out of one shared read-only mmap of the file (every worker
+// reads the same immutable pages — no locks, no per-thread streams, no
+// staging copies), falling back to per-thread streams when the map is
+// unavailable. Both formats serve both fold shapes: scan() hands the
+// fold row spans, scan_columns() hands it decoded ColumnBatches (v3
+// decodes only the masked columns; v2 shreds its rows).
 //
 // Determinism contract: the partial built for chunk c depends only on
 // chunk c (per-chunk reservoir seeds come from the chunk index), and
 // the merge sequence is always chunk 0, 1, 2, ... regardless of which
-// worker folded what first. scan() is therefore byte-identical for
+// worker folded what first. A scan is therefore byte-identical for
 // every jobs value, including jobs=1 — "--jobs 1 == serial" holds by
-// construction, not by tolerance.
+// construction, not by tolerance. Column order equals event order, so
+// the same holds across scan()/scan_columns() and across v2/v3 copies
+// of the same trace.
 //
 // Memory contract: workers may run at most merge_window chunks ahead
 // of the merge frontier, so at most O(jobs + merge_window) partials
 // and O(jobs) chunk buffers are live — peak memory stays O(chunk),
-// never O(events).
+// never O(events). The v3 mmap adds address space, not resident
+// memory; pages are faulted in as decoded and evictable at any time.
 #pragma once
 
 #include <atomic>
@@ -30,6 +41,7 @@
 #include <exception>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -41,8 +53,11 @@
 
 #include "common/check.h"
 #include "common/jobs.h"
+#include "ipm/columns.h"
+#include "ipm/mapped_file.h"
 #include "ipm/trace_source.h"
 #include "ipm/trace_stream.h"
+#include "ipm/trace_v3.h"
 #include "obs/registry.h"
 
 namespace eio::ipm {
@@ -56,61 +71,110 @@ struct ScanOptions {
   std::size_t merge_window = 0;
 };
 
-/// Per-thread chunk decoder: one seekable stream plus reusable raw and
-/// event buffers, so a worker's steady state allocates nothing.
+/// Per-thread chunk decoder behind the v2/v3 seam: a v2 reader owns one
+/// seekable stream plus reusable buffers; a v3 reader borrows a shared
+/// read-only mapping (or falls back to its own stream) plus a column
+/// scratch. Either way a worker's steady state allocates nothing.
 class ChunkReader {
  public:
-  explicit ChunkReader(const std::string& path)
-      : in_(path, std::ios::binary) {
-    EIO_CHECK_MSG(in_.good(), "cannot open for reading: " << path);
+  /// `map` (may be null) must outlive the reader; non-null only for v3.
+  ChunkReader(const std::string& path, TraceFormat format,
+              const MappedFile* map = nullptr)
+      : format_(format), map_(map) {
+    if (map_ == nullptr) {
+      in_.open(path, std::ios::binary);
+      EIO_CHECK_MSG(in_.good(), "cannot open for reading: " << path);
+    }
   }
 
-  /// Decode one indexed chunk; the span aliases this reader's buffer
-  /// and is valid until the next read().
+  /// Decode one indexed chunk as a row span; the span aliases this
+  /// reader's buffer and is valid until the next read.
   [[nodiscard]] std::span<const TraceEvent> read(const TraceIndex& index,
                                                  std::size_t chunk) {
-    read_chunk_v2(in_, index.chunks[chunk], chunk_byte_length(index, chunk),
-                  raw_, events_);
+    if (format_ == TraceFormat::kBinaryV2) {
+      read_chunk_v2(in_, index.chunks[chunk], chunk_byte_length(index, chunk),
+                    raw_, events_);
+    } else {
+      unshred(read_columns(index, chunk, kColAll), events_);
+    }
     return std::span<const TraceEvent>(events_);
   }
 
+  /// Decode one indexed chunk as a ColumnBatch with only the masked
+  /// columns materialized; spans stay valid until the next read.
+  [[nodiscard]] ColumnBatch read_columns(const TraceIndex& index,
+                                         std::size_t chunk, ColumnMask mask) {
+    const ChunkMeta& meta = index.chunks[chunk];
+    std::uint64_t byte_len = chunk_byte_length(index, chunk);
+    if (format_ == TraceFormat::kBinaryV2) {
+      read_chunk_v2(in_, meta, byte_len, raw_, events_);
+      return shred(events_, scratch_, mask);
+    }
+    if (map_ != nullptr) {
+      // Zero-copy: the index validated offsets against the footer, and
+      // the footer against the file size, so this sub-span is in-bounds.
+      return decode_chunk_v3(map_->data() + meta.offset,
+                             static_cast<std::size_t>(byte_len), meta,
+                             scratch_, mask);
+    }
+    return read_chunk_v3(in_, meta, byte_len, raw_, scratch_, mask);
+  }
+
  private:
+  TraceFormat format_;
+  const MappedFile* map_;
   std::ifstream in_;
   std::vector<char> raw_;
   std::vector<TraceEvent> events_;
+  ColumnScratch scratch_;
 };
 
-/// Map-reduce engine over one indexed v2 trace file. Stateless between
-/// scans; safe to reuse and cheap to construct (the index is read once
-/// or borrowed from a FileTraceSource).
+/// Map-reduce engine over one indexed trace file (v2 or v3). Stateless
+/// between scans; safe to reuse and cheap to construct (the index is
+/// read once or borrowed from a FileTraceSource).
 class ParallelTraceScanner {
  public:
   /// Open `path` and read its footer index. Throws std::runtime_error
-  /// when the file is not an indexed v2 trace.
+  /// when the file is not an indexed (v2 or v3) trace.
   explicit ParallelTraceScanner(std::string path, ScanOptions options = {})
       : path_(std::move(path)),
         jobs_(resolve_jobs(options.jobs)),
         merge_window_(resolve_window(options, jobs_)) {
     std::ifstream in(path_, std::ios::binary);
     EIO_CHECK_MSG(in.good(), "cannot open for reading: " << path_);
-    if (sniff_format(in) != TraceFormat::kBinaryV2) {
-      throw std::runtime_error("parallel scan needs an indexed v2 trace: " +
-                               path_);
+    format_ = sniff_format(in);
+    switch (format_) {
+      case TraceFormat::kBinaryV2: index_ = read_index_v2(in); break;
+      case TraceFormat::kBinaryV3: index_ = read_index_v3(in); break;
+      case TraceFormat::kTsv:
+      case TraceFormat::kBinaryV1:
+        throw std::runtime_error(
+            "parallel scan needs an indexed (v2/v3) trace: " + path_);
     }
-    index_ = read_index_v2(in);
+    open_map();
   }
 
-  /// Reuse an index already read by a FileTraceSource.
-  ParallelTraceScanner(std::string path, TraceIndex index,
+  /// Reuse an index already read by a FileTraceSource (whose format()
+  /// tells which indexed variant it is).
+  ParallelTraceScanner(std::string path, TraceFormat format, TraceIndex index,
                        ScanOptions options = {})
       : path_(std::move(path)),
+        format_(format),
         index_(std::move(index)),
         jobs_(resolve_jobs(options.jobs)),
-        merge_window_(resolve_window(options, jobs_)) {}
+        merge_window_(resolve_window(options, jobs_)) {
+    EIO_CHECK_MSG(format_ == TraceFormat::kBinaryV2 ||
+                      format_ == TraceFormat::kBinaryV3,
+                  "parallel scan needs an indexed (v2/v3) trace");
+    open_map();
+  }
 
   [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] TraceFormat format() const noexcept { return format_; }
   [[nodiscard]] const TraceIndex& index() const noexcept { return index_; }
+  /// True when v3 chunks decode from a shared mmap (the zero-copy path).
+  [[nodiscard]] bool zero_copy() const noexcept { return map_ != nullptr; }
 
   /// Wall-clock span of the whole trace (max chunk end time) — free
   /// from the index, no event pass.
@@ -134,6 +198,45 @@ class ParallelTraceScanner {
                           const ChunkHint* hint = nullptr) const
       -> std::invoke_result_t<Make, std::size_t> {
     using Partial = std::invoke_result_t<Make, std::size_t>;
+    return scan_impl(
+        make,
+        [this, &fold](ChunkReader& reader, Partial& p, std::size_t chunk) {
+          OBS_SPAN("scan.fold_chunk");
+          fold(p, reader.read(index_, chunk));
+        },
+        merge, hint);
+  }
+
+  /// Columnar map-reduce: same shape and determinism contract as
+  /// scan(), but the fold receives a decoded ColumnBatch restricted to
+  /// `mask`. On v3 files unmasked columns are never decoded (and with
+  /// the mmap path never copied); on v2 files rows are decoded then
+  /// shredded, so both formats fold the identical value sequence.
+  template <typename Make, typename Fold, typename Merge>
+  [[nodiscard]] auto scan_columns(const Make& make, const Fold& fold,
+                                  const Merge& merge,
+                                  const ChunkHint* hint = nullptr,
+                                  ColumnMask mask = kColAll) const
+      -> std::invoke_result_t<Make, std::size_t> {
+    using Partial = std::invoke_result_t<Make, std::size_t>;
+    return scan_impl(
+        make,
+        [this, &fold, mask](ChunkReader& reader, Partial& p,
+                            std::size_t chunk) {
+          OBS_SPAN("scan.fold_chunk");
+          fold(p, reader.read_columns(index_, chunk, mask));
+        },
+        merge, hint);
+  }
+
+ private:
+  /// The shared pool/merge machinery: produce(reader, partial, chunk)
+  /// decodes + folds one chunk however the public entry point decided.
+  template <typename Make, typename Produce, typename Merge>
+  [[nodiscard]] auto scan_impl(const Make& make, const Produce& produce,
+                               const Merge& merge, const ChunkHint* hint) const
+      -> std::invoke_result_t<Make, std::size_t> {
+    using Partial = std::invoke_result_t<Make, std::size_t>;
     OBS_SPAN("scan.scan");
     std::vector<std::size_t> picks = admitted(hint);
     // Hint-pruned chunks are skipped silently on the fast path; the
@@ -146,18 +249,12 @@ class ParallelTraceScanner {
     if (workers <= 1) {
       // Same per-chunk partial + ordered merge as the parallel path,
       // on one thread — the determinism contract's base case.
-      ChunkReader reader(path_);
+      ChunkReader reader = make_reader();
       Partial result = make(picks[0]);
-      {
-        OBS_SPAN("scan.fold_chunk");
-        fold(result, reader.read(index_, picks[0]));
-      }
+      produce(reader, result, picks[0]);
       for (std::size_t k = 1; k < picks.size(); ++k) {
         Partial p = make(picks[k]);
-        {
-          OBS_SPAN("scan.fold_chunk");
-          fold(p, reader.read(index_, picks[k]));
-        }
+        produce(reader, p, picks[k]);
         OBS_SPAN("scan.merge_partial");
         merge(result, std::move(p));
       }
@@ -173,7 +270,7 @@ class ParallelTraceScanner {
 
     auto worker = [&] {
       try {
-        ChunkReader reader(path_);
+        ChunkReader reader = make_reader();
         for (;;) {
           std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
           if (k >= picks.size()) return;
@@ -189,10 +286,7 @@ class ParallelTraceScanner {
             if (error) return;
           }
           Partial p = make(picks[k]);
-          {
-            OBS_SPAN("scan.fold_chunk");
-            fold(p, reader.read(index_, picks[k]));
-          }
+          produce(reader, p, picks[k]);
           std::lock_guard<std::mutex> lock(mu);
           ready.emplace(k, std::move(p));
           cv.notify_all();
@@ -236,7 +330,22 @@ class ParallelTraceScanner {
     return std::move(*result);
   }
 
- private:
+  /// Map v3 files once; every worker decodes from the same read-only
+  /// pages. A failed map (file vanished between index and scan) is not
+  /// fatal — readers fall back to per-thread streams.
+  void open_map() {
+    if (format_ != TraceFormat::kBinaryV3) return;
+    try {
+      map_ = std::make_unique<MappedFile>(path_);
+    } catch (const std::runtime_error&) {
+      map_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] ChunkReader make_reader() const {
+    return {path_, format_, map_.get()};
+  }
+
   [[nodiscard]] static std::size_t resolve_window(const ScanOptions& options,
                                                   std::size_t jobs) {
     if (options.merge_window > 0) return options.merge_window;
@@ -253,9 +362,11 @@ class ParallelTraceScanner {
   }
 
   std::string path_;
+  TraceFormat format_ = TraceFormat::kBinaryV2;
   TraceIndex index_;
   std::size_t jobs_;
   std::size_t merge_window_;
+  std::unique_ptr<const MappedFile> map_;
 };
 
 }  // namespace eio::ipm

@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "ipm/trace_stream.h"
+#include "ipm/trace_v3.h"
 
 namespace eio::ipm {
 
@@ -63,10 +64,17 @@ void Trace::write_binary_v2(std::ostream& out) const {
   writer.finish();
 }
 
+void Trace::write_binary_v3(std::ostream& out) const {
+  TraceWriterV3 writer(out, experiment_, ranks_);
+  for (const TraceEvent& e : events_) writer.add(e);
+  writer.finish();
+}
+
 Trace Trace::read_binary(std::istream& in) {
   switch (sniff_format(in)) {
     case TraceFormat::kBinaryV1: return materialize(in, stream_binary_v1);
     case TraceFormat::kBinaryV2: return materialize(in, stream_binary_v2);
+    case TraceFormat::kBinaryV3: return materialize(in, stream_binary_v3);
     case TraceFormat::kTsv: break;
   }
   throw std::runtime_error("not a binary ipm-io trace (missing magic)");
@@ -90,6 +98,13 @@ void Trace::save_binary_v2(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   EIO_CHECK_MSG(out.good(), "cannot open for writing: " << path);
   write_binary_v2(out);
+  EIO_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+void Trace::save_binary_v3(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  EIO_CHECK_MSG(out.good(), "cannot open for writing: " << path);
+  write_binary_v3(out);
   EIO_CHECK_MSG(out.good(), "write failed: " << path);
 }
 

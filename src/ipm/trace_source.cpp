@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "ipm/trace_v3.h"
 #include "obs/registry.h"
 
 namespace eio::ipm {
@@ -34,6 +35,23 @@ void TraceSource::for_each_batch_hinted(const ChunkHint& hint,
     }
   });
   if (!buffer.empty()) visit(std::span<const TraceEvent>(buffer));
+}
+
+void TraceSource::for_each_columns(ColumnMask mask,
+                                   const ColumnBatchVisitor& visit) const {
+  ColumnScratch scratch;
+  for_each_batch([&](std::span<const TraceEvent> events) {
+    visit(shred(events, scratch, mask));
+  });
+}
+
+void TraceSource::for_each_columns_hinted(
+    const ChunkHint& hint, ColumnMask mask,
+    const ColumnBatchVisitor& visit) const {
+  ColumnScratch scratch;
+  for_each_batch_hinted(hint, [&](std::span<const TraceEvent> events) {
+    visit(shred(events, scratch, mask));
+  });
 }
 
 double TraceSource::time_span() const {
@@ -77,6 +95,14 @@ void MemoryTraceSource::for_each_batch_hinted(const ChunkHint& hint,
   for_each_batch(visit);
 }
 
+void MemoryTraceSource::for_each_columns(
+    ColumnMask mask, const ColumnBatchVisitor& visit) const {
+  // One shred of the contiguous trace — a single columnar batch.
+  if (!trace_->empty()) {
+    visit(shred(std::span<const TraceEvent>(trace_->events()), scratch_, mask));
+  }
+}
+
 double MemoryTraceSource::time_span() const { return trace_->span(); }
 
 std::uint64_t MemoryTraceSource::event_count() const { return trace_->size(); }
@@ -103,6 +129,17 @@ FileTraceSource::FileTraceSource(std::string path) : path_(std::move(path)) {
     case TraceFormat::kBinaryV2:
       index_ = read_index_v2(stream_);
       meta_ = index_->meta;
+      break;
+    case TraceFormat::kBinaryV3:
+      index_ = read_index_v3(stream_);
+      meta_ = index_->meta;
+      // Prefer decoding chunks straight from page cache; a failed map
+      // is not fatal — passes fall back to the cached stream.
+      try {
+        map_ = std::make_unique<MappedFile>(path_);
+      } catch (const std::runtime_error&) {
+        map_ = nullptr;
+      }
       break;
     case TraceFormat::kTsv:
     case TraceFormat::kBinaryV1: {
@@ -131,9 +168,24 @@ void FileTraceSource::stream_legacy(const EventVisitor& visit) const {
   switch (format_) {
     case TraceFormat::kTsv: (void)stream_tsv(in, visit); return;
     case TraceFormat::kBinaryV1: (void)stream_binary_v1(in, visit); return;
-    case TraceFormat::kBinaryV2: break;  // handled by scan_chunks
+    case TraceFormat::kBinaryV2:
+    case TraceFormat::kBinaryV3: break;  // handled by scan_chunks
   }
-  EIO_CHECK_MSG(false, "stream_legacy on a v2 trace");
+  EIO_CHECK_MSG(false, "stream_legacy on an indexed trace");
+}
+
+ColumnBatch FileTraceSource::decode_columns(std::size_t i,
+                                            ColumnMask mask) const {
+  const ChunkMeta& chunk = index_->chunks[i];
+  std::uint64_t byte_len = chunk_byte_length(*index_, i);
+  if (map_) {
+    // Zero-copy: the index validated offsets against the footer, and
+    // the footer against the file size, so this sub-span is in-bounds.
+    return decode_chunk_v3(map_->data() + chunk.offset,
+                           static_cast<std::size_t>(byte_len), chunk,
+                           scratch_, mask);
+  }
+  return read_chunk_v3(stream_, chunk, byte_len, raw_, scratch_, mask);
 }
 
 void FileTraceSource::scan_chunks(const ChunkHint* hint,
@@ -146,8 +198,33 @@ void FileTraceSource::scan_chunks(const ChunkHint* hint,
       continue;
     }
     OBS_COUNTER_ADD("scan.chunks_scanned", 1);
-    read_chunk_v2(in, chunk, chunk_byte_length(*index_, i), raw_, batch_);
+    if (format_ == TraceFormat::kBinaryV2) {
+      read_chunk_v2(in, chunk, chunk_byte_length(*index_, i), raw_, batch_);
+    } else {
+      unshred(decode_columns(i, kColAll), batch_);
+    }
     batch(std::span<const TraceEvent>(batch_));
+  }
+}
+
+void FileTraceSource::scan_chunk_columns(
+    const ChunkHint* hint, ColumnMask mask,
+    const ColumnBatchVisitor& visit) const {
+  (void)reset_stream();
+  for (std::size_t i = 0; i < index_->chunks.size(); ++i) {
+    const ChunkMeta& chunk = index_->chunks[i];
+    if (hint && !hint->admits(chunk)) {
+      OBS_COUNTER_ADD("scan.chunks_skipped", 1);
+      continue;
+    }
+    OBS_COUNTER_ADD("scan.chunks_scanned", 1);
+    if (format_ == TraceFormat::kBinaryV2) {
+      read_chunk_v2(stream_, chunk, chunk_byte_length(*index_, i), raw_,
+                    batch_);
+      visit(shred(std::span<const TraceEvent>(batch_), scratch_, mask));
+    } else {
+      visit(decode_columns(i, mask));
+    }
   }
 }
 
@@ -189,6 +266,25 @@ void FileTraceSource::for_each_batch_hinted(const ChunkHint& hint,
   TraceSource::for_each_batch_hinted(hint, visit);
 }
 
+void FileTraceSource::for_each_columns(ColumnMask mask,
+                                       const ColumnBatchVisitor& visit) const {
+  if (index_) {
+    scan_chunk_columns(nullptr, mask, visit);
+    return;
+  }
+  TraceSource::for_each_columns(mask, visit);
+}
+
+void FileTraceSource::for_each_columns_hinted(
+    const ChunkHint& hint, ColumnMask mask,
+    const ColumnBatchVisitor& visit) const {
+  if (index_) {
+    scan_chunk_columns(&hint, mask, visit);
+    return;
+  }
+  TraceSource::for_each_columns_hinted(hint, mask, visit);
+}
+
 double FileTraceSource::time_span() const {
   if (!index_) return TraceSource::time_span();
   double span = 0.0;
@@ -198,7 +294,7 @@ double FileTraceSource::time_span() const {
 
 std::uint64_t FileTraceSource::event_count() const {
   // Every backing format declares its count (TSV via the header field,
-  // v1 via the up-front varint, v2 via the footer), and the
+  // v1 via the up-front varint, v2/v3 via the footer), and the
   // constructor's metadata pass validated it.
   return meta_.declared_events.value_or(0);
 }

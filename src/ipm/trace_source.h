@@ -6,24 +6,31 @@
 // MemoryTraceSource adapts an in-memory Trace (so the batch paths stay
 // available and the streaming kernels can be validated against them);
 // a FileTraceSource replays a trace file on every pass, keeping memory
-// O(1) in the event count. For indexed v2 files, a ChunkHint lets the
-// source skip whole chunks whose footer metadata cannot match, turning
-// filtered scans into selective reads.
+// O(1) in the event count. For indexed (v2/v3) files, a ChunkHint lets
+// the source skip whole chunks whose footer metadata cannot match,
+// turning filtered scans into selective reads.
 //
-// Two dispatch granularities are offered: for_each (one visitor call
-// per event) and for_each_batch (one call per run of consecutive
-// events — a decoded v2 chunk, or the whole in-memory trace). The
-// batch form is the hot path: the per-event std::function indirection
-// disappears from the decode→accumulate loop, and sinks that override
-// EventSink::on_batch fold a whole chunk per virtual call.
+// Three dispatch granularities are offered: for_each (one visitor call
+// per event), for_each_batch (one call per run of consecutive events —
+// a decoded chunk, or the whole in-memory trace), and for_each_columns
+// (one ColumnBatch per run, restricted to a ColumnMask). The batch
+// forms are the hot path: the per-event std::function indirection
+// disappears from the decode→accumulate loop. The columnar form is the
+// hottest: on v3 files unneeded columns are never decoded — and with
+// the mmap path the needed ones decode straight from page cache —
+// while every other source shreds its row batches, so columnar
+// consumers see the identical value sequence from any backing format.
 #pragma once
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "ipm/columns.h"
+#include "ipm/mapped_file.h"
 #include "ipm/trace.h"
 #include "ipm/trace_stream.h"
 
@@ -95,6 +102,18 @@ class TraceSource {
   virtual void for_each_batch_hinted(const ChunkHint& hint,
                                      const BatchVisitor& visit) const;
 
+  /// Visit every event as columnar batches with (at least) the masked
+  /// columns materialized. Column order is event order, so folding a
+  /// ColumnBatch index 0..n-1 is value-identical to folding the same
+  /// run of rows. Default: shred the row batches; columnar-native
+  /// sources decode only what the mask asks for.
+  virtual void for_each_columns(ColumnMask mask,
+                                const ColumnBatchVisitor& visit) const;
+
+  /// Columnar form of for_each_batch_hinted (same superset contract).
+  virtual void for_each_columns_hinted(const ChunkHint& hint, ColumnMask mask,
+                                       const ColumnBatchVisitor& visit) const;
+
   /// Wall-clock span covered by the stream (latest event end time; 0
   /// when empty) — the batch Trace::span() semantics. Default: one
   /// pass; indexed sources answer from chunk metadata.
@@ -118,6 +137,8 @@ class MemoryTraceSource final : public TraceSource {
   void for_each_batch(const BatchVisitor& visit) const override;
   void for_each_batch_hinted(const ChunkHint& hint,
                              const BatchVisitor& visit) const override;
+  void for_each_columns(ColumnMask mask,
+                        const ColumnBatchVisitor& visit) const override;
   [[nodiscard]] double time_span() const override;
   [[nodiscard]] std::uint64_t event_count() const override;
   [[nodiscard]] Trace materialize() const override;
@@ -125,21 +146,24 @@ class MemoryTraceSource final : public TraceSource {
  private:
   const Trace* trace_;
   TraceMeta meta_;
+  mutable ColumnScratch scratch_;  ///< shred target for columnar passes
 };
 
-/// Streams a trace file (TSV, binary v1, or binary v2) from disk on
-/// every pass. Holds only the header metadata — plus, for v2, the
-/// footer index, which the hinted passes use to skip chunks. The file
-/// is opened (and its format sniffed) exactly once; every pass rewinds
-/// the same seekable stream, and v2 passes decode whole chunks with
-/// single sized reads into a reusable buffer. Passes mutate the cached
-/// stream and scratch buffers, so one FileTraceSource must not run
-/// concurrent passes — ParallelTraceScanner opens per-thread streams
-/// instead.
+/// Streams a trace file (TSV, binary v1, v2 or v3) from disk on every
+/// pass. Holds only the header metadata — plus, for the indexed
+/// formats, the footer index, which the hinted passes use to skip
+/// chunks. The file is opened (and its format sniffed) exactly once;
+/// every pass rewinds the same seekable stream, and indexed passes
+/// decode whole chunks with single sized reads into reusable buffers.
+/// A v3 file is additionally mmap'd when the platform allows, so its
+/// chunks decode zero-copy from page cache (the stream remains as the
+/// fallback). Passes mutate the cached stream and scratch buffers, so
+/// one FileTraceSource must not run concurrent passes —
+/// ParallelTraceScanner decodes through per-thread readers instead.
 class FileTraceSource final : public TraceSource {
  public:
   /// Opens the file once to sniff the format and cache metadata (for
-  /// v2 this reads just header + footer, not the events). Throws
+  /// v2/v3 this reads just header + footer, not the events). Throws
   /// std::runtime_error if unreadable or unrecognized.
   explicit FileTraceSource(std::string path);
 
@@ -150,34 +174,49 @@ class FileTraceSource final : public TraceSource {
   void for_each_batch(const BatchVisitor& visit) const override;
   void for_each_batch_hinted(const ChunkHint& hint,
                              const BatchVisitor& visit) const override;
+  void for_each_columns(ColumnMask mask,
+                        const ColumnBatchVisitor& visit) const override;
+  void for_each_columns_hinted(const ChunkHint& hint, ColumnMask mask,
+                               const ColumnBatchVisitor& visit) const override;
   [[nodiscard]] double time_span() const override;
   [[nodiscard]] std::uint64_t event_count() const override;
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   [[nodiscard]] TraceFormat format() const noexcept { return format_; }
-  /// The v2 footer index; nullopt for TSV/v1 files.
+  /// The footer index; nullopt for TSV/v1 files.
   [[nodiscard]] const std::optional<TraceIndex>& index() const noexcept {
     return index_;
   }
+  /// True when a v3 file decodes from an mmap (the zero-copy path).
+  [[nodiscard]] bool zero_copy() const noexcept { return map_ != nullptr; }
 
  private:
   /// Rewind the cached stream for a fresh pass.
   [[nodiscard]] std::istream& reset_stream() const;
   /// Replay the legacy (TSV/v1) formats through the cached stream.
   void stream_legacy(const EventVisitor& visit) const;
-  /// Decode the admitted v2 chunks in order, handing each decoded
+  /// Decode indexed chunk i as columns (mask-restricted; v3 native,
+  /// v2 rows + shred). Spans are valid until the next decode.
+  [[nodiscard]] ColumnBatch decode_columns(std::size_t i,
+                                           ColumnMask mask) const;
+  /// Decode the admitted indexed chunks in order, handing each decoded
   /// buffer to `batch` (all chunks when hint is null).
   void scan_chunks(const ChunkHint* hint, const BatchVisitor& batch) const;
+  /// Columnar twin of scan_chunks.
+  void scan_chunk_columns(const ChunkHint* hint, ColumnMask mask,
+                          const ColumnBatchVisitor& visit) const;
 
   std::string path_;
   TraceFormat format_;
   TraceMeta meta_;
   std::optional<TraceIndex> index_;
   mutable std::ifstream stream_;
+  std::unique_ptr<const MappedFile> map_;  ///< v3 zero-copy image
   // Per-pass scratch, reused so a pass costs zero steady-state
-  // allocations (one chunk's worth of bytes + decoded events).
+  // allocations (one chunk's worth of bytes + decoded events/columns).
   mutable std::vector<char> raw_;
   mutable std::vector<TraceEvent> batch_;
+  mutable ColumnScratch scratch_;
 };
 
 }  // namespace eio::ipm

@@ -1,76 +1,28 @@
 #include "ipm/trace_stream.h"
 
 #include <algorithm>
-#include <cstring>
 #include <istream>
-#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
 #include "common/check.h"
+#include "ipm/trace_v3.h"
+#include "ipm/wire.h"
 #include "obs/registry.h"
 
 namespace eio::ipm {
 
 namespace {
 
-constexpr char kTsvMagic[] = "# ipm-io-trace";
-constexpr char kBinaryMagicV1[8] = {'I', 'P', 'M', 'I', 'O', 'B', '1', '\n'};
-constexpr char kBinaryMagicV2[8] = {'I', 'P', 'M', 'I', 'O', 'B', '2', '\n'};
-constexpr char kTrailerMagicV2[8] = {'I', 'P', 'M', '2', 'I', 'D', 'X', '\n'};
-
-// Sanity caps rejecting absurd header fields before they turn into
-// multi-gigabyte allocations on corrupt input.
-constexpr std::uint64_t kMaxNameLen = 1 << 20;
-constexpr std::uint64_t kMaxChunks = std::uint64_t{1} << 32;
-
-constexpr std::uint8_t kChunkTag = 0x01;
-constexpr std::uint8_t kFooterTag = 0x00;
-
-template <typename T>
-void put(std::ostream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof value);
-}
-
-template <typename T>
-T get(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!in.good()) throw std::runtime_error("truncated binary trace");
-  return value;
-}
-
-/// LEB128 unsigned varint — small integers (ranks, byte counts, op
-/// codes) take 1-3 bytes instead of 8.
-void put_varint(std::ostream& out, std::uint64_t value) {
-  while (value >= 0x80) {
-    put<std::uint8_t>(out, static_cast<std::uint8_t>(value) | 0x80);
-    value >>= 7;
-  }
-  put<std::uint8_t>(out, static_cast<std::uint8_t>(value));
-}
-
-std::uint64_t get_varint(std::istream& in) {
-  std::uint64_t value = 0;
-  int shift = 0;
-  while (true) {
-    auto byte = get<std::uint8_t>(in);
-    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) return value;
-    shift += 7;
-    if (shift >= 64) throw std::runtime_error("corrupt varint in binary trace");
-  }
-}
-
-/// Zigzag for the (rarely negative) phase label.
-std::uint64_t zigzag(std::int64_t v) {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
-std::int64_t unzigzag(std::uint64_t v) {
-  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
-}
+using wire::ByteReader;
+using wire::check_magic;
+using wire::get;
+using wire::get_varint;
+using wire::put;
+using wire::put_varint;
+using wire::unzigzag;
+using wire::zigzag;
 
 void put_event(std::ostream& out, const TraceEvent& e) {
   put<double>(out, e.start);
@@ -100,45 +52,6 @@ TraceEvent get_event(std::istream& in) {
   return e;
 }
 
-/// Bounds-checked cursor over an in-memory chunk image — the decode
-/// hot path works on bytes already read, paying one istream call per
-/// chunk instead of several per field.
-struct ByteReader {
-  const char* p;
-  const char* end;
-
-  [[noreturn]] static void truncated() {
-    throw std::runtime_error("truncated binary trace");
-  }
-
-  std::uint8_t u8() {
-    if (p == end) truncated();
-    return static_cast<std::uint8_t>(*p++);
-  }
-
-  std::uint64_t varint() {
-    std::uint64_t value = 0;
-    int shift = 0;
-    while (true) {
-      std::uint8_t byte = u8();
-      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-      if ((byte & 0x80) == 0) return value;
-      shift += 7;
-      if (shift >= 64) {
-        throw std::runtime_error("corrupt varint in binary trace");
-      }
-    }
-  }
-
-  double f64() {
-    if (end - p < static_cast<std::ptrdiff_t>(sizeof(double))) truncated();
-    double value;
-    std::memcpy(&value, p, sizeof value);
-    p += sizeof value;
-    return value;
-  }
-};
-
 TraceEvent get_event(ByteReader& in) {
   TraceEvent e;
   e.start = in.f64();
@@ -156,19 +69,6 @@ TraceEvent get_event(ByteReader& in) {
   return e;
 }
 
-std::string get_name(std::istream& in) {
-  auto len = get_varint(in);
-  if (len > kMaxNameLen) {
-    throw std::runtime_error("corrupt binary trace: absurd experiment name");
-  }
-  std::string name(len, '\0');
-  in.read(name.data(), static_cast<std::streamsize>(len));
-  if (!in.good() && len > 0) {
-    throw std::runtime_error("truncated binary trace (experiment name)");
-  }
-  return name;
-}
-
 [[nodiscard]] posix::OpType op_from_name(const std::string& name) {
   using posix::OpType;
   if (name == "open") return OpType::kOpen;
@@ -181,93 +81,6 @@ std::string get_name(std::istream& in) {
   throw std::runtime_error("unknown op name in trace: " + name);
 }
 
-void check_magic(std::istream& in, const char (&magic)[8], const char* what) {
-  char buf[8];
-  in.read(buf, sizeof buf);
-  if (!in.good() || !std::equal(std::begin(buf), std::end(buf), magic)) {
-    throw std::runtime_error(std::string("not a ") + what +
-                             " (missing magic)");
-  }
-}
-
-void fold_into(ChunkMeta& meta, const TraceEvent& e) {
-  if (meta.events == 0) {
-    meta.rank_lo = meta.rank_hi = e.rank;
-    meta.phase_lo = meta.phase_hi = e.phase;
-    meta.t_lo = e.start;
-    meta.t_hi = e.end();
-  } else {
-    meta.rank_lo = std::min(meta.rank_lo, e.rank);
-    meta.rank_hi = std::max(meta.rank_hi, e.rank);
-    meta.phase_lo = std::min(meta.phase_lo, e.phase);
-    meta.phase_hi = std::max(meta.phase_hi, e.phase);
-    meta.t_lo = std::min(meta.t_lo, e.start);
-    meta.t_hi = std::max(meta.t_hi, e.end());
-  }
-  ++meta.events;
-  meta.op_mask |= 1u << static_cast<unsigned>(e.op);
-  if (e.op == posix::OpType::kRead || e.op == posix::OpType::kWrite) {
-    meta.data_bytes += e.bytes;
-  }
-}
-
-void put_chunk_meta(std::ostream& out, const ChunkMeta& c) {
-  put_varint(out, c.offset);
-  put_varint(out, c.events);
-  put_varint(out, c.op_mask);
-  put_varint(out, c.rank_lo);
-  put_varint(out, c.rank_hi);
-  put_varint(out, zigzag(c.phase_lo));
-  put_varint(out, zigzag(c.phase_hi));
-  put<double>(out, c.t_lo);
-  put<double>(out, c.t_hi);
-  put_varint(out, c.data_bytes);
-}
-
-ChunkMeta get_chunk_meta(std::istream& in) {
-  ChunkMeta c;
-  c.offset = get_varint(in);
-  c.events = get_varint(in);
-  c.op_mask = static_cast<std::uint32_t>(get_varint(in));
-  c.rank_lo = static_cast<RankId>(get_varint(in));
-  c.rank_hi = static_cast<RankId>(get_varint(in));
-  c.phase_lo = static_cast<std::int32_t>(unzigzag(get_varint(in)));
-  c.phase_hi = static_cast<std::int32_t>(unzigzag(get_varint(in)));
-  c.t_lo = get<double>(in);
-  c.t_hi = get<double>(in);
-  c.data_bytes = get_varint(in);
-  return c;
-}
-
-/// Parse the footer body (after its tag byte): chunk metas + total.
-std::pair<std::vector<ChunkMeta>, std::uint64_t> get_footer(std::istream& in) {
-  auto chunk_count = get_varint(in);
-  if (chunk_count > kMaxChunks) {
-    throw std::runtime_error("corrupt v2 trace: absurd chunk count");
-  }
-  std::vector<ChunkMeta> chunks;
-  chunks.reserve(chunk_count);
-  for (std::uint64_t i = 0; i < chunk_count; ++i) {
-    chunks.push_back(get_chunk_meta(in));
-  }
-  auto total = get_varint(in);
-  std::uint64_t sum = 0;
-  for (const ChunkMeta& c : chunks) sum += c.events;
-  if (sum != total) {
-    throw std::runtime_error("corrupt v2 trace: footer event counts disagree");
-  }
-  return {std::move(chunks), total};
-}
-
-/// Read the shared v2 header (magic + ranks + name).
-TraceMeta get_header_v2(std::istream& in) {
-  check_magic(in, kBinaryMagicV2, "v2 binary ipm-io trace");
-  TraceMeta meta;
-  meta.ranks = static_cast<std::uint32_t>(get_varint(in));
-  meta.experiment = get_name(in);
-  return meta;
-}
-
 }  // namespace
 
 TraceFormat sniff_format(std::istream& in) {
@@ -276,21 +89,20 @@ TraceFormat sniff_format(std::istream& in) {
   auto got = in.gcount();
   in.clear();
   in.seekg(-got, std::ios::cur);
-  if (got >= 8 && std::equal(std::begin(buf), std::end(buf),
-                             std::begin(kBinaryMagicV1))) {
-    return TraceFormat::kBinaryV1;
-  }
-  if (got >= 8 && std::equal(std::begin(buf), std::end(buf),
-                             std::begin(kBinaryMagicV2))) {
-    return TraceFormat::kBinaryV2;
-  }
+  auto is = [&](const char (&magic)[8]) {
+    return got >= 8 &&
+           std::equal(std::begin(buf), std::end(buf), std::begin(magic));
+  };
+  if (is(wire::kMagicV1)) return TraceFormat::kBinaryV1;
+  if (is(wire::kMagicV2)) return TraceFormat::kBinaryV2;
+  if (is(wire::kMagicV3)) return TraceFormat::kBinaryV3;
   if (got >= 1 && buf[0] == '#') return TraceFormat::kTsv;
   throw std::runtime_error("not an ipm-io trace (unrecognized magic)");
 }
 
 TraceMeta stream_tsv(std::istream& in, const EventVisitor& visit) {
   std::string line;
-  if (!std::getline(in, line) || line.rfind(kTsvMagic, 0) != 0) {
+  if (!std::getline(in, line) || line.rfind(wire::kTsvMagic, 0) != 0) {
     throw std::runtime_error("not an ipm-io trace (missing magic)");
   }
   TraceMeta meta;
@@ -334,10 +146,10 @@ TraceMeta stream_tsv(std::istream& in, const EventVisitor& visit) {
 }
 
 TraceMeta stream_binary_v1(std::istream& in, const EventVisitor& visit) {
-  check_magic(in, kBinaryMagicV1, "binary ipm-io trace");
+  check_magic(in, wire::kMagicV1, "binary ipm-io trace");
   TraceMeta meta;
   meta.ranks = static_cast<std::uint32_t>(get_varint(in));
-  meta.experiment = get_name(in);
+  meta.experiment = wire::get_name(in);
   auto count = get_varint(in);
   meta.declared_events = count;
   for (std::uint64_t i = 0; i < count; ++i) visit(get_event(in));
@@ -345,20 +157,20 @@ TraceMeta stream_binary_v1(std::istream& in, const EventVisitor& visit) {
 }
 
 TraceMeta stream_binary_v2(std::istream& in, const EventVisitor& visit) {
-  TraceMeta meta = get_header_v2(in);
+  TraceMeta meta = wire::get_header(in, wire::kMagicV2, "v2 binary ipm-io trace");
   std::uint64_t parsed = 0;
   for (;;) {
     auto tag = get<std::uint8_t>(in);
-    if (tag == kChunkTag) {
+    if (tag == wire::kChunkTag) {
       auto count = get_varint(in);
       for (std::uint64_t i = 0; i < count; ++i) visit(get_event(in));
       parsed += count;
       continue;
     }
-    if (tag != kFooterTag) {
+    if (tag != wire::kFooterTag) {
       throw std::runtime_error("corrupt v2 trace: bad chunk tag");
     }
-    auto [chunks, total] = get_footer(in);
+    auto [chunks, total] = wire::get_footer(in);
     if (parsed != total) {
       throw std::runtime_error(
           "truncated v2 trace: chunk events disagree with footer");
@@ -368,7 +180,7 @@ TraceMeta stream_binary_v2(std::istream& in, const EventVisitor& visit) {
     // — it is what distinguishes a complete file from one cut off
     // exactly at a chunk boundary.
     (void)get<std::uint64_t>(in);
-    check_magic(in, kTrailerMagicV2, "complete v2 trace trailer");
+    check_magic(in, wire::kTrailerV2, "complete v2 trace trailer");
     return meta;
   }
 }
@@ -389,10 +201,7 @@ void write_tsv_event(std::ostream& out, const TraceEvent& e) {
 
 void write_binary_v1_header(std::ostream& out, const std::string& experiment,
                             std::uint32_t ranks, std::uint64_t events) {
-  out.write(kBinaryMagicV1, sizeof kBinaryMagicV1);
-  put_varint(out, ranks);
-  put_varint(out, experiment.size());
-  out.write(experiment.data(), static_cast<std::streamsize>(experiment.size()));
+  wire::write_header(out, wire::kMagicV1, ranks, experiment);
   put_varint(out, events);
 }
 
@@ -405,6 +214,7 @@ TraceMeta stream_any(std::istream& in, const EventVisitor& visit) {
     case TraceFormat::kTsv: return stream_tsv(in, visit);
     case TraceFormat::kBinaryV1: return stream_binary_v1(in, visit);
     case TraceFormat::kBinaryV2: return stream_binary_v2(in, visit);
+    case TraceFormat::kBinaryV3: return stream_binary_v3(in, visit);
   }
   throw std::runtime_error("unreachable trace format");
 }
@@ -418,10 +228,7 @@ TraceWriterV2::TraceWriterV2(std::ostream& out, std::string experiment,
     : out_(&out), options_(options) {
   if (options_.chunk_events == 0) options_.chunk_events = 1;
   buffer_.reserve(options_.chunk_events);
-  out.write(kBinaryMagicV2, sizeof kBinaryMagicV2);
-  put_varint(out, ranks);
-  put_varint(out, experiment.size());
-  out.write(experiment.data(), static_cast<std::streamsize>(experiment.size()));
+  wire::write_header(out, wire::kMagicV2, ranks, experiment);
 }
 
 TraceWriterV2::~TraceWriterV2() {
@@ -446,10 +253,10 @@ void TraceWriterV2::flush_chunk() {
   OBS_COUNTER_ADD("v2.events_written", buffer_.size());
   ChunkMeta meta;
   meta.offset = static_cast<std::uint64_t>(out_->tellp());
-  put<std::uint8_t>(*out_, kChunkTag);
+  put<std::uint8_t>(*out_, wire::kChunkTag);
   put_varint(*out_, buffer_.size());
   for (const TraceEvent& e : buffer_) {
-    fold_into(meta, e);
+    wire::fold_into(meta, e);
     put_event(*out_, e);
   }
   chunks_.push_back(meta);
@@ -460,51 +267,13 @@ void TraceWriterV2::finish() {
   if (finished_) return;
   finished_ = true;
   flush_chunk();
-  auto footer_offset = static_cast<std::uint64_t>(out_->tellp());
-  put<std::uint8_t>(*out_, kFooterTag);
-  put_varint(*out_, chunks_.size());
-  for (const ChunkMeta& c : chunks_) put_chunk_meta(*out_, c);
-  put_varint(*out_, total_events_);
-  put<std::uint64_t>(*out_, footer_offset);
-  out_->write(kTrailerMagicV2, sizeof kTrailerMagicV2);
+  wire::write_footer(*out_, chunks_, total_events_, wire::kTrailerV2);
   if (!out_->good()) throw std::runtime_error("v2 trace write failed");
 }
 
 TraceIndex read_index_v2(std::istream& in) {
-  TraceIndex index;
-  index.meta = get_header_v2(in);
-  auto header_end = static_cast<std::uint64_t>(in.tellg());
-
-  in.seekg(0, std::ios::end);
-  auto file_size = static_cast<std::uint64_t>(in.tellg());
-  if (file_size < header_end + 16) {
-    throw std::runtime_error("truncated v2 trace (no trailer)");
-  }
-  in.seekg(static_cast<std::streamoff>(file_size - 16));
-  auto footer_offset = get<std::uint64_t>(in);
-  check_magic(in, kTrailerMagicV2, "complete v2 trace trailer");
-  if (footer_offset < header_end || footer_offset >= file_size - 16) {
-    throw std::runtime_error("corrupt v2 trace: footer offset out of bounds");
-  }
-  in.seekg(static_cast<std::streamoff>(footer_offset));
-  if (get<std::uint8_t>(in) != kFooterTag) {
-    throw std::runtime_error("corrupt v2 trace: footer tag mismatch");
-  }
-  auto [chunks, total] = get_footer(in);
-  index.chunks = std::move(chunks);
-  index.meta.declared_events = total;
-  index.footer_offset = footer_offset;
-  std::uint64_t prev = header_end;
-  for (const ChunkMeta& c : index.chunks) {
-    // Offsets must be in-bounds and strictly increasing — the sized
-    // chunk reads below derive each chunk's byte length from the next
-    // offset, so out-of-order entries would alias chunk extents.
-    if (c.offset < prev || c.offset >= footer_offset) {
-      throw std::runtime_error("corrupt v2 trace: chunk offset out of bounds");
-    }
-    prev = c.offset + 1;
-  }
-  return index;
+  return wire::read_index(in, wire::kMagicV2, wire::kTrailerV2,
+                          "v2 binary ipm-io trace");
 }
 
 std::uint64_t chunk_byte_length(const TraceIndex& index, std::size_t i) {
@@ -533,7 +302,7 @@ void read_chunk_v2(std::istream& in, const ChunkMeta& chunk,
     throw std::runtime_error("truncated v2 trace (chunk body)");
   }
   ByteReader r{raw.data(), raw.data() + byte_len};
-  if (r.u8() != kChunkTag) {
+  if (r.u8() != wire::kChunkTag) {
     throw std::runtime_error("corrupt v2 trace: expected chunk tag");
   }
   auto count = r.varint();
@@ -552,7 +321,7 @@ void stream_chunk_v2(std::istream& in, const ChunkMeta& chunk,
                      const EventVisitor& visit) {
   in.clear();
   in.seekg(static_cast<std::streamoff>(chunk.offset));
-  if (get<std::uint8_t>(in) != kChunkTag) {
+  if (get<std::uint8_t>(in) != wire::kChunkTag) {
     throw std::runtime_error("corrupt v2 trace: expected chunk tag");
   }
   auto count = get_varint(in);

@@ -6,14 +6,18 @@
 //  * TSV ("# ipm-io-trace v1"): human-readable, one event per line;
 //  * binary v1 ("IPMIOB1\n"): varint-packed records behind an up-front
 //    event count — compact, but monolithic;
-//  * binary v2 ("IPMIOB2\n"): the at-scale format. Events are written
-//    in chunks, each preceded by a one-byte tag, and a footer index
-//    records every chunk's offset, event count, op mask, rank/phase
-//    ranges and time span. A fixed 16-byte trailer (footer offset +
-//    magic) lets a seekable reader jump straight to the index and scan
-//    only the chunks that can match a filter; a non-seekable reader
-//    streams the tagged chunks in order. Either way, memory stays
-//    O(chunk), never O(events).
+//  * binary v2 ("IPMIOB2\n"): the row-oriented at-scale format. Events
+//    are written in chunks, each preceded by a one-byte tag, and a
+//    footer index records every chunk's offset, event count, op mask,
+//    rank/phase ranges and time span. A fixed 16-byte trailer (footer
+//    offset + magic) lets a seekable reader jump straight to the index
+//    and scan only the chunks that can match a filter; a non-seekable
+//    reader streams the tagged chunks in order. Either way, memory
+//    stays O(chunk), never O(events);
+//  * binary v3 ("IPMIOB3\n"): the columnar at-scale format — same
+//    chunk/footer/trailer container as v2, but each chunk stores
+//    per-column streams with delta+varint encoding and optional RLE
+//    compression (see trace_v3.h).
 //
 // The functions here are the *kernels*: they parse or emit events one
 // at a time through a visitor, and every error path throws
@@ -54,7 +58,7 @@ struct TraceMeta {
 };
 
 /// The serialization formats, as sniffed from leading magic bytes.
-enum class TraceFormat : std::uint8_t { kTsv, kBinaryV1, kBinaryV2 };
+enum class TraceFormat : std::uint8_t { kTsv, kBinaryV1, kBinaryV2, kBinaryV3 };
 
 /// Identify the format from the first bytes of a stream (the stream is
 /// left positioned at the start). Throws if it matches none.

@@ -1,0 +1,469 @@
+#include "ipm/trace_v3.h"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "ipm/wire.h"
+#include "obs/registry.h"
+
+namespace eio::ipm {
+
+namespace {
+
+constexpr int kNumCols = 8;
+
+// Base column encodings (low 7 bits of the column's `enc` byte).
+constexpr std::uint8_t kEncRawF64 = 0;
+constexpr std::uint8_t kEncVarint = 1;
+constexpr std::uint8_t kEncDelta = 2;
+
+constexpr std::uint8_t kRleFlag = 0x80;
+
+// Fixed column order and, per column, the one encoding the writer
+// emits and the reader accepts. A corrupt encoding byte therefore
+// throws instead of silently mis-decoding.
+constexpr std::uint8_t kColEnc[kNumCols] = {
+    kEncRawF64,  // start
+    kEncRawF64,  // duration
+    kEncVarint,  // op
+    kEncDelta,   // rank
+    kEncDelta,   // file
+    kEncDelta,   // offset
+    kEncDelta,   // bytes
+    kEncDelta,   // phase (zigzagged before delta)
+};
+constexpr ColumnMask kColBit[kNumCols] = {
+    kColStart, kColDuration, kColOp,    kColRank,
+    kColFile,  kColOffset,   kColBytes, kColPhase,
+};
+
+// Caps on self-declared sizes in chunk records, so corrupt input
+// fails with runtime_error instead of a multi-gigabyte allocation. A
+// varint value is at most 10 bytes; RLE adds at most one control byte
+// per 128 literals.
+constexpr std::uint64_t kMaxChunkEvents = std::uint64_t{1} << 28;
+[[nodiscard]] std::uint64_t max_col_bytes(std::uint64_t count) {
+  return count * 16 + 64;
+}
+
+struct ColHeader {
+  std::uint8_t enc = 0;  ///< base encoding (flag bit stripped)
+  bool rle = false;
+  std::uint64_t enc_len = 0;  ///< payload bytes as stored
+  std::uint64_t raw_len = 0;  ///< payload bytes after decompression
+};
+
+void check_col_header(int col, const ColHeader& h, std::uint64_t count) {
+  if (h.enc != kColEnc[col]) {
+    throw std::runtime_error("corrupt v3 trace: unexpected column encoding");
+  }
+  if (h.enc_len > max_col_bytes(count) || h.raw_len > max_col_bytes(count)) {
+    throw std::runtime_error("corrupt v3 trace: absurd column length");
+  }
+}
+
+void decode_f64_column(const char* raw, std::uint64_t raw_len,
+                       std::uint64_t count, std::vector<double>& out) {
+  if (raw_len != count * sizeof(double)) {
+    throw std::runtime_error("corrupt v3 trace: f64 column size mismatch");
+  }
+  out.resize(count);
+  if (count > 0) std::memcpy(out.data(), raw, raw_len);
+}
+
+/// Decode `count` varints covering exactly [raw, raw+raw_len), with
+/// optional delta accumulation, calling emit(i, value) per element.
+template <typename Emit>
+void decode_varint_column(const char* raw, std::uint64_t raw_len,
+                          std::uint64_t count, bool delta, Emit&& emit) {
+  wire::ByteReader r{raw, raw + raw_len};
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t v = r.varint();
+    if (delta) {
+      // Wraparound-safe: the writer stored zigzag(cur - prev mod 2^64).
+      v = prev + static_cast<std::uint64_t>(wire::unzigzag(v));
+      prev = v;
+    }
+    emit(i, v);
+  }
+  if (r.p != r.end) {
+    throw std::runtime_error("corrupt v3 trace: column length mismatch");
+  }
+}
+
+/// Decompress (when flagged) and parse one column payload into its
+/// typed scratch vector. `payload` spans enc_len stored bytes.
+void decode_column(int col, const ColHeader& h, const char* payload,
+                   std::uint64_t count, ColumnScratch& s) {
+  const char* raw = payload;
+  std::uint64_t raw_len = h.enc_len;
+  if (h.rle) {
+    rle_decompress({payload, static_cast<std::size_t>(h.enc_len)},
+                   static_cast<std::size_t>(h.raw_len), s.blob);
+    raw = s.blob.data();
+    raw_len = h.raw_len;
+  }
+  switch (col) {
+    case 0:
+      decode_f64_column(raw, raw_len, count, s.start);
+      break;
+    case 1:
+      decode_f64_column(raw, raw_len, count, s.duration);
+      break;
+    case 2:
+      s.op.resize(count);
+      decode_varint_column(raw, raw_len, count, false,
+                           [&s](std::uint64_t i, std::uint64_t v) {
+        if (v > static_cast<std::uint64_t>(posix::OpType::kFault)) {
+          throw std::runtime_error("corrupt v3 trace: bad op code");
+        }
+        s.op[i] = static_cast<std::uint8_t>(v);
+      });
+      break;
+    case 3:
+      s.rank.resize(count);
+      decode_varint_column(raw, raw_len, count, true,
+                           [&s](std::uint64_t i, std::uint64_t v) {
+        s.rank[i] = static_cast<RankId>(v);
+      });
+      break;
+    case 4:
+      s.file.resize(count);
+      decode_varint_column(raw, raw_len, count, true,
+                           [&s](std::uint64_t i, std::uint64_t v) {
+        s.file[i] = v;
+      });
+      break;
+    case 5:
+      s.offset.resize(count);
+      decode_varint_column(raw, raw_len, count, true,
+                           [&s](std::uint64_t i, std::uint64_t v) {
+        s.offset[i] = v;
+      });
+      break;
+    case 6:
+      s.bytes.resize(count);
+      decode_varint_column(raw, raw_len, count, true,
+                           [&s](std::uint64_t i, std::uint64_t v) {
+        s.bytes[i] = v;
+      });
+      break;
+    case 7:
+      s.phase.resize(count);
+      decode_varint_column(raw, raw_len, count, true,
+                           [&s](std::uint64_t i, std::uint64_t v) {
+        s.phase[i] = static_cast<std::int32_t>(wire::unzigzag(v));
+      });
+      break;
+  }
+}
+
+/// Assemble the span view over freshly decoded scratch columns.
+[[nodiscard]] ColumnBatch batch_from_scratch(const ColumnScratch& s,
+                                             ColumnMask mask,
+                                             std::uint64_t count) {
+  ColumnBatch batch;
+  batch.events = static_cast<std::size_t>(count);
+  if (mask & kColStart) batch.start = s.start;
+  if (mask & kColDuration) batch.duration = s.duration;
+  if (mask & kColOp) batch.op = s.op;
+  if (mask & kColRank) batch.rank = s.rank;
+  if (mask & kColFile) batch.file = s.file;
+  if (mask & kColOffset) batch.offset = s.offset;
+  if (mask & kColBytes) batch.bytes = s.bytes;
+  if (mask & kColPhase) batch.phase = s.phase;
+  return batch;
+}
+
+}  // namespace
+
+void rle_compress(std::span<const char> src, std::vector<char>& out) {
+  out.clear();
+  const std::size_t n = src.size();
+  std::size_t lit_start = 0;
+  auto flush_literals = [&](std::size_t end) {
+    std::size_t s = lit_start;
+    while (s < end) {
+      std::size_t run = std::min<std::size_t>(128, end - s);
+      out.push_back(static_cast<char>(run - 1));
+      out.insert(out.end(), src.begin() + static_cast<std::ptrdiff_t>(s),
+                 src.begin() + static_cast<std::ptrdiff_t>(s + run));
+      s += run;
+    }
+  };
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i + 1;
+    while (j < n && src[j] == src[i]) ++j;
+    std::size_t run = j - i;
+    if (run >= 3) {
+      flush_literals(i);
+      while (run >= 3) {
+        std::size_t take = std::min<std::size_t>(130, run);
+        out.push_back(static_cast<char>(kRleFlag | (take - 3)));
+        out.push_back(src[i]);
+        run -= take;
+      }
+      lit_start = j - run;  // a 1-2 byte remainder joins the literals
+    }
+    i = j;
+  }
+  flush_literals(n);
+}
+
+void rle_decompress(std::span<const char> src, std::size_t raw_len,
+                    std::vector<char>& out) {
+  out.clear();
+  out.reserve(raw_len);
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  while (i < n) {
+    auto c = static_cast<std::uint8_t>(src[i++]);
+    if (c < 0x80) {
+      std::size_t run = std::size_t{c} + 1;
+      if (i + run > n || out.size() + run > raw_len) {
+        throw std::runtime_error("corrupt v3 trace: bad RLE block");
+      }
+      out.insert(out.end(), src.begin() + static_cast<std::ptrdiff_t>(i),
+                 src.begin() + static_cast<std::ptrdiff_t>(i + run));
+      i += run;
+    } else {
+      std::size_t rep = std::size_t{c} - 0x80 + 3;
+      if (i >= n || out.size() + rep > raw_len) {
+        throw std::runtime_error("corrupt v3 trace: bad RLE block");
+      }
+      out.insert(out.end(), rep, src[i]);
+      ++i;
+    }
+  }
+  if (out.size() != raw_len) {
+    throw std::runtime_error("corrupt v3 trace: RLE size mismatch");
+  }
+}
+
+TraceWriterV3::TraceWriterV3(std::ostream& out, std::string experiment,
+                             std::uint32_t ranks)
+    : TraceWriterV3(out, std::move(experiment), ranks, Options{}) {}
+
+TraceWriterV3::TraceWriterV3(std::ostream& out, std::string experiment,
+                             std::uint32_t ranks, Options options)
+    : out_(&out), options_(options) {
+  if (options_.chunk_events == 0) options_.chunk_events = 1;
+  buffer_.reserve(options_.chunk_events);
+  wire::write_header(out, wire::kMagicV3, ranks, experiment);
+}
+
+TraceWriterV3::~TraceWriterV3() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; callers wanting the error should
+    // call finish() explicitly.
+  }
+}
+
+void TraceWriterV3::add(const TraceEvent& event) {
+  buffer_.push_back(event);
+  ++total_events_;
+  if (buffer_.size() >= options_.chunk_events) flush_chunk();
+}
+
+void TraceWriterV3::write_column(std::uint8_t base_enc) {
+  if (options_.compress) {
+    rle_compress(col_buf_, rle_buf_);
+    if (rle_buf_.size() < col_buf_.size()) {
+      wire::put<std::uint8_t>(*out_, base_enc | kRleFlag);
+      wire::put_varint(*out_, rle_buf_.size());
+      wire::put_varint(*out_, col_buf_.size());
+      out_->write(rle_buf_.data(),
+                  static_cast<std::streamsize>(rle_buf_.size()));
+      return;
+    }
+  }
+  wire::put<std::uint8_t>(*out_, base_enc);
+  wire::put_varint(*out_, col_buf_.size());
+  out_->write(col_buf_.data(), static_cast<std::streamsize>(col_buf_.size()));
+}
+
+void TraceWriterV3::flush_chunk() {
+  if (buffer_.empty()) return;
+  OBS_SPAN("v3.flush_chunk");
+  OBS_COUNTER_ADD("v3.chunks_written", 1);
+  OBS_COUNTER_ADD("v3.events_written", buffer_.size());
+  const std::size_t n = buffer_.size();
+  ChunkMeta meta;
+  meta.offset = static_cast<std::uint64_t>(out_->tellp());
+  for (const TraceEvent& e : buffer_) wire::fold_into(meta, e);
+  wire::put<std::uint8_t>(*out_, wire::kChunkTag);
+  wire::put_varint(*out_, n);
+
+  // start, duration: raw little-endian f64.
+  col_buf_.resize(n * sizeof(double));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(col_buf_.data() + i * sizeof(double), &buffer_[i].start,
+                sizeof(double));
+  }
+  write_column(kEncRawF64);
+  col_buf_.resize(n * sizeof(double));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(col_buf_.data() + i * sizeof(double), &buffer_[i].duration,
+                sizeof(double));
+  }
+  write_column(kEncRawF64);
+
+  // op: plain varint.
+  col_buf_.clear();
+  for (const TraceEvent& e : buffer_) {
+    wire::append_varint(col_buf_, static_cast<std::uint64_t>(e.op));
+  }
+  write_column(kEncVarint);
+
+  // rank, file, offset, bytes, zigzag(phase): delta+zigzag varint.
+  auto write_delta = [this](auto&& value_of) {
+    col_buf_.clear();
+    std::uint64_t prev = 0;
+    for (const TraceEvent& e : buffer_) {
+      std::uint64_t v = value_of(e);
+      wire::append_varint(
+          col_buf_, wire::zigzag(static_cast<std::int64_t>(v - prev)));
+      prev = v;
+    }
+    write_column(kEncDelta);
+  };
+  write_delta([](const TraceEvent& e) { return std::uint64_t{e.rank}; });
+  write_delta([](const TraceEvent& e) { return std::uint64_t{e.file}; });
+  write_delta([](const TraceEvent& e) { return std::uint64_t{e.offset}; });
+  write_delta([](const TraceEvent& e) { return std::uint64_t{e.bytes}; });
+  write_delta([](const TraceEvent& e) { return wire::zigzag(e.phase); });
+
+  chunks_.push_back(meta);
+  buffer_.clear();
+}
+
+void TraceWriterV3::finish() {
+  if (finished_) return;
+  finished_ = true;
+  flush_chunk();
+  wire::write_footer(*out_, chunks_, total_events_, wire::kTrailerV3);
+  if (!out_->good()) throw std::runtime_error("v3 trace write failed");
+}
+
+TraceIndex read_index_v3(std::istream& in) {
+  return wire::read_index(in, wire::kMagicV3, wire::kTrailerV3,
+                          "v3 binary ipm-io trace");
+}
+
+ColumnBatch decode_chunk_v3(const char* data, std::size_t len,
+                            const ChunkMeta& chunk, ColumnScratch& scratch,
+                            ColumnMask mask) {
+  // The v3 decode chokepoint shared by the serial, parallel and mmap
+  // scan paths — counters are work-proportional, identical at any
+  // --jobs value.
+  OBS_SPAN("v3.decode_chunk");
+  OBS_COUNTER_ADD("v3.chunks_decoded", 1);
+  OBS_COUNTER_ADD("v3.events_decoded", chunk.events);
+  OBS_COUNTER_ADD("v3.bytes_decoded", len);
+  wire::ByteReader r{data, data + len};
+  if (r.u8() != wire::kChunkTag) {
+    throw std::runtime_error("corrupt v3 trace: expected chunk tag");
+  }
+  auto count = r.varint();
+  if (count != chunk.events) {
+    throw std::runtime_error("corrupt v3 trace: chunk count mismatch");
+  }
+  if (count > kMaxChunkEvents) {
+    throw std::runtime_error("corrupt v3 trace: absurd chunk event count");
+  }
+  for (int col = 0; col < kNumCols; ++col) {
+    ColHeader h;
+    auto enc = r.u8();
+    h.rle = (enc & kRleFlag) != 0;
+    h.enc = enc & static_cast<std::uint8_t>(~kRleFlag);
+    h.enc_len = r.varint();
+    h.raw_len = h.rle ? r.varint() : h.enc_len;
+    check_col_header(col, h, count);
+    const char* payload = r.bytes(static_cast<std::size_t>(h.enc_len));
+    if (mask & kColBit[col]) decode_column(col, h, payload, count, scratch);
+  }
+  if (r.p != r.end) {
+    throw std::runtime_error("corrupt v3 trace: chunk length mismatch");
+  }
+  return batch_from_scratch(scratch, mask, count);
+}
+
+ColumnBatch read_chunk_v3(std::istream& in, const ChunkMeta& chunk,
+                          std::uint64_t byte_len, std::vector<char>& raw,
+                          ColumnScratch& scratch, ColumnMask mask) {
+  in.clear();
+  in.seekg(static_cast<std::streamoff>(chunk.offset));
+  raw.resize(byte_len);
+  in.read(raw.data(), static_cast<std::streamsize>(byte_len));
+  if (static_cast<std::uint64_t>(in.gcount()) != byte_len) {
+    throw std::runtime_error("truncated v3 trace (chunk body)");
+  }
+  return decode_chunk_v3(raw.data(), static_cast<std::size_t>(byte_len),
+                         chunk, scratch, mask);
+}
+
+TraceMeta stream_binary_v3(std::istream& in, const EventVisitor& visit) {
+  TraceMeta meta =
+      wire::get_header(in, wire::kMagicV3, "v3 binary ipm-io trace");
+  ColumnScratch scratch;
+  std::vector<char> payload;
+  std::uint64_t parsed = 0;
+  for (;;) {
+    auto record_start = static_cast<std::uint64_t>(in.tellg());
+    auto tag = wire::get<std::uint8_t>(in);
+    if (tag == wire::kChunkTag) {
+      auto count = wire::get_varint(in);
+      if (count > kMaxChunkEvents) {
+        throw std::runtime_error("corrupt v3 trace: absurd chunk event count");
+      }
+      for (int col = 0; col < kNumCols; ++col) {
+        ColHeader h;
+        auto enc = wire::get<std::uint8_t>(in);
+        h.rle = (enc & kRleFlag) != 0;
+        h.enc = enc & static_cast<std::uint8_t>(~kRleFlag);
+        h.enc_len = wire::get_varint(in);
+        h.raw_len = h.rle ? wire::get_varint(in) : h.enc_len;
+        check_col_header(col, h, count);
+        payload.resize(static_cast<std::size_t>(h.enc_len));
+        in.read(payload.data(), static_cast<std::streamsize>(h.enc_len));
+        if (static_cast<std::uint64_t>(in.gcount()) != h.enc_len) {
+          throw std::runtime_error("truncated v3 trace (column stream)");
+        }
+        decode_column(col, h, payload.data(), count, scratch);
+      }
+      ColumnBatch batch = batch_from_scratch(scratch, kColAll, count);
+      for (std::size_t i = 0; i < batch.size(); ++i) visit(batch.event_at(i));
+      parsed += count;
+      continue;
+    }
+    if (tag != wire::kFooterTag) {
+      throw std::runtime_error("corrupt v3 trace: bad chunk tag");
+    }
+    auto [chunks, total] = wire::get_footer(in);
+    if (parsed != total) {
+      throw std::runtime_error(
+          "truncated v3 trace: chunk events disagree with footer");
+    }
+    meta.declared_events = total;
+    // The trailer must be present and intact even on a sequential read
+    // — it is what distinguishes a complete file from one cut off
+    // exactly at a chunk boundary. Its footer pointer must also agree
+    // with where the footer was actually found, so a trailer patched
+    // to point past EOF (or anywhere else) is rejected on every path,
+    // not just the seeking one.
+    if (wire::get<std::uint64_t>(in) != record_start) {
+      throw std::runtime_error("corrupt v3 trace: footer offset out of bounds");
+    }
+    wire::check_magic(in, wire::kTrailerV3, "complete v3 trace trailer");
+    return meta;
+  }
+}
+
+}  // namespace eio::ipm

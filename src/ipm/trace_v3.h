@@ -1,0 +1,132 @@
+// Binary trace format v3: columnar chunks, per-column compression,
+// zero-copy decode.
+//
+// v3 keeps v2's container shape — "IPMIOB3\n" header, tagged chunks,
+// footer index of ChunkMeta records, 16-byte trailer ("IPM3IDX\n") —
+// but stores each chunk as eight per-column streams instead of
+// interleaved event records:
+//
+//   chunk   := 0x01 varint(count) column*8
+//   column  := u8 enc varint(enc_len) [varint(raw_len)] payload
+//
+// Column order is fixed (start, duration, op, rank, file, offset,
+// bytes, phase) and matches event order within each stream. The low
+// seven bits of `enc` pick the base encoding — raw little-endian f64
+// for the two time columns (bit-exact, memcpy-decodable), plain LEB128
+// varint for op codes, and wraparound-safe delta+zigzag varint for the
+// monotonic-ish integer columns (rank, file, offset, bytes, and
+// zigzagged phase). Bit 0x80 flags an optional per-column byte-RLE
+// compression pass, applied by the writer only when it shrinks the
+// payload; raw_len (the decompressed size) is present exactly when
+// that flag is set. Every encoding is exact: a v2→v3→v2 round trip
+// reproduces the original file byte for byte.
+//
+// The explicit length prefix on every column is what buys selective
+// decode: a reader hands decode_chunk_v3 a ColumnMask and unneeded
+// columns are skipped in O(1), so a summary scan touching op + bytes +
+// duration never parses ranks, files, offsets or phases. Combined with
+// the mmap path (see mapped_file.h) a v3 scan decodes columns straight
+// from the page cache with no read() syscalls and no staging copies.
+//
+// Error contract matches v2: truncated or corrupt input — short column
+// stream, bad compression header, footer past EOF, wrong trailer —
+// always throws std::runtime_error, never crashes or yields a partial
+// batch.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ipm/columns.h"
+#include "ipm/sink.h"
+#include "ipm/trace_stream.h"
+
+namespace eio::ipm {
+
+/// Streaming v3 writer; usable directly as a capture sink (same
+/// contract as TraceWriterV2). The default chunk size matches v2's so
+/// the two formats produce identical chunk boundaries — which keeps
+/// chunk-partial analysis (per-chunk reservoir substreams, hint
+/// admission) byte-identical across formats.
+class TraceWriterV3 final : public EventSink {
+ public:
+  struct Options {
+    std::size_t chunk_events = 4096;  ///< events buffered per chunk
+    bool compress = true;  ///< RLE columns when it shrinks the payload
+  };
+
+  TraceWriterV3(std::ostream& out, std::string experiment,
+                std::uint32_t ranks);
+  TraceWriterV3(std::ostream& out, std::string experiment,
+                std::uint32_t ranks, Options options);
+  ~TraceWriterV3() override;
+
+  TraceWriterV3(const TraceWriterV3&) = delete;
+  TraceWriterV3& operator=(const TraceWriterV3&) = delete;
+
+  void add(const TraceEvent& event);
+  void on_event(const TraceEvent& event) override { add(event); }
+
+  /// Flush the trailing chunk and write the footer index + trailer.
+  /// Idempotent; called by the destructor if the caller forgot, but
+  /// explicit calls are preferred (destructors swallow I/O errors).
+  void finish() override;
+
+  [[nodiscard]] std::uint64_t events_written() const noexcept {
+    return total_events_;
+  }
+
+ private:
+  void flush_chunk();
+  void write_column(std::uint8_t base_enc);
+
+  std::ostream* out_;
+  Options options_;
+  std::vector<TraceEvent> buffer_;
+  std::vector<ChunkMeta> chunks_;
+  std::vector<char> col_buf_;  ///< plain column payload being built
+  std::vector<char> rle_buf_;  ///< RLE candidate for the same payload
+  std::uint64_t total_events_ = 0;
+  bool finished_ = false;
+};
+
+/// Read the footer index of a v3 trace from a seekable stream.
+/// Validates trailer magic, footer bounds and chunk-offset monotonicity
+/// exactly like read_index_v2.
+[[nodiscard]] TraceIndex read_index_v3(std::istream& in);
+
+/// Sequential reader: visit every event in stored order (decodes each
+/// chunk's columns, then re-rows them). Validates the footer totals and
+/// trailer, so a file cut at a chunk boundary still throws.
+TraceMeta stream_binary_v3(std::istream& in, const EventVisitor& visit);
+
+/// Decode one v3 chunk from an in-memory image (a mapped file region
+/// or a sized read). `data` must span exactly the chunk record —
+/// tag byte through last column payload (see chunk_byte_length); the
+/// decode must consume every byte or it throws. Only the masked
+/// columns are materialized (into `scratch`); the rest are skipped via
+/// their length prefixes. The returned spans alias `scratch` and stay
+/// valid until the next decode into it.
+ColumnBatch decode_chunk_v3(const char* data, std::size_t len,
+                            const ChunkMeta& chunk, ColumnScratch& scratch,
+                            ColumnMask mask = kColAll);
+
+/// Stream-fallback chunk decode: seek to chunk.offset, pull byte_len
+/// bytes into `raw`, then decode_chunk_v3 from memory. Mirrors
+/// read_chunk_v2 for platforms (or callers) without an mmap.
+ColumnBatch read_chunk_v3(std::istream& in, const ChunkMeta& chunk,
+                          std::uint64_t byte_len, std::vector<char>& raw,
+                          ColumnScratch& scratch, ColumnMask mask = kColAll);
+
+/// The per-column byte-RLE codec (exposed for tests). Control byte
+/// c in [0,127]: the next c+1 bytes are literals; c in [128,255]: the
+/// next byte repeats c-125 (= 3..130) times. Decompression must yield
+/// exactly raw_len bytes and consume all of src, else it throws.
+void rle_compress(std::span<const char> src, std::vector<char>& out);
+void rle_decompress(std::span<const char> src, std::size_t raw_len,
+                    std::vector<char>& out);
+
+}  // namespace eio::ipm

@@ -193,6 +193,60 @@ TEST_F(EiotraceTest, ConvertRoundTripsThroughBinary) {
   std::remove(bin.c_str());
 }
 
+TEST_F(EiotraceTest, ConvertFormatFlagRoundTripsThroughV3) {
+  std::string v3 = ::testing::TempDir() + "/eiotrace_test.v3";
+  std::string back = ::testing::TempDir() + "/eiotrace_test_back.tsv";
+  auto [rc, out, err] = run({"convert", path_, v3, "--format=v3"});
+  EXPECT_EQ(rc, 0) << err;
+
+  // The v3 file is analyzable, serially and in parallel.
+  auto [rc2, out2, err2] = run({"summary", v3});
+  EXPECT_EQ(rc2, 0) << err2;
+  auto [rc3, out3, err3] = run({"summary", v3, "--jobs=4"});
+  EXPECT_EQ(rc3, 0) << err3;
+  EXPECT_EQ(out3, out2);  // parallel scan is byte-identical
+
+  // And converts back to TSV with the same analysis output.
+  auto [rc4, out4, err4] = run({"convert", v3, back, "--format=tsv"});
+  EXPECT_EQ(rc4, 0) << err4;
+  auto [rc5, out5, err5] = run({"summary", back});
+  EXPECT_EQ(rc5, 0);
+  EXPECT_EQ(out5, out2);
+  std::remove(v3.c_str());
+  std::remove(back.c_str());
+}
+
+TEST_F(EiotraceTest, ConvertToSameFormatIsACheckedByteCopy) {
+  std::string v3 = ::testing::TempDir() + "/eiotrace_test_noop.v3";
+  std::string copy = ::testing::TempDir() + "/eiotrace_test_noop_copy.v3";
+  auto [rc, out, err] = run({"convert", path_, v3, "--format=v3"});
+  ASSERT_EQ(rc, 0) << err;
+
+  auto [rc2, out2, err2] = run({"convert", v3, copy, "--format=v3"});
+  EXPECT_EQ(rc2, 0) << err2;
+  // The no-op path says what it did — validated, then copied — rather
+  // than silently re-encoding.
+  EXPECT_NE(out2.find("already v3"), std::string::npos) << out2;
+  EXPECT_NE(out2.find("byte-for-byte"), std::string::npos) << out2;
+
+  std::ifstream a(v3, std::ios::binary), b(copy, std::ios::binary);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+  std::remove(v3.c_str());
+  std::remove(copy.c_str());
+}
+
+TEST_F(EiotraceTest, ConvertRejectsConflictingAndUnknownFormats) {
+  std::string out_path = ::testing::TempDir() + "/eiotrace_test_bad.bin";
+  auto [rc, out, err] = run({"convert", path_, out_path, "--format=v9"});
+  EXPECT_NE(rc, 0);
+  auto [rc2, out2, err2] =
+      run({"convert", path_, out_path, "--format=v3", "--tsv"});
+  EXPECT_NE(rc2, 0);
+}
+
 TEST_F(EiotraceTest, SimulateRunsAnEnsembleWithoutATraceFile) {
   auto [rc, out, err] = run({"simulate", "--runs=2", "--jobs=2", "--tasks=16",
                              "--block-mib=16", "--segments=1"});

@@ -88,6 +88,19 @@ std::string write_v2_chunked(const ipm::Trace& t, std::size_t chunk_events,
   return path;
 }
 
+/// v3 twin of write_v2_chunked: same trace, same chunk boundaries,
+/// columnar encoding.
+std::string write_v3_chunked(const ipm::Trace& t, std::size_t chunk_events,
+                             const std::string& tag) {
+  std::string path = ::testing::TempDir() + "/eio_pscan_" + tag + "_v3.bin";
+  std::ofstream out(path, std::ios::binary);
+  ipm::TraceWriterV3 writer(out, t.experiment(), t.ranks(),
+                            {.chunk_events = chunk_events});
+  for (const ipm::TraceEvent& e : t.events()) writer.add(e);
+  writer.finish();
+  return path;
+}
+
 /// A synthetic trace whose event start times increase monotonically,
 /// so consecutive chunks cover disjoint time ranges — the shape that
 /// makes time-window chunk skipping observable.
@@ -379,6 +392,143 @@ TEST(ParallelScanTest, BatchDispatchConcatenatesToEventOrder) {
   });
   EXPECT_EQ(batches, 1u);
   EXPECT_EQ(total, t.size());
+  std::remove(path.c_str());
+}
+
+TEST(ParallelScanTest, V3ScanMatchesV2ScanExactly) {
+  // Same trace, same chunk boundaries, different encodings: every
+  // analysis must come out byte-identical across the format seam (the
+  // per-chunk reservoir substreams line up because chunking does).
+  for (const ipm::Trace& t : seed_traces()) {
+    const std::string v2 = write_v2_chunked(t, 64, t.experiment() + "_x");
+    const std::string v3 = write_v3_chunked(t, 64, t.experiment() + "_x");
+    ipm::ParallelTraceScanner s2(v2, {.jobs = 4});
+    ipm::ParallelTraceScanner s3(v3, {.jobs = 4});
+    EXPECT_EQ(s2.format(), ipm::TraceFormat::kBinaryV2);
+    EXPECT_EQ(s3.format(), ipm::TraceFormat::kBinaryV3);
+    EXPECT_EQ(s3.zero_copy(), ipm::MappedFile::mmap_supported());
+    ASSERT_EQ(s3.index().chunks.size(), s2.index().chunks.size());
+
+    const EventFilter writes{.op = posix::OpType::kWrite};
+    const stats::StreamingSummary a = scan_summary(s2, writes);
+    const stats::StreamingSummary b = scan_summary(s3, writes);
+    EXPECT_EQ(b.count(), a.count()) << t.experiment();
+    EXPECT_EQ(b.moments().mean, a.moments().mean);
+    EXPECT_EQ(b.moments().variance, a.moments().variance);
+    EXPECT_EQ(b.reservoir().samples(), a.reservoir().samples());
+
+    const auto h2 = scan_histogram(s2, writes, stats::BinScale::kLog10, 40);
+    const auto h3 = scan_histogram(s3, writes, stats::BinScale::kLog10, 40);
+    ASSERT_TRUE(h2.has_value());
+    ASSERT_TRUE(h3.has_value());
+    EXPECT_EQ(h3->counts(), h2->counts());
+    EXPECT_EQ(h3->lo(), h2->lo());
+    EXPECT_EQ(h3->hi(), h2->hi());
+
+    const TimeSeries r2 = scan_rate(s2, writes, 64);
+    const TimeSeries r3 = scan_rate(s3, writes, 64);
+    EXPECT_EQ(r3.values, r2.values) << t.experiment();
+
+    const auto p2 = scan_phase_summaries(s2, {});
+    const auto p3 = scan_phase_summaries(s3, {});
+    ASSERT_EQ(p3.size(), p2.size());
+    for (const auto& [phase, summary] : p2) {
+      auto it = p3.find(phase);
+      ASSERT_NE(it, p3.end()) << t.experiment();
+      EXPECT_EQ(it->second.reservoir().samples(),
+                summary.reservoir().samples());
+    }
+    std::remove(v2.c_str());
+    std::remove(v3.c_str());
+  }
+}
+
+TEST(ParallelScanTest, V3ScanIsByteIdenticalForEveryJobsValue) {
+  const ipm::Trace t = gcrm_trace();
+  const std::string path = write_v3_chunked(t, 64, "jobs_invariance");
+  const EventFilter writes{.op = posix::OpType::kWrite};
+
+  ipm::ParallelTraceScanner reference(path, {.jobs = 1});
+  const stats::StreamingSummary base = scan_summary(reference, writes);
+  for (ipm::ScanOptions opt :
+       {ipm::ScanOptions{.jobs = 2}, ipm::ScanOptions{.jobs = 4},
+        ipm::ScanOptions{.jobs = 4, .merge_window = 2}}) {
+    ipm::ParallelTraceScanner scanner(path, opt);
+    const stats::StreamingSummary s = scan_summary(scanner, writes);
+    EXPECT_EQ(s.count(), base.count());
+    EXPECT_EQ(s.reservoir().samples(), base.reservoir().samples());
+    EXPECT_EQ(s.moments().mean, base.moments().mean);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ParallelScanTest, ScanColumnsAgreesWithRowScan) {
+  const ipm::Trace t = monotonic_trace(1500);
+  for (bool v3 : {false, true}) {
+    const std::string path =
+        v3 ? write_v3_chunked(t, 128, "cols") : write_v2_chunked(t, 128, "cols");
+    ipm::ParallelTraceScanner scanner(path, {.jobs = 4});
+
+    struct Acc {
+      double sum = 0.0;
+      std::uint64_t n = 0;
+    };
+    const Acc rows = scanner.scan(
+        [](std::size_t) { return Acc{}; },
+        [](Acc& a, std::span<const ipm::TraceEvent> events) {
+          for (const ipm::TraceEvent& e : events) {
+            a.sum += e.start;
+            ++a.n;
+          }
+        },
+        [](Acc& a, Acc&& b) {
+          a.sum += b.sum;
+          a.n += b.n;
+        });
+    // The columnar fold reads only the start column — on v3 nothing
+    // else is even decoded — and must fold the identical sequence.
+    const Acc cols = scanner.scan_columns(
+        [](std::size_t) { return Acc{}; },
+        [](Acc& a, const ipm::ColumnBatch& batch) {
+          EXPECT_EQ(batch.start.size(), batch.size());
+          EXPECT_TRUE(batch.rank.empty());  // unmasked: never decoded
+          for (double s : batch.start) {
+            a.sum += s;
+            ++a.n;
+          }
+        },
+        [](Acc& a, Acc&& b) {
+          a.sum += b.sum;
+          a.n += b.n;
+        },
+        nullptr, ipm::kColStart);
+    EXPECT_EQ(cols.n, rows.n) << (v3 ? "v3" : "v2");
+    EXPECT_EQ(cols.sum, rows.sum) << (v3 ? "v3" : "v2");
+    EXPECT_EQ(rows.n, t.size());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ParallelScanTest, ChunkReaderStreamFallbackMatchesMmap) {
+  const ipm::Trace t = monotonic_trace(600);
+  const std::string path = write_v3_chunked(t, 128, "fallback");
+  std::ifstream in(path, std::ios::binary);
+  (void)ipm::sniff_format(in);
+  const ipm::TraceIndex index = ipm::read_index_v3(in);
+
+  const ipm::MappedFile map(path);
+  ipm::ChunkReader mapped(path, ipm::TraceFormat::kBinaryV3, &map);
+  ipm::ChunkReader streamed(path, ipm::TraceFormat::kBinaryV3, nullptr);
+  for (std::size_t c = 0; c < index.chunks.size(); ++c) {
+    const ipm::ColumnBatch a = mapped.read_columns(index, c, ipm::kColAll);
+    std::span<const ipm::TraceEvent> b = streamed.read(index, c);
+    ASSERT_EQ(a.size(), b.size()) << "chunk " << c;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.start[i], b[i].start);
+      EXPECT_EQ(a.bytes[i], b[i].bytes);
+      EXPECT_EQ(a.phase[i], b[i].phase);
+    }
+  }
   std::remove(path.c_str());
 }
 
