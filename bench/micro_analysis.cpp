@@ -14,7 +14,15 @@
 //  * batched: the serial span-per-chunk API (for_each_batch_hinted),
 //    extrema reused from the summary pass, span from the index;
 //  * parallel jN: the same bundle through ParallelTraceScanner with N
-//    worker threads.
+//    worker threads (three scans, one per analysis);
+//  * fused jN / fused_v3 jN: the whole bundle as ONE KernelSet pass —
+//    the scan_kernels path every eiotrace subcommand now uses.
+//
+// Separate kernel_* rows run the statistics kernels on an in-memory
+// value stream (no decode), isolating per-event kernel cost: the
+// historical per-draw Algorithm R reservoir vs the Vitter skip-gap
+// sampler (scalar and batched), and scalar vs batched
+// StreamingHistogram fills.
 //
 // Every row runs in a forked child that reports its own VmHWM through
 // a pipe: fork resets the child's high-water mark to the current RSS,
@@ -30,12 +38,15 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/rng.h"
 #include "core/histogram.h"
 #include "core/parallel_analysis.h"
 #include "core/rate_series.h"
@@ -362,6 +373,137 @@ PathResult run_rank_bytes(const std::string& path, std::size_t events) {
   return r;
 }
 
+/// The fused bundle: summary + histogram + rates folded by ONE
+/// KernelSet pass — the trace is decoded once, filters are evaluated
+/// once per kernel, and no kernel waits on another pass. This is the
+/// row the three-scan `parallel` bundle above is measured against.
+PathResult run_fused(const std::string& path, std::size_t events,
+                     std::size_t jobs) {
+  double t0 = now_seconds();
+  ipm::ParallelTraceScanner scanner(path, {.jobs = jobs});
+  const ipm::ChunkHint hint = analysis::hint_for(kWrites);
+  const double span = scanner.time_span();
+
+  auto fused = scanner.scan_kernels(
+      [&](std::size_t chunk) {
+        return analysis::KernelSet(
+            analysis::SummarySink(kWrites,
+                                  analysis::chunk_summary_options({}, chunk)),
+            analysis::HistogramKernel(
+                kWrites, {.scale = stats::BinScale::kLinear, .bins = 40}),
+            analysis::RateKernel(kWrites, span, 100));
+      },
+      &hint);
+  const stats::StreamingSummary& s = fused.get<0>().summary();
+  if (s.empty()) std::abort();
+
+  PathResult r;
+  r.seconds = now_seconds() - t0;
+  r.events_per_sec = static_cast<double>(events) / r.seconds;
+  r.mean = s.moments().mean;
+  r.median = s.median();
+  if (fused.get<1>().histogram().count() == 0 ||
+      fused.get<2>().series().values.empty()) {
+    std::abort();
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-cost rows: per-event cost of the statistics kernels in
+// isolation (no I/O, no decode), so regressions in the inner loops are
+// visible separately from scan plumbing. events_per_sec here is
+// values/sec through one kernel.
+
+/// The historical Algorithm R update — one uniform draw per element
+/// past capacity — kept as the baseline the skip-gap rows are compared
+/// against.
+struct PerDrawReservoir {
+  std::size_t capacity;
+  rng::Stream rng;
+  std::vector<double> samples;
+  std::uint64_t seen = 0;
+
+  PerDrawReservoir(std::size_t cap, std::uint64_t seed)
+      : capacity(cap), rng(seed) {
+    samples.reserve(cap);
+  }
+  void add(double x) {
+    ++seen;
+    if (samples.size() < capacity) {
+      samples.push_back(x);
+      return;
+    }
+    std::uint64_t j = rng.index(seen);
+    if (j < capacity) samples[static_cast<std::size_t>(j)] = x;
+  }
+};
+
+std::vector<double> kernel_input(std::size_t n) {
+  std::vector<double> xs(n);
+  std::uint64_t state = 0x243F6A8885A308D3ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    xs[i] = 1e-3 + static_cast<double>(state >> 11) / 9007199254740992.0;
+  }
+  return xs;
+}
+
+template <typename Fn>
+PathResult run_kernel(std::size_t n, const Fn& fn) {
+  const std::vector<double> xs = kernel_input(n);
+  double t0 = now_seconds();
+  double checksum = fn(xs);
+  PathResult r;
+  r.seconds = now_seconds() - t0;
+  r.events_per_sec = static_cast<double>(n) / r.seconds;
+  r.mean = checksum;
+  r.median = checksum;
+  return r;
+}
+
+PathResult run_kernel_reservoir_per_draw(std::size_t n) {
+  return run_kernel(n, [](std::span<const double> xs) {
+    PerDrawReservoir r(1024, 42);
+    for (double x : xs) r.add(x);
+    return r.samples[0];
+  });
+}
+
+PathResult run_kernel_reservoir_skip_gap(std::size_t n) {
+  return run_kernel(n, [](std::span<const double> xs) {
+    stats::ReservoirSampler r(1024, 42);
+    for (double x : xs) r.add(x);
+    return r.samples()[0];
+  });
+}
+
+PathResult run_kernel_reservoir_skip_gap_batch(std::size_t n) {
+  return run_kernel(n, [](std::span<const double> xs) {
+    stats::ReservoirSampler r(1024, 42);
+    r.absorb(xs);
+    return r.samples()[0];
+  });
+}
+
+PathResult run_kernel_hist_fill_scalar(std::size_t n) {
+  return run_kernel(n, [n](std::span<const double> xs) {
+    stats::StreamingHistogram h(
+        {.scale = stats::BinScale::kLinear, .bins = 40, .exact_capacity = n});
+    for (double x : xs) h.add(x);
+    return static_cast<double>(h.count());
+  });
+}
+
+PathResult run_kernel_hist_fill_batched(std::size_t n) {
+  return run_kernel(n, [n](std::span<const double> xs) {
+    stats::StreamingHistogram h(
+        {.scale = stats::BinScale::kLinear, .bins = 40, .exact_capacity = n});
+    h.add_batch(xs);
+    return static_cast<double>(h.count());
+  });
+}
+
 /// The same three-pass bundle through the chunk-parallel scanner.
 PathResult run_parallel(const std::string& path, std::size_t events,
                         std::size_t jobs) {
@@ -415,9 +557,20 @@ void check_against_reference(const char* path_name, const PathResult& r,
 
 int main(int argc, char** argv) {
   eio::bench::ObsFlags obs = eio::bench::obs_flags(argc, argv);
-  const std::size_t base = 200'000;
-  const std::vector<std::size_t> sizes{base, 4 * base};
-  const std::vector<std::size_t> job_counts{1, 2, 4, 8};
+  // --quick: one small size, fewer job counts, small kernel inputs —
+  // the CI smoke configuration (same rows, minutes less runtime).
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const std::size_t base = quick ? 50'000 : 200'000;
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{base}
+            : std::vector<std::size_t>{base, 4 * base};
+  const std::vector<std::size_t> job_counts =
+      quick ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+  const std::size_t kernel_n = quick ? 200'000 : 4'000'000;
 
   std::printf("micro_analysis: analysis-path throughput and memory\n");
   std::printf("%10s %14s %16s %14s\n", "events", "path", "events/sec",
@@ -492,9 +645,47 @@ int main(int argc, char** argv) {
       std::string name_v3 = "parallel_v3_j" + std::to_string(jobs);
       check_against_reference(name_v3.c_str(), parallel_v3, materialized);
       emit(events, std::move(name_v3), parallel_v3, jobs);
+
+      PathResult fused = measure([&] { return run_fused(path, events, jobs); });
+      std::string fused_name = "fused_j" + std::to_string(jobs);
+      check_against_reference(fused_name.c_str(), fused, materialized);
+      emit(events, std::move(fused_name), fused, jobs);
+
+      PathResult fused_v3 =
+          measure([&] { return run_fused(path_v3, events, jobs); });
+      std::string fused_v3_name = "fused_v3_j" + std::to_string(jobs);
+      check_against_reference(fused_v3_name.c_str(), fused_v3, materialized);
+      emit(events, std::move(fused_v3_name), fused_v3, jobs);
     }
     std::remove(path.c_str());
     std::remove(path_v3.c_str());
+  }
+
+  // Kernel-in-isolation rows (per-event cost, no I/O). The two
+  // reservoir rows sharing one seed must agree exactly; so must the
+  // two histogram fills.
+  PathResult res_per_draw =
+      measure([&] { return run_kernel_reservoir_per_draw(kernel_n); });
+  emit(kernel_n, "kernel_reservoir_per_draw", res_per_draw);
+  PathResult res_skip =
+      measure([&] { return run_kernel_reservoir_skip_gap(kernel_n); });
+  emit(kernel_n, "kernel_reservoir_skip_gap", res_skip);
+  PathResult res_skip_batch =
+      measure([&] { return run_kernel_reservoir_skip_gap_batch(kernel_n); });
+  emit(kernel_n, "kernel_reservoir_skip_gap_batch", res_skip_batch);
+  if (res_skip.mean != res_skip_batch.mean) {
+    std::fprintf(stderr, "skip-gap scalar/batch reservoirs disagree\n");
+    return 1;
+  }
+  PathResult hist_scalar =
+      measure([&] { return run_kernel_hist_fill_scalar(kernel_n); });
+  emit(kernel_n, "kernel_hist_fill_scalar", hist_scalar);
+  PathResult hist_batched =
+      measure([&] { return run_kernel_hist_fill_batched(kernel_n); });
+  emit(kernel_n, "kernel_hist_fill_batched", hist_batched);
+  if (hist_scalar.mean != hist_batched.mean) {
+    std::fprintf(stderr, "histogram scalar/batch fills disagree\n");
+    return 1;
   }
 
   utsname uts{};
@@ -510,7 +701,10 @@ int main(int argc, char** argv) {
           "batched/batched_v3 run the full summary+histogram+rates "
           "bundle (per-event statistics dominate both), while "
           "rank_bytes/rank_bytes_v3 run a two-column selective pass "
-          "where the decode cost itself is the workload\",\n"
+          "where the decode cost itself is the workload; parallel rows "
+          "run the bundle as three scans, fused rows as one KernelSet "
+          "scan; kernel_* rows time the statistics kernels alone on an "
+          "in-memory stream with no decode\",\n"
        << "  \"hardware_concurrency\": " << cores << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];

@@ -12,6 +12,7 @@
 #include "core/ks.h"
 #include "core/modes.h"
 #include "core/order_stats.h"
+#include "core/streaming.h"
 #include "ipm/profile.h"
 
 namespace {
@@ -84,6 +85,100 @@ void BM_ExpectedMax(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExpectedMax);
+
+// ---------------------------------------------------------------------------
+// Reservoir sampling: the per-event cost the skip-gap refactor exists
+// to remove. BM_ReservoirPerDraw re-implements the historical Algorithm
+// R inner loop (one uniform draw per event past capacity) as the
+// baseline; the SkipGap pair measures the shipping Algorithm X kernel
+// through both the per-event and the batched entry point.
+
+/// The pre-skip-gap per-event update: one rng draw for every element
+/// past capacity. Kept here (not in src/) purely as a measurement
+/// baseline.
+struct PerDrawReservoir {
+  std::size_t capacity;
+  rng::Stream rng;
+  std::vector<double> samples;
+  std::uint64_t seen = 0;
+
+  PerDrawReservoir(std::size_t cap, std::uint64_t seed)
+      : capacity(cap), rng(seed) {
+    samples.reserve(cap);
+  }
+  void add(double x) {
+    ++seen;
+    if (samples.size() < capacity) {
+      samples.push_back(x);
+      return;
+    }
+    std::uint64_t j = rng.index(seen);
+    if (j < capacity) samples[static_cast<std::size_t>(j)] = x;
+  }
+};
+
+void BM_ReservoirPerDraw(benchmark::State& state) {
+  auto samples = lognormal_sample(static_cast<std::size_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    PerDrawReservoir r(1024, 42);
+    for (double x : samples) r.add(x);
+    benchmark::DoNotOptimize(r.samples.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReservoirPerDraw)->Arg(65536)->Arg(1 << 20);
+
+void BM_ReservoirSkipGap(benchmark::State& state) {
+  auto samples = lognormal_sample(static_cast<std::size_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    stats::ReservoirSampler r(1024, 42);
+    for (double x : samples) r.add(x);
+    benchmark::DoNotOptimize(r.samples().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReservoirSkipGap)->Arg(65536)->Arg(1 << 20);
+
+void BM_ReservoirSkipGapBatch(benchmark::State& state) {
+  auto samples = lognormal_sample(static_cast<std::size_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    stats::ReservoirSampler r(1024, 42);
+    r.absorb(samples);
+    benchmark::DoNotOptimize(r.samples().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReservoirSkipGapBatch)->Arg(65536)->Arg(1 << 20);
+
+// StreamingHistogram fill: scalar add() vs add_batch() over a dense
+// span (the columnar path), both staying in exact mode so the work
+// measured is the fill itself.
+
+void BM_StreamingHistogramAddScalar(benchmark::State& state) {
+  auto samples = lognormal_sample(static_cast<std::size_t>(state.range(0)), 9);
+  for (auto _ : state) {
+    stats::StreamingHistogram h(
+        {.scale = stats::BinScale::kLog10, .bins = 64,
+         .exact_capacity = samples.size()});
+    for (double x : samples) h.add(x);
+    benchmark::DoNotOptimize(h.count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StreamingHistogramAddScalar)->Arg(65536);
+
+void BM_StreamingHistogramAddBatch(benchmark::State& state) {
+  auto samples = lognormal_sample(static_cast<std::size_t>(state.range(0)), 9);
+  for (auto _ : state) {
+    stats::StreamingHistogram h(
+        {.scale = stats::BinScale::kLog10, .bins = 64,
+         .exact_capacity = samples.size()});
+    h.add_batch(samples);
+    benchmark::DoNotOptimize(h.count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StreamingHistogramAddBatch)->Arg(65536);
 
 }  // namespace
 

@@ -92,6 +92,12 @@ constexpr OptionSpec kRatesSpecs[] = {
     {"bins", OptKind::kSize, "100", "time-axis bins"},
 };
 
+constexpr OptionSpec kAnalyzeSpecs[] = {
+    {"log", OptKind::kFlag, "", "log10 duration axis for the histogram"},
+    {"bins", OptKind::kSize, "40", "histogram bins"},
+    {"rate-bins", OptKind::kSize, "100", "rate time-axis bins"},
+};
+
 constexpr OptionSpec kDiagramSpecs[] = {
     {"rows", OptKind::kSize, "24", "raster rows (ranks collapse to fit)"},
     {"cols", OptKind::kSize, "72", "raster columns"},
@@ -284,22 +290,63 @@ std::optional<ipm::ParallelTraceScanner> scanner_for(
                                    {.jobs = args.get_size("jobs", 0)});
 }
 
-/// Serial fallback: fold a sink over the source's columnar hinted pass
-/// (one virtual call per chunk, not per event). The sink names the
-/// columns it reads, so a v3 source decodes only those; row-oriented
-/// sources shred into the same spans.
-template <typename Sink>
-void fold_columns(const ipm::TraceSource& source,
-                  const analysis::EventFilter& filter, Sink& sink) {
-  source.for_each_columns_hinted(
-      analysis::hint_for(filter), sink.required_columns(),
-      [&sink](const ipm::ColumnBatch& batch) { sink.on_columns(batch); });
-}
-
 // Every subcommand consumes a TraceSource: the trace file is streamed
 // per analysis pass, never materialized, so peak memory is independent
 // of the event count (except where noted: diagnose/patterns need
 // random access and materialize internally).
+//
+// Each analysis subcommand builds a kernel (or KernelSet) factory and
+// hands it to analysis::run_kernels: exactly ONE trace scan per
+// invocation — chunk-parallel on indexed (v2/v3) files, one serial
+// columnar pass otherwise — no matter how many statistics it fuses.
+
+// Shared table/chart renderers, so the standalone subcommands and the
+// fused `analyze` bundle print identical sections.
+
+void print_summary_header(std::ostream& out) {
+  out << "  op       count   median(s)     mean(s)      p95(s)      max(s)\n";
+}
+
+void print_summary_row(std::ostream& out, posix::OpType op,
+                       const stats::StreamingSummary& s) {
+  if (s.empty()) return;
+  char line[160];
+  std::snprintf(line, sizeof line, "  %-6s %7zu %11.4f %11.4f %11.4f %11.4f\n",
+                posix::op_name(op), s.count(), s.median(), s.moments().mean,
+                s.quantile(0.95), s.max());
+  out << line;
+}
+
+void print_phase_table(
+    std::ostream& out,
+    const std::map<std::int32_t, stats::StreamingSummary>& by_phase) {
+  out << "  phase     events   median(s)      p95(s)      max(s)\n";
+  for (const auto& [phase, s] : by_phase) {
+    char line[120];
+    std::snprintf(line, sizeof line, "  %6d %9zu %11.4f %11.4f %11.4f\n",
+                  phase, s.count(), s.median(), s.quantile(0.95), s.max());
+    out << line;
+  }
+}
+
+void print_histogram_chart(std::ostream& out, const stats::Histogram& h,
+                           bool log) {
+  out << analysis::render_histogram(
+      h, {.width = 72, .height = 12, .log_y = log,
+          .x_label = log ? "seconds (log)" : "seconds", .y_label = "count"});
+}
+
+void print_rate_chart(std::ostream& out, const analysis::TimeSeries& series) {
+  analysis::Series line{"rate", {}, {}};
+  for (std::size_t i = 0; i < series.values.size(); ++i) {
+    line.x.push_back(series.time_at(i));
+    line.y.push_back(series.values[i] / static_cast<double>(MiB));
+  }
+  out << analysis::render_lines(
+      std::vector<analysis::Series>{line},
+      {.width = 72, .height = 12, .x_label = "seconds",
+       .y_label = "aggregate MiB/s"});
+}
 
 int cmd_report(const ipm::TraceSource& source, const Parsed&, std::ostream& out,
                std::ostream&) {
@@ -310,27 +357,26 @@ int cmd_report(const ipm::TraceSource& source, const Parsed&, std::ostream& out,
 int cmd_summary(const ipm::TraceSource& source, const Parsed& args,
                 std::ostream& out, std::ostream& err) {
   analysis::EventFilter base = filter_from(args, err);
+  analysis::EventFilter wf = base, rf = base;
+  wf.op = posix::OpType::kWrite;
+  rf.op = posix::OpType::kRead;
   auto scanner = scanner_for(source, args);
-  out << "  op       count   median(s)     mean(s)      p95(s)      max(s)\n";
-  for (posix::OpType op : {posix::OpType::kWrite, posix::OpType::kRead}) {
-    analysis::EventFilter f = base;
-    f.op = op;
-    stats::StreamingSummary s;
-    if (scanner) {
-      s = analysis::scan_summary(*scanner, f);
-    } else {
-      analysis::SummarySink sink(f);
-      fold_columns(source, f, sink);
-      s = sink.summary();
-    }
-    if (s.empty()) continue;
-    char line[160];
-    std::snprintf(line, sizeof line,
-                  "  %-6s %7zu %11.4f %11.4f %11.4f %11.4f\n",
-                  posix::op_name(op), s.count(), s.median(), s.moments().mean,
-                  s.quantile(0.95), s.max());
-    out << line;
-  }
+  // One fused scan feeds both per-op summaries; the hint union still
+  // skips chunks containing neither op. Per-chunk substream seeds keep
+  // the result identical to the former scan-per-op output (a chunk
+  // without, say, writes folds an empty write partial, and empty
+  // partials merge as no-ops).
+  const ipm::ChunkHint hint =
+      ipm::ChunkHint::union_of(analysis::hint_for(wf), analysis::hint_for(rf));
+  auto merged =
+      analysis::run_kernels(source, scanner, hint, [&](std::size_t chunk) {
+        stats::SummaryOptions opts = analysis::chunk_summary_options({}, chunk);
+        return analysis::KernelSet(analysis::SummarySink(wf, opts),
+                                   analysis::SummarySink(rf, opts));
+      });
+  print_summary_header(out);
+  print_summary_row(out, posix::OpType::kWrite, merged.get<0>().summary());
+  print_summary_row(out, posix::OpType::kRead, merged.get<1>().summary());
   return 0;
 }
 
@@ -340,54 +386,35 @@ int cmd_histogram(const ipm::TraceSource& source, const Parsed& args,
   bool log = args.has("log");
   auto bins = args.get_size("bins", 40);
   stats::BinScale scale = log ? stats::BinScale::kLog10 : stats::BinScale::kLinear;
-  std::optional<stats::Histogram> h;
-  if (auto scanner = scanner_for(source, args)) {
-    h = analysis::scan_histogram(*scanner, filter, scale, bins);
-  } else {
-    // Two streaming passes: extrema, then binning — the same bins
-    // Histogram::from_samples would produce from the materialized
-    // vector.
-    double lo = 0.0, hi = 0.0;
-    std::uint64_t matched = 0;
-    analysis::for_each_matching(source, filter, [&](const ipm::TraceEvent& e) {
-      if (matched == 0) {
-        lo = hi = e.duration;
-      } else {
-        lo = std::min(lo, e.duration);
-        hi = std::max(hi, e.duration);
-      }
-      ++matched;
-    });
-    if (matched > 0) {
-      stats::Histogram::Range range =
-          stats::Histogram::padded_range(lo, hi, scale);
-      h.emplace(scale, range.lo, range.hi, bins);
-      analysis::for_each_matching(
-          source, filter,
-          [&h](const ipm::TraceEvent& e) { h->add(e.duration); });
-    }
-  }
+  auto scanner = scanner_for(source, args);
+  const ipm::ChunkHint hint = analysis::hint_for(filter);
+  // ONE scan: StreamingHistogram folds range discovery and filling
+  // together (bit-identical to the historical extrema+fill double scan
+  // while the matched count fits its exact buffer).
+  auto merged =
+      analysis::run_kernels(source, scanner, hint, [&](std::size_t) {
+        return analysis::HistogramKernel(filter, {.scale = scale, .bins = bins});
+      });
+  std::optional<stats::Histogram> h = merged.histogram().materialize();
   if (!h) {
     err << "eiotrace: no events match the filter\n";
     return 2;
   }
-  out << analysis::render_histogram(
-      *h, {.width = 72, .height = 12, .log_y = log,
-           .x_label = log ? "seconds (log)" : "seconds", .y_label = "count"});
+  print_histogram_chart(out, *h, log);
   return 0;
 }
 
 int cmd_modes(const ipm::TraceSource& source, const Parsed& args,
               std::ostream& out, std::ostream& err) {
   analysis::EventFilter filter = filter_from(args, err);
-  stats::StreamingSummary s;
-  if (auto scanner = scanner_for(source, args)) {
-    s = analysis::scan_summary(*scanner, filter);
-  } else {
-    analysis::SummarySink sink(filter);
-    fold_columns(source, filter, sink);
-    s = sink.summary();
-  }
+  auto scanner = scanner_for(source, args);
+  const ipm::ChunkHint hint = analysis::hint_for(filter);
+  auto merged =
+      analysis::run_kernels(source, scanner, hint, [&](std::size_t chunk) {
+        return analysis::SummarySink(filter,
+                                     analysis::chunk_summary_options({}, chunk));
+      });
+  const stats::StreamingSummary& s = merged.summary();
   if (s.empty()) {
     err << "eiotrace: no events match the filter\n";
     return 2;
@@ -420,18 +447,15 @@ int cmd_rates(const ipm::TraceSource& source, const Parsed& args,
   auto bins = args.get_size("bins", 100);
   analysis::EventFilter filter = filter_from(args, err);
   auto scanner = scanner_for(source, args);
-  analysis::TimeSeries series =
-      scanner ? analysis::scan_rate(*scanner, filter, bins)
-              : analysis::aggregate_rate(source, filter, bins);
-  analysis::Series line{"rate", {}, {}};
-  for (std::size_t i = 0; i < series.values.size(); ++i) {
-    line.x.push_back(series.time_at(i));
-    line.y.push_back(series.values[i] / static_cast<double>(MiB));
-  }
-  out << analysis::render_lines(
-      std::vector<analysis::Series>{line},
-      {.width = 72, .height = 12, .x_label = "seconds",
-       .y_label = "aggregate MiB/s"});
+  // Indexed traces answer the span from the chunk index (free); only
+  // non-indexed formats pay a span pass before the single fold scan.
+  const double span = scanner ? scanner->time_span() : source.time_span();
+  const ipm::ChunkHint hint = analysis::hint_for(filter);
+  auto merged =
+      analysis::run_kernels(source, scanner, hint, [&](std::size_t) {
+        return analysis::RateKernel(filter, span, bins);
+      });
+  print_rate_chart(out, merged.series());
   return 0;
 }
 
@@ -472,25 +496,65 @@ int cmd_diagnose(const ipm::TraceSource& source, const Parsed& args,
 int cmd_phases(const ipm::TraceSource& source, const Parsed& args,
                std::ostream& out, std::ostream& err) {
   analysis::EventFilter base = filter_from(args, err);
-  std::map<std::int32_t, stats::StreamingSummary> by_phase;
-  if (auto scanner = scanner_for(source, args)) {
-    by_phase = analysis::scan_phase_summaries(*scanner, base);
-  } else {
-    analysis::PhaseSummarySink sink(base);
-    fold_columns(source, base, sink);
-    by_phase = sink.by_phase();
-  }
+  auto scanner = scanner_for(source, args);
+  const ipm::ChunkHint hint = analysis::hint_for(base);
+  auto merged =
+      analysis::run_kernels(source, scanner, hint, [&](std::size_t chunk) {
+        return analysis::PhaseSummarySink(
+            base, analysis::chunk_summary_options({}, chunk));
+      });
+  const auto& by_phase = merged.by_phase();
   if (by_phase.empty()) {
     err << "eiotrace: no events match the filter\n";
     return 2;
   }
-  out << "  phase     events   median(s)      p95(s)      max(s)\n";
-  for (const auto& [phase, s] : by_phase) {
-    char line[120];
-    std::snprintf(line, sizeof line, "  %6d %9zu %11.4f %11.4f %11.4f\n",
-                  phase, s.count(), s.median(), s.quantile(0.95), s.max());
-    out << line;
+  print_phase_table(out, by_phase);
+  return 0;
+}
+
+int cmd_analyze(const ipm::TraceSource& source, const Parsed& args,
+                std::ostream& out, std::ostream& err) {
+  analysis::EventFilter base = filter_from(args, err);
+  analysis::EventFilter wf = base, rf = base;
+  wf.op = posix::OpType::kWrite;
+  rf.op = posix::OpType::kRead;
+  bool log = args.has("log");
+  auto bins = args.get_size("bins", 40);
+  auto rate_bins = args.get_size("rate-bins", 100);
+  stats::BinScale scale =
+      log ? stats::BinScale::kLog10 : stats::BinScale::kLinear;
+  auto scanner = scanner_for(source, args);
+  const double span = scanner ? scanner->time_span() : source.time_span();
+  // The whole bundle — per-op summaries, per-phase table, duration
+  // histogram, rate series — as ONE KernelSet over ONE scan whose
+  // column mask and chunk hint are the unions of its members'.
+  const ipm::ChunkHint hint = ipm::ChunkHint::union_of(
+      ipm::ChunkHint::union_of(analysis::hint_for(wf), analysis::hint_for(rf)),
+      analysis::hint_for(base));
+  auto merged =
+      analysis::run_kernels(source, scanner, hint, [&](std::size_t chunk) {
+        stats::SummaryOptions opts = analysis::chunk_summary_options({}, chunk);
+        return analysis::KernelSet(
+            analysis::SummarySink(wf, opts), analysis::SummarySink(rf, opts),
+            analysis::PhaseSummarySink(base, opts),
+            analysis::HistogramKernel(base, {.scale = scale, .bins = bins}),
+            analysis::RateKernel(base, span, rate_bins));
+      });
+  std::optional<stats::Histogram> h = merged.get<3>().histogram().materialize();
+  if (!h) {
+    err << "eiotrace: no events match the filter\n";
+    return 2;
   }
+  out << "== summary ==\n";
+  print_summary_header(out);
+  print_summary_row(out, posix::OpType::kWrite, merged.get<0>().summary());
+  print_summary_row(out, posix::OpType::kRead, merged.get<1>().summary());
+  out << "\n== phases ==\n";
+  print_phase_table(out, merged.get<2>().by_phase());
+  out << "\n== histogram ==\n";
+  print_histogram_chart(out, *h, log);
+  out << "\n== rates ==\n";
+  print_rate_chart(out, merged.get<4>().series());
   return 0;
 }
 
@@ -822,6 +886,12 @@ const std::vector<CommandDef>& commands() {
        {}, cmd_report},
       {"summary", "<trace>", "quantile table per op",
        {{"filter", kFilterSpecs}, {"parallelism", kJobsSpecs}}, cmd_summary},
+      {"analyze", "<trace>",
+       "fused one-pass bundle: summary + phases + histogram + rates",
+       {{"analyze", kAnalyzeSpecs},
+        {"filter", kFilterSpecs},
+        {"parallelism", kJobsSpecs}},
+       cmd_analyze},
       {"histogram", "<trace>", "duration histogram",
        {{"histogram", kHistogramSpecs},
         {"filter", kFilterSpecs},
@@ -1002,8 +1072,8 @@ std::string usage_text() {
         "--max-bytes=N\n"
      << "                     --t-lo=S --t-hi=S (wall-clock window, "
         "seconds)\n"
-     << "parallelism: summary/histogram/modes/rates/phases/simulate take "
-        "--jobs=N\n"
+     << "parallelism: summary/analyze/histogram/modes/rates/phases/simulate "
+        "take --jobs=N\n"
      << "             (default: hardware concurrency; indexed v2/v3 traces "
         "scan\n"
      << "             chunk-parallel, other formats stream serially)\n";

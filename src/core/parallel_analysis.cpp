@@ -1,37 +1,27 @@
 #include "core/parallel_analysis.h"
 
-#include <algorithm>
 #include <utility>
 
-#include "common/rng.h"
 #include "ipm/columns.h"
 
 namespace eio::analysis {
 
-// Every scan here folds through the columnar path: v3 traces decode
-// only the masked columns (zero-copy when mapped), v2 traces shred
-// their rows into the same spans. Index order equals event order, so
-// each fold performs the identical FP sequence as the former
-// row-oriented scans — results stay byte-identical across formats,
-// paths, and --jobs values.
+// Every scan here folds through the kernel-set columnar path: v3
+// traces decode only the masked columns (zero-copy when mapped), v2
+// traces shred their rows into the same spans. Index order equals
+// event order, so each fold performs the identical FP sequence as the
+// former row-oriented scans — results stay byte-identical across
+// formats, paths, and --jobs values.
 
 stats::StreamingSummary scan_summary(const ipm::ParallelTraceScanner& scanner,
                                      const EventFilter& filter,
                                      const stats::SummaryOptions& options) {
   const ipm::ChunkHint hint = hint_for(filter);
-  const ipm::ColumnMask mask = filter.required_columns() | ipm::kColDuration;
-  SummarySink merged = scanner.scan_columns(
+  SummarySink merged = scanner.scan_kernels(
       [&](std::size_t chunk) {
-        stats::SummaryOptions per_chunk = options;
-        per_chunk.reservoir_seed =
-            rng::substream_seed(options.reservoir_seed, chunk);
-        return SummarySink(filter, per_chunk);
+        return SummarySink(filter, chunk_summary_options(options, chunk));
       },
-      [](SummarySink& sink, const ipm::ColumnBatch& batch) {
-        sink.on_columns(batch);
-      },
-      [](SummarySink& into, SummarySink&& from) { into.merge(from); }, &hint,
-      mask);
+      &hint);
   return merged.summary();
 }
 
@@ -39,22 +29,11 @@ std::map<std::int32_t, stats::StreamingSummary> scan_phase_summaries(
     const ipm::ParallelTraceScanner& scanner, const EventFilter& filter,
     const stats::SummaryOptions& options) {
   const ipm::ChunkHint hint = hint_for(filter);
-  const ipm::ColumnMask mask =
-      filter.required_columns() | ipm::kColPhase | ipm::kColDuration;
-  PhaseSummarySink merged = scanner.scan_columns(
+  PhaseSummarySink merged = scanner.scan_kernels(
       [&](std::size_t chunk) {
-        stats::SummaryOptions per_chunk = options;
-        per_chunk.reservoir_seed =
-            rng::substream_seed(options.reservoir_seed, chunk);
-        return PhaseSummarySink(filter, per_chunk);
+        return PhaseSummarySink(filter, chunk_summary_options(options, chunk));
       },
-      [](PhaseSummarySink& sink, const ipm::ColumnBatch& batch) {
-        sink.on_columns(batch);
-      },
-      [](PhaseSummarySink& into, PhaseSummarySink&& from) {
-        into.merge(from);
-      },
-      &hint, mask);
+      &hint);
   return merged.by_phase();
 }
 
@@ -62,75 +41,20 @@ std::optional<stats::Histogram> scan_histogram(
     const ipm::ParallelTraceScanner& scanner, const EventFilter& filter,
     stats::BinScale scale, std::size_t bins) {
   const ipm::ChunkHint hint = hint_for(filter);
-  const ipm::ColumnMask mask = filter.required_columns() | ipm::kColDuration;
-  // Pass 1: matched-duration extrema, to reproduce the serial padded
-  // range bit for bit (min/max merge exactly).
-  struct Extent {
-    std::uint64_t n = 0;
-    double lo = 0.0;
-    double hi = 0.0;
-  };
-  Extent extent = scanner.scan_columns(
-      [](std::size_t) { return Extent{}; },
-      [&](Extent& x, const ipm::ColumnBatch& batch) {
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-          if (!filter.matches_at(batch, i)) continue;
-          double d = batch.duration[i];
-          if (x.n == 0) {
-            x.lo = x.hi = d;
-          } else {
-            x.lo = std::min(x.lo, d);
-            x.hi = std::max(x.hi, d);
-          }
-          ++x.n;
-        }
-      },
-      [](Extent& a, Extent&& b) {
-        if (b.n == 0) return;
-        if (a.n == 0) {
-          a = b;
-        } else {
-          a.lo = std::min(a.lo, b.lo);
-          a.hi = std::max(a.hi, b.hi);
-          a.n += b.n;
-        }
-      },
-      &hint, mask);
-  if (extent.n == 0) return std::nullopt;
-
-  // Pass 2: fill fixed bins; bin counts merge exactly.
-  stats::Histogram::Range range =
-      stats::Histogram::padded_range(extent.lo, extent.hi, scale);
-  return scanner.scan_columns(
+  HistogramKernel merged = scanner.scan_kernels(
       [&](std::size_t) {
-        return stats::Histogram(scale, range.lo, range.hi, bins);
+        return HistogramKernel(filter, {.scale = scale, .bins = bins});
       },
-      [&](stats::Histogram& h, const ipm::ColumnBatch& batch) {
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-          if (filter.matches_at(batch, i)) h.add(batch.duration[i]);
-        }
-      },
-      [](stats::Histogram& a, stats::Histogram&& b) { a.merge(b); }, &hint,
-      mask);
+      &hint);
+  return merged.histogram().materialize();
 }
 
 TimeSeries scan_rate(const ipm::ParallelTraceScanner& scanner,
                      const EventFilter& filter, std::size_t bins) {
   const double span = scanner.time_span();
   const ipm::ChunkHint hint = hint_for(filter);
-  const ipm::ColumnMask mask = filter.required_columns() | ipm::kColStart |
-                               ipm::kColDuration | ipm::kColBytes;
-  RateSeriesBuilder merged = scanner.scan_columns(
-      [&](std::size_t) { return RateSeriesBuilder(span, bins); },
-      [&](RateSeriesBuilder& builder, const ipm::ColumnBatch& batch) {
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-          if (filter.matches_at(batch, i)) {
-            builder.add(batch.start[i], batch.duration[i], batch.bytes[i]);
-          }
-        }
-      },
-      [](RateSeriesBuilder& a, RateSeriesBuilder&& b) { a.merge(b); }, &hint,
-      mask);
+  RateKernel merged = scanner.scan_kernels(
+      [&](std::size_t) { return RateKernel(filter, span, bins); }, &hint);
   return merged.series();
 }
 

@@ -79,6 +79,12 @@ ipm::ChunkHint hint_for(const EventFilter& filter) {
   hint.rank = filter.rank;
   hint.t_lo = filter.t_lo;
   hint.t_hi = filter.t_hi;
+  if (!filter.op && filter.data_calls_only) {
+    // No single-op pin, but the filter still rejects everything except
+    // reads and writes — chunks containing neither can be skipped.
+    hint.op_mask = (1u << static_cast<unsigned>(posix::OpType::kRead)) |
+                   (1u << static_cast<unsigned>(posix::OpType::kWrite));
+  }
   return hint;
 }
 
@@ -98,22 +104,41 @@ std::vector<double> durations(const ipm::TraceSource& source,
   return out;
 }
 
-void PhaseSummarySink::on_event(const ipm::TraceEvent& event) {
+void PhaseSummarySink::add(const ipm::TraceEvent& event) {
   if (!filter_.matches(event)) return;
   auto it = by_phase_.try_emplace(event.phase, options_).first;
   it->second.add(event.duration);
 }
 
+void PhaseSummarySink::flush_run(std::int32_t phase) {
+  auto it = by_phase_.try_emplace(phase, options_).first;
+  it->second.add_batch(scratch_);
+  scratch_.clear();
+}
+
+void PhaseSummarySink::add_batch(const ipm::ColumnBatch& batch) {
+  // Traces are phase-runs by construction (each rank's events arrive
+  // phase by phase), so buffering per run turns the per-event map
+  // lookup + interleaved add into one lookup + one dense fold per run.
+  scratch_.clear();
+  std::int32_t run_phase = 0;
+  filter_.for_each_match(batch, [&](std::size_t i) {
+    std::int32_t phase = batch.phase[i];
+    if (!scratch_.empty() && phase != run_phase) flush_run(run_phase);
+    run_phase = phase;
+    scratch_.push_back(batch.duration[i]);
+  });
+  if (!scratch_.empty()) flush_run(run_phase);
+}
+
+void PhaseSummarySink::on_event(const ipm::TraceEvent& event) { add(event); }
+
 void PhaseSummarySink::on_batch(std::span<const ipm::TraceEvent> events) {
-  for (const ipm::TraceEvent& e : events) on_event(e);
+  for (const ipm::TraceEvent& e : events) add(e);
 }
 
 void PhaseSummarySink::on_columns(const ipm::ColumnBatch& batch) {
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (!filter_.matches_at(batch, i)) continue;
-    auto it = by_phase_.try_emplace(batch.phase[i], options_).first;
-    it->second.add(batch.duration[i]);
-  }
+  add_batch(batch);
 }
 
 void PhaseSummarySink::merge(const PhaseSummarySink& other) {

@@ -74,6 +74,52 @@ struct EventFilter {
     if (t_hi && b.start[i] > *t_hi) return false;
     return true;
   }
+
+  /// True when only the op pin / data_calls_only default constrain the
+  /// predicate — the shape every CLI subcommand produces. matches_at
+  /// then reduces to one opcode compare per row.
+  [[nodiscard]] bool op_only() const noexcept {
+    return !phase && !rank && min_bytes == 0 && !max_bytes && !t_lo && !t_hi;
+  }
+
+  /// Visit the index of every matching row of `b`, in row order.
+  /// Dispatches once per batch instead of re-testing the unset
+  /// optional fields on every row: op-only filters (the CLI shape) run
+  /// a single-compare loop, everything else falls back to matches_at
+  /// per row. The visited set and order are exactly those of
+  /// matches_at over 0..size-1, so gathers built either way agree.
+  template <typename Fn>
+  void for_each_match(const ipm::ColumnBatch& b, Fn&& fn) const {
+    using posix::OpType;
+    const std::size_t n = b.size();
+    if (op_only()) {
+      if (op) {
+        // A pin outside read/write contradicts data_calls_only and
+        // matches nothing — same as matches_at row by row.
+        if (data_calls_only && *op != OpType::kRead && *op != OpType::kWrite) {
+          return;
+        }
+        const auto code = static_cast<std::uint8_t>(*op);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (b.op[i] == code) fn(i);
+        }
+        return;
+      }
+      if (data_calls_only) {
+        const auto rd = static_cast<std::uint8_t>(OpType::kRead);
+        const auto wr = static_cast<std::uint8_t>(OpType::kWrite);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (b.op[i] == rd || b.op[i] == wr) fn(i);
+        }
+        return;
+      }
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (matches_at(b, i)) fn(i);
+    }
+  }
 };
 
 /// Matching events (copies), in trace order.
@@ -135,28 +181,36 @@ class SummarySink final : public ipm::EventSink {
   SummarySink(EventFilter filter, const stats::SummaryOptions& options)
       : filter_(std::move(filter)), summary_(options) {}
 
-  void on_event(const ipm::TraceEvent& event) override {
+  /// Kernel entry point: fold one event.
+  void add(const ipm::TraceEvent& event) {
     if (filter_.matches(event)) summary_.add(event.duration);
   }
+
+  /// Kernel entry point: fold a decoded column batch. Gathers the
+  /// matching durations densely, then feeds the summary one dense
+  /// span per sub-kernel — value-identical to add() per row (same
+  /// index-order sequence into every sub-kernel). The batch needs
+  /// required_columns() decoded.
+  void add_batch(const ipm::ColumnBatch& batch) {
+    scratch_.clear();
+    scratch_.reserve(batch.size());
+    filter_.for_each_match(
+        batch, [&](std::size_t i) { scratch_.push_back(batch.duration[i]); });
+    summary_.add_batch(scratch_);
+  }
+
+  void on_event(const ipm::TraceEvent& event) override { add(event); }
 
   /// Fold a whole decoded chunk per virtual call — the hot path; the
   /// per-event filter+add loop runs without any per-event indirection.
   void on_batch(std::span<const ipm::TraceEvent> events) override {
-    for (const ipm::TraceEvent& e : events) {
-      if (filter_.matches(e)) summary_.add(e.duration);
-    }
+    for (const ipm::TraceEvent& e : events) add(e);
   }
 
-  /// Columnar twin of on_batch: same index-order filter+add sequence
-  /// over dense column spans, so the summary is value-identical. The
-  /// batch needs required_columns() | kColDuration decoded.
-  void on_columns(const ipm::ColumnBatch& batch) {
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (filter_.matches_at(batch, i)) summary_.add(batch.duration[i]);
-    }
-  }
+  /// Columnar twin of on_batch (see add_batch).
+  void on_columns(const ipm::ColumnBatch& batch) { add_batch(batch); }
 
-  /// Columns on_columns reads: the filter's plus the duration samples.
+  /// Columns add_batch reads: the filter's plus the duration samples.
   [[nodiscard]] ipm::ColumnMask required_columns() const noexcept {
     return filter_.required_columns() | ipm::kColDuration;
   }
@@ -172,6 +226,7 @@ class SummarySink final : public ipm::EventSink {
  private:
   EventFilter filter_;
   stats::StreamingSummary summary_;
+  std::vector<double> scratch_;  ///< matching durations of one batch
 };
 
 /// EventSink grouping filter-matched durations by phase label — the
@@ -182,6 +237,14 @@ class PhaseSummarySink final : public ipm::EventSink {
       : PhaseSummarySink(std::move(filter), stats::SummaryOptions{}) {}
   PhaseSummarySink(EventFilter filter, const stats::SummaryOptions& options)
       : filter_(std::move(filter)), options_(options) {}
+
+  /// Kernel entry point: fold one event.
+  void add(const ipm::TraceEvent& event);
+  /// Kernel entry point: fold a decoded column batch. Matching
+  /// durations are buffered per run of equal phase labels and flushed
+  /// as dense spans — value-identical to add() per row, since each
+  /// phase's summary folds the same duration sequence.
+  void add_batch(const ipm::ColumnBatch& batch);
 
   void on_event(const ipm::TraceEvent& event) override;
   void on_batch(std::span<const ipm::TraceEvent> events) override;
@@ -207,9 +270,13 @@ class PhaseSummarySink final : public ipm::EventSink {
   }
 
  private:
+  /// Feed the buffered run of durations to `phase`'s summary.
+  void flush_run(std::int32_t phase);
+
   EventFilter filter_;
   stats::SummaryOptions options_;
   std::map<std::int32_t, stats::StreamingSummary> by_phase_;
+  std::vector<double> scratch_;  ///< one run of same-phase durations
 };
 
 }  // namespace eio::analysis

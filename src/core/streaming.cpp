@@ -153,21 +153,12 @@ void ReservoirSampler::merge(const ReservoirSampler& other) {
   }
   if (other.exact()) {
     // The other side still holds every value it saw, in stream order —
-    // so Algorithm R simply continues over it, element by element.
-    // While the combined count fits the capacity this is a pure
-    // concatenation (the merged sample is the exact combined stream);
-    // past capacity it costs one draw per element, the same as the
-    // serial adds it replaces. Chunk-sized partials always take this
-    // path.
-    for (double x : other.samples_) {
-      ++seen_;
-      if (samples_.size() < capacity_) {
-        samples_.push_back(x);
-        continue;
-      }
-      std::uint64_t j = rng_.index(seen_);
-      if (j < capacity_) samples_[static_cast<std::size_t>(j)] = x;
-    }
+    // so this sampler continues over it via the absorb() contract
+    // (identical to per-element add()s). While the combined count fits
+    // the capacity this is a pure concatenation (the merged sample is
+    // the exact combined stream); past capacity the skip-gap machinery
+    // takes over. Chunk-sized partials always take this path.
+    absorb(other.samples_);
     return;
   }
   // Weighted draw: fill each output slot from side A with probability
@@ -193,6 +184,11 @@ void ReservoirSampler::merge(const ReservoirSampler& other) {
   }
   samples_ = std::move(merged);
   seen_ += other.seen_;
+  // The pending gap was drawn for the pre-merge count; re-arm it for
+  // the combined stream so subsequent add()s skip with the right
+  // distribution.
+  skip_ = 0;
+  next_gap();
 }
 
 void StreamingSummary::merge(const StreamingSummary& other) {

@@ -9,11 +9,13 @@
 //    Welford/Pébay incremental central-moment updates;
 //  * P2Quantile: the Jain-Chlamtac P² estimator — one quantile in
 //    five markers, O(1) memory, no samples retained;
-//  * ReservoirSampler: Vitter's Algorithm R — a uniform sample of
+//  * ReservoirSampler: Vitter's Algorithm X — a uniform sample of
 //    bounded size, *exact* (every value retained) until the capacity
 //    is exceeded, so quantiles/CDFs/KS inputs computed from it are
 //    identical to the materialized answer on bounded traces while
-//    degrading gracefully at scale;
+//    degrading gracefully at scale. Past capacity it draws skip *gaps*
+//    instead of one variate per element, amortizing the RNG cost to
+//    O(capacity * log(n / capacity)) draws total;
 //  * StreamingSummary: the bundle (count/min/max + moments +
 //    reservoir) every analysis sink composes.
 //
@@ -105,9 +107,25 @@ class P2Quantile {
   std::array<double, 5> rates_{};      ///< desired-position increments
 };
 
-/// Uniform bounded-size sample of a stream (Vitter's Algorithm R with
+/// Uniform bounded-size sample of a stream (Vitter's Algorithm X with
 /// a deterministic substream). While seen() <= capacity the reservoir
 /// holds *every* value, so downstream order statistics are exact.
+///
+/// Past capacity the sampler draws a skip *gap* — the number of
+/// upcoming records to discard before the next acceptance — instead of
+/// one variate per record (Vitter 1985, Algorithm X): one uniform V in
+/// (0, 1] selects the smallest gap s with
+///   prod_{i=1..s+1} (t + i - capacity) / (t + i) <= V
+/// after t records, reproducing Algorithm R's marginal acceptance
+/// probability capacity/(t+1) while consuming zero randomness for the
+/// skipped records. The pending gap is carried in skip_, so add(),
+/// add_batch() and absorb() share one draw sequence: feeding the same
+/// stream in any chunking yields bit-identical samples.
+///
+/// NOTE: the draw sequence differs from the pre-Algorithm-X sampler
+/// (one index draw per record), so sampled quantiles past capacity
+/// differ run-to-run across versions — deterministically so within a
+/// version. The exact regime (seen() <= capacity) is unchanged.
 class ReservoirSampler {
  public:
   explicit ReservoirSampler(std::size_t capacity = kDefaultCapacity,
@@ -115,30 +133,77 @@ class ReservoirSampler {
 
   static constexpr std::size_t kDefaultCapacity = 65536;
 
-  /// Inline for the same reason as StreamingMoments::add — one draw
-  /// per element past capacity is the scan hot path.
+  /// Inline for the same reason as StreamingMoments::add — the scan
+  /// hot path. Amortized cost past capacity: a decrement (records
+  /// inside a gap consume no randomness at all).
   void add(double x) {
-    ++seen_;
-    if (samples_.size() < capacity_) {
-      samples_.push_back(x);
+    if (skip_ > 0) {
+      --skip_;
+      ++seen_;
       return;
     }
-    std::uint64_t j = rng_.index(seen_);
-    if (j < capacity_) samples_[static_cast<std::size_t>(j)] = x;
+    if (samples_.size() < capacity_) {
+      ++seen_;
+      samples_.push_back(x);
+      // Draw the first gap the moment the exact regime ends, so the
+      // serial, batched and absorb() paths leave the boundary with the
+      // same pending state.
+      if (samples_.size() == capacity_) next_gap();
+      return;
+    }
+    ++seen_;
+    samples_[static_cast<std::size_t>(rng_.index(capacity_))] = x;
+    next_gap();
   }
 
+  /// Fold a dense span. Identical draw sequence to add() per element;
+  /// the exact-fill prefix is one bulk copy (no pending gap can exist
+  /// below capacity) and whole gaps inside the span are skipped with
+  /// pointer arithmetic.
+  void add_batch(std::span<const double> xs) {
+    std::size_t i = 0;
+    if (samples_.size() < capacity_ && skip_ == 0) {
+      std::size_t take = std::min(xs.size(), capacity_ - samples_.size());
+      samples_.insert(samples_.end(), xs.begin(), xs.begin() + take);
+      seen_ += take;
+      i = take;
+      if (samples_.size() == capacity_) next_gap();
+    }
+    while (i < xs.size() && samples_.size() < capacity_) add(xs[i++]);
+    while (i < xs.size()) {
+      std::uint64_t left = xs.size() - i;
+      if (skip_ >= left) {
+        skip_ -= left;
+        seen_ += left;
+        return;
+      }
+      i += static_cast<std::size_t>(skip_);
+      seen_ += skip_;
+      skip_ = 0;
+      ++seen_;
+      samples_[static_cast<std::size_t>(rng_.index(capacity_))] = xs[i++];
+      next_gap();
+    }
+  }
+
+  /// Continue this sampler over a tail of the stream, exactly: the
+  /// contract is absorb(tail) == add(x) for each x of tail in order.
+  /// Because the pending gap spans call boundaries, absorbing a stream
+  /// piecewise in any chunking equals one serial pass.
+  void absorb(std::span<const double> tail) { add_batch(tail); }
+
   /// Fold another reservoir (same capacity) into this one. When the
-  /// other side is exact its sample IS its substream, so Algorithm R
-  /// continues over it element by element — a pure concatenation while
-  /// the combined seen() fits the capacity (the merged sample equals
-  /// the serial one element for element when merges follow stream
-  /// order), one draw per element past it. When the other side has
-  /// itself overflowed, each output slot draws from one side with
-  /// probability proportional to that side's remaining stream weight
-  /// (the weighted Algorithm-R merge), so every stream element keeps
-  /// an equal chance of surviving. Draws come from this reservoir's
-  /// substream, so the result is deterministic in (seeds, merge
-  /// order).
+  /// other side is exact its sample IS its substream, so this sampler
+  /// absorb()s it — a pure concatenation while the combined seen()
+  /// fits the capacity (the merged sample equals the serial one
+  /// element for element when merges follow stream order), the skip-
+  /// gap continuation past it. When the other side has itself
+  /// overflowed, each output slot draws from one side with probability
+  /// proportional to that side's remaining stream weight (the weighted
+  /// Algorithm-R merge), so every stream element keeps an equal chance
+  /// of surviving; the pending gap is then re-drawn for the combined
+  /// count. Draws come from this reservoir's substream, so the result
+  /// is deterministic in (seeds, merge order).
   void merge(const ReservoirSampler& other);
 
   [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
@@ -153,10 +218,34 @@ class ReservoirSampler {
   [[nodiscard]] EmpiricalDistribution distribution() const;
 
  private:
+  /// Draw the next skip gap (Vitter's Algorithm X search): one uniform
+  /// V in (0, 1], then the smallest s whose cumulative skip
+  /// probability falls below it. The search is O(s) with s ~
+  /// seen/capacity in expectation; kMaxSkip caps a pathological
+  /// tiny-V draw deterministically (the truncation shortens one gap
+  /// out of ~2^30 — no measurable bias, and identical on every
+  /// replay).
+  void next_gap() {
+    double v = 1.0 - rng_.uniform();  // (0, 1]: the search must terminate
+    double t = static_cast<double>(seen_);
+    double cap = static_cast<double>(capacity_);
+    std::uint64_t s = 0;
+    double quot = (t + 1.0 - cap) / (t + 1.0);
+    while (quot > v && s < kMaxSkip) {
+      ++s;
+      quot *= (t + 1.0 + static_cast<double>(s) - cap) /
+              (t + 1.0 + static_cast<double>(s));
+    }
+    skip_ = s;
+  }
+
+  static constexpr std::uint64_t kMaxSkip = std::uint64_t{1} << 30;
+
   std::size_t capacity_;
   rng::Stream rng_;
   std::vector<double> samples_;
   std::uint64_t seen_ = 0;
+  std::uint64_t skip_ = 0;  ///< records left in the pending gap
 };
 
 /// Knobs for StreamingSummary (at namespace scope so it can be a
@@ -204,9 +293,27 @@ class StreamingSummary {
   }
 
   /// Fold a dense sample span (a decoded column) in index order —
-  /// value-identical to add() per element (see StreamingMoments).
+  /// value-identical to add() per element: each sub-kernel folds the
+  /// same sequence, just as one dense pass per kernel instead of one
+  /// interleaved pass per element, which keeps each kernel's state in
+  /// registers across the span.
   void add_batch(std::span<const double> xs) {
-    for (double x : xs) add(x);
+    if (xs.empty()) return;
+    double lo = xs[0], hi = xs[0];
+    for (double x : xs) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    if (moments_.count() == 0) {
+      min_ = lo;
+      max_ = hi;
+    } else {
+      min_ = std::min(min_, lo);
+      max_ = std::max(max_, hi);
+    }
+    moments_.add_batch(xs);
+    reservoir_.add_batch(xs);
+    if (quantile_hist_) quantile_hist_->add_all(xs);
   }
 
   /// Fold another summary into this one: counts/extrema/moments and

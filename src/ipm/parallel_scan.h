@@ -229,6 +229,24 @@ class ParallelTraceScanner {
         merge, hint);
   }
 
+  /// Kernel-set fold path: make(chunk_index) builds anything modeling
+  /// the analysis::Kernel concept (one kernel or a whole KernelSet);
+  /// ONE decode of each admitted chunk — restricted to the union
+  /// column mask the set reports — feeds every kernel in it, and
+  /// partials merge member-wise in chunk order. This is the fused
+  /// single-pass driver behind every eiotrace analysis subcommand.
+  template <typename Make>
+  [[nodiscard]] auto scan_kernels(const Make& make,
+                                  const ChunkHint* hint = nullptr) const
+      -> std::invoke_result_t<Make, std::size_t> {
+    using Set = std::invoke_result_t<Make, std::size_t>;
+    const ColumnMask mask = make(std::size_t{0}).required_columns();
+    return scan_columns(
+        make,
+        [](Set& set, const ColumnBatch& batch) { set.add_batch(batch); },
+        [](Set& into, Set&& from) { into.merge(std::move(from)); }, hint, mask);
+  }
+
  private:
   /// The shared pool/merge machinery: produce(reader, partial, chunk)
   /// decodes + folds one chunk however the public entry point decided.

@@ -22,6 +22,7 @@
 // consumers see the identical value sequence from any backing format.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <memory>
@@ -42,6 +43,12 @@ namespace eio::ipm {
 /// surviving chunks and must filter exactly.
 struct ChunkHint {
   std::optional<posix::OpType> op;
+  /// Op *set* pre-filter: when nonzero, a chunk is skipped unless it
+  /// contains at least one op whose bit (1 << op) is set. Generalizes
+  /// the single-op pin for multi-op scans (e.g. data_calls_only keeps
+  /// read|write; a fused write+read summary pass unions both pins).
+  /// 0 means unconstrained.
+  std::uint32_t op_mask = 0;
   std::optional<std::int32_t> phase;
   std::optional<RankId> rank;
   /// Time window [t_lo, t_hi]: chunks whose [t_lo, t_hi] span does not
@@ -55,6 +62,7 @@ struct ChunkHint {
     if (op && (chunk.op_mask & (1u << static_cast<unsigned>(*op))) == 0) {
       return false;
     }
+    if (op_mask != 0 && (chunk.op_mask & op_mask) == 0) return false;
     if (phase && (*phase < chunk.phase_lo || *phase > chunk.phase_hi)) {
       return false;
     }
@@ -64,6 +72,31 @@ struct ChunkHint {
     if (t_lo && chunk.t_hi < *t_lo) return false;
     if (t_hi && chunk.t_lo > *t_hi) return false;
     return true;
+  }
+
+  /// The op-set constraint both `op` and `op_mask` express together
+  /// (0 = unconstrained).
+  [[nodiscard]] std::uint32_t effective_op_mask() const noexcept {
+    std::uint32_t m = op ? (1u << static_cast<unsigned>(*op)) : 0u;
+    if (op_mask != 0) m = op ? (m & op_mask) : op_mask;
+    return m;
+  }
+
+  /// The weakest hint admitting everything either input admits — what
+  /// a fused pass over several filters must scan. Fields where the
+  /// inputs disagree are dropped (hints are a superset promise, so
+  /// widening is always sound); op pins union into op_mask.
+  [[nodiscard]] static ChunkHint union_of(const ChunkHint& a,
+                                          const ChunkHint& b) noexcept {
+    ChunkHint u;
+    std::uint32_t ma = a.effective_op_mask();
+    std::uint32_t mb = b.effective_op_mask();
+    if (ma != 0 && mb != 0) u.op_mask = ma | mb;
+    if (a.phase && b.phase && *a.phase == *b.phase) u.phase = a.phase;
+    if (a.rank && b.rank && *a.rank == *b.rank) u.rank = a.rank;
+    if (a.t_lo && b.t_lo) u.t_lo = std::min(*a.t_lo, *b.t_lo);
+    if (a.t_hi && b.t_hi) u.t_hi = std::max(*a.t_hi, *b.t_hi);
+    return u;
   }
 };
 

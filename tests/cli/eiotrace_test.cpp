@@ -6,10 +6,16 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/units.h"
 #include "ipm/trace.h"
+#include "ipm/trace_source.h"
+#include "ipm/trace_stream.h"
+#include "ipm/trace_v3.h"
+#include "obs/registry.h"
 
 namespace eio::cli {
 namespace {
@@ -19,8 +25,9 @@ using posix::OpType;
 /// Writes a representative trace to a temp file and cleans it up.
 class EiotraceTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    path_ = ::testing::TempDir() + "/eiotrace_test.tsv";
+  /// The fixture trace: 8 ranks, 48 strided reads (phases 0-5) and 32
+  /// aligned writes (phases 10-13).
+  static ipm::Trace fixture_trace() {
     ipm::Trace t("cli-test", 8);
     rng::Stream r(1);
     // 8 ranks x 6 strided unaligned reads + 4 aligned writes each.
@@ -51,10 +58,36 @@ class EiotraceTest : public ::testing::Test {
         t.add(e);
       }
     }
-    t.save(path_);
+    return t;
+  }
+
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/eiotrace_test.tsv";
+    fixture_trace().save(path_);
   }
 
   void TearDown() override { std::remove(path_.c_str()); }
+
+  /// The fixture trace as an indexed file with small chunks, so even
+  /// this little trace gives the chunk counters something to count.
+  static std::string write_chunked(bool v3, const std::string& tag) {
+    const ipm::Trace t = fixture_trace();
+    std::string path = ::testing::TempDir() + "/eiotrace_" + tag +
+                       (v3 ? ".v3" : ".v2");
+    std::ofstream out(path, std::ios::binary);
+    if (v3) {
+      ipm::TraceWriterV3 w(out, t.experiment(), t.ranks(),
+                           {.chunk_events = 16});
+      for (const ipm::TraceEvent& e : t.events()) w.add(e);
+      w.finish();
+    } else {
+      ipm::TraceWriterV2 w(out, t.experiment(), t.ranks(),
+                           {.chunk_events = 16});
+      for (const ipm::TraceEvent& e : t.events()) w.add(e);
+      w.finish();
+    }
+    return path;
+  }
 
   /// Run a command line; returns {exit code, stdout, stderr}.
   std::tuple<int, std::string, std::string> run(std::vector<std::string> args) {
@@ -387,6 +420,87 @@ TEST_F(EiotraceTest, PhaseFilterNarrowsEvents) {
   EXPECT_NE(out.find("read"), std::string::npos);
   // Only the 8 phase-3 reads; writes (phases 10+) are filtered out.
   EXPECT_EQ(out.find("write"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, AnalyzeBundlesAllSections) {
+  auto [rc, out, err] = run({"analyze", path_});
+  EXPECT_EQ(rc, 0) << err;
+  EXPECT_NE(out.find("== summary =="), std::string::npos);
+  EXPECT_NE(out.find("== phases =="), std::string::npos);
+  EXPECT_NE(out.find("== histogram =="), std::string::npos);
+  EXPECT_NE(out.find("== rates =="), std::string::npos);
+  EXPECT_NE(out.find("write"), std::string::npos);
+  EXPECT_NE(out.find("read"), std::string::npos);
+  EXPECT_NE(out.find("aggregate MiB/s"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, AnalyzeIsByteIdenticalAcrossJobsAndFormats) {
+  // The fused one-pass bundle must print exactly what it printed
+  // before fusing — for every --jobs value and every encoding.
+  const std::string v2 = write_chunked(false, "analyze_fmt");
+  const std::string v3 = write_chunked(true, "analyze_fmt");
+
+  auto [rc, base, err] = run({"analyze", path_});
+  ASSERT_EQ(rc, 0) << err;
+  for (const std::string& file : {v2, v3}) {
+    for (const char* jobs : {"", "--jobs=1", "--jobs=2", "--jobs=4"}) {
+      std::vector<std::string> args{"analyze", file};
+      if (*jobs != '\0') args.push_back(jobs);
+      auto [rc2, out2, err2] = run(args);
+      EXPECT_EQ(rc2, 0) << err2;
+      EXPECT_EQ(out2, base) << file << " " << jobs;
+    }
+  }
+  std::remove(v2.c_str());
+  std::remove(v3.c_str());
+}
+
+TEST_F(EiotraceTest, AnalyzeEmptyFilterFails) {
+  auto [rc, out, err] = run({"analyze", path_, "--op=fsync"});
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err.find("no events"), std::string::npos);
+}
+
+TEST_F(EiotraceTest, EveryAnalysisSubcommandScansTheTraceExactlyOnce) {
+  // Regression for the histogram extrema+fill double scan (and a guard
+  // against any future N-pass analysis): after one subcommand run, the
+  // chunks-scanned + chunks-skipped counters must account for every
+  // chunk exactly once. The fixture file has 80 events in 16-event
+  // chunks, so a second pass would double the tally.
+  if (!obs::kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  const std::string v3 = write_chunked(true, "one_scan");
+  const std::size_t chunks = [&] {
+    ipm::FileTraceSource source(v3);
+    return source.index()->chunks.size();
+  }();
+  ASSERT_GE(chunks, 5u);
+
+  const std::vector<std::vector<std::string>> commands = {
+      {"summary", v3, "--obs"},
+      {"summary", v3, "--jobs=2", "--obs"},
+      {"histogram", v3, "--op=read", "--obs"},
+      {"histogram", v3, "--op=read", "--jobs=2", "--obs"},
+      {"modes", v3, "--op=write", "--obs"},
+      {"rates", v3, "--obs"},
+      {"rates", v3, "--jobs=2", "--obs"},
+      {"phases", v3, "--obs"},
+      {"analyze", v3, "--obs"},
+      {"analyze", v3, "--jobs=4", "--obs"},
+  };
+  for (const auto& cmd : commands) {
+    auto [rc, out, err] = run(cmd);
+    ASSERT_EQ(rc, 0) << cmd[0] << ": " << err;
+    std::uint64_t scanned = 0, skipped = 0;
+    for (const obs::CounterValue& c : obs::Registry::instance().snapshot().counters) {
+      if (c.name == "scan.chunks_scanned") scanned = c.value;
+      if (c.name == "scan.chunks_skipped") skipped = c.value;
+    }
+    EXPECT_EQ(scanned + skipped, chunks)
+        << cmd[0] << (cmd.size() > 3 ? " (parallel)" : "")
+        << ": scanned=" << scanned << " skipped=" << skipped;
+    EXPECT_GT(scanned, 0u) << cmd[0];
+  }
+  std::remove(v3.c_str());
 }
 
 }  // namespace

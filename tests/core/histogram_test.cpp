@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 namespace eio::stats {
@@ -125,6 +128,152 @@ TEST(HistogramTest, BinIndexMonotone) {
     EXPECT_GE(idx, prev);
     prev = idx;
   }
+}
+
+// ---------------------------------------------------------------------------
+// StreamingHistogram: the single-pass mergeable kernel behind the
+// histogram subcommand and the fused analyze bundle.
+
+std::vector<double> lcg_samples(std::size_t n, double scale) {
+  std::vector<double> xs(n);
+  std::uint64_t s = 0x9E3779B97F4A7C15ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    xs[i] = scale * (1e-6 + static_cast<double>(s >> 40) * 1e-6);
+  }
+  return xs;
+}
+
+TEST(StreamingHistogramTest, ExactModeMatchesFromSamplesBitForBit) {
+  // While the matched count fits the exact buffer, materialize() must
+  // reproduce the historical two-pass from_samples binning exactly —
+  // this is what keeps every pre-existing histogram output stable.
+  auto xs = lcg_samples(5000, 2.0);
+  for (BinScale scale : {BinScale::kLinear, BinScale::kLog10}) {
+    StreamingHistogram sh({.scale = scale, .bins = 40});
+    for (double x : xs) sh.add(x);
+    ASSERT_TRUE(sh.exact());
+    auto h = sh.materialize();
+    ASSERT_TRUE(h.has_value());
+    Histogram batch = Histogram::from_samples(xs, scale, 40);
+    EXPECT_DOUBLE_EQ(h->lo(), batch.lo());
+    EXPECT_DOUBLE_EQ(h->hi(), batch.hi());
+    EXPECT_EQ(h->counts(), batch.counts());
+    EXPECT_EQ(h->underflow(), batch.underflow());
+    EXPECT_EQ(h->overflow(), batch.overflow());
+  }
+}
+
+TEST(StreamingHistogramTest, ExactModeMergeMatchesSingleInstance) {
+  auto xs = lcg_samples(3000, 5.0);
+  for (BinScale scale : {BinScale::kLinear, BinScale::kLog10}) {
+    StreamingHistogram whole({.scale = scale, .bins = 32});
+    whole.add_batch(xs);
+
+    StreamingHistogram left({.scale = scale, .bins = 32});
+    StreamingHistogram right({.scale = scale, .bins = 32});
+    left.add_batch(std::span<const double>(xs).first(1100));
+    right.add_batch(std::span<const double>(xs).subspan(1100));
+    left.merge(std::move(right));
+
+    auto a = whole.materialize();
+    auto b = left.materialize();
+    ASSERT_TRUE(a && b);
+    EXPECT_DOUBLE_EQ(b->lo(), a->lo());
+    EXPECT_DOUBLE_EQ(b->hi(), a->hi());
+    EXPECT_EQ(b->counts(), a->counts());
+  }
+}
+
+TEST(StreamingHistogramTest, EmptyMaterializesToNullopt) {
+  StreamingHistogram sh;
+  EXPECT_EQ(sh.count(), 0u);
+  EXPECT_FALSE(sh.materialize().has_value());
+}
+
+TEST(StreamingHistogramTest, LatticeModePreservesCountAndExtent) {
+  // Past the exact buffer the kernel spills to the power-of-two
+  // lattice; totals and coverage must survive the spill.
+  auto xs = lcg_samples(4000, 3.0);
+  for (BinScale scale : {BinScale::kLinear, BinScale::kLog10}) {
+    StreamingHistogram sh({.scale = scale, .bins = 24, .exact_capacity = 64});
+    sh.add_batch(xs);
+    EXPECT_FALSE(sh.exact());
+    EXPECT_EQ(sh.count(), xs.size());
+    auto h = sh.materialize();
+    ASSERT_TRUE(h.has_value());
+    EXPECT_EQ(h->total(), xs.size());
+    EXPECT_EQ(h->underflow(), 0u);
+    EXPECT_EQ(h->overflow(), 0u);
+    EXPECT_LE(h->bin_count(), 24u);
+    double lo = xs[0], hi = xs[0];
+    for (double x : xs) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    EXPECT_LE(h->lo(), lo);
+    EXPECT_GE(h->hi(), hi);
+  }
+}
+
+TEST(StreamingHistogramTest, LatticeModeIsMergeOrderIndependent) {
+  // The lattice resolution is a pure function of the value multiset,
+  // so any chunking/merging order must land on identical bins — this
+  // is the determinism contract the --jobs invariance rests on.
+  auto xs = lcg_samples(6000, 7.0);
+  for (BinScale scale : {BinScale::kLinear, BinScale::kLog10}) {
+    const StreamingHistogram::Options opt{
+        .scale = scale, .bins = 20, .exact_capacity = 32};
+    StreamingHistogram serial(opt);
+    serial.add_batch(xs);
+
+    // Three-way uneven split, merged both left-to-right and
+    // right-to-left.
+    auto part = [&](std::size_t a, std::size_t b) {
+      StreamingHistogram p(opt);
+      p.add_batch(std::span<const double>(xs).subspan(a, b - a));
+      return p;
+    };
+    StreamingHistogram ltr = part(0, 100);
+    ltr.merge(part(100, 4000));
+    ltr.merge(part(4000, xs.size()));
+
+    StreamingHistogram rtl = part(4000, xs.size());
+    rtl.merge(part(100, 4000));
+    rtl.merge(part(0, 100));
+
+    auto hs = serial.materialize();
+    auto hl = ltr.materialize();
+    auto hr = rtl.materialize();
+    ASSERT_TRUE(hs && hl && hr);
+    EXPECT_DOUBLE_EQ(hl->lo(), hs->lo());
+    EXPECT_DOUBLE_EQ(hl->hi(), hs->hi());
+    EXPECT_EQ(hl->counts(), hs->counts());
+    EXPECT_DOUBLE_EQ(hr->lo(), hs->lo());
+    EXPECT_EQ(hr->counts(), hs->counts());
+  }
+}
+
+TEST(StreamingHistogramTest, MixedExactAndLatticeMergeKeepsEverything) {
+  auto xs = lcg_samples(2000, 1.0);
+  const StreamingHistogram::Options opt{
+      .scale = BinScale::kLinear, .bins = 16, .exact_capacity = 128};
+  StreamingHistogram big(opt);
+  big.add_batch(std::span<const double>(xs).first(1900));  // spills
+  StreamingHistogram small(opt);
+  small.add_batch(std::span<const double>(xs).subspan(1900));  // 100: exact
+  ASSERT_FALSE(big.exact());
+  ASSERT_TRUE(small.exact());
+  big.merge(std::move(small));
+  EXPECT_EQ(big.count(), xs.size());
+  auto h = big.materialize();
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->total(), xs.size());
+}
+
+TEST(StreamingHistogramTest, RejectsDegenerateOptions) {
+  EXPECT_THROW(StreamingHistogram({.bins = 1}), std::logic_error);
+  EXPECT_THROW(StreamingHistogram({.exact_capacity = 0}), std::logic_error);
 }
 
 }  // namespace

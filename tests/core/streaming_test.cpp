@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -296,9 +298,10 @@ TEST(MergeKernelsTest, ReservoirMergeConcatenatesBelowCapacity) {
 }
 
 TEST(MergeKernelsTest, ReservoirExactContinuationMatchesSerialAdds) {
-  // Past capacity, merging an *exact* partial replays Algorithm R
-  // element by element with the same draw sequence serial adds would
-  // have used — so the merged sample is bit-identical to serial.
+  // Past capacity, merging an *exact* partial absorbs its buffer with
+  // the same skip-gap draw sequence serial adds would have used — so
+  // the merged sample is bit-identical to serial (the absorb()
+  // exactness contract).
   constexpr std::size_t kCap = 64;
   std::vector<double> stream(1060);
   for (std::size_t i = 0; i < stream.size(); ++i) {
@@ -317,6 +320,91 @@ TEST(MergeKernelsTest, ReservoirExactContinuationMatchesSerialAdds) {
   head.merge(tail);
   EXPECT_EQ(head.seen(), serial.seen());
   EXPECT_EQ(head.samples(), serial.samples());
+}
+
+TEST(MergeKernelsTest, ReservoirAbsorbMatchesPerElementAdds) {
+  // The absorb() contract itself: absorb(span) is defined to equal
+  // per-element add() of the same values, for any interleaving with
+  // add() calls and regardless of where the pending skip gap lands.
+  constexpr std::size_t kCap = 32;
+  std::vector<double> stream(4096);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i] = std::sin(0.1 * static_cast<double>(i)) + 2.0;
+  }
+  stats::ReservoirSampler serial(kCap, 1234);
+  for (double x : stream) serial.add(x);
+
+  stats::ReservoirSampler absorbed(kCap, 1234);
+  absorbed.absorb(stream);
+  EXPECT_EQ(absorbed.seen(), serial.seen());
+  EXPECT_EQ(absorbed.samples(), serial.samples());
+}
+
+TEST(MergeKernelsTest, ReservoirPiecewiseAbsorbMatchesOneSerialPass) {
+  // Absorbing a stream in arbitrary uneven pieces — the skip gap
+  // spanning piece boundaries — equals one serial pass. This is what
+  // the exact-side merge path and the columnar add_batch path rely on.
+  constexpr std::size_t kCap = 48;
+  std::vector<double> stream(5000);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i] = 1e-3 * static_cast<double>((i * 2654435761u) % 100000);
+  }
+  stats::ReservoirSampler serial(kCap, 99);
+  for (double x : stream) serial.add(x);
+
+  stats::ReservoirSampler pieced(kCap, 99);
+  const std::size_t cuts[] = {1, 7, 40, 48, 49, 513, 2000, 4999, 5000};
+  std::size_t at = 0;
+  for (std::size_t cut : cuts) {
+    pieced.absorb(std::span<const double>(stream).subspan(at, cut - at));
+    at = cut;
+  }
+  EXPECT_EQ(pieced.seen(), serial.seen());
+  EXPECT_EQ(pieced.samples(), serial.samples());
+
+  // Interleaving single adds with absorbs must land on the same
+  // sequence too.
+  stats::ReservoirSampler mixed(kCap, 99);
+  for (std::size_t i = 0; i < 100; ++i) mixed.add(stream[i]);
+  mixed.absorb(std::span<const double>(stream).subspan(100, 3000));
+  for (std::size_t i = 3100; i < stream.size(); ++i) mixed.add(stream[i]);
+  EXPECT_EQ(mixed.samples(), serial.samples());
+}
+
+TEST(MergeKernelsTest, ReservoirSkipGapIsSeedStableAndUnbiased) {
+  // Same (capacity, seed, stream) -> identical sample; a different
+  // seed diverges past capacity. And the Vitter skip-gap acceptance
+  // keeps the sample uniform: over many seeds, early and late stream
+  // halves are equally represented.
+  constexpr std::size_t kCap = 64;
+  std::vector<double> stream(10000);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i] = static_cast<double>(i);
+  }
+  stats::ReservoirSampler a(kCap, 5);
+  stats::ReservoirSampler b(kCap, 5);
+  stats::ReservoirSampler c(kCap, 6);
+  for (double x : stream) {
+    a.add(x);
+    b.add(x);
+    c.add(x);
+  }
+  EXPECT_EQ(a.samples(), b.samples());
+  EXPECT_NE(a.samples(), c.samples());
+
+  std::size_t early = 0, total = 0;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    stats::ReservoirSampler r(kCap, seed);
+    r.absorb(stream);
+    EXPECT_EQ(r.seen(), stream.size());
+    EXPECT_EQ(r.samples().size(), kCap);
+    for (double x : r.samples()) early += x < 5000.0 ? 1 : 0;
+    total += kCap;
+  }
+  // 64 * 64 = 4096 slots, expect ~2048 from the early half; +/-8 sigma
+  // (sigma ~= 32) keeps this deterministic-in-practice.
+  EXPECT_GT(early, total / 2 - 256);
+  EXPECT_LT(early, total / 2 + 256);
 }
 
 TEST(MergeKernelsTest, ReservoirWeightedMergeIsDeterministicAndBalanced) {

@@ -532,6 +532,130 @@ TEST(ParallelScanTest, ChunkReaderStreamFallbackMatchesMmap) {
   std::remove(path.c_str());
 }
 
+TEST(ParallelScanTest, ChunkHintUnionWidensSoundly) {
+  const ipm::ChunkHint writes{.op = posix::OpType::kWrite};
+  const ipm::ChunkHint reads{.op = posix::OpType::kRead};
+  const ipm::ChunkHint u = ipm::ChunkHint::union_of(writes, reads);
+  EXPECT_FALSE(u.op.has_value());
+  EXPECT_EQ(u.op_mask,
+            (1u << static_cast<unsigned>(posix::OpType::kRead)) |
+                (1u << static_cast<unsigned>(posix::OpType::kWrite)));
+
+  ipm::ChunkMeta read_only;
+  read_only.op_mask = 1u << static_cast<unsigned>(posix::OpType::kRead);
+  ipm::ChunkMeta seek_only;
+  seek_only.op_mask = 1u << static_cast<unsigned>(posix::OpType::kSeek);
+  EXPECT_TRUE(u.admits(read_only));
+  EXPECT_FALSE(u.admits(seek_only));
+
+  // An unconstrained side erases the op constraint entirely (widening
+  // is the only sound direction for a superset promise).
+  EXPECT_EQ(ipm::ChunkHint::union_of(writes, {}).effective_op_mask(), 0u);
+
+  // Time windows union to the envelope; a missing bound drops it.
+  const ipm::ChunkHint w1{.t_lo = 1.0, .t_hi = 2.0};
+  const ipm::ChunkHint w2{.t_lo = 5.0, .t_hi = 9.0};
+  const ipm::ChunkHint uw = ipm::ChunkHint::union_of(w1, w2);
+  EXPECT_EQ(uw.t_lo, 1.0);
+  EXPECT_EQ(uw.t_hi, 9.0);
+  EXPECT_FALSE(ipm::ChunkHint::union_of(w1, {}).t_lo.has_value());
+}
+
+TEST(ParallelScanTest, FusedKernelSetMatchesIndividualScans) {
+  // The tentpole contract: one scan_kernels pass over a KernelSet must
+  // produce exactly what the per-kernel scans produce — same reservoir
+  // draws, same bins, same rate sums — on both encodings.
+  for (const ipm::Trace& t : seed_traces()) {
+    for (bool v3 : {false, true}) {
+      const std::string path =
+          v3 ? write_v3_chunked(t, 64, t.experiment() + "_fused")
+             : write_v2_chunked(t, 64, t.experiment() + "_fused");
+      ipm::ParallelTraceScanner scanner(path, {.jobs = 4});
+      const EventFilter writes{.op = posix::OpType::kWrite};
+      const EventFilter reads{.op = posix::OpType::kRead};
+      const double span = scanner.time_span();
+
+      const stats::StreamingSummary sw = scan_summary(scanner, writes);
+      const stats::StreamingSummary sr = scan_summary(scanner, reads);
+      const auto hist =
+          scan_histogram(scanner, writes, stats::BinScale::kLog10, 40);
+      const TimeSeries rate = scan_rate(scanner, writes, 64);
+      ASSERT_TRUE(hist.has_value()) << t.experiment();
+
+      const ipm::ChunkHint hint =
+          ipm::ChunkHint::union_of(hint_for(writes), hint_for(reads));
+      auto fused = scanner.scan_kernels(
+          [&](std::size_t chunk) {
+            return KernelSet(
+                SummarySink(writes, chunk_summary_options({}, chunk)),
+                SummarySink(reads, chunk_summary_options({}, chunk)),
+                HistogramKernel(writes,
+                                {.scale = stats::BinScale::kLog10, .bins = 40}),
+                RateKernel(writes, span, 64));
+          },
+          &hint);
+
+      const stats::StreamingSummary& fw = fused.get<0>().summary();
+      EXPECT_EQ(fw.count(), sw.count()) << t.experiment();
+      EXPECT_EQ(fw.moments().mean, sw.moments().mean);
+      EXPECT_EQ(fw.moments().variance, sw.moments().variance);
+      EXPECT_EQ(fw.reservoir().samples(), sw.reservoir().samples());
+
+      const stats::StreamingSummary& fr = fused.get<1>().summary();
+      EXPECT_EQ(fr.count(), sr.count()) << t.experiment();
+      EXPECT_EQ(fr.reservoir().samples(), sr.reservoir().samples());
+
+      const auto fh = fused.get<2>().histogram().materialize();
+      ASSERT_TRUE(fh.has_value());
+      EXPECT_EQ(fh->counts(), hist->counts()) << t.experiment();
+      EXPECT_EQ(fh->lo(), hist->lo());
+      EXPECT_EQ(fh->hi(), hist->hi());
+
+      const TimeSeries& fr8 = fused.get<3>().series();
+      EXPECT_EQ(fr8.t0, rate.t0);
+      EXPECT_EQ(fr8.dt, rate.dt);
+      EXPECT_EQ(fr8.values, rate.values) << t.experiment();
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST(ParallelScanTest, FusedKernelSetIsJobsInvariant) {
+  const ipm::Trace t = gcrm_trace();
+  const std::string path = write_v3_chunked(t, 64, "fused_jobs");
+  const EventFilter writes{.op = posix::OpType::kWrite};
+
+  auto run = [&](ipm::ScanOptions opt) {
+    ipm::ParallelTraceScanner scanner(path, opt);
+    const double span = scanner.time_span();
+    const ipm::ChunkHint hint = hint_for(writes);
+    return scanner.scan_kernels(
+        [&](std::size_t chunk) {
+          return KernelSet(
+              SummarySink(writes, chunk_summary_options({}, chunk)),
+              HistogramKernel(writes, {.bins = 40}),
+              RateKernel(writes, span, 64));
+        },
+        &hint);
+  };
+  auto base = run({.jobs = 1});
+  for (ipm::ScanOptions opt :
+       {ipm::ScanOptions{.jobs = 2}, ipm::ScanOptions{.jobs = 4},
+        ipm::ScanOptions{.jobs = 4, .merge_window = 2}}) {
+    auto got = run(opt);
+    EXPECT_EQ(got.get<0>().summary().reservoir().samples(),
+              base.get<0>().summary().reservoir().samples());
+    EXPECT_EQ(got.get<0>().summary().moments().mean,
+              base.get<0>().summary().moments().mean);
+    const auto hb = base.get<1>().histogram().materialize();
+    const auto hg = got.get<1>().histogram().materialize();
+    ASSERT_TRUE(hb && hg);
+    EXPECT_EQ(hg->counts(), hb->counts());
+    EXPECT_EQ(got.get<2>().series().values, base.get<2>().series().values);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(ParallelScanTest, WorkerExceptionsPropagateToCaller) {
   const ipm::Trace t = monotonic_trace(1000);
   const std::string path = write_v2_chunked(t, 64, "error_path");
