@@ -209,7 +209,17 @@ void FluidNetwork::recompute_touching(NodeId node, const std::vector<OstId>& ost
   std::size_t touched = nodes_[node].granted.size();
   for (OstId o : osts) touched += osts_[o].flow_count;
   if (touched >= granted_count_) {
-    for (auto& [id, f] : flows_) {
+    // Canonical refresh order: flow creation (FlowId) order. The order
+    // flows are refreshed in fixes the FIFO sequence of any completion
+    // events rescheduled to equal times, so it is part of the
+    // determinism contract — it must be a defined order, not an
+    // accident of hash-map iteration.
+    std::vector<FlowId> ids;
+    ids.reserve(flows_.size());
+    for (auto& [id, f] : flows_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (FlowId id : ids) {
+      Flow& f = flows_.at(id);
       if (f.granted) refresh(f);
     }
     return;
@@ -225,9 +235,15 @@ void FluidNetwork::recompute_touching(NodeId node, const std::vector<OstId>& ost
     refresh(f);
   };
   for (FlowId id : nodes_[node].granted) visit(id);
+  // Per-OST groups visited in ascending node order — the same
+  // canonical-order argument as the full scan above.
   for (OstId o : osts) {
-    for (const auto& [client, ids] : osts_[o].by_node) {
-      for (FlowId id : ids) visit(id);
+    std::vector<NodeId> clients;
+    clients.reserve(osts_[o].by_node.size());
+    for (const auto& [client, ids] : osts_[o].by_node) clients.push_back(client);
+    std::sort(clients.begin(), clients.end());
+    for (NodeId client : clients) {
+      for (FlowId id : osts_[o].by_node.at(client)) visit(id);
     }
   }
 }
@@ -286,7 +302,23 @@ void FluidNetwork::set_ost_capacity(OstId ost, Rate capacity) {
   EIO_CHECK(ost < osts_.size());
   EIO_CHECK(capacity > 0.0);
   osts_[ost].capacity = capacity;
-  recompute_touching(/*node=*/0, std::vector<OstId>{ost});
+  recompute_touching_ost(ost);
+}
+
+void FluidNetwork::recompute_touching_ost(OstId ost) {
+  // Only flows granted on this OST can see a rate change; a flow
+  // appears in exactly one node group, so no visit dedup is needed and
+  // no other flow is settled (touching an unrelated flow would perturb
+  // its floating-point remaining-bytes trajectory).
+  std::vector<NodeId> clients;
+  clients.reserve(osts_[ost].by_node.size());
+  for (const auto& [client, ids] : osts_[ost].by_node) clients.push_back(client);
+  std::sort(clients.begin(), clients.end());
+  for (NodeId client : clients) {
+    for (FlowId id : osts_[ost].by_node.at(client)) {
+      refresh(flows_.at(id));
+    }
+  }
 }
 
 }  // namespace eio::sim

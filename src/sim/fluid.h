@@ -187,6 +187,11 @@ class FluidNetwork {
   /// given node or any of the given OSTs. Falls back to a full scan of
   /// granted flows when the touched set covers most of them.
   void recompute_touching(NodeId node, const std::vector<OstId>& osts);
+  /// OST-only variant for capacity changes (fault windows): refreshes
+  /// exactly the flows granted on `ost`, in node order, without the
+  /// phantom node walk or the temp OST vector. (Not an overload of
+  /// recompute_touching: NodeId and OstId are both std::uint32_t.)
+  void recompute_touching_ost(OstId ost);
   /// Settle one flow, recompute its rate and reschedule completion.
   void refresh(Flow& f);
   void settle(Flow& f);
