@@ -1,37 +1,58 @@
 // Discrete-event simulation engine.
 //
-// A binary-heap calendar of cancellable events. Cancellation is lazy:
-// the heap entry stays behind, but its id is erased from the live map,
-// so popping skips it. When dead entries outnumber live ones the heap
-// is compacted in place, so churn-heavy workloads (schedule/cancel
-// loops like flow rescheduling) keep the calendar bounded by the live
-// event count instead of growing monotonically. Events at equal times
-// fire in scheduling order (FIFO tie-break via a monotone sequence
-// number), which keeps runs deterministic.
+// A binary-heap calendar of cancellable events, built for zero heap
+// allocations per event in steady state:
+//
+//  - Actions are InlineFunction (fixed-size in-place captures; a
+//    too-large capture is a compile error, never a hidden allocation).
+//  - Live actions sit in a slot slab with a free list. An EventId
+//    packs (generation << 32) | (slot + 1); schedule, cancel, pending
+//    and step are O(1) array operations, and a stale heap entry is
+//    recognized by a generation mismatch instead of a hash probe.
+//
+// Cancellation is lazy: the heap entry stays behind, but releasing the
+// slot bumps its generation, so popping skips it. When dead entries
+// outnumber live ones the heap is compacted in place, so churn-heavy
+// workloads (schedule/cancel loops like flow rescheduling) keep the
+// calendar bounded by the live event count instead of growing
+// monotonically. Events at equal times fire in scheduling order (FIFO
+// tie-break via a monotone sequence number carried in the heap entry —
+// recycled EventIds are not monotone), which keeps runs deterministic.
+//
+// Generation counters are 32-bit and wrap modularly: an id could alias
+// a later event in the same slot only after 2^32 reuses of that slot
+// while the stale id is still held, which no simulation approaches.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <limits>
-#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
 #include "common/units.h"
 #include "obs/registry.h"
+#include "sim/inline_function.h"
 
 namespace eio::sim {
 
-/// Handle to a scheduled event; used for cancellation.
+/// Handle to a scheduled event; used for cancellation. Packs
+/// (generation << 32) | (slot index + 1), so 0 stays the sentinel.
 using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEvent = 0;
 
+class EngineTestPeer;
+
 /// The event calendar and simulation clock.
 class Engine {
  public:
-  using Action = std::function<void()>;
+  /// Inline capture budget for scheduled actions. Sized for the
+  /// largest hot-path caller (lustre sync-write launch closures and
+  /// deferred FlowSpec captures); growing a capture past this is a
+  /// static_assert in InlineFunction, not a silent heap fallback.
+  static constexpr std::size_t kActionCapacity = 192;
+
+  using Action = InlineFunction<void(), kActionCapacity>;
 
   Engine() = default;
   Engine(const Engine&) = delete;
@@ -44,11 +65,21 @@ class Engine {
   /// Returns a handle that can be passed to cancel().
   EventId schedule_at(Seconds when, Action action) {
     EIO_CHECK_MSG(when >= now_, "scheduling into the past: when=" << when
-                                                                 << " now=" << now_);
-    EventId id = ++next_id_;
-    live_.emplace(id, std::move(action));
-    heap_.push_back(Entry{when, id});
+                                                                  << " now=" << now_);
+    std::uint32_t slot;
+    if (free_head_ != kNoSlot) {
+      slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    s.action = std::move(action);
+    EventId id = pack(slot, s.generation);
+    heap_.push_back(Entry{when, ++next_seq_, id});
     std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    ++live_count_;
     return id;
   }
 
@@ -60,16 +91,23 @@ class Engine {
   /// Cancel a previously scheduled event. Returns true if the event was
   /// still pending (false if it already ran or was cancelled).
   bool cancel(EventId id) {
-    if (live_.erase(id) == 0) return false;
+    if (!pending(id)) return false;
+    release_slot(slot_of(id));
+    --live_count_;
     maybe_compact();
     return true;
   }
 
-  /// True if an event is still pending.
-  [[nodiscard]] bool pending(EventId id) const { return live_.count(id) > 0; }
+  /// True if an event is still pending. O(1): bounds + generation
+  /// check (only ids returned by schedule_* are meaningful here).
+  [[nodiscard]] bool pending(EventId id) const {
+    if (id == kInvalidEvent) return false;
+    std::uint32_t slot = slot_of(id);
+    return slot < slots_.size() && slots_[slot].generation == gen_of(id);
+  }
 
   /// Number of live (not-yet-run, not-cancelled) events.
-  [[nodiscard]] std::size_t live_events() const noexcept { return live_.size(); }
+  [[nodiscard]] std::size_t live_events() const noexcept { return live_count_; }
 
   /// Number of calendar entries, live or cancelled-but-not-yet-reaped.
   /// Compaction keeps this within 2x of live_events() (plus a small
@@ -83,11 +121,17 @@ class Engine {
     while (!heap_.empty()) {
       Entry top = heap_.front();
       pop_entry();
-      auto it = live_.find(top.id);
-      if (it == live_.end()) continue;  // cancelled — stale entry discarded
+      std::uint32_t slot = slot_of(top.id);
+      if (slots_[slot].generation != gen_of(top.id)) {
+        continue;  // cancelled — stale entry discarded
+      }
       now_ = top.when;
-      Action action = std::move(it->second);
-      live_.erase(it);
+      // Move the action out and free the slot *before* invoking: the
+      // action may schedule (possibly reusing this slot or growing the
+      // slab) and the slot reference would not survive that.
+      Action action = std::move(slots_[slot].action);
+      release_slot(slot);
+      --live_count_;
       ++events_run_;
       action();
       return true;
@@ -110,7 +154,7 @@ class Engine {
     while (!heap_.empty()) {
       // Peek at the next live event's time without running it.
       Entry top = heap_.front();
-      if (live_.find(top.id) == live_.end()) {
+      if (slots_[slot_of(top.id)].generation != gen_of(top.id)) {
         pop_entry();
         continue;
       }
@@ -125,15 +169,48 @@ class Engine {
   [[nodiscard]] std::uint64_t events_run() const noexcept { return events_run_; }
 
  private:
+  friend class EngineTestPeer;
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  struct Slot {
+    Action action;
+    std::uint32_t generation = 0;  ///< matches live ids; bumped on release
+    std::uint32_t next_free = kNoSlot;
+  };
+
   struct Entry {
     Seconds when;
+    std::uint64_t seq;  ///< monotone schedule order (FIFO tie-break)
     EventId id;
-    // Min-heap by (time, id): smaller id == scheduled earlier.
+    // Min-heap by (time, schedule order).
     [[nodiscard]] bool operator>(const Entry& o) const noexcept {
       if (when != o.when) return when > o.when;
-      return id > o.id;
+      return seq > o.seq;
     }
   };
+
+  [[nodiscard]] static constexpr EventId pack(std::uint32_t slot,
+                                              std::uint32_t gen) noexcept {
+    return (static_cast<EventId>(gen) << 32) |
+           static_cast<EventId>(slot + 1);
+  }
+  [[nodiscard]] static constexpr std::uint32_t slot_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  }
+  [[nodiscard]] static constexpr std::uint32_t gen_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  /// Return a slot to the free list; the generation bump invalidates
+  /// every outstanding id (and stale heap entry) pointing at it.
+  void release_slot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.action.reset();
+    ++s.generation;
+    s.next_free = free_head_;
+    free_head_ = slot;
+  }
 
   /// Pop the root of the min-heap.
   void pop_entry() {
@@ -146,11 +223,12 @@ class Engine {
   /// heap, so the next one needs at least that many new dead entries.
   void maybe_compact() {
     if (heap_.size() < kCompactMinEntries) return;
-    if (heap_.size() - live_.size() <= live_.size()) return;
+    if (heap_.size() - live_count_ <= live_count_) return;
     OBS_COUNTER_ADD("sim.calendar_compactions", 1);
-    OBS_COUNTER_ADD("sim.calendar_entries_reaped", heap_.size() - live_.size());
-    std::erase_if(heap_,
-                  [this](const Entry& e) { return live_.count(e.id) == 0; });
+    OBS_COUNTER_ADD("sim.calendar_entries_reaped", heap_.size() - live_count_);
+    std::erase_if(heap_, [this](const Entry& e) {
+      return slots_[slot_of(e.id)].generation != gen_of(e.id);
+    });
     std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
   }
 
@@ -158,11 +236,13 @@ class Engine {
   static constexpr std::size_t kCompactMinEntries = 64;
 
   Seconds now_ = 0.0;
-  EventId next_id_ = 0;
+  std::uint64_t next_seq_ = 0;
   std::uint64_t events_run_ = 0;
+  std::size_t live_count_ = 0;
   // Min-heap via std::*_heap with std::greater (see Entry::operator>).
   std::vector<Entry> heap_;
-  std::unordered_map<EventId, Action> live_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
 };
 
 }  // namespace eio::sim

@@ -5,14 +5,32 @@
 
 namespace eio::sim {
 
+ConcurrencyPolicy::ConcurrencyPolicy(std::vector<Choice> cs)
+    : choices(std::move(cs)) {
+  EIO_CHECK_MSG(!choices.empty(), "empty concurrency policy");
+  cumulative.reserve(choices.size());
+  // The partial sums must be the exact sequence the old per-sample
+  // accumulation produced, so draws stay bit-identical.
+  double acc = 0.0;
+  for (const Choice& c : choices) {
+    EIO_CHECK_MSG(c.probability > 0.0,
+                  "concurrency probability must be positive, got "
+                      << c.probability << " for streams=" << c.streams);
+    acc += c.probability;
+    cumulative.push_back(acc);
+  }
+  EIO_CHECK_MSG(std::abs(acc - 1.0) <= 1e-9,
+                "concurrency probabilities sum to " << acc << ", expected 1");
+}
+
 std::uint32_t ConcurrencyPolicy::sample(rng::Stream& s) const {
   EIO_CHECK_MSG(!choices.empty(), "empty concurrency policy");
   double u = s.uniform();
-  double acc = 0.0;
-  for (const Choice& c : choices) {
-    acc += c.probability;
-    if (u < acc) return c.streams;
+  for (std::size_t i = 0; i < cumulative.size(); ++i) {
+    if (u < cumulative[i]) return choices[i].streams;
   }
+  // Unreachable for valid policies (sum == 1) unless u lands in the
+  // rounding sliver at the top; keep the historical fallback.
   return choices.back().streams;
 }
 
@@ -36,35 +54,91 @@ FluidNetwork::FluidNetwork(Engine& engine, Config config)
   }
 }
 
+std::uint32_t FluidNetwork::acquire_flow_slot() {
+  std::uint32_t slot;
+  if (flow_free_head_ != kNoIndex) {
+    slot = flow_free_head_;
+    flow_free_head_ = flow_slots_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(flow_slots_.size());
+    flow_slots_.emplace_back();
+  }
+  FlowSlot& s = flow_slots_[slot];
+  s.prev = active_tail_;
+  s.next = kNoIndex;
+  if (active_tail_ != kNoIndex) {
+    flow_slots_[active_tail_].next = slot;
+  } else {
+    active_head_ = slot;
+  }
+  active_tail_ = slot;
+  ++active_count_;
+  return slot;
+}
+
+void FluidNetwork::unlink_active(std::uint32_t slot) {
+  FlowSlot& s = flow_slots_[slot];
+  if (s.prev != kNoIndex) {
+    flow_slots_[s.prev].next = s.next;
+  } else {
+    active_head_ = s.next;
+  }
+  if (s.next != kNoIndex) {
+    flow_slots_[s.next].prev = s.prev;
+  } else {
+    active_tail_ = s.prev;
+  }
+  s.prev = s.next = kNoIndex;
+  --active_count_;
+}
+
+void FluidNetwork::release_flow_slot(std::uint32_t slot) {
+  FlowSlot& s = flow_slots_[slot];
+  ++s.generation;
+  s.next_free = flow_free_head_;
+  flow_free_head_ = slot;
+}
+
 FlowId FluidNetwork::start_flow(FlowSpec spec) {
   EIO_CHECK_MSG(spec.node < nodes_.size(), "bad node id " << spec.node);
   for (OstId o : spec.osts) EIO_CHECK_MSG(o < osts_.size(), "bad ost id " << o);
   EIO_CHECK_MSG(!spec.osts.empty(), "flow must touch at least one OST");
 
-  FlowId id = ++next_flow_id_;
-  Flow f;
+  std::uint32_t slot = acquire_flow_slot();
+  FlowSlot& cell = flow_slots_[slot];
+  FlowId id = pack(slot, cell.generation);
+  Flow& f = cell.f;
   f.id = id;
   f.node = spec.node;
-  f.osts = std::move(spec.osts);
+  // Copy into the slot's retained buffer (steady state: no growth)
+  // rather than adopting the spec's allocation.
+  f.osts.assign(spec.osts.begin(), spec.osts.end());
   // De-duplicate the OST set; shares are computed per unique OST.
   std::sort(f.osts.begin(), f.osts.end());
   f.osts.erase(std::unique(f.osts.begin(), f.osts.end()), f.osts.end());
-  // One allocation up front; grant() (possibly re-entered after a wait)
-  // only fills the already-sized buffer.
-  f.group_refs.reserve(f.osts.size());
+  f.group_idx.clear();
+  f.group_idx.reserve(f.osts.size());
   f.total_bytes = spec.bytes;
   f.remaining = static_cast<double>(spec.bytes);
   f.cap = spec.cap;
   f.ost_efficiency = spec.ost_efficiency;
   f.scheduled = spec.scheduled;
+  f.granted = false;
+  f.rate = 0.0;
   f.last_update = engine_.now();
+  f.visit_epoch = 0;
+  f.completion = kInvalidEvent;
   f.on_complete = std::move(spec.on_complete);
 
   if (f.remaining <= 0.0) {
     // Zero-byte transfer: complete on the next event boundary so the
-    // caller's callback never runs re-entrantly inside start_flow.
+    // caller's callback never runs re-entrantly inside start_flow. The
+    // slot is returned immediately — the id was only minted so the
+    // callback has a (now-dead) handle.
     auto cb = std::move(f.on_complete);
-    engine_.schedule_in(0.0, [cb = std::move(cb), id] {
+    unlink_active(slot);
+    release_flow_slot(slot);
+    engine_.schedule_in(0.0, [cb = std::move(cb), id]() mutable {
       if (cb) cb(id);
     });
     return id;
@@ -73,14 +147,10 @@ FlowId FluidNetwork::start_flow(FlowSpec spec) {
   Node& n = nodes_[f.node];
   maybe_start_burst(n);
 
-  auto [it, inserted] = flows_.emplace(id, std::move(f));
-  EIO_CHECK(inserted);
-  Flow& flow = it->second;
-
-  bool can_grant = !flow.scheduled || n.granted.size() < n.concurrency;
+  bool can_grant = !f.scheduled || n.granted.size() < n.concurrency;
   if (can_grant) {
-    grant(flow);
-    recompute_touching(flow.node, flow.osts);
+    grant(f);
+    recompute_touching(f.node, f.osts);
   } else {
     n.waiting.push_back(id);
   }
@@ -94,19 +164,39 @@ void FluidNetwork::maybe_start_burst(Node& n) {
   }
 }
 
+std::uint32_t FluidNetwork::find_or_make_group(Ost& ost, NodeId node) {
+  auto it = std::lower_bound(
+      ost.order.begin(), ost.order.end(), node,
+      [&ost](std::uint32_t gi, NodeId n) { return ost.groups[gi].node < n; });
+  if (it != ost.order.end() && ost.groups[*it].node == node) return *it;
+  std::uint32_t gi;
+  if (ost.free_head != kNoIndex) {
+    gi = ost.free_head;
+    ost.free_head = ost.groups[gi].next_free;
+  } else {
+    gi = static_cast<std::uint32_t>(ost.groups.size());
+    ost.groups.emplace_back();
+  }
+  Group& g = ost.groups[gi];
+  g.node = node;
+  g.ids.clear();  // reused cells keep their capacity
+  ost.order.insert(it, gi);
+  return gi;
+}
+
 void FluidNetwork::grant(Flow& f) {
   EIO_CHECK(!f.granted);
   f.granted = true;
   ++granted_count_;
   Node& n = nodes_[f.node];
   n.granted.push_back(f.id);
-  f.group_refs.clear();
-  f.group_refs.reserve(f.osts.size());
+  f.group_idx.clear();
+  f.group_idx.reserve(f.osts.size());
   for (OstId o : f.osts) {
     Ost& ost = osts_[o];
-    auto& group = ost.by_node[f.node];
-    group.push_back(f.id);
-    f.group_refs.push_back(&group);
+    std::uint32_t gi = find_or_make_group(ost, f.node);
+    ost.groups[gi].ids.push_back(f.id);
+    f.group_idx.push_back(gi);
     ++ost.flow_count;
   }
 }
@@ -118,17 +208,25 @@ void FluidNetwork::release_resources(Flow& f) {
     auto it = std::find(n.granted.begin(), n.granted.end(), f.id);
     EIO_CHECK(it != n.granted.end());
     n.granted.erase(it);
-    for (OstId o : f.osts) {
-      Ost& ost = osts_[o];
-      auto bn = ost.by_node.find(f.node);
-      EIO_CHECK(bn != ost.by_node.end());
-      auto fit = std::find(bn->second.begin(), bn->second.end(), f.id);
-      EIO_CHECK(fit != bn->second.end());
-      bn->second.erase(fit);
-      if (bn->second.empty()) ost.by_node.erase(bn);
+    for (std::size_t i = 0; i < f.osts.size(); ++i) {
+      Ost& ost = osts_[f.osts[i]];
+      std::uint32_t gi = f.group_idx[i];
+      Group& g = ost.groups[gi];
+      auto fit = std::find(g.ids.begin(), g.ids.end(), f.id);
+      EIO_CHECK(fit != g.ids.end());
+      g.ids.erase(fit);
+      if (g.ids.empty()) {
+        auto oit = std::lower_bound(
+            ost.order.begin(), ost.order.end(), g.node,
+            [&ost](std::uint32_t o, NodeId nn) { return ost.groups[o].node < nn; });
+        EIO_CHECK(oit != ost.order.end() && *oit == gi);
+        ost.order.erase(oit);
+        g.next_free = ost.free_head;
+        ost.free_head = gi;
+      }
       --ost.flow_count;
     }
-    f.group_refs.clear();
+    f.group_idx.clear();
   } else {
     auto it = std::find(n.waiting.begin(), n.waiting.end(), f.id);
     EIO_CHECK(it != n.waiting.end());
@@ -144,9 +242,7 @@ void FluidNetwork::pump_waiting(Node& n) {
     std::size_t pick = static_cast<std::size_t>(n.rng.index(n.waiting.size()));
     FlowId id = n.waiting[pick];
     n.waiting.erase(n.waiting.begin() + static_cast<std::ptrdiff_t>(pick));
-    auto it = flows_.find(id);
-    EIO_CHECK(it != flows_.end());
-    grant(it->second);
+    grant(resolve(id));
   }
 }
 
@@ -168,12 +264,13 @@ Rate FluidNetwork::compute_rate(const Flow& f) const {
   Rate ost_total = 0.0;
   for (std::size_t i = 0; i < f.osts.size(); ++i) {
     const Ost& ost = osts_[f.osts[i]];
-    std::size_t clients = ost.by_node.size();
+    std::size_t clients = ost.order.size();
     EIO_DCHECK(clients >= 1);
     double eff = contention_.efficiency(static_cast<std::uint32_t>(clients));
     Rate node_slice = ost.capacity * eff / static_cast<double>(clients);
-    EIO_DCHECK(f.group_refs[i] != nullptr && !f.group_refs[i]->empty());
-    ost_total += node_slice / static_cast<double>(f.group_refs[i]->size());
+    const Group& g = ost.groups[f.group_idx[i]];
+    EIO_DCHECK(!g.ids.empty());
+    ost_total += node_slice / static_cast<double>(g.ids.size());
   }
   ost_total *= f.ost_efficiency;
 
@@ -209,17 +306,13 @@ void FluidNetwork::recompute_touching(NodeId node, const std::vector<OstId>& ost
   std::size_t touched = nodes_[node].granted.size();
   for (OstId o : osts) touched += osts_[o].flow_count;
   if (touched >= granted_count_) {
-    // Canonical refresh order: flow creation (FlowId) order. The order
-    // flows are refreshed in fixes the FIFO sequence of any completion
-    // events rescheduled to equal times, so it is part of the
-    // determinism contract — it must be a defined order, not an
-    // accident of hash-map iteration.
-    std::vector<FlowId> ids;
-    ids.reserve(flows_.size());
-    for (auto& [id, f] : flows_) ids.push_back(id);
-    std::sort(ids.begin(), ids.end());
-    for (FlowId id : ids) {
-      Flow& f = flows_.at(id);
+    // Canonical refresh order: flow creation order, i.e. the active
+    // list front to back. The order flows are refreshed in fixes the
+    // FIFO sequence of any completion events rescheduled to equal
+    // times, so it is part of the determinism contract — it must be a
+    // defined order, not an accident of hash-map iteration.
+    for (std::uint32_t s = active_head_; s != kNoIndex; s = flow_slots_[s].next) {
+      Flow& f = flow_slots_[s].f;
       if (f.granted) refresh(f);
     }
     return;
@@ -227,31 +320,28 @@ void FluidNetwork::recompute_touching(NodeId node, const std::vector<OstId>& ost
 
   ++epoch_;
   auto visit = [this](FlowId id) {
-    auto it = flows_.find(id);
-    EIO_DCHECK(it != flows_.end());
-    Flow& f = it->second;
+    Flow& f = resolve(id);
     if (f.visit_epoch == epoch_) return;
     f.visit_epoch = epoch_;
     refresh(f);
   };
   for (FlowId id : nodes_[node].granted) visit(id);
-  // Per-OST groups visited in ascending node order — the same
-  // canonical-order argument as the full scan above.
+  // Per-OST groups visited in ascending node order (the `order` index
+  // is sorted by node) — the same canonical-order argument as the full
+  // scan above.
   for (OstId o : osts) {
-    std::vector<NodeId> clients;
-    clients.reserve(osts_[o].by_node.size());
-    for (const auto& [client, ids] : osts_[o].by_node) clients.push_back(client);
-    std::sort(clients.begin(), clients.end());
-    for (NodeId client : clients) {
-      for (FlowId id : osts_[o].by_node.at(client)) visit(id);
+    const Ost& ost = osts_[o];
+    for (std::uint32_t gi : ost.order) {
+      for (FlowId id : ost.groups[gi].ids) visit(id);
     }
   }
 }
 
 void FluidNetwork::complete_flow(FlowId id) {
-  auto it = flows_.find(id);
-  EIO_CHECK(it != flows_.end());
-  Flow& f = it->second;
+  std::uint32_t slot = slot_of(id);
+  EIO_CHECK(slot < flow_slots_.size() &&
+            flow_slots_[slot].generation == gen_of(id));
+  Flow& f = flow_slots_[slot].f;
   settle(f);
   // The completion event fires exactly at remaining/rate; any residue
   // is floating-point noise.
@@ -259,23 +349,27 @@ void FluidNetwork::complete_flow(FlowId id) {
   bytes_completed_ += f.total_bytes;
 
   NodeId node = f.node;
-  auto on_complete = std::move(f.on_complete);
+  FlowCallback on_complete = std::move(f.on_complete);
 
   release_resources(f);
-  // release_resources walks f.osts, so the move must come after it.
-  std::vector<OstId> osts = std::move(f.osts);
-  flows_.erase(it);
+  // Off the active list before recomputing, so the full scan no longer
+  // sees the completing flow; the slot itself (and f.osts) stays alive
+  // until after the recompute, which still needs the OST list.
+  unlink_active(slot);
 
   Node& n = nodes_[node];
   pump_waiting(n);
-  recompute_touching(node, osts);
+  recompute_touching(node, f.osts);
 
+  // No start_flow can have happened since unlinking (grant/refresh
+  // never re-enter user code), so the slot is still ours to return.
+  release_flow_slot(slot);
   if (on_complete) on_complete(id);
 }
 
 Rate FluidNetwork::flow_rate(FlowId id) const {
-  auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rate;
+  if (!flow_active(id)) return 0.0;
+  return flow_slots_[slot_of(id)].f.rate;
 }
 
 std::size_t FluidNetwork::ost_flow_count(OstId ost) const {
@@ -285,7 +379,7 @@ std::size_t FluidNetwork::ost_flow_count(OstId ost) const {
 
 std::size_t FluidNetwork::ost_client_count(OstId ost) const {
   EIO_CHECK(ost < osts_.size());
-  return osts_[ost].by_node.size();
+  return osts_[ost].order.size();
 }
 
 std::size_t FluidNetwork::node_granted(NodeId node) const {
@@ -309,14 +403,12 @@ void FluidNetwork::recompute_touching_ost(OstId ost) {
   // Only flows granted on this OST can see a rate change; a flow
   // appears in exactly one node group, so no visit dedup is needed and
   // no other flow is settled (touching an unrelated flow would perturb
-  // its floating-point remaining-bytes trajectory).
-  std::vector<NodeId> clients;
-  clients.reserve(osts_[ost].by_node.size());
-  for (const auto& [client, ids] : osts_[ost].by_node) clients.push_back(client);
-  std::sort(clients.begin(), clients.end());
-  for (NodeId client : clients) {
-    for (FlowId id : osts_[ost].by_node.at(client)) {
-      refresh(flows_.at(id));
+  // its floating-point remaining-bytes trajectory). Groups come out in
+  // ascending node order — the canonical order.
+  const Ost& o = osts_[ost];
+  for (std::uint32_t gi : o.order) {
+    for (FlowId id : o.groups[gi].ids) {
+      refresh(resolve(id));
     }
   }
 }

@@ -23,11 +23,19 @@
 // concurrent streams (concurrency sampled per busy-burst from a
 // configurable policy; grant order randomized per grant, which is what
 // produces the Law-of-Large-Numbers averaging of Figure 2).
+//
+// Storage layout (steady-state allocation-free, mirroring the engine's
+// calendar): flows live in a slot slab with a free list — FlowId packs
+// (generation << 32) | (slot + 1) — threaded onto an intrusive doubly
+// linked list in creation order, which is the canonical refresh order
+// for full-scan recomputes. Each OST keeps its per-client-node flow
+// groups in a small slab with a parallel `order` index vector sorted
+// by node id, replacing the previous hash map; recomputes walk groups
+// in ascending node order (canonical) and released slots retain their
+// vector capacities for reuse.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
@@ -35,22 +43,31 @@
 #include "common/rng.h"
 #include "common/units.h"
 #include "sim/engine.h"
+#include "sim/inline_function.h"
 
 namespace eio::sim {
 
-/// Handle identifying an active flow.
+/// Handle identifying an active flow. Packs
+/// (generation << 32) | (slot index + 1), so 0 stays the sentinel.
 using FlowId = std::uint64_t;
 
 inline constexpr FlowId kInvalidFlow = 0;
 
 /// Distribution over per-burst stream concurrency for a node's client
-/// I/O scheduler. Probabilities must sum to ~1.
+/// I/O scheduler. Probabilities must be positive and sum to 1 (±1e-9);
+/// violations throw at construction, not at the millionth sample().
 struct ConcurrencyPolicy {
   struct Choice {
     std::uint32_t streams = 1;  ///< concurrent streams admitted
     double probability = 1.0;
   };
-  std::vector<Choice> choices;
+
+  ConcurrencyPolicy() = default;  ///< empty; sample() rejects it
+
+  /// Validates and precomputes the cumulative table (the same partial
+  /// sums sample() used to accumulate per call, so draws are
+  /// bit-identical to the accumulate-in-the-loop implementation).
+  ConcurrencyPolicy(std::vector<Choice> cs);  // NOLINT(google-explicit-constructor)
 
   /// All bursts admit exactly `n` concurrent streams.
   [[nodiscard]] static ConcurrencyPolicy fixed(std::uint32_t n) {
@@ -64,6 +81,10 @@ struct ConcurrencyPolicy {
   }
 
   [[nodiscard]] std::uint32_t sample(rng::Stream& s) const;
+
+  std::vector<Choice> choices;
+  /// cumulative[i] = sum of probabilities[0..i], built once.
+  std::vector<double> cumulative;
 };
 
 /// Diminishing OST efficiency as the count of distinct client nodes
@@ -79,6 +100,13 @@ struct ContentionModel {
   }
 };
 
+/// Inline capture budget for flow-completion callbacks (largest
+/// caller: the lustre sync-write completion closure).
+inline constexpr std::size_t kFlowCallbackCapacity = 96;
+
+/// Completion callback; captures stay in place (no heap fallback).
+using FlowCallback = InlineFunction<void(FlowId), kFlowCallbackCapacity>;
+
 /// Parameters of a new flow.
 struct FlowSpec {
   NodeId node = 0;               ///< originating compute node
@@ -87,7 +115,7 @@ struct FlowSpec {
   Rate cap = 1e18;               ///< per-flow rate ceiling (e.g. degraded reads)
   double ost_efficiency = 1.0;   ///< multiplier on OST-side share (read penalty)
   bool scheduled = true;         ///< subject to the node token scheduler
-  std::function<void(FlowId)> on_complete;  ///< fired when bytes drain
+  FlowCallback on_complete;      ///< fired when bytes drain
 };
 
 /// The network of NICs and OSTs carrying fluid flows.
@@ -111,14 +139,18 @@ class FluidNetwork {
   FlowId start_flow(FlowSpec spec);
 
   /// Number of flows not yet completed (granted + waiting).
-  [[nodiscard]] std::size_t active_flows() const noexcept { return flows_.size(); }
+  [[nodiscard]] std::size_t active_flows() const noexcept { return active_count_; }
 
   /// Instantaneous rate of a flow (0 if waiting for a token or done).
   [[nodiscard]] Rate flow_rate(FlowId id) const;
 
-  /// True while the flow exists (granted or queued).
+  /// True while the flow exists (granted or queued). O(1): bounds +
+  /// generation check.
   [[nodiscard]] bool flow_active(FlowId id) const {
-    return flows_.find(id) != flows_.end();
+    if (id == kInvalidFlow) return false;
+    std::uint32_t slot = slot_of(id);
+    return slot < flow_slots_.size() &&
+           flow_slots_[slot].generation == gen_of(id);
   }
 
   /// Count of granted flows currently registered on an OST.
@@ -143,15 +175,16 @@ class FluidNetwork {
   [[nodiscard]] std::size_t ost_count() const noexcept { return osts_.size(); }
 
  private:
+  static constexpr std::uint32_t kNoIndex = 0xffffffffu;
+
   struct Flow {
     FlowId id = kInvalidFlow;
     NodeId node = 0;
     std::vector<OstId> osts;
-    /// Cached pointers to each OST's per-node flow group for this
-    /// flow's node (parallel to `osts`, valid while granted; the
-    /// pointees are unordered_map mapped values, whose addresses are
-    /// stable under unrelated insert/erase).
-    std::vector<const std::vector<FlowId>*> group_refs;
+    /// Index of this flow's node group in osts_[osts[i]].groups,
+    /// parallel to `osts`; valid while granted. Slab indices are
+    /// stable under unrelated group insert/release.
+    std::vector<std::uint32_t> group_idx;
     Bytes total_bytes = 0;        ///< original payload size
     double remaining = 0.0;       ///< bytes left to move
     Rate cap = 1e18;
@@ -162,7 +195,18 @@ class FluidNetwork {
     Seconds last_update = 0.0;
     std::uint64_t visit_epoch = 0;
     EventId completion = kInvalidEvent;
-    std::function<void(FlowId)> on_complete;
+    FlowCallback on_complete;
+  };
+
+  /// Slab cell: flow + generation tag + free-list / active-list links.
+  /// The active list is threaded in creation order — the canonical
+  /// full-scan refresh order (packed FlowIds are not monotone).
+  struct FlowSlot {
+    Flow f;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNoIndex;
+    std::uint32_t prev = kNoIndex;  ///< active-list link
+    std::uint32_t next = kNoIndex;  ///< active-list link
   };
 
   struct Node {
@@ -173,12 +217,52 @@ class FluidNetwork {
     rng::Stream rng;
   };
 
+  /// Granted flows from one client node on one OST.
+  struct Group {
+    NodeId node = 0;
+    std::vector<FlowId> ids;
+    std::uint32_t next_free = kNoIndex;
+  };
+
   struct Ost {
     Rate capacity = 0.0;
-    // granted flows on this OST, grouped by client node
-    std::unordered_map<NodeId, std::vector<FlowId>> by_node;
+    std::vector<Group> groups;          ///< slab; indices are stable
+    std::vector<std::uint32_t> order;   ///< live groups, sorted by node
+    std::uint32_t free_head = kNoIndex; ///< group slab free list
     std::size_t flow_count = 0;
   };
+
+  [[nodiscard]] static constexpr FlowId pack(std::uint32_t slot,
+                                             std::uint32_t gen) noexcept {
+    return (static_cast<FlowId>(gen) << 32) | static_cast<FlowId>(slot + 1);
+  }
+  [[nodiscard]] static constexpr std::uint32_t slot_of(FlowId id) noexcept {
+    return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  }
+  [[nodiscard]] static constexpr std::uint32_t gen_of(FlowId id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  [[nodiscard]] Flow& resolve(FlowId id) {
+    std::uint32_t slot = slot_of(id);
+    EIO_CHECK_MSG(slot < flow_slots_.size() &&
+                      flow_slots_[slot].generation == gen_of(id),
+                  "dead flow id " << id);
+    return flow_slots_[slot].f;
+  }
+
+  /// Take a slab cell (free list first) and link it at the active-list
+  /// tail. Reused cells keep their vectors' capacities.
+  std::uint32_t acquire_flow_slot();
+  /// Unlink from the active list (creation-order scan skips it).
+  void unlink_active(std::uint32_t slot);
+  /// Bump the generation and push onto the free list; container
+  /// capacities are retained for the next flow.
+  void release_flow_slot(std::uint32_t slot);
+
+  /// Index into ost.groups for `node`'s group, creating (slab reuse
+  /// first) and splicing into the sorted order vector if absent.
+  std::uint32_t find_or_make_group(Ost& ost, NodeId node);
 
   void grant(Flow& f);
   void release_resources(Flow& f);
@@ -205,8 +289,11 @@ class FluidNetwork {
   ConcurrencyPolicy policy_;
   std::vector<Node> nodes_;
   std::vector<Ost> osts_;
-  std::unordered_map<FlowId, Flow> flows_;
-  FlowId next_flow_id_ = 0;
+  std::vector<FlowSlot> flow_slots_;
+  std::uint32_t flow_free_head_ = kNoIndex;
+  std::uint32_t active_head_ = kNoIndex;  ///< oldest live flow
+  std::uint32_t active_tail_ = kNoIndex;  ///< newest live flow
+  std::size_t active_count_ = 0;
   Bytes bytes_completed_ = 0;
   std::size_t granted_count_ = 0;
   std::uint64_t epoch_ = 0;  ///< visitation stamp for recompute dedup

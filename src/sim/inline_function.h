@@ -1,0 +1,116 @@
+// Small-buffer move-only callable with NO heap fallback.
+//
+// std::function heap-allocates any capture larger than (typically) two
+// pointers, which put an allocation on every scheduled simulation
+// event. InlineFunction stores the callable in place and refuses — at
+// compile time — anything that does not fit, so hot-path capture
+// growth is a build error instead of a silent perf regression.
+//
+// Move semantics relocate the callable into the destination and leave
+// the source empty; the callable must therefore be nothrow-move-
+// constructible (also enforced by static_assert).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace eio::sim {
+
+template <typename Signature, std::size_t Capacity>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFunction> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "callable does not fit the inline buffer: shrink the "
+                  "capture or grow the InlineFunction capacity");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned callable");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "callable must be nothrow-move-constructible (moves "
+                  "relocate it between inline buffers)");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    ops_ = &OpsFor<Fn>::table;
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { steal(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  /// Destroy the held callable (no-op when empty).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  struct OpsFor {
+    static R invoke(void* s, Args&&... args) {
+      return (*std::launder(reinterpret_cast<Fn*>(s)))(
+          std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void destroy(void* s) noexcept {
+      std::launder(reinterpret_cast<Fn*>(s))->~Fn();
+    }
+    static constexpr Ops table{&invoke, &relocate, &destroy};
+  };
+
+  /// Move-construct from `other`'s buffer and empty it.
+  void steal(InlineFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(storage_, other.storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace eio::sim

@@ -5,7 +5,23 @@
 
 #include <vector>
 
+#include "obs/registry.h"
+
 namespace eio::sim {
+
+/// White-box access for slot-recycling tests: lets a test fast-forward
+/// a free slot's generation counter to exercise wraparound without
+/// 2^32 schedule/cancel cycles.
+class EngineTestPeer {
+ public:
+  static std::uint32_t slot_index(EventId id) { return Engine::slot_of(id); }
+  static std::uint32_t generation(EventId id) { return Engine::gen_of(id); }
+  static void set_slot_generation(Engine& e, std::uint32_t slot,
+                                  std::uint32_t gen) {
+    e.slots_[slot].generation = gen;
+  }
+};
+
 namespace {
 
 TEST(EngineTest, StartsAtTimeZero) {
@@ -207,6 +223,98 @@ TEST(EngineTest, ManyEventsStressOrdering) {
   for (std::size_t i = 1; i < times.size(); ++i) {
     EXPECT_LE(times[i - 1], times[i]);
   }
+}
+
+TEST(EngineTest, CancelAfterFireOnRecycledSlotStaysFalse) {
+  // After an event fires, its slot goes back on the free list and the
+  // next schedule reuses it. A stale cancel with the old id must not
+  // kill the new tenant.
+  Engine e;
+  EventId a = e.schedule_in(1.0, [] {});
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.pending(a));
+  EXPECT_FALSE(e.cancel(a));
+
+  bool b_ran = false;
+  EventId b = e.schedule_in(1.0, [&] { b_ran = true; });
+  ASSERT_EQ(EngineTestPeer::slot_index(b), EngineTestPeer::slot_index(a))
+      << "expected the freed slot to be recycled";
+  EXPECT_NE(a, b);  // generation differs
+  EXPECT_FALSE(e.cancel(a)) << "stale id cancelled the recycled slot";
+  EXPECT_TRUE(e.pending(b));
+  e.run();
+  EXPECT_TRUE(b_ran);
+}
+
+TEST(EngineTest, PendingOnRecycledIdDistinguishesGenerations) {
+  Engine e;
+  EventId a = e.schedule_in(1.0, [] {});
+  EXPECT_TRUE(e.cancel(a));
+  EventId b = e.schedule_in(2.0, [] {});
+  ASSERT_EQ(EngineTestPeer::slot_index(b), EngineTestPeer::slot_index(a));
+  EXPECT_FALSE(e.pending(a));
+  EXPECT_TRUE(e.pending(b));
+  EXPECT_FALSE(e.pending(kInvalidEvent));
+}
+
+TEST(EngineTest, SlotGenerationWraparoundIsModular) {
+  // Generations are 32-bit and wrap; the contract is modular equality,
+  // so an id one generation behind must read dead across the wrap too.
+  Engine e;
+  EventId a = e.schedule_in(1.0, [] {});
+  EXPECT_TRUE(e.cancel(a));
+  std::uint32_t slot = EngineTestPeer::slot_index(a);
+  EngineTestPeer::set_slot_generation(e, slot, 0xffffffffu);
+
+  bool b_ran = false;
+  EventId b = e.schedule_in(1.0, [&] { b_ran = true; });
+  ASSERT_EQ(EngineTestPeer::slot_index(b), slot);
+  EXPECT_EQ(EngineTestPeer::generation(b), 0xffffffffu);
+  EXPECT_TRUE(e.pending(b));
+  EXPECT_TRUE(e.cancel(b));  // release wraps the generation to 0
+
+  bool c_ran = false;
+  EventId c = e.schedule_in(1.0, [&] { c_ran = true; });
+  ASSERT_EQ(EngineTestPeer::slot_index(c), slot);
+  EXPECT_EQ(EngineTestPeer::generation(c), 0u);
+  EXPECT_FALSE(e.pending(b)) << "pre-wrap id alive after the wrap";
+  EXPECT_TRUE(e.pending(c));
+  e.run();
+  EXPECT_FALSE(b_ran);
+  EXPECT_TRUE(c_ran);
+}
+
+TEST(EngineTest, CompactionObsCountersAccurateUnderFreelist) {
+  // sim.calendar_entries_reaped must account for every dead entry that
+  // compaction removed: with no events executed, dead entries are only
+  // created by cancel() and only destroyed by compaction, so
+  //   reaped == cancels - (calendar_entries - live_events).
+  obs::set_enabled(true);
+  obs::Registry::instance().reset();
+  Engine e;
+  std::size_t cancels = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<EventId> doomed;
+    for (int i = 0; i < 40; ++i) {
+      EventId id = e.schedule_at(1e6 + round * 40.0 + i, [] {});
+      if (i > 0) doomed.push_back(id);
+    }
+    for (EventId id : doomed) e.cancel(id);
+    cancels += doomed.size();
+  }
+  obs::Snapshot snap = obs::Registry::instance().snapshot();
+  obs::set_enabled(false);
+
+  std::uint64_t compactions = 0;
+  std::uint64_t reaped = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == "sim.calendar_compactions") compactions = c.value;
+    if (c.name == "sim.calendar_entries_reaped") reaped = c.value;
+  }
+  EXPECT_GE(compactions, 1u) << "98% churn never triggered compaction";
+  std::size_t dead_in_heap = e.calendar_entries() - e.live_events();
+  EXPECT_EQ(reaped, cancels - dead_in_heap);
+  EXPECT_EQ(e.live_events(), 50u);
 }
 
 }  // namespace

@@ -273,6 +273,28 @@ TEST(FluidTest, FixedPolicyAlwaysSamplesSame) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(policy.sample(s), 3u);
 }
 
+TEST(FluidTest, PolicyRejectsNonPositiveProbability) {
+  EXPECT_THROW(ConcurrencyPolicy({{1, 0.5}, {4, 0.0}}), std::logic_error);
+  EXPECT_THROW(ConcurrencyPolicy({{1, 1.5}, {4, -0.5}}), std::logic_error);
+}
+
+TEST(FluidTest, PolicyRejectsProbabilitiesNotSummingToOne) {
+  EXPECT_THROW(ConcurrencyPolicy({{1, 0.5}, {4, 0.4}}), std::logic_error);
+  EXPECT_THROW(ConcurrencyPolicy({{1, 0.7}, {4, 0.7}}), std::logic_error);
+  EXPECT_THROW(ConcurrencyPolicy(std::vector<ConcurrencyPolicy::Choice>{}),
+               std::logic_error);
+  // Tiny FP slack is fine: the tolerance is 1e-9, not exactness.
+  EXPECT_NO_THROW(ConcurrencyPolicy({{1, 0.25}, {2, 0.30}, {4, 0.45}}));
+}
+
+TEST(FluidTest, PolicyCumulativeTableMatchesChoices) {
+  ConcurrencyPolicy policy{{{1, 0.25}, {2, 0.30}, {4, 0.45}}};
+  ASSERT_EQ(policy.cumulative.size(), 3u);
+  EXPECT_DOUBLE_EQ(policy.cumulative[0], 0.25);
+  EXPECT_DOUBLE_EQ(policy.cumulative[1], 0.25 + 0.30);
+  EXPECT_DOUBLE_EQ(policy.cumulative[2], 0.25 + 0.30 + 0.45);
+}
+
 TEST(FluidTest, SetOstCapacityChangesRates) {
   Net net(1, 1, 1e9, 100.0);
   double finished = -1.0;
