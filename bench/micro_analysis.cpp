@@ -56,6 +56,7 @@
 #include "ipm/trace.h"
 #include "ipm/trace_source.h"
 #include "ipm/trace_stream.h"
+#include "monitor/health.h"
 
 namespace {
 
@@ -409,6 +410,47 @@ PathResult run_fused(const std::string& path, std::size_t events,
   return r;
 }
 
+/// The fused bundle with the online health monitor folded in as a
+/// fourth kernel — what `eiotrace analyze --monitor` runs. The hint
+/// widens to all-chunks (the monitor must see fault-marker chunks), so
+/// the row prices both the kernel itself and the lost chunk pruning;
+/// compare against fused_jN for the monitor's relative overhead.
+PathResult run_fused_monitored(const std::string& path, std::size_t events,
+                               std::size_t jobs) {
+  double t0 = now_seconds();
+  ipm::ParallelTraceScanner scanner(path, {.jobs = jobs});
+  const ipm::ChunkHint hint;  // all chunks: markers must survive
+  const double span = scanner.time_span();
+
+  monitor::HealthOptions mopt;
+  mopt.ost_count = 48;  // the `analyze --monitor` default (franklin)
+  auto fused = scanner.scan_kernels(
+      [&](std::size_t chunk) {
+        return analysis::KernelSet(
+            analysis::SummarySink(kWrites,
+                                  analysis::chunk_summary_options({}, chunk)),
+            analysis::HistogramKernel(
+                kWrites, {.scale = stats::BinScale::kLinear, .bins = 40}),
+            analysis::RateKernel(kWrites, span, 100),
+            monitor::HealthKernel(mopt, chunk));
+      },
+      &hint);
+  const stats::StreamingSummary& s = fused.get<0>().summary();
+  if (s.empty()) std::abort();
+  fused.get<3>().finish();
+
+  PathResult r;
+  r.seconds = now_seconds() - t0;
+  r.events_per_sec = static_cast<double>(events) / r.seconds;
+  r.mean = s.moments().mean;
+  r.median = s.median();
+  if (fused.get<1>().histogram().count() == 0 ||
+      fused.get<2>().series().values.empty()) {
+    std::abort();
+  }
+  return r;
+}
+
 // ---------------------------------------------------------------------------
 // Kernel-cost rows: per-event cost of the statistics kernels in
 // isolation (no I/O, no decode), so regressions in the inner loops are
@@ -656,6 +698,12 @@ int main(int argc, char** argv) {
       std::string fused_v3_name = "fused_v3_j" + std::to_string(jobs);
       check_against_reference(fused_v3_name.c_str(), fused_v3, materialized);
       emit(events, std::move(fused_v3_name), fused_v3, jobs);
+
+      PathResult monitored =
+          measure([&] { return run_fused_monitored(path, events, jobs); });
+      std::string mon_name = "monitor_overhead_j" + std::to_string(jobs);
+      check_against_reference(mon_name.c_str(), monitored, materialized);
+      emit(events, std::move(mon_name), monitored, jobs);
     }
     std::remove(path.c_str());
     std::remove(path_v3.c_str());
@@ -703,8 +751,11 @@ int main(int argc, char** argv) {
           "rank_bytes/rank_bytes_v3 run a two-column selective pass "
           "where the decode cost itself is the workload; parallel rows "
           "run the bundle as three scans, fused rows as one KernelSet "
-          "scan; kernel_* rows time the statistics kernels alone on an "
-          "in-memory stream with no decode\",\n"
+          "scan; monitor_overhead rows run the fused bundle with the "
+          "online health monitor as a fourth kernel and an all-chunks "
+          "hint, so (fused_jN - monitor_overhead_jN) / fused_jN is the "
+          "monitor's relative cost; kernel_* rows time the statistics "
+          "kernels alone on an in-memory stream with no decode\",\n"
        << "  \"hardware_concurrency\": " << cores << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];

@@ -27,7 +27,9 @@
 #include "ipm/trace_source.h"
 #include "ipm/trace_stream.h"
 #include "ipm/trace_v3.h"
+#include "ipm/sink.h"
 #include "lustre/machine.h"
+#include "monitor/health.h"
 #include "obs/build_info.h"
 #include "obs/export.h"
 #include "obs/registry.h"
@@ -96,6 +98,22 @@ constexpr OptionSpec kAnalyzeSpecs[] = {
     {"log", OptKind::kFlag, "", "log10 duration axis for the histogram"},
     {"bins", OptKind::kSize, "40", "histogram bins"},
     {"rate-bins", OptKind::kSize, "100", "rate time-axis bins"},
+    {"monitor", OptKind::kFlag, "",
+     "fold the online health monitor into the fused pass"},
+};
+
+constexpr OptionSpec kMonitorSpecs[] = {
+    {"ost-count", OptKind::kSize, "48",
+     "OSTs of the source machine for per-OST attribution (0 = skip)"},
+    {"window", OptKind::kSize, "2048",
+     "sliding-window capacity (admitted bulk events)"},
+    {"stride", OptKind::kSize, "1024",
+     "admitted events between detector evaluations"},
+    {"drift-d", OptKind::kDouble, "0",
+     "KS D threshold for the distribution-drift detector (0 = off; "
+     "phase-structured workloads legitimately drift)"},
+    {"incidents", OptKind::kString, "",
+     "write the incident log as JSONL to this path"},
 };
 
 constexpr OptionSpec kDiagramSpecs[] = {
@@ -130,6 +148,8 @@ constexpr OptionSpec kSimulateSpecs[] = {
     {"save-dir", OptKind::kString, "", "write each run's trace as DIR/runN.*"},
     {"format", OptKind::kString, "tsv",
      "trace format for --save-dir files: tsv|v2|v3"},
+    {"monitor", OptKind::kFlag, "",
+     "attach the online health monitor to every run's event stream"},
 };
 
 /// Workload flags that conflict with --scenario (the file is the
@@ -493,6 +513,57 @@ int cmd_diagnose(const ipm::TraceSource& source, const Parsed& args,
   return 0;
 }
 
+[[nodiscard]] monitor::HealthOptions monitor_options_from(const Parsed& args) {
+  monitor::HealthOptions opt;
+  opt.ost_count =
+      static_cast<std::uint32_t>(args.get_size("ost-count", 48));
+  opt.window = args.get_size("window", 2048);
+  opt.stride = args.get_size("stride", 1024);
+  opt.drift_d = args.get_double("drift-d", 0.0);
+  return opt;
+}
+
+/// Write the incident log named by --incidents (0 = ok, 1 = I/O error,
+/// no-op when the flag is absent). `runs` is a parallel run-id vector
+/// for ensembles; empty means "all run 0".
+int write_incident_log(const Parsed& args,
+                       const std::vector<monitor::Incident>& incidents,
+                       const std::vector<std::uint64_t>& runs,
+                       std::ostream& out, std::ostream& err) {
+  if (!args.has("incidents")) return 0;
+  std::string path = args.get("incidents", "");
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    err << "eiotrace: cannot write " << path << "\n";
+    return 1;
+  }
+  if (runs.empty()) {
+    monitor::write_incidents_jsonl(f, incidents);
+  } else {
+    for (std::size_t i = 0; i < incidents.size(); ++i) {
+      monitor::write_incidents_jsonl(f, {incidents[i]}, runs[i]);
+    }
+  }
+  out << "wrote " << path << " (" << incidents.size() << " incidents)\n";
+  return 0;
+}
+
+int cmd_monitor(const ipm::TraceSource& source, const Parsed& args,
+                std::ostream& out, std::ostream& err) {
+  monitor::HealthOptions opt = monitor_options_from(args);
+  auto scanner = scanner_for(source, args);
+  // Deliberately the default (admit-everything) chunk hint: fault
+  // markers (OpType::kFault) must reach the detectors, so chunks can
+  // never be pruned by op here.
+  auto merged = analysis::run_kernels(
+      source, scanner, ipm::ChunkHint{},
+      [&](std::size_t chunk) { return monitor::HealthKernel(opt, chunk); });
+  merged.finish();
+  monitor::print_incident_table(out, merged.incidents());
+  monitor::print_counts(out, merged.counts());
+  return write_incident_log(args, merged.incidents(), {}, out, err);
+}
+
 int cmd_phases(const ipm::TraceSource& source, const Parsed& args,
                std::ostream& out, std::ostream& err) {
   analysis::EventFilter base = filter_from(args, err);
@@ -523,14 +594,21 @@ int cmd_analyze(const ipm::TraceSource& source, const Parsed& args,
   auto rate_bins = args.get_size("rate-bins", 100);
   stats::BinScale scale =
       log ? stats::BinScale::kLog10 : stats::BinScale::kLinear;
+  monitor::HealthOptions mopt = monitor_options_from(args);
+  mopt.enabled = args.has("monitor");
   auto scanner = scanner_for(source, args);
   const double span = scanner ? scanner->time_span() : source.time_span();
   // The whole bundle — per-op summaries, per-phase table, duration
-  // histogram, rate series — as ONE KernelSet over ONE scan whose
-  // column mask and chunk hint are the unions of its members'.
-  const ipm::ChunkHint hint = ipm::ChunkHint::union_of(
-      ipm::ChunkHint::union_of(analysis::hint_for(wf), analysis::hint_for(rf)),
-      analysis::hint_for(base));
+  // histogram, rate series, and (when --monitor) the health monitor —
+  // as ONE KernelSet over ONE scan whose column mask and chunk hint
+  // are the unions of its members'. A monitored pass keeps the default
+  // hint: fault-marker chunks must not be pruned by op.
+  const ipm::ChunkHint hint =
+      mopt.enabled ? ipm::ChunkHint{}
+                   : ipm::ChunkHint::union_of(
+                         ipm::ChunkHint::union_of(analysis::hint_for(wf),
+                                                  analysis::hint_for(rf)),
+                         analysis::hint_for(base));
   auto merged =
       analysis::run_kernels(source, scanner, hint, [&](std::size_t chunk) {
         stats::SummaryOptions opts = analysis::chunk_summary_options({}, chunk);
@@ -538,7 +616,8 @@ int cmd_analyze(const ipm::TraceSource& source, const Parsed& args,
             analysis::SummarySink(wf, opts), analysis::SummarySink(rf, opts),
             analysis::PhaseSummarySink(base, opts),
             analysis::HistogramKernel(base, {.scale = scale, .bins = bins}),
-            analysis::RateKernel(base, span, rate_bins));
+            analysis::RateKernel(base, span, rate_bins),
+            monitor::HealthKernel(mopt, chunk));
       });
   std::optional<stats::Histogram> h = merged.get<3>().histogram().materialize();
   if (!h) {
@@ -555,6 +634,14 @@ int cmd_analyze(const ipm::TraceSource& source, const Parsed& args,
   print_histogram_chart(out, *h, log);
   out << "\n== rates ==\n";
   print_rate_chart(out, merged.get<4>().series());
+  if (mopt.enabled) {
+    auto& health = merged.get<5>();
+    health.finish();
+    out << "\n== monitor ==\n";
+    monitor::print_incident_table(out, health.incidents());
+    monitor::print_counts(out, health.counts());
+    return write_incident_log(args, health.incidents(), {}, out, err);
+  }
   return 0;
 }
 
@@ -760,11 +847,24 @@ int cmd_simulate(const Parsed& args, std::ostream& out, std::ostream& err) {
   job.capture = save ? ipm::Mode::kBoth : ipm::Mode::kProfile;
   analysis::EventFilter write_filter{.op = posix::OpType::kWrite,
                                      .min_bytes = MiB};
+  const bool monitored = args.has("monitor");
+  monitor::HealthOptions mopt = monitor_options_from(args);
+  if (!args.has("ost-count")) {
+    mopt.ost_count = scenario.machine_config().ost_count;
+  }
+  mopt.stripe_size = scenario.machine_config().stripe_size;
   std::vector<std::shared_ptr<analysis::SummarySink>> sinks(runs);
-  job.sink_factory = [&sinks, write_filter](std::size_t run_index) {
+  std::vector<std::shared_ptr<monitor::HealthSink>> monitors(runs);
+  job.sink_factory = [&sinks, &monitors, write_filter, monitored,
+                      mopt](std::size_t run_index)
+      -> std::shared_ptr<ipm::EventSink> {
     auto sink = std::make_shared<analysis::SummarySink>(write_filter);
     sinks[run_index] = sink;
-    return sink;
+    if (!monitored) return sink;
+    auto health = std::make_shared<monitor::HealthSink>(mopt);
+    monitors[run_index] = health;
+    return std::make_shared<ipm::FanoutSink>(
+        std::vector<std::shared_ptr<ipm::EventSink>>{sink, health});
   };
 
   const char* kind_label = "IOR";
@@ -832,6 +932,32 @@ int cmd_simulate(const Parsed& args, std::ostream& out, std::ostream& err) {
     }
   }
 
+  if (monitored) {
+    out << "health monitor:\n"
+        << "  run    windows    opened   cleared   open-at-end\n";
+    std::vector<monitor::Incident> incidents;
+    std::vector<std::uint64_t> incident_runs;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      monitor::HealthKernel& k = monitors[i]->kernel();
+      k.finish();
+      const monitor::Counts& c = k.counts();
+      char line[160];
+      std::snprintf(line, sizeof line, "  %-5zu %9llu %9llu %9llu %13llu\n", i,
+                    static_cast<unsigned long long>(c.windows_evaluated),
+                    static_cast<unsigned long long>(c.incidents_opened),
+                    static_cast<unsigned long long>(c.incidents_cleared),
+                    static_cast<unsigned long long>(c.open_at_finish()));
+      out << line;
+      for (const monitor::Incident& inc : k.incidents()) {
+        incidents.push_back(inc);
+        incident_runs.push_back(i);
+      }
+    }
+    if (!incidents.empty()) monitor::print_incident_table(out, incidents);
+    int rc = write_incident_log(args, incidents, incident_runs, out, err);
+    if (rc != 0) return rc;
+  }
+
   out << "pairwise KS distances (write durations):\n";
   for (std::size_t i = 0; i < sinks.size(); ++i) {
     for (std::size_t j = i + 1; j < sinks.size(); ++j) {
@@ -889,9 +1015,14 @@ const std::vector<CommandDef>& commands() {
       {"analyze", "<trace>",
        "fused one-pass bundle: summary + phases + histogram + rates",
        {{"analyze", kAnalyzeSpecs},
+        {"monitor", kMonitorSpecs},
         {"filter", kFilterSpecs},
         {"parallelism", kJobsSpecs}},
        cmd_analyze},
+      {"monitor", "<trace>",
+       "online health monitoring: incidents + deterministic JSONL log",
+       {{"monitor", kMonitorSpecs}, {"parallelism", kJobsSpecs}},
+       cmd_monitor},
       {"histogram", "<trace>", "duration histogram",
        {{"histogram", kHistogramSpecs},
         {"filter", kFilterSpecs},
@@ -923,7 +1054,10 @@ const std::vector<CommandDef>& commands() {
        {{"convert", kConvertSpecs}}, cmd_convert},
       {"simulate", "",
        "generate an ensemble from flags or a --scenario file",
-       {{"simulate", kSimulateSpecs}, {"parallelism", kJobsSpecs}}, nullptr},
+       {{"simulate", kSimulateSpecs},
+        {"monitor", kMonitorSpecs},
+        {"parallelism", kJobsSpecs}},
+       nullptr},
   };
   return table;
 }

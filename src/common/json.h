@@ -3,8 +3,9 @@
 // The repo writes JSON in several places (metrics, BENCH_*.json,
 // Chrome traces) but until the declarative scenario format it never
 // had to read any. This is a small recursive-descent parser covering
-// the whole of RFC 8259 minus \uXXXX surrogate pairs (scenario files
-// are ASCII): objects, arrays, strings, numbers, booleans, null.
+// the whole of RFC 8259: objects, arrays, strings (including \uXXXX
+// escapes and surrogate pairs, decoded to UTF-8), numbers, booleans,
+// null.
 // Errors throw std::runtime_error with a line/column prefix so a typo
 // in a scenario file points at itself.
 #pragma once
@@ -222,6 +223,42 @@ class Parser {
     }
   }
 
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = take();
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code += static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code += static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code += static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        fail("bad \\u escape");
+      }
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& s, unsigned code) {
+    if (code <= 0x7F) {
+      s += static_cast<char>(code);
+    } else if (code <= 0x7FF) {
+      s += static_cast<char>(0xC0 | (code >> 6));
+      s += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code <= 0xFFFF) {
+      s += static_cast<char>(0xE0 | (code >> 12));
+      s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      s += static_cast<char>(0xF0 | (code >> 18));
+      s += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
   std::string parse_string() {
     expect('"');
     std::string s;
@@ -240,22 +277,23 @@ class Parser {
           case 'r': s += '\r'; break;
           case 't': s += '\t'; break;
           case 'u': {
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              char h = take();
-              code <<= 4;
-              if (h >= '0' && h <= '9') {
-                code += static_cast<unsigned>(h - '0');
-              } else if (h >= 'a' && h <= 'f') {
-                code += static_cast<unsigned>(h - 'a' + 10);
-              } else if (h >= 'A' && h <= 'F') {
-                code += static_cast<unsigned>(h - 'A' + 10);
-              } else {
-                fail("bad \\u escape");
+            unsigned code = parse_hex4();
+            // A high surrogate must be followed by \uDC00..\uDFFF; the
+            // pair combines into one supplementary-plane code point.
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              if (take() != '\\' || take() != 'u') {
+                --pos_;
+                fail("unpaired high surrogate in \\u escape");
               }
+              unsigned low = parse_hex4();
+              if (low < 0xDC00 || low > 0xDFFF) {
+                fail("bad low surrogate in \\u escape");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else if (code >= 0xDC00 && code <= 0xDFFF) {
+              fail("unpaired low surrogate in \\u escape");
             }
-            if (code > 0x7F) fail("non-ASCII \\u escape unsupported");
-            s += static_cast<char>(code);
+            append_utf8(s, code);
             break;
           }
           default: --pos_; fail("bad escape character");

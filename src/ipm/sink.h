@@ -11,8 +11,10 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <utility>
+#include <vector>
 
 #include "ipm/profile.h"
 #include "ipm/trace.h"
@@ -62,6 +64,28 @@ class ProfileSink final : public EventSink {
 
  private:
   Profile* profile_;
+};
+
+/// Fan-out: one event dispatched to N member sinks in order. Members
+/// are borrowed shared_ptrs so a caller can keep a typed handle to
+/// each (e.g. a SummarySink plus a monitor::HealthSink on one run).
+class FanoutSink final : public EventSink {
+ public:
+  explicit FanoutSink(std::vector<std::shared_ptr<EventSink>> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  void on_event(const TraceEvent& event) override {
+    for (const auto& s : sinks_) s->on_event(event);
+  }
+  void on_batch(std::span<const TraceEvent> events) override {
+    for (const auto& s : sinks_) s->on_batch(events);
+  }
+  void finish() override {
+    for (const auto& s : sinks_) s->finish();
+  }
+
+ private:
+  std::vector<std::shared_ptr<EventSink>> sinks_;
 };
 
 /// Adapter for ad-hoc consumers (tests, lambdas).

@@ -125,7 +125,10 @@ void Filesystem::write_impl(NodeId node, RankId rank, FileId file, Bytes offset,
   f.size = std::max(f.size, offset + length);
 
   if (length == 0) {
-    engine_.schedule_in(machine_.syscall_latency, std::move(done));
+    engine_.schedule_in(machine_.syscall_latency,
+                        [done = std::move(done)]() mutable {
+                          if (done) done();
+                        });
     return;
   }
 
@@ -166,7 +169,7 @@ void Filesystem::write_impl(NodeId node, RankId rank, FileId file, Bytes offset,
 
   if (sync_part == 0) {
     engine_.schedule_in(absorb_time + machine_.syscall_latency,
-                        [this, file, done = std::move(done)] {
+                        [this, file, done = std::move(done)]() mutable {
                           files_.at(file).last_write_done = engine_.now();
                           if (done) done();
                         });
@@ -212,7 +215,7 @@ void Filesystem::start_sync_write(NodeId node, FileId file, Bytes offset,
     spec.bytes = bytes;
     spec.osts = std::move(osts);
     spec.on_complete = [this, node, file, length, slowdown, issued,
-                        done = std::move(done)](sim::FlowId) {
+                        done = std::move(done)](sim::FlowId) mutable {
       NodeState& ns = nodes_[node];
       EIO_CHECK(ns.sync_in_flight >= length);
       ns.sync_in_flight -= length;
@@ -228,7 +231,7 @@ void Filesystem::start_sync_write(NodeId node, FileId file, Bytes offset,
         n2.residue -= residue;
       });
       if (tax > 0.0) {
-        engine_.schedule_in(tax, [this, file, done = std::move(done)] {
+        engine_.schedule_in(tax, [this, file, done = std::move(done)]() mutable {
           // Write activity extends through the tax (retries are still
           // writing); keep the interleave window anchored to it.
           files_.at(file).last_write_done = engine_.now();
@@ -327,7 +330,10 @@ void Filesystem::flush(NodeId node, IoCallback done) {
   EIO_CHECK(node < nodes_.size());
   NodeState& n = nodes_[node];
   if (n.drains == 0) {
-    engine_.schedule_in(machine_.syscall_latency, std::move(done));
+    engine_.schedule_in(machine_.syscall_latency,
+                        [done = std::move(done)]() mutable {
+                          if (done) done();
+                        });
   } else {
     n.flush_waiters.push_back(std::move(done));
   }
@@ -362,7 +368,10 @@ void Filesystem::read_impl(NodeId node, RankId rank, FileId file, Bytes offset,
   OBS_COUNTER_ADD("fs.bytes_read", length);
 
   if (length == 0) {
-    engine_.schedule_in(machine_.syscall_latency, std::move(done));
+    engine_.schedule_in(machine_.syscall_latency,
+                        [done = std::move(done)]() mutable {
+                          if (done) done();
+                        });
     return;
   }
   if (length < machine_.small_io_threshold) {
@@ -404,7 +413,7 @@ void Filesystem::read_impl(NodeId node, RankId rank, FileId file, Bytes offset,
                       done = std::move(done)](sim::FlowId) mutable {
     Seconds tax = std::max(0.0, slowdown - 1.0) * (engine_.now() - issued);
     if (tax > 0.0) {
-      engine_.schedule_in(tax, std::move(done));
+      if (done) engine_.schedule_in(tax, std::move(done));
     } else if (done) {
       done();
     }
@@ -425,7 +434,9 @@ void Filesystem::small_io(NodeId node, const FileState& f, bool is_write,
                         n.noise.noise(machine_.service_noise_sigma * 2.0) +
                     static_cast<double>(length) / machine_.small_io_bandwidth;
   (void)is_write;
-  mds_.submit(service, std::move(done));
+  mds_.submit(service, [done = std::move(done)]() mutable {
+    if (done) done();
+  });
 }
 
 Bytes Filesystem::dirty(NodeId node) const {

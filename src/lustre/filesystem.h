@@ -40,8 +40,12 @@
 
 namespace eio::lustre {
 
-/// Completion callback for asynchronous file-system requests.
-using IoCallback = std::function<void()>;
+/// Completion callback for asynchronous file-system requests. Inline
+/// (no heap) and move-only: one is created per data op, so a heap
+/// capture here would put an allocation on the simulator hot path.
+/// 160 bytes fits the POSIX layer's completion chain (its finish
+/// lambda nests a SizeCallback) with room to grow a few words.
+using IoCallback = sim::InlineFunction<void(), 160>;
 
 /// Options fixed at file creation.
 struct FileOptions {

@@ -39,6 +39,11 @@ std::string fixed(double v, int digits = 3) {
 
 void write_chrome_trace(std::ostream& out,
                         const std::vector<NamedSpan>& spans) {
+  write_chrome_trace(out, spans, {});
+}
+
+void write_chrome_trace(std::ostream& out, const std::vector<NamedSpan>& spans,
+                        const std::vector<NamedInstant>& instants) {
   // Group per tid, then rebuild each thread's B/E stream with an
   // explicit stack sweep. RAII spans nest properly within a thread, so
   // sorting by (begin, depth, completion order) and closing every span
@@ -89,13 +94,21 @@ void write_chrome_trace(std::ostream& out,
       stack.pop_back();
     }
   }
+  // Instant events (ph:"i") — points on the timeline next to the
+  // spans; thread scope keeps Perfetto from drawing full-height bars.
+  for (const NamedInstant& i : instants) {
+    out << ",\n{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << i.tid
+        << ",\"ts\":" << fixed(i.t * 1e6) << ",\"name\":\"" << escape(i.name)
+        << "\"}";
+  }
   out << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":"
          "\"ensembleio\",\"git_sha\":\""
       << escape(build_info().git_sha) << "\"}}\n";
 }
 
 void write_chrome_trace(std::ostream& out) {
-  write_chrome_trace(out, Registry::instance().spans());
+  write_chrome_trace(out, Registry::instance().spans(),
+                     Registry::instance().instants());
 }
 
 void write_metrics_json(std::ostream& out, const Snapshot& snap) {

@@ -38,7 +38,12 @@ inline constexpr int kMetricsSchemaVersion = 1;
 /// sees an E before its B).
 void write_chrome_trace(std::ostream& out, const std::vector<NamedSpan>& spans);
 
-/// Convenience: export the registry's current spans.
+/// As above, plus instant events (ph:"i") — monitor incidents and
+/// other point-in-time marks, rendered by Perfetto as timeline ticks.
+void write_chrome_trace(std::ostream& out, const std::vector<NamedSpan>& spans,
+                        const std::vector<NamedInstant>& instants);
+
+/// Convenience: export the registry's current spans and instants.
 void write_chrome_trace(std::ostream& out);
 
 /// The layered metrics report described above.

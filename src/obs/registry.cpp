@@ -77,6 +77,7 @@ struct Registry::Shard {
   std::vector<std::int64_t> gauges;
   std::vector<LatencyCell> latency;
   std::vector<SpanRecord> spans;
+  std::vector<InstantRecord> instants;
   std::uint64_t spans_dropped = 0;
   std::uint32_t tid = 0;
   std::uint32_t depth = 0;  ///< owner-thread-only span nesting depth
@@ -187,6 +188,16 @@ void Registry::span_end(MetricId id, double t_begin, double t_end,
     return;
   }
   s.spans.push_back(SpanRecord{id, s.tid, depth, t_begin, t_end});
+}
+
+void Registry::instant_mark(MetricId id) {
+  Shard& s = local_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.instants.size() >= kMaxSpansPerShard) {
+    ++s.spans_dropped;
+    return;
+  }
+  s.instants.push_back(InstantRecord{id, s.tid, now()});
 }
 
 std::uint32_t Registry::enter_span() { return local_shard().depth++; }
@@ -310,6 +321,29 @@ std::vector<NamedSpan> Registry::spans() const {
   return out;
 }
 
+std::vector<NamedInstant> Registry::instants() const {
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    shards = shards_;
+  }
+  std::vector<std::string> span_names;
+  {
+    std::lock_guard<std::mutex> lock(names_->mu);
+    span_names = Names::resolve(names_->spans);
+  }
+  std::vector<NamedInstant> out;
+  for (const auto& shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.reserve(out.size() + shard->instants.size());
+    for (const InstantRecord& r : shard->instants) {
+      out.push_back(NamedInstant{
+          r.name < span_names.size() ? span_names[r.name] : "?", r.tid, r.t});
+    }
+  }
+  return out;
+}
+
 void Registry::reset() {
   std::vector<std::shared_ptr<Shard>> shards;
   {
@@ -322,6 +356,7 @@ void Registry::reset() {
     std::fill(shard->gauges.begin(), shard->gauges.end(), 0);
     shard->latency.clear();
     shard->spans.clear();
+    shard->instants.clear();
     shard->spans_dropped = 0;
   }
   epoch_.store(std::chrono::steady_clock::now().time_since_epoch().count(),

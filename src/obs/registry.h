@@ -98,6 +98,21 @@ struct NamedSpan {
   double t_end = 0.0;
 };
 
+/// One instant event (a point on the timeline — e.g. a monitor
+/// incident opening), timestamped like spans.
+struct InstantRecord {
+  MetricId name = 0;  ///< span-name id space
+  std::uint32_t tid = 0;
+  double t = 0.0;
+};
+
+/// An InstantRecord with its name resolved (export form).
+struct NamedInstant {
+  std::string name;
+  std::uint32_t tid = 0;
+  double t = 0.0;
+};
+
 struct CounterValue {
   std::string name;
   std::uint64_t value = 0;
@@ -160,6 +175,11 @@ class Registry {
   void span_end(MetricId id, double t_begin, double t_end,
                 std::uint32_t depth);
 
+  /// Record an instant event at now() (span-name id space). Instants
+  /// land on the Chrome-trace timeline next to the spans; they carry
+  /// no latency cell.
+  void instant_mark(MetricId id);
+
   /// Current nesting depth bookkeeping for the calling thread (used by
   /// Span; owner-thread-only, no synchronization needed).
   [[nodiscard]] std::uint32_t enter_span();
@@ -173,6 +193,9 @@ class Registry {
 
   /// All recorded spans, name-resolved, in per-thread completion order.
   [[nodiscard]] std::vector<NamedSpan> spans() const;
+
+  /// All recorded instants, name-resolved, in per-thread record order.
+  [[nodiscard]] std::vector<NamedInstant> instants() const;
 
   /// Zero every counter/gauge, drop spans and latency cells, and rebase
   /// the epoch. Interned names and thread ids survive. Must not be
@@ -227,6 +250,15 @@ class Span {
   double t_begin_ = 0.0;
   bool active_ = false;
 };
+
+/// Record a named instant event (no-op while disabled). Unlike the
+/// macros below the name may be dynamic — instants are rare (monitor
+/// incidents), so per-call interning is fine.
+inline void record_instant(std::string_view name) {
+  if (!enabled()) return;
+  Registry& r = Registry::instance();
+  r.instant_mark(r.span_id(name));
+}
 
 }  // namespace eio::obs
 

@@ -65,7 +65,7 @@ void PosixIo::open(RankId rank, const std::string& path, std::uint32_t flags,
   if (file == kInvalidFile) {
     if (!(flags & kCreate)) {
       engine_.schedule_in(fs_.syscall_latency(), [this, rank, start,
-                                                  done = std::move(done)] {
+                                                  done = std::move(done)]() mutable {
         notify({rank, OpType::kOpen, -1, kInvalidFile, 0, 0, start,
                 engine_.now() - start});
         done(-1);
@@ -83,7 +83,7 @@ void PosixIo::open(RankId rank, const std::string& path, std::uint32_t flags,
   fds_[key(rank, fd)] = OpenFile{file, 0, flags};
 
   engine_.schedule_in(fs_.syscall_latency(),
-                      [this, rank, fd, file, start, done = std::move(done)] {
+                      [this, rank, fd, file, start, done = std::move(done)]() mutable {
                         notify({rank, OpType::kOpen, fd, file, 0, 0, start,
                                 engine_.now() - start});
                         done(fd);
@@ -94,14 +94,14 @@ void PosixIo::close(RankId rank, Fd fd, StatusCallback done) {
   Seconds start = engine_.now();
   OpenFile* of = find(rank, fd);
   if (of == nullptr) {
-    engine_.schedule_in(fs_.syscall_latency(), [done = std::move(done)] { done(-1); });
+    engine_.schedule_in(fs_.syscall_latency(), [done = std::move(done)]() mutable { done(-1); });
     return;
   }
   FileId file = of->file;
   fds_.erase(key(rank, fd));
   // close() flushes this node's outstanding write-back data; this is
   // where deferred/aggregated work becomes visible in run time.
-  fs_.flush(node_of(rank), [this, rank, fd, file, start, done = std::move(done)] {
+  fs_.flush(node_of(rank), [this, rank, fd, file, start, done = std::move(done)]() mutable {
     notify({rank, OpType::kClose, fd, file, 0, 0, start, engine_.now() - start});
     done(0);
   });
@@ -112,7 +112,7 @@ void PosixIo::lseek(RankId rank, Fd fd, std::int64_t offset, Whence whence,
   Seconds start = engine_.now();
   OpenFile* of = find(rank, fd);
   if (of == nullptr) {
-    engine_.schedule_in(fs_.syscall_latency(), [done = std::move(done)] { done(-1); });
+    engine_.schedule_in(fs_.syscall_latency(), [done = std::move(done)]() mutable { done(-1); });
     return;
   }
   std::int64_t base = 0;
@@ -123,14 +123,14 @@ void PosixIo::lseek(RankId rank, Fd fd, std::int64_t offset, Whence whence,
   }
   std::int64_t target = base + offset;
   if (target < 0) {
-    engine_.schedule_in(fs_.syscall_latency(), [done = std::move(done)] { done(-1); });
+    engine_.schedule_in(fs_.syscall_latency(), [done = std::move(done)]() mutable { done(-1); });
     return;
   }
   of->position = static_cast<Bytes>(target);
   FileId file = of->file;
   engine_.schedule_in(
       fs_.syscall_latency(),
-      [this, rank, fd, file, target, start, done = std::move(done)] {
+      [this, rank, fd, file, target, start, done = std::move(done)]() mutable {
         notify({rank, OpType::kSeek, fd, file, static_cast<Bytes>(target), 0, start,
                 engine_.now() - start});
         done(target);
@@ -142,7 +142,7 @@ void PosixIo::data_op(RankId rank, Fd fd, Bytes count, Bytes offset, bool advanc
   Seconds start = engine_.now();
   OpenFile* of = find(rank, fd);
   if (of == nullptr) {
-    engine_.schedule_in(fs_.syscall_latency(), [done = std::move(done)] { done(-1); });
+    engine_.schedule_in(fs_.syscall_latency(), [done = std::move(done)]() mutable { done(-1); });
     return;
   }
   FileId file = of->file;
@@ -154,7 +154,7 @@ void PosixIo::data_op(RankId rank, Fd fd, Bytes count, Bytes offset, bool advanc
   if (advance) of->position = offset + actual;
 
   auto finish = [this, rank, fd, file, offset, actual, start, is_write,
-                 done = std::move(done)] {
+                 done = std::move(done)]() mutable {
     notify({rank, is_write ? OpType::kWrite : OpType::kRead, fd, file, offset,
             actual, start, engine_.now() - start});
     done(static_cast<std::int64_t>(actual));
@@ -224,11 +224,11 @@ void PosixIo::fsync(RankId rank, Fd fd, StatusCallback done) {
   Seconds start = engine_.now();
   OpenFile* of = find(rank, fd);
   if (of == nullptr) {
-    engine_.schedule_in(fs_.syscall_latency(), [done = std::move(done)] { done(-1); });
+    engine_.schedule_in(fs_.syscall_latency(), [done = std::move(done)]() mutable { done(-1); });
     return;
   }
   FileId file = of->file;
-  fs_.flush(node_of(rank), [this, rank, fd, file, start, done = std::move(done)] {
+  fs_.flush(node_of(rank), [this, rank, fd, file, start, done = std::move(done)]() mutable {
     notify({rank, OpType::kFsync, fd, file, 0, 0, start, engine_.now() - start});
     done(0);
   });

@@ -37,9 +37,12 @@ enum class Whence : std::uint8_t { kSet, kCur, kEnd };
 /// The simulated POSIX layer.
 class PosixIo {
  public:
-  using SizeCallback = std::function<void(std::int64_t)>;  ///< bytes or -1
-  using FdCallback = std::function<void(Fd)>;              ///< fd or -1
-  using StatusCallback = std::function<void(int)>;         ///< 0 or -1
+  // Completion callbacks are inline (no heap) and move-only: the MPI
+  // runtime and workload drivers capture a handful of words, and a
+  // std::function here heap-allocated on every simulated call.
+  using SizeCallback = sim::InlineFunction<void(std::int64_t), 40>;  ///< bytes or -1
+  using FdCallback = sim::InlineFunction<void(Fd), 40>;              ///< fd or -1
+  using StatusCallback = sim::InlineFunction<void(int), 40>;         ///< 0 or -1
 
   /// `tasks_per_node` maps ranks onto client nodes (rank / tasks_per_node).
   /// `run` must be the same run context the filesystem was built on.

@@ -50,7 +50,7 @@ class Engine {
   /// largest hot-path caller (lustre sync-write launch closures and
   /// deferred FlowSpec captures); growing a capture past this is a
   /// static_assert in InlineFunction, not a silent heap fallback.
-  static constexpr std::size_t kActionCapacity = 192;
+  static constexpr std::size_t kActionCapacity = 256;
 
   using Action = InlineFunction<void(), kActionCapacity>;
 

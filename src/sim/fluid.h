@@ -102,7 +102,7 @@ struct ContentionModel {
 
 /// Inline capture budget for flow-completion callbacks (largest
 /// caller: the lustre sync-write completion closure).
-inline constexpr std::size_t kFlowCallbackCapacity = 96;
+inline constexpr std::size_t kFlowCallbackCapacity = 224;
 
 /// Completion callback; captures stay in place (no heap fallback).
 using FlowCallback = InlineFunction<void(FlowId), kFlowCallbackCapacity>;

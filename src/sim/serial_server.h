@@ -6,8 +6,8 @@
 // run time (Figure 6(g)) until the writes are aggregated and deferred.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 
 #include "common/check.h"
 #include "common/units.h"
@@ -26,16 +26,14 @@ class SerialServer {
   /// Enqueue a request needing `service_time` seconds of exclusive
   /// service. `on_complete` fires when service finishes. Returns the
   /// completion time.
-  Seconds submit(Seconds service_time, std::function<void()> on_complete) {
+  Seconds submit(Seconds service_time, Engine::Action on_complete) {
     EIO_CHECK(service_time >= 0.0);
     Seconds start = std::max(engine_.now(), next_free_);
     Seconds done = start + service_time;
     next_free_ = done;
     ++requests_;
     busy_time_ += service_time;
-    engine_.schedule_at(done, [cb = std::move(on_complete)] {
-      if (cb) cb();
-    });
+    if (on_complete) engine_.schedule_at(done, std::move(on_complete));
     return done;
   }
 

@@ -1,0 +1,131 @@
+// JSON reader tests: the full unicode-escape surface (BMP code
+// points, surrogate pairs to supplementary planes, the malformed
+// rejections) plus an escape/parse round trip over mixed-width UTF-8.
+//
+// Escape sequences are spelled "\\uXXXX" (escaped backslash) so the
+// C++ literal contains the six JSON characters, not the code point.
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace eio::json {
+namespace {
+
+std::string parsed_string(const std::string& doc) {
+  return parse(doc).as_string();
+}
+
+/// Wrap a JSON string body in quotes.
+std::string quoted(const std::string& body) {
+  std::string doc = "\"";
+  doc += body;
+  doc += "\"";
+  return doc;
+}
+
+TEST(JsonTest, AsciiUnicodeEscape) {
+  EXPECT_EQ(parsed_string(quoted("\\u0041z")), "Az");
+  EXPECT_EQ(parsed_string(quoted("\\u0000")), std::string(1, '\0'));
+  EXPECT_EQ(parsed_string(quoted("\\u007f")), "\x7F");
+}
+
+TEST(JsonTest, TwoByteUtf8FromEscape) {
+  // U+00E9 LATIN SMALL LETTER E WITH ACUTE -> C3 A9
+  EXPECT_EQ(parsed_string(quoted("caf\\u00e9")), "caf\xC3\xA9");
+  // U+03B1 GREEK SMALL LETTER ALPHA -> CE B1
+  EXPECT_EQ(parsed_string(quoted("\\u03B1")), "\xCE\xB1");
+}
+
+TEST(JsonTest, ThreeByteUtf8FromEscape) {
+  // U+20AC EURO SIGN -> E2 82 AC
+  EXPECT_EQ(parsed_string(quoted("\\u20ac")), "\xE2\x82\xAC");
+  // U+FFFD REPLACEMENT CHARACTER -> EF BF BD
+  EXPECT_EQ(parsed_string(quoted("\\ufffd")), "\xEF\xBF\xBD");
+}
+
+TEST(JsonTest, SurrogatePairDecodesToFourByteUtf8) {
+  // U+1F600 GRINNING FACE -> F0 9F 98 80
+  EXPECT_EQ(parsed_string(quoted("\\ud83d\\ude00")), "\xF0\x9F\x98\x80");
+  // U+10348 GOTHIC LETTER HWAIR -> F0 90 8D 88
+  EXPECT_EQ(parsed_string(quoted("\\ud800\\udf48")), "\xF0\x90\x8D\x88");
+  // Case-insensitive hex digits.
+  EXPECT_EQ(parsed_string(quoted("\\uD83D\\uDE00")), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, MalformedEscapesThrow) {
+  EXPECT_THROW(parse(quoted("\\ud83d")), std::runtime_error);     // unpaired high
+  EXPECT_THROW(parse(quoted("\\ud83dx")), std::runtime_error);    // high + junk
+  EXPECT_THROW(parse(quoted("\\ud83d\\n")), std::runtime_error);  // high + escape
+  EXPECT_THROW(parse(quoted("\\ud83d\\u0041")), std::runtime_error);  // bad low
+  EXPECT_THROW(parse(quoted("\\ude00")), std::runtime_error);     // lone low
+  EXPECT_THROW(parse(quoted("\\u12g4")), std::runtime_error);     // bad hex
+  EXPECT_THROW(parse(quoted("\\u123")), std::runtime_error);      // truncated
+}
+
+TEST(JsonTest, LiteralUtf8PassesThrough) {
+  // Raw (unescaped) UTF-8 in a document is preserved byte for byte.
+  EXPECT_EQ(parsed_string(quoted("caf\xC3\xA9")), "caf\xC3\xA9");
+}
+
+/// Escape `utf8` the way a conservative JSON writer would: every code
+/// point as a JSON unicode escape, surrogate pairs above the BMP.
+std::string escape_all(const std::string& utf8) {
+  std::string out = "\"";
+  std::size_t i = 0;
+  auto emit = [&out](unsigned cp) {
+    char buf[8];
+    if (cp > 0xFFFF) {
+      unsigned v = cp - 0x10000;
+      std::snprintf(buf, sizeof buf, "\\u%04x", 0xD800 + (v >> 10));
+      out += buf;
+      std::snprintf(buf, sizeof buf, "\\u%04x", 0xDC00 + (v & 0x3FF));
+      out += buf;
+    } else {
+      std::snprintf(buf, sizeof buf, "\\u%04x", cp);
+      out += buf;
+    }
+  };
+  while (i < utf8.size()) {
+    auto b = static_cast<unsigned char>(utf8[i]);
+    if (b < 0x80) {
+      emit(b);
+      i += 1;
+    } else if (b < 0xE0) {
+      emit(((b & 0x1Fu) << 6) |
+           (static_cast<unsigned char>(utf8[i + 1]) & 0x3Fu));
+      i += 2;
+    } else if (b < 0xF0) {
+      emit(((b & 0x0Fu) << 12) |
+           ((static_cast<unsigned char>(utf8[i + 1]) & 0x3Fu) << 6) |
+           (static_cast<unsigned char>(utf8[i + 2]) & 0x3Fu));
+      i += 3;
+    } else {
+      emit(((b & 0x07u) << 18) |
+           ((static_cast<unsigned char>(utf8[i + 1]) & 0x3Fu) << 12) |
+           ((static_cast<unsigned char>(utf8[i + 2]) & 0x3Fu) << 6) |
+           (static_cast<unsigned char>(utf8[i + 3]) & 0x3Fu));
+      i += 4;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+TEST(JsonTest, EscapeParseRoundTrip) {
+  // ASCII, two-, three-, and four-byte UTF-8 in one string.
+  const std::string original =
+      "ok caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80 \xF0\x90\x8D\x88 end";
+  EXPECT_EQ(parsed_string(escape_all(original)), original);
+  // Keys round-trip too (U+1F511 KEY -> F0 9F 94 91).
+  std::string doc = "{";
+  doc += escape_all("\xF0\x9F\x94\x91");
+  doc += ": 1}";
+  Value v = parse(doc);
+  EXPECT_TRUE(v.has("\xF0\x9F\x94\x91"));
+}
+
+}  // namespace
+}  // namespace eio::json

@@ -54,6 +54,10 @@ TEST_P(FluidFuzzTest, InvariantsHoldUnderRandomTraffic) {
   Bytes total = 0;
   std::size_t completed = 0;
   std::vector<double> completion_times;
+  // Staged specs outlive their launch actions (a FlowSpec no longer
+  // fits an inline Action capture; reserve keeps pointers stable).
+  std::vector<FlowSpec> staged;
+  staged.reserve(c.flows);
   // Arrivals staggered over time, random sizes/targets/caps.
   double t = 0.0;
   for (std::uint32_t i = 0; i < c.flows; ++i) {
@@ -75,9 +79,9 @@ TEST_P(FluidFuzzTest, InvariantsHoldUnderRandomTraffic) {
       ++completed;
       completion_times.push_back(engine.now());
     };
-    engine.schedule_at(t, [&net, spec = std::move(spec)]() mutable {
-      net.start_flow(std::move(spec));
-    });
+    staged.push_back(std::move(spec));
+    FlowSpec* sp = &staged.back();
+    engine.schedule_at(t, [&net, sp] { net.start_flow(std::move(*sp)); });
   }
   engine.run();
 
