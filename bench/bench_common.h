@@ -11,6 +11,7 @@
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/units.h"
@@ -65,6 +66,35 @@ inline void write_provenance(std::ostream& json) {
        << "  \"build\": ";
   obs::write_build_info_json(json, "  ");
   json << ",\n";
+}
+
+/// True when the host cannot actually run `jobs` workers at once, so a
+/// parallel timing at that job count measures oversubscription, not
+/// scaling. The bench process itself occupies one of the cores, so the
+/// boundary is hardware_concurrency <= jobs (equality is scarce too).
+[[nodiscard]] inline bool cores_scarce(std::size_t jobs) {
+  return static_cast<std::size_t>(std::thread::hardware_concurrency()) <= jobs;
+}
+
+/// The structured honest-scaling annotation every BENCH_*.json with
+/// parallel rows embeds: how many cores the host granted, the largest
+/// job count benchmarked, and whether speedup claims are valid at all.
+/// Emits `"scaling_note": {...},\n`; call inside the top-level object.
+inline void write_scaling_note(std::ostream& json, std::size_t max_jobs) {
+  const auto cores =
+      static_cast<std::size_t>(std::thread::hardware_concurrency());
+  const bool scarce = cores <= max_jobs;
+  json << "  \"scaling_note\": {\n"
+       << "    \"hardware_concurrency\": " << cores << ",\n"
+       << "    \"max_jobs\": " << max_jobs << ",\n"
+       << "    \"cores_scarce\": " << (scarce ? "true" : "false") << ",\n"
+       << "    \"note\": \""
+       << (scarce ? "cores scarce (hardware_concurrency <= max benchmarked "
+                    "jobs): parallel rows measure oversubscription, not "
+                    "scaling; speedup claims are suppressed"
+                  : "hardware_concurrency exceeds every benchmarked job "
+                    "count: parallel rows are valid scaling data")
+       << "\"\n  },\n";
 }
 
 /// Self-observability flags shared with the eiotrace CLI

@@ -134,14 +134,17 @@ int main(int argc, char** argv) {
               serial_rps);
   std::printf("  parallel (--jobs %zu): %6.2f s  (%.2f runs/s)\n", jobs,
               parallel_s, parallel_rps);
-  std::printf("  speedup x%.2f on %u hardware threads\n", serial_s / parallel_s,
-              hw);
   // The speedup figure is only honest when the host can actually run
-  // that many workers at once.
-  const bool meaningful = jobs <= hw;
-  if (!meaningful) {
-    std::printf("  [not meaningful: %zu jobs on %u cores — the parallel "
-                "timing says nothing about scaling]\n",
+  // that many workers at once; with scarce cores the claim is skipped
+  // from the printed table entirely, not printed-then-disclaimed.
+  const bool meaningful = !bench::cores_scarce(jobs);
+  if (meaningful) {
+    std::printf("  speedup x%.2f on %u hardware threads\n",
+                serial_s / parallel_s, hw);
+  } else {
+    std::printf("  [cores scarce: %zu jobs on %u hardware threads — the "
+                "parallel timing measures oversubscription, no speedup "
+                "claimed]\n",
                 jobs, hw);
   }
 
@@ -162,11 +165,8 @@ int main(int argc, char** argv) {
        << "  \"hardware_concurrency\": " << hw << ",\n"
        << "  \"speedup_meaningful\": " << (meaningful ? "true" : "false")
        << ",\n";
-  if (!meaningful) {
-    json << "  \"speedup_annotation\": \"not meaningful: jobs exceed "
-            "hardware_concurrency\",\n";
-  }
-  json       << "  \"worst_pairwise_ks\": " << worst << ",\n"
+  bench::write_scaling_note(json, jobs);
+  json << "  \"worst_pairwise_ks\": " << worst << ",\n"
        << "  \"machine\": \"" << uts.sysname << " " << uts.release << " "
        << uts.machine << "\"\n"
        << "}\n";

@@ -1,0 +1,109 @@
+#include "campaign/campaign.h"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+#include "campaign/report.h"
+#include "campaign/store.h"
+#include "workloads/sweep.h"
+
+namespace eio::campaign {
+
+namespace fs = std::filesystem;
+
+int run_campaign(const CampaignOptions& options, std::ostream& out,
+                 std::ostream& err) {
+  std::vector<workloads::RunPlan> plans;
+  try {
+    plans = workloads::expand_manifest(options.manifest);
+  } catch (const std::exception& e) {
+    err << "eiotrace: " << e.what() << "\n";
+    return 1;
+  }
+  std::error_code ec;
+  fs::create_directories(options.out_dir, ec);
+  std::string plans_path = options.out_dir + "/runs.jsonl";
+  {
+    std::ofstream f(plans_path, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      err << "eiotrace: cannot write " << plans_path << "\n";
+      return 1;
+    }
+    for (const workloads::RunPlan& plan : plans) {
+      f << workloads::plan_to_jsonl(plan) << '\n';
+    }
+  }
+  out << "campaign: " << plans.size() << " runs from " << options.manifest
+      << " -> " << plans_path << "\n";
+  if (options.plan_only) return 0;
+
+  DispatchOptions dispatch;
+  dispatch.workers = options.workers;
+  dispatch.run_timeout = options.run_timeout;
+  dispatch.worker_exe = options.worker_exe;
+  dispatch.store_dir = options.out_dir;
+  dispatch.worker_args = {"campaign-worker", "--plans", plans_path,
+                          "--run-jobs", std::to_string(options.run_jobs)};
+  dispatch.inject_crash_run = options.inject_crash_run;
+  dispatch.inject_hang_run = options.inject_hang_run;
+
+  DispatchResult dispatched;
+  try {
+    dispatched = dispatch_runs(plans.size(), dispatch, out);
+  } catch (const std::exception& e) {
+    err << "eiotrace: " << e.what() << "\n";
+    return 1;
+  }
+  out << "campaign: " << dispatched.spawns << " worker spawn(s), "
+      << dispatched.crashes << " crash(es), " << dispatched.timeouts
+      << " timeout(s), " << dispatched.respawns << " respawn(s)\n";
+
+  MergeStats merge_stats;
+  std::map<std::uint64_t, std::string> records =
+      merge_store_files(dispatched.store_files, &merge_stats);
+  std::string store_path = options.out_dir + "/campaign.jsonl";
+  {
+    std::ofstream f(store_path, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      err << "eiotrace: cannot write " << store_path << "\n";
+      return 1;
+    }
+    write_merged(f, records);
+  }
+  out << "campaign: merged " << records.size() << " records ("
+      << merge_stats.discarded << " discarded, " << merge_stats.duplicates
+      << " duplicates) -> " << store_path << "\n";
+
+  FleetReport report = build_report(records);
+  std::string report_path = options.out_dir + "/report.json";
+  {
+    std::ofstream f(report_path, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      err << "eiotrace: cannot write " << report_path << "\n";
+      return 1;
+    }
+    write_report_json(f, report);
+  }
+  print_report(out, report);
+  out << "campaign: report -> " << report_path << "\n";
+
+  int rc = 0;
+  for (std::uint64_t run : dispatched.failed_runs) {
+    err << "eiotrace: run " << run << " failed after retry\n";
+    rc = 2;
+  }
+  for (std::uint64_t run : dispatched.error_runs) {
+    err << "eiotrace: run " << run << " reported an error\n";
+    rc = 2;
+  }
+  if (records.size() != plans.size()) {
+    err << "eiotrace: store holds " << records.size() << " of "
+        << plans.size() << " records\n";
+    rc = 2;
+  }
+  return rc;
+}
+
+}  // namespace eio::campaign

@@ -1,0 +1,45 @@
+// Campaign orchestration: manifest -> run list -> sharded execution ->
+// merged store -> fleet report.
+//
+// `run_campaign` is the whole `eiotrace campaign` subcommand as a
+// library call. It writes four artifacts into --out:
+//
+//   runs.jsonl       the expanded, validated run list (one plan/line);
+//   worker-N.jsonl   one append-only store file per worker spawn;
+//   campaign.jsonl   the consolidated store (merge of the above, in
+//                    run-index order — byte-identical for any
+//                    --workers value);
+//   report.json      the fleet report derived from campaign.jsonl.
+//
+// Determinism contract: runs.jsonl, campaign.jsonl, and report.json
+// depend only on the manifest content. Worker count, scheduling,
+// timeouts, crashes, and retries affect only the worker-N.jsonl set.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "campaign/dispatch.h"
+
+namespace eio::campaign {
+
+struct CampaignOptions {
+  std::string manifest;   ///< scenario/sweep file or directory
+  std::string out_dir;    ///< artifact directory (created if missing)
+  std::size_t workers = 1;
+  std::size_t run_jobs = 1;   ///< ensemble threads inside each worker
+  double run_timeout = 0.0;   ///< seconds per run; 0 = no timeout
+  bool plan_only = false;     ///< expand + write runs.jsonl, don't execute
+  std::string worker_exe;     ///< override the worker binary (tests)
+  std::uint64_t inject_crash_run = kNoRun;  ///< failure-injection hooks
+  std::uint64_t inject_hang_run = kNoRun;
+};
+
+/// Execute the campaign. Returns 0 on success (all runs recorded), 1
+/// on manifest/setup errors, 2 when runs failed or records are
+/// missing. Progress and the fleet table go to `out`, errors to `err`.
+int run_campaign(const CampaignOptions& options, std::ostream& out,
+                 std::ostream& err);
+
+}  // namespace eio::campaign

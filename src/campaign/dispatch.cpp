@@ -1,0 +1,358 @@
+#include "campaign/dispatch.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace eio::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One worker process as the parent sees it.
+struct Worker {
+  pid_t pid = -1;
+  int to_child = -1;    ///< parent writes directives here
+  int from_child = -1;  ///< parent reads replies here
+  std::string buffer;   ///< partial reply line
+  std::uint64_t current = kNoRun;  ///< outstanding run, kNoRun = idle
+  Clock::time_point deadline{};    ///< valid while current != kNoRun
+  [[nodiscard]] bool alive() const { return pid > 0; }
+  [[nodiscard]] bool idle() const { return alive() && current == kNoRun; }
+};
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Per-run lifecycle in the dispatcher's ledger.
+enum class RunState : std::uint8_t {
+  kPending,   ///< not yet dispatched (or queued for retry)
+  kAssigned,  ///< outstanding on some worker
+  kDone,      ///< "ok" received
+  kError,     ///< "fail" received (deterministic scenario error)
+  kFailed,    ///< worker died twice with this run outstanding
+};
+
+class Dispatcher {
+ public:
+  Dispatcher(std::uint64_t run_count, const DispatchOptions& options,
+             std::ostream& log)
+      : run_count_(run_count), options_(options), log_(log),
+        state_(run_count, RunState::kPending), attempts_(run_count, 0) {
+    exe_ = options_.worker_exe.empty() ? self_exe_path() : options_.worker_exe;
+  }
+
+  DispatchResult run() {
+    std::size_t fleet = options_.workers == 0 ? 1 : options_.workers;
+    if (run_count_ < fleet) fleet = run_count_ == 0 ? 1 : run_count_;
+    workers_.resize(fleet);
+    for (Worker& w : workers_) spawn(w);
+    while (resolved_ < run_count_) {
+      assign_idle();
+      wait_for_events();
+    }
+    shutdown();
+    return std::move(result_);
+  }
+
+ private:
+  void spawn(Worker& w) {
+    std::string store_path = options_.store_dir + "/worker-" +
+                             std::to_string(result_.spawns) + ".jsonl";
+    int to_child[2];
+    int from_child[2];
+    if (::pipe(to_child) != 0 || ::pipe(from_child) != 0) {
+      throw std::runtime_error("campaign: pipe() failed");
+    }
+    std::vector<std::string> args;
+    args.push_back(exe_);
+    for (const std::string& a : options_.worker_args) args.push_back(a);
+    args.push_back("--store");
+    args.push_back(store_path);
+    pid_t pid = ::fork();
+    if (pid < 0) throw std::runtime_error("campaign: fork() failed");
+    if (pid == 0) {
+      // Child: wire the protocol pipes to stdin/stdout and exec. Any
+      // inherited dispatcher fds die on exec or at _exit below.
+      ::dup2(to_child[0], STDIN_FILENO);
+      ::dup2(from_child[1], STDOUT_FILENO);
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      ::close(from_child[0]);
+      ::close(from_child[1]);
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(exe_.c_str(), argv.data());
+      ::_exit(127);
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    // Non-blocking reads: drain() loops until EAGAIN so an "ok"
+    // followed immediately by a crash EOF is seen in one pass.
+    ::fcntl(from_child[0], F_SETFL, O_NONBLOCK);
+    w.pid = pid;
+    w.to_child = to_child[1];
+    w.from_child = from_child[0];
+    w.buffer.clear();
+    w.current = kNoRun;
+    result_.store_files.push_back(std::move(store_path));
+    if (result_.spawns >= workers_.size()) ++result_.respawns;
+    ++result_.spawns;
+  }
+
+  /// Next unassigned run: retries first (lowest index), then the queue
+  /// head. kNoRun when everything is assigned or resolved.
+  [[nodiscard]] std::uint64_t next_pending() {
+    if (!retry_queue_.empty()) {
+      std::uint64_t run = retry_queue_.front();
+      retry_queue_.pop_front();
+      return run;
+    }
+    if (next_run_ < run_count_) return next_run_++;
+    return kNoRun;
+  }
+
+  void assign_idle() {
+    for (Worker& w : workers_) {
+      if (!w.idle()) continue;
+      std::uint64_t run = next_pending();
+      if (run == kNoRun) return;
+      const char* verb = "run";
+      if (run == options_.inject_crash_run && !crash_injected_) {
+        crash_injected_ = true;
+        verb = "crash-run";
+      } else if (run == options_.inject_hang_run && !hang_injected_) {
+        hang_injected_ = true;
+        verb = "hang-run";
+      }
+      std::string directive =
+          std::string(verb) + " " + std::to_string(run) + "\n";
+      ssize_t n = ::write(w.to_child, directive.data(), directive.size());
+      if (n != static_cast<ssize_t>(directive.size())) {
+        // Worker already gone; its EOF is (or will be) readable — put
+        // the run back and let the reaper handle the corpse.
+        retry_queue_.push_front(run);
+        continue;
+      }
+      state_[run] = RunState::kAssigned;
+      ++attempts_[run];
+      w.current = run;
+      if (options_.run_timeout > 0.0) {
+        w.deadline = Clock::now() + std::chrono::microseconds(static_cast<long>(
+                                        options_.run_timeout * 1e6));
+      }
+    }
+  }
+
+  void wait_for_events() {
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> slots;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (!workers_[i].alive()) continue;
+      fds.push_back(pollfd{workers_[i].from_child, POLLIN, 0});
+      slots.push_back(i);
+    }
+    if (fds.empty()) {
+      throw std::runtime_error("campaign: no live workers with work pending");
+    }
+    int timeout_ms = -1;
+    if (options_.run_timeout > 0.0) {
+      Clock::time_point soonest = Clock::time_point::max();
+      for (const Worker& w : workers_) {
+        if (w.alive() && w.current != kNoRun && w.deadline < soonest) {
+          soonest = w.deadline;
+        }
+      }
+      if (soonest != Clock::time_point::max()) {
+        auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        soonest - Clock::now())
+                        .count();
+        timeout_ms = left < 1 ? 1 : static_cast<int>(left);
+      }
+    }
+    int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      throw std::runtime_error("campaign: poll() failed");
+    }
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        drain(workers_[slots[k]]);
+      }
+    }
+    enforce_deadlines();
+  }
+
+  /// Read whatever the worker wrote; EOF means it died.
+  void drain(Worker& w) {
+    char buf[4096];
+    while (true) {
+      ssize_t n = ::read(w.from_child, buf, sizeof buf);
+      if (n > 0) {
+        w.buffer.append(buf, static_cast<std::size_t>(n));
+        std::size_t nl;
+        while ((nl = w.buffer.find('\n')) != std::string::npos) {
+          handle_reply(w, w.buffer.substr(0, nl));
+          w.buffer.erase(0, nl + 1);
+        }
+        continue;
+      }
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EINTR) return;
+      }
+      // n == 0 (EOF) or a hard read error: the worker is gone.
+      ++result_.crashes;
+      reap(w, "died");
+      return;
+    }
+  }
+
+  void handle_reply(Worker& w, const std::string& line) {
+    std::uint64_t run = w.current;
+    if (line.rfind("ok ", 0) == 0) {
+      if (run != kNoRun && state_[run] == RunState::kAssigned) {
+        state_[run] = RunState::kDone;
+        ++resolved_;
+      }
+      w.current = kNoRun;
+      return;
+    }
+    if (line.rfind("fail ", 0) == 0) {
+      // A deterministic error from run_record (bad scenario, etc.):
+      // retrying would fail identically, so record and move on.
+      if (run != kNoRun && state_[run] == RunState::kAssigned) {
+        state_[run] = RunState::kError;
+        result_.error_runs.push_back(run);
+        ++resolved_;
+        log_ << "campaign: run " << run << " failed: "
+             << line.substr(std::string("fail ").size()) << "\n";
+      }
+      w.current = kNoRun;
+      return;
+    }
+    log_ << "campaign: ignoring unexpected worker reply '" << line << "'\n";
+  }
+
+  /// Bury a dead/hung worker, requeue or fail its outstanding run, and
+  /// keep the fleet sized to the remaining work.
+  void reap(Worker& w, const char* why) {
+    std::uint64_t run = w.current;
+    if (w.alive()) {
+      ::kill(w.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(w.pid, &status, 0);
+    }
+    close_fd(w.to_child);
+    close_fd(w.from_child);
+    w.pid = -1;
+    w.buffer.clear();
+    w.current = kNoRun;
+    if (run != kNoRun && state_[run] == RunState::kAssigned) {
+      if (attempts_[run] <= 1) {
+        log_ << "campaign: worker " << why << " with run " << run
+             << " outstanding; retrying once\n";
+        state_[run] = RunState::kPending;
+        retry_queue_.push_back(run);
+      } else {
+        log_ << "campaign: run " << run << " lost its worker twice ("
+             << why << "); marking failed\n";
+        state_[run] = RunState::kFailed;
+        result_.failed_runs.push_back(run);
+        ++resolved_;
+      }
+    }
+    // Respawn only when there is unassigned work for the new process.
+    if (!retry_queue_.empty() || next_run_ < run_count_) spawn(w);
+  }
+
+  void enforce_deadlines() {
+    if (options_.run_timeout <= 0.0) return;
+    Clock::time_point now = Clock::now();
+    for (Worker& w : workers_) {
+      if (w.alive() && w.current != kNoRun && now >= w.deadline) {
+        ++result_.timeouts;
+        reap(w, "timed out");
+      }
+    }
+  }
+
+  void shutdown() {
+    for (Worker& w : workers_) {
+      if (!w.alive()) continue;
+      static constexpr char kExit[] = "exit\n";
+      // A worker that died since its last reply makes this write fail;
+      // the waitpid below still reaps it.
+      (void)!::write(w.to_child, kExit, sizeof kExit - 1);
+      close_fd(w.to_child);
+    }
+    for (Worker& w : workers_) {
+      if (!w.alive()) continue;
+      int status = 0;
+      ::waitpid(w.pid, &status, 0);
+      close_fd(w.from_child);
+      w.pid = -1;
+    }
+  }
+
+  std::uint64_t run_count_;
+  const DispatchOptions& options_;
+  std::ostream& log_;
+  std::string exe_;
+  std::vector<Worker> workers_;
+  std::vector<RunState> state_;
+  std::vector<std::uint8_t> attempts_;
+  std::deque<std::uint64_t> retry_queue_;
+  std::uint64_t next_run_ = 0;
+  std::uint64_t resolved_ = 0;
+  bool crash_injected_ = false;
+  bool hang_injected_ = false;
+  DispatchResult result_;
+};
+
+}  // namespace
+
+std::string self_exe_path() {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) throw std::runtime_error("campaign: cannot resolve /proc/self/exe");
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+DispatchResult dispatch_runs(std::uint64_t run_count,
+                             const DispatchOptions& options,
+                             std::ostream& log) {
+  if (run_count == 0) return {};
+  // A worker can die between poll rounds; writes into its pipe must
+  // surface as EPIPE, not kill the dispatcher. Restore on exit so a
+  // library caller's disposition survives.
+  struct sigaction ignore {};
+  ignore.sa_handler = SIG_IGN;
+  struct sigaction saved {};
+  ::sigaction(SIGPIPE, &ignore, &saved);
+  try {
+    DispatchResult result = Dispatcher(run_count, options, log).run();
+    ::sigaction(SIGPIPE, &saved, nullptr);
+    return result;
+  } catch (...) {
+    ::sigaction(SIGPIPE, &saved, nullptr);
+    throw;
+  }
+}
+
+}  // namespace eio::campaign

@@ -1,0 +1,80 @@
+// The campaign dispatcher: shard runs across worker processes.
+//
+// The parent forks/execs N workers (see campaign/worker.h for the
+// stdin/stdout line protocol) and work-steals over one shared run
+// queue: every idle worker takes the lowest unassigned run index, so
+// a slow run never blocks the queue behind it and the shard shape
+// adapts to per-run cost automatically. Supervision:
+//
+//   * per-run timeout: a worker that holds a run past --run-timeout
+//     is SIGKILLed, reaped, and replaced by a fresh spawn;
+//   * crash = EOF on the worker's stdout pipe: reaped and replaced;
+//   * retry-once: a run that died with its worker is re-dispatched to
+//     another worker exactly once; a second death marks it failed;
+//   * every spawn gets a NEW store file (named by a monotonically
+//     increasing spawn id, never by worker slot), so a retried run
+//     can never land in the file a crashing predecessor tore.
+//
+// Determinism: the dispatcher only decides WHERE runs execute; the
+// records are pure functions of the plans, and the store merge is
+// order-independent — so scheduling, timeouts, and retries are all
+// invisible in the consolidated output.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eio::campaign {
+
+/// Sentinel for "no run" in the injection knobs.
+inline constexpr std::uint64_t kNoRun = ~0ULL;
+
+struct DispatchOptions {
+  std::size_t workers = 1;
+  /// Seconds a worker may hold one run before it is killed and the
+  /// run retried; 0 disables the timeout.
+  double run_timeout = 0.0;
+  /// Worker executable; empty resolves /proc/self/exe, so any binary
+  /// embedding the CLI library dispatches to itself.
+  std::string worker_exe;
+  /// Arguments after the executable name, e.g. {"campaign-worker",
+  /// "--plans", ..., "--run-jobs", "1"}. The dispatcher appends
+  /// "--store <store_dir>/worker-<spawn>.jsonl" per spawn.
+  std::vector<std::string> worker_args;
+  std::string store_dir;
+  /// Failure injection (CI/test hooks): the first dispatch of this run
+  /// is sent as "crash-run"/"hang-run" instead of "run", exercising
+  /// the crash-retry / timeout-retry paths on production code.
+  std::uint64_t inject_crash_run = kNoRun;
+  std::uint64_t inject_hang_run = kNoRun;
+};
+
+struct DispatchResult {
+  /// Store files of every spawn, in spawn order (input to the merge).
+  std::vector<std::string> store_files;
+  std::size_t spawns = 0;       ///< total worker processes started
+  std::size_t respawns = 0;     ///< spawns beyond the initial fleet
+  std::size_t timeouts = 0;     ///< runs killed by the per-run deadline
+  std::size_t crashes = 0;      ///< workers that died mid-run
+  std::vector<std::uint64_t> failed_runs;  ///< failed after the retry
+  std::vector<std::uint64_t> error_runs;   ///< worker replied "fail"
+
+  [[nodiscard]] bool ok() const {
+    return failed_runs.empty() && error_runs.empty();
+  }
+};
+
+/// Execute runs [0, run_count) per the options. `log` receives
+/// progress lines (worker lifecycle, retries); record content never
+/// passes through the dispatcher. Throws std::runtime_error when the
+/// worker fleet cannot be started at all.
+[[nodiscard]] DispatchResult dispatch_runs(std::uint64_t run_count,
+                                           const DispatchOptions& options,
+                                           std::ostream& log);
+
+/// This process's executable path (readlink /proc/self/exe).
+[[nodiscard]] std::string self_exe_path();
+
+}  // namespace eio::campaign

@@ -1,0 +1,136 @@
+#include "campaign/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "campaign/json_out.h"
+#include "common/json.h"
+#include "common/units.h"
+
+namespace eio::campaign {
+
+FleetReport build_report(const std::map<std::uint64_t, std::string>& records) {
+  FleetReport report;
+  for (const auto& [run, line] : records) {
+    json::Value rec;
+    try {
+      rec = json::parse(line);
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (!rec.is_object()) continue;
+    ++report.records;
+    SourceRollup& src = report.sources[rec.string_or("source", "?")];
+    auto runs = static_cast<std::uint64_t>(rec.number_or("runs", 0));
+    auto events = static_cast<std::uint64_t>(rec.number_or("events", 0));
+    ++src.records;
+    src.ensemble_runs += runs;
+    src.events += events;
+    report.ensemble_runs += runs;
+    report.events += events;
+    if (rec.has("job_time") && rec.at("job_time").is_object()) {
+      const json::Value& jt = rec.at("job_time");
+      src.job_time_mean_sum += jt.number_or("mean", 0.0);
+      double lo = jt.number_or("min", 0.0);
+      double hi = jt.number_or("max", 0.0);
+      if (src.records == 1) {
+        src.job_time_min = lo;
+        src.job_time_max = hi;
+      } else {
+        src.job_time_min = std::min(src.job_time_min, lo);
+        src.job_time_max = std::max(src.job_time_max, hi);
+      }
+    }
+    if (rec.has("rate") && rec.at("rate").is_object()) {
+      src.rate_mean_sum += rec.at("rate").number_or("mean", 0.0);
+    }
+    if (rec.has("faults") && rec.at("faults").is_object()) {
+      src.fault_injections += static_cast<std::uint64_t>(
+          rec.at("faults").number_or("total_injections", 0));
+    }
+    if (rec.has("health") && rec.at("health").is_object()) {
+      const json::Value& health = rec.at("health");
+      if (health.has("counts") && health.at("counts").is_object()) {
+        const json::Value& c = health.at("counts");
+        auto opened =
+            static_cast<std::uint64_t>(c.number_or("incidents_opened", 0));
+        src.incidents_opened += opened;
+        report.incidents_opened += opened;
+        src.degraded_ost +=
+            static_cast<std::uint64_t>(c.number_or("degraded_ost", 0));
+        src.straggler_rank +=
+            static_cast<std::uint64_t>(c.number_or("straggler_rank", 0));
+        src.drift += static_cast<std::uint64_t>(c.number_or("drift", 0));
+        src.injected += static_cast<std::uint64_t>(c.number_or("injected", 0));
+      }
+      if (health.has("incidents") && health.at("incidents").is_array()) {
+        for (const json::Value& inc : health.at("incidents").as_array()) {
+          if (inc.is_object()) {
+            ++src.incidents_by_kind[inc.string_or("kind", "?")];
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+void write_report_json(std::ostream& out, const FleetReport& report) {
+  json::Writer w(out);
+  w.begin_object()
+      .kv("schema_version", kOutputSchemaVersion)
+      .kv("report", "campaign-fleet")
+      .kv("records", report.records)
+      .kv("ensemble_runs", report.ensemble_runs)
+      .kv("events", report.events)
+      .kv("incidents_opened", report.incidents_opened)
+      .key("sources")
+      .begin_object();
+  for (const auto& [name, src] : report.sources) {
+    w.key(name)
+        .begin_object()
+        .kv("records", src.records)
+        .kv("ensemble_runs", src.ensemble_runs)
+        .kv("events", src.events)
+        .kv("job_time_mean", src.job_time_mean())
+        .kv("job_time_min", src.job_time_min)
+        .kv("job_time_max", src.job_time_max)
+        .kv("rate_mean", src.rate_mean())
+        .kv("fault_injections", src.fault_injections)
+        .kv("incidents_opened", src.incidents_opened)
+        .kv("degraded_ost", src.degraded_ost)
+        .kv("straggler_rank", src.straggler_rank)
+        .kv("drift", src.drift)
+        .kv("injected", src.injected)
+        .key("incidents_by_kind")
+        .begin_object();
+    for (const auto& [kind, n] : src.incidents_by_kind) w.kv(kind, n);
+    w.end_object().end_object();
+  }
+  w.end_object().end_object();
+  out << '\n';
+}
+
+void print_report(std::ostream& out, const FleetReport& report) {
+  out << "fleet: " << report.records << " campaign runs, "
+      << report.ensemble_runs << " simulated runs, " << report.events
+      << " events, " << report.incidents_opened << " incidents\n";
+  out << "  source                      runs  job-mean(s)   rate(MiB/s)"
+         "  incidents  degr-ost  straggler\n";
+  for (const auto& [name, src] : report.sources) {
+    char line[200];
+    std::snprintf(line, sizeof line,
+                  "  %-26s %5llu %12.3f %13.1f %10llu %9llu %10llu\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(src.records),
+                  src.job_time_mean(),
+                  src.rate_mean() / static_cast<double>(MiB),
+                  static_cast<unsigned long long>(src.incidents_opened),
+                  static_cast<unsigned long long>(src.degraded_ost),
+                  static_cast<unsigned long long>(src.straggler_rank));
+    out << line;
+  }
+}
+
+}  // namespace eio::campaign

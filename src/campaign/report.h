@@ -1,0 +1,68 @@
+// The consolidated fleet report: the campaign's records rolled up.
+//
+// LASSi-style fleet analytics over the store: per-scenario (manifest
+// source) groups with run counts, job-time and rate statistics, event
+// totals, fault-injection totals, and health rollups (incident counts
+// by kind, degraded-OST and straggler-rank opens). The report is
+// derived solely from the merged records — no timestamps, paths, or
+// environment — so it inherits the store's byte-determinism across
+// worker counts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace eio::campaign {
+
+/// Rollup of one manifest source's records.
+struct SourceRollup {
+  std::uint64_t records = 0;       ///< campaign runs (store lines)
+  std::uint64_t ensemble_runs = 0; ///< simulated runs ("runs" summed)
+  std::uint64_t events = 0;
+  double job_time_mean_sum = 0.0;  ///< sum of per-record job_time means
+  double job_time_min = 0.0;
+  double job_time_max = 0.0;
+  double rate_mean_sum = 0.0;      ///< sum of per-record rate means
+  std::uint64_t fault_injections = 0;
+  std::uint64_t incidents_opened = 0;
+  std::uint64_t degraded_ost = 0;
+  std::uint64_t straggler_rank = 0;
+  std::uint64_t drift = 0;
+  std::uint64_t injected = 0;
+  /// Incident totals by kind name, fleet-queryable.
+  std::map<std::string, std::uint64_t> incidents_by_kind;
+
+  [[nodiscard]] double job_time_mean() const {
+    return records > 0 ? job_time_mean_sum / static_cast<double>(records) : 0.0;
+  }
+  [[nodiscard]] double rate_mean() const {
+    return records > 0 ? rate_mean_sum / static_cast<double>(records) : 0.0;
+  }
+};
+
+struct FleetReport {
+  std::uint64_t records = 0;
+  std::uint64_t ensemble_runs = 0;
+  std::uint64_t events = 0;
+  std::uint64_t incidents_opened = 0;
+  /// Sources in sorted-name order (deterministic iteration).
+  std::map<std::string, SourceRollup> sources;
+};
+
+/// Fold merged records (run index -> record line) into the report.
+/// Records that fail to parse are counted but otherwise skipped —
+/// the store merge already filtered torn lines, so this only guards
+/// against schema drift.
+[[nodiscard]] FleetReport build_report(
+    const std::map<std::uint64_t, std::string>& records);
+
+/// The report as one deterministic JSON document (fixed key order,
+/// %.9g floats), newline-terminated.
+void write_report_json(std::ostream& out, const FleetReport& report);
+
+/// Human-readable fleet table.
+void print_report(std::ostream& out, const FleetReport& report);
+
+}  // namespace eio::campaign

@@ -1,0 +1,32 @@
+// Execute one campaign run plan and render its record.
+//
+// The record is the campaign's unit of truth: one JSON line, fixed key
+// order, %.9g floats, derived from nothing but the plan's scenario
+// document (seeds included) — no timestamps, worker ids, or host
+// state. That makes a record a pure function of its plan, which is
+// the whole determinism story: any worker computing run N produces
+// the same bytes, so retries, re-shards, and different --workers
+// values merge into byte-identical stores.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workloads/sweep.h"
+
+namespace eio::campaign {
+
+struct RunnerOptions {
+  /// Ensemble threads inside this run. Campaign workers default to 1 —
+  /// parallelism comes from worker processes — but the per-run results
+  /// are byte-identical for any value (the ensemble runner contract),
+  /// so this is a throughput knob, not a correctness one.
+  std::size_t jobs = 1;
+};
+
+/// Simulate the plan's scenario (all of its runs) and return the
+/// record line (no trailing newline). Throws on invalid scenarios.
+[[nodiscard]] std::string run_record(const workloads::RunPlan& plan,
+                                     const RunnerOptions& options = {});
+
+}  // namespace eio::campaign

@@ -1,0 +1,77 @@
+#include "campaign/store.h"
+
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace eio::campaign {
+
+namespace {
+
+/// Parse one store line into its run index; nullopt when the line is
+/// not a complete record (merge rule 1).
+std::optional<std::uint64_t> run_of(const std::string& line) {
+  if (line.empty()) return std::nullopt;
+  try {
+    json::Value v = json::parse(line);
+    if (!v.is_object() || !v.has("run")) return std::nullopt;
+    double run = v.at("run").as_number();
+    if (run < 0) return std::nullopt;
+    return static_cast<std::uint64_t>(run);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::map<std::uint64_t, std::string> merge_store_files(
+    const std::vector<std::string>& paths, MergeStats* stats) {
+  MergeStats local;
+  std::map<std::uint64_t, std::string> records;
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;  // respawned worker that never appended
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+    std::size_t start = 0;
+    while (start < text.size()) {
+      std::size_t nl = text.find('\n', start);
+      if (nl == std::string::npos) {
+        // Unterminated tail: a record a dying worker half-flushed.
+        ++local.discarded;
+        break;
+      }
+      std::string line = text.substr(start, nl - start);
+      start = nl + 1;
+      std::optional<std::uint64_t> run = run_of(line);
+      if (!run) {
+        ++local.discarded;
+        continue;
+      }
+      ++local.complete_lines;
+      // try_emplace guarantees `line` is untouched when the key exists,
+      // so the duplicate comparison below reads the real record.
+      auto [it, inserted] = records.try_emplace(*run, std::move(line));
+      if (!inserted) {
+        ++local.duplicates;
+        if (line < it->second) it->second = std::move(line);
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return records;
+}
+
+void write_merged(std::ostream& out,
+                  const std::map<std::uint64_t, std::string>& records) {
+  for (const auto& [run, line] : records) {
+    out << line << '\n';
+  }
+}
+
+}  // namespace eio::campaign

@@ -1,0 +1,51 @@
+// The append-only campaign store and its merge rule.
+//
+// Each worker process appends finished records to its own file — one
+// JSON object per line, keyed by "run" — so no two processes ever
+// write the same file and a crash can at worst truncate the crashed
+// worker's final line. The merge that produces the consolidated
+// campaign.jsonl applies three rules:
+//
+//   1. only complete lines count: a line must be newline-terminated
+//      and parse as a JSON object with a "run" key, so a partial
+//      record flushed by a dying worker is discarded, never repaired;
+//   2. duplicates resolve deterministically: if two files carry the
+//      same run (a worker completed a run, then hung before replying,
+//      and the run was retried), the lexicographically smallest record
+//      line wins — records are pure functions of the plan, so
+//      duplicates are expected to be byte-identical and the rule only
+//      exists to make the impossible case deterministic too;
+//   3. output is ordered by run index, one line per run.
+//
+// Together: the consolidated store depends only on the set of
+// completed records, not on worker count, scheduling, crashes, or
+// retries — the campaign determinism contract.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eio::campaign {
+
+/// What the merge saw, for the campaign's summary line.
+struct MergeStats {
+  std::size_t complete_lines = 0;  ///< parsed, newline-terminated records
+  std::size_t discarded = 0;       ///< partial or unparseable lines
+  std::size_t duplicates = 0;      ///< same-run records beyond the first
+};
+
+/// Merge worker store files per the rules above: run index -> record
+/// line (no trailing newline). Missing files are skipped (a respawned
+/// worker may have died before its first append).
+[[nodiscard]] std::map<std::uint64_t, std::string> merge_store_files(
+    const std::vector<std::string>& paths, MergeStats* stats = nullptr);
+
+/// Write the consolidated store: records in run-index order, one line
+/// each, newline-terminated.
+void write_merged(std::ostream& out,
+                  const std::map<std::uint64_t, std::string>& records);
+
+}  // namespace eio::campaign

@@ -1,0 +1,113 @@
+#include "campaign/worker.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "campaign/runner.h"
+#include "workloads/sweep.h"
+
+namespace eio::campaign {
+
+namespace {
+
+/// Parse "<directive> <N>" into the run index; nullopt on junk.
+std::optional<std::uint64_t> index_of(const std::string& line,
+                                      std::size_t prefix_len) {
+  if (line.size() <= prefix_len) return std::nullopt;
+  const char* s = line.c_str() + prefix_len;
+  char* end = nullptr;
+  std::uint64_t n = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return std::nullopt;
+  return n;
+}
+
+}  // namespace
+
+int run_worker(const WorkerOptions& options, std::istream& in,
+               std::ostream& out, std::ostream& err) {
+  std::map<std::uint64_t, workloads::RunPlan> plans;
+  {
+    std::ifstream f(options.plans_path, std::ios::binary);
+    if (!f) {
+      err << "eiotrace: campaign-worker: cannot open " << options.plans_path
+          << "\n";
+      return 1;
+    }
+    std::string line;
+    while (std::getline(f, line)) {
+      if (line.empty()) continue;
+      try {
+        workloads::RunPlan plan = workloads::plan_from_jsonl(line);
+        std::uint64_t idx = plan.index;
+        plans.emplace(idx, std::move(plan));
+      } catch (const std::exception& e) {
+        err << "eiotrace: campaign-worker: bad plan line: " << e.what() << "\n";
+        return 1;
+      }
+    }
+  }
+  std::ofstream store(options.store_path, std::ios::binary | std::ios::app);
+  if (!store) {
+    err << "eiotrace: campaign-worker: cannot open store "
+        << options.store_path << "\n";
+    return 1;
+  }
+
+  RunnerOptions run_options{.jobs = options.run_jobs};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line == "exit") return 0;
+    if (line.rfind("run ", 0) == 0) {
+      auto idx = index_of(line, 4);
+      auto it = idx ? plans.find(*idx) : plans.end();
+      if (it == plans.end()) {
+        out << "fail " << (idx ? *idx : 0) << " unknown run\n" << std::flush;
+        continue;
+      }
+      try {
+        std::string record = run_record(it->second, run_options);
+        // Durability order: append + flush the record, THEN ack. A
+        // worker that dies between the two leaves a complete line the
+        // merge accepts, and the retry's duplicate resolves cleanly.
+        store << record << '\n' << std::flush;
+        out << "ok " << *idx << '\n' << std::flush;
+      } catch (const std::exception& e) {
+        std::string msg = e.what();
+        for (char& c : msg) {
+          if (c == '\n') c = ' ';
+        }
+        out << "fail " << *idx << ' ' << msg << '\n' << std::flush;
+      }
+      continue;
+    }
+    if (line.rfind("crash-run ", 0) == 0) {
+      // Failure injection: compute the record, flush HALF of it with
+      // no newline, and die hard — the worst-case torn append the
+      // store merge must discard.
+      auto idx = index_of(line, 10);
+      auto it = idx ? plans.find(*idx) : plans.end();
+      if (it != plans.end()) {
+        std::string record = run_record(it->second, run_options);
+        store << record.substr(0, record.size() / 2) << std::flush;
+      }
+      _exit(9);
+    }
+    if (line.rfind("hang-run ", 0) == 0) {
+      // Failure injection: go silent with the run outstanding so the
+      // dispatcher's per-run timeout fires.
+      while (true) pause();
+    }
+    out << "fail 0 unknown directive\n" << std::flush;
+  }
+  return 0;  // EOF: dispatcher went away
+}
+
+}  // namespace eio::campaign

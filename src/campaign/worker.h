@@ -1,0 +1,41 @@
+// The campaign worker: one process executing dispatched runs.
+//
+// A worker is the eiotrace binary (or any binary embedding the CLI
+// library) exec'd in `campaign-worker` mode. It loads the campaign's
+// expanded run list, opens its private store file, and then speaks a
+// line protocol on stdin/stdout with the parent dispatcher:
+//
+//   parent -> worker (stdin)          worker -> parent (stdout)
+//   ------------------------          -------------------------
+//   run <N>\n                         ok <N>\n   or   fail <N> <msg>\n
+//   crash-run <N>\n                   (none: half-writes the record,
+//                                      then _exit(9) — test hook)
+//   hang-run <N>\n                    (none: sleeps forever — test hook)
+//   exit\n                            (clean return)
+//
+// The store append happens BEFORE the "ok" reply, so a run the parent
+// saw acknowledged is always durable in some store file. The crash and
+// hang directives are deliberate failure injections for the retry
+// path; they live in the worker (not a test double) so CI exercises
+// the exact production code path.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace eio::campaign {
+
+struct WorkerOptions {
+  std::string plans_path;  ///< the campaign's runs.jsonl
+  std::string store_path;  ///< this worker's private append target
+  std::size_t run_jobs = 1;  ///< ensemble threads per run
+};
+
+/// Run the worker loop until "exit" or EOF on `in`. Returns 0 on a
+/// clean shutdown, 1 on setup errors (bad plans file, unopenable
+/// store). Protocol replies are flushed per line.
+int run_worker(const WorkerOptions& options, std::istream& in,
+               std::ostream& out, std::ostream& err);
+
+}  // namespace eio::campaign

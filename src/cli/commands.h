@@ -1,0 +1,28 @@
+// Handler declarations for the registry table (cli/command.cpp).
+// Implementations live in commands_trace.cpp (trace analysis),
+// commands_simulate.cpp (ensemble generation), and
+// commands_campaign.cpp (the campaign service + worker mode).
+#pragma once
+
+#include "cli/command.h"
+
+namespace eio::cli {
+
+int cmd_report(CommandContext& ctx);
+int cmd_summary(CommandContext& ctx);
+int cmd_analyze(CommandContext& ctx);
+int cmd_monitor(CommandContext& ctx);
+int cmd_histogram(CommandContext& ctx);
+int cmd_modes(CommandContext& ctx);
+int cmd_rates(CommandContext& ctx);
+int cmd_diagram(CommandContext& ctx);
+int cmd_diagnose(CommandContext& ctx);
+int cmd_patterns(CommandContext& ctx);
+int cmd_phases(CommandContext& ctx);
+int cmd_compare(CommandContext& ctx);
+int cmd_convert(CommandContext& ctx);
+int cmd_simulate(CommandContext& ctx);
+int cmd_campaign(CommandContext& ctx);
+int cmd_campaign_worker(CommandContext& ctx);
+
+}  // namespace eio::cli

@@ -1,0 +1,55 @@
+// The campaign service commands: `campaign` (parent dispatcher) and
+// `campaign-worker` (child process mode). Both are thin flag shims
+// over the campaign library — the orchestration itself (sweep
+// expansion, fork/exec sharding, store merge, fleet report) lives in
+// src/campaign so tests and embedding binaries drive it as library
+// calls.
+#include <iostream>
+#include <ostream>
+
+#include "campaign/campaign.h"
+#include "campaign/worker.h"
+#include "cli/commands.h"
+
+namespace eio::cli {
+
+int cmd_campaign(CommandContext& ctx) {
+  const Parsed& args = ctx.args;
+  if (args.positional().empty()) {
+    ctx.es() << "eiotrace: campaign needs a manifest (scenario/sweep file "
+                "or directory)\n";
+    return 1;
+  }
+  campaign::CampaignOptions opt;
+  opt.manifest = args.positional()[0];
+  opt.out_dir = args.get("out", "campaign-out");
+  opt.workers = args.get_size("workers", 1);
+  opt.run_jobs = args.get_size("run-jobs", 1);
+  opt.run_timeout = args.get_double("run-timeout", 0.0);
+  opt.plan_only = args.has("plan-only");
+  opt.worker_exe = args.get("worker-exe", "");
+  if (args.has("inject-crash-run")) {
+    opt.inject_crash_run = args.get_size("inject-crash-run", 0);
+  }
+  if (args.has("inject-hang-run")) {
+    opt.inject_hang_run = args.get_size("inject-hang-run", 0);
+  }
+  return campaign::run_campaign(opt, ctx.os(), ctx.es());
+}
+
+int cmd_campaign_worker(CommandContext& ctx) {
+  const Parsed& args = ctx.args;
+  campaign::WorkerOptions opt;
+  opt.plans_path = args.get("plans", "");
+  opt.store_path = args.get("store", "");
+  opt.run_jobs = args.get_size("run-jobs", 1);
+  if (opt.plans_path.empty() || opt.store_path.empty()) {
+    ctx.es() << "eiotrace: campaign-worker needs --plans and --store\n";
+    return 1;
+  }
+  // The protocol rides the process's real stdin/stdout (the dispatcher
+  // holds the pipe ends), not the CommandContext streams.
+  return campaign::run_worker(opt, std::cin, std::cout, ctx.es());
+}
+
+}  // namespace eio::cli

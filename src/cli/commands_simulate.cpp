@@ -1,0 +1,227 @@
+// `simulate` generates runs via the parallel ensemble runner instead
+// of loading a trace from disk. Per-run statistics come from a
+// streaming SummarySink attached to each run's monitor, so without
+// --save-dir no trace is ever materialized (capture stays in profile
+// mode).
+#include <cstdio>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "cli/commands.h"
+#include "cli/helpers.h"
+#include "common/units.h"
+#include "core/ks.h"
+#include "core/samples.h"
+#include "core/streaming.h"
+#include "ipm/sink.h"
+#include "monitor/health.h"
+#include "workloads/ensemble.h"
+#include "workloads/scenario.h"
+
+namespace eio::cli {
+
+namespace {
+
+/// Workload flags that conflict with --scenario (the file is the
+/// single source of truth for the experiment it names).
+constexpr const char* kScenarioConflicts[] = {"machine", "tasks", "block-mib",
+                                              "segments"};
+
+}  // namespace
+
+int cmd_simulate(CommandContext& ctx) {
+  const Parsed& args = ctx.args;
+  std::ostream& out = ctx.os();
+  std::ostream& err = ctx.es();
+  workloads::ScenarioBuilder scenario;
+  if (args.has("scenario")) {
+    for (const char* flag : kScenarioConflicts) {
+      if (args.has(flag)) {
+        err << "eiotrace: --" << flag << " conflicts with --scenario (the "
+            << "file names the experiment)\n";
+        return 1;
+      }
+    }
+    try {
+      scenario = workloads::load_scenario(args.get("scenario", ""));
+    } catch (const std::exception& e) {
+      err << "eiotrace: " << e.what() << "\n";
+      return 1;
+    }
+  } else {
+    try {
+      scenario.machine(args.get("machine", "franklin"));
+    } catch (const std::invalid_argument& e) {
+      err << "eiotrace: " << e.what() << "\n";
+      return 1;
+    }
+    workloads::IorConfig cfg;
+    cfg.tasks = static_cast<std::uint32_t>(args.get_size("tasks", 256));
+    cfg.block_size = static_cast<Bytes>(args.get_double("block-mib", 64.0) *
+                                        static_cast<double>(MiB));
+    cfg.segments = static_cast<std::uint32_t>(args.get_size("segments", 2));
+    scenario.ior(cfg);
+    scenario.runs(4);
+  }
+  if (args.has("seed")) scenario.seed(args.get_size("seed", 0));
+  std::size_t runs = args.get_size("runs", scenario.run_count());
+  bool save = args.has("save-dir");
+  std::string save_fmt = args.get("format", "tsv");
+  if (save_fmt != "tsv" && save_fmt != "v2" && save_fmt != "v3") {
+    err << "eiotrace: unknown --format '" << save_fmt << "' (tsv|v2|v3)\n";
+    return 1;
+  }
+
+  workloads::JobSpec job = scenario.job();
+  // Traces are only retained when they are being written out.
+  job.capture = save ? ipm::Mode::kBoth : ipm::Mode::kProfile;
+  analysis::EventFilter write_filter{.op = posix::OpType::kWrite,
+                                     .min_bytes = MiB};
+  const bool monitored = args.has("monitor");
+  monitor::HealthOptions mopt = monitor_options_from(args);
+  if (!args.has("ost-count")) {
+    mopt.ost_count = scenario.machine_config().ost_count;
+  }
+  mopt.stripe_size = scenario.machine_config().stripe_size;
+  std::vector<std::shared_ptr<analysis::SummarySink>> sinks(runs);
+  std::vector<std::shared_ptr<monitor::HealthSink>> monitors(runs);
+  job.sink_factory = [&sinks, &monitors, write_filter, monitored,
+                      mopt](std::size_t run_index)
+      -> std::shared_ptr<ipm::EventSink> {
+    auto sink = std::make_shared<analysis::SummarySink>(write_filter);
+    sinks[run_index] = sink;
+    if (!monitored) return sink;
+    auto health = std::make_shared<monitor::HealthSink>(mopt);
+    monitors[run_index] = health;
+    return std::make_shared<ipm::FanoutSink>(
+        std::vector<std::shared_ptr<ipm::EventSink>>{sink, health});
+  };
+
+  const char* kind_label = "IOR";
+  std::ostringstream shape;
+  switch (scenario.kind()) {
+    case workloads::WorkloadKind::kIor: {
+      const workloads::IorConfig& c = scenario.ior_config();
+      shape << c.tasks << " tasks, " << to_mib(c.block_size) << " MiB blocks, "
+            << c.segments << " segments";
+      break;
+    }
+    case workloads::WorkloadKind::kMadbench: {
+      kind_label = "MADbench";
+      const workloads::MadbenchConfig& c = scenario.madbench_config();
+      shape << c.tasks << " tasks, " << c.matrices << " matrices";
+      break;
+    }
+    case workloads::WorkloadKind::kGcrm: {
+      kind_label = "GCRM";
+      const workloads::GcrmConfig& c = scenario.gcrm_config();
+      shape << c.tasks << " tasks, "
+            << (c.collective_buffering ? c.io_tasks : c.tasks) << " writers";
+      break;
+    }
+  }
+
+  workloads::ParallelEnsembleRunner runner({.jobs = args.get_size("jobs", 0)});
+  out << "simulating " << runs << " " << kind_label << " runs (" << shape.str()
+      << ") on " << scenario.machine_config().name << " with "
+      << runner.jobs() << " worker(s)\n";
+  if (scenario.fault_plan().enabled()) {
+    out << "fault plan: "
+        << fault::plan_to_json(scenario.fault_plan()) << "\n";
+  }
+  auto results = runner.run_ensemble(job, runs);
+
+  out << "  run          job(s)    events    median(s)      p95(s)\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const stats::StreamingSummary& s = sinks[i]->summary();
+    std::uint64_t events =
+        save ? results[i].trace.size() : results[i].profile.total();
+    char line[160];
+    std::snprintf(line, sizeof line, "  %-8zu %10.1f %9llu %12.4f %11.4f\n", i,
+                  results[i].job_time, static_cast<unsigned long long>(events),
+                  s.empty() ? 0.0 : s.median(),
+                  s.empty() ? 0.0 : s.quantile(0.95));
+    out << line;
+  }
+
+  if (scenario.fault_plan().enabled()) {
+    out << "fault injections:\n"
+        << "  run   ost-windows    stalls   retried ops   straggler-stalls"
+           "   injected(s)\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const fault::Counts& c = results[i].fault_counts;
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    "  %-5zu %11llu %9llu %13llu %18llu %13.3f\n", i,
+                    static_cast<unsigned long long>(c.ost_degradations),
+                    static_cast<unsigned long long>(c.stalls),
+                    static_cast<unsigned long long>(c.ops_retried),
+                    static_cast<unsigned long long>(c.straggler_stalls),
+                    c.stall_seconds + c.retry_seconds + c.straggler_seconds);
+      out << line;
+    }
+  }
+
+  if (monitored) {
+    out << "health monitor:\n"
+        << "  run    windows    opened   cleared   open-at-end\n";
+    std::vector<monitor::Incident> incidents;
+    std::vector<std::uint64_t> incident_runs;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      monitor::HealthKernel& k = monitors[i]->kernel();
+      k.finish();
+      const monitor::Counts& c = k.counts();
+      char line[160];
+      std::snprintf(line, sizeof line, "  %-5zu %9llu %9llu %9llu %13llu\n", i,
+                    static_cast<unsigned long long>(c.windows_evaluated),
+                    static_cast<unsigned long long>(c.incidents_opened),
+                    static_cast<unsigned long long>(c.incidents_cleared),
+                    static_cast<unsigned long long>(c.open_at_finish()));
+      out << line;
+      for (const monitor::Incident& inc : k.incidents()) {
+        incidents.push_back(inc);
+        incident_runs.push_back(i);
+      }
+    }
+    if (!incidents.empty()) monitor::print_incident_table(out, incidents);
+    int rc = write_incident_log(args, incidents, incident_runs, out, err);
+    if (rc != 0) return rc;
+  }
+
+  out << "pairwise KS distances (write durations):\n";
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    for (std::size_t j = i + 1; j < sinks.size(); ++j) {
+      stats::KsResult ks = stats::ks_two_sample(
+          sinks[i]->summary().reservoir().samples(),
+          sinks[j]->summary().reservoir().samples());
+      char line[120];
+      std::snprintf(line, sizeof line, "  %zu vs %zu: D = %.4f (p = %.3f)\n",
+                    i, j, ks.statistic, ks.p_value);
+      out << line;
+    }
+  }
+
+  if (save) {
+    std::string dir = args.get("save-dir", ".");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::string path = dir + "/run" + std::to_string(i);
+      if (save_fmt == "v2") {
+        path += ".v2";
+        results[i].trace.save_binary_v2(path);
+      } else if (save_fmt == "v3") {
+        path += ".v3";
+        results[i].trace.save_binary_v3(path);
+      } else {
+        path += ".tsv";
+        results[i].trace.save(path);
+      }
+      out << "wrote " << path << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace eio::cli

@@ -1,0 +1,514 @@
+// The trace-analysis command handlers. Every subcommand consumes a
+// TraceSource: the trace file is streamed per analysis pass, never
+// materialized, so peak memory is independent of the event count
+// (except where noted: diagnose/patterns need random access and
+// materialize internally).
+//
+// Each analysis subcommand builds a kernel (or KernelSet) factory and
+// hands it to analysis::run_kernels: exactly ONE trace scan per
+// invocation — chunk-parallel on indexed (v2/v3) files, one serial
+// columnar pass otherwise — no matter how many statistics it fuses.
+//
+// Commands on the machine-readable contract (summary, analyze,
+// diagnose, monitor) honor --json: one compact JSON document on
+// stdout, schema_version + fixed key order + %.9g floats via the
+// shared campaign::json_out emitters.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "campaign/json_out.h"
+#include "cli/commands.h"
+#include "cli/helpers.h"
+#include "common/units.h"
+#include "core/diagnose.h"
+#include "core/distribution.h"
+#include "core/histogram.h"
+#include "core/ks.h"
+#include "core/modes.h"
+#include "core/patterns.h"
+#include "core/streaming.h"
+#include "core/trace_diagram.h"
+#include "ipm/report.h"
+#include "ipm/trace.h"
+#include "ipm/trace_stream.h"
+#include "ipm/trace_v3.h"
+#include "monitor/health.h"
+
+namespace eio::cli {
+
+int cmd_report(CommandContext& ctx) {
+  ipm::print_report(ctx.os(), ipm::summarize(*ctx.source));
+  return 0;
+}
+
+int cmd_summary(CommandContext& ctx) {
+  const ipm::TraceSource& source = *ctx.source;
+  const Parsed& args = ctx.args;
+  analysis::EventFilter base = filter_from(args, ctx.es());
+  analysis::EventFilter wf = base, rf = base;
+  wf.op = posix::OpType::kWrite;
+  rf.op = posix::OpType::kRead;
+  auto scanner = scanner_for(source, args);
+  // One fused scan feeds both per-op summaries; the hint union still
+  // skips chunks containing neither op. Per-chunk substream seeds keep
+  // the result identical to the former scan-per-op output (a chunk
+  // without, say, writes folds an empty write partial, and empty
+  // partials merge as no-ops).
+  const ipm::ChunkHint hint =
+      ipm::ChunkHint::union_of(analysis::hint_for(wf), analysis::hint_for(rf));
+  auto merged =
+      analysis::run_kernels(source, scanner, hint, [&](std::size_t chunk) {
+        stats::SummaryOptions opts = analysis::chunk_summary_options({}, chunk);
+        return analysis::KernelSet(analysis::SummarySink(wf, opts),
+                                   analysis::SummarySink(rf, opts));
+      });
+  if (ctx.json()) {
+    json::Writer w(ctx.os());
+    w.begin_object();
+    w.kv("schema_version", campaign::kOutputSchemaVersion);
+    w.kv("command", "summary");
+    w.key("write");
+    campaign::write_summary(w, merged.get<0>().summary());
+    w.key("read");
+    campaign::write_summary(w, merged.get<1>().summary());
+    w.end_object();
+    ctx.os() << "\n";
+    return 0;
+  }
+  print_summary_header(ctx.os());
+  print_summary_row(ctx.os(), posix::OpType::kWrite, merged.get<0>().summary());
+  print_summary_row(ctx.os(), posix::OpType::kRead, merged.get<1>().summary());
+  return 0;
+}
+
+int cmd_histogram(CommandContext& ctx) {
+  const ipm::TraceSource& source = *ctx.source;
+  const Parsed& args = ctx.args;
+  analysis::EventFilter filter = filter_from(args, ctx.es());
+  bool log = args.has("log");
+  auto bins = args.get_size("bins", 40);
+  stats::BinScale scale =
+      log ? stats::BinScale::kLog10 : stats::BinScale::kLinear;
+  auto scanner = scanner_for(source, args);
+  const ipm::ChunkHint hint = analysis::hint_for(filter);
+  // ONE scan: StreamingHistogram folds range discovery and filling
+  // together (bit-identical to the historical extrema+fill double scan
+  // while the matched count fits its exact buffer).
+  auto merged =
+      analysis::run_kernels(source, scanner, hint, [&](std::size_t) {
+        return analysis::HistogramKernel(filter, {.scale = scale, .bins = bins});
+      });
+  std::optional<stats::Histogram> h = merged.histogram().materialize();
+  if (!h) {
+    ctx.es() << "eiotrace: no events match the filter\n";
+    return 2;
+  }
+  print_histogram_chart(ctx.os(), *h, log);
+  return 0;
+}
+
+int cmd_modes(CommandContext& ctx) {
+  const ipm::TraceSource& source = *ctx.source;
+  const Parsed& args = ctx.args;
+  analysis::EventFilter filter = filter_from(args, ctx.es());
+  auto scanner = scanner_for(source, args);
+  const ipm::ChunkHint hint = analysis::hint_for(filter);
+  auto merged =
+      analysis::run_kernels(source, scanner, hint, [&](std::size_t chunk) {
+        return analysis::SummarySink(filter,
+                                     analysis::chunk_summary_options({}, chunk));
+      });
+  const stats::StreamingSummary& s = merged.summary();
+  if (s.empty()) {
+    ctx.es() << "eiotrace: no events match the filter\n";
+    return 2;
+  }
+  // KDE runs over the reservoir — every duration while the stream fits
+  // (so results match the materialized path exactly), a uniform sample
+  // beyond that.
+  auto modes = stats::find_modes(
+      s.reservoir().samples(),
+      {.log_axis = args.has("log"),
+       .bandwidth_scale = args.get_double("bandwidth", 0.5)});
+  ctx.os() << "modes (" << s.count() << " events):\n";
+  for (const auto& m : modes) {
+    char line[120];
+    std::snprintf(line, sizeof line, "  at %10.4f s   mass %5.1f%%\n",
+                  m.location, m.mass * 100.0);
+    ctx.os() << line;
+  }
+  auto matched = stats::harmonic_signature(modes);
+  if (matched.size() > 1) {
+    ctx.os() << "harmonic signature:";
+    for (int h : matched) ctx.os() << " T/" << h;
+    ctx.os() << "  -> intra-node stream serialization likely\n";
+  }
+  return 0;
+}
+
+int cmd_rates(CommandContext& ctx) {
+  const ipm::TraceSource& source = *ctx.source;
+  const Parsed& args = ctx.args;
+  auto bins = args.get_size("bins", 100);
+  analysis::EventFilter filter = filter_from(args, ctx.es());
+  auto scanner = scanner_for(source, args);
+  // Indexed traces answer the span from the chunk index (free); only
+  // non-indexed formats pay a span pass before the single fold scan.
+  const double span = scanner ? scanner->time_span() : source.time_span();
+  const ipm::ChunkHint hint = analysis::hint_for(filter);
+  auto merged =
+      analysis::run_kernels(source, scanner, hint, [&](std::size_t) {
+        return analysis::RateKernel(filter, span, bins);
+      });
+  print_rate_chart(ctx.os(), merged.series());
+  return 0;
+}
+
+int cmd_diagram(CommandContext& ctx) {
+  analysis::TraceDiagram diagram(
+      *ctx.source, {.max_rows = ctx.args.get_size("rows", 24),
+                    .columns = ctx.args.get_size("cols", 72)});
+  ctx.os() << diagram.render_text();
+  return 0;
+}
+
+int cmd_diagnose(CommandContext& ctx) {
+  const Parsed& args = ctx.args;
+  analysis::DiagnoserOptions opt;
+  opt.fair_share_rate =
+      args.get_double("fair-share-mibs", 0.0) * static_cast<double>(MiB);
+  opt.ost_count = static_cast<std::uint32_t>(args.get_size("ost-count", 0));
+  // The diagnoser cross-references events (stragglers vs. the pack,
+  // per-file contention), so it materializes — the documented
+  // O(events) exception to the streaming contract.
+  ipm::Trace trace = ctx.source->materialize();
+  auto findings = analysis::diagnose(trace, opt);
+  if (ctx.json()) {
+    json::Writer w(ctx.os());
+    w.begin_object();
+    w.kv("schema_version", campaign::kOutputSchemaVersion);
+    w.kv("command", "diagnose");
+    w.key("findings").begin_array();
+    for (const auto& f : findings) {
+      w.begin_object();
+      w.kv("code", analysis::finding_name(f.code));
+      w.kv("severity", f.severity);
+      w.kv("metric", f.metric);
+      w.kv("message", std::string_view(f.message));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    ctx.os() << "\n";
+    return 0;
+  }
+  if (findings.empty()) {
+    ctx.os() << "no findings\n";
+    return 0;
+  }
+  for (const auto& f : findings) {
+    ctx.os() << "[" << analysis::finding_name(f.code) << " sev ";
+    char sev[16];
+    std::snprintf(sev, sizeof sev, "%.2f", f.severity);
+    ctx.os() << sev << "] " << f.message << "\n";
+  }
+  return 0;
+}
+
+int cmd_monitor(CommandContext& ctx) {
+  const Parsed& args = ctx.args;
+  monitor::HealthOptions opt = monitor_options_from(args);
+  auto scanner = scanner_for(*ctx.source, args);
+  // Deliberately the default (admit-everything) chunk hint: fault
+  // markers (OpType::kFault) must reach the detectors, so chunks can
+  // never be pruned by op here.
+  auto merged = analysis::run_kernels(
+      *ctx.source, scanner, ipm::ChunkHint{},
+      [&](std::size_t chunk) { return monitor::HealthKernel(opt, chunk); });
+  merged.finish();
+  if (ctx.json()) {
+    json::Writer w(ctx.os());
+    w.begin_object();
+    w.kv("schema_version", campaign::kOutputSchemaVersion);
+    w.kv("command", "monitor");
+    w.key("counts");
+    campaign::write_monitor_counts(w, merged.counts());
+    w.key("incidents");
+    campaign::write_incidents(w, merged.incidents(), {});
+    w.end_object();
+    ctx.os() << "\n";
+    // --incidents still writes its file; the confirmation chatter goes
+    // to stderr so stdout stays one parseable document.
+    return write_incident_log(args, merged.incidents(), {}, ctx.es(), ctx.es());
+  }
+  monitor::print_incident_table(ctx.os(), merged.incidents());
+  monitor::print_counts(ctx.os(), merged.counts());
+  return write_incident_log(args, merged.incidents(), {}, ctx.os(), ctx.es());
+}
+
+int cmd_phases(CommandContext& ctx) {
+  const ipm::TraceSource& source = *ctx.source;
+  const Parsed& args = ctx.args;
+  analysis::EventFilter base = filter_from(args, ctx.es());
+  auto scanner = scanner_for(source, args);
+  const ipm::ChunkHint hint = analysis::hint_for(base);
+  auto merged =
+      analysis::run_kernels(source, scanner, hint, [&](std::size_t chunk) {
+        return analysis::PhaseSummarySink(
+            base, analysis::chunk_summary_options({}, chunk));
+      });
+  const auto& by_phase = merged.by_phase();
+  if (by_phase.empty()) {
+    ctx.es() << "eiotrace: no events match the filter\n";
+    return 2;
+  }
+  print_phase_table(ctx.os(), by_phase);
+  return 0;
+}
+
+int cmd_analyze(CommandContext& ctx) {
+  const ipm::TraceSource& source = *ctx.source;
+  const Parsed& args = ctx.args;
+  analysis::EventFilter base = filter_from(args, ctx.es());
+  analysis::EventFilter wf = base, rf = base;
+  wf.op = posix::OpType::kWrite;
+  rf.op = posix::OpType::kRead;
+  bool log = args.has("log");
+  auto bins = args.get_size("bins", 40);
+  auto rate_bins = args.get_size("rate-bins", 100);
+  stats::BinScale scale =
+      log ? stats::BinScale::kLog10 : stats::BinScale::kLinear;
+  monitor::HealthOptions mopt = monitor_options_from(args);
+  mopt.enabled = args.has("monitor");
+  auto scanner = scanner_for(source, args);
+  const double span = scanner ? scanner->time_span() : source.time_span();
+  // The whole bundle — per-op summaries, per-phase table, duration
+  // histogram, rate series, and (when --monitor) the health monitor —
+  // as ONE KernelSet over ONE scan whose column mask and chunk hint
+  // are the unions of its members'. A monitored pass keeps the default
+  // hint: fault-marker chunks must not be pruned by op.
+  const ipm::ChunkHint hint =
+      mopt.enabled ? ipm::ChunkHint{}
+                   : ipm::ChunkHint::union_of(
+                         ipm::ChunkHint::union_of(analysis::hint_for(wf),
+                                                  analysis::hint_for(rf)),
+                         analysis::hint_for(base));
+  auto merged =
+      analysis::run_kernels(source, scanner, hint, [&](std::size_t chunk) {
+        stats::SummaryOptions opts = analysis::chunk_summary_options({}, chunk);
+        return analysis::KernelSet(
+            analysis::SummarySink(wf, opts), analysis::SummarySink(rf, opts),
+            analysis::PhaseSummarySink(base, opts),
+            analysis::HistogramKernel(base, {.scale = scale, .bins = bins}),
+            analysis::RateKernel(base, span, rate_bins),
+            monitor::HealthKernel(mopt, chunk));
+      });
+  std::optional<stats::Histogram> h = merged.get<3>().histogram().materialize();
+  if (!h) {
+    ctx.es() << "eiotrace: no events match the filter\n";
+    return 2;
+  }
+  if (ctx.json()) {
+    if (mopt.enabled) merged.get<5>().finish();
+    json::Writer w(ctx.os());
+    w.begin_object();
+    w.kv("schema_version", campaign::kOutputSchemaVersion);
+    w.kv("command", "analyze");
+    w.key("write");
+    campaign::write_summary(w, merged.get<0>().summary());
+    w.key("read");
+    campaign::write_summary(w, merged.get<1>().summary());
+    w.key("phases");
+    campaign::write_phase_summaries(w, merged.get<2>().by_phase());
+    w.key("histogram");
+    campaign::write_histogram(w, *h);
+    w.key("rates");
+    campaign::write_rates(w, merged.get<4>().series());
+    if (mopt.enabled) {
+      auto& health = merged.get<5>();
+      w.key("monitor").begin_object();
+      w.key("counts");
+      campaign::write_monitor_counts(w, health.counts());
+      w.key("incidents");
+      campaign::write_incidents(w, health.incidents(), {});
+      w.end_object();
+    }
+    w.end_object();
+    ctx.os() << "\n";
+    if (mopt.enabled) {
+      return write_incident_log(args, merged.get<5>().incidents(), {},
+                                ctx.es(), ctx.es());
+    }
+    return 0;
+  }
+  ctx.os() << "== summary ==\n";
+  print_summary_header(ctx.os());
+  print_summary_row(ctx.os(), posix::OpType::kWrite, merged.get<0>().summary());
+  print_summary_row(ctx.os(), posix::OpType::kRead, merged.get<1>().summary());
+  ctx.os() << "\n== phases ==\n";
+  print_phase_table(ctx.os(), merged.get<2>().by_phase());
+  ctx.os() << "\n== histogram ==\n";
+  print_histogram_chart(ctx.os(), *h, log);
+  ctx.os() << "\n== rates ==\n";
+  print_rate_chart(ctx.os(), merged.get<4>().series());
+  if (mopt.enabled) {
+    auto& health = merged.get<5>();
+    health.finish();
+    ctx.os() << "\n== monitor ==\n";
+    monitor::print_incident_table(ctx.os(), health.incidents());
+    monitor::print_counts(ctx.os(), health.counts());
+    return write_incident_log(args, health.incidents(), {}, ctx.os(),
+                              ctx.es());
+  }
+  return 0;
+}
+
+int cmd_compare(CommandContext& ctx) {
+  const Parsed& args = ctx.args;
+  if (args.positional().size() < 2) {
+    ctx.es() << "eiotrace: compare needs two trace files\n";
+    return 1;
+  }
+  ipm::FileTraceSource other(args.positional()[1]);
+  analysis::EventFilter base = filter_from(args, ctx.es());
+  ctx.os() << "  op      A-median    B-median     B/A        KS-D     p-value\n";
+  for (posix::OpType op : {posix::OpType::kWrite, posix::OpType::kRead}) {
+    analysis::EventFilter f = base;
+    f.op = op;
+    auto a = analysis::durations(*ctx.source, f);
+    auto b = analysis::durations(other, f);
+    if (a.empty() || b.empty()) continue;
+    stats::KsResult ks = stats::ks_two_sample(a, b);
+    stats::EmpiricalDistribution da(std::move(a));
+    stats::EmpiricalDistribution db(std::move(b));
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "  %-6s %9.4f %11.4f %9.3f %11.4f %11.4f\n",
+                  posix::op_name(op), da.median(), db.median(),
+                  da.median() > 0 ? db.median() / da.median() : 0.0,
+                  ks.statistic, ks.p_value);
+    ctx.os() << line;
+  }
+  return 0;
+}
+
+int cmd_convert(CommandContext& ctx) {
+  const ipm::TraceSource& source = *ctx.source;
+  const Parsed& args = ctx.args;
+  std::ostream& out = ctx.os();
+  std::ostream& err = ctx.es();
+  if (args.positional().size() < 2) {
+    err << "eiotrace: convert needs an output path\n";
+    return 1;
+  }
+  const std::string& target = args.positional()[1];
+  std::string fmt = args.get("format", "");
+  if (!fmt.empty() && (args.has("tsv") || args.has("v1"))) {
+    err << "eiotrace: --format conflicts with --tsv/--v1\n";
+    return 1;
+  }
+  if (fmt.empty()) {
+    fmt = args.has("tsv") ? "tsv" : args.has("v1") ? "v1" : "v2";
+  }
+  if (fmt != "tsv" && fmt != "v1" && fmt != "v2" && fmt != "v3") {
+    err << "eiotrace: unknown --format '" << fmt << "' (tsv|v1|v2|v3)\n";
+    return 1;
+  }
+
+  // Converting a file to the format it is already in is a checked
+  // no-op: decode every event once to prove the file is intact, then
+  // copy the bytes verbatim — never a silent re-encode.
+  const auto* file = dynamic_cast<const ipm::FileTraceSource*>(&source);
+  if (file != nullptr && fmt == format_label(file->format())) {
+    std::uint64_t checked = 0;
+    source.for_each([&checked](const ipm::TraceEvent&) { ++checked; });
+    std::ifstream in(file->path(), std::ios::binary);
+    std::ofstream copy(target, std::ios::binary);
+    if (!in.good() || !copy.good()) {
+      err << "eiotrace: cannot open for copying: " << target << "\n";
+      return 2;
+    }
+    copy << in.rdbuf();
+    if (!copy.good()) {
+      err << "eiotrace: write failed: " << target << "\n";
+      return 2;
+    }
+    out << "input is already " << fmt << "; verified " << checked
+        << " events and copied byte-for-byte to " << target << "\n";
+    return 0;
+  }
+
+  std::ofstream outfile(target, std::ios::binary);
+  if (!outfile.good()) {
+    err << "eiotrace: cannot open for writing: " << target << "\n";
+    return 2;
+  }
+  std::uint64_t written = 0;
+  if (fmt == "tsv") {
+    ipm::write_tsv_header(outfile, source.meta().experiment,
+                          source.meta().ranks, source.event_count());
+    source.for_each([&](const ipm::TraceEvent& e) {
+      ipm::write_tsv_event(outfile, e);
+      ++written;
+    });
+  } else if (fmt == "v1") {
+    ipm::write_binary_v1_header(outfile, source.meta().experiment,
+                                source.meta().ranks, source.event_count());
+    source.for_each([&](const ipm::TraceEvent& e) {
+      ipm::write_binary_v1_event(outfile, e);
+      ++written;
+    });
+  } else if (fmt == "v3") {
+    // Columnar v3 — a single streaming pass, no up-front event count.
+    ipm::TraceWriterV3 writer(outfile, source.meta().experiment,
+                              source.meta().ranks);
+    source.for_each([&writer](const ipm::TraceEvent& e) { writer.add(e); });
+    writer.finish();
+    written = writer.events_written();
+  } else {
+    // Default: chunked v2 with the footer index — a single streaming
+    // pass, no up-front event count needed.
+    ipm::TraceWriterV2 writer(outfile, source.meta().experiment,
+                              source.meta().ranks);
+    source.for_each([&writer](const ipm::TraceEvent& e) { writer.add(e); });
+    writer.finish();
+    written = writer.events_written();
+  }
+  if (!outfile.good()) {
+    err << "eiotrace: write failed: " << target << "\n";
+    return 2;
+  }
+  out << "wrote " << written << " events to " << target << "\n";
+  return 0;
+}
+
+int cmd_patterns(CommandContext& ctx) {
+  // Pattern detection orders each (rank, file) stream by offset, so it
+  // materializes — documented O(events), like diagnose.
+  ipm::Trace trace = ctx.source->materialize();
+  auto patterns = analysis::detect_patterns(trace);
+  ctx.os() << patterns.size() << " streams\n";
+  // Aggregate per (file, op, pattern) so 10k-rank traces stay readable.
+  std::map<std::string, std::size_t> counts;
+  for (const auto& p : patterns) {
+    std::ostringstream key;
+    key << "file " << p.file << " " << posix::op_name(p.op) << " "
+        << analysis::pattern_name(p.pattern)
+        << (p.stripe_aligned ? "" : " unaligned");
+    ++counts[key.str()];
+  }
+  for (const auto& [key, n] : counts) {
+    ctx.os() << "  " << key << ": " << n << " streams\n";
+  }
+  for (const auto& h : analysis::derive_hints(patterns)) {
+    ctx.os() << "hint: file " << h.file << " (" << posix::op_name(h.op)
+             << "): " << h.rationale << "\n";
+  }
+  return 0;
+}
+
+}  // namespace eio::cli

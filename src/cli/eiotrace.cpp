@@ -1,1100 +1,22 @@
+// eiotrace's entry point: obs-flag extraction, registry-driven
+// dispatch, and the version banner. Everything else — option tables,
+// usage generation, command handlers — lives behind the command
+// registry (cli/command.h); dispatch here is a straight table walk.
 #include "cli/eiotrace.h"
 
-#include <cstdlib>
-#include <fstream>
-#include <map>
 #include <optional>
 #include <ostream>
-#include <span>
-#include <sstream>
 #include <string_view>
 
-#include "common/units.h"
-#include "core/ascii_chart.h"
-#include "core/diagnose.h"
-#include "core/distribution.h"
-#include "core/histogram.h"
-#include "core/ks.h"
-#include "core/modes.h"
-#include "core/parallel_analysis.h"
-#include "core/patterns.h"
-#include "core/rate_series.h"
-#include "core/samples.h"
-#include "core/streaming.h"
-#include "core/trace_diagram.h"
-#include "ipm/report.h"
-#include "ipm/trace.h"
+#include "cli/command.h"
 #include "ipm/trace_source.h"
-#include "ipm/trace_stream.h"
-#include "ipm/trace_v3.h"
-#include "ipm/sink.h"
-#include "lustre/machine.h"
-#include "monitor/health.h"
 #include "obs/build_info.h"
 #include "obs/export.h"
 #include "obs/registry.h"
-#include "workloads/ensemble.h"
-#include "workloads/scenario.h"
 
 namespace eio::cli {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Declarative option tables. Every subcommand lists its options as
-// data; the same tables drive parsing (uniform unknown-flag/bad-value
-// errors, exit code 1) and the generated usage text, so the two cannot
-// disagree.
-
-enum class OptKind : std::uint8_t {
-  kFlag,    ///< boolean, present or absent
-  kString,  ///< free-form value
-  kDouble,  ///< numeric value (validated at parse time)
-  kSize,    ///< non-negative integer (validated at parse time)
-};
-
-struct OptionSpec {
-  const char* name;      ///< without the leading "--"
-  OptKind kind;
-  const char* fallback;  ///< default shown in help ("" = none)
-  const char* help;
-};
-
-struct OptionGroup {
-  const char* title;
-  std::span<const OptionSpec> options;
-};
-
-constexpr OptionSpec kFilterSpecs[] = {
-    {"op", OptKind::kString, "any",
-     "event filter: write|read|open|close|seek|fsync"},
-    {"phase", OptKind::kDouble, "", "keep only this phase label"},
-    {"min-bytes", OptKind::kDouble, "0", "minimum transfer size (bytes)"},
-    {"max-bytes", OptKind::kDouble, "", "maximum transfer size (bytes)"},
-    {"t-lo", OptKind::kDouble, "", "window start (wall-clock seconds)"},
-    {"t-hi", OptKind::kDouble, "", "window end (wall-clock seconds)"},
-};
-
-constexpr OptionSpec kJobsSpecs[] = {
-    {"jobs", OptKind::kSize, "0",
-     "worker threads (0 = EIO_JOBS env, else hardware concurrency)"},
-};
-
-constexpr OptionSpec kHistogramSpecs[] = {
-    {"log", OptKind::kFlag, "", "log10 duration axis (and log counts)"},
-    {"bins", OptKind::kSize, "40", "histogram bins"},
-};
-
-constexpr OptionSpec kModesSpecs[] = {
-    {"log", OptKind::kFlag, "", "run the KDE on a log10 axis"},
-    {"bandwidth", OptKind::kDouble, "0.5", "KDE bandwidth scale"},
-};
-
-constexpr OptionSpec kRatesSpecs[] = {
-    {"bins", OptKind::kSize, "100", "time-axis bins"},
-};
-
-constexpr OptionSpec kAnalyzeSpecs[] = {
-    {"log", OptKind::kFlag, "", "log10 duration axis for the histogram"},
-    {"bins", OptKind::kSize, "40", "histogram bins"},
-    {"rate-bins", OptKind::kSize, "100", "rate time-axis bins"},
-    {"monitor", OptKind::kFlag, "",
-     "fold the online health monitor into the fused pass"},
-};
-
-constexpr OptionSpec kMonitorSpecs[] = {
-    {"ost-count", OptKind::kSize, "48",
-     "OSTs of the source machine for per-OST attribution (0 = skip)"},
-    {"window", OptKind::kSize, "2048",
-     "sliding-window capacity (admitted bulk events)"},
-    {"stride", OptKind::kSize, "1024",
-     "admitted events between detector evaluations"},
-    {"drift-d", OptKind::kDouble, "0",
-     "KS D threshold for the distribution-drift detector (0 = off; "
-     "phase-structured workloads legitimately drift)"},
-    {"incidents", OptKind::kString, "",
-     "write the incident log as JSONL to this path"},
-};
-
-constexpr OptionSpec kDiagramSpecs[] = {
-    {"rows", OptKind::kSize, "24", "raster rows (ranks collapse to fit)"},
-    {"cols", OptKind::kSize, "72", "raster columns"},
-};
-
-constexpr OptionSpec kDiagnoseSpecs[] = {
-    {"fair-share-mibs", OptKind::kDouble, "0",
-     "per-task fair share (MiB/s) for the sub-fair-share detector (0 = skip)"},
-    {"ost-count", OptKind::kSize, "0",
-     "OSTs of the source machine for the degraded-OST detector (0 = skip)"},
-};
-
-constexpr OptionSpec kConvertSpecs[] = {
-    {"format", OptKind::kString, "v2",
-     "output format: tsv|v1|v2|v3 (v3 = columnar, compressed)"},
-    {"tsv", OptKind::kFlag, "", "alias for --format=tsv"},
-    {"v1", OptKind::kFlag, "", "alias for --format=v1"},
-};
-
-constexpr OptionSpec kSimulateSpecs[] = {
-    {"scenario", OptKind::kString, "",
-     "scenario JSON file: machine + workload + ensemble + fault plan"},
-    {"machine", OptKind::kString, "franklin",
-     "machine preset: franklin|franklin-patched|jaguar"},
-    {"tasks", OptKind::kSize, "256", "IOR tasks"},
-    {"block-mib", OptKind::kDouble, "64", "IOR block per task per segment"},
-    {"segments", OptKind::kSize, "2", "IOR barrier-separated segments"},
-    {"runs", OptKind::kSize, "4", "ensemble size (scenario files set their own)"},
-    {"seed", OptKind::kSize, "", "override the machine seed"},
-    {"save-dir", OptKind::kString, "", "write each run's trace as DIR/runN.*"},
-    {"format", OptKind::kString, "tsv",
-     "trace format for --save-dir files: tsv|v2|v3"},
-    {"monitor", OptKind::kFlag, "",
-     "attach the online health monitor to every run's event stream"},
-};
-
-/// Workload flags that conflict with --scenario (the file is the
-/// single source of truth for the experiment it names).
-constexpr const char* kScenarioConflicts[] = {"machine", "tasks", "block-mib",
-                                              "segments"};
-
-// ---------------------------------------------------------------------------
-// Parsing against the tables.
-
-/// Parsed options + positionals of one invocation.
-class Parsed {
- public:
-  [[nodiscard]] const std::vector<std::string>& positional() const {
-    return positional_;
-  }
-  [[nodiscard]] bool has(const std::string& name) const {
-    return values_.count(name) > 0;
-  }
-  [[nodiscard]] std::string get(const std::string& name,
-                                const std::string& fallback) const {
-    auto it = values_.find(name);
-    return it == values_.end() ? fallback : it->second;
-  }
-  [[nodiscard]] double get_double(const std::string& name, double fallback) const {
-    auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
-  }
-  [[nodiscard]] std::size_t get_size(const std::string& name,
-                                     std::size_t fallback) const {
-    auto it = values_.find(name);
-    return it == values_.end()
-               ? fallback
-               : static_cast<std::size_t>(
-                     std::strtoull(it->second.c_str(), nullptr, 10));
-  }
-
-  std::map<std::string, std::string> values_;
-  std::vector<std::string> positional_;
-};
-
-[[nodiscard]] const OptionSpec* find_spec(
-    std::span<const OptionGroup> groups, std::string_view name) {
-  for (const OptionGroup& g : groups) {
-    for (const OptionSpec& s : g.options) {
-      if (name == s.name) return &s;
-    }
-  }
-  return nullptr;
-}
-
-[[nodiscard]] bool valid_value(OptKind kind, const std::string& value) {
-  if (value.empty()) return false;
-  char* end = nullptr;
-  switch (kind) {
-    case OptKind::kFlag:
-    case OptKind::kString:
-      return true;
-    case OptKind::kDouble:
-      std::strtod(value.c_str(), &end);
-      return end != nullptr && *end == '\0';
-    case OptKind::kSize:
-      if (value[0] == '-') return false;
-      std::strtoull(value.c_str(), &end, 10);
-      return end != nullptr && *end == '\0';
-  }
-  return false;
-}
-
-std::string usage_for(const std::string& command);
-
-/// Parse `raw[skip..]` against the command's option groups. Both
-/// --name=value and --name value forms are accepted. Unknown flags and
-/// malformed values print the command's usage and yield exit code 1.
-[[nodiscard]] std::optional<int> parse_args(
-    const std::string& command, std::span<const OptionGroup> groups,
-    const std::vector<std::string>& raw, std::size_t skip, Parsed& out,
-    std::ostream& err) {
-  for (std::size_t i = skip; i < raw.size(); ++i) {
-    const std::string& a = raw[i];
-    if (a.rfind("--", 0) != 0) {
-      out.positional_.push_back(a);
-      continue;
-    }
-    auto eq = a.find('=');
-    std::string name = a.substr(2, eq == std::string::npos ? eq : eq - 2);
-    const OptionSpec* spec = find_spec(groups, name);
-    if (spec == nullptr) {
-      err << "eiotrace: unknown flag '--" << name << "' for '" << command
-          << "'\n" << usage_for(command);
-      return 1;
-    }
-    std::string value;
-    if (spec->kind == OptKind::kFlag) {
-      if (eq != std::string::npos) {
-        err << "eiotrace: --" << name << " takes no value\n"
-            << usage_for(command);
-        return 1;
-      }
-      value = "true";
-    } else if (eq != std::string::npos) {
-      value = a.substr(eq + 1);
-    } else if (i + 1 < raw.size()) {
-      value = raw[++i];
-    } else {
-      err << "eiotrace: --" << name << " needs a value\n" << usage_for(command);
-      return 1;
-    }
-    if (!valid_value(spec->kind, value)) {
-      err << "eiotrace: bad value '" << value << "' for --" << name
-          << (spec->kind == OptKind::kSize ? " (expects a non-negative integer)"
-                                           : " (expects a number)")
-          << "\n" << usage_for(command);
-      return 1;
-    }
-    out.values_[std::move(name)] = std::move(value);
-  }
-  return std::nullopt;
-}
-
-std::optional<posix::OpType> parse_op(const std::string& name, std::ostream& err) {
-  if (name.empty() || name == "any") return std::nullopt;
-  if (name == "write") return posix::OpType::kWrite;
-  if (name == "read") return posix::OpType::kRead;
-  if (name == "open") return posix::OpType::kOpen;
-  if (name == "close") return posix::OpType::kClose;
-  if (name == "seek") return posix::OpType::kSeek;
-  if (name == "fsync") return posix::OpType::kFsync;
-  err << "eiotrace: unknown op '" << name << "'\n";
-  throw std::invalid_argument("bad op");
-}
-
-analysis::EventFilter filter_from(const Parsed& args, std::ostream& err) {
-  analysis::EventFilter f;
-  f.op = parse_op(args.get("op", ""), err);
-  if (args.has("phase")) {
-    f.phase = static_cast<std::int32_t>(args.get_double("phase", 0));
-  }
-  f.min_bytes = static_cast<Bytes>(args.get_double("min-bytes", 0));
-  if (args.has("max-bytes")) {
-    f.max_bytes = static_cast<Bytes>(args.get_double("max-bytes", 0));
-  }
-  if (args.has("t-lo")) f.t_lo = args.get_double("t-lo", 0.0);
-  if (args.has("t-hi")) f.t_hi = args.get_double("t-hi", 0.0);
-  return f;
-}
-
-/// The chunk-parallel engine for this invocation, when the source is
-/// an indexed (v2/v3) file: borrows the already-read footer index, so
-/// construction is free. TSV/v1 sources return nullopt and commands
-/// fall back to serial batched streaming.
-std::optional<ipm::ParallelTraceScanner> scanner_for(
-    const ipm::TraceSource& source, const Parsed& args) {
-  const auto* file = dynamic_cast<const ipm::FileTraceSource*>(&source);
-  if (!file || !file->index()) return std::nullopt;
-  return ipm::ParallelTraceScanner(file->path(), file->format(),
-                                   *file->index(),
-                                   {.jobs = args.get_size("jobs", 0)});
-}
-
-// Every subcommand consumes a TraceSource: the trace file is streamed
-// per analysis pass, never materialized, so peak memory is independent
-// of the event count (except where noted: diagnose/patterns need
-// random access and materialize internally).
-//
-// Each analysis subcommand builds a kernel (or KernelSet) factory and
-// hands it to analysis::run_kernels: exactly ONE trace scan per
-// invocation — chunk-parallel on indexed (v2/v3) files, one serial
-// columnar pass otherwise — no matter how many statistics it fuses.
-
-// Shared table/chart renderers, so the standalone subcommands and the
-// fused `analyze` bundle print identical sections.
-
-void print_summary_header(std::ostream& out) {
-  out << "  op       count   median(s)     mean(s)      p95(s)      max(s)\n";
-}
-
-void print_summary_row(std::ostream& out, posix::OpType op,
-                       const stats::StreamingSummary& s) {
-  if (s.empty()) return;
-  char line[160];
-  std::snprintf(line, sizeof line, "  %-6s %7zu %11.4f %11.4f %11.4f %11.4f\n",
-                posix::op_name(op), s.count(), s.median(), s.moments().mean,
-                s.quantile(0.95), s.max());
-  out << line;
-}
-
-void print_phase_table(
-    std::ostream& out,
-    const std::map<std::int32_t, stats::StreamingSummary>& by_phase) {
-  out << "  phase     events   median(s)      p95(s)      max(s)\n";
-  for (const auto& [phase, s] : by_phase) {
-    char line[120];
-    std::snprintf(line, sizeof line, "  %6d %9zu %11.4f %11.4f %11.4f\n",
-                  phase, s.count(), s.median(), s.quantile(0.95), s.max());
-    out << line;
-  }
-}
-
-void print_histogram_chart(std::ostream& out, const stats::Histogram& h,
-                           bool log) {
-  out << analysis::render_histogram(
-      h, {.width = 72, .height = 12, .log_y = log,
-          .x_label = log ? "seconds (log)" : "seconds", .y_label = "count"});
-}
-
-void print_rate_chart(std::ostream& out, const analysis::TimeSeries& series) {
-  analysis::Series line{"rate", {}, {}};
-  for (std::size_t i = 0; i < series.values.size(); ++i) {
-    line.x.push_back(series.time_at(i));
-    line.y.push_back(series.values[i] / static_cast<double>(MiB));
-  }
-  out << analysis::render_lines(
-      std::vector<analysis::Series>{line},
-      {.width = 72, .height = 12, .x_label = "seconds",
-       .y_label = "aggregate MiB/s"});
-}
-
-int cmd_report(const ipm::TraceSource& source, const Parsed&, std::ostream& out,
-               std::ostream&) {
-  ipm::print_report(out, ipm::summarize(source));
-  return 0;
-}
-
-int cmd_summary(const ipm::TraceSource& source, const Parsed& args,
-                std::ostream& out, std::ostream& err) {
-  analysis::EventFilter base = filter_from(args, err);
-  analysis::EventFilter wf = base, rf = base;
-  wf.op = posix::OpType::kWrite;
-  rf.op = posix::OpType::kRead;
-  auto scanner = scanner_for(source, args);
-  // One fused scan feeds both per-op summaries; the hint union still
-  // skips chunks containing neither op. Per-chunk substream seeds keep
-  // the result identical to the former scan-per-op output (a chunk
-  // without, say, writes folds an empty write partial, and empty
-  // partials merge as no-ops).
-  const ipm::ChunkHint hint =
-      ipm::ChunkHint::union_of(analysis::hint_for(wf), analysis::hint_for(rf));
-  auto merged =
-      analysis::run_kernels(source, scanner, hint, [&](std::size_t chunk) {
-        stats::SummaryOptions opts = analysis::chunk_summary_options({}, chunk);
-        return analysis::KernelSet(analysis::SummarySink(wf, opts),
-                                   analysis::SummarySink(rf, opts));
-      });
-  print_summary_header(out);
-  print_summary_row(out, posix::OpType::kWrite, merged.get<0>().summary());
-  print_summary_row(out, posix::OpType::kRead, merged.get<1>().summary());
-  return 0;
-}
-
-int cmd_histogram(const ipm::TraceSource& source, const Parsed& args,
-                  std::ostream& out, std::ostream& err) {
-  analysis::EventFilter filter = filter_from(args, err);
-  bool log = args.has("log");
-  auto bins = args.get_size("bins", 40);
-  stats::BinScale scale = log ? stats::BinScale::kLog10 : stats::BinScale::kLinear;
-  auto scanner = scanner_for(source, args);
-  const ipm::ChunkHint hint = analysis::hint_for(filter);
-  // ONE scan: StreamingHistogram folds range discovery and filling
-  // together (bit-identical to the historical extrema+fill double scan
-  // while the matched count fits its exact buffer).
-  auto merged =
-      analysis::run_kernels(source, scanner, hint, [&](std::size_t) {
-        return analysis::HistogramKernel(filter, {.scale = scale, .bins = bins});
-      });
-  std::optional<stats::Histogram> h = merged.histogram().materialize();
-  if (!h) {
-    err << "eiotrace: no events match the filter\n";
-    return 2;
-  }
-  print_histogram_chart(out, *h, log);
-  return 0;
-}
-
-int cmd_modes(const ipm::TraceSource& source, const Parsed& args,
-              std::ostream& out, std::ostream& err) {
-  analysis::EventFilter filter = filter_from(args, err);
-  auto scanner = scanner_for(source, args);
-  const ipm::ChunkHint hint = analysis::hint_for(filter);
-  auto merged =
-      analysis::run_kernels(source, scanner, hint, [&](std::size_t chunk) {
-        return analysis::SummarySink(filter,
-                                     analysis::chunk_summary_options({}, chunk));
-      });
-  const stats::StreamingSummary& s = merged.summary();
-  if (s.empty()) {
-    err << "eiotrace: no events match the filter\n";
-    return 2;
-  }
-  // KDE runs over the reservoir — every duration while the stream fits
-  // (so results match the materialized path exactly), a uniform sample
-  // beyond that.
-  auto modes = stats::find_modes(
-      s.reservoir().samples(),
-      {.log_axis = args.has("log"),
-       .bandwidth_scale = args.get_double("bandwidth", 0.5)});
-  out << "modes (" << s.count() << " events):\n";
-  for (const auto& m : modes) {
-    char line[120];
-    std::snprintf(line, sizeof line, "  at %10.4f s   mass %5.1f%%\n",
-                  m.location, m.mass * 100.0);
-    out << line;
-  }
-  auto matched = stats::harmonic_signature(modes);
-  if (matched.size() > 1) {
-    out << "harmonic signature:";
-    for (int h : matched) out << " T/" << h;
-    out << "  -> intra-node stream serialization likely\n";
-  }
-  return 0;
-}
-
-int cmd_rates(const ipm::TraceSource& source, const Parsed& args,
-              std::ostream& out, std::ostream& err) {
-  auto bins = args.get_size("bins", 100);
-  analysis::EventFilter filter = filter_from(args, err);
-  auto scanner = scanner_for(source, args);
-  // Indexed traces answer the span from the chunk index (free); only
-  // non-indexed formats pay a span pass before the single fold scan.
-  const double span = scanner ? scanner->time_span() : source.time_span();
-  const ipm::ChunkHint hint = analysis::hint_for(filter);
-  auto merged =
-      analysis::run_kernels(source, scanner, hint, [&](std::size_t) {
-        return analysis::RateKernel(filter, span, bins);
-      });
-  print_rate_chart(out, merged.series());
-  return 0;
-}
-
-int cmd_diagram(const ipm::TraceSource& source, const Parsed& args,
-                std::ostream& out, std::ostream&) {
-  analysis::TraceDiagram diagram(
-      source, {.max_rows = args.get_size("rows", 24),
-               .columns = args.get_size("cols", 72)});
-  out << diagram.render_text();
-  return 0;
-}
-
-int cmd_diagnose(const ipm::TraceSource& source, const Parsed& args,
-                 std::ostream& out, std::ostream&) {
-  analysis::DiagnoserOptions opt;
-  opt.fair_share_rate =
-      args.get_double("fair-share-mibs", 0.0) * static_cast<double>(MiB);
-  opt.ost_count =
-      static_cast<std::uint32_t>(args.get_size("ost-count", 0));
-  // The diagnoser cross-references events (stragglers vs. the pack,
-  // per-file contention), so it materializes — the documented
-  // O(events) exception to the streaming contract.
-  ipm::Trace trace = source.materialize();
-  auto findings = analysis::diagnose(trace, opt);
-  if (findings.empty()) {
-    out << "no findings\n";
-    return 0;
-  }
-  for (const auto& f : findings) {
-    out << "[" << analysis::finding_name(f.code) << " sev ";
-    char sev[16];
-    std::snprintf(sev, sizeof sev, "%.2f", f.severity);
-    out << sev << "] " << f.message << "\n";
-  }
-  return 0;
-}
-
-[[nodiscard]] monitor::HealthOptions monitor_options_from(const Parsed& args) {
-  monitor::HealthOptions opt;
-  opt.ost_count =
-      static_cast<std::uint32_t>(args.get_size("ost-count", 48));
-  opt.window = args.get_size("window", 2048);
-  opt.stride = args.get_size("stride", 1024);
-  opt.drift_d = args.get_double("drift-d", 0.0);
-  return opt;
-}
-
-/// Write the incident log named by --incidents (0 = ok, 1 = I/O error,
-/// no-op when the flag is absent). `runs` is a parallel run-id vector
-/// for ensembles; empty means "all run 0".
-int write_incident_log(const Parsed& args,
-                       const std::vector<monitor::Incident>& incidents,
-                       const std::vector<std::uint64_t>& runs,
-                       std::ostream& out, std::ostream& err) {
-  if (!args.has("incidents")) return 0;
-  std::string path = args.get("incidents", "");
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) {
-    err << "eiotrace: cannot write " << path << "\n";
-    return 1;
-  }
-  if (runs.empty()) {
-    monitor::write_incidents_jsonl(f, incidents);
-  } else {
-    for (std::size_t i = 0; i < incidents.size(); ++i) {
-      monitor::write_incidents_jsonl(f, {incidents[i]}, runs[i]);
-    }
-  }
-  out << "wrote " << path << " (" << incidents.size() << " incidents)\n";
-  return 0;
-}
-
-int cmd_monitor(const ipm::TraceSource& source, const Parsed& args,
-                std::ostream& out, std::ostream& err) {
-  monitor::HealthOptions opt = monitor_options_from(args);
-  auto scanner = scanner_for(source, args);
-  // Deliberately the default (admit-everything) chunk hint: fault
-  // markers (OpType::kFault) must reach the detectors, so chunks can
-  // never be pruned by op here.
-  auto merged = analysis::run_kernels(
-      source, scanner, ipm::ChunkHint{},
-      [&](std::size_t chunk) { return monitor::HealthKernel(opt, chunk); });
-  merged.finish();
-  monitor::print_incident_table(out, merged.incidents());
-  monitor::print_counts(out, merged.counts());
-  return write_incident_log(args, merged.incidents(), {}, out, err);
-}
-
-int cmd_phases(const ipm::TraceSource& source, const Parsed& args,
-               std::ostream& out, std::ostream& err) {
-  analysis::EventFilter base = filter_from(args, err);
-  auto scanner = scanner_for(source, args);
-  const ipm::ChunkHint hint = analysis::hint_for(base);
-  auto merged =
-      analysis::run_kernels(source, scanner, hint, [&](std::size_t chunk) {
-        return analysis::PhaseSummarySink(
-            base, analysis::chunk_summary_options({}, chunk));
-      });
-  const auto& by_phase = merged.by_phase();
-  if (by_phase.empty()) {
-    err << "eiotrace: no events match the filter\n";
-    return 2;
-  }
-  print_phase_table(out, by_phase);
-  return 0;
-}
-
-int cmd_analyze(const ipm::TraceSource& source, const Parsed& args,
-                std::ostream& out, std::ostream& err) {
-  analysis::EventFilter base = filter_from(args, err);
-  analysis::EventFilter wf = base, rf = base;
-  wf.op = posix::OpType::kWrite;
-  rf.op = posix::OpType::kRead;
-  bool log = args.has("log");
-  auto bins = args.get_size("bins", 40);
-  auto rate_bins = args.get_size("rate-bins", 100);
-  stats::BinScale scale =
-      log ? stats::BinScale::kLog10 : stats::BinScale::kLinear;
-  monitor::HealthOptions mopt = monitor_options_from(args);
-  mopt.enabled = args.has("monitor");
-  auto scanner = scanner_for(source, args);
-  const double span = scanner ? scanner->time_span() : source.time_span();
-  // The whole bundle — per-op summaries, per-phase table, duration
-  // histogram, rate series, and (when --monitor) the health monitor —
-  // as ONE KernelSet over ONE scan whose column mask and chunk hint
-  // are the unions of its members'. A monitored pass keeps the default
-  // hint: fault-marker chunks must not be pruned by op.
-  const ipm::ChunkHint hint =
-      mopt.enabled ? ipm::ChunkHint{}
-                   : ipm::ChunkHint::union_of(
-                         ipm::ChunkHint::union_of(analysis::hint_for(wf),
-                                                  analysis::hint_for(rf)),
-                         analysis::hint_for(base));
-  auto merged =
-      analysis::run_kernels(source, scanner, hint, [&](std::size_t chunk) {
-        stats::SummaryOptions opts = analysis::chunk_summary_options({}, chunk);
-        return analysis::KernelSet(
-            analysis::SummarySink(wf, opts), analysis::SummarySink(rf, opts),
-            analysis::PhaseSummarySink(base, opts),
-            analysis::HistogramKernel(base, {.scale = scale, .bins = bins}),
-            analysis::RateKernel(base, span, rate_bins),
-            monitor::HealthKernel(mopt, chunk));
-      });
-  std::optional<stats::Histogram> h = merged.get<3>().histogram().materialize();
-  if (!h) {
-    err << "eiotrace: no events match the filter\n";
-    return 2;
-  }
-  out << "== summary ==\n";
-  print_summary_header(out);
-  print_summary_row(out, posix::OpType::kWrite, merged.get<0>().summary());
-  print_summary_row(out, posix::OpType::kRead, merged.get<1>().summary());
-  out << "\n== phases ==\n";
-  print_phase_table(out, merged.get<2>().by_phase());
-  out << "\n== histogram ==\n";
-  print_histogram_chart(out, *h, log);
-  out << "\n== rates ==\n";
-  print_rate_chart(out, merged.get<4>().series());
-  if (mopt.enabled) {
-    auto& health = merged.get<5>();
-    health.finish();
-    out << "\n== monitor ==\n";
-    monitor::print_incident_table(out, health.incidents());
-    monitor::print_counts(out, health.counts());
-    return write_incident_log(args, health.incidents(), {}, out, err);
-  }
-  return 0;
-}
-
-int cmd_compare(const ipm::TraceSource& source, const Parsed& args,
-                std::ostream& out, std::ostream& err) {
-  if (args.positional().size() < 2) {
-    err << "eiotrace: compare needs two trace files\n";
-    return 1;
-  }
-  ipm::FileTraceSource other(args.positional()[1]);
-  analysis::EventFilter base = filter_from(args, err);
-  out << "  op      A-median    B-median     B/A        KS-D     p-value\n";
-  for (posix::OpType op : {posix::OpType::kWrite, posix::OpType::kRead}) {
-    analysis::EventFilter f = base;
-    f.op = op;
-    auto a = analysis::durations(source, f);
-    auto b = analysis::durations(other, f);
-    if (a.empty() || b.empty()) continue;
-    stats::KsResult ks = stats::ks_two_sample(a, b);
-    stats::EmpiricalDistribution da(std::move(a));
-    stats::EmpiricalDistribution db(std::move(b));
-    char line[160];
-    std::snprintf(line, sizeof line,
-                  "  %-6s %9.4f %11.4f %9.3f %11.4f %11.4f\n",
-                  posix::op_name(op), da.median(), db.median(),
-                  da.median() > 0 ? db.median() / da.median() : 0.0,
-                  ks.statistic, ks.p_value);
-    out << line;
-  }
-  return 0;
-}
-
-[[nodiscard]] const char* format_label(ipm::TraceFormat format) {
-  switch (format) {
-    case ipm::TraceFormat::kTsv: return "tsv";
-    case ipm::TraceFormat::kBinaryV1: return "v1";
-    case ipm::TraceFormat::kBinaryV2: return "v2";
-    case ipm::TraceFormat::kBinaryV3: return "v3";
-  }
-  return "?";
-}
-
-int cmd_convert(const ipm::TraceSource& source, const Parsed& args,
-                std::ostream& out, std::ostream& err) {
-  if (args.positional().size() < 2) {
-    err << "eiotrace: convert needs an output path\n";
-    return 1;
-  }
-  const std::string& target = args.positional()[1];
-  std::string fmt = args.get("format", "");
-  if (!fmt.empty() && (args.has("tsv") || args.has("v1"))) {
-    err << "eiotrace: --format conflicts with --tsv/--v1\n";
-    return 1;
-  }
-  if (fmt.empty()) {
-    fmt = args.has("tsv") ? "tsv" : args.has("v1") ? "v1" : "v2";
-  }
-  if (fmt != "tsv" && fmt != "v1" && fmt != "v2" && fmt != "v3") {
-    err << "eiotrace: unknown --format '" << fmt << "' (tsv|v1|v2|v3)\n";
-    return 1;
-  }
-
-  // Converting a file to the format it is already in is a checked
-  // no-op: decode every event once to prove the file is intact, then
-  // copy the bytes verbatim — never a silent re-encode.
-  const auto* file = dynamic_cast<const ipm::FileTraceSource*>(&source);
-  if (file != nullptr && fmt == format_label(file->format())) {
-    std::uint64_t checked = 0;
-    source.for_each([&checked](const ipm::TraceEvent&) { ++checked; });
-    std::ifstream in(file->path(), std::ios::binary);
-    std::ofstream copy(target, std::ios::binary);
-    if (!in.good() || !copy.good()) {
-      err << "eiotrace: cannot open for copying: " << target << "\n";
-      return 2;
-    }
-    copy << in.rdbuf();
-    if (!copy.good()) {
-      err << "eiotrace: write failed: " << target << "\n";
-      return 2;
-    }
-    out << "input is already " << fmt << "; verified " << checked
-        << " events and copied byte-for-byte to " << target << "\n";
-    return 0;
-  }
-
-  std::ofstream outfile(target, std::ios::binary);
-  if (!outfile.good()) {
-    err << "eiotrace: cannot open for writing: " << target << "\n";
-    return 2;
-  }
-  std::uint64_t written = 0;
-  if (fmt == "tsv") {
-    ipm::write_tsv_header(outfile, source.meta().experiment,
-                          source.meta().ranks, source.event_count());
-    source.for_each([&](const ipm::TraceEvent& e) {
-      ipm::write_tsv_event(outfile, e);
-      ++written;
-    });
-  } else if (fmt == "v1") {
-    ipm::write_binary_v1_header(outfile, source.meta().experiment,
-                                source.meta().ranks, source.event_count());
-    source.for_each([&](const ipm::TraceEvent& e) {
-      ipm::write_binary_v1_event(outfile, e);
-      ++written;
-    });
-  } else if (fmt == "v3") {
-    // Columnar v3 — a single streaming pass, no up-front event count.
-    ipm::TraceWriterV3 writer(outfile, source.meta().experiment,
-                              source.meta().ranks);
-    source.for_each([&writer](const ipm::TraceEvent& e) { writer.add(e); });
-    writer.finish();
-    written = writer.events_written();
-  } else {
-    // Default: chunked v2 with the footer index — a single streaming
-    // pass, no up-front event count needed.
-    ipm::TraceWriterV2 writer(outfile, source.meta().experiment,
-                              source.meta().ranks);
-    source.for_each([&writer](const ipm::TraceEvent& e) { writer.add(e); });
-    writer.finish();
-    written = writer.events_written();
-  }
-  if (!outfile.good()) {
-    err << "eiotrace: write failed: " << target << "\n";
-    return 2;
-  }
-  out << "wrote " << written << " events to " << target << "\n";
-  return 0;
-}
-
-int cmd_patterns(const ipm::TraceSource& source, const Parsed&, std::ostream& out,
-                 std::ostream&) {
-  // Pattern detection orders each (rank, file) stream by offset, so it
-  // materializes — documented O(events), like diagnose.
-  ipm::Trace trace = source.materialize();
-  auto patterns = analysis::detect_patterns(trace);
-  out << patterns.size() << " streams\n";
-  // Aggregate per (file, op, pattern) so 10k-rank traces stay readable.
-  std::map<std::string, std::size_t> counts;
-  for (const auto& p : patterns) {
-    std::ostringstream key;
-    key << "file " << p.file << " " << posix::op_name(p.op) << " "
-        << analysis::pattern_name(p.pattern)
-        << (p.stripe_aligned ? "" : " unaligned");
-    ++counts[key.str()];
-  }
-  for (const auto& [key, n] : counts) {
-    out << "  " << key << ": " << n << " streams\n";
-  }
-  for (const auto& h : analysis::derive_hints(patterns)) {
-    out << "hint: file " << h.file << " (" << posix::op_name(h.op)
-        << "): " << h.rationale << "\n";
-  }
-  return 0;
-}
-
-// `simulate` is special-cased in run_eiotrace: it generates runs via
-// the parallel ensemble runner instead of loading a trace from disk.
-// Per-run statistics come from a streaming SummarySink attached to
-// each run's monitor, so without --save-dir no trace is ever
-// materialized (capture stays in profile mode).
-int cmd_simulate(const Parsed& args, std::ostream& out, std::ostream& err) {
-  workloads::ScenarioBuilder scenario;
-  if (args.has("scenario")) {
-    for (const char* flag : kScenarioConflicts) {
-      if (args.has(flag)) {
-        err << "eiotrace: --" << flag << " conflicts with --scenario (the "
-            << "file names the experiment)\n";
-        return 1;
-      }
-    }
-    try {
-      scenario = workloads::load_scenario(args.get("scenario", ""));
-    } catch (const std::exception& e) {
-      err << "eiotrace: " << e.what() << "\n";
-      return 1;
-    }
-  } else {
-    try {
-      scenario.machine(args.get("machine", "franklin"));
-    } catch (const std::invalid_argument& e) {
-      err << "eiotrace: " << e.what() << "\n";
-      return 1;
-    }
-    workloads::IorConfig cfg;
-    cfg.tasks = static_cast<std::uint32_t>(args.get_size("tasks", 256));
-    cfg.block_size = static_cast<Bytes>(args.get_double("block-mib", 64.0) *
-                                        static_cast<double>(MiB));
-    cfg.segments = static_cast<std::uint32_t>(args.get_size("segments", 2));
-    scenario.ior(cfg);
-    scenario.runs(4);
-  }
-  if (args.has("seed")) scenario.seed(args.get_size("seed", 0));
-  std::size_t runs = args.get_size("runs", scenario.run_count());
-  bool save = args.has("save-dir");
-  std::string save_fmt = args.get("format", "tsv");
-  if (save_fmt != "tsv" && save_fmt != "v2" && save_fmt != "v3") {
-    err << "eiotrace: unknown --format '" << save_fmt << "' (tsv|v2|v3)\n";
-    return 1;
-  }
-
-  workloads::JobSpec job = scenario.job();
-  // Traces are only retained when they are being written out.
-  job.capture = save ? ipm::Mode::kBoth : ipm::Mode::kProfile;
-  analysis::EventFilter write_filter{.op = posix::OpType::kWrite,
-                                     .min_bytes = MiB};
-  const bool monitored = args.has("monitor");
-  monitor::HealthOptions mopt = monitor_options_from(args);
-  if (!args.has("ost-count")) {
-    mopt.ost_count = scenario.machine_config().ost_count;
-  }
-  mopt.stripe_size = scenario.machine_config().stripe_size;
-  std::vector<std::shared_ptr<analysis::SummarySink>> sinks(runs);
-  std::vector<std::shared_ptr<monitor::HealthSink>> monitors(runs);
-  job.sink_factory = [&sinks, &monitors, write_filter, monitored,
-                      mopt](std::size_t run_index)
-      -> std::shared_ptr<ipm::EventSink> {
-    auto sink = std::make_shared<analysis::SummarySink>(write_filter);
-    sinks[run_index] = sink;
-    if (!monitored) return sink;
-    auto health = std::make_shared<monitor::HealthSink>(mopt);
-    monitors[run_index] = health;
-    return std::make_shared<ipm::FanoutSink>(
-        std::vector<std::shared_ptr<ipm::EventSink>>{sink, health});
-  };
-
-  const char* kind_label = "IOR";
-  std::ostringstream shape;
-  switch (scenario.kind()) {
-    case workloads::WorkloadKind::kIor: {
-      const workloads::IorConfig& c = scenario.ior_config();
-      shape << c.tasks << " tasks, " << to_mib(c.block_size) << " MiB blocks, "
-            << c.segments << " segments";
-      break;
-    }
-    case workloads::WorkloadKind::kMadbench: {
-      kind_label = "MADbench";
-      const workloads::MadbenchConfig& c = scenario.madbench_config();
-      shape << c.tasks << " tasks, " << c.matrices << " matrices";
-      break;
-    }
-    case workloads::WorkloadKind::kGcrm: {
-      kind_label = "GCRM";
-      const workloads::GcrmConfig& c = scenario.gcrm_config();
-      shape << c.tasks << " tasks, "
-            << (c.collective_buffering ? c.io_tasks : c.tasks) << " writers";
-      break;
-    }
-  }
-
-  workloads::ParallelEnsembleRunner runner({.jobs = args.get_size("jobs", 0)});
-  out << "simulating " << runs << " " << kind_label << " runs (" << shape.str()
-      << ") on " << scenario.machine_config().name << " with "
-      << runner.jobs() << " worker(s)\n";
-  if (scenario.fault_plan().enabled()) {
-    out << "fault plan: "
-        << fault::plan_to_json(scenario.fault_plan()) << "\n";
-  }
-  auto results = runner.run_ensemble(job, runs);
-
-  out << "  run          job(s)    events    median(s)      p95(s)\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const stats::StreamingSummary& s = sinks[i]->summary();
-    std::uint64_t events =
-        save ? results[i].trace.size() : results[i].profile.total();
-    char line[160];
-    std::snprintf(line, sizeof line, "  %-8zu %10.1f %9llu %12.4f %11.4f\n", i,
-                  results[i].job_time, static_cast<unsigned long long>(events),
-                  s.empty() ? 0.0 : s.median(),
-                  s.empty() ? 0.0 : s.quantile(0.95));
-    out << line;
-  }
-
-  if (scenario.fault_plan().enabled()) {
-    out << "fault injections:\n"
-        << "  run   ost-windows    stalls   retried ops   straggler-stalls"
-           "   injected(s)\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const fault::Counts& c = results[i].fault_counts;
-      char line[160];
-      std::snprintf(line, sizeof line,
-                    "  %-5zu %11llu %9llu %13llu %18llu %13.3f\n", i,
-                    static_cast<unsigned long long>(c.ost_degradations),
-                    static_cast<unsigned long long>(c.stalls),
-                    static_cast<unsigned long long>(c.ops_retried),
-                    static_cast<unsigned long long>(c.straggler_stalls),
-                    c.stall_seconds + c.retry_seconds + c.straggler_seconds);
-      out << line;
-    }
-  }
-
-  if (monitored) {
-    out << "health monitor:\n"
-        << "  run    windows    opened   cleared   open-at-end\n";
-    std::vector<monitor::Incident> incidents;
-    std::vector<std::uint64_t> incident_runs;
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      monitor::HealthKernel& k = monitors[i]->kernel();
-      k.finish();
-      const monitor::Counts& c = k.counts();
-      char line[160];
-      std::snprintf(line, sizeof line, "  %-5zu %9llu %9llu %9llu %13llu\n", i,
-                    static_cast<unsigned long long>(c.windows_evaluated),
-                    static_cast<unsigned long long>(c.incidents_opened),
-                    static_cast<unsigned long long>(c.incidents_cleared),
-                    static_cast<unsigned long long>(c.open_at_finish()));
-      out << line;
-      for (const monitor::Incident& inc : k.incidents()) {
-        incidents.push_back(inc);
-        incident_runs.push_back(i);
-      }
-    }
-    if (!incidents.empty()) monitor::print_incident_table(out, incidents);
-    int rc = write_incident_log(args, incidents, incident_runs, out, err);
-    if (rc != 0) return rc;
-  }
-
-  out << "pairwise KS distances (write durations):\n";
-  for (std::size_t i = 0; i < sinks.size(); ++i) {
-    for (std::size_t j = i + 1; j < sinks.size(); ++j) {
-      stats::KsResult ks = stats::ks_two_sample(
-          sinks[i]->summary().reservoir().samples(),
-          sinks[j]->summary().reservoir().samples());
-      char line[120];
-      std::snprintf(line, sizeof line, "  %zu vs %zu: D = %.4f (p = %.3f)\n",
-                    i, j, ks.statistic, ks.p_value);
-      out << line;
-    }
-  }
-
-  if (save) {
-    std::string dir = args.get("save-dir", ".");
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      std::string path = dir + "/run" + std::to_string(i);
-      if (save_fmt == "v2") {
-        path += ".v2";
-        results[i].trace.save_binary_v2(path);
-      } else if (save_fmt == "v3") {
-        path += ".v3";
-        results[i].trace.save_binary_v3(path);
-      } else {
-        path += ".tsv";
-        results[i].trace.save(path);
-      }
-      out << "wrote " << path << "\n";
-    }
-  }
-  return 0;
-}
-
-// ---------------------------------------------------------------------------
-// The command registry: name + operands + summary + option tables +
-// handler, in the order the usage text lists them.
-
-using TraceCommand = int (*)(const ipm::TraceSource&, const Parsed&,
-                             std::ostream&, std::ostream&);
-
-struct CommandDef {
-  const char* name;
-  const char* operands;  ///< positional operands shown in usage
-  const char* summary;
-  std::vector<OptionGroup> groups;
-  TraceCommand handler;  ///< nullptr: simulate (no trace operand)
-};
-
-const std::vector<CommandDef>& commands() {
-  static const std::vector<CommandDef> table{
-      {"report", "<trace>", "IPM job banner (per-call profile, imbalance)",
-       {}, cmd_report},
-      {"summary", "<trace>", "quantile table per op",
-       {{"filter", kFilterSpecs}, {"parallelism", kJobsSpecs}}, cmd_summary},
-      {"analyze", "<trace>",
-       "fused one-pass bundle: summary + phases + histogram + rates",
-       {{"analyze", kAnalyzeSpecs},
-        {"monitor", kMonitorSpecs},
-        {"filter", kFilterSpecs},
-        {"parallelism", kJobsSpecs}},
-       cmd_analyze},
-      {"monitor", "<trace>",
-       "online health monitoring: incidents + deterministic JSONL log",
-       {{"monitor", kMonitorSpecs}, {"parallelism", kJobsSpecs}},
-       cmd_monitor},
-      {"histogram", "<trace>", "duration histogram",
-       {{"histogram", kHistogramSpecs},
-        {"filter", kFilterSpecs},
-        {"parallelism", kJobsSpecs}},
-       cmd_histogram},
-      {"modes", "<trace>", "KDE mode detection + harmonic signature",
-       {{"modes", kModesSpecs},
-        {"filter", kFilterSpecs},
-        {"parallelism", kJobsSpecs}},
-       cmd_modes},
-      {"rates", "<trace>", "aggregate rate chart",
-       {{"rates", kRatesSpecs},
-        {"filter", kFilterSpecs},
-        {"parallelism", kJobsSpecs}},
-       cmd_rates},
-      {"diagram", "<trace>", "per-rank trace raster",
-       {{"diagram", kDiagramSpecs}}, cmd_diagram},
-      {"diagnose", "<trace>", "automatic bottleneck findings",
-       {{"diagnose", kDiagnoseSpecs}}, cmd_diagnose},
-      {"patterns", "<trace>", "access-pattern detection + fs hints",
-       {}, cmd_patterns},
-      {"phases", "<trace>", "per-phase duration table",
-       {{"filter", kFilterSpecs}, {"parallelism", kJobsSpecs}}, cmd_phases},
-      {"compare", "<traceA> <traceB>", "A vs B medians + KS distance",
-       {{"filter", kFilterSpecs}}, cmd_compare},
-      {"convert", "<trace> <out>",
-       "rewrite as --format=tsv|v1|v2|v3 (default v2; same format = "
-       "checked copy)",
-       {{"convert", kConvertSpecs}}, cmd_convert},
-      {"simulate", "",
-       "generate an ensemble from flags or a --scenario file",
-       {{"simulate", kSimulateSpecs},
-        {"monitor", kMonitorSpecs},
-        {"parallelism", kJobsSpecs}},
-       nullptr},
-  };
-  return table;
-}
-
-[[nodiscard]] const CommandDef* find_command(const std::string& name) {
-  for (const CommandDef& c : commands()) {
-    if (name == c.name) return &c;
-  }
-  return nullptr;
-}
-
-std::string usage_for(const std::string& command) {
-  const CommandDef* cmd = find_command(command);
-  if (cmd == nullptr) return usage_text();
-  std::ostringstream os;
-  os << "usage: eiotrace " << cmd->name;
-  if (cmd->operands[0] != '\0') os << " " << cmd->operands;
-  os << " [flags]\n  " << cmd->summary << "\n";
-  for (const OptionGroup& g : cmd->groups) {
-    os << g.title << " flags:\n";
-    for (const OptionSpec& s : g.options) {
-      std::string left = std::string("--") + s.name;
-      switch (s.kind) {
-        case OptKind::kFlag: break;
-        case OptKind::kString: left += "=S"; break;
-        case OptKind::kDouble: left += "=X"; break;
-        case OptKind::kSize: left += "=N"; break;
-      }
-      os << "  " << left;
-      for (std::size_t pad = left.size(); pad < 20; ++pad) os << ' ';
-      os << s.help;
-      if (s.fallback[0] != '\0') os << " (default " << s.fallback << ")";
-      os << "\n";
-    }
-  }
-  return os.str();
-}
 
 // ---------------------------------------------------------------------------
 // Self-observability wiring.
@@ -1178,46 +100,6 @@ int cmd_version(std::ostream& out) {
   return 0;
 }
 
-}  // namespace
-
-std::string usage_text() {
-  std::ostringstream os;
-  os << "usage: eiotrace <command> [operands] [flags]\n"
-     << "commands:\n";
-  for (const CommandDef& c : commands()) {
-    std::string left = c.name;
-    if (c.operands[0] != '\0') left += std::string(" ") + c.operands;
-    os << "  " << left;
-    for (std::size_t pad = left.size(); pad < 26; ++pad) os << ' ';
-    os << c.summary << "\n";
-  }
-  os << "  version                   build provenance (git SHA, compiler, "
-        "flags)\n"
-     << "  help [command]            this text, or one command's full flag "
-        "table\n"
-     << "simulate reads either flags (an IOR ensemble) or a declarative\n"
-     << "scenario JSON file (--scenario FILE: machine, workload, ensemble\n"
-     << "size, fault plan; see examples/scenarios/).\n"
-     << "self-observability (any command): --chrome-trace OUT.json "
-        "--metrics OUT.json|.tsv\n"
-     << "             --obs-summary --obs   (instrument this invocation "
-        "itself)\n"
-     << "common filter flags: --op=write|read --phase=P --min-bytes=N "
-        "--max-bytes=N\n"
-     << "                     --t-lo=S --t-hi=S (wall-clock window, "
-        "seconds)\n"
-     << "parallelism: summary/analyze/histogram/modes/rates/phases/simulate "
-        "take --jobs=N\n"
-     << "             (default: hardware concurrency; indexed v2/v3 traces "
-        "scan\n"
-     << "             chunk-parallel, other formats stream serially)\n";
-  return os.str();
-}
-
-std::string usage_text(const std::string& command) { return usage_for(command); }
-
-namespace {
-
 int dispatch(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err) {
   if (args.empty() || args[0] == "--help" || args[0] == "help") {
@@ -1232,32 +114,36 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
       args[0] == "--build-info") {
     return cmd_version(out);
   }
-  const CommandDef* cmd = find_command(args[0]);
+  const Command* cmd = find_command(args[0]);
   if (cmd == nullptr) {
     err << "eiotrace: unknown command '" << args[0] << "'\n" << usage_text();
     return 1;
   }
-  Parsed parsed;
-  if (auto rc = parse_args(cmd->name, cmd->groups, args, 1, parsed, err)) {
+  CommandContext ctx;
+  ctx.out = &out;
+  ctx.err = &err;
+  if (auto rc = parse_args(cmd->name, cmd->groups, args, 1, ctx.args, err,
+                           usage_for(cmd->name))) {
     return *rc;
   }
-  if (cmd->handler == nullptr) {  // simulate: no trace operand
+  if (!cmd->needs_trace) {  // the command owns its operands
     try {
-      return cmd_simulate(parsed, out, err);
+      return cmd->run(ctx);
     } catch (const std::exception& e) {
       err << "eiotrace: " << e.what() << "\n";
       return 2;
     }
   }
-  if (parsed.positional().empty()) {
+  if (ctx.args.positional().empty()) {
     err << "eiotrace: missing trace file\n" << usage_for(cmd->name);
     return 1;
   }
   try {
     // The trace file is opened as a streaming source; each command
     // pulls the passes it needs.
-    ipm::FileTraceSource source(parsed.positional()[0]);
-    return cmd->handler(source, parsed, out, err);
+    ipm::FileTraceSource source(ctx.args.positional()[0]);
+    ctx.source = &source;
+    return cmd->run(ctx);
   } catch (const std::exception& e) {
     err << "eiotrace: " << e.what() << "\n";
     return 2;

@@ -1,0 +1,79 @@
+#include "cli/options.h"
+
+namespace eio::cli {
+
+const OptionSpec* find_spec(std::span<const OptionGroup> groups,
+                            std::string_view name) {
+  for (const OptionGroup& g : groups) {
+    for (const OptionSpec& s : g.options) {
+      if (name == s.name) return &s;
+    }
+  }
+  return nullptr;
+}
+
+bool valid_value(OptKind kind, const std::string& value) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  switch (kind) {
+    case OptKind::kFlag:
+    case OptKind::kString:
+      return true;
+    case OptKind::kDouble:
+      std::strtod(value.c_str(), &end);
+      return end != nullptr && *end == '\0';
+    case OptKind::kSize:
+      if (value[0] == '-') return false;
+      std::strtoull(value.c_str(), &end, 10);
+      return end != nullptr && *end == '\0';
+  }
+  return false;
+}
+
+std::optional<int> parse_args(const std::string& command,
+                              std::span<const OptionGroup> groups,
+                              const std::vector<std::string>& raw,
+                              std::size_t skip, Parsed& out, std::ostream& err,
+                              const std::string& usage) {
+  for (std::size_t i = skip; i < raw.size(); ++i) {
+    const std::string& a = raw[i];
+    if (a.rfind("--", 0) != 0) {
+      out.positional_.push_back(a);
+      continue;
+    }
+    auto eq = a.find('=');
+    std::string name = a.substr(2, eq == std::string::npos ? eq : eq - 2);
+    const OptionSpec* spec = find_spec(groups, name);
+    if (spec == nullptr) {
+      err << "eiotrace: unknown flag '--" << name << "' for '" << command
+          << "'\n" << usage;
+      return 1;
+    }
+    std::string value;
+    if (spec->kind == OptKind::kFlag) {
+      if (eq != std::string::npos) {
+        err << "eiotrace: --" << name << " takes no value\n" << usage;
+        return 1;
+      }
+      value = "true";
+    } else if (eq != std::string::npos) {
+      value = a.substr(eq + 1);
+    } else if (i + 1 < raw.size()) {
+      value = raw[++i];
+    } else {
+      err << "eiotrace: --" << name << " needs a value\n" << usage;
+      return 1;
+    }
+    if (!valid_value(spec->kind, value)) {
+      err << "eiotrace: bad value '" << value << "' for --" << name
+          << (spec->kind == OptKind::kSize ? " (expects a non-negative integer)"
+                                           : " (expects a number)")
+          << "\n" << usage;
+      return 1;
+    }
+    out.values_[std::move(name)] = std::move(value);
+  }
+  return std::nullopt;
+}
+
+}  // namespace eio::cli

@@ -1,0 +1,90 @@
+// Declarative option tables and the parser that runs against them.
+//
+// Every subcommand lists its options as data (OptionSpec/OptionGroup);
+// the same tables drive parsing — uniform unknown-flag/bad-value
+// errors, exit code 1 — and the generated usage text, so the two
+// cannot disagree. This is the public half of the command API: the
+// registry (cli/command.h) composes groups per command, and embedders
+// (campaign workers, tests) can parse argv slices with the exact CLI
+// semantics.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eio::cli {
+
+enum class OptKind : std::uint8_t {
+  kFlag,    ///< boolean, present or absent
+  kString,  ///< free-form value
+  kDouble,  ///< numeric value (validated at parse time)
+  kSize,    ///< non-negative integer (validated at parse time)
+};
+
+struct OptionSpec {
+  const char* name;      ///< without the leading "--"
+  OptKind kind;
+  const char* fallback;  ///< default shown in help ("" = none)
+  const char* help;
+};
+
+struct OptionGroup {
+  const char* title;
+  std::span<const OptionSpec> options;
+};
+
+/// Parsed options + positionals of one invocation.
+class Parsed {
+ public:
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] bool has(const std::string& name) const {
+    return values_.count(name) > 0;
+  }
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+  [[nodiscard]] std::size_t get_size(const std::string& name,
+                                     std::size_t fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end()
+               ? fallback
+               : static_cast<std::size_t>(
+                     std::strtoull(it->second.c_str(), nullptr, 10));
+  }
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+[[nodiscard]] const OptionSpec* find_spec(std::span<const OptionGroup> groups,
+                                          std::string_view name);
+
+[[nodiscard]] bool valid_value(OptKind kind, const std::string& value);
+
+/// Parse `raw[skip..]` against the command's option groups. Both
+/// --name=value and --name value forms are accepted. Unknown flags and
+/// malformed values print `usage` to `err` and yield exit code 1
+/// (wrapped in the optional); nullopt means success.
+[[nodiscard]] std::optional<int> parse_args(const std::string& command,
+                                            std::span<const OptionGroup> groups,
+                                            const std::vector<std::string>& raw,
+                                            std::size_t skip, Parsed& out,
+                                            std::ostream& err,
+                                            const std::string& usage);
+
+}  // namespace eio::cli

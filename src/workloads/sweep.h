@@ -1,0 +1,97 @@
+// Sweep expansion: a campaign manifest → a deterministic run list.
+//
+// A campaign sweeps many scenarios. The manifest names them three
+// ways, freely mixed:
+//
+//   * a scenario JSON file          → exactly one run;
+//   * a sweep-spec JSON file        → a grid or random sweep over a
+//                                     base scenario (axes patch dotted
+//                                     paths in the scenario document);
+//   * a directory                   → every *.json inside, sorted by
+//                                     file name, expanded as above.
+//
+// A sweep spec is recognized by its "sweep" key (scenario files reject
+// unknown keys, so the two formats cannot be confused):
+//
+//   {
+//     "schema_version": 1,
+//     "name": "ior-grid",                  // optional, defaults to file stem
+//     "base": "scenarios/small_ior.json",  // path (relative to the spec
+//                                          // file) or an inline scenario
+//     "sweep": {
+//       "mode": "grid",                    // or "random"
+//       "samples": 64,                     // random only: draw count
+//       "seed": 7,                         // random only: draw seed
+//       "axes": {
+//         "runs": [1, 2, 4],               // ensemble size
+//         "seed": [1, 2, 3],               // machine seed
+//         "workload.tasks": [64, 128],     // any dotted scenario path
+//         "faults": [null, {...}]          // null deletes the key
+//       }
+//     }
+//   }
+//
+// Expansion is deterministic: axes apply in sorted-name order, a grid
+// walks them as an odometer with the last (sorted) axis fastest, and
+// random mode draws axis indices from a splitmix64 stream seeded by
+// "seed" — the same run list for the same inputs on every invocation,
+// independent of directory enumeration order or worker count. Every
+// expanded document is validated through scenario_from_json at
+// expansion time, so a bad axis path fails the campaign up front with
+// the run's label, not worker-deep at execution time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace eio::workloads {
+
+/// Version of the sweep-spec JSON schema (the "schema_version" key).
+inline constexpr int kSweepSchemaVersion = 1;
+
+/// Grid expansions larger than this are rejected — a typo'd axis list
+/// should fail loudly, not enqueue a million simulations.
+inline constexpr std::size_t kMaxSweepRuns = 100000;
+
+/// One planned campaign run: a fully-resolved scenario document plus
+/// the provenance needed for labeling and fleet grouping. The index is
+/// the run's global position in the campaign (assigned after the whole
+/// manifest is expanded) and is the merge key of the campaign store.
+struct RunPlan {
+  std::uint64_t index = 0;
+  std::string source;    ///< manifest entry stem (fleet-report grouping key)
+  std::string label;     ///< axis assignment, e.g. "runs=2 seed=3" ("" = plain)
+  json::Value scenario;  ///< the complete scenario document
+};
+
+/// Expand one manifest path — scenario file, sweep-spec file, or
+/// directory — into the ordered run list. Throws std::runtime_error
+/// with a precise message on malformed specs, invalid axes, or
+/// documents that fail scenario validation.
+[[nodiscard]] std::vector<RunPlan> expand_manifest(const std::string& path);
+
+/// Expand an explicit file list. The list is sorted internally (by
+/// file stem, then full path), so the run list is independent of the
+/// order the caller discovered the files in.
+[[nodiscard]] std::vector<RunPlan> expand_files(std::vector<std::string> files);
+
+/// Expand one parsed document (scenario or sweep spec). `source` names
+/// the manifest entry; `base_dir` resolves a sweep's relative "base"
+/// path (pass "" when the document must be self-contained). Indices
+/// are local (0-based within this document's expansion).
+[[nodiscard]] std::vector<RunPlan> expand_document(const json::Value& doc,
+                                                   const std::string& source,
+                                                   const std::string& base_dir);
+
+/// Serialize one plan as the campaign's runs.jsonl line (no trailing
+/// newline): {"run":N,"source":"...","label":"...","scenario":{...}}
+/// with deterministic bytes (see common/json_writer.h).
+[[nodiscard]] std::string plan_to_jsonl(const RunPlan& plan);
+
+/// Parse a runs.jsonl line back into a plan.
+[[nodiscard]] RunPlan plan_from_jsonl(const std::string& line);
+
+}  // namespace eio::workloads
